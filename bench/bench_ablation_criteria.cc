@@ -1,0 +1,101 @@
+// Ablation: model selection criterion (AIC as the paper uses, vs AICc
+// and BIC) and the evidence margin. Measures false positive rate on
+// structureless series and recall on planted slope breaks — the
+// operating characteristic behind the pipeline's margin-4 default.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ssm/changepoint.h"
+
+namespace mic {
+namespace {
+
+std::vector<double> Noise(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  for (double& value : x) value = rng.NextGaussian(6.0, 1.0);
+  return x;
+}
+
+std::vector<double> Broken(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  const int change_point = 14 + static_cast<int>(seed % 16);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = 6.0 + rng.NextGaussian(0.0, 1.0) +
+           (t >= change_point ? 0.9 * (t - change_point + 1) : 0.0);
+  }
+  return x;
+}
+
+struct OperatingPoint {
+  int false_positives = 0;
+  int true_positives = 0;
+};
+
+OperatingPoint Measure(ssm::SelectionCriterion criterion, double margin,
+                       int trials) {
+  OperatingPoint point;
+  for (int trial = 0; trial < trials; ++trial) {
+    ssm::ChangePointOptions options;
+    options.seasonal = false;
+    options.fit.optimizer.max_evaluations = 160;
+    options.criterion = criterion;
+    options.aic_margin = margin;
+    {
+      ssm::ChangePointDetector detector(Noise(5000 + trial), options);
+      auto result = detector.DetectExact();
+      if (result.ok() && result->has_change) ++point.false_positives;
+    }
+    {
+      ssm::ChangePointDetector detector(Broken(6000 + trial), options);
+      auto result = detector.DetectExact();
+      if (result.ok() && result->has_change) ++point.true_positives;
+    }
+  }
+  return point;
+}
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader("Ablation: selection criterion and evidence margin");
+  std::printf(
+      "paper uses plain AIC ('performs at least as well as its\n"
+      "alternatives (e.g. BIC)'); this table shows each criterion's\n"
+      "false-positive/recall trade on 43-month series.\n\n");
+  constexpr int kTrials = 15;
+
+  std::printf("  %-10s %-8s %18s %14s\n", "criterion", "margin",
+              "false pos (noise)", "recall (break)");
+  const struct {
+    ssm::SelectionCriterion criterion;
+    double margin;
+  } grid[] = {
+      {ssm::SelectionCriterion::kAic, 0.0},
+      {ssm::SelectionCriterion::kAic, 4.0},
+      {ssm::SelectionCriterion::kAicc, 0.0},
+      {ssm::SelectionCriterion::kBic, 0.0},
+      {ssm::SelectionCriterion::kBic, 4.0},
+  };
+  for (const auto& cell : grid) {
+    const OperatingPoint point =
+        Measure(cell.criterion, cell.margin, kTrials);
+    std::printf("  %-10s %-8.1f %10d/%-2d %14d/%-2d\n",
+                std::string(ssm::SelectionCriterionName(cell.criterion))
+                    .c_str(),
+                cell.margin, point.false_positives, kTrials,
+                point.true_positives, kTrials);
+  }
+  std::printf(
+      "\n(BIC's log(n) penalty ~ 3.76 at n = 43 behaves like AIC with a\n"
+      "margin of ~1.8 per extra parameter; the pipeline default, AIC with\n"
+      "margin 4, suppresses noise detections while keeping full recall.)\n");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

@@ -1,0 +1,148 @@
+// Ablation: intervention shape and multi-break search (§IX extensions).
+//
+//   A. On planted SLOPE breaks: slope-shift search (the paper's model)
+//      vs level-shift search — the matched shape should localize better.
+//   B. On planted STEP breaks: the reverse.
+//   C. On series with TWO breaks: the paper's single-break model vs the
+//      greedy multi-break extension — multi-break should recover both
+//      and fit better.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ssm/changepoint.h"
+
+namespace mic {
+namespace {
+
+std::vector<double> PlantBreak(bool step, int change_point, double size,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    double value = 10.0 + rng.NextGaussian(0.0, 0.6);
+    if (t >= change_point) {
+      value += step ? size : size * 0.25 * (t - change_point + 1);
+    }
+    x[t] = value;
+  }
+  return x;
+}
+
+struct KindStats {
+  int detected = 0;
+  double total_absolute_error = 0.0;
+  int localized = 0;
+};
+
+KindStats Evaluate(ssm::InterventionKind kind, bool step_breaks,
+                   int trials) {
+  KindStats stats;
+  for (int trial = 0; trial < trials; ++trial) {
+    const int true_break = 12 + (trial * 7) % 20;
+    const auto series =
+        PlantBreak(step_breaks, true_break, 5.0, 900 + trial);
+    ssm::ChangePointOptions options;
+    options.seasonal = false;
+    options.fit.optimizer.max_evaluations = 160;
+    options.candidate_kinds = {kind};
+    options.aic_margin = 2.0;
+    ssm::ChangePointDetector detector(series, options);
+    auto result = detector.DetectExact();
+    if (!result.ok() || !result->has_change) continue;
+    ++stats.detected;
+    stats.total_absolute_error +=
+        std::fabs(result->change_point - true_break);
+    ++stats.localized;
+  }
+  return stats;
+}
+
+void PrintKindRow(const char* label, const KindStats& stats, int trials) {
+  std::printf("  %-18s detected %2d/%2d   mean |error| %.2f months\n",
+              label, stats.detected, trials,
+              stats.localized > 0
+                  ? stats.total_absolute_error / stats.localized
+                  : 0.0);
+}
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader("Ablation: intervention shapes and multi-break "
+                     "search");
+  constexpr int kTrials = 12;
+
+  std::printf("A. planted slope breaks (the paper's target shape):\n");
+  PrintKindRow("slope search",
+               Evaluate(ssm::InterventionKind::kSlopeShift, false,
+                        kTrials),
+               kTrials);
+  PrintKindRow("level search",
+               Evaluate(ssm::InterventionKind::kLevelShift, false,
+                        kTrials),
+               kTrials);
+
+  std::printf("\nB. planted step breaks:\n");
+  PrintKindRow("slope search",
+               Evaluate(ssm::InterventionKind::kSlopeShift, true, kTrials),
+               kTrials);
+  PrintKindRow("level search",
+               Evaluate(ssm::InterventionKind::kLevelShift, true, kTrials),
+               kTrials);
+
+  std::printf("\nC. two planted breaks (up t=12, reversal t=28):\n");
+  int single_found_both = 0;
+  int multi_found_both = 0;
+  double single_aic = 0.0;
+  double multi_aic = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(4000 + trial);
+    std::vector<double> x(43);
+    for (int t = 0; t < 43; ++t) {
+      double value = 8.0 + rng.NextGaussian(0.0, 0.5);
+      if (t >= 12) value += 1.2 * (t - 11);
+      if (t >= 28) value -= 2.2 * (t - 27);
+      x[t] = value;
+    }
+    ssm::ChangePointOptions options;
+    options.seasonal = false;
+    options.fit.optimizer.max_evaluations = 160;
+    options.aic_margin = 2.0;
+    ssm::ChangePointDetector detector(x, options);
+    auto single = detector.DetectExact();
+    auto multi = detector.DetectMultiple(3);
+    if (!single.ok() || !multi.ok()) continue;
+    single_aic += single->best_aic;
+    multi_aic += multi->best_aic;
+    auto near_any = [](const std::vector<ssm::Intervention>& found,
+                       int target) {
+      for (const ssm::Intervention& intervention : found) {
+        if (std::abs(intervention.change_point - target) <= 3) return true;
+      }
+      return false;
+    };
+    if (near_any(multi->interventions, 12) &&
+        near_any(multi->interventions, 28)) {
+      ++multi_found_both;
+    }
+    // A single break cannot represent both by construction.
+    if (single->has_change) ++single_found_both;
+  }
+  std::printf("  single-break model: finds a break in %d/%d runs "
+              "(can never represent both); mean criterion %.1f\n",
+              single_found_both, kTrials, single_aic / kTrials);
+  std::printf("  multi-break greedy: recovers BOTH breaks in %d/%d runs; "
+              "mean criterion %.1f\n",
+              multi_found_both, kTrials, multi_aic / kTrials);
+  std::printf("  (paper §IX: 'more than one change point can exist ... "
+              "state space models can accept more than one intervention "
+              "variable')\n");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

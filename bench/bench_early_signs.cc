@@ -1,0 +1,108 @@
+// Early-signs growth prediction — the question the paper's discussion
+// raises: "Can we predict the future growth of a prescription from its
+// initial behavior?" (§IX).
+//
+// A population of prescription-style series with breaks of varying
+// slopes is truncated k months after the break; the detector estimates
+// the break and its slope lambda_hat from the truncated window, and the
+// experiment reports (a) the correlation between lambda_hat and the true
+// slope and (b) the error of the implied 12-months-ahead projection, as
+// a function of the observation window k.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ssm/changepoint.h"
+#include "stats/metrics.h"
+
+namespace mic {
+namespace {
+
+struct EarlySeries {
+  std::vector<double> values;  // Full 43-month series.
+  int change_point;
+  double slope;
+};
+
+EarlySeries MakeSeries(std::uint64_t seed) {
+  Rng rng(seed);
+  EarlySeries series;
+  series.change_point = 10 + static_cast<int>(rng.NextBounded(8));
+  series.slope = 0.4 + 2.0 * rng.NextDouble();
+  series.values.resize(43);
+  for (int t = 0; t < 43; ++t) {
+    double value = 8.0 + rng.NextGaussian(0.0, 0.8);
+    if (t >= series.change_point) {
+      value += series.slope * (t - series.change_point + 1);
+    }
+    series.values[t] = value;
+  }
+  return series;
+}
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader(
+      "Early signs: predicting prescription growth from initial "
+      "behavior (paper §IX)");
+  constexpr int kTrials = 24;
+  constexpr int kProjection = 12;
+
+  std::printf("%6s %22s %26s %10s\n", "k", "corr(lambda_hat, true)",
+              "proj. RMSE @ +12mo (norm.)", "detected");
+  for (int k : {3, 5, 8, 12}) {
+    std::vector<double> estimated;
+    std::vector<double> truth;
+    double squared_error = 0.0;
+    int projected = 0;
+    int detected = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const EarlySeries series = MakeSeries(7000 + trial);
+      const int cut = series.change_point + k;
+      if (cut + kProjection > 43) continue;
+      const std::vector<double> train(series.values.begin(),
+                                      series.values.begin() + cut);
+      ssm::ChangePointOptions options;
+      options.seasonal = false;
+      options.fit.optimizer.max_evaluations = 200;
+      options.aic_margin = 2.0;
+      options.min_tail_observations = 2;
+      ssm::ChangePointDetector detector(train, options);
+      auto result = detector.DetectExact();
+      if (!result.ok() || !result->has_change) continue;
+      ++detected;
+      estimated.push_back(result->best_model.lambda);
+      truth.push_back(series.slope);
+      // Project 12 months ahead with the estimated break.
+      const double projection =
+          train.back() +
+          result->best_model.lambda * static_cast<double>(kProjection);
+      const double actual = series.values[cut + kProjection - 1];
+      const double scale = std::max(1.0, std::fabs(actual));
+      squared_error += (projection - actual) * (projection - actual) /
+                       (scale * scale);
+      ++projected;
+    }
+    double correlation = 0.0;
+    if (estimated.size() >= 3) {
+      correlation =
+          stats::PearsonCorrelation(estimated, truth).value_or(0.0);
+    }
+    std::printf("%6d %22.3f %26.3f %7d/%d\n", k, correlation,
+                projected > 0 ? std::sqrt(squared_error / projected) : 0.0,
+                detected, kTrials);
+  }
+  std::printf(
+      "\n(the correlation between the early slope estimate and the true\n"
+      "growth rate should rise quickly with the observation window k,\n"
+      "supporting the paper's 'early signs' conjecture for prescriptions\n"
+      "whose breaks follow the slope-shift shape.)\n");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

@@ -1,0 +1,98 @@
+// Reproduces Figure 2: the adverse effect of missing prescription links.
+// The cooccurrence baseline assigns the broad-use anti-inflammatory
+// analgesic a LARGER "prescription count" for hypertension than the
+// actual depressor, while the proposed medication model pushes the
+// non-indicated analgesic to ~zero and keeps the depressor series
+// intact.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "medmodel/timeseries.h"
+
+namespace mic {
+namespace {
+
+double Total(const std::vector<double>& series) {
+  double total = 0.0;
+  for (double value : series) total += value;
+  return total;
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader("Figure 2: prescription link prediction for "
+                     "hypertension");
+  std::printf(
+      "paper: cooccurrence predicts MORE analgesic than depressor for\n"
+      "hypertension although only the depressor is indicated; the\n"
+      "proposed model sends the analgesic to ~zero (Fig. 2b).\n\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale, 0.0);
+  const DiseaseId hypertension =
+      *data.world.FindDisease(synth::names::kHypertension);
+  const MedicineId depressor =
+      *data.world.FindMedicine(synth::names::kDepressor);
+  const MedicineId analgesic =
+      *data.world.FindMedicine(synth::names::kAnalgesic);
+
+  medmodel::ReproducerOptions cooccurrence_options;
+  cooccurrence_options.model_kind =
+      medmodel::LinkModelKind::kCooccurrence;
+  cooccurrence_options.min_series_total = 0.0;
+  auto cooccurrence = medmodel::ReproduceSeries(data.generated.corpus,
+                                                cooccurrence_options);
+  MIC_CHECK(cooccurrence.ok());
+
+  std::printf("(a) cooccurrence-predicted monthly prescription counts:\n");
+  bench::PrintSeries("  depressor",
+                     cooccurrence->Prescription(hypertension, depressor));
+  bench::PrintSeries("  analgesic",
+                     cooccurrence->Prescription(hypertension, analgesic));
+
+  std::printf("\n(b) proposed-model monthly prescription counts:\n");
+  bench::PrintSeries("  depressor",
+                     data.series.Prescription(hypertension, depressor));
+  bench::PrintSeries("  analgesic",
+                     data.series.Prescription(hypertension, analgesic));
+
+  std::printf("\n(truth) simulator ground-truth counts:\n");
+  bench::PrintSeries("  depressor",
+                     data.generated.truth.Series(hypertension, depressor));
+  bench::PrintSeries("  analgesic",
+                     data.generated.truth.Series(hypertension, analgesic));
+
+  const double cooccurrence_depressor =
+      Total(cooccurrence->Prescription(hypertension, depressor));
+  const double cooccurrence_analgesic =
+      Total(cooccurrence->Prescription(hypertension, analgesic));
+  const double proposed_depressor =
+      Total(data.series.Prescription(hypertension, depressor));
+  const double proposed_analgesic =
+      Total(data.series.Prescription(hypertension, analgesic));
+  const double truth_depressor =
+      Total(data.generated.truth.Series(hypertension, depressor));
+
+  std::printf("\nsummary (totals over the window):\n");
+  std::printf("  cooccurrence: depressor %.0f, analgesic %.0f  -> "
+              "mis-prediction %s\n",
+              cooccurrence_depressor, cooccurrence_analgesic,
+              cooccurrence_analgesic > cooccurrence_depressor
+                  ? "REPRODUCED (analgesic wrongly dominates)"
+                  : "not triggered at this scale");
+  std::printf("  proposed:     depressor %.0f, analgesic %.0f  (truth "
+              "depressor %.0f)\n",
+              proposed_depressor, proposed_analgesic, truth_depressor);
+  std::printf("  proposed analgesic / cooccurrence analgesic = %.3f "
+              "(paper: ~0)\n",
+              cooccurrence_analgesic > 0.0
+                  ? proposed_analgesic / cooccurrence_analgesic
+                  : 0.0);
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

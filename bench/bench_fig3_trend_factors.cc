@@ -1,0 +1,120 @@
+// Reproduces Figure 3: the factors that shape prescription trends.
+//   (a) seasonality — hay fever (spring), heatstroke (summer),
+//       influenza (winter, with the 2014-15 outbreak outlier);
+//   (b) a newly released medicine rising from zero for its target
+//       diseases from the release month;
+//   (c) indication expansion — an existing bronchodilator picking up
+//       bronchial asthma mid-window.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace mic {
+namespace {
+
+int ArgMax(const std::vector<double>& series) {
+  int best = 0;
+  for (int t = 1; t < static_cast<int>(series.size()); ++t) {
+    if (series[t] > series[best]) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader("Figure 3: factors affecting monthly prescriptions");
+  bench::BenchData data = bench::BuildBenchData(scale, 0.0);
+  const synth::World& world = data.world;
+  const int start_month = world.config().start_calendar_month;
+
+  // (a) Seasonality.
+  std::printf("(a) seasonal prescription series "
+              "(t = 0 is calendar month %d, March):\n", start_month);
+  struct {
+    const char* disease;
+    const char* medicine;
+    int expected_peak_calendar;  // 0 = January
+  } seasonal[] = {
+      {synth::names::kHayFever, synth::names::kAntihistamine, 3},
+      {synth::names::kHeatstroke, synth::names::kRehydrationSalt, 7},
+      {synth::names::kInfluenza, synth::names::kAntiviral, 0},
+  };
+  for (const auto& entry : seasonal) {
+    const auto series = data.series.Prescription(
+        *world.FindDisease(entry.disease),
+        *world.FindMedicine(entry.medicine));
+    bench::PrintSeries(entry.disease, series);
+    const int peak = ArgMax(series);
+    const int peak_calendar = (start_month + peak) % 12;
+    std::printf("    peak at t = %d (calendar month %d; expected %d)%s\n",
+                peak, peak_calendar, entry.expected_peak_calendar,
+                std::abs(peak_calendar - entry.expected_peak_calendar) <= 1 ||
+                        std::abs(peak_calendar -
+                                 entry.expected_peak_calendar) >= 11
+                    ? "  [season REPRODUCED]"
+                    : "");
+  }
+
+  // (b) New medicine.
+  std::printf("\n(b) newly released bronchodilator (release month t = %d):\n",
+              synth::PaperWorldEvents::kBronchodilatorRelease);
+  const MedicineId broncho =
+      *world.FindMedicine(synth::names::kNewBronchodilator);
+  for (const char* disease :
+       {synth::names::kCopd, synth::names::kBronchialAsthma,
+        synth::names::kChronicBronchitis}) {
+    bench::PrintSeries(disease, data.series.Prescription(
+                                    *world.FindDisease(disease), broncho));
+  }
+  // All-zero before release?
+  bool zero_before = true;
+  for (const char* disease :
+       {synth::names::kCopd, synth::names::kBronchialAsthma,
+        synth::names::kChronicBronchitis}) {
+    const auto series = data.series.Prescription(
+        *world.FindDisease(disease), broncho);
+    for (int t = 0; t < synth::PaperWorldEvents::kBronchodilatorRelease;
+         ++t) {
+      if (series[t] != 0.0) zero_before = false;
+    }
+  }
+  std::printf("    zero before release: %s\n",
+              zero_before ? "yes  [REPRODUCED]" : "NO");
+
+  // (c) Indication expansion.
+  std::printf("\n(c) existing COPD bronchodilator gaining bronchial asthma"
+              " (expansion t = %d):\n",
+              synth::PaperWorldEvents::kAsthmaIndicationExpansion);
+  const MedicineId copd_drug =
+      *world.FindMedicine(synth::names::kCopdBronchodilator);
+  for (const char* disease :
+       {synth::names::kCopd, synth::names::kBronchialAsthma}) {
+    bench::PrintSeries(disease, data.series.Prescription(
+                                    *world.FindDisease(disease),
+                                    copd_drug));
+  }
+  const auto asthma_series = data.series.Prescription(
+      *world.FindDisease(synth::names::kBronchialAsthma), copd_drug);
+  double before = 0.0;
+  double after = 0.0;
+  const int expansion = synth::PaperWorldEvents::kAsthmaIndicationExpansion;
+  for (int t = 0; t < expansion; ++t) before += asthma_series[t];
+  for (int t = expansion;
+       t < static_cast<int>(asthma_series.size()); ++t) {
+    after += asthma_series[t];
+  }
+  std::printf("    asthma prescriptions before/after expansion: %.0f / %.0f"
+              "%s\n",
+              before, after,
+              after > 4.0 * (before + 1.0)
+                  ? "  [gradual uptake REPRODUCED]"
+                  : "");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

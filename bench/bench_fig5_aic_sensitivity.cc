@@ -1,0 +1,70 @@
+// Reproduces Figure 5: the sensitivity of AIC to the assumed
+// intervention point. A series with a planted slope change is fitted
+// with every candidate change point; the AIC curve must dip at the true
+// break (5a/5b), which is the property Algorithm 2's binary search
+// exploits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ssm/changepoint.h"
+
+namespace mic {
+namespace {
+
+// The paper's example: break in September 2013 = t 6 for a March-2013
+// window start.
+constexpr int kTrueBreak = 18;
+
+}  // namespace
+
+int Run() {
+  bench::PrintHeader("Figure 5: AIC sensitivity to the intervention point");
+  std::printf(
+      "paper: models fitted with an intervention point near the true\n"
+      "change yield lower AIC than those far from it; the curve has a\n"
+      "clear minimum at the break (here planted at t = %d).\n\n",
+      kTrueBreak);
+
+  Rng rng(20190411);
+  std::vector<double> series(43);
+  for (int t = 0; t < 43; ++t) {
+    double value = 20.0 + rng.NextGaussian(0.0, 1.0);
+    if (t >= kTrueBreak) value += 1.6 * (t - kTrueBreak + 1);
+    series[t] = value;
+  }
+  bench::PrintSeries("(a) series", series);
+
+  ssm::ChangePointOptions options;
+  options.seasonal = false;
+  options.fit.optimizer.max_evaluations = 250;
+  ssm::ChangePointDetector detector(series, options);
+  auto curve = detector.AicCurve();
+  MIC_CHECK(curve.ok());
+
+  std::printf("\n(b) AIC by assumed change point:\n");
+  int argmin = 1;
+  for (int t = 1; t < 43; ++t) {
+    if ((*curve)[t] < (*curve)[argmin]) argmin = t;
+  }
+  for (int t = 1; t < 43; ++t) {
+    std::printf("  t = %2d  AIC = %9.3f %s%s\n", t, (*curve)[t],
+                t == argmin ? "  <-- minimum" : "",
+                t == kTrueBreak ? "  (true break)" : "");
+  }
+  auto exact = detector.DetectExact();
+  MIC_CHECK(exact.ok());
+  std::printf("\nAIC without intervention: %.3f\n",
+              exact->aic_without_intervention);
+  std::printf("detected change point: %d (true %d)%s\n",
+              exact->change_point, kTrueBreak,
+              std::abs(exact->change_point - kTrueBreak) <= 1
+                  ? "  [REPRODUCED]"
+                  : "");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

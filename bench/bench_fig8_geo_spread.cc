@@ -1,0 +1,104 @@
+// Reproduces Figure 8: geographical spread of the anti-platelet
+// generics. Per-city medication models report original vs generic
+// prescription shares one month before the generic entry, one month
+// after, and one year after — including the authorized generic's
+// dominance and the delayed-adoption northern city.
+
+#include <cstdio>
+
+#include "apps/geo_spread.h"
+#include "bench/bench_util.h"
+
+namespace mic {
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader("Figure 8: geographic spread of anti-platelet "
+                     "generics");
+  std::printf(
+      "paper: Generic-3 (the authorized generic) dominates from the first\n"
+      "month and keeps its lead one year later; the northernmost area\n"
+      "still used the original even after the generics' release.\n\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale, 0.0);
+  const Catalog& catalog = data.generated.corpus.catalog();
+
+  const std::vector<const char*> names = {
+      synth::names::kAntiPlateletOriginal,
+      synth::names::kAntiPlateletGeneric1,
+      synth::names::kAntiPlateletGeneric2,
+      synth::names::kAntiPlateletGeneric3};
+  std::vector<MedicineId> group;
+  for (const char* name : names) {
+    group.push_back(*catalog.medicines().Lookup(name));
+  }
+
+  apps::GeoSpreadOptions options;
+  options.reproducer.min_series_total = 0.0;
+  // City/class slices are small; the corpus-level min-5 pruning would
+  // starve them.
+  options.reproducer.filter_options.min_disease_count = 1;
+  options.reproducer.filter_options.min_medicine_count = 1;
+  const int entry = synth::PaperWorldEvents::kGenericEntry;
+  options.snapshot_months = {entry - 1, entry + 1, entry + 12};
+  auto report =
+      apps::AnalyzeGeoSpread(data.generated.corpus, group, options);
+  MIC_CHECK(report.ok()) << report.status();
+
+  const char* snapshot_labels[] = {"one month before release",
+                                   "one month after release",
+                                   "one year after release"};
+  for (std::size_t snapshot = 0; snapshot < 3; ++snapshot) {
+    std::printf("%s (t = %d): share of the anti-platelet market\n",
+                snapshot_labels[snapshot],
+                options.snapshot_months[snapshot]);
+    std::printf("  %-12s %9s %9s %9s %9s\n", "city", "original", "gen-1",
+                "gen-2", "gen-3");
+    for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+      const CityId city(c);
+      std::printf("  %-12s", catalog.cities().Name(city).c_str());
+      for (MedicineId medicine : group) {
+        std::printf(" %8.1f%%",
+                    100.0 * report->Share(city, medicine, group, snapshot));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Verdicts.
+  const CityId north = *catalog.cities().Lookup("north-city");
+  const MedicineId original = group[0];
+  const MedicineId generic3 = group[3];
+  double generic3_share_sum = 0.0;
+  double other_generics_share_sum = 0.0;
+  int cities_counted = 0;
+  for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+    const CityId city(c);
+    if (city == north) continue;  // Adoption delayed there by design.
+    generic3_share_sum += report->Share(city, generic3, group, 2);
+    other_generics_share_sum +=
+        report->Share(city, group[1], group, 2) +
+        report->Share(city, group[2], group, 2);
+    ++cities_counted;
+  }
+  std::printf("verdicts:\n");
+  std::printf("  Generic-3 mean share (1y, non-delayed cities): %.1f%% vs "
+              "other generics combined %.1f%%%s\n",
+              100.0 * generic3_share_sum / cities_counted,
+              100.0 * other_generics_share_sum / cities_counted,
+              generic3_share_sum > other_generics_share_sum
+                  ? "  [authorized-generic dominance REPRODUCED]"
+                  : "");
+  std::printf("  north-city original share 1 month after release: %.1f%% "
+              "(delayed adoption)%s\n",
+              100.0 * report->Share(north, original, group, 1),
+              report->Share(north, original, group, 1) > 0.95
+                  ? "  [northern holdout REPRODUCED]"
+                  : "");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

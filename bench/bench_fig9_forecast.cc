@@ -1,0 +1,167 @@
+// Reproduces Figure 9 and the §VIII-B2 forecast experiment: train on the
+// first 31 months, forecast the remaining 12, for (i) scripted seasonal
+// series, (ii) scripted structural-break series, and (iii) a population
+// of disease series (median RMSE on SD-normalized series, as the paper
+// reports: ARIMA 0.169 vs proposed 0.187, with ARIMA unstable on
+// seasonality and late breaks).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "arima/arima.h"
+#include "bench/bench_util.h"
+#include "ssm/changepoint.h"
+#include "ssm/fit.h"
+#include "stats/metrics.h"
+
+namespace mic {
+namespace {
+
+constexpr int kTrain = 31;
+constexpr int kHorizon = 12;
+
+struct ForecastPair {
+  std::vector<double> ssm;
+  std::vector<double> arima;
+  double ssm_rmse = 0.0;
+  double arima_rmse = 0.0;
+  bool ok = false;
+};
+
+// Fits both models on the first kTrain points of a normalized series
+// and forecasts kHorizon ahead.
+ForecastPair ForecastBoth(const std::vector<double>& series) {
+  ForecastPair out;
+  if (static_cast<int>(series.size()) < kTrain + kHorizon) return out;
+  const std::vector<double> train(series.begin(),
+                                  series.begin() + kTrain);
+  const std::vector<double> test(series.begin() + kTrain,
+                                 series.begin() + kTrain + kHorizon);
+
+  // Proposed: LL+S+I with the change point searched on the training
+  // window (Algorithm 1), then structural forecasting.
+  ssm::ChangePointOptions options;
+  options.seasonal = true;
+  options.fit.optimizer.max_evaluations = 200;
+  // A spurious break accepted on the training window extends a slope
+  // through the whole forecast horizon; require solid AIC evidence
+  // before forecasting with an intervention.
+  options.aic_margin = 4.0;
+  // A break needs a few post-break months before its slope is worth
+  // extrapolating over a 12-month horizon.
+  options.min_tail_observations = 4;
+  ssm::ChangePointDetector detector(train, options);
+  auto detected = detector.DetectExact();
+  if (!detected.ok()) return out;
+  auto ssm_forecast =
+      ssm::ForecastStructural(detected->best_model, train, kHorizon);
+  if (!ssm_forecast.ok()) return out;
+
+  auto arima_model = arima::SelectArima(train);
+  if (!arima_model.ok()) return out;
+  auto arima_forecast = arima::ForecastArima(*arima_model, train, kHorizon);
+  if (!arima_forecast.ok()) return out;
+
+  out.ssm = ssm_forecast->mean;
+  out.arima = *arima_forecast;
+  // Prescription counts cannot be negative; clamp both forecasts.
+  for (double& value : out.ssm) value = std::max(value, 0.0);
+  for (double& value : out.arima) value = std::max(value, 0.0);
+  out.ssm_rmse = *stats::Rmse(out.ssm, test);
+  out.arima_rmse = *stats::Rmse(out.arima, test);
+  out.ok = true;
+  return out;
+}
+
+void RunCase(const char* title, const std::vector<double>& raw) {
+  std::printf("\n");
+  bench::PrintRule('-');
+  std::printf("%s\n", title);
+  bench::PrintRule('-');
+  std::vector<double> series = raw;
+  bench::NormalizeBySd(series);
+  const ForecastPair result = ForecastBoth(series);
+  if (!result.ok) {
+    std::printf("  (model fitting failed on this series)\n");
+    return;
+  }
+  bench::PrintSeries("actual (train|test)", series);
+  std::vector<double> padded_ssm(kTrain, 0.0);
+  padded_ssm.insert(padded_ssm.end(), result.ssm.begin(), result.ssm.end());
+  std::vector<double> padded_arima(kTrain, 0.0);
+  padded_arima.insert(padded_arima.end(), result.arima.begin(),
+                      result.arima.end());
+  bench::PrintSeries("proposed forecast", padded_ssm);
+  bench::PrintSeries("ARIMA forecast", padded_arima);
+  std::printf("  RMSE (normalized): proposed %.3f  ARIMA %.3f%s\n",
+              result.ssm_rmse, result.arima_rmse,
+              result.ssm_rmse < result.arima_rmse
+                  ? "  [proposed more stable]"
+                  : "");
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader(
+      "Figure 9: forecasting (train 31 months, forecast 12)");
+  std::printf(
+      "paper: median normalized RMSE over disease series 0.169 (ARIMA) vs\n"
+      "0.187 (proposed) — comparable overall — but ARIMA fails on\n"
+      "seasonal patterns and is unstable when a structural break falls\n"
+      "near the end of training, where the proposed model stays accurate.\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale);
+  const synth::World& world = data.world;
+
+  // Scripted seasonal cases.
+  RunCase("seasonal: influenza",
+          data.series.Disease(*world.FindDisease(synth::names::kInfluenza)));
+  RunCase("seasonal: hay fever",
+          data.series.Disease(*world.FindDisease(synth::names::kHayFever)));
+  // Structural-break cases (all break before t = 31, the paper's setup
+  // of breaks near/inside the training window).
+  RunCase("break: new osteoporosis medicine (release t=5)",
+          data.series.Medicine(
+              *world.FindMedicine(synth::names::kNewOsteoporosisDrug)));
+  RunCase("break: anti-platelet original (generic entry t=14)",
+          data.series.Medicine(
+              *world.FindMedicine(synth::names::kAntiPlateletOriginal)));
+  RunCase("break near training end: dementia drug for Lewy (t=18)",
+          data.series.Prescription(
+              *world.FindDisease(synth::names::kLewyBodyDementia),
+              *world.FindMedicine(synth::names::kDementiaDrug)));
+
+  // Population medians over disease series.
+  const auto diseases = bench::SampleSeries(
+      bench::CollectDiseaseSeries(data.series),
+      scale.max_series_per_type, scale.seed ^ 0xF19);
+  std::vector<double> ssm_rmse;
+  std::vector<double> arima_rmse;
+  for (const auto& raw : diseases) {
+    std::vector<double> series = raw;
+    bench::NormalizeBySd(series);
+    const ForecastPair result = ForecastBoth(series);
+    if (!result.ok) continue;
+    ssm_rmse.push_back(result.ssm_rmse);
+    arima_rmse.push_back(result.arima_rmse);
+  }
+  std::printf("\npopulation of %zu disease series (normalized RMSE):\n",
+              ssm_rmse.size());
+  if (!ssm_rmse.empty()) {
+    std::printf("  proposed: median %.3f  mean %.3f (SD %.3f)\n",
+                *stats::Median(ssm_rmse), stats::Mean(ssm_rmse),
+                stats::StdDev(ssm_rmse));
+    std::printf("  ARIMA:    median %.3f  mean %.3f (SD %.3f)\n",
+                *stats::Median(arima_rmse), stats::Mean(arima_rmse),
+                stats::StdDev(arima_rmse));
+    std::printf("  (paper: medians comparable, ARIMA less stable -> "
+                "larger spread)\n");
+  }
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

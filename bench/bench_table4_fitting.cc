@@ -1,0 +1,152 @@
+// Reproduces Table IV: fitting quality (AIC, mean and SD) of Local
+// Level (LL), LL+Seasonality, LL+Intervention, the full LL+S+I model,
+// and the AIC-selected ARIMA baseline, over populations of disease,
+// medicine, and prescription time series, with the paper's paired
+// t-tests (LL+S+I vs the second-best structural variant).
+
+#include <cstdio>
+#include <string>
+
+#include "arima/arima.h"
+#include "bench/bench_util.h"
+#include "ssm/changepoint.h"
+#include "ssm/fit.h"
+#include "stats/metrics.h"
+
+namespace mic {
+namespace {
+
+struct AicColumns {
+  std::vector<double> ll;
+  std::vector<double> ll_s;
+  std::vector<double> ll_i;
+  std::vector<double> full;
+  std::vector<double> arima;
+  std::size_t changes_detected = 0;
+  std::size_t changes_detected_margin4 = 0;
+  std::size_t series_count = 0;
+};
+
+ssm::StructuralFitOptions FitOptions() {
+  ssm::StructuralFitOptions options;
+  options.optimizer.max_evaluations = 160;
+  return options;
+}
+
+AicColumns EvaluateSeries(const std::vector<std::vector<double>>& all) {
+  AicColumns columns;
+  for (const std::vector<double>& raw : all) {
+    std::vector<double> series = raw;
+    bench::NormalizeBySd(series);
+
+    ssm::StructuralSpec ll;
+    ssm::StructuralSpec ll_s;
+    ll_s.seasonal = true;
+    auto fit_ll = ssm::FitStructuralModel(series, ll, FitOptions());
+    auto fit_ll_s = ssm::FitStructuralModel(series, ll_s, FitOptions());
+    if (!fit_ll.ok() || !fit_ll_s.ok()) continue;
+
+    // LL+I / LL+S+I: the intervention point is chosen by the exact
+    // search; its AIC is the searched minimum (including the
+    // no-intervention fallback), as in the paper's pipeline.
+    ssm::ChangePointOptions plain;
+    plain.seasonal = false;
+    plain.fit = FitOptions();
+    ssm::ChangePointDetector detector_plain(series, plain);
+    auto result_plain = detector_plain.DetectExact();
+    ssm::ChangePointOptions seasonal;
+    seasonal.seasonal = true;
+    seasonal.fit = FitOptions();
+    ssm::ChangePointDetector detector_full(series, seasonal);
+    auto result_full = detector_full.DetectExact();
+    if (!result_plain.ok() || !result_full.ok()) continue;
+
+    auto arima = arima::SelectArima(series);
+    if (!arima.ok()) continue;
+
+    columns.ll.push_back(fit_ll->aic);
+    columns.ll_s.push_back(fit_ll_s->aic);
+    columns.ll_i.push_back(result_plain->best_aic);
+    columns.full.push_back(result_full->best_aic);
+    columns.arima.push_back(arima->aic);
+    if (result_full->has_change) ++columns.changes_detected;
+    if (result_full->has_change &&
+        result_full->best_aic <=
+            result_full->aic_without_intervention - 4.0) {
+      ++columns.changes_detected_margin4;
+    }
+    ++columns.series_count;
+  }
+  return columns;
+}
+
+void PrintColumns(const char* type, const AicColumns& columns) {
+  std::printf("\n%s time series (n = %zu):\n", type, columns.series_count);
+  const struct {
+    const char* label;
+    const std::vector<double>* values;
+  } rows[] = {{"Local Level (LL)", &columns.ll},
+              {"LL + Seasonality (S)", &columns.ll_s},
+              {"LL + Intervention (I)", &columns.ll_i},
+              {"LL + S + I (proposed)", &columns.full},
+              {"ARIMA", &columns.arima}};
+  for (const auto& row : rows) {
+    std::printf("  %-24s %9.3f (%.3f)\n", row.label,
+                stats::Mean(*row.values), stats::StdDev(*row.values));
+  }
+  auto test = stats::PairedTTest(columns.full, columns.ll_s);
+  if (test.ok()) {
+    std::printf(
+        "  LL+S+I vs LL+S: t(%d) = %.3f, p = %.4g, Cohen's d = %.3f\n",
+        test->degrees_of_freedom, test->t_statistic, test->p_value,
+        test->cohens_d);
+  }
+  const double denom =
+      columns.series_count == 0
+          ? 1.0
+          : static_cast<double>(columns.series_count);
+  std::printf(
+      "  change points detected: %zu / %zu (%.1f%%) at plain AIC;"
+      " %zu (%.1f%%) with evidence margin 4\n",
+      columns.changes_detected, columns.series_count,
+      100.0 * static_cast<double>(columns.changes_detected) / denom,
+      columns.changes_detected_margin4,
+      100.0 * static_cast<double>(columns.changes_detected_margin4) /
+          denom);
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader("Table IV: fitting quality (AIC) by model variant");
+  std::printf(
+      "paper reports (disease/medicine/prescription means): LL 326/277/119,\n"
+      "LL+S 254/218/104, LL+I 317/269/108, LL+S+I 245/208/92, ARIMA\n"
+      "286/242/88; LL+S+I significantly beats LL+S; changes detected for\n"
+      "12%%/28%%/10%% of disease/medicine/prescription series.\n"
+      "(Absolute AIC levels depend on series scaling; the ORDERING of the\n"
+      "variants is the reproduced claim.)\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale);
+  const std::uint64_t sample_seed = scale.seed ^ 0x7ab1e4;
+
+  const auto diseases = bench::SampleSeries(
+      bench::CollectDiseaseSeries(data.series), scale.max_series_per_type,
+      sample_seed);
+  const auto medicines = bench::SampleSeries(
+      bench::CollectMedicineSeries(data.series), scale.max_series_per_type,
+      sample_seed + 1);
+  const auto prescriptions = bench::SampleSeries(
+      bench::CollectPrescriptionSeries(data.series),
+      scale.max_series_per_type, sample_seed + 2);
+
+  PrintColumns("Disease", EvaluateSeries(diseases));
+  PrintColumns("Medicine", EvaluateSeries(medicines));
+  PrintColumns("Prescription", EvaluateSeries(prescriptions));
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

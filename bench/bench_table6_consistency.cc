@@ -1,0 +1,121 @@
+// Reproduces Table VI: agreement between the exact (Algorithm 1) and
+// approximate (Algorithm 2) change point detectors — the positive/
+// negative confusion matrix, the false-negative rate, Cohen's kappa,
+// and the RMSE between the change points both algorithms detect.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ssm/changepoint.h"
+#include "stats/metrics.h"
+
+namespace mic {
+namespace {
+
+struct ConsistencyRow {
+  stats::BinaryConfusion confusion;
+  // Squared month error over exact-positive cases the approximate
+  // algorithm also flags.
+  double squared_error = 0.0;
+  std::size_t matched_positives = 0;
+};
+
+ssm::StructuralFitOptions FitOptions() {
+  ssm::StructuralFitOptions options;
+  options.optimizer.max_evaluations = 160;
+  return options;
+}
+
+ConsistencyRow Measure(const std::vector<std::vector<double>>& all) {
+  ConsistencyRow row;
+  for (const std::vector<double>& raw : all) {
+    std::vector<double> series = raw;
+    bench::NormalizeBySd(series);
+    ssm::ChangePointOptions options;
+    options.seasonal = true;
+    options.fit = FitOptions();
+    // One detector instance: the exact sweep fills the AIC cache, and
+    // the approximate run replays deterministically from it, exactly as
+    // the two algorithms would behave independently.
+    ssm::ChangePointDetector detector(series, options);
+    auto exact = detector.DetectExact();
+    auto approximate = detector.DetectApproximate();
+    if (!exact.ok() || !approximate.ok()) continue;
+    row.confusion.Add(exact->has_change, approximate->has_change);
+    if (exact->has_change && approximate->has_change) {
+      const double diff = static_cast<double>(exact->change_point -
+                                              approximate->change_point);
+      row.squared_error += diff * diff;
+      ++row.matched_positives;
+    }
+  }
+  return row;
+}
+
+void PrintRow(const char* type, const ConsistencyRow& row) {
+  const auto& confusion = row.confusion;
+  std::printf("\n%s time series (n = %llu):\n", type,
+              static_cast<unsigned long long>(confusion.Total()));
+  std::printf("                      approx pos   approx neg\n");
+  std::printf("  exact pos       %10llu %12llu\n",
+              static_cast<unsigned long long>(confusion.both_positive),
+              static_cast<unsigned long long>(confusion.only_first));
+  std::printf("  exact neg       %10llu %12llu\n",
+              static_cast<unsigned long long>(confusion.only_second),
+              static_cast<unsigned long long>(confusion.both_negative));
+  const std::uint64_t exact_positives =
+      confusion.both_positive + confusion.only_first;
+  const double false_negative_rate =
+      exact_positives == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(confusion.only_first) /
+                static_cast<double>(exact_positives);
+  std::printf("  false-negative rate: %.3f%%   false positives: %llu\n",
+              false_negative_rate,
+              static_cast<unsigned long long>(confusion.only_second));
+  auto kappa = stats::CohensKappa(confusion);
+  if (kappa.ok()) {
+    std::printf("  Cohen's kappa: %.3f\n", *kappa);
+  }
+  if (row.matched_positives > 0) {
+    std::printf("  change point RMSE (both-positive, months): %.3f\n",
+                std::sqrt(row.squared_error /
+                          static_cast<double>(row.matched_positives)));
+  }
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader(
+      "Table VI: exact vs approximate change point consistency");
+  std::printf(
+      "paper reports: zero false positives for every type (a structural\n"
+      "property of Algorithm 2's final AIC comparison), false-negative\n"
+      "rates 8.6%%/7.3%%/9.8%%, kappa ~0.94-0.95, and change point RMSE\n"
+      "3.9/7.2/4.5 months for disease/medicine/prescription series.\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale);
+  const std::uint64_t sample_seed = scale.seed ^ 0x7ab1e6;
+  const std::size_t cap = std::max<std::size_t>(
+      10, scale.max_series_per_type / 2);
+
+  PrintRow("Disease",
+           Measure(bench::SampleSeries(
+               bench::CollectDiseaseSeries(data.series), cap, sample_seed)));
+  PrintRow("Medicine",
+           Measure(bench::SampleSeries(
+               bench::CollectMedicineSeries(data.series), cap,
+               sample_seed + 1)));
+  PrintRow("Prescription",
+           Measure(bench::SampleSeries(
+               bench::CollectPrescriptionSeries(data.series), cap,
+               sample_seed + 2)));
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

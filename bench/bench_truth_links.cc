@@ -1,0 +1,131 @@
+// Truth-grounded evaluation of prescription link prediction — the
+// experiment the paper could NOT run, because true links do not exist in
+// real MIC data. The simulator records the causing disease of every
+// prescription, so the reproduced per-pair series can be scored exactly:
+//
+//   - per-pair series RMSE and total-count error, proposed vs
+//     cooccurrence counting;
+//   - ablation of the temporal-coupling extension (prior_strength).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "medmodel/timeseries.h"
+#include "stats/metrics.h"
+
+namespace mic {
+namespace {
+
+struct LinkAccuracy {
+  /// Mean RMSE between reproduced and true pair series.
+  double mean_series_rmse = 0.0;
+  /// Total absolute error of pair totals, normalized by true mass.
+  double relative_total_error = 0.0;
+  std::size_t pairs_scored = 0;
+};
+
+LinkAccuracy Score(const bench::BenchData& data,
+                   const medmodel::SeriesSet& series) {
+  LinkAccuracy accuracy;
+  double absolute_error = 0.0;
+  double true_mass = 0.0;
+  double rmse_sum = 0.0;
+  data.generated.truth.ForEachPair(
+      [&](DiseaseId d, MedicineId m,
+          const std::vector<std::uint32_t>& true_counts) {
+        double pair_total = 0.0;
+        for (std::uint32_t count : true_counts) {
+          pair_total += static_cast<double>(count);
+        }
+        if (pair_total < 20.0) return;  // Score substantial pairs.
+        const std::vector<double> reproduced = series.Prescription(d, m);
+        std::vector<double> truth(true_counts.size());
+        for (std::size_t t = 0; t < true_counts.size(); ++t) {
+          truth[t] = static_cast<double>(true_counts[t]);
+        }
+        auto rmse = stats::Rmse(reproduced, truth);
+        if (!rmse.ok()) return;
+        rmse_sum += *rmse;
+        double reproduced_total = 0.0;
+        for (double value : reproduced) reproduced_total += value;
+        absolute_error += std::fabs(reproduced_total - pair_total);
+        true_mass += pair_total;
+        ++accuracy.pairs_scored;
+      });
+  if (accuracy.pairs_scored > 0) {
+    accuracy.mean_series_rmse =
+        rmse_sum / static_cast<double>(accuracy.pairs_scored);
+  }
+  if (true_mass > 0.0) {
+    accuracy.relative_total_error = absolute_error / true_mass;
+  }
+  return accuracy;
+}
+
+medmodel::ReproducerOptions BaseOptions() {
+  medmodel::ReproducerOptions options;
+  options.min_series_total = 0.0;
+  return options;
+}
+
+}  // namespace
+
+int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader(
+      "Truth-grounded link prediction accuracy (beyond the paper)");
+  std::printf(
+      "Real MIC data has no ground-truth links (the paper evaluated by\n"
+      "proxy: held-out perplexity and package-insert relevance). The\n"
+      "simulator records every prescription's causing disease, so the\n"
+      "reproduced pair series can be scored exactly.\n\n");
+
+  bench::BenchData data = bench::BuildBenchData(scale, 0.0);
+
+  struct Row {
+    const char* label;
+    medmodel::ReproducerOptions options;
+  };
+  std::vector<Row> rows;
+  {
+    Row proposed{"proposed (paper)", BaseOptions()};
+    rows.push_back(proposed);
+    Row cooccurrence{"cooccurrence", BaseOptions()};
+    cooccurrence.options.model_kind =
+        medmodel::LinkModelKind::kCooccurrence;
+    rows.push_back(cooccurrence);
+    Row coupled10{"proposed + coupling 10", BaseOptions()};
+    coupled10.options.model_options.prior_strength = 10.0;
+    rows.push_back(coupled10);
+    Row coupled100{"proposed + coupling 100", BaseOptions()};
+    coupled100.options.model_options.prior_strength = 100.0;
+    rows.push_back(coupled100);
+  }
+
+  std::printf("  %-26s %16s %22s\n", "link model", "mean series RMSE",
+              "relative total error");
+  for (const Row& row : rows) {
+    auto series = medmodel::ReproduceSeries(data.generated.corpus,
+                                            row.options);
+    if (!series.ok()) {
+      std::printf("  %-26s (failed: %s)\n", row.label,
+                  series.status().ToString().c_str());
+      continue;
+    }
+    const LinkAccuracy accuracy = Score(data, *series);
+    std::printf("  %-26s %16.3f %21.1f%%  (%zu pairs)\n", row.label,
+                accuracy.mean_series_rmse,
+                100.0 * accuracy.relative_total_error,
+                accuracy.pairs_scored);
+  }
+  std::printf(
+      "\n(cooccurrence counting inflates every pair that merely shares\n"
+      "records; the latent model's totals should sit close to truth, and\n"
+      "mild temporal coupling should help by stabilizing sparse months.)\n");
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Run(); }

@@ -1,0 +1,176 @@
+// Shared infrastructure for the experiment-reproduction binaries: the
+// benchmark world, series sampling, and table formatting.
+//
+// Every bench binary prints the rows/series of one paper table or
+// figure, next to the values the paper reports, so EXPERIMENTS.md can
+// record paper-vs-measured directly from the output.
+//
+// Scale knobs (environment variables, all optional):
+//   MICTREND_BENCH_PATIENTS     world size (default 2000)
+//   MICTREND_BENCH_BACKGROUND   background diseases (default 40)
+//   MICTREND_BENCH_MAX_SERIES   per-type series cap for the fitting
+//                               experiments (default 60)
+//   MICTREND_BENCH_SEED         world/generator seed (default 20190411)
+
+#ifndef MICTREND_BENCH_BENCH_UTIL_H_
+#define MICTREND_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "medmodel/timeseries.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+namespace mic::bench {
+
+inline std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+struct BenchScale {
+  std::size_t patients = 2000;
+  std::size_t background_diseases = 40;
+  std::size_t max_series_per_type = 60;
+  std::uint64_t seed = 20190411;
+
+  static BenchScale FromEnv() {
+    BenchScale scale;
+    scale.patients = static_cast<std::size_t>(
+        EnvInt("MICTREND_BENCH_PATIENTS", 2000));
+    scale.background_diseases = static_cast<std::size_t>(
+        EnvInt("MICTREND_BENCH_BACKGROUND", 40));
+    scale.max_series_per_type = static_cast<std::size_t>(
+        EnvInt("MICTREND_BENCH_MAX_SERIES", 60));
+    scale.seed =
+        static_cast<std::uint64_t>(EnvInt("MICTREND_BENCH_SEED", 20190411));
+    return scale;
+  }
+};
+
+/// The benchmark world + generated data + reproduced series, built once
+/// per binary.
+struct BenchData {
+  synth::World world;
+  synth::GeneratedData generated;
+  medmodel::SeriesSet series;
+};
+
+inline BenchData BuildBenchData(const BenchScale& scale,
+                                double min_series_total = 10.0) {
+  synth::PaperWorldOptions options;
+  options.num_months = 43;
+  options.seed = scale.seed;
+  options.num_patients = scale.patients;
+  options.num_background_diseases = scale.background_diseases;
+  auto world = synth::MakePaperWorld(options);
+  MIC_CHECK(world.ok()) << world.status();
+
+  synth::ClaimGenerator generator(&*world);
+  auto generated = generator.Generate();
+  MIC_CHECK(generated.ok()) << generated.status();
+
+  medmodel::ReproducerOptions reproducer;
+  reproducer.filter_options.min_disease_count = 5;
+  reproducer.filter_options.min_medicine_count = 5;
+  reproducer.min_series_total = min_series_total;
+  auto series = medmodel::ReproduceSeries(generated->corpus, reproducer);
+  MIC_CHECK(series.ok()) << series.status();
+
+  return BenchData{std::move(world).value(),
+                   std::move(generated).value(),
+                   std::move(series).value()};
+}
+
+/// Normalizes a series by its sample SD (the trend pipeline convention);
+/// returns the scale used.
+inline double NormalizeBySd(std::vector<double>& series) {
+  double mean = 0.0;
+  for (double value : series) mean += value;
+  mean /= static_cast<double>(series.size());
+  double variance = 0.0;
+  for (double value : series) {
+    variance += (value - mean) * (value - mean);
+  }
+  variance /= static_cast<double>(series.size() - 1);
+  const double sd = variance > 0.0 ? std::sqrt(variance) : 1.0;
+  if (sd > 0.0) {
+    for (double& value : series) value /= sd;
+  }
+  return sd;
+}
+
+/// Deterministically samples at most `cap` of the given series,
+/// preferring higher-volume ones (stable across runs for a fixed seed).
+inline std::vector<std::vector<double>> SampleSeries(
+    std::vector<std::vector<double>> all, std::size_t cap,
+    std::uint64_t seed) {
+  if (all.size() <= cap) return all;
+  // Shuffle deterministically, then take `cap`: a representative sample
+  // rather than only the largest series.
+  Rng rng(seed);
+  rng.Shuffle(all);
+  all.resize(cap);
+  return all;
+}
+
+/// Collects every series of one type from a SeriesSet.
+inline std::vector<std::vector<double>> CollectDiseaseSeries(
+    const medmodel::SeriesSet& set) {
+  std::vector<std::vector<double>> out;
+  set.ForEachDisease([&out](DiseaseId, const std::vector<double>& series) {
+    out.push_back(series);
+  });
+  return out;
+}
+
+inline std::vector<std::vector<double>> CollectMedicineSeries(
+    const medmodel::SeriesSet& set) {
+  std::vector<std::vector<double>> out;
+  set.ForEachMedicine([&out](MedicineId, const std::vector<double>& series) {
+    out.push_back(series);
+  });
+  return out;
+}
+
+inline std::vector<std::vector<double>> CollectPrescriptionSeries(
+    const medmodel::SeriesSet& set) {
+  std::vector<std::vector<double>> out;
+  set.ForEachPair([&out](DiseaseId, MedicineId,
+                         const std::vector<double>& series) {
+    out.push_back(series);
+  });
+  return out;
+}
+
+/// Prints a monthly series as one compact row.
+inline void PrintSeries(const char* label,
+                        const std::vector<double>& series) {
+  std::printf("%-28s", label);
+  for (double value : series) std::printf(" %7.1f", value);
+  std::printf("\n");
+}
+
+inline void PrintRule(char fill = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(fill);
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+}  // namespace mic::bench
+
+#endif  // MICTREND_BENCH_BENCH_UTIL_H_

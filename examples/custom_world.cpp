@@ -1,0 +1,113 @@
+// Defining a custom synthetic world from a configuration file and
+// running the full pipeline on it — the workflow for experimenting with
+// claim dynamics the built-in scenarios do not cover.
+//
+// The same configuration format drives `mictrend generate --world`.
+
+#include <cstdio>
+#include <sstream>
+
+#include "ssm/decompose.h"
+#include "synth/generator.h"
+#include "synth/world_io.h"
+#include "trend/pipeline.h"
+
+int main() {
+  using namespace mic;
+
+  // A compact world: one seasonal disease, one chronic disease whose
+  // medicine loses favor mid-window, and one late-released competitor.
+  const char* world_text = R"(
+config,months=36,start_month=0,seed=424242
+hospitals,count=8,small=0.6,medium=0.3,large=0.1
+patients,count=600,visit=0.45,boost=0.3,acute=1.6
+
+city,east,weight=1.0
+city,west,weight=1.0
+
+disease,winter-flu,weight=1.6,amplitude=1.0,peak=0,sharpness=2.5,intensity=1.0
+# A stable background condition keeps the acute-draw denominator sane;
+# without it, summer records would draw ALL their acute mentions from
+# the one remaining disease.
+disease,back-pain,weight=1.2,intensity=1.0
+disease,chronic-gout,weight=0.02,chronic=0.3,intensity=0.9
+
+medicine,flu-remedy,indication=winter-flu:1.0
+medicine,pain-gel,indication=back-pain:1.0
+medicine,gout-classic,propensity=1.4,indication=chronic-gout:1.0,propensity_event=18:0.35:4
+medicine,gout-next,release=18,propensity=1.4,indication=chronic-gout:1.0,propensity_event=0:0.2:0,propensity_event=18:1.0:16,city_delay=west:6
+)";
+
+  std::istringstream in(world_text);
+  auto config = synth::ReadWorldConfig(in);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  auto world = synth::World::Create(*config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu records over %zu months\n",
+              data->corpus.TotalRecords(), data->corpus.num_months());
+
+  trend::PipelineOptions options;
+  options.reproducer.min_series_total = 20.0;
+  options.analyzer.use_approximate = false;
+  auto result = trend::RunPipeline(data->corpus, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const Catalog& catalog = data->corpus.catalog();
+  std::printf("\ndetected medicine-level changes (gout-classic should "
+              "decline, gout-next rise around month 18):\n");
+  for (const trend::SeriesAnalysis& analysis : result->report.medicines) {
+    if (!analysis.has_change) continue;
+    std::printf("  %-14s month %2d  lambda %+7.2f/mo\n",
+                catalog.medicines().Name(analysis.medicine).c_str(),
+                analysis.change_point, analysis.lambda);
+  }
+
+  // Decompose the seasonal disease to show the seasonal component.
+  const auto flu_series = result->series.Disease(
+      *catalog.diseases().Lookup("winter-flu"));
+  std::vector<double> normalized = flu_series;
+  double sd = 0.0;
+  {
+    double mean = 0.0;
+    for (double value : flu_series) mean += value;
+    mean /= static_cast<double>(flu_series.size());
+    for (double value : flu_series) {
+      sd += (value - mean) * (value - mean);
+    }
+    sd = std::sqrt(sd / static_cast<double>(flu_series.size() - 1));
+    for (double& value : normalized) value /= sd;
+  }
+  ssm::StructuralSpec spec;
+  spec.seasonal = true;
+  auto fitted = ssm::FitStructuralModel(normalized, spec);
+  if (fitted.ok()) {
+    auto decomposition = ssm::Decompose(*fitted, normalized);
+    if (decomposition.ok()) {
+      std::printf("\nwinter-flu seasonal component (first 12 months, "
+                  "original units):\n ");
+      for (int t = 0; t < 12; ++t) {
+        std::printf(" %7.1f", decomposition->seasonal[t] * sd);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

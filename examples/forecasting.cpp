@@ -1,0 +1,115 @@
+// Forecasting future prescriptions (paper §VIII-B2 / Fig. 9): fit the
+// structural model (with AIC change point search) and the ARIMA
+// baseline on a training window and compare their 12-month-ahead
+// forecasts on a seasonal disease series. Also demonstrates CSV
+// round-tripping of a corpus.
+
+#include <cstdio>
+#include <sstream>
+
+#include "arima/arima.h"
+#include "medmodel/timeseries.h"
+#include "mic/io.h"
+#include "ssm/changepoint.h"
+#include "ssm/fit.h"
+#include "stats/metrics.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace mic;
+
+  synth::PaperWorldOptions options;
+  options.num_months = 43;
+  options.num_patients = 900;
+  options.num_background_diseases = 0;
+  auto world = synth::MakePaperWorld(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  // Demonstrate corpus IO: serialize and re-parse one month's records.
+  {
+    std::ostringstream out;
+    if (Status status = WriteCorpusCsv(data->corpus, out); !status.ok()) {
+      std::fprintf(stderr, "csv: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::istringstream in(out.str());
+    auto round_trip = ReadCorpusCsv(in);
+    if (!round_trip.ok()) {
+      std::fprintf(stderr, "csv parse: %s\n",
+                   round_trip.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("CSV round trip: %zu records -> %zu records\n",
+                data->corpus.TotalRecords(), round_trip->TotalRecords());
+  }
+
+  auto series_set = medmodel::ReproduceSeries(data->corpus);
+  if (!series_set.ok()) {
+    std::fprintf(stderr, "series: %s\n",
+                 series_set.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> series = series_set->Disease(
+      *world->FindDisease(synth::names::kInfluenza));
+
+  constexpr int kTrain = 31;
+  constexpr int kHorizon = 12;
+  const std::vector<double> train(series.begin(), series.begin() + kTrain);
+  const std::vector<double> actual(series.begin() + kTrain,
+                                   series.begin() + kTrain + kHorizon);
+
+  // Proposed: LL+S+I, change point searched on the training window.
+  ssm::ChangePointOptions detector_options;
+  detector_options.seasonal = true;
+  detector_options.aic_margin = 4.0;
+  detector_options.min_tail_observations = 4;
+  ssm::ChangePointDetector detector(train, detector_options);
+  auto detected = detector.DetectExact();
+  if (!detected.ok()) {
+    std::fprintf(stderr, "detect: %s\n",
+                 detected.status().ToString().c_str());
+    return 1;
+  }
+  auto structural =
+      ssm::ForecastStructural(detected->best_model, train, kHorizon);
+
+  // Baseline: AIC-selected ARIMA.
+  auto arima_model = arima::SelectArima(train);
+  Result<std::vector<double>> arima_forecast =
+      Status::NotFound("ARIMA not fitted");
+  if (arima_model.ok()) {
+    arima_forecast = arima::ForecastArima(*arima_model, train, kHorizon);
+  }
+
+  std::printf("\ninfluenza: last 12 months actual vs forecasts\n");
+  std::printf("%-10s %10s %12s %10s\n", "month", "actual", "structural",
+              "ARIMA");
+  for (int h = 0; h < kHorizon; ++h) {
+    std::printf("%-10d %10.1f %12.1f %10.1f\n", kTrain + h, actual[h],
+                structural.ok() ? structural->mean[h] : 0.0,
+                arima_forecast.ok() ? (*arima_forecast)[h] : 0.0);
+  }
+  if (structural.ok()) {
+    std::printf("\nstructural RMSE: %.1f\n",
+                *stats::Rmse(structural->mean, actual));
+  }
+  if (arima_forecast.ok() && arima_model.ok()) {
+    std::printf("ARIMA(%d,%d,%d) RMSE: %.1f\n", arima_model->order.p,
+                arima_model->order.d, arima_model->order.q,
+                *stats::Rmse(*arima_forecast, actual));
+  }
+  std::printf("\n(the structural model carries the 12-month seasonal into\n"
+              "the forecast; low-order ARIMA cannot — paper Fig. 9)\n");
+  return 0;
+}

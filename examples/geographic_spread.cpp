@@ -1,0 +1,74 @@
+// Geographical prescription spread (paper §VII-B): per-city medication
+// models track how generic medicines displace an original drug city by
+// city after their release — the analysis a payer would run to find
+// areas where generics should be encouraged.
+
+#include <cstdio>
+
+#include "apps/geo_spread.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+int main() {
+  using namespace mic;
+
+  synth::PaperWorldOptions options;
+  options.num_months = 43;
+  options.num_patients = 900;
+  options.num_background_diseases = 0;
+  auto world = synth::MakePaperWorld(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  const Catalog& catalog = data->corpus.catalog();
+  const std::vector<const char*> names = {
+      synth::names::kAntiPlateletOriginal,
+      synth::names::kAntiPlateletGeneric1,
+      synth::names::kAntiPlateletGeneric2,
+      synth::names::kAntiPlateletGeneric3};
+  std::vector<MedicineId> group;
+  for (const char* name : names) {
+    group.push_back(*catalog.medicines().Lookup(name));
+  }
+
+  apps::GeoSpreadOptions geo;
+  geo.reproducer.min_series_total = 0.0;
+  geo.reproducer.filter_options.min_disease_count = 1;
+  geo.reproducer.filter_options.min_medicine_count = 1;
+  const int entry = synth::PaperWorldEvents::kGenericEntry;
+  geo.snapshot_months = {entry - 1, entry + 1, entry + 12};
+  auto report = apps::AnalyzeGeoSpread(data->corpus, group, geo);
+  if (!report.ok()) {
+    std::fprintf(stderr, "geo: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("generic share of the anti-platelet market by city\n");
+  std::printf("%-12s %22s %22s %22s\n", "city", "1 month before entry",
+              "1 month after entry", "1 year after entry");
+  for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+    const CityId city(c);
+    std::printf("%-12s", catalog.cities().Name(city).c_str());
+    for (std::size_t snapshot = 0; snapshot < 3; ++snapshot) {
+      double generic_share = 0.0;
+      for (std::size_t g = 1; g < group.size(); ++g) {
+        generic_share += report->Share(city, group[g], group, snapshot);
+      }
+      std::printf(" %21.1f%%", 100.0 * generic_share);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\ncities still dominated by the original one year after entry are\n"
+      "candidates for generic-promotion campaigns (paper Fig. 8).\n");
+  return 0;
+}

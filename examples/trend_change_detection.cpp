@@ -1,0 +1,86 @@
+// Temporal prescription change detection (paper §VII-A): the full
+// pipeline of Fig. 1 — claims -> medication model -> reproduced series
+// -> state space change detection -> cause classification.
+//
+// Prints every detected change with its attributed cause
+// (disease-derived / medicine-derived / prescription-derived).
+
+#include <cstdio>
+
+#include "medmodel/timeseries.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "trend/trend_analyzer.h"
+
+int main() {
+  using namespace mic;
+
+  synth::PaperWorldOptions options;
+  options.num_months = 43;
+  options.num_patients = 900;
+  options.num_background_diseases = 6;
+  auto world = synth::MakePaperWorld(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus: %zu records, %zu months\n",
+              data->corpus.TotalRecords(), data->corpus.num_months());
+
+  medmodel::ReproducerOptions reproducer;
+  reproducer.min_series_total = 30.0;  // Focus on substantial series.
+  auto series = medmodel::ReproduceSeries(data->corpus, reproducer);
+  if (!series.ok()) {
+    std::fprintf(stderr, "series: %s\n",
+                 series.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("series: %zu diseases, %zu medicines, %zu prescriptions\n",
+              series->num_diseases(), series->num_medicines(),
+              series->num_pairs());
+
+  trend::TrendAnalyzerOptions analyzer_options;
+  analyzer_options.use_approximate = true;  // Algorithm 2 for speed.
+  trend::TrendAnalyzer analyzer(analyzer_options);
+  auto report = analyzer.AnalyzeAll(*series);
+  if (!report.ok()) {
+    std::fprintf(stderr, "analyze: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const Catalog& catalog = data->corpus.catalog();
+  std::printf("\nchanges: %zu disease, %zu medicine, %zu prescription\n",
+              report->CountChanges(trend::SeriesKind::kDisease),
+              report->CountChanges(trend::SeriesKind::kMedicine),
+              report->CountChanges(trend::SeriesKind::kPrescription));
+
+  std::printf("\nmedicine-level changes:\n");
+  for (const trend::SeriesAnalysis& analysis : report->medicines) {
+    if (!analysis.has_change) continue;
+    std::printf("  %-28s month %2d  lambda %+7.2f/mo  (AIC %.1f vs %.1f)\n",
+                catalog.medicines().Name(analysis.medicine).c_str(),
+                analysis.change_point, analysis.lambda, analysis.aic,
+                analysis.aic_without_intervention);
+  }
+
+  std::printf("\nprescription-level changes with attributed cause:\n");
+  for (const trend::SeriesAnalysis& analysis : report->prescriptions) {
+    if (!analysis.has_change) continue;
+    const trend::ChangeCause cause =
+        analyzer.ClassifyPrescriptionChange(*report, analysis);
+    std::printf("  %-24s x %-24s month %2d  %s\n",
+                catalog.diseases().Name(analysis.disease).c_str(),
+                catalog.medicines().Name(analysis.medicine).c_str(),
+                analysis.change_point,
+                std::string(trend::ChangeCauseName(cause)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "apps/geo_spread.h"
+
+namespace mic::apps {
+
+double GeoSpreadReport::Count(CityId city, MedicineId medicine,
+                              std::size_t snapshot) const {
+  for (const GeoCell& cell : cells) {
+    if (cell.city == city && cell.medicine == medicine) {
+      return snapshot < cell.counts.size() ? cell.counts[snapshot] : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+double GeoSpreadReport::Share(CityId city, MedicineId medicine,
+                              const std::vector<MedicineId>& group,
+                              std::size_t snapshot) const {
+  double total = 0.0;
+  for (MedicineId member : group) total += Count(city, member, snapshot);
+  if (total <= 0.0) return 0.0;
+  return Count(city, medicine, snapshot) / total;
+}
+
+Result<GeoSpreadReport> AnalyzeGeoSpread(
+    const MicCorpus& corpus, const std::vector<MedicineId>& medicines,
+    const GeoSpreadOptions& options) {
+  if (medicines.empty()) {
+    return Status::InvalidArgument("no medicines requested");
+  }
+  if (options.snapshot_months.empty()) {
+    return Status::InvalidArgument("no snapshot months requested");
+  }
+  for (int month : options.snapshot_months) {
+    if (month < 0 || month >= static_cast<int>(corpus.num_months())) {
+      return Status::OutOfRange("snapshot month " + std::to_string(month) +
+                                " outside the corpus window");
+    }
+  }
+
+  GeoSpreadReport report;
+  report.snapshot_months = options.snapshot_months;
+
+  const Catalog& catalog = corpus.catalog();
+  for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+    const CityId city(c);
+    // Restrict to records whose hospital is in this city; the medication
+    // model is then fitted on the city's own claims (paper §VII-B).
+    MicCorpus city_corpus =
+        corpus.FilterByHospital([&catalog, city](HospitalId hospital) {
+          auto info = catalog.GetHospitalInfo(hospital);
+          return info.ok() && info->city == city;
+        });
+    if (city_corpus.TotalRecords() == 0) continue;
+
+    medmodel::ReproducerOptions reproducer = options.reproducer;
+    // City slices are small; keep every series.
+    reproducer.min_series_total = 0.0;
+    MIC_ASSIGN_OR_RETURN(medmodel::SeriesSet series,
+                         medmodel::ReproduceSeries(city_corpus, reproducer));
+
+    for (MedicineId medicine : medicines) {
+      const std::vector<double> medicine_series = series.Medicine(medicine);
+      GeoCell cell;
+      cell.city = city;
+      cell.medicine = medicine;
+      for (int month : options.snapshot_months) {
+        cell.counts.push_back(medicine_series[month]);
+      }
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+}  // namespace mic::apps

@@ -1,0 +1,56 @@
+// Geographical prescription spread analysis (§VII-B): the corpus is
+// split by the city of each record's hospital, the medication model is
+// fitted per city, and per-city prescription counts of a medicine group
+// (e.g. an original drug and its generics) are reported at snapshot
+// months — Fig. 8's maps as tables.
+
+#ifndef MICTREND_APPS_GEO_SPREAD_H_
+#define MICTREND_APPS_GEO_SPREAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "medmodel/timeseries.h"
+#include "mic/dataset.h"
+
+namespace mic::apps {
+
+struct GeoSpreadOptions {
+  medmodel::ReproducerOptions reproducer;
+  /// Months (0-based) at which shares are reported (the paper uses one
+  /// month before release, one month after, one year after).
+  std::vector<int> snapshot_months;
+};
+
+/// Counts for one (city, medicine) cell.
+struct GeoCell {
+  CityId city;
+  MedicineId medicine;
+  /// Estimated prescription count per snapshot month (aligned with
+  /// GeoSpreadOptions::snapshot_months).
+  std::vector<double> counts;
+};
+
+struct GeoSpreadReport {
+  std::vector<int> snapshot_months;
+  std::vector<GeoCell> cells;
+
+  /// Count for (city, medicine) at snapshot index; 0 when absent.
+  double Count(CityId city, MedicineId medicine,
+               std::size_t snapshot) const;
+  /// Share of `medicine` among `group` in `city` at snapshot index
+  /// (0 when the group total is 0).
+  double Share(CityId city, MedicineId medicine,
+               const std::vector<MedicineId>& group,
+               std::size_t snapshot) const;
+};
+
+/// Runs the per-city pipeline for the given medicines.
+Result<GeoSpreadReport> AnalyzeGeoSpread(
+    const MicCorpus& corpus, const std::vector<MedicineId>& medicines,
+    const GeoSpreadOptions& options);
+
+}  // namespace mic::apps
+
+#endif  // MICTREND_APPS_GEO_SPREAD_H_

@@ -1,0 +1,62 @@
+#include "apps/hospital_gap.h"
+
+#include <algorithm>
+
+namespace mic::apps {
+
+Result<HospitalGapReport> AnalyzeHospitalGap(
+    const MicCorpus& corpus, MedicineId medicine,
+    const HospitalGapOptions& options) {
+  HospitalGapReport report;
+  report.medicine = medicine;
+
+  const Catalog& catalog = corpus.catalog();
+  const HospitalClass classes[] = {HospitalClass::kSmall,
+                                   HospitalClass::kMedium,
+                                   HospitalClass::kLarge};
+  for (HospitalClass hospital_class : classes) {
+    MicCorpus class_corpus = corpus.FilterByHospital(
+        [&catalog, hospital_class](HospitalId hospital) {
+          auto info = catalog.GetHospitalInfo(hospital);
+          return info.ok() && ClassifyHospital(info->beds) == hospital_class;
+        });
+    HospitalClassRanking ranking;
+    ranking.hospital_class = hospital_class;
+    if (class_corpus.TotalRecords() > 0) {
+      medmodel::ReproducerOptions reproducer = options.reproducer;
+      reproducer.min_series_total = 0.0;
+      MIC_ASSIGN_OR_RETURN(
+          medmodel::SeriesSet series,
+          medmodel::ReproduceSeries(class_corpus, reproducer));
+
+      // Total prescriptions of the medicine per disease over the window.
+      std::vector<DiseaseShare> shares;
+      double total = 0.0;
+      series.ForEachPair([&](DiseaseId d, MedicineId m,
+                             const std::vector<double>& pair_series) {
+        if (!(m == medicine)) return;
+        double sum = 0.0;
+        for (double value : pair_series) sum += value;
+        if (sum <= 0.0) return;
+        shares.push_back({d, sum});
+        total += sum;
+      });
+      if (total > 0.0) {
+        for (DiseaseShare& share : shares) share.ratio /= total;
+        std::sort(shares.begin(), shares.end(),
+                  [](const DiseaseShare& a, const DiseaseShare& b) {
+                    return a.ratio > b.ratio;
+                  });
+        if (shares.size() > options.top_k) {
+          shares.resize(options.top_k);
+        }
+        ranking.top_diseases = std::move(shares);
+        ranking.total_prescriptions = total;
+      }
+    }
+    report.classes.push_back(std::move(ranking));
+  }
+  return report;
+}
+
+}  // namespace mic::apps

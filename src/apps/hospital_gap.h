@@ -1,0 +1,49 @@
+// Inter-hospital prescription gap analysis (§VII-C): hospitals are
+// grouped into small/medium/large bed-count classes, the medication
+// model is fitted per class, and for a target medicine the diseases it
+// is prescribed for are ranked by share — Table II.
+
+#ifndef MICTREND_APPS_HOSPITAL_GAP_H_
+#define MICTREND_APPS_HOSPITAL_GAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "medmodel/timeseries.h"
+#include "mic/dataset.h"
+
+namespace mic::apps {
+
+struct HospitalGapOptions {
+  medmodel::ReproducerOptions reproducer;
+  /// Number of top diseases reported per class (paper: 10).
+  std::size_t top_k = 10;
+};
+
+/// One ranked row: a disease and its share of the medicine's
+/// prescriptions within the hospital class.
+struct DiseaseShare {
+  DiseaseId disease;
+  double ratio = 0.0;  // in [0, 1]
+};
+
+struct HospitalClassRanking {
+  HospitalClass hospital_class;
+  std::vector<DiseaseShare> top_diseases;
+  /// Total estimated prescriptions of the medicine in this class.
+  double total_prescriptions = 0.0;
+};
+
+struct HospitalGapReport {
+  MedicineId medicine;
+  std::vector<HospitalClassRanking> classes;  // small, medium, large
+};
+
+/// Runs the per-class pipeline for `medicine`.
+Result<HospitalGapReport> AnalyzeHospitalGap(
+    const MicCorpus& corpus, MedicineId medicine,
+    const HospitalGapOptions& options = {});
+
+}  // namespace mic::apps
+
+#endif  // MICTREND_APPS_HOSPITAL_GAP_H_

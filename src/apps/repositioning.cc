@@ -1,0 +1,60 @@
+#include "apps/repositioning.h"
+
+#include <algorithm>
+
+namespace mic::apps {
+
+Result<std::vector<RepositioningCandidate>> ScreenRepositioningCandidates(
+    const medmodel::SeriesSet& series, const trend::TrendReport& report,
+    const trend::TrendAnalyzer& analyzer,
+    const RepositioningOptions& options) {
+  if (options.max_prior_share < 0.0 || options.max_prior_share > 1.0) {
+    return Status::InvalidArgument("max_prior_share must be in [0, 1]");
+  }
+
+  std::vector<RepositioningCandidate> candidates;
+  for (const trend::SeriesAnalysis& analysis : report.prescriptions) {
+    if (!analysis.has_change) continue;
+    if (analysis.lambda <= options.min_lambda) continue;
+    const double evidence =
+        analysis.aic_without_intervention - analysis.aic;
+    if (evidence < options.min_evidence) continue;
+    // New-indication signature: the prescription relationship itself
+    // changed, not the disease or medicine at large.
+    if (analyzer.ClassifyPrescriptionChange(report, analysis) !=
+        trend::ChangeCause::kPrescriptionDerived) {
+      continue;
+    }
+
+    const std::vector<double> pair_series =
+        series.Prescription(analysis.disease, analysis.medicine);
+    double total = 0.0;
+    double before = 0.0;
+    for (int t = 0; t < static_cast<int>(pair_series.size()); ++t) {
+      total += pair_series[t];
+      if (t < analysis.change_point) before += pair_series[t];
+    }
+    if (total <= 0.0) continue;
+    const double prior_share = before / total;
+    if (prior_share > options.max_prior_share) continue;
+
+    RepositioningCandidate candidate;
+    candidate.disease = analysis.disease;
+    candidate.medicine = analysis.medicine;
+    candidate.change_point = analysis.change_point;
+    candidate.lambda = analysis.lambda;
+    candidate.evidence = evidence;
+    candidate.prior_share = prior_share;
+    candidates.push_back(candidate);
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RepositioningCandidate& a,
+               const RepositioningCandidate& b) {
+              return a.evidence > b.evidence;
+            });
+  return candidates;
+}
+
+}  // namespace mic::apps
+

@@ -1,0 +1,57 @@
+// Clinically-based drug repositioning screening — the application the
+// paper's introduction motivates: "if new indications can be detected
+// early from the actual use of medicines in clinical practice, the
+// feasibility of clinically-based drug repositioning will be worth
+// exploring."
+//
+// A repositioning candidate is a (disease, medicine) pair whose
+// prescription series shows a PRESCRIPTION-DERIVED rising break (neither
+// the disease nor the medicine as a whole breaks nearby) starting from a
+// near-zero base — the new-indication signature of Fig. 7a.
+
+#ifndef MICTREND_APPS_REPOSITIONING_H_
+#define MICTREND_APPS_REPOSITIONING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "medmodel/timeseries.h"
+#include "trend/trend_analyzer.h"
+
+namespace mic::apps {
+
+struct RepositioningOptions {
+  /// Minimum criterion improvement (AIC_without - AIC_with) to rank on.
+  double min_evidence = 4.0;
+  /// The pair's prescription mass before the break, as a fraction of
+  /// its total mass, must be at most this ("new" use, not growth of an
+  /// established one).
+  double max_prior_share = 0.25;
+  /// Rising breaks only.
+  double min_lambda = 0.0;
+};
+
+struct RepositioningCandidate {
+  DiseaseId disease;
+  MedicineId medicine;
+  int change_point = 0;
+  /// Intervention slope (original units per month).
+  double lambda = 0.0;
+  /// AIC_without - AIC_with: larger = stronger break evidence.
+  double evidence = 0.0;
+  /// Fraction of the pair's mass observed before the break.
+  double prior_share = 0.0;
+};
+
+/// Screens an analyzed report for new-indication signatures. `report`
+/// must come from `analyzer.AnalyzeAll(series)` so the disease and
+/// medicine verdicts needed for cause attribution are present.
+/// Candidates are returned strongest-evidence first.
+Result<std::vector<RepositioningCandidate>> ScreenRepositioningCandidates(
+    const medmodel::SeriesSet& series, const trend::TrendReport& report,
+    const trend::TrendAnalyzer& analyzer,
+    const RepositioningOptions& options = {});
+
+}  // namespace mic::apps
+
+#endif  // MICTREND_APPS_REPOSITIONING_H_

@@ -1,0 +1,260 @@
+#include "arima/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/matrix.h"
+#include "ssm/kalman.h"
+#include "ssm/model.h"
+#include "stats/metrics.h"
+
+namespace mic::arima {
+namespace {
+
+constexpr double kLogTwoPi = 1.8378770664093453;
+
+std::vector<double> Difference(const std::vector<double>& series, int d) {
+  std::vector<double> out = series;
+  for (int round = 0; round < d; ++round) {
+    std::vector<double> next(out.size() - 1);
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      next[i] = out[i + 1] - out[i];
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+// Harvey state space form of ARMA(p, q) with unit innovation variance:
+//   state dim r = max(p, q+1)
+//   T = [phi | [I; 0]],  R = (1, theta_1, ..., theta_{r-1})', Z = e_1.
+Result<ssm::StateSpaceModel> BuildArmaModel(const std::vector<double>& ar,
+                                            const std::vector<double>& ma) {
+  const std::size_t p = ar.size();
+  const std::size_t q = ma.size();
+  const std::size_t r = std::max(p, q + 1);
+
+  ssm::StateSpaceModel model;
+  model.transition = la::Matrix(r, r);
+  for (std::size_t i = 0; i < p; ++i) model.transition(i, 0) = ar[i];
+  for (std::size_t i = 0; i + 1 < r; ++i) model.transition(i, i + 1) = 1.0;
+
+  model.selection = la::Matrix(r, 1);
+  model.selection(0, 0) = 1.0;
+  for (std::size_t i = 0; i < q; ++i) model.selection(i + 1, 0) = ma[i];
+
+  model.state_noise = la::Matrix(1, 1);
+  model.state_noise(0, 0) = 1.0;
+  model.observation = la::Vector(r);
+  model.observation[0] = 1.0;
+  model.observation_variance = 0.0;
+  model.initial_state = la::Vector(r);
+  model.num_diffuse = 0;
+
+  // Stationary initial covariance: solve vec(P) = (I - T (x) T)^-1
+  // vec(R R').
+  const la::Matrix rrt = model.selection * model.selection.Transpose();
+  const std::size_t rr = r * r;
+  la::Matrix system(rr, rr);
+  la::Matrix rhs(rr, 1);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      const std::size_t row = i * r + j;
+      rhs(row, 0) = rrt(i, j);
+      for (std::size_t k = 0; k < r; ++k) {
+        for (std::size_t l = 0; l < r; ++l) {
+          const std::size_t col = k * r + l;
+          const double value = model.transition(i, k) *
+                               model.transition(j, l);
+          system(row, col) = (row == col ? 1.0 : 0.0) - value;
+        }
+      }
+    }
+  }
+  MIC_ASSIGN_OR_RETURN(la::Matrix vec_p, la::Solve(system, rhs));
+  model.initial_covariance = la::Matrix(r, r);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      model.initial_covariance(i, j) = vec_p(i * r + j, 0);
+    }
+  }
+  model.initial_covariance.Symmetrize();
+  return model;
+}
+
+// Concentrated Gaussian log-likelihood of an ARMA model on `series`:
+// sigma^2 is profiled out as mean(v^2/F). Returns the log-likelihood and
+// the concentrated variance, or an error on numerical failure.
+struct ConcentratedLikelihood {
+  double log_likelihood;
+  double sigma2;
+};
+
+Result<ConcentratedLikelihood> ArmaLikelihood(
+    const std::vector<double>& ar, const std::vector<double>& ma,
+    const std::vector<double>& series) {
+  MIC_ASSIGN_OR_RETURN(ssm::StateSpaceModel model, BuildArmaModel(ar, ma));
+  MIC_ASSIGN_OR_RETURN(ssm::FilterResult filtered,
+                       ssm::RunFilter(model, series));
+  const std::size_t n = series.size();
+  double sum_squared = 0.0;
+  double sum_log_f = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double f = filtered.prediction_variances[t];
+    const double v = filtered.innovations[t];
+    if (!(f > 0.0) || !std::isfinite(f) || !std::isfinite(v)) {
+      return Status::NumericError("unstable ARMA filter");
+    }
+    sum_squared += v * v / f;
+    sum_log_f += std::log(f);
+  }
+  const double dn = static_cast<double>(n);
+  const double sigma2 = std::max(sum_squared / dn, 1e-300);
+  ConcentratedLikelihood result;
+  result.sigma2 = sigma2;
+  result.log_likelihood =
+      -0.5 * (dn * (kLogTwoPi + 1.0 + std::log(sigma2)) + sum_log_f);
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> PacfToCoefficients(const std::vector<double>& raw) {
+  // tanh keeps each partial autocorrelation in (-1, 1); Levinson-Durbin
+  // then yields a stationary AR (equivalently invertible MA) polynomial.
+  const std::size_t order = raw.size();
+  std::vector<double> coefficients(order, 0.0);
+  std::vector<double> previous(order, 0.0);
+  for (std::size_t k = 0; k < order; ++k) {
+    const double pac = std::tanh(raw[k]);
+    coefficients[k] = pac;
+    for (std::size_t j = 0; j < k; ++j) {
+      coefficients[j] = previous[j] - pac * previous[k - 1 - j];
+    }
+    previous = coefficients;
+  }
+  return coefficients;
+}
+
+Result<FittedArima> FitArima(const std::vector<double>& series,
+                             const ArimaOrder& order,
+                             const ArimaFitOptions& options) {
+  if (order.p < 0 || order.d < 0 || order.q < 0) {
+    return Status::InvalidArgument("negative ARIMA order");
+  }
+  if (static_cast<int>(series.size()) <= order.d) {
+    return Status::InvalidArgument("series shorter than differencing order");
+  }
+  std::vector<double> working = Difference(series, order.d);
+  const int r = std::max(order.p, order.q + 1);
+  if (static_cast<int>(working.size()) < r + 2) {
+    return Status::InvalidArgument("series too short for ARMA order");
+  }
+  const double mean = stats::Mean(working);
+  for (double& value : working) value -= mean;
+
+  const std::size_t dims =
+      static_cast<std::size_t>(order.p + order.q);
+
+  auto coefficients_from =
+      [&order](const std::vector<double>& point)
+      -> std::pair<std::vector<double>, std::vector<double>> {
+    std::vector<double> ar_raw(point.begin(), point.begin() + order.p);
+    std::vector<double> ma_raw(point.begin() + order.p, point.end());
+    return {PacfToCoefficients(ar_raw), PacfToCoefficients(ma_raw)};
+  };
+
+  FittedArima fitted;
+  fitted.order = order;
+  fitted.mean = mean;
+
+  if (dims == 0) {
+    MIC_ASSIGN_OR_RETURN(ConcentratedLikelihood likelihood,
+                         ArmaLikelihood({}, {}, working));
+    fitted.sigma2 = likelihood.sigma2;
+    fitted.log_likelihood = likelihood.log_likelihood;
+  } else {
+    auto objective = [&](const std::vector<double>& point) -> double {
+      for (double value : point) {
+        if (std::fabs(value) > 12.0) {
+          return std::numeric_limits<double>::infinity();
+        }
+      }
+      const auto [ar, ma] = coefficients_from(point);
+      auto likelihood = ArmaLikelihood(ar, ma, working);
+      if (!likelihood.ok()) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return -likelihood->log_likelihood;
+    };
+    std::vector<double> start(dims, 0.1);
+    MIC_ASSIGN_OR_RETURN(
+        ssm::NelderMeadResult optimum,
+        ssm::MinimizeNelderMead(objective, start, options.optimizer));
+    if (!std::isfinite(optimum.best_value)) {
+      return Status::NumericError("ARIMA likelihood optimization failed");
+    }
+    const auto [ar, ma] = coefficients_from(optimum.best_point);
+    fitted.ar = ar;
+    fitted.ma = ma;
+    MIC_ASSIGN_OR_RETURN(ConcentratedLikelihood likelihood,
+                         ArmaLikelihood(ar, ma, working));
+    fitted.sigma2 = likelihood.sigma2;
+    fitted.log_likelihood = likelihood.log_likelihood;
+  }
+
+  const int parameters = order.p + order.q + 2;  // + variance + mean
+  fitted.aic = -2.0 * fitted.log_likelihood +
+               2.0 * static_cast<double>(parameters);
+  return fitted;
+}
+
+Result<FittedArima> SelectArima(const std::vector<double>& series,
+                                const ArimaSelectionOptions& options) {
+  Result<FittedArima> best = Status::NotFound("no ARIMA order fitted");
+  for (int d = 0; d <= options.max_d; ++d) {
+    for (int p = 0; p <= options.max_p; ++p) {
+      for (int q = 0; q <= options.max_q; ++q) {
+        auto fitted = FitArima(series, {p, d, q}, options.fit);
+        if (!fitted.ok()) continue;
+        if (!best.ok() || fitted->aic < best->aic) {
+          best = std::move(fitted);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Result<std::vector<double>> ForecastArima(const FittedArima& model,
+                                          const std::vector<double>& series,
+                                          int horizon) {
+  if (horizon <= 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  std::vector<double> working = Difference(series, model.order.d);
+  for (double& value : working) value -= model.mean;
+
+  MIC_ASSIGN_OR_RETURN(ssm::StateSpaceModel arma,
+                       BuildArmaModel(model.ar, model.ma));
+  MIC_ASSIGN_OR_RETURN(ssm::ForecastResult differenced,
+                       ssm::ForecastAhead(arma, working, horizon));
+
+  std::vector<double> forecast(differenced.mean);
+  for (double& value : forecast) value += model.mean;
+  // Undo the d-fold differencing: at each level, the forecast of the
+  // less-differenced series is the cumulative sum anchored at that
+  // level's last observed value.
+  for (int level = model.order.d - 1; level >= 0; --level) {
+    const std::vector<double> anchor_series = Difference(series, level);
+    double last = anchor_series.back();
+    for (double& value : forecast) {
+      last += value;
+      value = last;
+    }
+  }
+  return forecast;
+}
+
+}  // namespace mic::arima

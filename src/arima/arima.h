@@ -1,0 +1,77 @@
+// ARIMA(p,d,q) baseline (§VIII-B), implemented on the same Kalman
+// machinery as the structural models: the d-times differenced,
+// mean-adjusted series is modeled as ARMA(p,q) in Harvey state space
+// form; coefficients are optimized through a partial-autocorrelation
+// transform that enforces stationarity/invertibility, and the innovation
+// variance is concentrated out of the likelihood. Orders are selected on
+// a (p <= 3, d <= 1, q <= 3) grid by AIC, as the paper specifies
+// ("optimal parameters by using AIC").
+
+#ifndef MICTREND_ARIMA_ARIMA_H_
+#define MICTREND_ARIMA_ARIMA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ssm/optimizer.h"
+
+namespace mic::arima {
+
+struct ArimaOrder {
+  int p = 0;
+  int d = 0;
+  int q = 0;
+
+  friend bool operator==(const ArimaOrder&, const ArimaOrder&) = default;
+};
+
+struct ArimaFitOptions {
+  ssm::NelderMeadOptions optimizer;
+};
+
+/// A fitted ARIMA model.
+struct FittedArima {
+  ArimaOrder order;
+  std::vector<double> ar;  // phi_1..phi_p
+  std::vector<double> ma;  // theta_1..theta_q
+  /// Mean of the differenced series (drift when d = 1).
+  double mean = 0.0;
+  /// Concentrated ML innovation variance.
+  double sigma2 = 1.0;
+  double log_likelihood = 0.0;
+  /// AIC = -2 logL + 2 (p + q + 2)  [+2 for variance and mean].
+  double aic = 0.0;
+};
+
+/// Fits a fixed order by maximum likelihood. Requires the differenced
+/// series to keep at least max(p, q+1) + 2 observations.
+Result<FittedArima> FitArima(const std::vector<double>& series,
+                             const ArimaOrder& order,
+                             const ArimaFitOptions& options = {});
+
+struct ArimaSelectionOptions {
+  int max_p = 3;
+  int max_d = 1;
+  int max_q = 3;
+  ArimaFitOptions fit;
+};
+
+/// Grid-searches orders and returns the AIC-best fit.
+Result<FittedArima> SelectArima(const std::vector<double>& series,
+                                const ArimaSelectionOptions& options = {});
+
+/// Mean forecasts `horizon` steps past the end of `series` (the series
+/// the model was fitted on), undoing differencing and mean adjustment.
+Result<std::vector<double>> ForecastArima(const FittedArima& model,
+                                          const std::vector<double>& series,
+                                          int horizon);
+
+/// Maps unconstrained optimizer coordinates to a stationary AR (or
+/// invertible MA) coefficient vector via tanh partial autocorrelations
+/// and the Levinson-Durbin recursion (Monahan's transform). Exposed for
+/// testing.
+std::vector<double> PacfToCoefficients(const std::vector<double>& raw);
+
+}  // namespace mic::arima
+
+#endif  // MICTREND_ARIMA_ARIMA_H_

@@ -1,0 +1,67 @@
+// Minimal leveled logging plus CHECK macros for invariant enforcement.
+//
+// CHECK failures abort: they indicate programmer error, never data error
+// (data errors travel through Status/Result).
+
+#ifndef MICTREND_COMMON_LOGGING_H_
+#define MICTREND_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mic {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mic
+
+#define MIC_LOG(level)                                                  \
+  ::mic::internal::LogMessage(::mic::LogLevel::k##level, __FILE__,      \
+                              __LINE__)                                 \
+      .stream()
+
+#define MIC_CHECK(condition)                                            \
+  if (!(condition))                                                     \
+  ::mic::internal::LogMessage(::mic::LogLevel::kError, __FILE__,        \
+                              __LINE__, /*fatal=*/true)                 \
+          .stream()                                                     \
+      << "Check failed: " #condition " "
+
+#define MIC_CHECK_OP(lhs, rhs, op) MIC_CHECK((lhs)op(rhs))
+#define MIC_CHECK_EQ(lhs, rhs) MIC_CHECK_OP(lhs, rhs, ==)
+#define MIC_CHECK_NE(lhs, rhs) MIC_CHECK_OP(lhs, rhs, !=)
+#define MIC_CHECK_LT(lhs, rhs) MIC_CHECK_OP(lhs, rhs, <)
+#define MIC_CHECK_LE(lhs, rhs) MIC_CHECK_OP(lhs, rhs, <=)
+#define MIC_CHECK_GT(lhs, rhs) MIC_CHECK_OP(lhs, rhs, >)
+#define MIC_CHECK_GE(lhs, rhs) MIC_CHECK_OP(lhs, rhs, >=)
+
+#define MIC_CHECK_OK(expr)                   \
+  do {                                       \
+    ::mic::Status _mic_s = (expr);           \
+    MIC_CHECK(_mic_s.ok()) << _mic_s;        \
+  } while (false)
+
+#endif  // MICTREND_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value. See status.h for the library's error-handling policy.
+
+#ifndef MICTREND_COMMON_RESULT_H_
+#define MICTREND_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mic {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<Model> result = Model::Fit(data);
+///   if (!result.ok()) return result.status();
+///   Model model = std::move(result).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so functions can
+  /// `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit so functions can
+  /// `return Status::...;`). Aborts if `status` is OK: an OK Result must
+  /// carry a value.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The held value. Aborts if this Result holds an error; call ok() first.
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: "
+                << std::get<Status>(rep_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace mic
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error to the caller.
+#define MIC_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  MIC_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MIC_RESULT_CONCAT_(_mic_result, __COUNTER__), lhs, rexpr)
+
+#define MIC_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define MIC_RESULT_CONCAT_INNER_(a, b) a##b
+#define MIC_RESULT_CONCAT_(a, b) MIC_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // MICTREND_COMMON_RESULT_H_

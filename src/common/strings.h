@@ -1,0 +1,37 @@
+// Small string helpers shared across modules (CSV parsing, formatting).
+
+#ifndef MICTREND_COMMON_STRINGS_H_
+#define MICTREND_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mic {
+
+/// Splits `text` on `delim`. Empty fields are preserved; an empty input
+/// yields a single empty field.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Parses a base-10 integer; the whole field must be consumed.
+Result<std::int64_t> ParseInt64(std::string_view text);
+
+/// Parses a floating-point number; the whole field must be consumed.
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mic
+
+#endif  // MICTREND_COMMON_STRINGS_H_

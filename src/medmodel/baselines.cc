@@ -1,0 +1,103 @@
+#include "medmodel/baselines.h"
+
+namespace mic::medmodel {
+
+Result<std::unique_ptr<CooccurrenceModel>> CooccurrenceModel::Fit(
+    const MonthlyDataset& month, const BaselineOptions& options) {
+  if (options.smoothing < 0.0 || options.smoothing >= 1.0) {
+    return Status::InvalidArgument("smoothing must be in [0, 1)");
+  }
+  auto model =
+      std::unique_ptr<CooccurrenceModel>(new CooccurrenceModel());
+
+  std::unordered_map<MedicineId, bool> medicine_seen;
+  for (const MicRecord& record : month.records()) {
+    for (const auto& medicine : record.medicines) {
+      medicine_seen[medicine.id] = true;
+      for (const auto& disease : record.diseases) {
+        // Cooc_r(d, m): multiplicity-weighted record-level cooccurrence.
+        const double cooccurrence =
+            static_cast<double>(disease.count) *
+            static_cast<double>(medicine.count);
+        model->phi_[disease.id][medicine.id] += cooccurrence;
+        model->cooccurrence_counts_.Add(disease.id, medicine.id,
+                                        cooccurrence);
+      }
+    }
+  }
+  model->num_medicines_ = medicine_seen.size();
+  if (model->phi_.empty() || model->num_medicines_ == 0) {
+    return Status::InvalidArgument("month has no cooccurring pairs");
+  }
+
+  const double keep = 1.0 - options.smoothing;
+  model->smoothing_floor_ =
+      options.smoothing / static_cast<double>(model->num_medicines_);
+  for (auto& [disease, row] : model->phi_) {
+    double total = 0.0;
+    for (const auto& [medicine, value] : row) total += value;
+    for (auto& [medicine, value] : row) value = keep * value / total;
+  }
+  return model;
+}
+
+double CooccurrenceModel::Phi(DiseaseId d, MedicineId m) const {
+  auto row = phi_.find(d);
+  if (row == phi_.end()) return 0.0;
+  auto it = row->second.find(m);
+  const double base = it == row->second.end() ? 0.0 : it->second;
+  return base + smoothing_floor_;
+}
+
+double CooccurrenceModel::PredictiveProbability(const MicRecord& record,
+                                                MedicineId m) const {
+  const double n_r = static_cast<double>(record.TotalDiseaseMentions());
+  if (n_r == 0.0) return 0.0;
+  double probability = 0.0;
+  for (const auto& entry : record.diseases) {
+    const double theta = static_cast<double>(entry.count) / n_r;
+    probability += theta * Phi(entry.id, m);
+  }
+  return probability;
+}
+
+Result<std::unique_ptr<UnigramModel>> UnigramModel::Fit(
+    const MonthlyDataset& month, const BaselineOptions& options) {
+  if (options.smoothing < 0.0 || options.smoothing >= 1.0) {
+    return Status::InvalidArgument("smoothing must be in [0, 1)");
+  }
+  auto model = std::unique_ptr<UnigramModel>(new UnigramModel());
+  double total = 0.0;
+  for (const MicRecord& record : month.records()) {
+    for (const auto& medicine : record.medicines) {
+      model->probabilities_[medicine.id] +=
+          static_cast<double>(medicine.count);
+      total += static_cast<double>(medicine.count);
+    }
+  }
+  if (model->probabilities_.empty()) {
+    return Status::InvalidArgument("month has no medicines");
+  }
+  const double keep = 1.0 - options.smoothing;
+  model->smoothing_floor_ =
+      options.smoothing /
+      static_cast<double>(model->probabilities_.size());
+  for (auto& [medicine, value] : model->probabilities_) {
+    value = keep * value / total;
+  }
+  return model;
+}
+
+double UnigramModel::Probability(MedicineId m) const {
+  auto it = probabilities_.find(m);
+  const double base = it == probabilities_.end() ? 0.0 : it->second;
+  return base + smoothing_floor_;
+}
+
+double UnigramModel::PredictiveProbability(const MicRecord& record,
+                                           MedicineId m) const {
+  (void)record;
+  return Probability(m);
+}
+
+}  // namespace mic::medmodel

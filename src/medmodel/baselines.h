@@ -1,0 +1,75 @@
+// Baseline prescription-link models from the paper's evaluation (§VIII-A):
+// Cooccurrence (Eq. 10) and the medicine Unigram language model.
+
+#ifndef MICTREND_MEDMODEL_BASELINES_H_
+#define MICTREND_MEDMODEL_BASELINES_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "medmodel/link_model.h"
+#include "mic/dataset.h"
+
+namespace mic::medmodel {
+
+struct BaselineOptions {
+  /// Additive smoothing mass (same role as
+  /// MedicationModelOptions::phi_smoothing).
+  double smoothing = 1e-3;
+};
+
+/// Eq. (10): phi_dm proportional to record-level disease-medicine
+/// cooccurrence counts; its MonthlyPairCounts() are the raw cooccurrence
+/// counts themselves (the "straightforward approach" of Fig. 2a).
+class CooccurrenceModel : public LinkModel {
+ public:
+  static Result<std::unique_ptr<CooccurrenceModel>> Fit(
+      const MonthlyDataset& month, const BaselineOptions& options = {});
+
+  /// Smoothed phi_dm (0 for unseen disease/medicine).
+  double Phi(DiseaseId d, MedicineId m) const;
+
+  double PredictiveProbability(const MicRecord& record,
+                               MedicineId m) const override;
+  const PairCounts& MonthlyPairCounts() const override {
+    return cooccurrence_counts_;
+  }
+
+ private:
+  CooccurrenceModel() = default;
+
+  /// phi rows keyed by disease; values keyed by medicine.
+  std::unordered_map<DiseaseId,
+                     std::unordered_map<MedicineId, double>>
+      phi_;
+  double smoothing_floor_ = 0.0;
+  std::size_t num_medicines_ = 0;
+  PairCounts cooccurrence_counts_;
+};
+
+/// Medicine unigram model: P(m) is the month-level relative frequency,
+/// ignoring diseases entirely.
+class UnigramModel : public LinkModel {
+ public:
+  static Result<std::unique_ptr<UnigramModel>> Fit(
+      const MonthlyDataset& month, const BaselineOptions& options = {});
+
+  double Probability(MedicineId m) const;
+
+  double PredictiveProbability(const MicRecord& record,
+                               MedicineId m) const override;
+  /// Unigram has no notion of per-pair counts; returns an empty table.
+  const PairCounts& MonthlyPairCounts() const override { return empty_; }
+
+ private:
+  UnigramModel() = default;
+
+  std::unordered_map<MedicineId, double> probabilities_;
+  double smoothing_floor_ = 0.0;
+  PairCounts empty_;
+};
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_BASELINES_H_

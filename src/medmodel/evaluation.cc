@@ -1,0 +1,76 @@
+#include "medmodel/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mic::medmodel {
+
+HoldoutSplit SplitMedicines(const MonthlyDataset& month,
+                            double test_fraction, Rng& rng) {
+  HoldoutSplit split;
+  split.train.set_month(month.month());
+  for (const MicRecord& record : month.records()) {
+    MicRecord train_record;
+    train_record.hospital = record.hospital;
+    train_record.patient = record.patient;
+    train_record.diseases = record.diseases;
+
+    // Expand mentions, split each independently.
+    std::vector<MedicineId> train_mentions;
+    std::vector<MedicineId> test_mentions;
+    for (const auto& entry : record.medicines) {
+      for (std::uint32_t i = 0; i < entry.count; ++i) {
+        if (rng.NextBernoulli(test_fraction)) {
+          test_mentions.push_back(entry.id);
+        } else {
+          train_mentions.push_back(entry.id);
+        }
+      }
+    }
+    // Keep the record trainable: move one mention back when everything
+    // was held out.
+    if (train_mentions.empty() && !test_mentions.empty()) {
+      const std::size_t pick = rng.NextBounded(test_mentions.size());
+      train_mentions.push_back(test_mentions[pick]);
+      test_mentions.erase(test_mentions.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+    }
+    for (MedicineId m : train_mentions) {
+      train_record.medicines.push_back({m, 1});
+    }
+    train_record.Normalize();
+    split.train.AddRecord(std::move(train_record));
+    split.test_medicines.push_back(std::move(test_mentions));
+  }
+  return split;
+}
+
+Result<double> Perplexity(const LinkModel& model, const HoldoutSplit& split,
+                          const PerplexityOptions& options) {
+  if (options.min_probability <= 0.0) {
+    return Status::InvalidArgument("min_probability must be positive");
+  }
+  double log_probability_sum = 0.0;
+  std::size_t mention_count = 0;
+  const auto& records = split.train.records();
+  if (split.test_medicines.size() != records.size()) {
+    return Status::InvalidArgument(
+        "split is inconsistent: test bag count != record count");
+  }
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    for (MedicineId m : split.test_medicines[r]) {
+      const double probability = std::max(
+          model.PredictiveProbability(records[r], m),
+          options.min_probability);
+      log_probability_sum += std::log(probability);
+      ++mention_count;
+    }
+  }
+  if (mention_count == 0) {
+    return Status::InvalidArgument("split has no held-out mentions");
+  }
+  return std::exp(-log_probability_sum /
+                  static_cast<double>(mention_count));
+}
+
+}  // namespace mic::medmodel

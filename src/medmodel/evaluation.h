@@ -1,0 +1,52 @@
+// Evaluation utilities for prescription-link models (§VIII-A-1):
+// the 90/10 medicine holdout split and the perplexity measure (Eq. 11).
+
+#ifndef MICTREND_MEDMODEL_EVALUATION_H_
+#define MICTREND_MEDMODEL_EVALUATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "medmodel/link_model.h"
+#include "mic/dataset.h"
+
+namespace mic::medmodel {
+
+/// A monthly dataset split for held-out evaluation: models are trained
+/// on `train` and scored on the held-out medicine mentions, which stay
+/// aligned with the train records by index (test_medicines[i] belongs to
+/// train.records()[i]).
+struct HoldoutSplit {
+  MonthlyDataset train;
+  std::vector<std::vector<MedicineId>> test_medicines;
+
+  /// Total number of held-out mentions.
+  std::size_t NumTestMentions() const {
+    std::size_t total = 0;
+    for (const auto& bag : test_medicines) total += bag.size();
+    return total;
+  }
+};
+
+/// Holds out each medicine mention independently with probability
+/// `test_fraction` (paper: 0.1). Records keep their full disease bags;
+/// records whose medicine bag would become empty keep one random
+/// mention in train.
+HoldoutSplit SplitMedicines(const MonthlyDataset& month,
+                            double test_fraction, Rng& rng);
+
+struct PerplexityOptions {
+  /// Probabilities are clamped below at this value so that a medicine
+  /// unseen in training contributes a large-but-finite penalty.
+  double min_probability = 1e-12;
+};
+
+/// Perplexity (Eq. 11) of `model` on the held-out mentions of `split`.
+/// Lower is better. Fails if the split has no test mentions.
+Result<double> Perplexity(const LinkModel& model, const HoldoutSplit& split,
+                          const PerplexityOptions& options = {});
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_EVALUATION_H_

@@ -1,0 +1,31 @@
+// Common interface of the prescription-link models compared in the paper
+// (§IV proposed latent model, §VIII cooccurrence and unigram baselines).
+
+#ifndef MICTREND_MEDMODEL_LINK_MODEL_H_
+#define MICTREND_MEDMODEL_LINK_MODEL_H_
+
+#include "medmodel/pair_counts.h"
+#include "mic/record.h"
+#include "mic/types.h"
+
+namespace mic::medmodel {
+
+/// A model of how medicines are prescribed in one monthly MIC dataset.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Predictive probability P(m | r) that a (possibly held-out) medicine
+  /// mention in record `r` is medicine `m`. Used by the perplexity
+  /// evaluation (Eq. 11).
+  virtual double PredictiveProbability(const MicRecord& record,
+                                       MedicineId m) const = 0;
+
+  /// Estimated prescription counts x_dm for this month (Eq. 7 for the
+  /// proposed model; raw cooccurrence counts for the baseline).
+  virtual const PairCounts& MonthlyPairCounts() const = 0;
+};
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_LINK_MODEL_H_

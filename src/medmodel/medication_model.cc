@@ -1,0 +1,251 @@
+#include "medmodel/medication_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mic::medmodel {
+namespace {
+
+// Month-local compiled record: disease slots with theta (Eq. 2) and
+// medicine slots with multiplicities.
+struct CompiledRecord {
+  std::vector<std::pair<std::size_t, double>> diseases;
+  std::vector<std::pair<std::size_t, std::uint32_t>> medicines;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
+    const MonthlyDataset& month, const MedicationModelOptions& options,
+    const MedicationModel* prior) {
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (options.phi_smoothing < 0.0 || options.phi_smoothing >= 1.0) {
+    return Status::InvalidArgument("phi_smoothing must be in [0, 1)");
+  }
+  if (options.prior_strength < 0.0) {
+    return Status::InvalidArgument("prior_strength must be non-negative");
+  }
+  const bool use_prior = prior != nullptr && options.prior_strength > 0.0;
+
+  auto model = std::unique_ptr<MedicationModel>(new MedicationModel());
+
+  // Assign month-local dense slots.
+  std::vector<DiseaseId> slot_to_disease;
+  std::vector<MedicineId> slot_to_medicine;
+  for (const MicRecord& record : month.records()) {
+    for (const auto& entry : record.diseases) {
+      if (model->disease_slots_.emplace(entry.id, slot_to_disease.size())
+              .second) {
+        slot_to_disease.push_back(entry.id);
+      }
+    }
+    for (const auto& entry : record.medicines) {
+      if (model->medicine_slots_.emplace(entry.id, slot_to_medicine.size())
+              .second) {
+        slot_to_medicine.push_back(entry.id);
+      }
+    }
+  }
+  const std::size_t num_diseases = slot_to_disease.size();
+  const std::size_t num_medicines = slot_to_medicine.size();
+  if (num_diseases == 0 || num_medicines == 0) {
+    return Status::InvalidArgument(
+        "month has no usable records (no diseases or no medicines)");
+  }
+
+  // Compile records; skip those missing either bag.
+  std::vector<CompiledRecord> records;
+  records.reserve(month.size());
+  std::vector<double> disease_totals(num_diseases, 0.0);
+  for (const MicRecord& record : month.records()) {
+    if (record.diseases.empty() || record.medicines.empty()) continue;
+    CompiledRecord compiled;
+    const double n_r = static_cast<double>(record.TotalDiseaseMentions());
+    for (const auto& entry : record.diseases) {
+      const std::size_t slot = model->disease_slots_[entry.id];
+      compiled.diseases.push_back(
+          {slot, static_cast<double>(entry.count) / n_r});
+      disease_totals[slot] += static_cast<double>(entry.count);
+    }
+    for (const auto& entry : record.medicines) {
+      compiled.medicines.push_back(
+          {model->medicine_slots_[entry.id], entry.count});
+    }
+    records.push_back(std::move(compiled));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("no record has both bags non-empty");
+  }
+
+  // eta (Eq. 4): normalized disease mention totals.
+  double disease_grand_total = 0.0;
+  for (double total : disease_totals) disease_grand_total += total;
+  model->eta_.resize(num_diseases);
+  for (std::size_t d = 0; d < num_diseases; ++d) {
+    model->eta_[d] = disease_totals[d] / disease_grand_total;
+  }
+
+  // Initialize phi from cooccurrence counts (Eq. 10): every medicine that
+  // ever shares a record with disease d gets positive initial mass, so
+  // all responsibilities are well defined from the first E step.
+  std::vector<std::unordered_map<std::size_t, double>> phi(num_diseases);
+  for (const CompiledRecord& record : records) {
+    for (const auto& [d, theta] : record.diseases) {
+      for (const auto& [m, count] : record.medicines) {
+        phi[d][m] += theta * static_cast<double>(count);
+      }
+    }
+  }
+  for (auto& row : phi) {
+    double total = 0.0;
+    for (const auto& [m, value] : row) total += value;
+    if (total > 0.0) {
+      for (auto& [m, value] : row) value /= total;
+    }
+  }
+
+  // EM (Eqs. 5-6). Responsibilities are recomputed per (record, medicine)
+  // on the fly; expected counts accumulate into `next`.
+  std::vector<std::unordered_map<std::size_t, double>> next(num_diseases);
+  std::vector<double> responsibilities;
+  double previous_log_likelihood = -std::numeric_limits<double>::infinity();
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    for (auto& row : next) row.clear();
+    double log_likelihood = 0.0;
+
+    for (const CompiledRecord& record : records) {
+      for (const auto& [m, count] : record.medicines) {
+        responsibilities.clear();
+        double denominator = 0.0;
+        for (const auto& [d, theta] : record.diseases) {
+          auto it = phi[d].find(m);
+          const double weight =
+              theta * (it == phi[d].end() ? 0.0 : it->second);
+          responsibilities.push_back(weight);
+          denominator += weight;
+        }
+        if (denominator <= 0.0) continue;  // No support; contributes 0.
+        log_likelihood +=
+            static_cast<double>(count) * std::log(denominator);
+        for (std::size_t i = 0; i < record.diseases.size(); ++i) {
+          const double q = responsibilities[i] / denominator;
+          next[record.diseases[i].first][m] +=
+              static_cast<double>(count) * q;
+        }
+      }
+    }
+
+    // M step: normalize expected counts into phi; with a temporal
+    // prior, each pair receives alpha * phi_prev(d, m) pseudo counts
+    // (Topic-Tracking MAP update).
+    for (std::size_t d = 0; d < num_diseases; ++d) {
+      double total = 0.0;
+      if (use_prior) {
+        for (auto& [m, value] : next[d]) {
+          value += options.prior_strength *
+                   prior->Phi(slot_to_disease[d], slot_to_medicine[m]);
+        }
+      }
+      for (const auto& [m, value] : next[d]) total += value;
+      if (total > 0.0) {
+        phi[d].clear();
+        for (const auto& [m, value] : next[d]) phi[d][m] = value / total;
+      }
+    }
+
+    model->stats_.log_likelihood_trace.push_back(log_likelihood);
+    model->stats_.iterations = iteration + 1;
+    const double improvement = log_likelihood - previous_log_likelihood;
+    previous_log_likelihood = log_likelihood;
+    if (iteration > 0 &&
+        improvement < options.tolerance * std::fabs(log_likelihood)) {
+      break;
+    }
+  }
+  model->stats_.final_log_likelihood = previous_log_likelihood;
+
+  // Final responsibilities accumulate the per-pair prescription counts
+  // x_dm (Eq. 7).
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const CompiledRecord& record = records[r];
+    for (const auto& [m, count] : record.medicines) {
+      double denominator = 0.0;
+      for (const auto& [d, theta] : record.diseases) {
+        auto it = phi[d].find(m);
+        if (it != phi[d].end()) denominator += theta * it->second;
+      }
+      if (denominator <= 0.0) continue;
+      for (const auto& [d, theta] : record.diseases) {
+        auto it = phi[d].find(m);
+        if (it == phi[d].end()) continue;
+        const double q = theta * it->second / denominator;
+        model->pair_counts_.Add(slot_to_disease[d], slot_to_medicine[m],
+                                static_cast<double>(count) * q);
+      }
+    }
+  }
+
+  // Store smoothed phi: a fraction `phi_smoothing` of each disease's
+  // mass is spread uniformly over the month's medicines.
+  model->smoothing_floor_ =
+      options.phi_smoothing / static_cast<double>(num_medicines);
+  const double keep = 1.0 - options.phi_smoothing;
+  model->phi_.resize(num_diseases);
+  for (std::size_t d = 0; d < num_diseases; ++d) {
+    for (const auto& [m, value] : phi[d]) {
+      model->phi_[d][m] = keep * value;
+    }
+  }
+
+  return model;
+}
+
+std::size_t MedicationModel::DiseaseSlot(DiseaseId d) const {
+  auto it = disease_slots_.find(d);
+  return it == disease_slots_.end() ? kNoSlot : it->second;
+}
+
+std::size_t MedicationModel::MedicineSlot(MedicineId m) const {
+  auto it = medicine_slots_.find(m);
+  return it == medicine_slots_.end() ? kNoSlot : it->second;
+}
+
+double MedicationModel::Eta(DiseaseId d) const {
+  const std::size_t slot = DiseaseSlot(d);
+  return slot == kNoSlot ? 0.0 : eta_[slot];
+}
+
+double MedicationModel::Phi(DiseaseId d, MedicineId m) const {
+  const std::size_t d_slot = DiseaseSlot(d);
+  const std::size_t m_slot = MedicineSlot(m);
+  if (d_slot == kNoSlot || m_slot == kNoSlot) return 0.0;
+  auto it = phi_[d_slot].find(m_slot);
+  const double base = it == phi_[d_slot].end() ? 0.0 : it->second;
+  return base + smoothing_floor_;
+}
+
+double MedicationModel::Theta(const MicRecord& record, DiseaseId d) {
+  const double n_r = static_cast<double>(record.TotalDiseaseMentions());
+  if (n_r == 0.0) return 0.0;
+  for (const auto& entry : record.diseases) {
+    if (entry.id == d) return static_cast<double>(entry.count) / n_r;
+  }
+  return 0.0;
+}
+
+double MedicationModel::PredictiveProbability(const MicRecord& record,
+                                              MedicineId m) const {
+  const double n_r = static_cast<double>(record.TotalDiseaseMentions());
+  if (n_r == 0.0) return 0.0;
+  double probability = 0.0;
+  for (const auto& entry : record.diseases) {
+    const double theta = static_cast<double>(entry.count) / n_r;
+    probability += theta * Phi(entry.id, m);
+  }
+  return probability;
+}
+
+}  // namespace mic::medmodel

@@ -1,0 +1,109 @@
+// The paper's probabilistic medication model (§IV).
+//
+// Generative story per MIC record r:
+//   d_rn ~ Multinomial(eta)                    (disease diagnosis)
+//   z_rl ~ Multinomial(theta_r)                (medication target)
+//   m_rl | z_rl = d ~ Multinomial(phi_d)       (medicine prescription)
+// with theta_rd = N_rd / N_r fixed by Eq. (2). eta has the closed form
+// Eq. (4); Phi is estimated by EM alternating the responsibilities
+// q_rld (Eq. 6) and phi_dm (Eq. 5). The per-pair prescription counts of
+// Eq. (7) are accumulated from the final responsibilities.
+
+#ifndef MICTREND_MEDMODEL_MEDICATION_MODEL_H_
+#define MICTREND_MEDMODEL_MEDICATION_MODEL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "medmodel/link_model.h"
+#include "mic/dataset.h"
+
+namespace mic::medmodel {
+
+struct MedicationModelOptions {
+  /// EM stops after this many iterations.
+  int max_iterations = 100;
+  /// ... or when the relative log-likelihood improvement drops below
+  /// this tolerance.
+  double tolerance = 1e-7;
+  /// Additive smoothing on phi: every medicine observed in the month
+  /// keeps at least this probability mass under every disease. Keeps
+  /// held-out perplexity finite, mirroring standard topic-model practice.
+  double phi_smoothing = 1e-3;
+  /// Temporal coupling strength (the paper's §IX Topic-Tracking-style
+  /// extension): when a previous month's model is passed to Fit, each
+  /// disease's M step receives `prior_strength * phi_prev(d, m)` pseudo
+  /// counts — a Dirichlet(alpha * phi_prev) MAP prior that stabilizes
+  /// sparse months. 0 restores the paper's independent monthly fits.
+  double prior_strength = 0.0;
+};
+
+/// Fit diagnostics.
+struct EmFitStats {
+  int iterations = 0;
+  double final_log_likelihood = 0.0;
+  /// Log-likelihood after each EM iteration (monotonically
+  /// non-decreasing up to numerical noise — tested as an invariant).
+  std::vector<double> log_likelihood_trace;
+};
+
+/// The fitted model for one monthly dataset.
+class MedicationModel : public LinkModel {
+ public:
+  /// Fits the model to one month with EM. Fails on empty input.
+  /// `prior` (optional, not owned, may be null) is a previous month's
+  /// fitted model used as a temporal prior when
+  /// options.prior_strength > 0.
+  static Result<std::unique_ptr<MedicationModel>> Fit(
+      const MonthlyDataset& month,
+      const MedicationModelOptions& options = {},
+      const MedicationModel* prior = nullptr);
+
+  /// eta_d: probability of disease d under the diagnosis distribution
+  /// (Eq. 4); 0 for diseases absent from the month.
+  double Eta(DiseaseId d) const;
+
+  /// phi_dm: probability of medicine m given medication target d
+  /// (Eq. 5, smoothed); 0 for diseases absent from the month.
+  double Phi(DiseaseId d, MedicineId m) const;
+
+  /// theta_rd = N_rd / N_r (Eq. 2).
+  static double Theta(const MicRecord& record, DiseaseId d);
+
+  // LinkModel interface.
+  double PredictiveProbability(const MicRecord& record,
+                               MedicineId m) const override;
+  const PairCounts& MonthlyPairCounts() const override {
+    return pair_counts_;
+  }
+
+  const EmFitStats& fit_stats() const { return stats_; }
+  std::size_t num_diseases() const { return disease_slots_.size(); }
+  std::size_t num_medicines() const { return medicine_slots_.size(); }
+
+ private:
+  MedicationModel() = default;
+
+  // Month-local dense slot of an id (or npos when absent).
+  std::size_t DiseaseSlot(DiseaseId d) const;
+  std::size_t MedicineSlot(MedicineId m) const;
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  std::unordered_map<DiseaseId, std::size_t> disease_slots_;
+  std::unordered_map<MedicineId, std::size_t> medicine_slots_;
+  std::vector<double> eta_;  // by disease slot
+  /// phi_[d_slot]: sparse medicine slot -> probability; mass missing from
+  /// the map is spread uniformly over all month medicines via
+  /// smoothing_floor_.
+  std::vector<std::unordered_map<std::size_t, double>> phi_;
+  double smoothing_floor_ = 0.0;  // per-medicine floor probability
+  PairCounts pair_counts_;
+  EmFitStats stats_;
+};
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_MEDICATION_MODEL_H_

@@ -1,0 +1,62 @@
+// Sparse (disease, medicine) -> value accumulator shared by the
+// medication models and the time-series reproduction step.
+
+#ifndef MICTREND_MEDMODEL_PAIR_COUNTS_H_
+#define MICTREND_MEDMODEL_PAIR_COUNTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mic/types.h"
+
+namespace mic::medmodel {
+
+/// Packs a (disease, medicine) pair into one 64-bit key.
+inline std::uint64_t PairKey(DiseaseId d, MedicineId m) {
+  return (static_cast<std::uint64_t>(d.value()) << 32) |
+         static_cast<std::uint64_t>(m.value());
+}
+
+inline DiseaseId PairDisease(std::uint64_t key) {
+  return DiseaseId(static_cast<std::uint32_t>(key >> 32));
+}
+
+inline MedicineId PairMedicine(std::uint64_t key) {
+  return MedicineId(static_cast<std::uint32_t>(key & 0xFFFFFFFFull));
+}
+
+/// Sparse accumulation of per-pair values (e.g. x_dm for one month).
+class PairCounts {
+ public:
+  void Add(DiseaseId d, MedicineId m, double value) {
+    counts_[PairKey(d, m)] += value;
+  }
+
+  /// Value for a pair (0 when absent).
+  double Get(DiseaseId d, MedicineId m) const {
+    auto it = counts_.find(PairKey(d, m));
+    return it == counts_.end() ? 0.0 : it->second;
+  }
+
+  std::size_t size() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  /// Visits every pair: fn(DiseaseId, MedicineId, double).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, value] : counts_) {
+      fn(PairDisease(key), PairMedicine(key), value);
+    }
+  }
+
+  const std::unordered_map<std::uint64_t, double>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> counts_;
+};
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_PAIR_COUNTS_H_

@@ -1,0 +1,34 @@
+// CSV serialization of reproduced series sets, used by the CLI to
+// decouple the (expensive) reproduction step from downstream analysis.
+//
+// Format (header required):
+//   kind,disease,medicine,values
+// with kind in {disease, medicine, prescription}, names from the
+// catalog ("-" when not applicable), and values ';'-separated.
+
+#ifndef MICTREND_MEDMODEL_SERIES_IO_H_
+#define MICTREND_MEDMODEL_SERIES_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "medmodel/timeseries.h"
+#include "mic/catalog.h"
+
+namespace mic::medmodel {
+
+Status WriteSeriesCsv(const SeriesSet& series, const Catalog& catalog,
+                      std::ostream& out);
+Status WriteSeriesCsvFile(const SeriesSet& series, const Catalog& catalog,
+                          const std::string& path);
+
+/// Reads a series set, interning names into `catalog`. All rows must
+/// have the same number of values.
+Result<SeriesSet> ReadSeriesCsv(std::istream& in, Catalog& catalog);
+Result<SeriesSet> ReadSeriesCsvFile(const std::string& path,
+                                    Catalog& catalog);
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_SERIES_IO_H_

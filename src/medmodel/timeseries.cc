@@ -1,0 +1,172 @@
+#include "medmodel/timeseries.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "medmodel/baselines.h"
+
+namespace mic::medmodel {
+namespace {
+
+double SeriesTotal(const std::vector<double>& series) {
+  double total = 0.0;
+  for (double value : series) total += value;
+  return total;
+}
+
+template <typename Map>
+void PruneMap(Map& map, double min_total) {
+  for (auto it = map.begin(); it != map.end();) {
+    if (SeriesTotal(it->second) < min_total) {
+      it = map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> SeriesSet::Prescription(DiseaseId d, MedicineId m) const {
+  auto it = pairs_.find(PairKey(d, m));
+  if (it == pairs_.end()) return std::vector<double>(num_months_, 0.0);
+  return it->second;
+}
+
+std::vector<double> SeriesSet::Disease(DiseaseId d) const {
+  auto it = diseases_.find(d);
+  if (it == diseases_.end()) return std::vector<double>(num_months_, 0.0);
+  return it->second;
+}
+
+std::vector<double> SeriesSet::Medicine(MedicineId m) const {
+  auto it = medicines_.find(m);
+  if (it == medicines_.end()) return std::vector<double>(num_months_, 0.0);
+  return it->second;
+}
+
+void SeriesSet::Add(DiseaseId d, MedicineId m, int t, double value) {
+  auto& pair = pairs_[PairKey(d, m)];
+  if (pair.empty()) pair.assign(num_months_, 0.0);
+  pair[t] += value;
+  auto& disease = diseases_[d];
+  if (disease.empty()) disease.assign(num_months_, 0.0);
+  disease[t] += value;
+  auto& medicine = medicines_[m];
+  if (medicine.empty()) medicine.assign(num_months_, 0.0);
+  medicine[t] += value;
+}
+
+namespace {
+
+template <typename Key, typename Match>
+std::vector<std::pair<Key, double>> RankPairs(
+    const std::unordered_map<std::uint64_t, std::vector<double>>& pairs,
+    std::size_t k, Match&& match) {
+  std::vector<std::pair<Key, double>> ranked;
+  for (const auto& [key, series] : pairs) {
+    auto matched = match(key);
+    if (!matched.has_value()) continue;
+    double total = 0.0;
+    for (double value : series) total += value;
+    ranked.push_back({*matched, total});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;  // Deterministic ties.
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<std::pair<MedicineId, double>> SeriesSet::TopMedicines(
+    DiseaseId d, std::size_t k) const {
+  return RankPairs<MedicineId>(
+      pairs_, k,
+      [d](std::uint64_t key) -> std::optional<MedicineId> {
+        if (!(PairDisease(key) == d)) return std::nullopt;
+        return PairMedicine(key);
+      });
+}
+
+std::vector<std::pair<DiseaseId, double>> SeriesSet::TopDiseases(
+    MedicineId m, std::size_t k) const {
+  return RankPairs<DiseaseId>(
+      pairs_, k,
+      [m](std::uint64_t key) -> std::optional<DiseaseId> {
+        if (!(PairMedicine(key) == m)) return std::nullopt;
+        return PairDisease(key);
+      });
+}
+
+void SeriesSet::SetPrescriptionSeries(DiseaseId d, MedicineId m,
+                                      std::vector<double> values) {
+  values.resize(num_months_, 0.0);
+  pairs_[PairKey(d, m)] = std::move(values);
+}
+
+void SeriesSet::SetDiseaseSeries(DiseaseId d, std::vector<double> values) {
+  values.resize(num_months_, 0.0);
+  diseases_[d] = std::move(values);
+}
+
+void SeriesSet::SetMedicineSeries(MedicineId m,
+                                  std::vector<double> values) {
+  values.resize(num_months_, 0.0);
+  medicines_[m] = std::move(values);
+}
+
+void SeriesSet::PruneRareSeries(double min_total) {
+  PruneMap(pairs_, min_total);
+  PruneMap(diseases_, min_total);
+  PruneMap(medicines_, min_total);
+}
+
+Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
+                                  const ReproducerOptions& options) {
+  if (corpus.num_months() == 0) {
+    return Status::InvalidArgument("corpus has no months");
+  }
+  SeriesSet series(static_cast<int>(corpus.num_months()));
+  // With temporal coupling (prior_strength > 0) each month's fit uses
+  // the previous month's model as its Dirichlet prior (§IX extension).
+  std::unique_ptr<MedicationModel> previous_model;
+  for (std::size_t t = 0; t < corpus.num_months(); ++t) {
+    MonthlyDataset month = corpus.month(t);  // Copy; filter mutates.
+    if (options.apply_filter) {
+      FilterMonth(options.filter_options, month);
+    }
+    if (month.empty()) continue;  // A quiet month contributes zeros.
+
+    const PairCounts* counts = nullptr;
+    std::unique_ptr<MedicationModel> proposed;
+    std::unique_ptr<CooccurrenceModel> cooccurrence;
+    if (options.model_kind == LinkModelKind::kProposed) {
+      auto fitted = MedicationModel::Fit(month, options.model_options,
+                                         previous_model.get());
+      if (!fitted.ok()) continue;  // No usable records this month.
+      proposed = std::move(fitted).value();
+      counts = &proposed->MonthlyPairCounts();
+    } else {
+      auto fitted = CooccurrenceModel::Fit(month);
+      if (!fitted.ok()) continue;
+      cooccurrence = std::move(fitted).value();
+      counts = &cooccurrence->MonthlyPairCounts();
+    }
+
+    counts->ForEach([&series, t](DiseaseId d, MedicineId m, double value) {
+      series.Add(d, m, static_cast<int>(t), value);
+    });
+    if (proposed != nullptr &&
+        options.model_options.prior_strength > 0.0) {
+      previous_model = std::move(proposed);
+    }
+  }
+  series.PruneRareSeries(options.min_series_total);
+  return series;
+}
+
+}  // namespace mic::medmodel

@@ -1,0 +1,112 @@
+// Time-series reproduction (§IV-D): fits a link model to every monthly
+// dataset and assembles the monthly prescription counts x_dmt (Eq. 7)
+// plus the derived disease series x_dt and medicine series x_mt (Eq. 8).
+
+#ifndef MICTREND_MEDMODEL_TIMESERIES_H_
+#define MICTREND_MEDMODEL_TIMESERIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "medmodel/medication_model.h"
+#include "medmodel/pair_counts.h"
+#include "mic/dataset.h"
+#include "mic/filter.h"
+
+namespace mic::medmodel {
+
+/// The reproduced monthly series for one corpus.
+class SeriesSet {
+ public:
+  explicit SeriesSet(int num_months = 0) : num_months_(num_months) {}
+
+  int num_months() const { return num_months_; }
+
+  /// Prescription series for a pair; all-zero vector when absent.
+  std::vector<double> Prescription(DiseaseId d, MedicineId m) const;
+  /// Disease series x_dt (Eq. 8); all-zero when absent.
+  std::vector<double> Disease(DiseaseId d) const;
+  /// Medicine series x_mt (Eq. 8); all-zero when absent.
+  std::vector<double> Medicine(MedicineId m) const;
+
+  std::size_t num_pairs() const { return pairs_.size(); }
+  std::size_t num_diseases() const { return diseases_.size(); }
+  std::size_t num_medicines() const { return medicines_.size(); }
+
+  /// Visits series: fn(key..., const std::vector<double>&).
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    for (const auto& [key, series] : pairs_) {
+      fn(PairDisease(key), PairMedicine(key), series);
+    }
+  }
+  template <typename Fn>
+  void ForEachDisease(Fn&& fn) const {
+    for (const auto& [id, series] : diseases_) fn(id, series);
+  }
+  template <typename Fn>
+  void ForEachMedicine(Fn&& fn) const {
+    for (const auto& [id, series] : medicines_) fn(id, series);
+  }
+
+  /// Accumulates `value` into the pair series at month t, updating the
+  /// derived disease and medicine series consistently.
+  void Add(DiseaseId d, MedicineId m, int t, double value);
+
+  /// Medicines ranked by total prescriptions for disease `d` over the
+  /// window (the ranking behind Table III's AP/NDCG and Table II's
+  /// shares), capped at `k`.
+  std::vector<std::pair<MedicineId, double>> TopMedicines(
+      DiseaseId d, std::size_t k) const;
+
+  /// Diseases ranked by total prescriptions of medicine `m` over the
+  /// window, capped at `k`.
+  std::vector<std::pair<DiseaseId, double>> TopDiseases(
+      MedicineId m, std::size_t k) const;
+
+  /// Direct per-view setters (used by deserialization): they overwrite
+  /// one view without touching the others, so Eq. 8 consistency is the
+  /// caller's responsibility.
+  void SetPrescriptionSeries(DiseaseId d, MedicineId m,
+                             std::vector<double> values);
+  void SetDiseaseSeries(DiseaseId d, std::vector<double> values);
+  void SetMedicineSeries(MedicineId m, std::vector<double> values);
+
+  /// Removes every series whose total over the window is below
+  /// `min_total` (paper §VI uses 10). Disease/medicine series are
+  /// thresholded independently of the pair series.
+  void PruneRareSeries(double min_total);
+
+ private:
+  int num_months_;
+  std::unordered_map<std::uint64_t, std::vector<double>> pairs_;
+  std::unordered_map<DiseaseId, std::vector<double>> diseases_;
+  std::unordered_map<MedicineId, std::vector<double>> medicines_;
+};
+
+/// Which link model reproduces the series.
+enum class LinkModelKind {
+  kProposed,      // MedicationModel (§IV)
+  kCooccurrence,  // raw cooccurrence counts (Fig. 2a baseline)
+};
+
+struct ReproducerOptions {
+  MedicationModelOptions model_options;
+  /// Per-month rare item pruning applied before fitting (paper: < 5).
+  FilterOptions filter_options;
+  bool apply_filter = true;
+  /// Series with total < this over the window are dropped (paper: 10).
+  double min_series_total = 10.0;
+  LinkModelKind model_kind = LinkModelKind::kProposed;
+};
+
+/// Runs the full §IV pipeline over a corpus. The corpus is copied
+/// internally when filtering is enabled; the input is never mutated.
+Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
+                                  const ReproducerOptions& options = {});
+
+}  // namespace mic::medmodel
+
+#endif  // MICTREND_MEDMODEL_TIMESERIES_H_

@@ -1,0 +1,35 @@
+#include "mic/catalog.h"
+
+namespace mic {
+
+std::string_view HospitalClassName(HospitalClass hospital_class) {
+  switch (hospital_class) {
+    case HospitalClass::kSmall:
+      return "small";
+    case HospitalClass::kMedium:
+      return "medium";
+    case HospitalClass::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+void Catalog::SetHospitalInfo(HospitalId id, HospitalInfo info) {
+  if (id.value() >= hospital_info_.size()) {
+    hospital_info_.resize(id.value() + 1);
+    hospital_info_set_.resize(id.value() + 1, false);
+  }
+  hospital_info_[id.value()] = info;
+  hospital_info_set_[id.value()] = true;
+}
+
+Result<HospitalInfo> Catalog::GetHospitalInfo(HospitalId id) const {
+  if (id.value() >= hospital_info_.size() ||
+      !hospital_info_set_[id.value()]) {
+    return Status::NotFound("no attributes registered for hospital id " +
+                            std::to_string(id.value()));
+  }
+  return hospital_info_[id.value()];
+}
+
+}  // namespace mic

@@ -1,0 +1,104 @@
+// Interned vocabularies for diseases, medicines, hospitals, and cities.
+
+#ifndef MICTREND_MIC_CATALOG_H_
+#define MICTREND_MIC_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mic/types.h"
+
+namespace mic {
+
+/// Bidirectional name <-> dense id mapping for one id space.
+template <typename Id>
+class Vocabulary {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  Id Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    const Id id(static_cast<typename Id::ValueType>(names_.size()));
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` or NotFound without interning.
+  Result<Id> Lookup(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    if (it == index_.end()) {
+      return Status::NotFound("unknown name: '" + std::string(name) + "'");
+    }
+    return it->second;
+  }
+
+  /// Name for a valid id.
+  const std::string& Name(Id id) const { return names_.at(id.value()); }
+
+  bool Contains(Id id) const { return id.value() < names_.size(); }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Id> index_;
+};
+
+/// Static attributes of one hospital (used by the geographic-spread and
+/// hospital-gap applications).
+struct HospitalInfo {
+  CityId city;
+  /// Number of beds; the paper buckets [0,20) small, [20,400) medium,
+  /// [400,inf) large.
+  std::uint32_t beds = 0;
+};
+
+/// Paper §VII-C size classes.
+enum class HospitalClass : int { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+/// Maps a bed count to its paper size class.
+inline HospitalClass ClassifyHospital(std::uint32_t beds) {
+  if (beds < 20) return HospitalClass::kSmall;
+  if (beds < 400) return HospitalClass::kMedium;
+  return HospitalClass::kLarge;
+}
+
+/// Stable display name for a hospital class.
+std::string_view HospitalClassName(HospitalClass hospital_class);
+
+/// All vocabularies plus hospital attributes for one corpus.
+class Catalog {
+ public:
+  Vocabulary<DiseaseId>& diseases() { return diseases_; }
+  const Vocabulary<DiseaseId>& diseases() const { return diseases_; }
+  Vocabulary<MedicineId>& medicines() { return medicines_; }
+  const Vocabulary<MedicineId>& medicines() const { return medicines_; }
+  Vocabulary<HospitalId>& hospitals() { return hospitals_; }
+  const Vocabulary<HospitalId>& hospitals() const { return hospitals_; }
+  Vocabulary<CityId>& cities() { return cities_; }
+  const Vocabulary<CityId>& cities() const { return cities_; }
+  Vocabulary<PatientId>& patients() { return patients_; }
+  const Vocabulary<PatientId>& patients() const { return patients_; }
+
+  /// Registers (or updates) hospital attributes.
+  void SetHospitalInfo(HospitalId id, HospitalInfo info);
+
+  /// Attributes for a registered hospital; NotFound otherwise.
+  Result<HospitalInfo> GetHospitalInfo(HospitalId id) const;
+
+ private:
+  Vocabulary<DiseaseId> diseases_;
+  Vocabulary<MedicineId> medicines_;
+  Vocabulary<HospitalId> hospitals_;
+  Vocabulary<CityId> cities_;
+  Vocabulary<PatientId> patients_;
+  std::vector<HospitalInfo> hospital_info_;
+  std::vector<bool> hospital_info_set_;
+};
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_CATALOG_H_

@@ -1,0 +1,66 @@
+#include "mic/dataset.h"
+
+namespace mic {
+
+FrequencyMap<DiseaseId> MonthlyDataset::DiseaseFrequencies() const {
+  FrequencyMap<DiseaseId> freq;
+  for (const auto& record : records_) {
+    for (const auto& entry : record.diseases) {
+      freq[entry.id] += entry.count;
+    }
+  }
+  return freq;
+}
+
+FrequencyMap<MedicineId> MonthlyDataset::MedicineFrequencies() const {
+  FrequencyMap<MedicineId> freq;
+  for (const auto& record : records_) {
+    for (const auto& entry : record.medicines) {
+      freq[entry.id] += entry.count;
+    }
+  }
+  return freq;
+}
+
+std::size_t MonthlyDataset::CountDistinctDiseases() const {
+  return DiseaseFrequencies().size();
+}
+
+std::size_t MonthlyDataset::CountDistinctMedicines() const {
+  return MedicineFrequencies().size();
+}
+
+double MonthlyDataset::MeanDiseasesPerRecord() const {
+  if (records_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& record : records_) total += record.TotalDiseaseMentions();
+  return static_cast<double>(total) / static_cast<double>(records_.size());
+}
+
+double MonthlyDataset::MeanMedicinesPerRecord() const {
+  if (records_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& record : records_) {
+    total += record.TotalMedicineMentions();
+  }
+  return static_cast<double>(total) / static_cast<double>(records_.size());
+}
+
+Status MicCorpus::AddMonth(MonthlyDataset month) {
+  const MonthIndex expected = static_cast<MonthIndex>(months_.size());
+  if (month.month() != expected) {
+    return Status::InvalidArgument(
+        "months must be appended consecutively: expected index " +
+        std::to_string(expected) + ", got " + std::to_string(month.month()));
+  }
+  months_.push_back(std::move(month));
+  return Status::OK();
+}
+
+std::size_t MicCorpus::TotalRecords() const {
+  std::size_t total = 0;
+  for (const auto& month : months_) total += month.size();
+  return total;
+}
+
+}  // namespace mic

@@ -1,0 +1,108 @@
+// MonthlyDataset (R^(t)) and MicCorpus (the full T-month collection).
+
+#ifndef MICTREND_MIC_DATASET_H_
+#define MICTREND_MIC_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mic/catalog.h"
+#include "mic/record.h"
+#include "mic/types.h"
+
+namespace mic {
+
+/// Marginal frequency table for one month: id -> total multiplicity.
+template <typename Id>
+using FrequencyMap = std::unordered_map<Id, std::uint64_t>;
+
+/// All MIC records created in one calendar month.
+class MonthlyDataset {
+ public:
+  MonthlyDataset() = default;
+  explicit MonthlyDataset(MonthIndex month) : month_(month) {}
+
+  MonthIndex month() const { return month_; }
+  void set_month(MonthIndex month) { month_ = month; }
+
+  void AddRecord(MicRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<MicRecord>& records() const { return records_; }
+  std::vector<MicRecord>& mutable_records() { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Total disease multiplicity per disease id across all records.
+  FrequencyMap<DiseaseId> DiseaseFrequencies() const;
+  /// Total medicine multiplicity per medicine id across all records.
+  FrequencyMap<MedicineId> MedicineFrequencies() const;
+
+  /// Number of distinct diseases appearing this month (D^(t)).
+  std::size_t CountDistinctDiseases() const;
+  /// Number of distinct medicines appearing this month (M^(t)).
+  std::size_t CountDistinctMedicines() const;
+
+  /// Mean disease / medicine mentions per record (the paper reports
+  /// 7.435 and 4.788 for its dataset).
+  double MeanDiseasesPerRecord() const;
+  double MeanMedicinesPerRecord() const;
+
+ private:
+  MonthIndex month_ = 0;
+  std::vector<MicRecord> records_;
+};
+
+/// The full corpus: a shared catalog plus T monthly datasets indexed by
+/// consecutive MonthIndex values starting at 0.
+class MicCorpus {
+ public:
+  MicCorpus() : catalog_(std::make_shared<Catalog>()) {}
+  explicit MicCorpus(std::shared_ptr<Catalog> catalog)
+      : catalog_(std::move(catalog)) {}
+
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  std::shared_ptr<Catalog> shared_catalog() const { return catalog_; }
+
+  /// Appends a month; months must be added in increasing order starting
+  /// at 0 (enforced to keep series indexing trivial).
+  Status AddMonth(MonthlyDataset month);
+
+  std::size_t num_months() const { return months_.size(); }
+  const MonthlyDataset& month(std::size_t t) const { return months_.at(t); }
+  MonthlyDataset& mutable_month(std::size_t t) { return months_.at(t); }
+  const std::vector<MonthlyDataset>& months() const { return months_; }
+
+  /// Total records across all months.
+  std::size_t TotalRecords() const;
+
+  /// Returns a corpus restricted to records whose hospital satisfies
+  /// `predicate` (used by the geographic and hospital-class analyses).
+  /// The catalog is shared with this corpus.
+  template <typename Predicate>
+  MicCorpus FilterByHospital(Predicate predicate) const {
+    MicCorpus out(catalog_);
+    for (const auto& month : months_) {
+      MonthlyDataset filtered(month.month());
+      for (const auto& record : month.records()) {
+        if (predicate(record.hospital)) filtered.AddRecord(record);
+      }
+      Status status = out.AddMonth(std::move(filtered));
+      (void)status;  // Ordering is preserved by construction.
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Catalog> catalog_;
+  std::vector<MonthlyDataset> months_;
+};
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_DATASET_H_

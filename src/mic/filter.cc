@@ -1,0 +1,71 @@
+#include "mic/filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mic {
+namespace {
+
+template <typename Id>
+std::unordered_set<Id> RareIds(const FrequencyMap<Id>& freq,
+                               std::uint64_t min_count) {
+  std::unordered_set<Id> rare;
+  for (const auto& [id, count] : freq) {
+    if (count < min_count) rare.insert(id);
+  }
+  return rare;
+}
+
+template <typename Id>
+std::size_t PruneBag(const std::unordered_set<Id>& rare,
+                     std::vector<IdCount<Id>>& bag) {
+  const std::size_t before = bag.size();
+  bag.erase(std::remove_if(bag.begin(), bag.end(),
+                           [&rare](const IdCount<Id>& entry) {
+                             return rare.count(entry.id) > 0;
+                           }),
+            bag.end());
+  return before - bag.size();
+}
+
+}  // namespace
+
+FilterReport FilterMonth(const FilterOptions& options, MonthlyDataset& month) {
+  FilterReport report;
+  const auto rare_diseases =
+      RareIds(month.DiseaseFrequencies(), options.min_disease_count);
+  const auto rare_medicines =
+      RareIds(month.MedicineFrequencies(), options.min_medicine_count);
+  report.diseases_removed = rare_diseases.size();
+  report.medicines_removed = rare_medicines.size();
+
+  auto& records = month.mutable_records();
+  for (auto& record : records) {
+    PruneBag(rare_diseases, record.diseases);
+    PruneBag(rare_medicines, record.medicines);
+  }
+  if (options.drop_empty_records) {
+    const std::size_t before = records.size();
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [](const MicRecord& record) {
+                                   return record.diseases.empty() ||
+                                          record.medicines.empty();
+                                 }),
+                  records.end());
+    report.records_dropped = before - records.size();
+  }
+  return report;
+}
+
+FilterReport FilterCorpus(const FilterOptions& options, MicCorpus& corpus) {
+  FilterReport total;
+  for (std::size_t t = 0; t < corpus.num_months(); ++t) {
+    const FilterReport report = FilterMonth(options, corpus.mutable_month(t));
+    total.diseases_removed += report.diseases_removed;
+    total.medicines_removed += report.medicines_removed;
+    total.records_dropped += report.records_dropped;
+  }
+  return total;
+}
+
+}  // namespace mic

@@ -1,0 +1,41 @@
+// Frequency-based pruning applied before model fitting (paper §VI):
+// diseases and medicines appearing fewer than `min_count` times within a
+// month are removed from that month's records, as in the topic-modeling
+// literature the paper follows.
+
+#ifndef MICTREND_MIC_FILTER_H_
+#define MICTREND_MIC_FILTER_H_
+
+#include <cstdint>
+
+#include "mic/dataset.h"
+
+namespace mic {
+
+struct FilterOptions {
+  /// Minimum per-month multiplicity for a disease to be kept (paper: 5).
+  std::uint64_t min_disease_count = 5;
+  /// Minimum per-month multiplicity for a medicine to be kept (paper: 5).
+  std::uint64_t min_medicine_count = 5;
+  /// Drop records left with no disease or no medicine after pruning:
+  /// they carry no information for the medication model.
+  bool drop_empty_records = true;
+};
+
+/// Statistics of one filtering pass.
+struct FilterReport {
+  std::size_t diseases_removed = 0;
+  std::size_t medicines_removed = 0;
+  std::size_t records_dropped = 0;
+};
+
+/// Prunes one month in place and reports what was removed.
+FilterReport FilterMonth(const FilterOptions& options,
+                         MonthlyDataset& month);
+
+/// Prunes every month of `corpus` in place; returns aggregate counts.
+FilterReport FilterCorpus(const FilterOptions& options, MicCorpus& corpus);
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_FILTER_H_

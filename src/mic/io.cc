@@ -1,0 +1,175 @@
+#include "mic/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace mic {
+namespace {
+
+constexpr char kRecordHeader[] = "month,hospital,patient,diseases,medicines";
+
+template <typename Id>
+std::string FormatBag(const std::vector<IdCount<Id>>& bag,
+                      const Vocabulary<Id>& vocab) {
+  std::string out;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (i > 0) out += ';';
+    out += vocab.Name(bag[i].id);
+    if (bag[i].count != 1) {
+      out += ':';
+      out += std::to_string(bag[i].count);
+    }
+  }
+  return out;
+}
+
+template <typename Id>
+Status ParseBag(std::string_view field, Vocabulary<Id>& vocab,
+                std::vector<IdCount<Id>>& bag) {
+  if (StripWhitespace(field).empty()) return Status::OK();
+  for (const std::string& entry : Split(field, ';')) {
+    const auto parts = Split(entry, ':');
+    if (parts.empty() || parts.size() > 2) {
+      return Status::InvalidArgument("malformed bag entry: '" + entry + "'");
+    }
+    std::uint32_t count = 1;
+    if (parts.size() == 2) {
+      MIC_ASSIGN_OR_RETURN(std::int64_t parsed, ParseInt64(parts[1]));
+      if (parsed <= 0) {
+        return Status::InvalidArgument("non-positive multiplicity in '" +
+                                       entry + "'");
+      }
+      count = static_cast<std::uint32_t>(parsed);
+    }
+    const std::string_view name = StripWhitespace(parts[0]);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty name in bag entry: '" + entry +
+                                     "'");
+    }
+    bag.push_back({vocab.Intern(name), count});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCorpusCsv(const MicCorpus& corpus, std::ostream& out) {
+  out << kRecordHeader << "\n";
+  const Catalog& catalog = corpus.catalog();
+  for (const auto& month : corpus.months()) {
+    for (const auto& record : month.records()) {
+      out << month.month() << ','
+          << catalog.hospitals().Name(record.hospital) << ','
+          << catalog.patients().Name(record.patient) << ','
+          << FormatBag(record.diseases, catalog.diseases()) << ','
+          << FormatBag(record.medicines, catalog.medicines()) << "\n";
+    }
+  }
+  if (!out.good()) return Status::IoError("stream failure writing corpus");
+  return Status::OK();
+}
+
+Status WriteCorpusCsvFile(const MicCorpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteCorpusCsv(corpus, out);
+}
+
+Result<MicCorpus> ReadCorpusCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      StripWhitespace(line) != kRecordHeader) {
+    return Status::InvalidArgument(
+        std::string("expected header '") + kRecordHeader + "'");
+  }
+  MicCorpus corpus;
+  Catalog& catalog = corpus.catalog();
+  std::vector<MonthlyDataset> months;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected 5 fields, got " +
+          std::to_string(fields.size()));
+    }
+    MIC_ASSIGN_OR_RETURN(std::int64_t month_value, ParseInt64(fields[0]));
+    if (month_value < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": negative month index");
+    }
+    const auto month = static_cast<std::size_t>(month_value);
+    while (months.size() <= month) {
+      months.emplace_back(static_cast<MonthIndex>(months.size()));
+    }
+    MicRecord record;
+    record.hospital = catalog.hospitals().Intern(StripWhitespace(fields[1]));
+    record.patient = catalog.patients().Intern(StripWhitespace(fields[2]));
+    MIC_RETURN_IF_ERROR(
+        ParseBag(fields[3], catalog.diseases(), record.diseases));
+    MIC_RETURN_IF_ERROR(
+        ParseBag(fields[4], catalog.medicines(), record.medicines));
+    record.Normalize();
+    months[month].AddRecord(std::move(record));
+  }
+  for (auto& month : months) {
+    MIC_RETURN_IF_ERROR(corpus.AddMonth(std::move(month)));
+  }
+  return corpus;
+}
+
+Result<MicCorpus> ReadCorpusCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadCorpusCsv(in);
+}
+
+Status WriteHospitalsCsv(const Catalog& catalog, std::ostream& out) {
+  out << "hospital,city,beds\n";
+  for (std::uint32_t i = 0; i < catalog.hospitals().size(); ++i) {
+    const HospitalId id(i);
+    auto info = catalog.GetHospitalInfo(id);
+    if (!info.ok()) continue;
+    out << catalog.hospitals().Name(id) << ','
+        << catalog.cities().Name(info->city) << ',' << info->beds << "\n";
+  }
+  if (!out.good()) return Status::IoError("stream failure writing hospitals");
+  return Status::OK();
+}
+
+Status ReadHospitalsCsv(std::istream& in, Catalog& catalog) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      StripWhitespace(line) != std::string_view("hospital,city,beds")) {
+    return Status::InvalidArgument("expected header 'hospital,city,beds'");
+  }
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected 3 fields");
+    }
+    const HospitalId hospital =
+        catalog.hospitals().Intern(StripWhitespace(fields[0]));
+    HospitalInfo info;
+    info.city = catalog.cities().Intern(StripWhitespace(fields[1]));
+    MIC_ASSIGN_OR_RETURN(std::int64_t beds, ParseInt64(fields[2]));
+    if (beds < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": negative bed count");
+    }
+    info.beds = static_cast<std::uint32_t>(beds);
+    catalog.SetHospitalInfo(hospital, info);
+  }
+  return Status::OK();
+}
+
+}  // namespace mic

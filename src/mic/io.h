@@ -1,0 +1,38 @@
+// CSV import/export for MIC corpora.
+//
+// Line format (header line required):
+//   month,hospital,patient,diseases,medicines
+// where `diseases` / `medicines` are ';'-separated "name:count" entries
+// ("name" alone means count 1). Hospital attributes travel in a separate
+// file: hospital,city,beds.
+
+#ifndef MICTREND_MIC_IO_H_
+#define MICTREND_MIC_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "mic/dataset.h"
+
+namespace mic {
+
+/// Writes `corpus` records as CSV to `out`.
+Status WriteCorpusCsv(const MicCorpus& corpus, std::ostream& out);
+/// Writes `corpus` records as CSV to the file at `path`.
+Status WriteCorpusCsvFile(const MicCorpus& corpus, const std::string& path);
+
+/// Parses a corpus from CSV. Months absent from the input become empty
+/// datasets so month indices stay consecutive.
+Result<MicCorpus> ReadCorpusCsv(std::istream& in);
+Result<MicCorpus> ReadCorpusCsvFile(const std::string& path);
+
+/// Writes hospital attributes (hospital,city,beds) to `out`.
+Status WriteHospitalsCsv(const Catalog& catalog, std::ostream& out);
+
+/// Reads hospital attributes into `catalog` (interning names).
+Status ReadHospitalsCsv(std::istream& in, Catalog& catalog);
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_IO_H_

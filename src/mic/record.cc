@@ -1,0 +1,32 @@
+#include "mic/record.h"
+
+#include <algorithm>
+
+namespace mic {
+namespace {
+
+template <typename Id>
+void NormalizeBag(std::vector<IdCount<Id>>& bag) {
+  std::sort(bag.begin(), bag.end(),
+            [](const IdCount<Id>& a, const IdCount<Id>& b) {
+              return a.id < b.id;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (out > 0 && bag[out - 1].id == bag[i].id) {
+      bag[out - 1].count += bag[i].count;
+    } else {
+      bag[out++] = bag[i];
+    }
+  }
+  bag.resize(out);
+}
+
+}  // namespace
+
+void MicRecord::Normalize() {
+  NormalizeBag(diseases);
+  NormalizeBag(medicines);
+}
+
+}  // namespace mic

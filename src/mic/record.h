@@ -1,0 +1,48 @@
+// MicRecord: one monthly claim for one patient at one institution.
+//
+// Per the paper (§III-A), a record carries a *bag* of diagnosed diseases
+// and a *bag* of prescribed medicines with no links between them; the
+// medication model (src/medmodel) recovers those links.
+
+#ifndef MICTREND_MIC_RECORD_H_
+#define MICTREND_MIC_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mic/types.h"
+
+namespace mic {
+
+/// One MIC record: (hospital, patient, d_r, m_r) for one month.
+/// Bags are stored as (id, multiplicity) pairs sorted by id.
+struct MicRecord {
+  HospitalId hospital;
+  PatientId patient;
+  /// Diseases diagnosed this month with multiplicities (N_rd).
+  std::vector<DiseaseCount> diseases;
+  /// Medicines prescribed this month with multiplicities.
+  std::vector<MedicineCount> medicines;
+
+  /// N_r: total disease mentions (sum of multiplicities).
+  std::uint32_t TotalDiseaseMentions() const {
+    std::uint32_t total = 0;
+    for (const auto& entry : diseases) total += entry.count;
+    return total;
+  }
+
+  /// L_r: total medicine prescriptions (sum of multiplicities).
+  std::uint32_t TotalMedicineMentions() const {
+    std::uint32_t total = 0;
+    for (const auto& entry : medicines) total += entry.count;
+    return total;
+  }
+
+  /// Sorts both bags by id and merges duplicate entries. Call after
+  /// constructing a record from unordered events.
+  void Normalize();
+};
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_RECORD_H_

@@ -1,0 +1,80 @@
+#include "mic/summary.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace mic {
+
+Result<CorpusSummary> SummarizeCorpus(const MicCorpus& corpus) {
+  CorpusSummary summary;
+  summary.num_months = corpus.num_months();
+  summary.total_records = corpus.TotalRecords();
+  if (summary.total_records == 0) {
+    return Status::InvalidArgument("corpus has no records");
+  }
+
+  std::size_t nonempty_months = 0;
+  std::uint64_t disease_mentions = 0;
+  std::uint64_t medicine_mentions = 0;
+  for (std::size_t t = 0; t < corpus.num_months(); ++t) {
+    const MonthlyDataset& month = corpus.month(t);
+    if (month.empty()) continue;
+    ++nonempty_months;
+    summary.mean_records_per_month += static_cast<double>(month.size());
+    std::unordered_set<HospitalId> hospitals;
+    std::unordered_set<PatientId> patients;
+    for (const MicRecord& record : month.records()) {
+      hospitals.insert(record.hospital);
+      patients.insert(record.patient);
+      disease_mentions += record.TotalDiseaseMentions();
+      medicine_mentions += record.TotalMedicineMentions();
+    }
+    summary.mean_hospitals_per_month +=
+        static_cast<double>(hospitals.size());
+    summary.mean_patients_per_month +=
+        static_cast<double>(patients.size());
+    summary.mean_distinct_diseases_per_month +=
+        static_cast<double>(month.CountDistinctDiseases());
+    summary.mean_distinct_medicines_per_month +=
+        static_cast<double>(month.CountDistinctMedicines());
+  }
+  const double months = static_cast<double>(nonempty_months);
+  summary.mean_records_per_month /= months;
+  summary.mean_hospitals_per_month /= months;
+  summary.mean_patients_per_month /= months;
+  summary.mean_distinct_diseases_per_month /= months;
+  summary.mean_distinct_medicines_per_month /= months;
+  summary.mean_diseases_per_record =
+      static_cast<double>(disease_mentions) /
+      static_cast<double>(summary.total_records);
+  summary.mean_medicines_per_record =
+      static_cast<double>(medicine_mentions) /
+      static_cast<double>(summary.total_records);
+  return summary;
+}
+
+std::string FormatCorpusSummary(const CorpusSummary& summary) {
+  std::string out;
+  out += StrFormat("months:                        %zu\n",
+                   summary.num_months);
+  out += StrFormat("total records:                 %zu\n",
+                   summary.total_records);
+  out += StrFormat("mean records / month:          %.1f\n",
+                   summary.mean_records_per_month);
+  out += StrFormat("mean hospitals / month:        %.1f\n",
+                   summary.mean_hospitals_per_month);
+  out += StrFormat("mean patients / month:         %.1f\n",
+                   summary.mean_patients_per_month);
+  out += StrFormat("mean distinct diseases / month: %.1f\n",
+                   summary.mean_distinct_diseases_per_month);
+  out += StrFormat("mean distinct medicines / month: %.1f\n",
+                   summary.mean_distinct_medicines_per_month);
+  out += StrFormat("mean diseases / record:        %.3f\n",
+                   summary.mean_diseases_per_record);
+  out += StrFormat("mean medicines / record:       %.3f\n",
+                   summary.mean_medicines_per_record);
+  return out;
+}
+
+}  // namespace mic

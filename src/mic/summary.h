@@ -1,0 +1,39 @@
+// Corpus-level descriptive statistics — the quantities the paper's §VI
+// reports for its dataset (monthly means of institutions, patients,
+// records, distinct diseases/medicines, and the per-record bag sizes
+// whose magnitude motivates the missing-link problem).
+
+#ifndef MICTREND_MIC_SUMMARY_H_
+#define MICTREND_MIC_SUMMARY_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "mic/dataset.h"
+
+namespace mic {
+
+struct CorpusSummary {
+  std::size_t num_months = 0;
+  std::size_t total_records = 0;
+  /// Monthly means over non-empty months.
+  double mean_records_per_month = 0.0;
+  double mean_hospitals_per_month = 0.0;
+  double mean_patients_per_month = 0.0;
+  double mean_distinct_diseases_per_month = 0.0;
+  double mean_distinct_medicines_per_month = 0.0;
+  /// Record-level means over all records (paper: 7.435 and 4.788).
+  double mean_diseases_per_record = 0.0;
+  double mean_medicines_per_record = 0.0;
+};
+
+/// Computes the summary; fails on a corpus with no records.
+Result<CorpusSummary> SummarizeCorpus(const MicCorpus& corpus);
+
+/// Renders the summary as aligned text lines.
+std::string FormatCorpusSummary(const CorpusSummary& summary);
+
+}  // namespace mic
+
+#endif  // MICTREND_MIC_SUMMARY_H_

@@ -1,0 +1,84 @@
+// Strongly typed identifiers for the MIC data model.
+//
+// Diseases, medicines, hospitals, and patients are interned into dense
+// integer ids (see catalog.h); the phantom Tag parameter prevents mixing
+// id spaces at compile time.
+
+#ifndef MICTREND_MIC_TYPES_H_
+#define MICTREND_MIC_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mic {
+
+/// Dense id in one interned vocabulary. Tag is a phantom type.
+template <typename Tag>
+class TypedId {
+ public:
+  using ValueType = std::uint32_t;
+  static constexpr ValueType kInvalidValue = 0xFFFFFFFFu;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(ValueType value) : value_(value) {}
+
+  constexpr ValueType value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  ValueType value_ = kInvalidValue;
+};
+
+struct DiseaseTag {};
+struct MedicineTag {};
+struct HospitalTag {};
+struct PatientTag {};
+struct CityTag {};
+
+using DiseaseId = TypedId<DiseaseTag>;
+using MedicineId = TypedId<MedicineTag>;
+using HospitalId = TypedId<HospitalTag>;
+using PatientId = TypedId<PatientTag>;
+using CityId = TypedId<CityTag>;
+
+/// Zero-based month offset from the start of the observation window.
+using MonthIndex = std::int32_t;
+
+/// An id together with its multiplicity inside one MIC record (e.g. a
+/// disease diagnosed N_rd times, a medicine prescribed k times).
+template <typename Id>
+struct IdCount {
+  Id id;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const IdCount&, const IdCount&) = default;
+};
+
+using DiseaseCount = IdCount<DiseaseId>;
+using MedicineCount = IdCount<MedicineId>;
+
+}  // namespace mic
+
+namespace std {
+
+template <typename Tag>
+struct hash<mic::TypedId<Tag>> {
+  size_t operator()(mic::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+}  // namespace std
+
+#endif  // MICTREND_MIC_TYPES_H_

@@ -1,0 +1,240 @@
+#include "ssm/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mic::ssm {
+
+std::string_view SelectionCriterionName(SelectionCriterion criterion) {
+  switch (criterion) {
+    case SelectionCriterion::kAic:
+      return "AIC";
+    case SelectionCriterion::kAicc:
+      return "AICc";
+    case SelectionCriterion::kBic:
+      return "BIC";
+  }
+  return "?";
+}
+
+double InformationCriterion(double log_likelihood, int parameters, int n,
+                            SelectionCriterion criterion) {
+  const double k = static_cast<double>(parameters);
+  const double base = -2.0 * log_likelihood + 2.0 * k;
+  switch (criterion) {
+    case SelectionCriterion::kAic:
+      return base;
+    case SelectionCriterion::kAicc: {
+      const double denominator = static_cast<double>(n) - k - 1.0;
+      if (denominator <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return base + 2.0 * k * (k + 1.0) / denominator;
+    }
+    case SelectionCriterion::kBic:
+      return -2.0 * log_likelihood +
+             k * std::log(static_cast<double>(n));
+  }
+  return base;
+}
+
+ChangePointDetector::ChangePointDetector(std::vector<double> series,
+                                         const ChangePointOptions& options)
+    : series_(std::move(series)), options_(options) {}
+
+void ChangePointDetector::ResetCache() {
+  aic_cache_.clear();
+  model_cache_.clear();
+  fits_performed_ = 0;
+}
+
+double ChangePointDetector::CriterionOf(
+    const FittedStructuralModel& fitted) const {
+  return InformationCriterion(fitted.log_likelihood,
+                              fitted.spec.TotalParameters(),
+                              static_cast<int>(series_.size()),
+                              options_.criterion);
+}
+
+Result<FittedStructuralModel> ChangePointDetector::FitWith(
+    const std::vector<Intervention>& interventions) {
+  StructuralSpec spec;
+  spec.seasonal = options_.seasonal;
+  spec.period = options_.period;
+  spec.interventions = interventions;
+  MIC_ASSIGN_OR_RETURN(FittedStructuralModel fitted,
+                       FitStructuralModel(series_, spec, options_.fit));
+  ++fits_performed_;
+  return fitted;
+}
+
+Result<double> ChangePointDetector::AicAt(int t_cp) {
+  auto it = aic_cache_.find(t_cp);
+  if (it != aic_cache_.end()) return it->second;
+
+  if (t_cp == kNoChangePoint) {
+    MIC_ASSIGN_OR_RETURN(FittedStructuralModel fitted, FitWith({}));
+    const double criterion = CriterionOf(fitted);
+    aic_cache_.emplace(t_cp, criterion);
+    model_cache_.emplace(t_cp, std::move(fitted));
+    return criterion;
+  }
+
+  // One fit per candidate kind; keep the criterion-best shape.
+  double best_criterion = std::numeric_limits<double>::infinity();
+  std::optional<FittedStructuralModel> best_fit;
+  Status last_error = Status::OK();
+  for (InterventionKind kind : options_.candidate_kinds) {
+    auto fitted = FitWith({{t_cp, kind}});
+    if (!fitted.ok()) {
+      last_error = fitted.status();
+      continue;
+    }
+    const double criterion = CriterionOf(*fitted);
+    if (criterion < best_criterion) {
+      best_criterion = criterion;
+      best_fit = std::move(fitted).value();
+    }
+  }
+  if (!best_fit.has_value()) {
+    return last_error.ok()
+               ? Status::InvalidArgument("no candidate kinds configured")
+               : last_error;
+  }
+  aic_cache_.emplace(t_cp, best_criterion);
+  model_cache_.emplace(t_cp, std::move(*best_fit));
+  return best_criterion;
+}
+
+Result<ChangePointResult> ChangePointDetector::Finalize(int best_candidate) {
+  // Final comparison against the no-intervention model (the paper's
+  // t = infinity candidate).
+  MIC_ASSIGN_OR_RETURN(const double aic_without, AicAt(kNoChangePoint));
+  MIC_ASSIGN_OR_RETURN(const double aic_best, AicAt(best_candidate));
+
+  ChangePointResult result;
+  result.aic_without_intervention = aic_without;
+  result.fits_performed = fits_performed_;
+  if (best_candidate != kNoChangePoint &&
+      aic_best <= aic_without - options_.aic_margin) {
+    result.has_change = true;
+    result.change_point = best_candidate;
+    result.best_aic = aic_best;
+    result.best_model = model_cache_.at(best_candidate);
+    if (!result.best_model.spec.interventions.empty()) {
+      result.kind = result.best_model.spec.interventions.front().kind;
+    }
+  } else {
+    result.has_change = false;
+    result.change_point = kNoChangePoint;
+    result.best_aic = aic_without;
+    result.best_model = model_cache_.at(kNoChangePoint);
+  }
+  return result;
+}
+
+Result<ChangePointResult> ChangePointDetector::DetectExact() {
+  const int n = static_cast<int>(series_.size()) -
+                std::max(options_.min_tail_observations - 1, 0);
+  int best_candidate = kNoChangePoint;
+  double best_aic = std::numeric_limits<double>::infinity();
+  for (int t = options_.min_candidate; t < n; ++t) {
+    auto aic = AicAt(t);
+    if (!aic.ok()) continue;  // Numerically infeasible candidate.
+    if (*aic <= best_aic) {
+      best_aic = *aic;
+      best_candidate = t;
+    }
+  }
+  return Finalize(best_candidate);
+}
+
+Result<ChangePointResult> ChangePointDetector::DetectApproximate() {
+  const int n = static_cast<int>(series_.size()) -
+                std::max(options_.min_tail_observations - 1, 0);
+  int left = options_.min_candidate;
+  int right = n - 1;
+  if (left >= right) return Finalize(left < n ? left : kNoChangePoint);
+
+  // Algorithm 2: halve towards the endpoint with the lower criterion.
+  while (right - left > 1) {
+    const int middle = (left + right) / 2;
+    MIC_ASSIGN_OR_RETURN(const double aic_left, AicAt(left));
+    MIC_ASSIGN_OR_RETURN(const double aic_right, AicAt(right));
+    if (aic_left < aic_right) {
+      right = middle;
+    } else {
+      left = middle;
+    }
+  }
+  MIC_ASSIGN_OR_RETURN(const double aic_left, AicAt(left));
+  MIC_ASSIGN_OR_RETURN(const double aic_right, AicAt(right));
+  const int best = aic_left <= aic_right ? left : right;
+  return Finalize(best);
+}
+
+Result<MultiChangePointResult> ChangePointDetector::DetectMultiple(
+    int max_breaks) {
+  if (max_breaks < 1) {
+    return Status::InvalidArgument("max_breaks must be >= 1");
+  }
+  const int n = static_cast<int>(series_.size()) -
+                std::max(options_.min_tail_observations - 1, 0);
+
+  MultiChangePointResult result;
+  MIC_ASSIGN_OR_RETURN(FittedStructuralModel current, FitWith({}));
+  result.aic_without_intervention = CriterionOf(current);
+  double current_criterion = result.aic_without_intervention;
+  std::vector<Intervention> accepted;
+
+  for (int round = 0; round < max_breaks; ++round) {
+    double best_criterion = std::numeric_limits<double>::infinity();
+    std::optional<FittedStructuralModel> best_fit;
+    std::optional<Intervention> best_intervention;
+    for (int t = options_.min_candidate; t < n; ++t) {
+      for (InterventionKind kind : options_.candidate_kinds) {
+        const Intervention candidate{t, kind};
+        if (std::find(accepted.begin(), accepted.end(), candidate) !=
+            accepted.end()) {
+          continue;
+        }
+        std::vector<Intervention> trial = accepted;
+        trial.push_back(candidate);
+        auto fitted = FitWith(trial);
+        if (!fitted.ok()) continue;
+        const double criterion = CriterionOf(*fitted);
+        if (criterion < best_criterion) {
+          best_criterion = criterion;
+          best_fit = std::move(fitted).value();
+          best_intervention = candidate;
+        }
+      }
+    }
+    if (!best_intervention.has_value() ||
+        best_criterion > current_criterion - options_.aic_margin) {
+      break;  // No further break pays for its parameter.
+    }
+    accepted.push_back(*best_intervention);
+    current = std::move(*best_fit);
+    current_criterion = best_criterion;
+  }
+
+  result.interventions = accepted;
+  result.best_aic = current_criterion;
+  result.best_model = std::move(current);
+  result.fits_performed = fits_performed_;
+  return result;
+}
+
+Result<std::vector<double>> ChangePointDetector::AicCurve() {
+  const int n = static_cast<int>(series_.size());
+  std::vector<double> curve(n, std::numeric_limits<double>::quiet_NaN());
+  for (int t = options_.min_candidate; t < n; ++t) {
+    auto aic = AicAt(t);
+    if (aic.ok()) curve[t] = *aic;
+  }
+  return curve;
+}
+
+}  // namespace mic::ssm

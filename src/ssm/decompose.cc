@@ -1,0 +1,58 @@
+#include "ssm/decompose.h"
+
+#include "ssm/structural.h"
+
+namespace mic::ssm {
+
+Result<Decomposition> Decompose(const FittedStructuralModel& fitted,
+                                const std::vector<double>& series) {
+  const std::size_t n = series.size();
+  std::vector<std::vector<double>> regressors;
+  regressors.reserve(fitted.spec.interventions.size());
+  for (const Intervention& intervention : fitted.spec.interventions) {
+    regressors.push_back(
+        InterventionRegressor(intervention, static_cast<int>(n)));
+  }
+
+  // The base components are smoothed on the intervention-adjusted
+  // series; the intervention contribution is deterministic given the
+  // GLS lambdas.
+  std::vector<double> adjusted(series);
+  for (std::size_t k = 0; k < regressors.size(); ++k) {
+    const double lambda =
+        k < fitted.lambdas.size() ? fitted.lambdas[k] : 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      adjusted[t] -= lambda * regressors[k][t];
+    }
+  }
+  MIC_ASSIGN_OR_RETURN(SmootherResult smoothed,
+                       RunSmoother(fitted.model, adjusted));
+  const StructuralLayout layout = LayoutFor(fitted.spec);
+
+  Decomposition decomposition;
+  decomposition.level.resize(n);
+  decomposition.seasonal.assign(n, 0.0);
+  decomposition.intervention.assign(n, 0.0);
+  decomposition.fitted.resize(n);
+  decomposition.irregular.resize(n);
+  decomposition.lambda = fitted.lambda;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const la::Vector& state = smoothed.smoothed_states[t];
+    decomposition.level[t] = state[layout.level_index];
+    decomposition.seasonal[t] =
+        SeasonalContribution(fitted.spec, layout, state);
+    for (std::size_t k = 0; k < regressors.size(); ++k) {
+      const double lambda =
+          k < fitted.lambdas.size() ? fitted.lambdas[k] : 0.0;
+      decomposition.intervention[t] += lambda * regressors[k][t];
+    }
+    decomposition.fitted[t] = decomposition.level[t] +
+                              decomposition.seasonal[t] +
+                              decomposition.intervention[t];
+    decomposition.irregular[t] = series[t] - decomposition.fitted[t];
+  }
+  return decomposition;
+}
+
+}  // namespace mic::ssm

@@ -1,0 +1,32 @@
+// Component decomposition of a fitted structural model (§VII-A):
+// smoothed level, seasonal, and intervention components plus the
+// irregular remainder — the middle panels of Figs. 6 and 7.
+
+#ifndef MICTREND_SSM_DECOMPOSE_H_
+#define MICTREND_SSM_DECOMPOSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ssm/fit.h"
+#include "ssm/kalman.h"
+
+namespace mic::ssm {
+
+struct Decomposition {
+  std::vector<double> level;         // mu_t
+  std::vector<double> seasonal;      // gamma_t (zeros when absent)
+  std::vector<double> intervention;  // lambda * w_t (zeros when absent)
+  std::vector<double> fitted;        // level + seasonal + intervention
+  std::vector<double> irregular;     // x_t - fitted
+  /// Smoothed estimate of the intervention scale lambda (0 when absent).
+  double lambda = 0.0;
+};
+
+/// Smooths `series` under `fitted` and splits it into components.
+Result<Decomposition> Decompose(const FittedStructuralModel& fitted,
+                                const std::vector<double>& series);
+
+}  // namespace mic::ssm
+
+#endif  // MICTREND_SSM_DECOMPOSE_H_

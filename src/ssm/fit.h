@@ -1,0 +1,72 @@
+// Maximum-likelihood fitting of structural models: Nelder-Mead over the
+// log-variance hyperparameters around the Kalman filter, with the
+// intervention coefficient lambda profiled out by innovation-space GLS,
+// plus the AIC used for model comparison and change point selection
+// (§V-B).
+//
+// AIC convention (after Commandeur & Koopman):
+//   AIC = -2 logL + 2 (d + w + [intervention])
+// with d = diffusely initialized states and w = estimated variances.
+// Because lambda is profiled on exactly the likelihood terms the base
+// model uses, AICs of all candidate change points and the
+// no-intervention model are directly comparable.
+
+#ifndef MICTREND_SSM_FIT_H_
+#define MICTREND_SSM_FIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ssm/kalman.h"
+#include "ssm/optimizer.h"
+#include "ssm/structural.h"
+
+namespace mic::ssm {
+
+struct StructuralFitOptions {
+  NelderMeadOptions optimizer;
+  /// Nelder-Mead restarts from the incumbent optimum with a halved
+  /// initial step; cheap insurance against premature simplex collapse
+  /// on flat likelihood ridges.
+  int restarts = 1;
+};
+
+/// A fitted structural model.
+struct FittedStructuralModel {
+  StructuralSpec spec;
+  StructuralVariances variances;
+  /// Base (level + seasonal) model bound to the ML variances.
+  StateSpaceModel model;
+  /// GLS estimates of the intervention scales, aligned with
+  /// spec.interventions (empty when no intervention).
+  std::vector<double> lambdas;
+  /// Convenience: the first intervention's scale (0 when none).
+  double lambda = 0.0;
+  /// Sampling variance of the single lambda (meaningful only for
+  /// one-intervention specs; infinity otherwise).
+  double lambda_variance = 0.0;
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  int optimizer_evaluations = 0;
+};
+
+/// Fits `spec` to `series` by maximum likelihood. Requires at least
+/// spec.NumDiffuseStates() + 2 observations, and change_point (if any)
+/// inside the series.
+Result<FittedStructuralModel> FitStructuralModel(
+    const std::vector<double>& series, const StructuralSpec& spec,
+    const StructuralFitOptions& options = {});
+
+/// AIC of a fitted model given the spec's parameter accounting.
+double StructuralAic(double log_likelihood, const StructuralSpec& spec);
+
+/// Mean forecasts `horizon` steps ahead: the base components are
+/// forecast by the Kalman filter and the intervention contribution
+/// lambda * w_t is extended deterministically.
+Result<ForecastResult> ForecastStructural(
+    const FittedStructuralModel& fitted, const std::vector<double>& series,
+    int horizon);
+
+}  // namespace mic::ssm
+
+#endif  // MICTREND_SSM_FIT_H_

@@ -1,0 +1,51 @@
+#include "ssm/model.h"
+
+#include <cmath>
+
+namespace mic::ssm {
+
+la::Vector StateSpaceModel::ObservationVector(std::size_t t) const {
+  la::Vector z = observation;
+  for (const TimeVaryingObservation& entry : time_varying) {
+    if (t < entry.values.size()) {
+      z[entry.state_index] = entry.values[t];
+    }
+  }
+  return z;
+}
+
+Status StateSpaceModel::Validate() const {
+  const std::size_t n = state_dim();
+  if (n == 0) return Status::InvalidArgument("empty state vector");
+  if (transition.rows() != n || transition.cols() != n) {
+    return Status::InvalidArgument("transition must be n x n");
+  }
+  if (selection.rows() != n) {
+    return Status::InvalidArgument("selection must have n rows");
+  }
+  const std::size_t q = selection.cols();
+  if (state_noise.rows() != q || state_noise.cols() != q) {
+    return Status::InvalidArgument("state noise must be q x q");
+  }
+  if (initial_state.size() != n) {
+    return Status::InvalidArgument("initial state must have n entries");
+  }
+  if (initial_covariance.rows() != n || initial_covariance.cols() != n) {
+    return Status::InvalidArgument("initial covariance must be n x n");
+  }
+  if (!(observation_variance >= 0.0) ||
+      !std::isfinite(observation_variance)) {
+    return Status::InvalidArgument("observation variance must be finite");
+  }
+  for (const TimeVaryingObservation& entry : time_varying) {
+    if (entry.state_index >= n) {
+      return Status::InvalidArgument("time-varying index out of range");
+    }
+  }
+  if (num_diffuse < 0 || static_cast<std::size_t>(num_diffuse) > n) {
+    return Status::InvalidArgument("num_diffuse out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace mic::ssm

@@ -1,0 +1,67 @@
+// Linear Gaussian state space model with a univariate observation:
+//
+//   x_t     = Z_t' a_t + eps_t,        eps_t ~ N(0, h)
+//   a_{t+1} = T a_t + R eta_t,         eta_t ~ N(0, Q)
+//
+// Z_t may vary over time through sparse overrides (the intervention
+// regressor w_t of §V enters this way). Nonstationary states are
+// initialized with the big-kappa approximate diffuse prior (Commandeur &
+// Koopman); the first `num_diffuse` prediction errors are excluded from
+// the log-likelihood and AIC accounts for them (see fit.h).
+
+#ifndef MICTREND_SSM_MODEL_H_
+#define MICTREND_SSM_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace mic::ssm {
+
+/// Time-varying entry of the observation vector: state `state_index`
+/// is observed with coefficient `values[t]` at time t.
+struct TimeVaryingObservation {
+  std::size_t state_index = 0;
+  std::vector<double> values;
+};
+
+/// Full specification of one model instance (all hyperparameters bound).
+struct StateSpaceModel {
+  /// T: state transition (n x n).
+  la::Matrix transition;
+  /// R: selection matrix (n x q) mapping state noise into states.
+  la::Matrix selection;
+  /// Q: state noise covariance (q x q).
+  la::Matrix state_noise;
+  /// h: observation noise variance.
+  double observation_variance = 0.0;
+  /// Fixed part of Z (length n).
+  la::Vector observation;
+  /// Sparse time-varying overrides of Z entries.
+  std::vector<TimeVaryingObservation> time_varying;
+  /// a_1: initial state mean.
+  la::Vector initial_state;
+  /// P_1: initial state covariance (big kappa on diffuse states).
+  la::Matrix initial_covariance;
+  /// Number of diffusely initialized states; the first this-many
+  /// prediction errors are dropped from the log-likelihood.
+  int num_diffuse = 0;
+
+  std::size_t state_dim() const { return observation.size(); }
+
+  /// Z_t for a given time.
+  la::Vector ObservationVector(std::size_t t) const;
+
+  /// Structural validation (dimension agreement, finite variances).
+  Status Validate() const;
+};
+
+/// Conventional value of the big-kappa diffuse prior variance, assuming
+/// observations are scaled to O(1)-O(100).
+inline constexpr double kDiffuseKappa = 1e7;
+
+}  // namespace mic::ssm
+
+#endif  // MICTREND_SSM_MODEL_H_

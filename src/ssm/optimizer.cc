@@ -1,0 +1,130 @@
+#include "ssm/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mic::ssm {
+
+Result<NelderMeadResult> MinimizeNelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& start, const NelderMeadOptions& options) {
+  if (start.empty()) {
+    return Status::InvalidArgument("empty start point");
+  }
+  const std::size_t dim = start.size();
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0;
+  constexpr double kExpand = 2.0;
+  constexpr double kContract = 0.5;
+  constexpr double kShrink = 0.5;
+
+  NelderMeadResult result;
+  auto evaluate = [&](const std::vector<double>& point) {
+    ++result.evaluations;
+    const double value = objective(point);
+    return std::isfinite(value) ? value
+                                : std::numeric_limits<double>::infinity();
+  };
+
+  // Initial simplex: start plus one step along each axis.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  simplex.reserve(dim + 1);
+  simplex.push_back(start);
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> vertex = start;
+    vertex[i] += options.initial_step;
+    simplex.push_back(std::move(vertex));
+  }
+  values.reserve(dim + 1);
+  for (const auto& vertex : simplex) values.push_back(evaluate(vertex));
+
+  std::vector<std::size_t> order(dim + 1);
+  while (result.evaluations < options.max_evaluations) {
+    // Order vertices by value.
+    for (std::size_t i = 0; i <= dim; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&values](std::size_t a, std::size_t b) {
+                return values[a] < values[b];
+              });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[dim];
+    const std::size_t second_worst = order[dim - 1];
+
+    if (std::isfinite(values[best]) &&
+        values[worst] - values[best] < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i <= dim; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < dim; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& coordinate : centroid) {
+      coordinate /= static_cast<double>(dim);
+    }
+
+    auto blend = [&](double alpha) {
+      std::vector<double> point(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        point[j] = centroid[j] + alpha * (centroid[j] - simplex[worst][j]);
+      }
+      return point;
+    };
+
+    const std::vector<double> reflected = blend(kReflect);
+    const double reflected_value = evaluate(reflected);
+    if (reflected_value < values[order[0]]) {
+      // Try expanding further.
+      const std::vector<double> expanded = blend(kExpand);
+      const double expanded_value = evaluate(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[worst] = expanded;
+        values[worst] = expanded_value;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = reflected_value;
+      }
+      continue;
+    }
+    if (reflected_value < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = reflected_value;
+      continue;
+    }
+    // Contract (outside if the reflection helped at all, inside otherwise).
+    const bool outside = reflected_value < values[worst];
+    const std::vector<double> contracted =
+        blend(outside ? kReflect * kContract : -kContract);
+    const double contracted_value = evaluate(contracted);
+    if (contracted_value < std::min(reflected_value, values[worst])) {
+      simplex[worst] = contracted;
+      values[worst] = contracted_value;
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 0; i <= dim; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < dim; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kShrink * (simplex[i][j] - simplex[best][j]);
+      }
+      values[i] = evaluate(simplex[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= dim; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.best_point = simplex[best];
+  result.best_value = values[best];
+  return result;
+}
+
+}  // namespace mic::ssm

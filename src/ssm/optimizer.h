@@ -1,0 +1,38 @@
+// Derivative-free Nelder-Mead minimizer used to maximize the Kalman
+// log-likelihood over the (log-)variance hyperparameters.
+
+#ifndef MICTREND_SSM_OPTIMIZER_H_
+#define MICTREND_SSM_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mic::ssm {
+
+struct NelderMeadOptions {
+  int max_evaluations = 500;
+  /// Stop when the simplex function-value spread falls below this.
+  double tolerance = 1e-8;
+  /// Initial simplex step added to each coordinate of the start point.
+  double initial_step = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `objective` starting at `start`. The objective may return
+/// +infinity to reject a point (e.g. a numerically failed Kalman run).
+/// Fails only on empty input.
+Result<NelderMeadResult> MinimizeNelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& start, const NelderMeadOptions& options = {});
+
+}  // namespace mic::ssm
+
+#endif  // MICTREND_SSM_OPTIMIZER_H_

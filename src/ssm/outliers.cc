@@ -1,0 +1,85 @@
+#include "ssm/outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/metrics.h"
+
+namespace mic::ssm {
+
+Result<OutlierReport> DetectOutliers(
+    const std::vector<double>& series,
+    const OutlierDetectionOptions& options) {
+  if (options.threshold_sd <= 0.0) {
+    return Status::InvalidArgument("threshold_sd must be positive");
+  }
+  if (options.max_outliers < 0) {
+    return Status::InvalidArgument("max_outliers must be non-negative");
+  }
+
+  OutlierReport report;
+  StructuralSpec spec = options.base_spec;
+
+  for (int round = 0; round <= options.max_outliers; ++round) {
+    MIC_ASSIGN_OR_RETURN(FittedStructuralModel fitted,
+                         FitStructuralModel(series, spec, options.fit));
+    MIC_ASSIGN_OR_RETURN(Decomposition decomposition,
+                         Decompose(fitted, series));
+
+    // Standardize the irregular, excluding months already pulsed.
+    std::vector<double> usable;
+    usable.reserve(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      if (std::find(report.outlier_months.begin(),
+                    report.outlier_months.end(),
+                    static_cast<int>(t)) == report.outlier_months.end()) {
+        usable.push_back(decomposition.irregular[t]);
+      }
+    }
+    const double sd = stats::StdDev(usable);
+
+    int worst_month = -1;
+    double worst_magnitude = 0.0;
+    if (sd > 0.0 && round < options.max_outliers) {
+      for (std::size_t t = 0; t < series.size(); ++t) {
+        if (std::find(report.outlier_months.begin(),
+                      report.outlier_months.end(),
+                      static_cast<int>(t)) !=
+            report.outlier_months.end()) {
+          continue;
+        }
+        const double magnitude =
+            std::fabs(decomposition.irregular[t]) / sd;
+        if (magnitude > worst_magnitude) {
+          worst_magnitude = magnitude;
+          worst_month = static_cast<int>(t);
+        }
+      }
+    }
+
+    if (worst_month < 0 || worst_magnitude <= options.threshold_sd) {
+      // Report the fitted pulse coefficients as the outlier magnitudes:
+      // the pulses were appended after the base interventions in
+      // detection order.
+      const std::size_t base_count = options.base_spec.interventions.size();
+      for (std::size_t i = 0; i < report.outlier_months.size(); ++i) {
+        const std::size_t index = base_count + i;
+        if (index < fitted.lambdas.size()) {
+          report.magnitudes[i] = fitted.lambdas[index];
+        }
+      }
+      report.final_model = std::move(fitted);
+      report.decomposition = std::move(decomposition);
+      return report;
+    }
+
+    report.outlier_months.push_back(worst_month);
+    report.magnitudes.push_back(decomposition.irregular[worst_month]);
+    spec.interventions.push_back(
+        {worst_month, InterventionKind::kPulse});
+  }
+
+  return Status::Internal("outlier loop did not terminate");
+}
+
+}  // namespace mic::ssm

@@ -1,0 +1,217 @@
+#include "ssm/structural.h"
+
+#include <cmath>
+#include <string>
+
+namespace mic::ssm {
+
+std::string_view InterventionKindName(InterventionKind kind) {
+  switch (kind) {
+    case InterventionKind::kSlopeShift:
+      return "slope";
+    case InterventionKind::kLevelShift:
+      return "level";
+    case InterventionKind::kPulse:
+      return "pulse";
+  }
+  return "?";
+}
+
+std::string_view SeasonalFormName(SeasonalForm form) {
+  switch (form) {
+    case SeasonalForm::kDummy:
+      return "dummy";
+    case SeasonalForm::kTrigonometric:
+      return "trig";
+  }
+  return "?";
+}
+
+std::string StructuralSpec::ToString() const {
+  std::string out = "LL";
+  if (seasonal) {
+    out += "+S";
+    if (seasonal_form == SeasonalForm::kTrigonometric) {
+      out += "(trig:" + std::to_string(harmonics) + ")";
+    }
+  }
+  for (const Intervention& intervention : interventions) {
+    out += "+I(";
+    out += InterventionKindName(intervention.kind);
+    out += "@" + std::to_string(intervention.change_point) + ")";
+  }
+  return out;
+}
+
+std::vector<double> SlopeShiftRegressor(int change_point, int length) {
+  std::vector<double> w(length, 0.0);
+  if (change_point == kNoChangePoint) return w;
+  for (int t = 0; t < length; ++t) {
+    if (t >= change_point) {
+      w[t] = static_cast<double>(t - change_point + 1);
+    }
+  }
+  return w;
+}
+
+std::vector<double> InterventionRegressor(const Intervention& intervention,
+                                          int length) {
+  switch (intervention.kind) {
+    case InterventionKind::kSlopeShift:
+      return SlopeShiftRegressor(intervention.change_point, length);
+    case InterventionKind::kLevelShift: {
+      std::vector<double> w(length, 0.0);
+      if (intervention.change_point == kNoChangePoint) return w;
+      for (int t = intervention.change_point; t < length; ++t) {
+        if (t >= 0) w[t] = 1.0;
+      }
+      return w;
+    }
+    case InterventionKind::kPulse: {
+      std::vector<double> w(length, 0.0);
+      if (intervention.change_point >= 0 &&
+          intervention.change_point < length) {
+        w[intervention.change_point] = 1.0;
+      }
+      return w;
+    }
+  }
+  return std::vector<double>(length, 0.0);
+}
+
+StructuralLayout LayoutFor(const StructuralSpec& spec) {
+  StructuralLayout layout;
+  layout.level_index = 0;
+  layout.seasonal_count =
+      static_cast<std::size_t>(spec.NumSeasonalStates());
+  layout.state_dim = 1 + layout.seasonal_count;
+  return layout;
+}
+
+double SeasonalContribution(const StructuralSpec& spec,
+                            const StructuralLayout& layout,
+                            const la::Vector& state) {
+  if (!spec.seasonal) return 0.0;
+  if (spec.seasonal_form == SeasonalForm::kDummy) {
+    return state[layout.seasonal_index];
+  }
+  // Trigonometric: the observed seasonal is the sum of each harmonic's
+  // leading (cosine) state.
+  double total = 0.0;
+  std::size_t offset = layout.seasonal_index;
+  for (int j = 1; j <= spec.harmonics; ++j) {
+    total += state[offset];
+    offset += (2 * j == spec.period) ? 1 : 2;
+  }
+  return total;
+}
+
+Result<StateSpaceModel> BuildStructuralModel(
+    const StructuralSpec& spec, const StructuralVariances& variances) {
+  if (spec.period < 2) {
+    return Status::InvalidArgument("seasonal period must be >= 2");
+  }
+  if (spec.seasonal &&
+      spec.seasonal_form == SeasonalForm::kTrigonometric &&
+      (spec.harmonics < 1 || 2 * spec.harmonics > spec.period)) {
+    return Status::InvalidArgument(
+        "harmonics must be in [1, period/2]");
+  }
+  for (const Intervention& intervention : spec.interventions) {
+    if (intervention.change_point < 0) {
+      return Status::InvalidArgument("change point must be non-negative");
+    }
+  }
+  if (!(variances.observation > 0.0)) {
+    return Status::InvalidArgument("observation variance must be positive");
+  }
+  if (variances.level < 0.0 || variances.seasonal < 0.0) {
+    return Status::InvalidArgument("state variances must be non-negative");
+  }
+
+  const StructuralLayout layout = LayoutFor(spec);
+  const std::size_t dim = layout.state_dim;
+  const bool trigonometric =
+      spec.seasonal && spec.seasonal_form == SeasonalForm::kTrigonometric;
+  // Dummy seasonality carries one shared disturbance; trigonometric
+  // seasonality gives each seasonal state its own (same variance).
+  const std::size_t num_noise =
+      1 + (spec.seasonal ? (trigonometric ? layout.seasonal_count : 1)
+                         : 0);
+
+  StateSpaceModel model;
+  model.transition = la::Matrix(dim, dim);
+  model.selection = la::Matrix(dim, num_noise);
+  model.state_noise = la::Matrix(num_noise, num_noise);
+  model.observation = la::Vector(dim);
+  model.initial_state = la::Vector(dim);
+  model.initial_covariance = la::Matrix(dim, dim);
+  model.observation_variance = variances.observation;
+
+  // Level: random walk.
+  model.transition(layout.level_index, layout.level_index) = 1.0;
+  model.observation[layout.level_index] = 1.0;
+  model.selection(layout.level_index, 0) = 1.0;
+  model.state_noise(0, 0) = variances.level;
+
+  if (spec.seasonal && !trigonometric) {
+    // Dummy-variable form with period-1 states:
+    // gamma_{t+1} = -(gamma_t + ... + gamma_{t-period+2}) + omega_t.
+    const std::size_t s0 = layout.seasonal_index;
+    const std::size_t count = static_cast<std::size_t>(spec.period - 1);
+    for (std::size_t j = 0; j < count; ++j) {
+      model.transition(s0, s0 + j) = -1.0;
+    }
+    for (std::size_t j = 1; j < count; ++j) {
+      model.transition(s0 + j, s0 + j - 1) = 1.0;
+    }
+    model.observation[s0] = 1.0;
+    model.selection(s0, 1) = 1.0;
+    model.state_noise(1, 1) = variances.seasonal;
+  } else if (trigonometric) {
+    // Stochastic trigonometric cycles: per harmonic j,
+    // [g; g*]_{t+1} = rotation(2 pi j / period) [g; g*]_t + noise.
+    constexpr double kPi = 3.14159265358979323846;
+    std::size_t offset = layout.seasonal_index;
+    std::size_t noise_index = 1;
+    for (int j = 1; j <= spec.harmonics; ++j) {
+      const double frequency =
+          2.0 * kPi * static_cast<double>(j) /
+          static_cast<double>(spec.period);
+      if (2 * j == spec.period) {
+        // Nyquist: single state, g_{t+1} = -g_t + noise.
+        model.transition(offset, offset) = -1.0;
+        model.observation[offset] = 1.0;
+        model.selection(offset, noise_index) = 1.0;
+        model.state_noise(noise_index, noise_index) = variances.seasonal;
+        offset += 1;
+        noise_index += 1;
+      } else {
+        const double c = std::cos(frequency);
+        const double s = std::sin(frequency);
+        model.transition(offset, offset) = c;
+        model.transition(offset, offset + 1) = s;
+        model.transition(offset + 1, offset) = -s;
+        model.transition(offset + 1, offset + 1) = c;
+        model.observation[offset] = 1.0;  // Only the cosine state is
+                                          // observed.
+        model.selection(offset, noise_index) = 1.0;
+        model.selection(offset + 1, noise_index + 1) = 1.0;
+        model.state_noise(noise_index, noise_index) = variances.seasonal;
+        model.state_noise(noise_index + 1, noise_index + 1) =
+            variances.seasonal;
+        offset += 2;
+        noise_index += 2;
+      }
+    }
+  }
+
+  // Approximate diffuse initialization for every state.
+  for (std::size_t i = 0; i < dim; ++i) {
+    model.initial_covariance(i, i) = kDiffuseKappa;
+  }
+  model.num_diffuse = spec.NumDiffuseStates();
+  return model;
+}
+
+}  // namespace mic::ssm

@@ -1,0 +1,170 @@
+// Builder for the paper's structural time series models (Eq. 9):
+//
+//   x_t = mu_t + gamma_t + lambda * w_t + eps_t
+//
+// with a random-walk level mu and an 11-state stochastic dummy seasonal
+// gamma carried in the state vector. The slope-shift intervention
+// regressor w_t = max(0, t - t_cp + 1) does NOT enter the state: its
+// coefficient lambda is profiled out of the likelihood by innovation-
+// space GLS (kalman.h, RunFilterWithRegression), which keeps every AIC
+// comparison on identical likelihood terms. The four §VIII-B variants
+// are LL, LL+S, LL+I, and LL+S+I.
+
+#ifndef MICTREND_SSM_STRUCTURAL_H_
+#define MICTREND_SSM_STRUCTURAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ssm/model.h"
+
+namespace mic::ssm {
+
+/// Sentinel meaning "no change point" (the paper's t_CP = infinity).
+inline constexpr int kNoChangePoint = -1;
+
+/// Shape of a structural intervention (Commandeur & Koopman ch. 7).
+/// The paper uses the slope shift exclusively (new-medicine and
+/// new-indication effects raise the slope); level shifts and pulses are
+/// provided for the §IX extension to "more complex changes".
+enum class InterventionKind : int {
+  /// w_t = max(0, t - t_cp + 1): the trend steepens at the break.
+  kSlopeShift = 0,
+  /// w_t = 1(t >= t_cp): the series jumps to a new level.
+  kLevelShift = 1,
+  /// w_t = 1(t == t_cp): a one-month shock (outlier capture).
+  kPulse = 2,
+};
+
+std::string_view InterventionKindName(InterventionKind kind);
+
+/// One intervention: a change point plus a shape.
+struct Intervention {
+  int change_point = kNoChangePoint;
+  InterventionKind kind = InterventionKind::kSlopeShift;
+
+  friend bool operator==(const Intervention&, const Intervention&) = default;
+};
+
+/// Representation of the seasonal component (Commandeur & Koopman ch. 4).
+enum class SeasonalForm : int {
+  /// period-1 dummy states, gamma_{t+1} = -sum of the previous
+  /// period-1 values + noise — the paper's Eq. 9 form.
+  kDummy = 0,
+  /// `harmonics` stochastic trigonometric cycles (2 states each, except
+  /// the Nyquist harmonic which has 1): smoother seasonal shapes with
+  /// fewer states when harmonics < period/2.
+  kTrigonometric = 1,
+};
+
+std::string_view SeasonalFormName(SeasonalForm form);
+
+/// Which components are active.
+struct StructuralSpec {
+  bool seasonal = false;
+  /// Seasonal representation; ignored unless `seasonal`.
+  SeasonalForm seasonal_form = SeasonalForm::kDummy;
+  /// Number of harmonics for the trigonometric form (1..period/2);
+  /// period/2 is equivalent in flexibility to the dummy form.
+  int harmonics = 2;
+  /// Interventions, each contributing one profiled regression
+  /// coefficient. The paper's model uses at most one slope shift; the
+  /// multi-break extension (§IX) adds more.
+  std::vector<Intervention> interventions;
+  /// Seasonal period (the paper's monthly data uses 12).
+  int period = 12;
+
+  // -- Single-change-point convenience API (the paper's model shape). --
+
+  /// The first intervention's change point, or kNoChangePoint.
+  int change_point() const {
+    return interventions.empty() ? kNoChangePoint
+                                 : interventions.front().change_point;
+  }
+  /// Replaces the intervention list with a single slope shift (clears
+  /// the list when t_cp is kNoChangePoint).
+  void set_change_point(int t_cp,
+                        InterventionKind kind = InterventionKind::kSlopeShift) {
+    interventions.clear();
+    if (t_cp != kNoChangePoint) interventions.push_back({t_cp, kind});
+  }
+
+  bool has_intervention() const { return !interventions.empty(); }
+
+  /// Number of estimated variance hyperparameters
+  /// (sigma_eps plus sigma_xi, plus sigma_omega when seasonal).
+  int NumVarianceParameters() const { return seasonal ? 3 : 2; }
+
+  /// Number of seasonal states under the configured form.
+  int NumSeasonalStates() const {
+    if (!seasonal) return 0;
+    if (seasonal_form == SeasonalForm::kDummy) return period - 1;
+    // Each harmonic contributes 2 states; the Nyquist harmonic
+    // (frequency pi, only possible for even periods) contributes 1.
+    int states = 0;
+    for (int j = 1; j <= harmonics; ++j) {
+      states += (2 * j == period) ? 1 : 2;
+    }
+    return states;
+  }
+
+  /// Number of diffusely initialized *states* (level + seasonal);
+  /// intervention coefficients are profiled regression parameters,
+  /// not states.
+  int NumDiffuseStates() const { return 1 + NumSeasonalStates(); }
+
+  /// Parameters counted by AIC: diffuse states + variances + one lambda
+  /// per intervention.
+  int TotalParameters() const {
+    return NumDiffuseStates() + NumVarianceParameters() +
+           static_cast<int>(interventions.size());
+  }
+
+  std::string ToString() const;
+};
+
+/// The slope-shift intervention regressor w_t (§V-A), defined for
+/// t in [0, length): w_t = t - change_point + 1 for t >= change_point.
+std::vector<double> SlopeShiftRegressor(int change_point, int length);
+
+/// Regressor for an arbitrary intervention shape.
+std::vector<double> InterventionRegressor(const Intervention& intervention,
+                                          int length);
+
+/// Variance hyperparameters of the structural model.
+struct StructuralVariances {
+  double observation = 1.0;  // sigma_eps^2
+  double level = 0.1;        // sigma_xi^2
+  double seasonal = 0.01;    // sigma_omega^2 (ignored if no seasonal)
+};
+
+/// Assembles the base (level + seasonal) StateSpaceModel; the
+/// intervention never enters the state, so the model is valid for any
+/// series length.
+Result<StateSpaceModel> BuildStructuralModel(
+    const StructuralSpec& spec, const StructuralVariances& variances);
+
+/// State-vector layout of the built model (for decomposition).
+struct StructuralLayout {
+  std::size_t level_index = 0;
+  /// First seasonal state. For the dummy form this is gamma_t itself;
+  /// for the trigonometric form the observed seasonal is the sum of the
+  /// cosine states (every even offset within the seasonal block).
+  std::size_t seasonal_index = 1;
+  /// Number of seasonal states.
+  std::size_t seasonal_count = 0;
+  std::size_t state_dim = 1;
+};
+
+/// The observed seasonal contribution gamma_t of a smoothed/filtered
+/// state vector under `spec`'s seasonal form (0 when not seasonal).
+double SeasonalContribution(const StructuralSpec& spec,
+                            const StructuralLayout& layout,
+                            const la::Vector& state);
+
+StructuralLayout LayoutFor(const StructuralSpec& spec);
+
+}  // namespace mic::ssm
+
+#endif  // MICTREND_SSM_STRUCTURAL_H_

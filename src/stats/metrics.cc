@@ -1,0 +1,384 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mic::stats {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double value : values) total += value;
+  return total / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_squares = 0.0;
+  for (double value : values) {
+    const double diff = value - mean;
+    sum_squares += diff * diff;
+  }
+  return std::sqrt(sum_squares / static_cast<double>(n - 1));
+}
+
+Result<double> Median(std::vector<double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("median of empty sample");
+  }
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+Result<double> Rmse(const std::vector<double>& predicted,
+                    const std::vector<double>& actual) {
+  if (predicted.size() != actual.size()) {
+    return Status::InvalidArgument("RMSE requires equal lengths");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("RMSE of empty series");
+  }
+  double sum_squares = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double diff = predicted[i] - actual[i];
+    sum_squares += diff * diff;
+  }
+  return std::sqrt(sum_squares / static_cast<double>(predicted.size()));
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // I_x(a,b) = x^a (1-x)^b / (a B(a,b)) * 1/(1 + d1/(1 + d2/(1 + ...)))
+  // evaluated by the modified Lentz algorithm (Numerical Recipes betacf).
+  const double log_beta =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - log_beta);
+
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x);
+  }
+
+  constexpr double kTiny = 1e-300;
+  constexpr double kEpsilon = 1e-14;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double result = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double dm = static_cast<double>(m);
+    // Even step.
+    double numerator =
+        dm * (b - dm) * x / ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    result *= d * c;
+    // Odd step.
+    numerator = -(a + dm) * (a + b + dm) * x /
+                ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    result *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return front * result / a;
+}
+
+double StudentTCdf(double t, double dof) {
+  if (dof <= 0.0) return 0.5;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+Result<PairedTTestResult> PairedTTest(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired t-test requires equal lengths");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("paired t-test requires n >= 2");
+  }
+  std::vector<double> differences(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) differences[i] = a[i] - b[i];
+
+  PairedTTestResult result;
+  result.mean_difference = Mean(differences);
+  const double sd = StdDev(differences);
+  result.degrees_of_freedom = static_cast<int>(a.size()) - 1;
+  if (sd == 0.0) {
+    // All differences identical: t is +/- infinity unless the mean is 0.
+    result.t_statistic = result.mean_difference == 0.0
+                             ? 0.0
+                             : std::copysign(
+                                   std::numeric_limits<double>::infinity(),
+                                   result.mean_difference);
+    result.cohens_d = result.t_statistic == 0.0
+                          ? 0.0
+                          : std::copysign(
+                                std::numeric_limits<double>::infinity(),
+                                result.mean_difference);
+    result.p_value = result.t_statistic == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  const double n = static_cast<double>(a.size());
+  result.t_statistic = result.mean_difference / (sd / std::sqrt(n));
+  result.cohens_d = result.mean_difference / sd;
+  const double cdf = StudentTCdf(std::fabs(result.t_statistic),
+                                 static_cast<double>(
+                                     result.degrees_of_freedom));
+  result.p_value = 2.0 * (1.0 - cdf);
+  result.p_value = std::clamp(result.p_value, 0.0, 1.0);
+  return result;
+}
+
+double AveragePrecisionAtK(const std::vector<bool>& ranked, std::size_t k,
+                           std::size_t num_relevant) {
+  if (num_relevant == 0) return 0.0;
+  const std::size_t depth = std::min(k, ranked.size());
+  double precision_sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (ranked[i]) {
+      ++hits;
+      precision_sum +=
+          static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const double normalizer =
+      static_cast<double>(std::min(k, num_relevant));
+  return precision_sum / normalizer;
+}
+
+double NdcgAtK(const std::vector<bool>& ranked, std::size_t k,
+               std::size_t num_relevant) {
+  if (num_relevant == 0) return 0.0;
+  const std::size_t depth = std::min(k, ranked.size());
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (ranked[i]) dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  double ideal = 0.0;
+  const std::size_t ideal_depth = std::min(k, num_relevant);
+  for (std::size_t i = 0; i < ideal_depth; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+Result<double> CohensKappa(const BinaryConfusion& confusion) {
+  const double total = static_cast<double>(confusion.Total());
+  if (total == 0.0) {
+    return Status::InvalidArgument("kappa of empty confusion matrix");
+  }
+  const double observed =
+      (static_cast<double>(confusion.both_positive) +
+       static_cast<double>(confusion.both_negative)) /
+      total;
+  const double first_positive =
+      (static_cast<double>(confusion.both_positive) +
+       static_cast<double>(confusion.only_first)) /
+      total;
+  const double second_positive =
+      (static_cast<double>(confusion.both_positive) +
+       static_cast<double>(confusion.only_second)) /
+      total;
+  const double expected = first_positive * second_positive +
+                          (1.0 - first_positive) * (1.0 - second_positive);
+  if (expected >= 1.0) return 1.0;  // Degenerate: all same label.
+  return (observed - expected) / (1.0 - expected);
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation requires equal lengths");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("correlation requires n >= 2");
+  }
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  double covariance = 0.0;
+  double variance_a = 0.0;
+  double variance_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    covariance += da * db;
+    variance_a += da * da;
+    variance_b += db * db;
+  }
+  if (variance_a <= 0.0 || variance_b <= 0.0) {
+    return Status::InvalidArgument("correlation of a constant sample");
+  }
+  return covariance / std::sqrt(variance_a * variance_b);
+}
+
+double RegularizedLowerGamma(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  if (a <= 0.0) return 1.0;
+  const double log_gamma = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a)_(n+1).
+    double term = 1.0 / a;
+    double sum = term;
+    for (int n = 1; n < 500; ++n) {
+      term *= x / (a + static_cast<double>(n));
+      sum += term;
+      if (term < sum * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma);
+  }
+  // Continued fraction for Q(a,x) (modified Lentz).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma) * h;
+  return 1.0 - q;
+}
+
+double ChiSquareCdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedLowerGamma(dof / 2.0, x / 2.0);
+}
+
+Result<LjungBoxResult> LjungBoxTest(const std::vector<double>& residuals,
+                                    int lags, int fitted_parameters) {
+  if (lags <= 0) {
+    return Status::InvalidArgument("lags must be positive");
+  }
+  std::vector<double> usable;
+  usable.reserve(residuals.size());
+  for (double value : residuals) {
+    if (!std::isnan(value)) usable.push_back(value);
+  }
+  const int n = static_cast<int>(usable.size());
+  if (n <= lags + 1) {
+    return Status::InvalidArgument(
+        "need more residuals than lags for Ljung-Box");
+  }
+  const double mean = Mean(usable);
+  double denominator = 0.0;
+  for (double value : usable) {
+    denominator += (value - mean) * (value - mean);
+  }
+  if (denominator <= 0.0) {
+    return Status::InvalidArgument("residuals are constant");
+  }
+
+  LjungBoxResult result;
+  result.lags_used = lags;
+  double q = 0.0;
+  for (int k = 1; k <= lags; ++k) {
+    double autocovariance = 0.0;
+    for (int t = k; t < n; ++t) {
+      autocovariance += (usable[t] - mean) * (usable[t - k] - mean);
+    }
+    const double rho = autocovariance / denominator;
+    q += rho * rho / static_cast<double>(n - k);
+  }
+  q *= static_cast<double>(n) * (static_cast<double>(n) + 2.0);
+  result.q_statistic = q;
+  const double dof =
+      std::max(1.0, static_cast<double>(lags - fitted_parameters));
+  result.p_value = 1.0 - ChiSquareCdf(q, dof);
+  return result;
+}
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Wilcoxon requires equal lengths");
+  }
+  // Non-zero differences with |diff| ranks (average ranks for ties).
+  struct Entry {
+    double magnitude;
+    bool positive;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    if (diff != 0.0) {
+      entries.push_back({std::fabs(diff), diff > 0.0});
+    }
+  }
+  const int n = static_cast<int>(entries.size());
+  if (n < 5) {
+    return Status::InvalidArgument(
+        "Wilcoxon needs at least 5 non-zero differences");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& x, const Entry& y) {
+              return x.magnitude < y.magnitude;
+            });
+
+  WilcoxonResult result;
+  result.effective_n = n;
+  double tie_correction = 0.0;
+  double w_positive = 0.0;
+  for (int i = 0; i < n;) {
+    int j = i;
+    while (j < n && entries[j].magnitude == entries[i].magnitude) ++j;
+    const double tied = static_cast<double>(j - i);
+    const double average_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (int k = i; k < j; ++k) {
+      if (entries[k].positive) w_positive += average_rank;
+    }
+    tie_correction += tied * tied * tied - tied;
+    i = j;
+  }
+  result.w_statistic = w_positive;
+
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  const double variance =
+      dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) {
+    return Status::InvalidArgument("degenerate Wilcoxon variance");
+  }
+  // Continuity-corrected normal approximation.
+  const double numerator = w_positive - mean;
+  const double correction =
+      numerator > 0.5 ? -0.5 : (numerator < -0.5 ? 0.5 : -numerator);
+  result.z_statistic = (numerator + correction) / std::sqrt(variance);
+  // Two-sided p via the normal CDF (t with huge dof).
+  const double cdf = StudentTCdf(std::fabs(result.z_statistic), 1e9);
+  result.p_value = std::clamp(2.0 * (1.0 - cdf), 0.0, 1.0);
+  return result;
+}
+
+}  // namespace mic::stats

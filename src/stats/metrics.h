@@ -1,0 +1,127 @@
+// Statistical evaluation substrate used throughout the paper's
+// experiments: descriptive statistics, paired t-tests with effect sizes
+// (§VIII reports t, p, and Cohen's d), inter-rater agreement (Cohen's
+// kappa, Table VI), ranking quality (AP@K / NDCG@K, Table III), and
+// forecasting error (RMSE, §VIII-B2).
+
+#ifndef MICTREND_STATS_METRICS_H_
+#define MICTREND_STATS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mic::stats {
+
+/// Sample mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased (n-1) sample standard deviation; 0 when n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Median (averaging the middle pair for even n); fails on empty input.
+Result<double> Median(std::vector<double> values);
+
+/// Root mean squared error between two equal-length series.
+Result<double> Rmse(const std::vector<double>& predicted,
+                    const std::vector<double>& actual);
+
+/// Result of a two-sided paired t-test.
+struct PairedTTestResult {
+  double t_statistic = 0.0;
+  /// Degrees of freedom (n - 1).
+  int degrees_of_freedom = 0;
+  /// Two-sided p-value.
+  double p_value = 1.0;
+  /// Cohen's d for paired samples: mean(diff) / sd(diff).
+  double cohens_d = 0.0;
+  double mean_difference = 0.0;
+};
+
+/// Two-sided paired t-test of a vs b (difference = a - b). Requires
+/// equal lengths and n >= 2.
+Result<PairedTTestResult> PairedTTest(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b) via continued
+/// fractions (Lentz); the building block of the t distribution CDF.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// Average Precision at cutoff K: `ranked` lists relevance labels
+/// (true = relevant) in ranked order; `num_relevant` is the total number
+/// of relevant items (for the normalizer min(K, num_relevant)).
+/// Returns 0 when num_relevant is 0.
+double AveragePrecisionAtK(const std::vector<bool>& ranked, std::size_t k,
+                           std::size_t num_relevant);
+
+/// Normalized Discounted Cumulative Gain at cutoff K with binary gains.
+double NdcgAtK(const std::vector<bool>& ranked, std::size_t k,
+               std::size_t num_relevant);
+
+/// 2x2 confusion matrix for binary agreement between two raters
+/// (Table VI compares exact vs approximate change point detection).
+struct BinaryConfusion {
+  std::uint64_t both_positive = 0;   // exact pos, approx pos
+  std::uint64_t only_first = 0;      // exact pos, approx neg
+  std::uint64_t only_second = 0;     // exact neg, approx pos
+  std::uint64_t both_negative = 0;
+
+  std::uint64_t Total() const {
+    return both_positive + only_first + only_second + both_negative;
+  }
+  void Add(bool first, bool second) {
+    if (first && second) ++both_positive;
+    else if (first) ++only_first;
+    else if (second) ++only_second;
+    else ++both_negative;
+  }
+};
+
+/// Cohen's kappa of a binary confusion matrix; fails on an empty matrix.
+Result<double> CohensKappa(const BinaryConfusion& confusion);
+
+/// Pearson correlation coefficient; fails when either sample is
+/// constant or lengths differ.
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Regularized lower incomplete gamma function P(a, x), evaluated by
+/// series expansion for x < a + 1 and continued fraction otherwise.
+double RegularizedLowerGamma(double a, double x);
+
+/// CDF of the chi-square distribution with `dof` degrees of freedom.
+double ChiSquareCdf(double x, double dof);
+
+/// Ljung-Box portmanteau test of residual autocorrelation.
+struct LjungBoxResult {
+  double q_statistic = 0.0;
+  int lags_used = 0;
+  /// p-value against chi-square(lags - fitted_parameters).
+  double p_value = 1.0;
+};
+
+/// Tests the first `lags` autocorrelations of `residuals`;
+/// `fitted_parameters` reduces the null degrees of freedom. NaN entries
+/// are skipped. Requires more observations than lags.
+Result<LjungBoxResult> LjungBoxTest(const std::vector<double>& residuals,
+                                    int lags, int fitted_parameters = 0);
+
+/// Two-sided Wilcoxon signed-rank test (normal approximation with
+/// tie/zero handling) — the nonparametric companion to PairedTTest.
+struct WilcoxonResult {
+  double w_statistic = 0.0;  // Sum of positive-difference ranks.
+  double z_statistic = 0.0;
+  double p_value = 1.0;
+  int effective_n = 0;  // Non-zero differences.
+};
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+}  // namespace mic::stats
+
+#endif  // MICTREND_STATS_METRICS_H_

@@ -1,0 +1,260 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace mic::synth {
+
+ClaimGenerator::ClaimGenerator(const World* world) : world_(world) {
+  MIC_CHECK(world != nullptr);
+}
+
+Result<GeneratedData> ClaimGenerator::Generate(
+    std::uint64_t seed_override) const {
+  const WorldConfig& config = world_->config();
+  Catalog& catalog = *world_->catalog();
+  Rng rng(seed_override != 0 ? seed_override : config.seed);
+
+  // --- Build the static population. ---
+  // Cities are weighted by population; hospitals and patients are placed
+  // into cities proportionally.
+  std::vector<double> city_weights;
+  city_weights.reserve(config.cities.size());
+  for (const CitySpec& city : config.cities) {
+    city_weights.push_back(city.population_weight);
+  }
+
+  // Hospitals: id, city, bed class.
+  struct Hospital {
+    HospitalId id;
+    CityId city;
+    HospitalClass hospital_class;
+  };
+  std::vector<Hospital> hospitals;
+  hospitals.reserve(config.hospitals.count);
+  const double class_total = config.hospitals.small_fraction +
+                             config.hospitals.medium_fraction +
+                             config.hospitals.large_fraction;
+  if (class_total <= 0.0) {
+    return Status::InvalidArgument("hospital class fractions are all zero");
+  }
+  // Class quotas by largest remainder, so every configured class with a
+  // positive fraction is represented even in small worlds.
+  std::vector<HospitalClass> class_assignments;
+  {
+    const double fractions[3] = {config.hospitals.small_fraction,
+                                 config.hospitals.medium_fraction,
+                                 config.hospitals.large_fraction};
+    const double total_count =
+        static_cast<double>(config.hospitals.count);
+    std::size_t quotas[3];
+    double remainders[3];
+    std::size_t assigned = 0;
+    for (int cls = 0; cls < 3; ++cls) {
+      const double exact = total_count * fractions[cls] / class_total;
+      quotas[cls] = static_cast<std::size_t>(exact);
+      if (quotas[cls] == 0 && fractions[cls] > 0.0 &&
+          config.hospitals.count >= 3) {
+        quotas[cls] = 1;
+      }
+      remainders[cls] = exact - static_cast<double>(quotas[cls]);
+      assigned += quotas[cls];
+    }
+    while (assigned < config.hospitals.count) {
+      int best = 0;
+      for (int cls = 1; cls < 3; ++cls) {
+        if (remainders[cls] > remainders[best]) best = cls;
+      }
+      ++quotas[best];
+      remainders[best] -= 1.0;
+      ++assigned;
+    }
+    while (assigned > config.hospitals.count) {
+      int best = 0;
+      for (int cls = 1; cls < 3; ++cls) {
+        if (quotas[cls] > quotas[best]) best = cls;
+      }
+      --quotas[best];
+      --assigned;
+    }
+    for (int cls = 0; cls < 3; ++cls) {
+      for (std::size_t i = 0; i < quotas[cls]; ++i) {
+        class_assignments.push_back(static_cast<HospitalClass>(cls));
+      }
+    }
+    rng.Shuffle(class_assignments);
+  }
+
+  std::vector<std::vector<std::size_t>> hospitals_by_city(
+      config.cities.size());
+  for (std::size_t h = 0; h < config.hospitals.count; ++h) {
+    Hospital hospital;
+    hospital.id = catalog.hospitals().Intern("hospital-" + std::to_string(h));
+    std::size_t city_index = rng.NextCategorical(city_weights);
+    if (city_index >= config.cities.size()) city_index = 0;
+    hospital.city = catalog.cities().Lookup(config.cities[city_index].name)
+                        .value_or(CityId(0));
+    std::uint32_t beds = 0;
+    switch (class_assignments[h]) {
+      case HospitalClass::kSmall:
+        beds = static_cast<std::uint32_t>(rng.NextInt(0, 19));
+        break;
+      case HospitalClass::kMedium:
+        beds = static_cast<std::uint32_t>(rng.NextInt(20, 399));
+        break;
+      case HospitalClass::kLarge:
+        beds = static_cast<std::uint32_t>(rng.NextInt(400, 900));
+        break;
+    }
+    hospital.hospital_class = ClassifyHospital(beds);
+    catalog.SetHospitalInfo(hospital.id, HospitalInfo{hospital.city, beds});
+    hospitals_by_city[city_index].push_back(h);
+    hospitals.push_back(hospital);
+  }
+  // Guarantee every city has at least one hospital (move one if needed) —
+  // otherwise its patients could not visit anywhere.
+  for (std::size_t c = 0; c < hospitals_by_city.size(); ++c) {
+    if (hospitals_by_city[c].empty() && !hospitals.empty()) {
+      // Reassign a random hospital to this city.
+      const std::size_t h = rng.NextBounded(hospitals.size());
+      const CityId city =
+          catalog.cities().Lookup(config.cities[c].name).value_or(CityId(0));
+      hospitals[h].city = city;
+      auto info = catalog.GetHospitalInfo(hospitals[h].id);
+      catalog.SetHospitalInfo(hospitals[h].id,
+                              HospitalInfo{city, info.ok() ? info->beds : 0});
+      for (auto& bucket : hospitals_by_city) {
+        bucket.erase(std::remove(bucket.begin(), bucket.end(), h),
+                     bucket.end());
+      }
+      hospitals_by_city[c].push_back(h);
+    }
+  }
+
+  // Patients: home city -> home hospital, chronic conditions.
+  std::vector<Patient> patients;
+  patients.reserve(config.patients.count);
+  std::vector<std::size_t> chronic_candidates;
+  for (std::size_t d = 0; d < config.diseases.size(); ++d) {
+    if (config.diseases[d].chronic_fraction > 0.0) {
+      chronic_candidates.push_back(d);
+    }
+  }
+  for (std::size_t p = 0; p < config.patients.count; ++p) {
+    Patient patient;
+    std::size_t city_index = rng.NextCategorical(city_weights);
+    if (city_index >= config.cities.size()) city_index = 0;
+    const auto& city_hospitals = hospitals_by_city[city_index];
+    const Hospital& hospital =
+        hospitals[city_hospitals[rng.NextBounded(city_hospitals.size())]];
+    patient.hospital = hospital.id;
+    patient.city = hospital.city;
+    patient.hospital_class = hospital.hospital_class;
+    for (std::size_t d : chronic_candidates) {
+      if (rng.NextBernoulli(config.diseases[d].chronic_fraction)) {
+        patient.chronic_diseases.push_back(d);
+      }
+    }
+    patient.visit_probability = std::min(
+        0.95, config.patients.base_visit_probability +
+                  config.patients.chronic_visit_boost *
+                      static_cast<double>(patient.chronic_diseases.size()));
+    patients.push_back(std::move(patient));
+  }
+
+  // Intern stable patient names so records can round-trip through CSV.
+  std::vector<PatientId> patient_ids;
+  patient_ids.reserve(patients.size());
+  for (std::size_t p = 0; p < patients.size(); ++p) {
+    patient_ids.push_back(
+        catalog.patients().Intern("patient-" + std::to_string(p)));
+  }
+
+  // --- Generate monthly datasets. ---
+  GeneratedData data;
+  data.corpus = MicCorpus(world_->catalog());
+  data.truth = TruthLinks(config.num_months);
+
+  const std::size_t num_diseases = config.diseases.size();
+  std::vector<double> acute_weights(num_diseases, 0.0);
+
+  for (int t = 0; t < config.num_months; ++t) {
+    Rng month_rng = rng.Fork();
+    MonthlyDataset month(t);
+
+    // Month-t acute prevalence distribution.
+    for (std::size_t d = 0; d < num_diseases; ++d) {
+      acute_weights[d] = world_->DiseaseWeight(d, t);
+    }
+
+    for (std::size_t p = 0; p < patients.size(); ++p) {
+      const Patient& patient = patients[p];
+      if (!month_rng.NextBernoulli(patient.visit_probability)) continue;
+
+      MicRecord record;
+      record.hospital = patient.hospital;
+      record.patient = patient_ids[p];
+
+      // Disease bag: chronic conditions plus acute draws.
+      std::vector<std::size_t> mentions;  // disease spec index, one per
+                                          // diagnosis mention
+      for (std::size_t d : patient.chronic_diseases) mentions.push_back(d);
+      const std::int64_t num_acute =
+          month_rng.NextPoisson(config.patients.mean_acute_diseases);
+      for (std::int64_t i = 0; i < num_acute; ++i) {
+        const std::size_t d = month_rng.NextCategorical(acute_weights);
+        if (d < num_diseases) mentions.push_back(d);
+      }
+      if (mentions.empty()) continue;  // Nothing diagnosed; no claim line.
+
+      // Prescriptions caused by each mention.
+      std::vector<double> medicine_weights;
+      std::vector<std::size_t> medicine_slots;
+      for (std::size_t d : mentions) {
+        record.diseases.push_back({world_->disease_id(d), 1});
+        const std::int64_t num_meds = month_rng.NextPoisson(
+            config.diseases[d].medication_intensity);
+        if (num_meds == 0) continue;
+
+        // Candidate medicine distribution for (d, t, class, city).
+        const auto& candidates = world_->CandidateMedicines(d);
+        medicine_weights.clear();
+        medicine_slots.clear();
+        for (std::size_t m : candidates) {
+          if (!world_->IsAvailable(m, t, patient.city)) continue;
+          double weight =
+              world_->IndicationWeight(d, m, t) +
+              world_->ClassBiasWeight(patient.hospital_class, d, m);
+          if (weight <= 0.0) continue;
+          weight *= config.medicines[m].propensity *
+                    world_->PropensityMultiplier(m, t);
+          if (weight <= 0.0) continue;
+          medicine_weights.push_back(weight);
+          medicine_slots.push_back(m);
+        }
+        if (medicine_slots.empty()) continue;
+
+        for (std::int64_t i = 0; i < num_meds; ++i) {
+          const std::size_t pick =
+              month_rng.NextCategorical(medicine_weights);
+          if (pick >= medicine_slots.size()) continue;
+          const std::size_t m = medicine_slots[pick];
+          record.medicines.push_back({world_->medicine_id(m), 1});
+          data.truth.Add(world_->disease_id(d), world_->medicine_id(m), t);
+        }
+      }
+
+      record.Normalize();
+      month.AddRecord(std::move(record));
+    }
+
+    MIC_RETURN_IF_ERROR(data.corpus.AddMonth(std::move(month)));
+  }
+
+  return data;
+}
+
+}  // namespace mic::synth

@@ -1,0 +1,62 @@
+// ClaimGenerator: samples monthly MIC records from a World.
+//
+// Generative loop per month t:
+//   1. every patient visits with a probability driven by their chronic
+//      burden; a visiting patient produces one MIC record at their home
+//      hospital (claims aggregate a whole month, §III-A);
+//   2. the record's disease bag = the patient's chronic diseases plus
+//      Poisson-many acute diseases drawn from the month-t prevalence
+//      distribution (seasonality/outliers included);
+//   3. each disease mention spawns Poisson(medication_intensity)
+//      prescriptions drawn from the disease's indication distribution at
+//      (t, hospital class, city) — availability, indication activation
+//      ramps, propensity events, and class biases all apply.
+// True (disease -> medicine) causes are recorded in TruthLinks and then
+// discarded from the observable record.
+
+#ifndef MICTREND_SYNTH_GENERATOR_H_
+#define MICTREND_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "mic/dataset.h"
+#include "synth/truth.h"
+#include "synth/world.h"
+
+namespace mic::synth {
+
+/// The observable corpus plus the hidden ground truth.
+struct GeneratedData {
+  MicCorpus corpus;
+  TruthLinks truth;
+};
+
+/// Samples corpora from a World. Deterministic given (world seed, the
+/// explicit seed override, and the config).
+class ClaimGenerator {
+ public:
+  explicit ClaimGenerator(const World* world);
+
+  /// Generates all num_months datasets. `seed_override`, when nonzero,
+  /// replaces the world config seed (so multiple replicates can be drawn
+  /// from one world).
+  Result<GeneratedData> Generate(std::uint64_t seed_override = 0) const;
+
+ private:
+  struct Patient {
+    HospitalId hospital;
+    CityId city;
+    HospitalClass hospital_class;
+    std::vector<std::size_t> chronic_diseases;  // disease spec indices
+    double visit_probability = 0.0;
+  };
+
+  const World* world_;  // Not owned; must outlive the generator.
+};
+
+}  // namespace mic::synth
+
+#endif  // MICTREND_SYNTH_GENERATOR_H_

@@ -1,0 +1,467 @@
+#include "synth/scenario.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace mic::synth {
+namespace {
+
+using names::kAcuteBronchitis;
+using names::kAlzheimers;
+using names::kAnalgesic;
+using names::kAntibiotic;
+using names::kAntidiarrheal;
+using names::kAntihistamine;
+using names::kAntiPlateletGeneric1;
+using names::kAntiPlateletGeneric2;
+using names::kAntiPlateletGeneric3;
+using names::kAntiPlateletOriginal;
+using names::kAntiviral;
+using names::kArthritis;
+using names::kBronchialAsthma;
+using names::kCerebralInfarction;
+using names::kChronicBronchitis;
+using names::kClassicBronchodilator;
+using names::kColdSyndrome;
+using names::kCopd;
+using names::kCopdBronchodilator;
+using names::kDehydration;
+using names::kDementiaDrug;
+using names::kDementiaSymptomatic;
+using names::kDepressor;
+using names::kDiarrhea;
+using names::kHayFever;
+using names::kHeatstroke;
+using names::kHypertension;
+using names::kInfluenza;
+using names::kLewyBodyDementia;
+using names::kLowBackPain;
+using names::kNewBronchodilator;
+using names::kNewOsteoporosisDrug;
+using names::kOldOsteoporosisDrug;
+using names::kOralFeedingDifficulty;
+using names::kOsteoporosis;
+using names::kPneumonia;
+using names::kRehydrationSalt;
+using names::kSwallowingAid;
+
+// Calendar months (0 = January).
+constexpr int kMarch = 2;
+constexpr int kApril = 3;
+constexpr int kJuly = 6;
+constexpr int kAugust = 7;
+constexpr int kJanuary = 0;
+
+void AddScriptedDiseases(WorldConfig& config) {
+  using E = PaperWorldEvents;
+
+  // Chronic, season-flat diseases.
+  // Hypertension is diagnosed monthly on every chronic patient but a
+  // depressor line appears less often than pain medication does — the
+  // imbalance behind Fig. 2's cooccurrence mis-prediction.
+  config.diseases.push_back({.name = kHypertension,
+                             .base_weight = 0.2,
+                             .chronic_fraction = 0.30,
+                             .medication_intensity = 0.45});
+  config.diseases.push_back({.name = kOsteoporosis,
+                             .base_weight = 0.1,
+                             .chronic_fraction = 0.12,
+                             .medication_intensity = 0.8});
+  config.diseases.push_back({.name = kCopd,
+                             .base_weight = 0.08,
+                             .chronic_fraction = 0.08,
+                             .medication_intensity = 0.9});
+  config.diseases.push_back({.name = kBronchialAsthma,
+                             .base_weight = 0.08,
+                             .chronic_fraction = 0.06,
+                             .medication_intensity = 0.9});
+  config.diseases.push_back({.name = kChronicBronchitis,
+                             .base_weight = 0.08,
+                             .chronic_fraction = 0.05,
+                             .medication_intensity = 0.8});
+  config.diseases.push_back({.name = kLewyBodyDementia,
+                             .base_weight = 0.04,
+                             .chronic_fraction = 0.06,
+                             .medication_intensity = 0.9});
+  config.diseases.push_back({.name = kAlzheimers,
+                             .base_weight = 0.06,
+                             .chronic_fraction = 0.06,
+                             .medication_intensity = 0.7});
+  config.diseases.push_back({.name = kCerebralInfarction,
+                             .base_weight = 0.05,
+                             .chronic_fraction = 0.08,
+                             .medication_intensity = 0.9});
+
+  // Seasonal acute diseases (Fig. 3a / 6a / 6b).
+  config.diseases.push_back(
+      {.name = kHayFever,
+       .base_weight = 2.0,
+       .seasonality = {.amplitude = 1.0, .peak_month = kApril,
+                       .sharpness = 2.5},
+       .medication_intensity = 0.9});
+  config.diseases.push_back(
+      {.name = kHeatstroke,
+       .base_weight = 0.8,
+       .seasonality = {.amplitude = 1.0, .peak_month = kAugust,
+                       .sharpness = 2.0},
+       .medication_intensity = 0.7});
+  DiseaseSpec influenza{
+      .name = kInfluenza,
+      .base_weight = 1.6,
+      .seasonality = {.amplitude = 1.2, .peak_month = kJanuary,
+                      .sharpness = 3.0},
+      .medication_intensity = 1.0};
+  // Winter 2014-15 outbreak: a two-month spike treated as an outlier by
+  // the state space model (Fig. 6a).
+  influenza.outlier_multipliers[E::kOutbreakMonth] = 2.6;
+  influenza.outlier_multipliers[E::kOutbreakMonth + 1] = 2.0;
+  config.diseases.push_back(std::move(influenza));
+  config.diseases.push_back(
+      {.name = kDiarrhea,
+       .base_weight = 1.0,
+       // Two peaks per year at the season changes (Fig. 6b).
+       .seasonality = {.amplitude = 0.25,
+                       .peak_month = kApril,
+                       .second_amplitude = 0.45,
+                       .second_peak_month = kApril},
+       .medication_intensity = 0.8});
+
+  // Pain conditions treated with the broad-use analgesic (the Fig. 2
+  // confounder: they cooccur with hypertension in elderly records).
+  config.diseases.push_back({.name = kLowBackPain,
+                             .base_weight = 1.8,
+                             .chronic_fraction = 0.22,
+                             .medication_intensity = 1.3});
+  config.diseases.push_back({.name = kArthritis,
+                             .base_weight = 1.2,
+                             .chronic_fraction = 0.15,
+                             .medication_intensity = 1.3});
+
+  // Respiratory infections (Table II workload).
+  config.diseases.push_back(
+      {.name = kColdSyndrome,
+       .base_weight = 2.2,
+       .seasonality = {.amplitude = 0.5, .peak_month = kJanuary},
+       .medication_intensity = 0.8});
+  config.diseases.push_back(
+      {.name = kAcuteBronchitis,
+       .base_weight = 1.4,
+       .seasonality = {.amplitude = 0.4, .peak_month = kJanuary},
+       .medication_intensity = 0.9});
+  config.diseases.push_back(
+      {.name = kPneumonia,
+       .base_weight = 0.5,
+       .seasonality = {.amplitude = 0.3, .peak_month = kJanuary},
+       .medication_intensity = 1.0});
+
+  // Diagnostic substitution pair (Fig. 7b): oral feeding difficulty
+  // rises from t = kDiagnosticSubstitution while dehydration declines.
+  DiseaseSpec feeding{.name = kOralFeedingDifficulty,
+                      .base_weight = 0.25,
+                      .medication_intensity = 0.8};
+  feeding.prevalence_events.push_back(
+      {.month = E::kDiagnosticSubstitution,
+       .target_multiplier = 4.5,
+       .ramp_months = 8});
+  config.diseases.push_back(std::move(feeding));
+  DiseaseSpec dehydration{
+      .name = kDehydration,
+      .base_weight = 0.8,
+      .seasonality = {.amplitude = 0.35, .peak_month = kAugust},
+      .medication_intensity = 0.8};
+  dehydration.prevalence_events.push_back(
+      {.month = E::kDiagnosticSubstitution,
+       .target_multiplier = 0.3,
+       .ramp_months = 8});
+  config.diseases.push_back(std::move(dehydration));
+}
+
+void AddScriptedMedicines(WorldConfig& config) {
+  using E = PaperWorldEvents;
+
+  // Fig. 2: depressor (effective for hypertension) vs broad-use
+  // analgesic (no hypertension indication but massive cooccurrence).
+  config.medicines.push_back(
+      {.name = kDepressor,
+       .propensity = 1.0,
+       .indications = {{.disease = kHypertension, .weight = 1.0}}});
+  config.medicines.push_back(
+      {.name = kAnalgesic,
+       .propensity = 1.4,
+       .indications = {{.disease = kLowBackPain, .weight = 1.0},
+                       {.disease = kArthritis, .weight = 1.0}}});
+
+  // Seasonal symptomatic medicines (Fig. 3a).
+  config.medicines.push_back(
+      {.name = kAntihistamine,
+       .indications = {{.disease = kHayFever, .weight = 1.0}}});
+  config.medicines.push_back(
+      {.name = kRehydrationSalt,
+       .indications = {{.disease = kHeatstroke, .weight = 1.0},
+                       {.disease = kDehydration, .weight = 1.0}}});
+  config.medicines.push_back(
+      {.name = kAntiviral,
+       .indications = {{.disease = kInfluenza, .weight = 1.0}}});
+  config.medicines.push_back(
+      {.name = kAntidiarrheal,
+       .indications = {{.disease = kDiarrhea, .weight = 1.0}}});
+
+  // Fig. 3b / 6c analogues: brand-new medicines released mid-window.
+  // Adoption is gradual (physicians switch over months), producing the
+  // rising-slope shape the slope-shift intervention models: propensity
+  // starts low at release and ramps towards its plateau.
+  MedicineSpec broncho_new{
+      .name = kNewBronchodilator,
+      .release_month = E::kBronchodilatorRelease,
+      .propensity = 1.2,
+      .indications = {{.disease = kCopd, .weight = 1.0},
+                      {.disease = kBronchialAsthma, .weight = 0.8},
+                      {.disease = kChronicBronchitis, .weight = 0.6}}};
+  broncho_new.propensity_events = {
+      {.month = 0, .target_multiplier = 0.1},
+      {.month = E::kBronchodilatorRelease, .target_multiplier = 1.0,
+       .ramp_months = 26}};
+  config.medicines.push_back(std::move(broncho_new));
+  MedicineSpec osteo_new{
+      .name = kNewOsteoporosisDrug,
+      .release_month = E::kOsteoporosisRelease,
+      .propensity = 1.5,
+      .indications = {{.disease = kOsteoporosis, .weight = 1.0}}};
+  osteo_new.propensity_events = {
+      {.month = 0, .target_multiplier = 0.1},
+      {.month = E::kOsteoporosisRelease, .target_multiplier = 1.0,
+       .ramp_months = 30}};
+  config.medicines.push_back(std::move(osteo_new));
+  MedicineSpec osteo_old{
+      .name = kOldOsteoporosisDrug,
+      .propensity = 1.0,
+      .indications = {{.disease = kOsteoporosis, .weight = 1.0}}};
+  // The incumbent loses share once the new drug is on sale (Fig. 6c
+  // bottom panel).
+  osteo_old.propensity_events.push_back({.month = E::kOsteoporosisRelease,
+                                         .target_multiplier = 0.45,
+                                         .ramp_months = 24});
+  config.medicines.push_back(std::move(osteo_old));
+
+  // Fig. 3c / 7a analogues: indication expansion on existing medicines.
+  config.medicines.push_back(
+      {.name = kCopdBronchodilator,
+       .propensity = 1.0,
+       .indications = {{.disease = kCopd, .weight = 1.0},
+                       {.disease = kChronicBronchitis, .weight = 0.7},
+                       {.disease = kBronchialAsthma,
+                        .weight = 0.9,
+                        .start_month = E::kAsthmaIndicationExpansion,
+                        .ramp_months = 18}}});
+  config.medicines.push_back(
+      {.name = kClassicBronchodilator,
+       .propensity = 0.9,
+       .indications = {{.disease = kCopd, .weight = 0.8},
+                       {.disease = kBronchialAsthma, .weight = 1.0},
+                       {.disease = kChronicBronchitis, .weight = 0.6}}});
+  config.medicines.push_back(
+      {.name = kDementiaDrug,
+       .propensity = 1.0,
+       .indications = {{.disease = kAlzheimers, .weight = 1.0},
+                       {.disease = kLewyBodyDementia,
+                        .weight = 1.8,
+                        .start_month = E::kLewyIndicationExpansion,
+                        .ramp_months = 20}}});
+  // Incumbent symptomatic treatment for the dementias: gives the
+  // expanding indication a competitor so its share (and the pair
+  // series) grows gradually rather than jumping.
+  config.medicines.push_back(
+      {.name = kDementiaSymptomatic,
+       .propensity = 1.0,
+       .indications = {{.disease = kLewyBodyDementia, .weight = 1.0},
+                       {.disease = kAlzheimers, .weight = 0.4}}});
+  config.medicines.push_back(
+      {.name = kSwallowingAid,
+       .propensity = 1.0,
+       .indications = {{.disease = kOralFeedingDifficulty, .weight = 1.0},
+                       {.disease = kCerebralInfarction, .weight = 0.4}}});
+
+  // Fig. 6d / Fig. 8: anti-platelet original with three generics entering
+  // at kGenericEntry; adoption is staggered across cities, and
+  // generic-3 (the authorized generic) dominates.
+  MedicineSpec original{
+      .name = kAntiPlateletOriginal,
+      .propensity = 1.6,
+      .indications = {{.disease = kCerebralInfarction, .weight = 1.0}}};
+  // Share erosion starts abruptly at the generics' entry and continues
+  // through the end of the window (the paper's Fig. 6d decline does not
+  // plateau before the window closes).
+  original.propensity_events.push_back(
+      {.month = E::kGenericEntry, .target_multiplier = 0.55,
+       .ramp_months = 2});
+  original.propensity_events.push_back(
+      {.month = E::kGenericEntry + 3, .target_multiplier = 0.06,
+       .ramp_months = 26});
+  config.medicines.push_back(std::move(original));
+  const struct {
+    const char* name;
+    double propensity;
+  } generics[] = {{kAntiPlateletGeneric1, 0.35},
+                  {kAntiPlateletGeneric2, 0.45},
+                  {kAntiPlateletGeneric3, 0.95}};
+  for (const auto& generic : generics) {
+    MedicineSpec spec{
+        .name = generic.name,
+        .release_month = E::kGenericEntry,
+        .propensity = generic.propensity,
+        .indications = {{.disease = kCerebralInfarction, .weight = 1.0}},
+        .generic_of = kAntiPlateletOriginal};
+    // Northern cities keep using the original longer (Fig. 8's
+    // northernmost holdout).
+    spec.city_release_delays["north-city"] = 12;
+    spec.city_release_delays["hill-city"] = 4;
+    config.medicines.push_back(std::move(spec));
+  }
+
+  // Table II: antibiotic indicated for bacterial infections only.
+  config.medicines.push_back(
+      {.name = kAntibiotic,
+       .propensity = 1.2,
+       .indications = {{.disease = kAcuteBronchitis, .weight = 1.0},
+                       {.disease = kPneumonia, .weight = 0.9},
+                       {.disease = kChronicBronchitis, .weight = 0.5}}});
+}
+
+void AddClassBiases(WorldConfig& config) {
+  // §VII-C: small hospitals prescribe antibiotics for virus-caused
+  // diseases; medium hospitals a little; large hospitals essentially not.
+  config.class_biases.push_back({.hospital_class = HospitalClass::kSmall,
+                                 .medicine = kAntibiotic,
+                                 .disease = kColdSyndrome,
+                                 .weight = 1.6});
+  config.class_biases.push_back({.hospital_class = HospitalClass::kSmall,
+                                 .medicine = kAntibiotic,
+                                 .disease = kInfluenza,
+                                 .weight = 0.7});
+  config.class_biases.push_back({.hospital_class = HospitalClass::kMedium,
+                                 .medicine = kAntibiotic,
+                                 .disease = kColdSyndrome,
+                                 .weight = 0.08});
+}
+
+void AddBackgroundPopulation(const PaperWorldOptions& options,
+                             WorldConfig& config) {
+  Rng rng(options.seed ^ 0xB06DFACADEULL);
+  for (std::size_t i = 0; i < options.num_background_diseases; ++i) {
+    DiseaseSpec disease;
+    disease.name = "bg-disease-" + std::to_string(i);
+    disease.base_weight = 0.1 + 1.4 * rng.NextDouble();
+    // Most real diseases carry clear seasonality (the paper's Table IV
+    // shows the seasonal component helping disease series the most).
+    if (rng.NextBernoulli(0.7)) {
+      disease.seasonality.amplitude = 0.35 + 0.65 * rng.NextDouble();
+      disease.seasonality.peak_month = static_cast<int>(rng.NextInt(0, 11));
+      disease.seasonality.sharpness = 1.0 + 2.5 * rng.NextDouble();
+    }
+    if (rng.NextBernoulli(0.2)) {
+      disease.chronic_fraction = 0.01 + 0.05 * rng.NextDouble();
+    }
+    disease.medication_intensity = 0.5 + 0.6 * rng.NextDouble();
+    config.diseases.push_back(disease);
+
+    const std::size_t num_medicines = 1 + rng.NextBounded(
+        options.max_medicines_per_background_disease);
+    for (std::size_t j = 0; j < num_medicines; ++j) {
+      MedicineSpec medicine;
+      medicine.name =
+          "bg-medicine-" + std::to_string(i) + "-" + std::to_string(j);
+      medicine.propensity = 0.4 + 1.2 * rng.NextDouble();
+      medicine.indications.push_back(
+          {.disease = disease.name, .weight = 0.5 + rng.NextDouble()});
+      // Cross-indication to a previous background disease sometimes, so
+      // background records interleave diseases.
+      if (i > 0 && rng.NextBernoulli(0.35)) {
+        medicine.indications.push_back(
+            {.disease = "bg-disease-" + std::to_string(rng.NextBounded(i)),
+             .weight = 0.2 + 0.6 * rng.NextDouble()});
+      }
+      if (rng.NextBernoulli(options.background_event_fraction)) {
+        if (rng.NextBernoulli(0.5)) {
+          // Mid-window release.
+          medicine.release_month =
+              static_cast<int>(rng.NextInt(4, options.num_months - 8));
+        } else {
+          // Propensity shift (price revision / competitor entry).
+          medicine.propensity_events.push_back(
+              {.month = static_cast<int>(
+                   rng.NextInt(6, options.num_months - 6)),
+               .target_multiplier = rng.NextBernoulli(0.5) ? 2.2 : 0.4,
+               .ramp_months = static_cast<int>(rng.NextInt(0, 6))});
+        }
+      }
+      config.medicines.push_back(std::move(medicine));
+    }
+  }
+}
+
+}  // namespace
+
+WorldConfig MakePaperWorldConfig(const PaperWorldOptions& options) {
+  WorldConfig config;
+  config.num_months = options.num_months;
+  config.start_calendar_month = kMarch;  // Paper window starts March 2013.
+  config.seed = options.seed;
+
+  AddScriptedDiseases(config);
+  AddScriptedMedicines(config);
+  AddClassBiases(config);
+  AddBackgroundPopulation(options, config);
+
+  config.cities = {{"port-city", 3.0}, {"river-city", 2.0},
+                   {"hill-city", 1.5}, {"north-city", 1.0},
+                   {"coast-city", 1.5}};
+  config.hospitals.count = options.num_hospitals;
+  config.patients.count = options.num_patients;
+  return config;
+}
+
+Result<World> MakePaperWorld(const PaperWorldOptions& options) {
+  return World::Create(MakePaperWorldConfig(options));
+}
+
+WorldConfig MakeTinyWorldConfig(int num_months, std::uint64_t seed) {
+  WorldConfig config;
+  config.num_months = num_months;
+  config.seed = seed;
+  config.diseases = {
+      {.name = "flu",
+       .base_weight = 1.0,
+       .seasonality = {.amplitude = 0.8, .peak_month = 0},
+       .medication_intensity = 1.0},
+      {.name = "bp", .base_weight = 0.3, .chronic_fraction = 0.4,
+       .medication_intensity = 1.0},
+      {.name = "pain", .base_weight = 1.0, .medication_intensity = 0.9},
+  };
+  config.medicines = {
+      {.name = "antiviral",
+       .indications = {{.disease = "flu", .weight = 1.0}}},
+      {.name = "depressor",
+       .indications = {{.disease = "bp", .weight = 1.0}}},
+      {.name = "analgesic",
+       .propensity = 1.3,
+       .indications = {{.disease = "pain", .weight = 1.0}}},
+      {.name = "new-drug",
+       .release_month = num_months / 2,
+       .propensity = 1.2,
+       .indications = {{.disease = "pain", .weight = 0.8}},
+       // Gradual adoption after release, still rising when the window
+       // closes: the slope shape a change point detector should find.
+       .propensity_events = {{.month = 0, .target_multiplier = 0.1},
+                             {.month = num_months / 2,
+                              .target_multiplier = 1.0,
+                              .ramp_months = num_months}}},
+  };
+  config.cities = {{"a", 1.0}, {"b", 1.0}};
+  config.hospitals.count = 6;
+  config.patients.count = 300;
+  config.patients.mean_acute_diseases = 1.5;
+  return config;
+}
+
+}  // namespace mic::synth

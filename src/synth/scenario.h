@@ -1,0 +1,122 @@
+// Prebuilt world configurations mirroring the paper's case studies.
+//
+// MakePaperWorldConfig() scripts every named phenomenon the paper plots
+// (Figs. 2, 3, 6, 7, 8; Table II) and adds configurable background
+// populations of diseases/medicines so the aggregate experiments
+// (Tables III-VI) run over a whole population of series, as in the paper.
+
+#ifndef MICTREND_SYNTH_SCENARIO_H_
+#define MICTREND_SYNTH_SCENARIO_H_
+
+#include <cstdint>
+
+#include "synth/world.h"
+
+namespace mic::synth {
+
+/// Knobs for the paper world. Defaults produce a laptop-scale corpus
+/// (tests shrink it further; benches may enlarge it).
+struct PaperWorldOptions {
+  int num_months = 43;
+  std::uint64_t seed = 20190411;
+  std::size_t num_patients = 2000;
+  std::size_t num_hospitals = 36;
+  /// Background diseases beyond the scripted ones.
+  std::size_t num_background_diseases = 40;
+  /// Background medicines per background disease (1..this).
+  std::size_t max_medicines_per_background_disease = 3;
+  /// Fraction of background medicines that receive a structural event
+  /// (release mid-window or propensity shift) so that the change point
+  /// benchmarks see a population of genuine breaks.
+  double background_event_fraction = 0.2;
+};
+
+/// Names of the scripted entities (stable API for examples/benches).
+namespace names {
+
+// Diseases.
+inline constexpr const char kHypertension[] = "hypertension";
+inline constexpr const char kHayFever[] = "hay-fever";
+inline constexpr const char kHeatstroke[] = "heatstroke";
+inline constexpr const char kInfluenza[] = "influenza";
+inline constexpr const char kDiarrhea[] = "diarrhea";
+inline constexpr const char kLowBackPain[] = "low-back-pain";
+inline constexpr const char kArthritis[] = "arthritis";
+inline constexpr const char kCopd[] = "copd";
+inline constexpr const char kBronchialAsthma[] = "bronchial-asthma";
+inline constexpr const char kChronicBronchitis[] = "chronic-bronchitis";
+inline constexpr const char kOsteoporosis[] = "osteoporosis";
+inline constexpr const char kLewyBodyDementia[] = "lewy-body-dementia";
+inline constexpr const char kAlzheimers[] = "alzheimers-dementia";
+inline constexpr const char kOralFeedingDifficulty[] =
+    "oral-feeding-difficulty";
+inline constexpr const char kDehydration[] = "dehydration";
+inline constexpr const char kColdSyndrome[] =
+    "acute-upper-respiratory-inflammation";
+inline constexpr const char kAcuteBronchitis[] = "acute-bronchitis";
+inline constexpr const char kPneumonia[] = "pneumonia";
+inline constexpr const char kCerebralInfarction[] = "cerebral-infarction";
+
+// Medicines.
+inline constexpr const char kDepressor[] = "depressor";
+inline constexpr const char kAnalgesic[] = "anti-inflammatory-analgesic";
+inline constexpr const char kAntihistamine[] = "antihistamine";
+inline constexpr const char kRehydrationSalt[] = "oral-rehydration-salt";
+inline constexpr const char kAntiviral[] = "anti-influenza-viral";
+inline constexpr const char kAntidiarrheal[] = "antidiarrheal";
+inline constexpr const char kNewBronchodilator[] = "bronchodilator-new";
+inline constexpr const char kCopdBronchodilator[] = "bronchodilator-copd";
+inline constexpr const char kClassicBronchodilator[] =
+    "bronchodilator-classic";
+inline constexpr const char kNewOsteoporosisDrug[] = "osteoporosis-new";
+inline constexpr const char kOldOsteoporosisDrug[] = "osteoporosis-classic";
+inline constexpr const char kAntiPlateletOriginal[] =
+    "anti-platelet-original";
+inline constexpr const char kAntiPlateletGeneric1[] =
+    "anti-platelet-generic-1";
+inline constexpr const char kAntiPlateletGeneric2[] =
+    "anti-platelet-generic-2";
+inline constexpr const char kAntiPlateletGeneric3[] =
+    "anti-platelet-generic-3";
+inline constexpr const char kDementiaDrug[] = "dementia-drug";
+inline constexpr const char kDementiaSymptomatic[] = "dementia-symptomatic";
+inline constexpr const char kSwallowingAid[] = "swallowing-aid";
+inline constexpr const char kAntibiotic[] = "antibiotic";
+
+}  // namespace names
+
+/// Structural-event months used by the scripted scenario (time indices;
+/// t = 0 is March of year 0, matching the paper's March 2013 start).
+struct PaperWorldEvents {
+  /// New osteoporosis medicine goes on sale (paper: Aug 2013 -> t = 5).
+  static constexpr int kOsteoporosisRelease = 5;
+  /// New bronchodilator goes on sale (Fig. 3b analogue).
+  static constexpr int kBronchodilatorRelease = 8;
+  /// Generics of the anti-platelet original enter (Fig. 6d / Fig. 8).
+  static constexpr int kGenericEntry = 14;
+  /// COPD bronchodilator gains the bronchial-asthma indication
+  /// (paper: end of 2014 -> t = 21).
+  static constexpr int kAsthmaIndicationExpansion = 21;
+  /// Dementia drug gains the Lewy-body-dementia indication (Fig. 7a).
+  static constexpr int kLewyIndicationExpansion = 18;
+  /// Diagnostic substitution starts: oral feeding difficulty rises while
+  /// dehydration declines (Fig. 7b).
+  static constexpr int kDiagnosticSubstitution = 20;
+  /// Influenza outbreak months (winter 2014-15, Fig. 6a outlier).
+  static constexpr int kOutbreakMonth = 22;
+};
+
+/// Builds the scripted paper world configuration.
+WorldConfig MakePaperWorldConfig(const PaperWorldOptions& options = {});
+
+/// Convenience: validated World from MakePaperWorldConfig.
+Result<World> MakePaperWorld(const PaperWorldOptions& options = {});
+
+/// A deliberately tiny world (3 diseases, 4 medicines, small population)
+/// for fast unit tests.
+WorldConfig MakeTinyWorldConfig(int num_months = 12,
+                                std::uint64_t seed = 7);
+
+}  // namespace mic::synth
+
+#endif  // MICTREND_SYNTH_SCENARIO_H_

@@ -1,0 +1,33 @@
+#include "synth/truth.h"
+
+#include "common/logging.h"
+
+namespace mic::synth {
+
+void TruthLinks::Add(DiseaseId d, MedicineId m, int t, std::uint32_t count) {
+  MIC_CHECK(t >= 0 && t < num_months_);
+  auto& counts = counts_[Key(d, m)];
+  if (counts.empty()) counts.assign(num_months_, 0);
+  counts[t] += count;
+}
+
+std::vector<double> TruthLinks::Series(DiseaseId d, MedicineId m) const {
+  std::vector<double> series(num_months_, 0.0);
+  auto it = counts_.find(Key(d, m));
+  if (it != counts_.end()) {
+    for (int t = 0; t < num_months_; ++t) {
+      series[t] = static_cast<double>(it->second[t]);
+    }
+  }
+  return series;
+}
+
+std::uint64_t TruthLinks::Total(DiseaseId d, MedicineId m) const {
+  auto it = counts_.find(Key(d, m));
+  if (it == counts_.end()) return 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t count : it->second) total += count;
+  return total;
+}
+
+}  // namespace mic::synth

@@ -1,0 +1,61 @@
+// Ground-truth prescription links recorded during claim generation.
+//
+// The generator knows which disease caused every prescription; the
+// observable corpus discards that link (as real MIC data does, §III-A),
+// while TruthLinks keeps the per-pair monthly counts so link-prediction
+// quality can be scored exactly.
+
+#ifndef MICTREND_SYNTH_TRUTH_H_
+#define MICTREND_SYNTH_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mic/types.h"
+
+namespace mic::synth {
+
+/// Monthly true prescription counts per (disease, medicine) pair.
+class TruthLinks {
+ public:
+  explicit TruthLinks(int num_months = 0) : num_months_(num_months) {}
+
+  int num_months() const { return num_months_; }
+
+  /// Records `count` prescriptions of `m` caused by `d` in month `t`.
+  void Add(DiseaseId d, MedicineId m, int t, std::uint32_t count = 1);
+
+  /// True monthly series (length num_months) for a pair; all-zero when
+  /// the pair never occurred.
+  std::vector<double> Series(DiseaseId d, MedicineId m) const;
+
+  /// Total true count over all months for a pair.
+  std::uint64_t Total(DiseaseId d, MedicineId m) const;
+
+  /// Number of distinct pairs that occurred at least once.
+  std::size_t num_pairs() const { return counts_.size(); }
+
+  /// Visits every stored pair: f(DiseaseId, MedicineId, counts vector).
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    for (const auto& [key, counts] : counts_) {
+      fn(DiseaseId(static_cast<std::uint32_t>(key >> 32)),
+         MedicineId(static_cast<std::uint32_t>(key & 0xFFFFFFFFull)),
+         counts);
+    }
+  }
+
+ private:
+  static std::uint64_t Key(DiseaseId d, MedicineId m) {
+    return (static_cast<std::uint64_t>(d.value()) << 32) |
+           static_cast<std::uint64_t>(m.value());
+  }
+
+  int num_months_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> counts_;
+};
+
+}  // namespace mic::synth
+
+#endif  // MICTREND_SYNTH_TRUTH_H_

@@ -1,0 +1,260 @@
+#include "synth/world.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace mic::synth {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+double EventMultiplier(const std::vector<ScheduledEvent>& events, int t) {
+  double multiplier = 1.0;
+  for (const ScheduledEvent& event : events) {
+    if (t < event.month) continue;
+    if (event.ramp_months <= 0 || t >= event.month + event.ramp_months) {
+      multiplier = event.target_multiplier;
+    } else {
+      const double progress = static_cast<double>(t - event.month) /
+                              static_cast<double>(event.ramp_months);
+      multiplier += (event.target_multiplier - multiplier) * progress;
+    }
+  }
+  return multiplier;
+}
+
+double SeasonalityProfile::Multiplier(int calendar_month) const {
+  const double phase1 =
+      2.0 * kPi * static_cast<double>(calendar_month - peak_month) / 12.0;
+  const double phase2 =
+      4.0 * kPi * static_cast<double>(calendar_month - second_peak_month) /
+      12.0;
+  const double shaped =
+      std::pow(0.5 * (std::cos(phase1) + 1.0), std::max(sharpness, 1.0));
+  const double value = 1.0 + amplitude * (2.0 * shaped - 1.0) +
+                       second_amplitude * std::cos(phase2);
+  return value > 0.0 ? value : 0.0;
+}
+
+Result<World> World::Create(WorldConfig config) {
+  if (config.num_months <= 0) {
+    return Status::InvalidArgument("num_months must be positive");
+  }
+  if (config.start_calendar_month < 0 || config.start_calendar_month > 11) {
+    return Status::InvalidArgument("start_calendar_month must be in [0,11]");
+  }
+  if (config.diseases.empty() || config.medicines.empty()) {
+    return Status::InvalidArgument("world needs diseases and medicines");
+  }
+  if (config.cities.empty()) {
+    config.cities.push_back({"city-0", 1.0});
+  }
+  if (config.hospitals.count == 0 || config.patients.count == 0) {
+    return Status::InvalidArgument("world needs hospitals and patients");
+  }
+
+  World world;
+  world.catalog_ = std::make_shared<Catalog>();
+  Catalog& catalog = *world.catalog_;
+
+  // Intern diseases; names must be unique.
+  std::unordered_map<std::string, std::size_t> disease_by_name;
+  for (std::size_t i = 0; i < config.diseases.size(); ++i) {
+    const DiseaseSpec& spec = config.diseases[i];
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("disease with empty name");
+    }
+    if (!disease_by_name.emplace(spec.name, i).second) {
+      return Status::AlreadyExists("duplicate disease name: " + spec.name);
+    }
+    if (spec.base_weight < 0 || spec.chronic_fraction < 0 ||
+        spec.chronic_fraction > 1 || spec.medication_intensity < 0) {
+      return Status::InvalidArgument("invalid parameters for disease " +
+                                     spec.name);
+    }
+    const DiseaseId id = catalog.diseases().Intern(spec.name);
+    world.disease_ids_.push_back(id);
+    world.disease_index_.emplace(id, i);
+  }
+
+  // Intern cities.
+  std::unordered_map<std::string, CityId> city_by_name;
+  for (const CitySpec& city : config.cities) {
+    if (city.name.empty() || city.population_weight < 0) {
+      return Status::InvalidArgument("invalid city spec");
+    }
+    if (city_by_name.count(city.name) > 0) {
+      return Status::AlreadyExists("duplicate city name: " + city.name);
+    }
+    city_by_name.emplace(city.name, catalog.cities().Intern(city.name));
+  }
+
+  // Intern medicines and resolve indications.
+  std::unordered_map<std::string, std::size_t> medicine_by_name;
+  for (std::size_t i = 0; i < config.medicines.size(); ++i) {
+    const MedicineSpec& spec = config.medicines[i];
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("medicine with empty name");
+    }
+    if (!medicine_by_name.emplace(spec.name, i).second) {
+      return Status::AlreadyExists("duplicate medicine name: " + spec.name);
+    }
+    if (spec.propensity < 0 || spec.release_month < 0) {
+      return Status::InvalidArgument("invalid parameters for medicine " +
+                                     spec.name);
+    }
+    const MedicineId id = catalog.medicines().Intern(spec.name);
+    world.medicine_ids_.push_back(id);
+    world.medicine_index_.emplace(id, i);
+  }
+
+  world.indications_.resize(config.diseases.size());
+  world.city_delays_.resize(config.medicines.size());
+  for (std::size_t i = 0; i < config.medicines.size(); ++i) {
+    const MedicineSpec& spec = config.medicines[i];
+    if (spec.indications.empty()) {
+      return Status::InvalidArgument("medicine " + spec.name +
+                                     " has no indications");
+    }
+    for (const IndicationSpec& indication : spec.indications) {
+      auto it = disease_by_name.find(indication.disease);
+      if (it == disease_by_name.end()) {
+        return Status::NotFound("indication of " + spec.name +
+                                " references unknown disease '" +
+                                indication.disease + "'");
+      }
+      if (indication.weight < 0 || indication.start_month < 0 ||
+          indication.ramp_months < 0) {
+        return Status::InvalidArgument("invalid indication on " + spec.name);
+      }
+      world.indications_[it->second][i] = indication;
+    }
+    if (!spec.generic_of.empty() &&
+        medicine_by_name.count(spec.generic_of) == 0) {
+      return Status::NotFound("generic_of of " + spec.name +
+                              " references unknown medicine '" +
+                              spec.generic_of + "'");
+    }
+    for (const auto& [city_name, delay] : spec.city_release_delays) {
+      auto it = city_by_name.find(city_name);
+      if (it == city_by_name.end()) {
+        return Status::NotFound("city delay of " + spec.name +
+                                " references unknown city '" + city_name +
+                                "'");
+      }
+      if (delay < 0) {
+        return Status::InvalidArgument("negative city delay on " + spec.name);
+      }
+      world.city_delays_[i][it->second.value()] = delay;
+    }
+  }
+
+  // Resolve class biases.
+  world.class_bias_.assign(
+      3, std::vector<std::unordered_map<std::size_t, double>>(
+             config.diseases.size()));
+  for (const ClassBiasSpec& bias : config.class_biases) {
+    auto disease_it = disease_by_name.find(bias.disease);
+    auto medicine_it = medicine_by_name.find(bias.medicine);
+    if (disease_it == disease_by_name.end()) {
+      return Status::NotFound("class bias references unknown disease '" +
+                              bias.disease + "'");
+    }
+    if (medicine_it == medicine_by_name.end()) {
+      return Status::NotFound("class bias references unknown medicine '" +
+                              bias.medicine + "'");
+    }
+    if (bias.weight < 0) {
+      return Status::InvalidArgument("negative class-bias weight");
+    }
+    world.class_bias_[static_cast<int>(bias.hospital_class)]
+                     [disease_it->second][medicine_it->second] += bias.weight;
+  }
+
+  // Candidate medicine lists per disease: indication edges plus class-bias
+  // edges.
+  world.candidates_.resize(config.diseases.size());
+  for (std::size_t d = 0; d < config.diseases.size(); ++d) {
+    std::set<std::size_t> candidates;
+    for (const auto& [m, indication] : world.indications_[d]) {
+      candidates.insert(m);
+    }
+    for (int cls = 0; cls < 3; ++cls) {
+      for (const auto& [m, weight] : world.class_bias_[cls][d]) {
+        candidates.insert(m);
+      }
+    }
+    world.candidates_[d].assign(candidates.begin(), candidates.end());
+  }
+
+  world.config_ = std::move(config);
+  return world;
+}
+
+Result<DiseaseId> World::FindDisease(const std::string& name) const {
+  return catalog_->diseases().Lookup(name);
+}
+
+Result<MedicineId> World::FindMedicine(const std::string& name) const {
+  return catalog_->medicines().Lookup(name);
+}
+
+bool World::IsIndicated(DiseaseId d, MedicineId m) const {
+  auto disease_it = disease_index_.find(d);
+  auto medicine_it = medicine_index_.find(m);
+  if (disease_it == disease_index_.end() ||
+      medicine_it == medicine_index_.end()) {
+    return false;
+  }
+  return indications_[disease_it->second].count(medicine_it->second) > 0;
+}
+
+double World::DiseaseWeight(std::size_t d, int t) const {
+  const DiseaseSpec& spec = config_.diseases[d];
+  double weight = spec.base_weight *
+                  spec.seasonality.Multiplier(CalendarMonth(t)) *
+                  EventMultiplier(spec.prevalence_events, t);
+  auto it = spec.outlier_multipliers.find(t);
+  if (it != spec.outlier_multipliers.end()) weight *= it->second;
+  return weight;
+}
+
+double World::PropensityMultiplier(std::size_t m, int t) const {
+  return EventMultiplier(config_.medicines[m].propensity_events, t);
+}
+
+bool World::IsAvailable(std::size_t m, int t, CityId city) const {
+  int release = config_.medicines[m].release_month;
+  const auto& delays = city_delays_[m];
+  auto it = delays.find(city.value());
+  if (it != delays.end()) release += it->second;
+  return t >= release;
+}
+
+double World::IndicationWeight(std::size_t d, std::size_t m, int t) const {
+  const auto& edges = indications_[d];
+  auto it = edges.find(m);
+  if (it == edges.end()) return 0.0;
+  const IndicationSpec& indication = it->second;
+  if (t < indication.start_month) return 0.0;
+  if (indication.ramp_months <= 0 ||
+      t >= indication.start_month + indication.ramp_months) {
+    return indication.weight;
+  }
+  const double progress =
+      static_cast<double>(t - indication.start_month + 1) /
+      static_cast<double>(indication.ramp_months + 1);
+  return indication.weight * progress;
+}
+
+double World::ClassBiasWeight(HospitalClass hospital_class, std::size_t d,
+                              std::size_t m) const {
+  const auto& edges = class_bias_[static_cast<int>(hospital_class)][d];
+  auto it = edges.find(m);
+  return it == edges.end() ? 0.0 : it->second;
+}
+
+}  // namespace mic::synth

@@ -1,0 +1,257 @@
+// Configurable MIC world: the ground-truth generative process from which
+// synthetic claim records are drawn (see DESIGN.md, data substitution).
+//
+// The world encodes exactly the phenomena the paper's models must cope
+// with (§III-B): disease seasonality/epidemics/outliers, new-medicine
+// releases, price/generic propensity shifts, indication expansions,
+// hospital size classes with prescribing biases, and cities with
+// different adoption delays.
+
+#ifndef MICTREND_SYNTH_WORLD_H_
+#define MICTREND_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mic/catalog.h"
+#include "mic/types.h"
+
+namespace mic::synth {
+
+/// Multiplicative 12-month seasonality. The primary term is a shaped
+/// cosine: with c = (cos(2*pi*(m-peak_month)/12) + 1) / 2 in [0, 1],
+/// the contribution is amplitude * (2 * c^sharpness - 1); sharpness 1
+/// is a plain cosine, larger values produce the narrow epidemic peaks
+/// of the paper's Fig. 3a (influenza), which low-order ARMA models
+/// cannot mimic. A second plain harmonic produces multi-peak shapes
+/// like the diarrhea example (Fig. 6b). The result is clamped at 0.
+struct SeasonalityProfile {
+  double amplitude = 0.0;
+  int peak_month = 0;
+  /// Peak narrowness; >= 1.
+  double sharpness = 1.0;
+  double second_amplitude = 0.0;
+  int second_peak_month = 0;
+
+  bool IsFlat() const {
+    return amplitude == 0.0 && second_amplitude == 0.0;
+  }
+  double Multiplier(int calendar_month) const;
+};
+
+/// A scheduled multiplicative change ramping linearly from the previous
+/// level to `target_multiplier` over `ramp_months` starting at `month`.
+/// Used for medicine propensity shifts (generic entry, price revision)
+/// and disease prevalence drifts (diagnostic substitution, Fig. 7b).
+struct ScheduledEvent {
+  int month = 0;
+  double target_multiplier = 1.0;
+  int ramp_months = 0;
+};
+
+/// Effective multiplier of an event list at time t (1 before the first
+/// event; each event ramps from the previous level to its target).
+double EventMultiplier(const std::vector<ScheduledEvent>& events, int t);
+
+/// One disease in the world.
+struct DiseaseSpec {
+  std::string name;
+  /// Relative prevalence among acute draws.
+  double base_weight = 1.0;
+  SeasonalityProfile seasonality;
+  /// Fraction of patients carrying this disease chronically (diagnosed
+  /// every visiting month), e.g. hypertension.
+  double chronic_fraction = 0.0;
+  /// Mean number of prescriptions issued per diagnosis mention.
+  double medication_intensity = 0.8;
+  /// Epidemic/outlier spikes: month index -> prevalence multiplier
+  /// (e.g. the 2014-winter influenza outbreak of Fig. 3a / 6a).
+  std::map<int, double> outlier_multipliers;
+  /// Slow structural prevalence changes (e.g. a diagnosis falling out of
+  /// use while a substitute rises, Fig. 7b).
+  std::vector<ScheduledEvent> prevalence_events;
+};
+
+/// One (disease -> medicine) edge of the ground-truth indication map.
+struct IndicationSpec {
+  std::string disease;
+  /// Relative weight among the medicines indicated for this disease.
+  double weight = 1.0;
+  /// Month from which this indication is active; > 0 models indication
+  /// expansion (paper Fig. 3c / 7a).
+  int start_month = 0;
+  /// Linear adoption ramp (months) after start_month before the weight
+  /// reaches its full value.
+  int ramp_months = 0;
+};
+
+/// One medicine in the world.
+struct MedicineSpec {
+  std::string name;
+  /// Month the medicine goes on sale; 0 = available from the start
+  /// (> 0 models new-medicine releases, Fig. 3b / 6c).
+  int release_month = 0;
+  /// Overall prescribing propensity scale.
+  double propensity = 1.0;
+  std::vector<IndicationSpec> indications;
+  /// Overall propensity changes, e.g. decline after a generic enters
+  /// (Fig. 6d) or a price revision.
+  std::vector<ScheduledEvent> propensity_events;
+  /// Name of the original medicine when this is a generic (metadata for
+  /// the geographic-spread application; empty otherwise).
+  std::string generic_of;
+  /// Extra availability delay per city name (Fig. 8's staggered
+  /// geographic adoption). Cities not listed use release_month.
+  std::map<std::string, int> city_release_delays;
+};
+
+/// Prescribing bias attached to a hospital size class: hospitals of
+/// `hospital_class` prescribe `medicine` for `disease` with `weight`
+/// even though the indication map does not license it (§VII-C's
+/// antibiotics-for-colds misuse).
+struct ClassBiasSpec {
+  HospitalClass hospital_class;
+  std::string medicine;
+  std::string disease;
+  double weight = 1.0;
+};
+
+/// One city with a share of the hospitals/patients.
+struct CitySpec {
+  std::string name;
+  double population_weight = 1.0;
+};
+
+struct HospitalPopulationSpec {
+  std::size_t count = 30;
+  /// Probability a hospital is small / medium / large (normalized).
+  double small_fraction = 0.6;
+  double medium_fraction = 0.3;
+  double large_fraction = 0.1;
+};
+
+struct PatientPopulationSpec {
+  std::size_t count = 2000;
+  /// Monthly visit probability for patients with no chronic disease.
+  double base_visit_probability = 0.35;
+  /// Additional visit probability per chronic condition (capped at 0.95).
+  double chronic_visit_boost = 0.4;
+  /// Mean number of acute diseases drawn per visiting record.
+  double mean_acute_diseases = 2.0;
+};
+
+/// Full description of one synthetic MIC world.
+struct WorldConfig {
+  /// Number of monthly datasets to generate (paper: 43).
+  int num_months = 43;
+  /// Calendar month of t = 0 (0 = January; paper starts March -> 2).
+  int start_calendar_month = 2;
+  std::uint64_t seed = 20190411;
+
+  std::vector<DiseaseSpec> diseases;
+  std::vector<MedicineSpec> medicines;
+  std::vector<ClassBiasSpec> class_biases;
+  std::vector<CitySpec> cities;
+  HospitalPopulationSpec hospitals;
+  PatientPopulationSpec patients;
+};
+
+/// A validated, id-resolved world ready for claim generation.
+class World {
+ public:
+  /// Validates `config` (unique names, known references, sane ranges)
+  /// and resolves names to catalog ids.
+  static Result<World> Create(WorldConfig config);
+
+  const WorldConfig& config() const { return config_; }
+  const std::shared_ptr<Catalog>& catalog() const { return catalog_; }
+
+  std::size_t num_diseases() const { return config_.diseases.size(); }
+  std::size_t num_medicines() const { return config_.medicines.size(); }
+  int num_months() const { return config_.num_months; }
+
+  /// Catalog id of the i-th disease/medicine spec.
+  DiseaseId disease_id(std::size_t index) const {
+    return disease_ids_[index];
+  }
+  MedicineId medicine_id(std::size_t index) const {
+    return medicine_ids_[index];
+  }
+
+  /// Spec index from catalog id.
+  std::size_t disease_index(DiseaseId id) const {
+    return disease_index_.at(id);
+  }
+  std::size_t medicine_index(MedicineId id) const {
+    return medicine_index_.at(id);
+  }
+
+  /// Looks up ids by configured name.
+  Result<DiseaseId> FindDisease(const std::string& name) const;
+  Result<MedicineId> FindMedicine(const std::string& name) const;
+
+  /// Ground-truth relevance: true iff the indication map ever licenses
+  /// medicine `m` for disease `d` (the package-insert criterion of the
+  /// paper's Table III ground truth).
+  bool IsIndicated(DiseaseId d, MedicineId m) const;
+
+  /// Calendar month (0-11) of time index t.
+  int CalendarMonth(int t) const {
+    return (config_.start_calendar_month + t) % 12;
+  }
+
+  /// Prevalence weight of disease spec `d` at time t (base * seasonality
+  /// * outliers).
+  double DiseaseWeight(std::size_t d, int t) const;
+
+  /// Effective propensity multiplier of medicine spec `m` at time t
+  /// (1 before any event, ramping towards each event's target).
+  double PropensityMultiplier(std::size_t m, int t) const;
+
+  /// Availability of medicine spec `m` at time t in city `city`.
+  bool IsAvailable(std::size_t m, int t, CityId city) const;
+
+  /// Weight of the indication edge (disease spec d -> medicine spec m)
+  /// at time t; 0 when absent or not yet active. Ramps linearly over
+  /// `ramp_months` after activation.
+  double IndicationWeight(std::size_t d, std::size_t m, int t) const;
+
+  /// Class-bias weight for (hospital class, disease spec, medicine spec);
+  /// 0 when no bias is configured.
+  double ClassBiasWeight(HospitalClass hospital_class, std::size_t d,
+                         std::size_t m) const;
+
+  /// Medicines with an indication edge from disease spec `d` (including
+  /// inactive-yet edges) plus medicines reaching `d` only through a class
+  /// bias; used by the generator to avoid scanning all medicines.
+  const std::vector<std::size_t>& CandidateMedicines(std::size_t d) const {
+    return candidates_[d];
+  }
+
+ private:
+  World() = default;
+
+  WorldConfig config_;
+  std::shared_ptr<Catalog> catalog_;
+  std::vector<DiseaseId> disease_ids_;
+  std::vector<MedicineId> medicine_ids_;
+  std::unordered_map<DiseaseId, std::size_t> disease_index_;
+  std::unordered_map<MedicineId, std::size_t> medicine_index_;
+  /// indication_weight_[d] : medicine spec index -> IndicationSpec.
+  std::vector<std::unordered_map<std::size_t, IndicationSpec>> indications_;
+  /// class_bias_[class][d] : medicine spec index -> weight.
+  std::vector<std::vector<std::unordered_map<std::size_t, double>>>
+      class_bias_;
+  std::vector<std::vector<std::size_t>> candidates_;
+  /// Per-medicine city delays resolved to CityId (city id value -> delay).
+  std::vector<std::unordered_map<std::uint32_t, int>> city_delays_;
+};
+
+}  // namespace mic::synth
+
+#endif  // MICTREND_SYNTH_WORLD_H_

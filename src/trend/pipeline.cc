@@ -1,0 +1,15 @@
+#include "trend/pipeline.h"
+
+namespace mic::trend {
+
+Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
+                                   const PipelineOptions& options) {
+  MIC_ASSIGN_OR_RETURN(
+      medmodel::SeriesSet series,
+      medmodel::ReproduceSeries(corpus, options.reproducer));
+  TrendAnalyzer analyzer(options.analyzer);
+  MIC_ASSIGN_OR_RETURN(TrendReport report, analyzer.AnalyzeAll(series));
+  return PipelineResult{std::move(series), std::move(report)};
+}
+
+}  // namespace mic::trend

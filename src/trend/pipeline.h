@@ -1,0 +1,33 @@
+// One-call convenience for the full Fig. 1 pipeline: corpus ->
+// reproduced series -> per-series change detection -> classified report.
+
+#ifndef MICTREND_TREND_PIPELINE_H_
+#define MICTREND_TREND_PIPELINE_H_
+
+#include "common/result.h"
+#include "medmodel/timeseries.h"
+#include "mic/dataset.h"
+#include "trend/trend_analyzer.h"
+
+namespace mic::trend {
+
+struct PipelineOptions {
+  medmodel::ReproducerOptions reproducer;
+  TrendAnalyzerOptions analyzer;
+};
+
+/// The pipeline's artifacts: the reproduced series (kept for follow-up
+/// queries such as decomposition or repositioning screening) and the
+/// analyzed report.
+struct PipelineResult {
+  medmodel::SeriesSet series;
+  TrendReport report;
+};
+
+/// Runs reproduction + analysis over `corpus`.
+Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
+                                   const PipelineOptions& options = {});
+
+}  // namespace mic::trend
+
+#endif  // MICTREND_TREND_PIPELINE_H_

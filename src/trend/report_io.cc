@@ -1,0 +1,65 @@
+#include "trend/report_io.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace mic::trend {
+namespace {
+
+void WriteRow(std::ostream& out, const Catalog& catalog,
+              const SeriesAnalysis& analysis, std::string_view cause) {
+  const char* kind = analysis.kind == SeriesKind::kDisease
+                         ? "disease"
+                         : (analysis.kind == SeriesKind::kMedicine
+                                ? "medicine"
+                                : "prescription");
+  out << kind << ','
+      << (analysis.kind == SeriesKind::kMedicine
+              ? "-"
+              : catalog.diseases().Name(analysis.disease).c_str())
+      << ','
+      << (analysis.kind == SeriesKind::kDisease
+              ? "-"
+              : catalog.medicines().Name(analysis.medicine).c_str())
+      << ',' << (analysis.has_change ? 1 : 0) << ','
+      << analysis.change_point << ','
+      << StrFormat("%.6g", analysis.lambda) << ','
+      << StrFormat("%.6g", analysis.aic) << ','
+      << StrFormat("%.6g", analysis.aic_without_intervention) << ','
+      << cause << "\n";
+}
+
+}  // namespace
+
+Status WriteReportCsv(const TrendReport& report,
+                      const TrendAnalyzer& analyzer, const Catalog& catalog,
+                      std::ostream& out) {
+  out << "kind,disease,medicine,change,month,lambda,criterion,"
+         "criterion_no_change,cause\n";
+  for (const SeriesAnalysis& analysis : report.diseases) {
+    WriteRow(out, catalog, analysis, "-");
+  }
+  for (const SeriesAnalysis& analysis : report.medicines) {
+    WriteRow(out, catalog, analysis, "-");
+  }
+  for (const SeriesAnalysis& analysis : report.prescriptions) {
+    const ChangeCause cause =
+        analyzer.ClassifyPrescriptionChange(report, analysis);
+    WriteRow(out, catalog, analysis,
+             analysis.has_change ? ChangeCauseName(cause) : "-");
+  }
+  if (!out.good()) return Status::IoError("stream failure writing report");
+  return Status::OK();
+}
+
+Status WriteReportCsvFile(const TrendReport& report,
+                          const TrendAnalyzer& analyzer,
+                          const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteReportCsv(report, analyzer, catalog, out);
+}
+
+}  // namespace mic::trend

@@ -1,0 +1,31 @@
+// CSV serialization of trend analysis reports (the CLI's `pipeline
+// --out` artifact).
+//
+// Format (header required):
+//   kind,disease,medicine,change,month,lambda,criterion,
+//   criterion_no_change,cause
+// `cause` is filled for prescription rows with a detected change and
+// "-" otherwise.
+
+#ifndef MICTREND_TREND_REPORT_IO_H_
+#define MICTREND_TREND_REPORT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "mic/catalog.h"
+#include "trend/trend_analyzer.h"
+
+namespace mic::trend {
+
+Status WriteReportCsv(const TrendReport& report,
+                      const TrendAnalyzer& analyzer, const Catalog& catalog,
+                      std::ostream& out);
+Status WriteReportCsvFile(const TrendReport& report,
+                          const TrendAnalyzer& analyzer,
+                          const Catalog& catalog, const std::string& path);
+
+}  // namespace mic::trend
+
+#endif  // MICTREND_TREND_REPORT_IO_H_

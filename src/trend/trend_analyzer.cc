@@ -1,0 +1,150 @@
+#include "trend/trend_analyzer.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "ssm/decompose.h"
+#include "stats/metrics.h"
+
+namespace mic::trend {
+
+std::string_view ChangeCauseName(ChangeCause cause) {
+  switch (cause) {
+    case ChangeCause::kNone:
+      return "none";
+    case ChangeCause::kDiseaseDerived:
+      return "disease-derived";
+    case ChangeCause::kMedicineDerived:
+      return "medicine-derived";
+    case ChangeCause::kPrescriptionDerived:
+      return "prescription-derived";
+  }
+  return "?";
+}
+
+std::size_t TrendReport::CountChanges(SeriesKind kind) const {
+  const std::vector<SeriesAnalysis>* source = nullptr;
+  switch (kind) {
+    case SeriesKind::kDisease:
+      source = &diseases;
+      break;
+    case SeriesKind::kMedicine:
+      source = &medicines;
+      break;
+    case SeriesKind::kPrescription:
+      source = &prescriptions;
+      break;
+  }
+  std::size_t count = 0;
+  for (const SeriesAnalysis& analysis : *source) {
+    if (analysis.has_change) ++count;
+  }
+  return count;
+}
+
+Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
+    SeriesKind kind, DiseaseId d, MedicineId m,
+    const std::vector<double>& series) const {
+  SeriesAnalysis analysis;
+  analysis.kind = kind;
+  analysis.disease = d;
+  analysis.medicine = m;
+
+  std::vector<double> working = series;
+  if (options_.normalize) {
+    const double sd = stats::StdDev(series);
+    if (sd > 0.0) {
+      analysis.scale = sd;
+      for (double& value : working) value /= sd;
+    }
+  }
+
+  ssm::ChangePointDetector detector(std::move(working), options_.detector);
+  Result<ssm::ChangePointResult> detected =
+      options_.use_approximate ? detector.DetectApproximate()
+                               : detector.DetectExact();
+  MIC_RETURN_IF_ERROR(detected.status());
+
+  analysis.has_change = detected->has_change;
+  analysis.change_point = detected->change_point;
+  analysis.aic = detected->best_aic;
+  analysis.aic_without_intervention = detected->aic_without_intervention;
+  analysis.fits_performed = detected->fits_performed;
+
+  if (detected->has_change) {
+    // The smoothed intervention coefficient, rescaled to original units.
+    std::vector<double> normalized = series;
+    for (double& value : normalized) value /= analysis.scale;
+    auto decomposition = ssm::Decompose(detected->best_model, normalized);
+    if (decomposition.ok()) {
+      analysis.lambda = decomposition->lambda * analysis.scale;
+    }
+  }
+  return analysis;
+}
+
+Result<TrendReport> TrendAnalyzer::AnalyzeAll(
+    const medmodel::SeriesSet& set) const {
+  TrendReport report;
+
+  Status first_error = Status::OK();
+  set.ForEachDisease([&](DiseaseId d, const std::vector<double>& series) {
+    auto analysis =
+        AnalyzeSeries(SeriesKind::kDisease, d, MedicineId(), series);
+    if (analysis.ok()) {
+      report.disease_index.emplace(d, report.diseases.size());
+      report.diseases.push_back(*analysis);
+    } else if (first_error.ok() &&
+               analysis.status().code() != StatusCode::kInvalidArgument) {
+      first_error = analysis.status();
+    }
+  });
+  set.ForEachMedicine([&](MedicineId m, const std::vector<double>& series) {
+    auto analysis =
+        AnalyzeSeries(SeriesKind::kMedicine, DiseaseId(), m, series);
+    if (analysis.ok()) {
+      report.medicine_index.emplace(m, report.medicines.size());
+      report.medicines.push_back(*analysis);
+    } else if (first_error.ok() &&
+               analysis.status().code() != StatusCode::kInvalidArgument) {
+      first_error = analysis.status();
+    }
+  });
+  set.ForEachPair([&](DiseaseId d, MedicineId m,
+                      const std::vector<double>& series) {
+    auto analysis = AnalyzeSeries(SeriesKind::kPrescription, d, m, series);
+    if (analysis.ok()) {
+      report.prescriptions.push_back(*analysis);
+    } else if (first_error.ok() &&
+               analysis.status().code() != StatusCode::kInvalidArgument) {
+      first_error = analysis.status();
+    }
+  });
+  MIC_RETURN_IF_ERROR(first_error);
+  return report;
+}
+
+ChangeCause TrendAnalyzer::ClassifyPrescriptionChange(
+    const TrendReport& report, const SeriesAnalysis& prescription) const {
+  if (!prescription.has_change) return ChangeCause::kNone;
+
+  auto near = [this, &prescription](const SeriesAnalysis& other) {
+    return other.has_change &&
+           std::abs(other.change_point - prescription.change_point) <=
+               options_.cause_window;
+  };
+
+  auto disease_it = report.disease_index.find(prescription.disease);
+  if (disease_it != report.disease_index.end() &&
+      near(report.diseases[disease_it->second])) {
+    return ChangeCause::kDiseaseDerived;
+  }
+  auto medicine_it = report.medicine_index.find(prescription.medicine);
+  if (medicine_it != report.medicine_index.end() &&
+      near(report.medicines[medicine_it->second])) {
+    return ChangeCause::kMedicineDerived;
+  }
+  return ChangeCause::kPrescriptionDerived;
+}
+
+}  // namespace mic::trend

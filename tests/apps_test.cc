@@ -1,0 +1,160 @@
+#include "apps/geo_spread.h"
+#include "apps/hospital_gap.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+namespace mic::apps {
+namespace {
+
+// A small paper world exercising generics with city delays and the
+// antibiotic class bias.
+synth::GeneratedData GeneratePaperData() {
+  synth::PaperWorldOptions options;
+  options.num_months = 24;
+  options.num_patients = 600;
+  options.num_hospitals = 18;
+  options.num_background_diseases = 0;
+  auto world = synth::MakePaperWorld(options);
+  EXPECT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+medmodel::ReproducerOptions FastReproducer() {
+  medmodel::ReproducerOptions options;
+  options.filter_options.min_disease_count = 1;
+  options.filter_options.min_medicine_count = 1;
+  options.min_series_total = 0.0;
+  options.model_options.max_iterations = 30;
+  return options;
+}
+
+TEST(GeoSpreadTest, SharesAreSaneAndGenericAppearsAfterRelease) {
+  synth::GeneratedData data = GeneratePaperData();
+  const Catalog& catalog = data.corpus.catalog();
+  const MedicineId original =
+      *catalog.medicines().Lookup(synth::names::kAntiPlateletOriginal);
+  const MedicineId generic3 =
+      *catalog.medicines().Lookup(synth::names::kAntiPlateletGeneric3);
+  const std::vector<MedicineId> group = {original, generic3};
+
+  GeoSpreadOptions options;
+  options.reproducer = FastReproducer();
+  const int entry = synth::PaperWorldEvents::kGenericEntry;
+  options.snapshot_months = {entry - 1, entry + 1, 23};
+  auto report = AnalyzeGeoSpread(data.corpus, group, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->cells.empty());
+
+  // Before entry, generic share must be ~0 everywhere; after entry it
+  // should be positive in at least one non-delayed city.
+  double generic_before = 0.0;
+  double generic_after = 0.0;
+  for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+    generic_before += report->Count(CityId(c), generic3, 0);
+    generic_after += report->Count(CityId(c), generic3, 2);
+  }
+  EXPECT_NEAR(generic_before, 0.0, 1e-9);
+  EXPECT_GT(generic_after, 0.0);
+
+  // Shares are within [0, 1].
+  for (std::uint32_t c = 0; c < catalog.cities().size(); ++c) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const double share =
+          report->Share(CityId(c), generic3, group, s);
+      EXPECT_GE(share, 0.0);
+      EXPECT_LE(share, 1.0);
+    }
+  }
+}
+
+TEST(GeoSpreadTest, DelayedCityAdoptsLater) {
+  synth::GeneratedData data = GeneratePaperData();
+  const Catalog& catalog = data.corpus.catalog();
+  const MedicineId generic3 =
+      *catalog.medicines().Lookup(synth::names::kAntiPlateletGeneric3);
+  auto north = catalog.cities().Lookup("north-city");
+  ASSERT_TRUE(north.ok());
+
+  GeoSpreadOptions options;
+  options.reproducer = FastReproducer();
+  const int entry = synth::PaperWorldEvents::kGenericEntry;
+  options.snapshot_months = {entry + 1};
+  auto report = AnalyzeGeoSpread(data.corpus, {generic3}, options);
+  ASSERT_TRUE(report.ok());
+  // north-city has a 14-month delay: one month after the entry it
+  // cannot have prescriptions of the generic.
+  EXPECT_NEAR(report->Count(*north, generic3, 0), 0.0, 1e-9);
+}
+
+TEST(GeoSpreadTest, ValidatesInputs) {
+  synth::GeneratedData data = GeneratePaperData();
+  GeoSpreadOptions options;
+  options.snapshot_months = {2};
+  EXPECT_FALSE(AnalyzeGeoSpread(data.corpus, {}, options).ok());
+  options.snapshot_months.clear();
+  EXPECT_FALSE(
+      AnalyzeGeoSpread(data.corpus, {MedicineId(0)}, options).ok());
+  options.snapshot_months = {99};
+  EXPECT_FALSE(
+      AnalyzeGeoSpread(data.corpus, {MedicineId(0)}, options).ok());
+}
+
+TEST(HospitalGapTest, SmallHospitalsMisuseAntibiotic) {
+  synth::GeneratedData data = GeneratePaperData();
+  const Catalog& catalog = data.corpus.catalog();
+  const MedicineId antibiotic =
+      *catalog.medicines().Lookup(synth::names::kAntibiotic);
+  const DiseaseId cold =
+      *catalog.diseases().Lookup(synth::names::kColdSyndrome);
+
+  HospitalGapOptions options;
+  options.reproducer = FastReproducer();
+  auto report = AnalyzeHospitalGap(data.corpus, antibiotic, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->classes.size(), 3u);
+
+  auto cold_ratio = [&](const HospitalClassRanking& ranking) {
+    for (const DiseaseShare& share : ranking.top_diseases) {
+      if (share.disease == cold) return share.ratio;
+    }
+    return 0.0;
+  };
+  const double small = cold_ratio(report->classes[0]);
+  const double large = cold_ratio(report->classes[2]);
+  // The class bias prescribes antibiotics for colds at small hospitals
+  // only (Table II's pattern).
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(small, large);
+}
+
+TEST(HospitalGapTest, RatiosSumToAtMostOne) {
+  synth::GeneratedData data = GeneratePaperData();
+  const Catalog& catalog = data.corpus.catalog();
+  const MedicineId antibiotic =
+      *catalog.medicines().Lookup(synth::names::kAntibiotic);
+  HospitalGapOptions options;
+  options.reproducer = FastReproducer();
+  options.top_k = 5;
+  auto report = AnalyzeHospitalGap(data.corpus, antibiotic, options);
+  ASSERT_TRUE(report.ok());
+  for (const HospitalClassRanking& ranking : report->classes) {
+    EXPECT_LE(ranking.top_diseases.size(), 5u);
+    double total = 0.0;
+    double previous = 1.0;
+    for (const DiseaseShare& share : ranking.top_diseases) {
+      EXPECT_LE(share.ratio, previous + 1e-12);  // Sorted descending.
+      previous = share.ratio;
+      total += share.ratio;
+    }
+    EXPECT_LE(total, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mic::apps

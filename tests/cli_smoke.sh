@@ -1,0 +1,51 @@
+#!/bin/sh
+# End-to-end smoke test of the mictrend CLI: generate -> stats ->
+# reproduce -> detect -> pipeline, plus a custom --world config.
+# Usage: cli_smoke.sh <path-to-mictrend-binary> <work-dir>
+set -e
+
+MICTREND="$1"
+WORK="$2"
+mkdir -p "$WORK"
+
+"$MICTREND" generate --out "$WORK/corpus.csv" \
+  --hospitals-out "$WORK/hospitals.csv" \
+  --months 12 --patients 250 --background 3 --seed 7
+
+test -s "$WORK/corpus.csv"
+test -s "$WORK/hospitals.csv"
+
+"$MICTREND" stats --corpus "$WORK/corpus.csv" | grep -q "months: 12"
+
+"$MICTREND" reproduce --corpus "$WORK/corpus.csv" \
+  --out "$WORK/series.csv" --min-total 5
+test -s "$WORK/series.csv"
+head -1 "$WORK/series.csv" | grep -q "kind,disease,medicine,values"
+
+"$MICTREND" detect --series "$WORK/series.csv" --algorithm approx \
+  --seasonal false --margin 4 --min-tail 3 > "$WORK/detect.csv"
+head -1 "$WORK/detect.csv" | grep -q "kind,disease,medicine,change"
+
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --out "$WORK/report.csv" | grep -q "reproduced"
+test -s "$WORK/report.csv"
+
+# Custom world config.
+cat > "$WORK/world.cfg" << 'EOF'
+config,months=6,seed=5
+hospitals,count=4,small=0.5,medium=0.4,large=0.1
+patients,count=80,visit=0.5,boost=0.3,acute=1.5
+city,only,weight=1
+disease,flu,weight=1.0,intensity=1.0
+medicine,antiviral,indication=flu:1.0
+EOF
+"$MICTREND" generate --world "$WORK/world.cfg" --out "$WORK/c2.csv"
+"$MICTREND" stats --corpus "$WORK/c2.csv" | grep -q "months: 6"
+
+# Unknown subcommand exits non-zero.
+if "$MICTREND" bogus 2>/dev/null; then
+  echo "expected failure for unknown subcommand" >&2
+  exit 1
+fi
+
+echo "cli smoke OK"

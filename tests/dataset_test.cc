@@ -1,0 +1,91 @@
+#include "mic/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mic {
+namespace {
+
+MicRecord MakeRecord(std::initializer_list<std::pair<int, int>> diseases,
+                     std::initializer_list<std::pair<int, int>> medicines,
+                     int hospital = 0) {
+  MicRecord record;
+  record.hospital = HospitalId(static_cast<std::uint32_t>(hospital));
+  record.patient = PatientId(0);
+  for (const auto& [id, count] : diseases) {
+    record.diseases.push_back({DiseaseId(static_cast<std::uint32_t>(id)),
+                               static_cast<std::uint32_t>(count)});
+  }
+  for (const auto& [id, count] : medicines) {
+    record.medicines.push_back({MedicineId(static_cast<std::uint32_t>(id)),
+                                static_cast<std::uint32_t>(count)});
+  }
+  record.Normalize();
+  return record;
+}
+
+TEST(MonthlyDatasetTest, FrequenciesAggregateMultiplicity) {
+  MonthlyDataset month(0);
+  month.AddRecord(MakeRecord({{0, 2}, {1, 1}}, {{0, 1}}));
+  month.AddRecord(MakeRecord({{0, 1}}, {{0, 2}, {1, 1}}));
+
+  const auto diseases = month.DiseaseFrequencies();
+  EXPECT_EQ(diseases.at(DiseaseId(0)), 3u);
+  EXPECT_EQ(diseases.at(DiseaseId(1)), 1u);
+  const auto medicines = month.MedicineFrequencies();
+  EXPECT_EQ(medicines.at(MedicineId(0)), 3u);
+  EXPECT_EQ(medicines.at(MedicineId(1)), 1u);
+
+  EXPECT_EQ(month.CountDistinctDiseases(), 2u);
+  EXPECT_EQ(month.CountDistinctMedicines(), 2u);
+  EXPECT_DOUBLE_EQ(month.MeanDiseasesPerRecord(), 2.0);
+  EXPECT_DOUBLE_EQ(month.MeanMedicinesPerRecord(), 2.0);
+}
+
+TEST(MonthlyDatasetTest, EmptyDatasetStats) {
+  MonthlyDataset month(3);
+  EXPECT_TRUE(month.empty());
+  EXPECT_DOUBLE_EQ(month.MeanDiseasesPerRecord(), 0.0);
+  EXPECT_EQ(month.CountDistinctDiseases(), 0u);
+}
+
+TEST(MicCorpusTest, MonthsMustBeConsecutive) {
+  MicCorpus corpus;
+  EXPECT_TRUE(corpus.AddMonth(MonthlyDataset(0)).ok());
+  EXPECT_TRUE(corpus.AddMonth(MonthlyDataset(1)).ok());
+  EXPECT_FALSE(corpus.AddMonth(MonthlyDataset(5)).ok());
+  EXPECT_EQ(corpus.num_months(), 2u);
+}
+
+TEST(MicCorpusTest, TotalRecordsSumsAcrossMonths) {
+  MicCorpus corpus;
+  MonthlyDataset m0(0);
+  m0.AddRecord(MakeRecord({{0, 1}}, {{0, 1}}));
+  m0.AddRecord(MakeRecord({{1, 1}}, {{1, 1}}));
+  MonthlyDataset m1(1);
+  m1.AddRecord(MakeRecord({{0, 1}}, {{0, 1}}));
+  ASSERT_TRUE(corpus.AddMonth(std::move(m0)).ok());
+  ASSERT_TRUE(corpus.AddMonth(std::move(m1)).ok());
+  EXPECT_EQ(corpus.TotalRecords(), 3u);
+}
+
+TEST(MicCorpusTest, FilterByHospitalKeepsCatalogAndMonths) {
+  MicCorpus corpus;
+  corpus.catalog().hospitals().Intern("h0");
+  corpus.catalog().hospitals().Intern("h1");
+  MonthlyDataset m0(0);
+  m0.AddRecord(MakeRecord({{0, 1}}, {{0, 1}}, /*hospital=*/0));
+  m0.AddRecord(MakeRecord({{1, 1}}, {{1, 1}}, /*hospital=*/1));
+  ASSERT_TRUE(corpus.AddMonth(std::move(m0)).ok());
+  ASSERT_TRUE(corpus.AddMonth(MonthlyDataset(1)).ok());
+
+  MicCorpus filtered = corpus.FilterByHospital(
+      [](HospitalId h) { return h == HospitalId(0); });
+  EXPECT_EQ(filtered.num_months(), 2u);
+  EXPECT_EQ(filtered.TotalRecords(), 1u);
+  EXPECT_EQ(filtered.month(0).records()[0].hospital, HospitalId(0));
+  // Catalog is shared, not copied.
+  EXPECT_EQ(&filtered.catalog(), &corpus.catalog());
+}
+
+}  // namespace
+}  // namespace mic

@@ -1,0 +1,129 @@
+#include "ssm/decompose.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mic::ssm {
+namespace {
+
+std::vector<double> MakeSeries(int n, double level, double season_amp,
+                               int change_point, double slope,
+                               double noise_sd, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    double value = level +
+                   season_amp * std::sin(2.0 * M_PI * t / 12.0) +
+                   rng.NextGaussian(0.0, noise_sd);
+    if (change_point >= 0 && t >= change_point) {
+      value += slope * (t - change_point + 1);
+    }
+    x[t] = value;
+  }
+  return x;
+}
+
+TEST(DecomposeTest, ComponentsSumToFitted) {
+  const auto x = MakeSeries(43, 12.0, 3.0, 20, 1.0, 0.3, 5);
+  StructuralSpec spec;
+  spec.seasonal = true;
+  spec.set_change_point(20);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(decomposition->fitted[t] + decomposition->irregular[t],
+                x[t], 1e-9);
+    EXPECT_NEAR(decomposition->fitted[t],
+                decomposition->level[t] + decomposition->seasonal[t] +
+                    decomposition->intervention[t],
+                1e-9);
+  }
+}
+
+TEST(DecomposeTest, RecoversLevelOfFlatSeries) {
+  const auto x = MakeSeries(43, 25.0, 0.0, -1, 0.0, 0.4, 6);
+  StructuralSpec spec;
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  for (std::size_t t = 4; t < x.size(); ++t) {
+    EXPECT_NEAR(decomposition->level[t], 25.0, 1.0);
+  }
+  // No seasonal or intervention requested -> those components are zero.
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_DOUBLE_EQ(decomposition->seasonal[t], 0.0);
+    EXPECT_DOUBLE_EQ(decomposition->intervention[t], 0.0);
+  }
+}
+
+TEST(DecomposeTest, SeasonalComponentTracksPlantedSeason) {
+  const auto x = MakeSeries(48, 10.0, 4.0, -1, 0.0, 0.2, 7);
+  StructuralSpec spec;
+  spec.seasonal = true;
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  // Peak month of sin(2 pi t / 12) is t = 3 (mod 12); check the smoothed
+  // seasonal is large positive there and negative at t = 9 (mod 12).
+  double peak_mean = 0.0;
+  double trough_mean = 0.0;
+  int count = 0;
+  for (int t = 12; t + 12 < 48; t += 12) {
+    peak_mean += decomposition->seasonal[t + 3];
+    trough_mean += decomposition->seasonal[t + 9];
+    ++count;
+  }
+  peak_mean /= count;
+  trough_mean /= count;
+  EXPECT_GT(peak_mean, 2.0);
+  EXPECT_LT(trough_mean, -2.0);
+}
+
+TEST(DecomposeTest, InterventionComponentMatchesSlopeShape) {
+  const auto x = MakeSeries(43, 10.0, 0.0, 25, 2.0, 0.3, 8);
+  StructuralSpec spec;
+  spec.set_change_point(25);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  // Zero before the break.
+  for (int t = 0; t < 25; ++t) {
+    EXPECT_DOUBLE_EQ(decomposition->intervention[t], 0.0);
+  }
+  // Linear after the break with slope lambda ~ 2.
+  EXPECT_NEAR(fitted->lambda, 2.0, 0.4);
+  EXPECT_NEAR(decomposition->intervention[30] -
+                  decomposition->intervention[29],
+              fitted->lambda, 1e-9);
+}
+
+TEST(DecomposeTest, OutlierLandsInIrregular) {
+  auto x = MakeSeries(43, 10.0, 0.0, -1, 0.0, 0.2, 9);
+  x[21] += 8.0;  // One-month spike (the paper's influenza outbreak).
+  StructuralSpec spec;
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  // The spike month should have by far the largest irregular magnitude.
+  std::size_t argmax = 0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    if (std::fabs(decomposition->irregular[t]) >
+        std::fabs(decomposition->irregular[argmax])) {
+      argmax = t;
+    }
+  }
+  EXPECT_EQ(argmax, 21u);
+  EXPECT_GT(std::fabs(decomposition->irregular[21]), 3.0);
+}
+
+}  // namespace
+}  // namespace mic::ssm

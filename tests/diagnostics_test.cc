@@ -1,0 +1,182 @@
+// Tests for the incomplete gamma / chi-square machinery, the Ljung-Box
+// residual diagnostic, and the Wilcoxon signed-rank test.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ssm/fit.h"
+#include "ssm/kalman.h"
+#include "stats/metrics.h"
+
+namespace mic::stats {
+namespace {
+
+TEST(PearsonTest, KnownValues) {
+  EXPECT_NEAR(*PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0,
+              1e-12);
+  EXPECT_NEAR(*PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0,
+              1e-12);
+  // Hand-computed: r of {1,2,3} vs {1,3,2} = 0.5.
+  EXPECT_NEAR(*PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {1}).ok());
+}
+
+TEST(IncompleteGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedLowerGamma(1.0, 2.0), 1.0 - std::exp(-2.0),
+              1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedLowerGamma(0.5, 1.0), std::erf(1.0), 1e-10);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(RegularizedLowerGamma(3.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedLowerGamma(3.0, 100.0), 1.0, 1e-12);
+  // Large-x branch (continued fraction).
+  EXPECT_NEAR(RegularizedLowerGamma(2.0, 10.0),
+              1.0 - std::exp(-10.0) * (1.0 + 10.0), 1e-10);
+}
+
+TEST(ChiSquareTest, KnownQuantiles) {
+  // chi2(1): CDF(3.841) ~ 0.95; chi2(10): CDF(18.307) ~ 0.95.
+  EXPECT_NEAR(ChiSquareCdf(3.841, 1.0), 0.95, 2e-3);
+  EXPECT_NEAR(ChiSquareCdf(18.307, 10.0), 0.95, 2e-3);
+  EXPECT_NEAR(ChiSquareCdf(0.0, 4.0), 0.0, 1e-12);
+  // Median of chi2(2) is 2 ln 2.
+  EXPECT_NEAR(ChiSquareCdf(2.0 * std::log(2.0), 2.0), 0.5, 1e-10);
+}
+
+TEST(LjungBoxTest, WhiteNoisePassesAutocorrelatedFails) {
+  Rng rng(42);
+  std::vector<double> white(300);
+  for (double& value : white) value = rng.NextGaussian();
+  auto white_result = LjungBoxTest(white, 10);
+  ASSERT_TRUE(white_result.ok());
+  EXPECT_GT(white_result->p_value, 0.01);
+
+  // Strong AR(1) residuals must fail decisively.
+  std::vector<double> correlated(300);
+  double state = 0.0;
+  for (double& value : correlated) {
+    state = 0.8 * state + rng.NextGaussian();
+    value = state;
+  }
+  auto correlated_result = LjungBoxTest(correlated, 10);
+  ASSERT_TRUE(correlated_result.ok());
+  EXPECT_LT(correlated_result->p_value, 1e-6);
+  EXPECT_GT(correlated_result->q_statistic,
+            white_result->q_statistic);
+}
+
+TEST(LjungBoxTest, SkipsNaNsAndValidatesInput) {
+  Rng rng(7);
+  std::vector<double> residuals(100);
+  for (double& value : residuals) value = rng.NextGaussian();
+  residuals[0] = std::numeric_limits<double>::quiet_NaN();
+  residuals[50] = std::numeric_limits<double>::quiet_NaN();
+  auto result = LjungBoxTest(residuals, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->q_statistic));
+
+  EXPECT_FALSE(LjungBoxTest(residuals, 0).ok());
+  EXPECT_FALSE(LjungBoxTest({1.0, 2.0}, 5).ok());
+  EXPECT_FALSE(LjungBoxTest(std::vector<double>(50, 3.0), 5).ok());
+}
+
+TEST(LjungBoxTest, StructuralModelInnovationsAreWhite) {
+  // Innovations of a correctly specified model should pass Ljung-Box —
+  // a residual diagnostic end-to-end check.
+  Rng rng(13);
+  std::vector<double> x(120);
+  double level = 10.0;
+  for (double& value : x) {
+    level += rng.NextGaussian(0.0, 0.3);
+    value = level + rng.NextGaussian(0.0, 1.0);
+  }
+  ssm::StructuralSpec spec;  // Local level: the true model.
+  auto fitted = ssm::FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto filter = ssm::RunFilter(fitted->model, x);
+  ASSERT_TRUE(filter.ok());
+  // Standardize innovations; skip the diffuse first one.
+  std::vector<double> standardized;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    standardized.push_back(filter->innovations[t] /
+                           std::sqrt(filter->prediction_variances[t]));
+  }
+  auto result = LjungBoxTest(standardized, 10, /*fitted_parameters=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(WilcoxonTest, DetectsConsistentShift) {
+  Rng rng(13);
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    b[i] = rng.NextGaussian(0.0, 1.0);
+    a[i] = b[i] + 0.8 + rng.NextGaussian(0.0, 0.3);
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 0.001);
+  EXPECT_GT(result->z_statistic, 3.0);
+}
+
+TEST(WilcoxonTest, NoShiftIsInsignificant) {
+  Rng rng(17);
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.05);
+}
+
+TEST(WilcoxonTest, HandlesTiesAndZeros) {
+  // Differences: {0, 1, 1, -1, 2, 2, 2, -2, 3}: zeros dropped, heavy
+  // ties; must still produce a finite result.
+  const std::vector<double> a = {5, 6, 6, 4, 7, 7, 7, 3, 8};
+  const std::vector<double> b = {5, 5, 5, 5, 5, 5, 5, 5, 5};
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->effective_n, 8);
+  EXPECT_TRUE(std::isfinite(result->z_statistic));
+  EXPECT_GE(result->p_value, 0.0);
+  EXPECT_LE(result->p_value, 1.0);
+}
+
+TEST(WilcoxonTest, ValidatesInput) {
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2}, {1}).ok());
+  // All-zero differences.
+  EXPECT_FALSE(
+      WilcoxonSignedRank({1, 2, 3, 4, 5, 6}, {1, 2, 3, 4, 5, 6}).ok());
+  // Too few non-zero differences.
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2, 3}, {0, 0, 0}).ok());
+}
+
+TEST(WilcoxonTest, AgreesWithTTestOnCleanShift) {
+  Rng rng(19);
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    b[i] = rng.NextGaussian(10.0, 2.0);
+    a[i] = b[i] - 1.0 + rng.NextGaussian(0.0, 0.5);
+  }
+  auto wilcoxon = WilcoxonSignedRank(a, b);
+  auto ttest = PairedTTest(a, b);
+  ASSERT_TRUE(wilcoxon.ok());
+  ASSERT_TRUE(ttest.ok());
+  EXPECT_LT(wilcoxon->p_value, 0.01);
+  EXPECT_LT(ttest->p_value, 0.01);
+  EXPECT_LT(wilcoxon->z_statistic, 0.0);  // a below b.
+  EXPECT_LT(ttest->t_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace mic::stats

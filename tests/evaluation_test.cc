@@ -1,0 +1,137 @@
+#include "medmodel/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "medmodel/baselines.h"
+#include "medmodel/medication_model.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+namespace mic::medmodel {
+namespace {
+
+MonthlyDataset GeneratedMonth(std::uint64_t seed = 5) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(3, seed));
+  EXPECT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  EXPECT_TRUE(data.ok());
+  return data->corpus.month(1);
+}
+
+TEST(SplitTest, PartitionPreservesMentions) {
+  const MonthlyDataset month = GeneratedMonth();
+  Rng rng(3);
+  const HoldoutSplit split = SplitMedicines(month, 0.1, rng);
+  ASSERT_EQ(split.train.size(), month.size());
+  ASSERT_EQ(split.test_medicines.size(), month.size());
+  for (std::size_t r = 0; r < month.size(); ++r) {
+    const std::size_t original =
+        month.records()[r].TotalMedicineMentions();
+    const std::size_t train =
+        split.train.records()[r].TotalMedicineMentions();
+    const std::size_t test = split.test_medicines[r].size();
+    EXPECT_EQ(train + test, original) << "record " << r;
+    // Disease bags are untouched.
+    EXPECT_EQ(split.train.records()[r].diseases,
+              month.records()[r].diseases);
+  }
+}
+
+TEST(SplitTest, FractionIsRoughlyRespected) {
+  const MonthlyDataset month = GeneratedMonth(11);
+  Rng rng(17);
+  const HoldoutSplit split = SplitMedicines(month, 0.2, rng);
+  std::size_t total = 0;
+  for (const MicRecord& record : month.records()) {
+    total += record.TotalMedicineMentions();
+  }
+  const double fraction =
+      static_cast<double>(split.NumTestMentions()) /
+      static_cast<double>(total);
+  EXPECT_NEAR(fraction, 0.2, 0.05);
+}
+
+TEST(SplitTest, NoRecordLosesAllTrainingMedicines) {
+  const MonthlyDataset month = GeneratedMonth(13);
+  Rng rng(23);
+  // Extreme fraction: without the keep-one rule every record would end
+  // up empty.
+  const HoldoutSplit split = SplitMedicines(month, 0.99, rng);
+  for (std::size_t r = 0; r < split.train.size(); ++r) {
+    if (month.records()[r].TotalMedicineMentions() > 0) {
+      EXPECT_GT(split.train.records()[r].TotalMedicineMentions(), 0u);
+    }
+  }
+}
+
+TEST(PerplexityTest, ProposedBeatsUnigramOnStructuredData) {
+  const MonthlyDataset month = GeneratedMonth(29);
+  Rng rng(31);
+  const HoldoutSplit split = SplitMedicines(month, 0.1, rng);
+
+  auto proposed = MedicationModel::Fit(split.train);
+  auto unigram = UnigramModel::Fit(split.train);
+  ASSERT_TRUE(proposed.ok());
+  ASSERT_TRUE(unigram.ok());
+
+  auto ppl_proposed = Perplexity(**proposed, split);
+  auto ppl_unigram = Perplexity(**unigram, split);
+  ASSERT_TRUE(ppl_proposed.ok());
+  ASSERT_TRUE(ppl_unigram.ok());
+  // Tiny world links diseases to disjoint medicines, so conditioning on
+  // the diseases must help substantially.
+  EXPECT_LT(*ppl_proposed, *ppl_unigram);
+}
+
+TEST(PerplexityTest, PerfectModelHasLowPerplexity) {
+  // One disease, one medicine: the trained model predicts the held-out
+  // medicine with probability ~1.
+  MonthlyDataset month(0);
+  for (int i = 0; i < 50; ++i) {
+    MicRecord record;
+    record.diseases = {{DiseaseId(0), 1}};
+    record.medicines = {{MedicineId(0), 2}};
+    month.AddRecord(record);
+  }
+  Rng rng(37);
+  const HoldoutSplit split = SplitMedicines(month, 0.3, rng);
+  auto model = MedicationModel::Fit(split.train);
+  ASSERT_TRUE(model.ok());
+  auto perplexity = Perplexity(**model, split);
+  ASSERT_TRUE(perplexity.ok());
+  EXPECT_NEAR(*perplexity, 1.0, 0.01);
+}
+
+TEST(PerplexityTest, FailsWithoutTestMentions) {
+  MonthlyDataset month(0);
+  MicRecord record;
+  record.diseases = {{DiseaseId(0), 1}};
+  record.medicines = {{MedicineId(0), 1}};
+  month.AddRecord(record);
+  Rng rng(41);
+  const HoldoutSplit split = SplitMedicines(month, 0.0, rng);
+  auto model = MedicationModel::Fit(split.train);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(Perplexity(**model, split).ok());
+}
+
+TEST(PerplexityTest, ClampsUnseenMedicines) {
+  MonthlyDataset month(0);
+  MicRecord record;
+  record.diseases = {{DiseaseId(0), 1}};
+  record.medicines = {{MedicineId(0), 1}};
+  month.AddRecord(record);
+  auto model = MedicationModel::Fit(month);
+  ASSERT_TRUE(model.ok());
+  HoldoutSplit split;
+  split.train = month;
+  split.test_medicines = {{MedicineId(99)}};  // Never seen in training.
+  auto perplexity = Perplexity(**model, split);
+  ASSERT_TRUE(perplexity.ok());
+  EXPECT_TRUE(std::isfinite(*perplexity));
+  EXPECT_GT(*perplexity, 1e6);  // Heavy but finite penalty.
+}
+
+}  // namespace
+}  // namespace mic::medmodel

@@ -1,0 +1,124 @@
+#include "mic/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace mic {
+namespace {
+
+MicRecord MakeRecord(std::initializer_list<int> diseases,
+                     std::initializer_list<int> medicines) {
+  MicRecord record;
+  for (int id : diseases) {
+    record.diseases.push_back({DiseaseId(static_cast<std::uint32_t>(id)), 1});
+  }
+  for (int id : medicines) {
+    record.medicines.push_back(
+        {MedicineId(static_cast<std::uint32_t>(id)), 1});
+  }
+  record.Normalize();
+  return record;
+}
+
+MonthlyDataset MakeMonth() {
+  // Disease 0 appears 3x, disease 1 appears 1x; medicine 0 3x,
+  // medicine 1 1x.
+  MonthlyDataset month(0);
+  month.AddRecord(MakeRecord({0, 1}, {0}));
+  month.AddRecord(MakeRecord({0}, {0, 1}));
+  month.AddRecord(MakeRecord({0}, {0}));
+  return month;
+}
+
+TEST(FilterTest, RemovesRareItems) {
+  MonthlyDataset month = MakeMonth();
+  FilterOptions options;
+  options.min_disease_count = 2;
+  options.min_medicine_count = 2;
+  const FilterReport report = FilterMonth(options, month);
+  EXPECT_EQ(report.diseases_removed, 1u);
+  EXPECT_EQ(report.medicines_removed, 1u);
+  for (const MicRecord& record : month.records()) {
+    for (const auto& disease : record.diseases) {
+      EXPECT_EQ(disease.id, DiseaseId(0));
+    }
+    for (const auto& medicine : record.medicines) {
+      EXPECT_EQ(medicine.id, MedicineId(0));
+    }
+  }
+}
+
+TEST(FilterTest, DropsEmptiedRecords) {
+  MonthlyDataset month(0);
+  month.AddRecord(MakeRecord({0}, {1}));   // medicine 1 is rare
+  month.AddRecord(MakeRecord({0}, {0}));
+  month.AddRecord(MakeRecord({0}, {0}));
+  FilterOptions options;
+  options.min_disease_count = 1;
+  options.min_medicine_count = 2;
+  const FilterReport report = FilterMonth(options, month);
+  EXPECT_EQ(report.records_dropped, 1u);
+  EXPECT_EQ(month.size(), 2u);
+}
+
+TEST(FilterTest, KeepEmptyRecordsWhenDisabled) {
+  MonthlyDataset month(0);
+  month.AddRecord(MakeRecord({0}, {1}));
+  month.AddRecord(MakeRecord({0}, {0}));
+  month.AddRecord(MakeRecord({0}, {0}));
+  FilterOptions options;
+  options.min_medicine_count = 2;
+  options.drop_empty_records = false;
+  FilterMonth(options, month);
+  EXPECT_EQ(month.size(), 3u);
+  EXPECT_TRUE(month.records()[0].medicines.empty());
+}
+
+TEST(FilterTest, ThresholdOneKeepsEverything) {
+  MonthlyDataset month = MakeMonth();
+  FilterOptions options;
+  options.min_disease_count = 1;
+  options.min_medicine_count = 1;
+  const FilterReport report = FilterMonth(options, month);
+  EXPECT_EQ(report.diseases_removed, 0u);
+  EXPECT_EQ(report.medicines_removed, 0u);
+  EXPECT_EQ(report.records_dropped, 0u);
+  EXPECT_EQ(month.size(), 3u);
+}
+
+TEST(FilterTest, CorpusFilterAggregates) {
+  MicCorpus corpus;
+  {
+    MonthlyDataset month = MakeMonth();
+    month.set_month(0);
+    ASSERT_TRUE(corpus.AddMonth(std::move(month)).ok());
+  }
+  {
+    MonthlyDataset month = MakeMonth();
+    month.set_month(1);
+    ASSERT_TRUE(corpus.AddMonth(std::move(month)).ok());
+  }
+  FilterOptions options;
+  options.min_disease_count = 2;
+  options.min_medicine_count = 2;
+  const FilterReport report = FilterCorpus(options, corpus);
+  EXPECT_EQ(report.diseases_removed, 2u);  // One per month.
+  EXPECT_EQ(report.medicines_removed, 2u);
+}
+
+// Multiplicity counts towards the threshold: a disease mentioned 5 times
+// in one record passes min_count = 5.
+TEST(FilterTest, MultiplicityCounts) {
+  MonthlyDataset month(0);
+  MicRecord record;
+  record.diseases = {{DiseaseId(0), 5}};
+  record.medicines = {{MedicineId(0), 5}};
+  month.AddRecord(record);
+  FilterOptions options;  // Default thresholds are 5.
+  const FilterReport report = FilterMonth(options, month);
+  EXPECT_EQ(report.diseases_removed, 0u);
+  EXPECT_EQ(report.medicines_removed, 0u);
+  EXPECT_EQ(month.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mic

@@ -1,0 +1,55 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mic::tools {
+namespace {
+
+Flags ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "mictrend");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()),
+                            const_cast<char**>(argv.data()));
+  EXPECT_TRUE(flags.ok()) << flags.status();
+  return std::move(flags).value();
+}
+
+TEST(FlagsTest, ParsesSubcommandAndFlags) {
+  const Flags flags =
+      ParseOk({"generate", "--out", "corpus.csv", "--patients", "500"});
+  EXPECT_EQ(flags.command(), "generate");
+  EXPECT_EQ(flags.GetString("out"), "corpus.csv");
+  EXPECT_EQ(*flags.GetInt("patients", 0), 500);
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_EQ(*flags.GetInt("missing", 7), 7);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags flags = ParseOk({"detect", "--margin=4.5", "--seasonal=false"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("margin", 0.0), 4.5);
+  EXPECT_FALSE(flags.GetBool("seasonal", true));
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags flags = ParseOk({"stats", "--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, NoSubcommand) {
+  const Flags flags = ParseOk({"--help"});
+  EXPECT_TRUE(flags.command().empty());
+  EXPECT_TRUE(flags.GetBool("help"));
+}
+
+TEST(FlagsTest, RejectsStrayPositional) {
+  std::vector<const char*> argv = {"mictrend", "detect", "stray"};
+  auto flags = Flags::Parse(3, const_cast<char**>(argv.data()));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, BadNumberSurfacesParseError) {
+  const Flags flags = ParseOk({"detect", "--margin", "abc"});
+  EXPECT_FALSE(flags.GetDouble("margin", 0.0).ok());
+}
+
+}  // namespace
+}  // namespace mic::tools

@@ -1,0 +1,188 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/scenario.h"
+
+namespace mic::synth {
+namespace {
+
+GeneratedData GenerateTiny(int num_months = 12, std::uint64_t seed = 7) {
+  auto world = World::Create(MakeTinyWorldConfig(num_months, seed));
+  EXPECT_TRUE(world.ok());
+  ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(GeneratorTest, ProducesRequestedMonths) {
+  GeneratedData data = GenerateTiny(12);
+  EXPECT_EQ(data.corpus.num_months(), 12u);
+  EXPECT_GT(data.corpus.TotalRecords(), 100u);
+  EXPECT_EQ(data.truth.num_months(), 12);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  auto world = World::Create(MakeTinyWorldConfig(6, 7));
+  ASSERT_TRUE(world.ok());
+  ClaimGenerator generator(&*world);
+  auto first = generator.Generate(123);
+  auto world2 = World::Create(MakeTinyWorldConfig(6, 7));
+  ASSERT_TRUE(world2.ok());
+  ClaimGenerator generator2(&*world2);
+  auto second = generator2.Generate(123);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->corpus.TotalRecords(), second->corpus.TotalRecords());
+  for (std::size_t t = 0; t < first->corpus.num_months(); ++t) {
+    const auto& month_a = first->corpus.month(t);
+    const auto& month_b = second->corpus.month(t);
+    ASSERT_EQ(month_a.size(), month_b.size());
+    for (std::size_t r = 0; r < month_a.size(); ++r) {
+      EXPECT_EQ(month_a.records()[r].diseases,
+                month_b.records()[r].diseases);
+      EXPECT_EQ(month_a.records()[r].medicines,
+                month_b.records()[r].medicines);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto world = World::Create(MakeTinyWorldConfig(6, 7));
+  ASSERT_TRUE(world.ok());
+  ClaimGenerator generator(&*world);
+  auto first = generator.Generate(1);
+  auto second = generator.Generate(2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->corpus.TotalRecords(), second->corpus.TotalRecords());
+}
+
+TEST(GeneratorTest, TruthTotalsMatchObservableMedicineCounts) {
+  GeneratedData data = GenerateTiny(8, 11);
+  // Every prescribed medicine mention has exactly one true causing
+  // disease, so per-month truth totals equal observable medicine totals.
+  for (std::size_t t = 0; t < data.corpus.num_months(); ++t) {
+    std::uint64_t observable = 0;
+    for (const MicRecord& record : data.corpus.month(t).records()) {
+      observable += record.TotalMedicineMentions();
+    }
+    std::uint64_t truth_total = 0;
+    data.truth.ForEachPair([&](DiseaseId, MedicineId,
+                               const std::vector<std::uint32_t>& counts) {
+      truth_total += counts[t];
+    });
+    EXPECT_EQ(truth_total, observable) << "month " << t;
+  }
+}
+
+TEST(GeneratorTest, TruthLinksRespectAvailability) {
+  // "new-drug" releases at month num_months/2; no true link can exist
+  // before that.
+  const int num_months = 12;
+  auto world = World::Create(MakeTinyWorldConfig(num_months, 5));
+  ASSERT_TRUE(world.ok());
+  ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+  const MedicineId new_drug = *world->FindMedicine("new-drug");
+  data->truth.ForEachPair([&](DiseaseId, MedicineId m,
+                              const std::vector<std::uint32_t>& counts) {
+    if (!(m == new_drug)) return;
+    for (int t = 0; t < num_months / 2; ++t) {
+      EXPECT_EQ(counts[t], 0u) << "pre-release prescription at t=" << t;
+    }
+  });
+  // And it is actually prescribed after release.
+  const DiseaseId pain = *world->FindDisease("pain");
+  EXPECT_GT(data->truth.Total(pain, new_drug), 0u);
+}
+
+TEST(GeneratorTest, RecordsAreNormalized) {
+  GeneratedData data = GenerateTiny(4, 3);
+  for (std::size_t t = 0; t < data.corpus.num_months(); ++t) {
+    for (const MicRecord& record : data.corpus.month(t).records()) {
+      for (std::size_t i = 1; i < record.diseases.size(); ++i) {
+        EXPECT_TRUE(record.diseases[i - 1].id < record.diseases[i].id);
+      }
+      for (std::size_t i = 1; i < record.medicines.size(); ++i) {
+        EXPECT_TRUE(record.medicines[i - 1].id < record.medicines[i].id);
+      }
+      EXPECT_FALSE(record.diseases.empty());
+    }
+  }
+}
+
+TEST(GeneratorTest, HospitalsAreRegisteredWithAttributes) {
+  GeneratedData data = GenerateTiny(4, 9);
+  const Catalog& catalog = data.corpus.catalog();
+  EXPECT_GT(catalog.hospitals().size(), 0u);
+  for (std::uint32_t h = 0; h < catalog.hospitals().size(); ++h) {
+    auto info = catalog.GetHospitalInfo(HospitalId(h));
+    ASSERT_TRUE(info.ok());
+    EXPECT_LT(info->city.value(), catalog.cities().size());
+  }
+}
+
+TEST(GeneratorTest, HospitalClassQuotasAreHonored) {
+  // Largest-remainder allocation guarantees every class with positive
+  // fraction is represented, even in small worlds and for any seed.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    auto config = MakeTinyWorldConfig(2, seed);
+    config.hospitals.count = 10;
+    config.hospitals.small_fraction = 0.6;
+    config.hospitals.medium_fraction = 0.3;
+    config.hospitals.large_fraction = 0.1;
+    auto world = World::Create(config);
+    ASSERT_TRUE(world.ok());
+    ClaimGenerator generator(&*world);
+    auto data = generator.Generate();
+    ASSERT_TRUE(data.ok());
+    const Catalog& catalog = data->corpus.catalog();
+    int counts[3] = {0, 0, 0};
+    for (std::uint32_t h = 0; h < catalog.hospitals().size(); ++h) {
+      auto info = catalog.GetHospitalInfo(HospitalId(h));
+      ASSERT_TRUE(info.ok());
+      ++counts[static_cast<int>(ClassifyHospital(info->beds))];
+    }
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 10);
+    EXPECT_GE(counts[0], 5);  // ~6 small expected.
+    EXPECT_GE(counts[1], 2);  // ~3 medium.
+    EXPECT_GE(counts[2], 1);  // at least one large, always.
+  }
+}
+
+TEST(GeneratorTest, ChronicDiseaseAppearsPersistently) {
+  // "bp" is chronic for 40% of tiny-world patients; it should appear in
+  // every month with substantial counts.
+  GeneratedData data = GenerateTiny(12, 21);
+  const Catalog& catalog = data.corpus.catalog();
+  auto bp = catalog.diseases().Lookup("bp");
+  ASSERT_TRUE(bp.ok());
+  for (std::size_t t = 0; t < data.corpus.num_months(); ++t) {
+    const auto freq = data.corpus.month(t).DiseaseFrequencies();
+    auto it = freq.find(*bp);
+    ASSERT_NE(it, freq.end()) << "month " << t;
+    EXPECT_GT(it->second, 10u);
+  }
+}
+
+TEST(GeneratorTest, SeasonalDiseaseFollowsSeason) {
+  // Tiny world's "flu" peaks in January (calendar month 0). The window
+  // starts in March (start_calendar_month = 2), so January is t = 10
+  // and July is t = 4: January counts must dominate.
+  GeneratedData data = GenerateTiny(12, 33);
+  const Catalog& catalog = data.corpus.catalog();
+  auto flu = catalog.diseases().Lookup("flu");
+  ASSERT_TRUE(flu.ok());
+  const auto january = data.corpus.month(10).DiseaseFrequencies();
+  const auto july = data.corpus.month(4).DiseaseFrequencies();
+  const std::uint64_t january_count =
+      january.count(*flu) ? january.at(*flu) : 0;
+  const std::uint64_t july_count = july.count(*flu) ? july.at(*flu) : 0;
+  EXPECT_GT(january_count, 2 * july_count + 1);
+}
+
+}  // namespace
+}  // namespace mic::synth

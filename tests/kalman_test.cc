@@ -1,0 +1,245 @@
+#include "ssm/kalman.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ssm/model.h"
+#include "ssm/structural.h"
+
+namespace mic::ssm {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// A fully specified 1-state local level model with a *known* prior
+// (non-diffuse) so results can be verified against the scalar Kalman
+// recursions computed by hand.
+StateSpaceModel LocalLevelModel(double obs_var, double level_var,
+                                double prior_mean, double prior_var) {
+  StateSpaceModel model;
+  model.transition = la::Matrix{{1.0}};
+  model.selection = la::Matrix{{1.0}};
+  model.state_noise = la::Matrix{{level_var}};
+  model.observation = la::Vector{1.0};
+  model.observation_variance = obs_var;
+  model.initial_state = la::Vector{prior_mean};
+  model.initial_covariance = la::Matrix{{prior_var}};
+  model.num_diffuse = 0;
+  return model;
+}
+
+TEST(KalmanFilterTest, MatchesScalarRecursionsOnLocalLevel) {
+  const double h = 2.0;   // observation variance
+  const double q = 0.5;   // level variance
+  const StateSpaceModel model = LocalLevelModel(h, q, 0.0, 10.0);
+  const std::vector<double> x = {1.0, 0.5, 1.5, 2.0};
+
+  auto result = RunFilter(model, x);
+  ASSERT_TRUE(result.ok());
+
+  // Scalar recursions.
+  double a = 0.0;
+  double p = 10.0;
+  double loglik = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double f = p + h;
+    EXPECT_NEAR(result->predictions[t], a, 1e-12);
+    EXPECT_NEAR(result->prediction_variances[t], f, 1e-12);
+    const double v = x[t] - a;
+    loglik -= 0.5 * (std::log(2.0 * M_PI) + std::log(f) + v * v / f);
+    const double k = p / f;
+    a = a + k * v;
+    p = p * (1.0 - k) + q;
+  }
+  EXPECT_NEAR(result->log_likelihood, loglik, 1e-10);
+  EXPECT_EQ(result->effective_observations, 4);
+  EXPECT_EQ(result->skipped_diffuse, 0);
+}
+
+TEST(KalmanFilterTest, MissingObservationsAreSkipped) {
+  const StateSpaceModel model = LocalLevelModel(1.0, 0.1, 0.0, 5.0);
+  const std::vector<double> with_gap = {1.0, kNan, 1.2, 1.1};
+  auto result = RunFilter(model, with_gap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->effective_observations, 3);
+  EXPECT_TRUE(std::isnan(result->innovations[1]));
+  // Prediction after the gap carries the last filtered level.
+  EXPECT_NEAR(result->predictions[2], result->predictions[1], 1e-12);
+  // Variance grows through the gap by the level noise.
+  EXPECT_GT(result->prediction_variances[2],
+            result->prediction_variances[1]);
+}
+
+TEST(KalmanFilterTest, DiffuseInitializationSkipsEarlyTerms) {
+  StructuralSpec spec;  // local level, diffuse.
+  auto model = BuildStructuralModel(spec, {1.0, 0.1, 0.0});
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> x = {5.0, 5.5, 5.2, 5.4, 5.1, 5.3, 5.2, 5.0,
+                                 5.1, 5.2};
+  auto result = RunFilter(*model, x);
+  ASSERT_TRUE(result.ok());
+  // Exactly one diffuse state -> first term skipped.
+  EXPECT_EQ(result->skipped_diffuse, 1);
+  EXPECT_EQ(result->effective_observations, 9);
+  EXPECT_TRUE(std::isfinite(result->log_likelihood));
+}
+
+TEST(KalmanFilterTest, RejectsDimensionMismatch) {
+  StateSpaceModel model = LocalLevelModel(1.0, 0.1, 0.0, 1.0);
+  model.observation = la::Vector{1.0, 0.0};  // Wrong size.
+  auto result = RunFilter(model, {1.0, 2.0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KalmanSmootherTest, SmoothedIsCloserToDataThanPredicted) {
+  const StateSpaceModel model = LocalLevelModel(1.0, 0.2, 0.0, 10.0);
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  auto smoothed = RunSmoother(model, x);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_EQ(smoothed->smoothed_states.size(), x.size());
+  // A rising ramp: smoothed level at early times should exceed the
+  // filter's one-step prediction (which lags) because smoothing sees the
+  // future.
+  auto filtered = RunFilter(model, x);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_GT(smoothed->smoothed_states[1][0], filtered->predictions[1]);
+  // Variance must be non-negative everywhere.
+  for (const la::Vector& var : smoothed->smoothed_variances) {
+    EXPECT_GE(var[0], -1e-8);
+  }
+}
+
+TEST(KalmanSmootherTest, ConstantSeriesSmoothsToConstant) {
+  const StateSpaceModel model = LocalLevelModel(1.0, 0.01, 0.0, 100.0);
+  const std::vector<double> x(12, 7.0);
+  auto smoothed = RunSmoother(model, x);
+  ASSERT_TRUE(smoothed.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(smoothed->smoothed_states[t][0], 7.0, 0.05);
+  }
+}
+
+TEST(ForecastTest, LocalLevelForecastIsFlat) {
+  const StateSpaceModel model = LocalLevelModel(0.5, 0.05, 0.0, 50.0);
+  std::vector<double> x;
+  for (int t = 0; t < 20; ++t) x.push_back(3.0 + 0.01 * (t % 2));
+  auto forecast = ForecastAhead(model, x, 5);
+  ASSERT_TRUE(forecast.ok());
+  ASSERT_EQ(forecast->mean.size(), 5u);
+  for (double value : forecast->mean) {
+    EXPECT_NEAR(value, 3.0, 0.1);
+  }
+  // Forecast variance grows with the horizon for a random-walk level.
+  for (std::size_t i = 1; i < forecast->variance.size(); ++i) {
+    EXPECT_GT(forecast->variance[i], forecast->variance[i - 1]);
+  }
+}
+
+TEST(ForecastTest, RejectsNonPositiveHorizon) {
+  const StateSpaceModel model = LocalLevelModel(1.0, 0.1, 0.0, 1.0);
+  EXPECT_FALSE(ForecastAhead(model, {1.0, 2.0}, 0).ok());
+}
+
+// Brute-force cross-check: for a tiny local-level model, the smoothed
+// state means and the log-likelihood must match direct multivariate
+// Gaussian conditioning on the joint distribution of (states,
+// observations).
+TEST(KalmanBruteForceTest, SmootherMatchesJointGaussianConditioning) {
+  const double h = 0.7;       // observation variance
+  const double q = 0.4;       // level variance
+  const double p0 = 2.5;      // prior variance
+  const double a0 = 1.0;      // prior mean
+  const std::vector<double> x = {1.4, 0.9, 2.1, 1.7};
+  const std::size_t n = x.size();
+
+  // Joint covariance. States: a_1..a_4 with a_1 ~ N(a0, p0),
+  // a_{t+1} = a_t + xi_t. Cov(a_s, a_t) = p0 + q * (min(s,t) - 1).
+  // Observations: x_t = a_t + eps_t.
+  la::Matrix cov_states(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      cov_states(s, t) = p0 + q * static_cast<double>(std::min(s, t));
+    }
+  }
+  la::Matrix cov_obs = cov_states;
+  for (std::size_t t = 0; t < n; ++t) cov_obs(t, t) += h;
+
+  // E[a | x] = mu_a + Cov(a, x) Cov(x)^-1 (x - mu_x); mu both a0.
+  la::Vector centered(n);
+  for (std::size_t t = 0; t < n; ++t) centered[t] = x[t] - a0;
+  auto weights = la::CholeskySolve(cov_obs, centered);
+  ASSERT_TRUE(weights.ok());
+  la::Vector expected = cov_states * *weights;
+  for (std::size_t t = 0; t < n; ++t) expected[t] += a0;
+
+  StateSpaceModel model;
+  model.transition = la::Matrix{{1.0}};
+  model.selection = la::Matrix{{1.0}};
+  model.state_noise = la::Matrix{{q}};
+  model.observation = la::Vector{1.0};
+  model.observation_variance = h;
+  model.initial_state = la::Vector{a0};
+  model.initial_covariance = la::Matrix{{p0}};
+
+  auto smoothed = RunSmoother(model, x);
+  ASSERT_TRUE(smoothed.ok());
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(smoothed->smoothed_states[t][0], expected[t], 1e-9)
+        << "t = " << t;
+  }
+
+  // Log-likelihood: x ~ N(a0 * 1, cov_obs).
+  auto logdet = la::LogDet(cov_obs);
+  ASSERT_TRUE(logdet.ok());
+  const double quadratic = la::Dot(centered, *weights);
+  const double expected_loglik =
+      -0.5 * (static_cast<double>(n) * std::log(2.0 * M_PI) + *logdet +
+              quadratic);
+  auto filtered = RunFilter(model, x);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NEAR(filtered->log_likelihood, expected_loglik, 1e-9);
+}
+
+// Property sweep over noise regimes: the likelihood must be finite and
+// the smoother must agree with the filter at the final time step
+// (no future information beyond t = n).
+class KalmanPropertyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(KalmanPropertyTest, SmootherMatchesFilterAtFinalStep) {
+  const auto [h, q] = GetParam();
+  const StateSpaceModel model = LocalLevelModel(h, q, 0.0, 10.0);
+  std::vector<double> x;
+  for (int t = 0; t < 30; ++t) {
+    x.push_back(std::sin(0.3 * t) + 0.1 * t);
+  }
+  KalmanOptions options;
+  options.store_states = true;
+  auto filtered = RunFilter(model, x, options);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(std::isfinite(filtered->log_likelihood));
+
+  auto smoothed = RunSmoother(model, x);
+  ASSERT_TRUE(smoothed.ok());
+  // At the last time, smoothed = filtered (posterior given all data).
+  const la::Vector& a_last = filtered->predicted_states.back();
+  const la::Matrix& p_last = filtered->predicted_covariances.back();
+  const double f =
+      p_last(0, 0) + h;
+  const double v = x.back() - a_last[0];
+  const double filtered_last = a_last[0] + p_last(0, 0) * v / f;
+  EXPECT_NEAR(smoothed->smoothed_states.back()[0], filtered_last, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseRegimes, KalmanPropertyTest,
+    ::testing::Values(std::pair{1.0, 0.1}, std::pair{1.0, 10.0},
+                      std::pair{0.01, 1.0}, std::pair{100.0, 0.5},
+                      std::pair{1e-4, 1e-4}));
+
+}  // namespace
+}  // namespace mic::ssm

@@ -1,0 +1,182 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mic::la {
+namespace {
+
+TEST(VectorTest, BasicOps) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Vector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  EXPECT_DOUBLE_EQ(c[2], 9.0);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c[1], 5.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)[2], 6.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), std::sqrt(14.0));
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  Matrix diag = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{1.0, 1.0};
+  Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix att = a.Transpose().Transpose();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+    }
+  }
+  EXPECT_EQ(a.Transpose().rows(), 3u);
+  EXPECT_EQ(a.Transpose().cols(), 2u);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix outer = Outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(outer(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(outer(1, 1), 8.0);
+}
+
+TEST(MatrixTest, QuadraticForm) {
+  Matrix m{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(QuadraticForm(Vector{1.0, 2.0}, m), 2.0 + 12.0);
+}
+
+TEST(MatrixTest, Symmetrize) {
+  Matrix m{{1.0, 2.0}, {4.0, 1.0}};
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(CholeskyTest, FactorReproducesMatrix) {
+  Matrix a{{4.0, 2.0, 0.6},
+           {2.0, 5.0, 1.0},
+           {0.6, 1.0, 3.0}};
+  auto chol = Cholesky(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix reconstructed = *chol * chol->Transpose();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(Cholesky(a).ok());
+  EXPECT_EQ(Cholesky(a).status().code(), StatusCode::kNumericError);
+}
+
+TEST(CholeskyTest, SolveMatchesDirect) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  Vector b{1.0, 2.0};
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector ax = a * *x;
+  EXPECT_NEAR(ax[0], b[0], 1e-12);
+  EXPECT_NEAR(ax[1], b[1], 1e-12);
+}
+
+TEST(SolveTest, InverseRoundTrip) {
+  Matrix a{{2.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  auto inverse = Inverse(a);
+  ASSERT_TRUE(inverse.ok());
+  Matrix product = a * *inverse;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(product(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(SolveTest, SingularFails) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(Inverse(a).ok());
+}
+
+TEST(SolveTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  Matrix b{{1.0}, {2.0}};
+  auto x = Solve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 1.0, 1e-12);
+}
+
+TEST(LogDetTest, MatchesKnownValue) {
+  Matrix a{{2.0, 0.0}, {0.0, 8.0}};
+  auto logdet = LogDet(a);
+  ASSERT_TRUE(logdet.ok());
+  EXPECT_NEAR(*logdet, std::log(16.0), 1e-12);
+}
+
+// Property sweep: random SPD matrices A = B B' + n I stay solvable and
+// solutions verify A x = b.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, RandomSpdSolves) {
+  const int seed = GetParam();
+  // Simple LCG for test-local determinism.
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53 - 0.5;
+  };
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 6);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = next();
+  }
+  Matrix a = b * b.Transpose();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = next();
+
+  auto x = CholeskySolve(a, rhs);
+  ASSERT_TRUE(x.ok());
+  Vector ax = a * *x;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], rhs[i], 1e-9);
+  }
+  auto logdet = LogDet(a);
+  ASSERT_TRUE(logdet.ok());
+  EXPECT_TRUE(std::isfinite(*logdet));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, CholeskyPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mic::la

@@ -1,0 +1,163 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mic::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanAndStdDev) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                      9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  // Sample SD with n-1: sqrt(32/7).
+  EXPECT_NEAR(StdDev(values), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(*Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(*Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(*Median({5.0}), 5.0);
+  EXPECT_FALSE(Median({}).ok());
+}
+
+TEST(RmseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(*Rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(*Rmse({0.0, 0.0}, {3.0, 4.0}),
+                   std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_FALSE(Rmse({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Rmse({}, {}).ok());
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(2, 1) = x^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, 0.5), 0.25, 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  const double lhs = RegularizedIncompleteBeta(2.5, 3.5, 0.4);
+  const double rhs = 1.0 - RegularizedIncompleteBeta(3.5, 2.5, 0.6);
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 2.0, 1.0), 1.0);
+}
+
+TEST(StudentTTest, CdfKnownValues) {
+  // t distribution with large dof approaches the normal: CDF(1.96) ~ .975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1000.0), 0.975, 2e-3);
+  // Symmetric around zero.
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(-2.0, 10.0) + StudentTCdf(2.0, 10.0), 1.0,
+              1e-10);
+  // t(1) = Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-8);
+}
+
+TEST(PairedTTestTest, KnownExample) {
+  // Differences: {1, 2, 3, 4, 5}: mean 3, sd sqrt(2.5),
+  // t = 3 / (sqrt(2.5)/sqrt(5)) = 3 / 0.7071 = 4.2426.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->t_statistic, 4.2426, 1e-3);
+  EXPECT_EQ(result->degrees_of_freedom, 4);
+  EXPECT_NEAR(result->mean_difference, 3.0, 1e-12);
+  EXPECT_NEAR(result->cohens_d, 3.0 / std::sqrt(2.5), 1e-6);
+  // Two-sided p for t = 4.24, dof = 4 is ~0.0132.
+  EXPECT_NEAR(result->p_value, 0.0132, 2e-3);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesGiveZeroT) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  auto result = PairedTTest(a, a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->t_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result->p_value, 1.0);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifference) {
+  const std::vector<double> a = {2.0, 3.0, 4.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result->t_statistic));
+  EXPECT_DOUBLE_EQ(result->p_value, 0.0);
+}
+
+TEST(PairedTTestTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedTTest({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedTTest({1.0, 2.0}, {1.0}).ok());
+}
+
+TEST(AveragePrecisionTest, HandComputedExamples) {
+  // Ranked: R, N, R, N with 2 relevant total, K = 4:
+  // AP = (1/1 + 2/3) / 2 = 0.8333.
+  EXPECT_NEAR(AveragePrecisionAtK({true, false, true, false}, 4, 2),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // Perfect ranking.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({true, true, false}, 3, 2), 1.0);
+  // Nothing relevant retrieved.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({false, false}, 2, 3), 0.0);
+  // num_relevant = 0.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({true}, 1, 0), 0.0);
+  // Normalizer is min(K, num_relevant): 1 relevant in top-1 of many.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({true, false}, 2, 1), 1.0);
+}
+
+TEST(NdcgTest, HandComputedExamples) {
+  // Ranked R, N, R with 2 relevant: DCG = 1 + 1/log2(4) = 1.5,
+  // IDCG = 1 + 1/log2(3).
+  const double idcg = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({true, false, true}, 3, 2), 1.5 / idcg, 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK({true, true}, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({false, false}, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, 5, 0), 0.0);
+}
+
+TEST(KappaTest, PerfectAgreement) {
+  BinaryConfusion confusion;
+  confusion.both_positive = 40;
+  confusion.both_negative = 60;
+  auto kappa = CohensKappa(confusion);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_DOUBLE_EQ(*kappa, 1.0);
+}
+
+TEST(KappaTest, KnownValue) {
+  // Classic example: a=20, b=5, c=10, d=15 ->
+  // po = 35/50 = 0.7; pe = (30/50)(25/50) + (20/50)(25/50) = 0.5;
+  // kappa = 0.4.
+  BinaryConfusion confusion;
+  confusion.both_positive = 20;
+  confusion.only_first = 5;
+  confusion.only_second = 10;
+  confusion.both_negative = 15;
+  auto kappa = CohensKappa(confusion);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_NEAR(*kappa, 0.4, 1e-12);
+}
+
+TEST(KappaTest, EmptyFails) {
+  EXPECT_FALSE(CohensKappa(BinaryConfusion{}).ok());
+}
+
+TEST(ConfusionTest, AddRoutesCells) {
+  BinaryConfusion confusion;
+  confusion.Add(true, true);
+  confusion.Add(true, false);
+  confusion.Add(false, true);
+  confusion.Add(false, false);
+  confusion.Add(false, false);
+  EXPECT_EQ(confusion.both_positive, 1u);
+  EXPECT_EQ(confusion.only_first, 1u);
+  EXPECT_EQ(confusion.only_second, 1u);
+  EXPECT_EQ(confusion.both_negative, 2u);
+  EXPECT_EQ(confusion.Total(), 5u);
+}
+
+}  // namespace
+}  // namespace mic::stats

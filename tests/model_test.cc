@@ -1,0 +1,162 @@
+// Tests for the raw StateSpaceModel spec (validation, observation
+// vector assembly) and structural forecasting.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ssm/fit.h"
+#include "ssm/kalman.h"
+#include "ssm/model.h"
+#include "ssm/structural.h"
+
+namespace mic::ssm {
+namespace {
+
+StateSpaceModel ValidModel() {
+  StateSpaceModel model;
+  model.transition = la::Matrix{{1.0, 1.0}, {0.0, 1.0}};
+  model.selection = la::Matrix{{1.0}, {0.0}};
+  model.state_noise = la::Matrix{{0.5}};
+  model.observation = la::Vector{1.0, 0.0};
+  model.observation_variance = 1.0;
+  model.initial_state = la::Vector{0.0, 0.0};
+  model.initial_covariance = la::Matrix{{10.0, 0.0}, {0.0, 10.0}};
+  model.num_diffuse = 0;
+  return model;
+}
+
+TEST(StateSpaceModelTest, ValidModelPasses) {
+  EXPECT_TRUE(ValidModel().Validate().ok());
+}
+
+TEST(StateSpaceModelTest, DimensionMismatchesRejected) {
+  {
+    StateSpaceModel model = ValidModel();
+    model.transition = la::Matrix{{1.0}};
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.selection = la::Matrix{{1.0}};
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.state_noise = la::Matrix{{1.0, 0.0}, {0.0, 1.0}};
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.initial_state = la::Vector{0.0};
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.initial_covariance = la::Matrix{{1.0}};
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.observation = la::Vector();
+    EXPECT_FALSE(model.Validate().ok());
+  }
+}
+
+TEST(StateSpaceModelTest, BadVarianceAndDiffuseRejected) {
+  {
+    StateSpaceModel model = ValidModel();
+    model.observation_variance = -1.0;
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.observation_variance =
+        std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.num_diffuse = 5;
+    EXPECT_FALSE(model.Validate().ok());
+  }
+  {
+    StateSpaceModel model = ValidModel();
+    model.time_varying.push_back({7, {1.0, 2.0}});
+    EXPECT_FALSE(model.Validate().ok());
+  }
+}
+
+TEST(StateSpaceModelTest, ObservationVectorAppliesOverrides) {
+  StateSpaceModel model = ValidModel();
+  model.time_varying.push_back({1, {0.5, 0.25}});
+  const la::Vector z0 = model.ObservationVector(0);
+  EXPECT_DOUBLE_EQ(z0[0], 1.0);
+  EXPECT_DOUBLE_EQ(z0[1], 0.5);
+  const la::Vector z1 = model.ObservationVector(1);
+  EXPECT_DOUBLE_EQ(z1[1], 0.25);
+  // Past the override's range the fixed entry is used.
+  const la::Vector z5 = model.ObservationVector(5);
+  EXPECT_DOUBLE_EQ(z5[1], 0.0);
+}
+
+TEST(ForecastStructuralTest, ExtendsSlopeThroughHorizon) {
+  Rng rng(9);
+  std::vector<double> x(40);
+  for (int t = 0; t < 40; ++t) {
+    x[t] = 5.0 + (t >= 20 ? 1.5 * (t - 19) : 0.0) +
+           rng.NextGaussian(0.0, 0.3);
+  }
+  StructuralSpec spec;
+  spec.set_change_point(20);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto forecast = ForecastStructural(*fitted, x, 6);
+  ASSERT_TRUE(forecast.ok());
+  ASSERT_EQ(forecast->mean.size(), 6u);
+  // The trend continues: consecutive forecasts differ by ~lambda.
+  for (std::size_t h = 1; h < forecast->mean.size(); ++h) {
+    EXPECT_NEAR(forecast->mean[h] - forecast->mean[h - 1],
+                fitted->lambda, 0.3);
+  }
+  // Lambda uncertainty widens the intervals with the horizon.
+  EXPECT_GT(forecast->variance.back(), forecast->variance.front());
+}
+
+TEST(ForecastStructuralTest, LevelShiftForecastStaysAtNewLevel) {
+  Rng rng(15);
+  std::vector<double> x(40);
+  for (int t = 0; t < 40; ++t) {
+    x[t] = (t >= 18 ? 14.0 : 6.0) + rng.NextGaussian(0.0, 0.4);
+  }
+  StructuralSpec spec;
+  spec.set_change_point(18, InterventionKind::kLevelShift);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto forecast = ForecastStructural(*fitted, x, 5);
+  ASSERT_TRUE(forecast.ok());
+  for (double value : forecast->mean) {
+    EXPECT_NEAR(value, 14.0, 1.0);
+  }
+}
+
+TEST(ForecastStructuralTest, NoInterventionDelegatesToPlainForecast) {
+  Rng rng(21);
+  std::vector<double> x(30);
+  for (double& value : x) value = 9.0 + rng.NextGaussian(0.0, 0.5);
+  StructuralSpec spec;
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  auto structural = ForecastStructural(*fitted, x, 4);
+  auto plain = ForecastAhead(fitted->model, x, 4);
+  ASSERT_TRUE(structural.ok());
+  ASSERT_TRUE(plain.ok());
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_DOUBLE_EQ(structural->mean[h], plain->mean[h]);
+  }
+  EXPECT_FALSE(ForecastStructural(*fitted, x, 0).ok());
+}
+
+}  // namespace
+}  // namespace mic::ssm

@@ -1,0 +1,298 @@
+// Tests for the §IX extensions: intervention shapes beyond the slope
+// shift, the multi-regressor GLS profile, greedy multi-break detection,
+// and alternative selection criteria.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ssm/changepoint.h"
+#include "ssm/decompose.h"
+
+namespace mic::ssm {
+namespace {
+
+TEST(InterventionRegressorTest, ShapesMatchDefinitions) {
+  EXPECT_EQ(InterventionRegressor({3, InterventionKind::kSlopeShift}, 6),
+            (std::vector<double>{0, 0, 0, 1, 2, 3}));
+  EXPECT_EQ(InterventionRegressor({3, InterventionKind::kLevelShift}, 6),
+            (std::vector<double>{0, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(InterventionRegressor({3, InterventionKind::kPulse}, 6),
+            (std::vector<double>{0, 0, 0, 1, 0, 0}));
+  // No change point -> all zero for every kind.
+  for (InterventionKind kind :
+       {InterventionKind::kSlopeShift, InterventionKind::kLevelShift,
+        InterventionKind::kPulse}) {
+    EXPECT_EQ(InterventionRegressor({kNoChangePoint, kind}, 4),
+              (std::vector<double>(4, 0.0)));
+  }
+}
+
+TEST(InterventionKindTest, NamesAreStable) {
+  EXPECT_EQ(InterventionKindName(InterventionKind::kSlopeShift), "slope");
+  EXPECT_EQ(InterventionKindName(InterventionKind::kLevelShift), "level");
+  EXPECT_EQ(InterventionKindName(InterventionKind::kPulse), "pulse");
+}
+
+TEST(MultiRegressionFilterTest, RecoversTwoPlantedCoefficients) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {0.01, 1e-8, 0.0});
+  ASSERT_TRUE(model.ok());
+  const int n = 40;
+  const auto w1 = InterventionRegressor({10, InterventionKind::kSlopeShift},
+                                        n);
+  const auto w2 = InterventionRegressor({25, InterventionKind::kLevelShift},
+                                        n);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = 3.0 + 0.8 * w1[t] - 4.0 * w2[t];
+  }
+  auto result = RunFilterWithRegressors(*model, x, {w1, w2});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->identified);
+  ASSERT_EQ(result->lambdas.size(), 2u);
+  EXPECT_NEAR(result->lambdas[0], 0.8, 1e-2);
+  EXPECT_NEAR(result->lambdas[1], -4.0, 0.1);
+  EXPECT_GT(result->profiled_log_likelihood,
+            result->base.log_likelihood);
+}
+
+TEST(MultiRegressionFilterTest, MatchesSingleRegressorSpecialization) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {0.5, 0.05, 0.0});
+  ASSERT_TRUE(model.ok());
+  const int n = 35;
+  const auto w = InterventionRegressor({15, InterventionKind::kSlopeShift},
+                                       n);
+  Rng rng(3);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = 5.0 + 0.6 * w[t] + rng.NextGaussian(0.0, 0.5);
+  }
+  auto single = RunFilterWithRegression(*model, x, w);
+  auto multi = RunFilterWithRegressors(*model, x, {w});
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_NEAR(single->lambda, multi->lambdas[0], 1e-9);
+  EXPECT_NEAR(single->profiled_log_likelihood,
+              multi->profiled_log_likelihood, 1e-9);
+}
+
+TEST(MultiRegressionFilterTest, CollinearRegressorsUnidentified) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {1.0, 0.1, 0.0});
+  ASSERT_TRUE(model.ok());
+  const int n = 30;
+  const auto w = InterventionRegressor({10, InterventionKind::kSlopeShift},
+                                       n);
+  std::vector<double> x(n, 2.0);
+  auto result = RunFilterWithRegressors(*model, x, {w, w});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->identified);
+  EXPECT_DOUBLE_EQ(result->profiled_log_likelihood,
+                   result->base.log_likelihood);
+}
+
+TEST(MultiRegressionFilterTest, HandlesMissingObservations) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {0.2, 0.02, 0.0});
+  ASSERT_TRUE(model.ok());
+  const int n = 36;
+  const auto w1 =
+      InterventionRegressor({12, InterventionKind::kSlopeShift}, n);
+  const auto w2 =
+      InterventionRegressor({24, InterventionKind::kLevelShift}, n);
+  Rng rng(29);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = 4.0 + 0.7 * w1[t] + 3.0 * w2[t] +
+           rng.NextGaussian(0.0, 0.3);
+  }
+  x[5] = std::numeric_limits<double>::quiet_NaN();
+  x[18] = std::numeric_limits<double>::quiet_NaN();
+  auto result = RunFilterWithRegressors(*model, x, {w1, w2});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->identified);
+  EXPECT_NEAR(result->lambdas[0], 0.7, 0.2);
+  EXPECT_NEAR(result->lambdas[1], 3.0, 0.8);
+  EXPECT_TRUE(std::isnan(result->base.innovations[5]));
+  EXPECT_TRUE(std::isnan(result->base.innovations[18]));
+}
+
+TEST(FitTest, LevelShiftInterventionFitsStepSeries) {
+  Rng rng(11);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = (t >= 20 ? 12.0 : 5.0) + rng.NextGaussian(0.0, 0.5);
+  }
+  StructuralSpec level_spec;
+  level_spec.set_change_point(20, InterventionKind::kLevelShift);
+  StructuralSpec slope_spec;
+  slope_spec.set_change_point(20, InterventionKind::kSlopeShift);
+  auto level_fit = FitStructuralModel(x, level_spec);
+  auto slope_fit = FitStructuralModel(x, slope_spec);
+  ASSERT_TRUE(level_fit.ok());
+  ASSERT_TRUE(slope_fit.ok());
+  // The step series is exactly a level shift; that shape must win.
+  EXPECT_LT(level_fit->aic, slope_fit->aic);
+  EXPECT_NEAR(level_fit->lambda, 7.0, 1.0);
+}
+
+TEST(FitTest, PulseCapturesOutlier) {
+  Rng rng(13);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) x[t] = 5.0 + rng.NextGaussian(0.0, 0.4);
+  x[21] += 9.0;
+  StructuralSpec pulse;
+  pulse.set_change_point(21, InterventionKind::kPulse);
+  auto fitted = FitStructuralModel(x, pulse);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->lambda, 9.0, 1.5);
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  EXPECT_NEAR(decomposition->intervention[21], fitted->lambda, 1e-9);
+  EXPECT_DOUBLE_EQ(decomposition->intervention[20], 0.0);
+}
+
+TEST(FitTest, TwoInterventionDecompositionSumsCorrectly) {
+  Rng rng(17);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    double value = 4.0 + rng.NextGaussian(0.0, 0.3);
+    if (t >= 12) value += 1.0 * (t - 11);
+    if (t >= 30) value += 1.2 * (t - 29);
+    x[t] = value;
+  }
+  StructuralSpec spec;
+  spec.interventions = {{12, InterventionKind::kSlopeShift},
+                        {30, InterventionKind::kSlopeShift}};
+  EXPECT_EQ(spec.TotalParameters(), 1 + 2 + 2);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  ASSERT_EQ(fitted->lambdas.size(), 2u);
+  EXPECT_NEAR(fitted->lambdas[0], 1.0, 0.4);
+  EXPECT_NEAR(fitted->lambdas[1], 1.2, 0.6);
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(decomposition->fitted[t] + decomposition->irregular[t],
+                x[t], 1e-9);
+  }
+}
+
+ChangePointOptions FastOptions() {
+  ChangePointOptions options;
+  options.seasonal = false;
+  options.fit.optimizer.max_evaluations = 200;
+  return options;
+}
+
+std::vector<double> TwoBreakSeries(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    double value = 8.0 + rng.NextGaussian(0.0, 0.4);
+    if (t >= 12) value += 1.4 * (t - 11);
+    if (t >= 28) value -= 2.4 * (t - 27);  // Trend reversal.
+    x[t] = value;
+  }
+  return x;
+}
+
+TEST(DetectMultipleTest, FindsBothBreaks) {
+  ChangePointOptions options = FastOptions();
+  options.aic_margin = 2.0;
+  ChangePointDetector detector(TwoBreakSeries(5), options);
+  auto result = detector.DetectMultiple(3);
+  ASSERT_TRUE(result.ok());
+  // Both planted breaks must be recovered (a modest extra break may
+  // also pay for itself at this margin).
+  ASSERT_GE(result->interventions.size(), 2u);
+  auto detected_near = [&result](int target) {
+    for (const Intervention& intervention : result->interventions) {
+      if (std::abs(intervention.change_point - target) <= 3) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(detected_near(12));
+  EXPECT_TRUE(detected_near(28));
+  EXPECT_LT(result->best_aic, result->aic_without_intervention);
+}
+
+TEST(DetectMultipleTest, StopsWhenNoBreakPays) {
+  Rng rng(23);
+  std::vector<double> x(43);
+  for (double& value : x) value = rng.NextGaussian(3.0, 1.0);
+  ChangePointOptions options = FastOptions();
+  options.aic_margin = 6.0;
+  ChangePointDetector detector(x, options);
+  auto result = detector.DetectMultiple(3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->interventions.empty());
+  EXPECT_DOUBLE_EQ(result->best_aic, result->aic_without_intervention);
+}
+
+TEST(DetectMultipleTest, RejectsBadMaxBreaks) {
+  ChangePointDetector detector({1.0, 2.0, 3.0}, FastOptions());
+  EXPECT_FALSE(detector.DetectMultiple(0).ok());
+}
+
+TEST(CriterionTest, FormulasMatchDefinitions) {
+  // logL = -50, k = 3, n = 43.
+  EXPECT_DOUBLE_EQ(
+      InformationCriterion(-50.0, 3, 43, SelectionCriterion::kAic), 106.0);
+  EXPECT_NEAR(
+      InformationCriterion(-50.0, 3, 43, SelectionCriterion::kAicc),
+      106.0 + 2.0 * 3 * 4 / (43.0 - 3 - 1), 1e-12);
+  EXPECT_NEAR(
+      InformationCriterion(-50.0, 3, 43, SelectionCriterion::kBic),
+      100.0 + 3.0 * std::log(43.0), 1e-12);
+  // AICc degenerates to +inf when n <= k + 1.
+  EXPECT_TRUE(std::isinf(
+      InformationCriterion(-50.0, 3, 4, SelectionCriterion::kAicc)));
+  EXPECT_EQ(SelectionCriterionName(SelectionCriterion::kBic), "BIC");
+}
+
+TEST(CriterionTest, BicIsMoreConservativeThanAic) {
+  // BIC's heavier parameter penalty can only reduce detections.
+  int aic_detections = 0;
+  int bic_detections = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(700 + seed);
+    std::vector<double> x(43);
+    for (double& value : x) value = rng.NextGaussian(5.0, 1.0);
+    ChangePointOptions aic_options = FastOptions();
+    ChangePointDetector aic_detector(x, aic_options);
+    auto aic_result = aic_detector.DetectExact();
+    ASSERT_TRUE(aic_result.ok());
+    if (aic_result->has_change) ++aic_detections;
+
+    ChangePointOptions bic_options = FastOptions();
+    bic_options.criterion = SelectionCriterion::kBic;
+    ChangePointDetector bic_detector(x, bic_options);
+    auto bic_result = bic_detector.DetectExact();
+    ASSERT_TRUE(bic_result.ok());
+    if (bic_result->has_change) ++bic_detections;
+  }
+  EXPECT_LE(bic_detections, aic_detections);
+}
+
+TEST(CriterionTest, LevelShiftSearchFindsStepBreak) {
+  Rng rng(31);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = (t >= 26 ? 14.0 : 6.0) + rng.NextGaussian(0.0, 0.6);
+  }
+  ChangePointOptions options = FastOptions();
+  options.candidate_kinds = {InterventionKind::kLevelShift};
+  ChangePointDetector detector(x, options);
+  auto result = detector.DetectExact();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->has_change);
+  EXPECT_NEAR(result->change_point, 26, 1);
+  EXPECT_NEAR(result->best_model.lambda, 8.0, 1.0);
+}
+
+}  // namespace
+}  // namespace mic::ssm

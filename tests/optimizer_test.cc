@@ -1,0 +1,106 @@
+#include "ssm/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mic::ssm {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadratic1D) {
+  auto objective = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  auto result = MinimizeNelderMead(objective, {0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->best_point[0], 3.0, 1e-3);
+  EXPECT_NEAR(result->best_value, 0.0, 1e-6);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(NelderMeadTest, MinimizesShiftedQuadratic3D) {
+  auto objective = [](const std::vector<double>& x) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double target = static_cast<double>(i) - 1.0;
+      value += (x[i] - target) * (x[i] - target) * (1.0 + i);
+    }
+    return value;
+  };
+  auto result = MinimizeNelderMead(objective, {5.0, 5.0, 5.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->best_point[0], -1.0, 1e-2);
+  EXPECT_NEAR(result->best_point[1], 0.0, 1e-2);
+  EXPECT_NEAR(result->best_point[2], 1.0, 1e-2);
+}
+
+TEST(NelderMeadTest, HandlesRosenbrock) {
+  auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 5000;
+  options.tolerance = 1e-12;
+  auto result = MinimizeNelderMead(rosenbrock, {-1.2, 1.0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->best_point[0], 1.0, 5e-2);
+  EXPECT_NEAR(result->best_point[1], 1.0, 1e-1);
+}
+
+TEST(NelderMeadTest, SurvivesInfiniteRegions) {
+  // Objective rejects half the space; the minimizer must still find the
+  // feasible minimum at x = 2.
+  auto objective = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  auto result = MinimizeNelderMead(objective, {1.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->best_point[0], 2.0, 1e-3);
+}
+
+TEST(NelderMeadTest, RespectsEvaluationBudget) {
+  int calls = 0;
+  auto objective = [&calls](const std::vector<double>& x) {
+    ++calls;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions options;
+  options.max_evaluations = 25;
+  auto result = MinimizeNelderMead(objective, {100.0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(calls, 27);  // Budget plus the final simplex evaluation slack.
+  EXPECT_EQ(result->evaluations, calls);
+}
+
+TEST(NelderMeadTest, EmptyStartFails) {
+  auto objective = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(MinimizeNelderMead(objective, {}).ok());
+}
+
+// The optimizer must improve on the starting value for a family of
+// random convex bowls.
+class NelderMeadPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NelderMeadPropertyTest, ImprovesOnStart) {
+  const double shift = static_cast<double>(GetParam());
+  auto objective = [shift](const std::vector<double>& x) {
+    double value = 0.0;
+    for (double xi : x) value += (xi - shift) * (xi - shift);
+    return std::sqrt(value + 1.0);
+  };
+  const std::vector<double> start = {0.0, 0.0};
+  auto result = MinimizeNelderMead(objective, start);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->best_value, objective(start) + 1e-12);
+  EXPECT_NEAR(result->best_point[0], shift, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, NelderMeadPropertyTest,
+                         ::testing::Values(-7, -3, -1, 0, 1, 2, 5, 11));
+
+}  // namespace
+}  // namespace mic::ssm

@@ -1,0 +1,107 @@
+#include "ssm/outliers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mic::ssm {
+namespace {
+
+std::vector<double> CleanSeries(std::uint64_t seed, double noise = 0.4) {
+  Rng rng(seed);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = 10.0 + 2.0 * std::sin(2.0 * M_PI * t / 12.0) +
+           rng.NextGaussian(0.0, noise);
+  }
+  return x;
+}
+
+OutlierDetectionOptions SeasonalOptions() {
+  OutlierDetectionOptions options;
+  options.base_spec.seasonal = true;
+  options.fit.optimizer.max_evaluations = 200;
+  return options;
+}
+
+TEST(OutlierTest, CleanSeriesHasNoOutliers) {
+  auto report = DetectOutliers(CleanSeries(1), SeasonalOptions());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->outlier_months.empty());
+  EXPECT_TRUE(report->final_model.spec.interventions.empty());
+}
+
+TEST(OutlierTest, FindsSingleSpike) {
+  auto x = CleanSeries(2);
+  x[22] += 9.0;  // The paper's influenza-outbreak analogue.
+  auto report = DetectOutliers(x, SeasonalOptions());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->outlier_months.size(), 1u);
+  EXPECT_EQ(report->outlier_months[0], 22);
+  EXPECT_NEAR(report->magnitudes[0], 9.0, 3.0);
+  // The final model's pulse absorbs the spike: its irregular at t=22 is
+  // no longer extreme.
+  EXPECT_LT(std::fabs(report->decomposition.irregular[22]), 2.0);
+}
+
+TEST(OutlierTest, FindsTwoSpikesInSeverityOrder) {
+  auto x = CleanSeries(3);
+  x[10] += 12.0;
+  x[30] -= 7.0;
+  auto report = DetectOutliers(x, SeasonalOptions());
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->outlier_months.size(), 2u);
+  EXPECT_EQ(report->outlier_months[0], 10);  // Larger spike first.
+  EXPECT_EQ(report->outlier_months[1], 30);
+  EXPECT_GT(report->magnitudes[0], 0.0);
+  EXPECT_LT(report->magnitudes[1], 0.0);
+}
+
+TEST(OutlierTest, RespectsMaxOutliers) {
+  auto x = CleanSeries(4);
+  x[5] += 10.0;
+  x[15] += 10.0;
+  x[25] += 10.0;
+  OutlierDetectionOptions options = SeasonalOptions();
+  options.max_outliers = 1;
+  auto report = DetectOutliers(x, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outlier_months.size(), 1u);
+}
+
+TEST(OutlierTest, KeepsBaseInterventions) {
+  Rng rng(5);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = 5.0 + (t >= 20 ? 1.5 * (t - 19) : 0.0) +
+           rng.NextGaussian(0.0, 0.4);
+  }
+  x[8] += 8.0;
+  OutlierDetectionOptions options;
+  options.base_spec.set_change_point(20);
+  options.fit.optimizer.max_evaluations = 200;
+  auto report = DetectOutliers(x, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->outlier_months.size(), 1u);
+  EXPECT_EQ(report->outlier_months[0], 8);
+  // Final spec: the original slope intervention plus the pulse.
+  ASSERT_EQ(report->final_model.spec.interventions.size(), 2u);
+  EXPECT_EQ(report->final_model.spec.interventions[0].kind,
+            InterventionKind::kSlopeShift);
+  EXPECT_EQ(report->final_model.spec.interventions[1].kind,
+            InterventionKind::kPulse);
+}
+
+TEST(OutlierTest, RejectsBadOptions) {
+  OutlierDetectionOptions options;
+  options.threshold_sd = 0.0;
+  EXPECT_FALSE(DetectOutliers(CleanSeries(6), options).ok());
+  options.threshold_sd = 3.0;
+  options.max_outliers = -1;
+  EXPECT_FALSE(DetectOutliers(CleanSeries(6), options).ok());
+}
+
+}  // namespace
+}  // namespace mic::ssm

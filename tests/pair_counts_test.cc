@@ -1,0 +1,100 @@
+// Tests for the sparse pair-count accumulator and the small report
+// structures that back the applications.
+
+#include <gtest/gtest.h>
+
+#include "apps/geo_spread.h"
+#include "common/logging.h"
+#include "medmodel/pair_counts.h"
+#include "trend/trend_analyzer.h"
+
+namespace mic {
+namespace {
+
+TEST(PairKeyTest, RoundTrips) {
+  const DiseaseId d(123456);
+  const MedicineId m(654321);
+  const std::uint64_t key = medmodel::PairKey(d, m);
+  EXPECT_EQ(medmodel::PairDisease(key), d);
+  EXPECT_EQ(medmodel::PairMedicine(key), m);
+  // Distinct pairs get distinct keys even with swapped values.
+  EXPECT_NE(key, medmodel::PairKey(DiseaseId(654321), MedicineId(123456)));
+}
+
+TEST(PairCountsTest, AccumulatesAndIterates) {
+  medmodel::PairCounts counts;
+  EXPECT_TRUE(counts.empty());
+  counts.Add(DiseaseId(1), MedicineId(2), 1.5);
+  counts.Add(DiseaseId(1), MedicineId(2), 2.5);
+  counts.Add(DiseaseId(3), MedicineId(4), 1.0);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(counts.Get(DiseaseId(1), MedicineId(2)), 4.0);
+  EXPECT_DOUBLE_EQ(counts.Get(DiseaseId(9), MedicineId(9)), 0.0);
+
+  double total = 0.0;
+  counts.ForEach([&total](DiseaseId, MedicineId, double value) {
+    total += value;
+  });
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(GeoReportTest, CountAndShareArithmetic) {
+  apps::GeoSpreadReport report;
+  report.snapshot_months = {0, 1};
+  report.cells.push_back({CityId(0), MedicineId(0), {10.0, 20.0}});
+  report.cells.push_back({CityId(0), MedicineId(1), {30.0, 20.0}});
+  report.cells.push_back({CityId(1), MedicineId(0), {5.0, 0.0}});
+
+  EXPECT_DOUBLE_EQ(report.Count(CityId(0), MedicineId(1), 0), 30.0);
+  EXPECT_DOUBLE_EQ(report.Count(CityId(1), MedicineId(1), 0), 0.0);
+  // Out-of-range snapshot index is 0.
+  EXPECT_DOUBLE_EQ(report.Count(CityId(0), MedicineId(0), 7), 0.0);
+
+  const std::vector<MedicineId> group = {MedicineId(0), MedicineId(1)};
+  EXPECT_DOUBLE_EQ(report.Share(CityId(0), MedicineId(0), group, 0), 0.25);
+  EXPECT_DOUBLE_EQ(report.Share(CityId(0), MedicineId(1), group, 1), 0.5);
+  // Empty group total -> share 0 (not a division by zero).
+  EXPECT_DOUBLE_EQ(report.Share(CityId(1), MedicineId(1), group, 1), 0.0);
+}
+
+TEST(TrendReportTest, CountChangesPerKind) {
+  trend::TrendReport report;
+  auto add = [&report](trend::SeriesKind kind, bool change) {
+    trend::SeriesAnalysis analysis;
+    analysis.kind = kind;
+    analysis.has_change = change;
+    switch (kind) {
+      case trend::SeriesKind::kDisease:
+        report.diseases.push_back(analysis);
+        break;
+      case trend::SeriesKind::kMedicine:
+        report.medicines.push_back(analysis);
+        break;
+      case trend::SeriesKind::kPrescription:
+        report.prescriptions.push_back(analysis);
+        break;
+    }
+  };
+  add(trend::SeriesKind::kDisease, true);
+  add(trend::SeriesKind::kDisease, false);
+  add(trend::SeriesKind::kMedicine, true);
+  add(trend::SeriesKind::kPrescription, true);
+  add(trend::SeriesKind::kPrescription, true);
+  add(trend::SeriesKind::kPrescription, false);
+  EXPECT_EQ(report.CountChanges(trend::SeriesKind::kDisease), 1u);
+  EXPECT_EQ(report.CountChanges(trend::SeriesKind::kMedicine), 1u);
+  EXPECT_EQ(report.CountChanges(trend::SeriesKind::kPrescription), 2u);
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Messages below the level are silently discarded (no crash).
+  MIC_LOG(Debug) << "discarded";
+  MIC_LOG(Info) << "discarded";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace mic

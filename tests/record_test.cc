@@ -1,0 +1,89 @@
+#include "mic/record.h"
+
+#include <gtest/gtest.h>
+
+#include "mic/catalog.h"
+
+namespace mic {
+namespace {
+
+TEST(MicRecordTest, NormalizeSortsAndMerges) {
+  MicRecord record;
+  record.diseases = {{DiseaseId(3), 1}, {DiseaseId(1), 2}, {DiseaseId(3), 4}};
+  record.medicines = {{MedicineId(2), 1}, {MedicineId(2), 1},
+                      {MedicineId(0), 1}};
+  record.Normalize();
+
+  ASSERT_EQ(record.diseases.size(), 2u);
+  EXPECT_EQ(record.diseases[0].id, DiseaseId(1));
+  EXPECT_EQ(record.diseases[0].count, 2u);
+  EXPECT_EQ(record.diseases[1].id, DiseaseId(3));
+  EXPECT_EQ(record.diseases[1].count, 5u);
+
+  ASSERT_EQ(record.medicines.size(), 2u);
+  EXPECT_EQ(record.medicines[0].id, MedicineId(0));
+  EXPECT_EQ(record.medicines[1].id, MedicineId(2));
+  EXPECT_EQ(record.medicines[1].count, 2u);
+}
+
+TEST(MicRecordTest, TotalsCountMultiplicity) {
+  MicRecord record;
+  record.diseases = {{DiseaseId(0), 2}, {DiseaseId(1), 3}};
+  record.medicines = {{MedicineId(0), 4}};
+  EXPECT_EQ(record.TotalDiseaseMentions(), 5u);
+  EXPECT_EQ(record.TotalMedicineMentions(), 4u);
+}
+
+TEST(MicRecordTest, EmptyRecordTotalsAreZero) {
+  MicRecord record;
+  EXPECT_EQ(record.TotalDiseaseMentions(), 0u);
+  EXPECT_EQ(record.TotalMedicineMentions(), 0u);
+  record.Normalize();  // Must not crash.
+  EXPECT_TRUE(record.diseases.empty());
+}
+
+TEST(TypedIdTest, DistinctIdSpaces) {
+  const DiseaseId d(3);
+  const DiseaseId d2(3);
+  EXPECT_EQ(d, d2);
+  EXPECT_TRUE(DiseaseId(1) < DiseaseId(2));
+  EXPECT_FALSE(DiseaseId().valid());
+  EXPECT_TRUE(DiseaseId(0).valid());
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary<DiseaseId> vocab;
+  const DiseaseId a = vocab.Intern("flu");
+  const DiseaseId b = vocab.Intern("cold");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.Intern("flu"), a);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.Name(a), "flu");
+  EXPECT_EQ(*vocab.Lookup("cold"), b);
+  EXPECT_FALSE(vocab.Lookup("unknown").ok());
+}
+
+TEST(HospitalClassTest, PaperBedBoundaries) {
+  EXPECT_EQ(ClassifyHospital(0), HospitalClass::kSmall);
+  EXPECT_EQ(ClassifyHospital(19), HospitalClass::kSmall);
+  EXPECT_EQ(ClassifyHospital(20), HospitalClass::kMedium);
+  EXPECT_EQ(ClassifyHospital(399), HospitalClass::kMedium);
+  EXPECT_EQ(ClassifyHospital(400), HospitalClass::kLarge);
+  EXPECT_EQ(HospitalClassName(HospitalClass::kSmall), "small");
+  EXPECT_EQ(HospitalClassName(HospitalClass::kLarge), "large");
+}
+
+TEST(CatalogTest, HospitalInfoRoundTrip) {
+  Catalog catalog;
+  const HospitalId hospital = catalog.hospitals().Intern("h1");
+  EXPECT_FALSE(catalog.GetHospitalInfo(hospital).ok());
+  const CityId city = catalog.cities().Intern("tsu");
+  catalog.SetHospitalInfo(hospital, {city, 120});
+  auto info = catalog.GetHospitalInfo(hospital);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->city, city);
+  EXPECT_EQ(info->beds, 120u);
+}
+
+}  // namespace
+}  // namespace mic

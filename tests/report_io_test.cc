@@ -1,0 +1,93 @@
+#include "trend/report_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace mic::trend {
+namespace {
+
+TEST(ReportIoTest, WritesAllRowsWithCauses) {
+  Catalog catalog;
+  const DiseaseId flu = catalog.diseases().Intern("flu");
+  const MedicineId antiviral = catalog.medicines().Intern("antiviral");
+
+  TrendReport report;
+  SeriesAnalysis disease;
+  disease.kind = SeriesKind::kDisease;
+  disease.disease = flu;
+  disease.has_change = false;
+  disease.aic = 50.0;
+  disease.aic_without_intervention = 50.0;
+  report.disease_index.emplace(flu, 0);
+  report.diseases.push_back(disease);
+
+  SeriesAnalysis medicine;
+  medicine.kind = SeriesKind::kMedicine;
+  medicine.medicine = antiviral;
+  medicine.has_change = true;
+  medicine.change_point = 20;
+  medicine.lambda = 1.5;
+  medicine.aic = 40.0;
+  medicine.aic_without_intervention = 55.0;
+  report.medicine_index.emplace(antiviral, 0);
+  report.medicines.push_back(medicine);
+
+  SeriesAnalysis pair;
+  pair.kind = SeriesKind::kPrescription;
+  pair.disease = flu;
+  pair.medicine = antiviral;
+  pair.has_change = true;
+  pair.change_point = 21;
+  pair.lambda = 1.2;
+  pair.aic = 42.0;
+  pair.aic_without_intervention = 60.0;
+  report.prescriptions.push_back(pair);
+
+  TrendAnalyzer analyzer;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteReportCsv(report, analyzer, catalog, out).ok());
+
+  const auto lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            "kind,disease,medicine,change,month,lambda,criterion,"
+            "criterion_no_change,cause");
+  EXPECT_EQ(Split(lines[1], ',')[0], "disease");
+  EXPECT_EQ(Split(lines[1], ',')[3], "0");
+  const auto medicine_fields = Split(lines[2], ',');
+  EXPECT_EQ(medicine_fields[0], "medicine");
+  EXPECT_EQ(medicine_fields[1], "-");
+  EXPECT_EQ(medicine_fields[2], "antiviral");
+  EXPECT_EQ(medicine_fields[3], "1");
+  EXPECT_EQ(medicine_fields[4], "20");
+  const auto pair_fields = Split(lines[3], ',');
+  EXPECT_EQ(pair_fields[0], "prescription");
+  // The medicine breaks one month earlier -> medicine-derived cause.
+  EXPECT_EQ(pair_fields[8], "medicine-derived");
+}
+
+TEST(ReportIoTest, EmptyReportStillHasHeader) {
+  Catalog catalog;
+  TrendReport report;
+  TrendAnalyzer analyzer;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteReportCsv(report, analyzer, catalog, out).ok());
+  const auto lines = Split(out.str(), '\n');
+  EXPECT_GE(lines.size(), 1u);
+  EXPECT_EQ(Split(lines[0], ',').size(), 9u);
+}
+
+TEST(ReportIoTest, FileFailureSurfaces) {
+  Catalog catalog;
+  TrendReport report;
+  TrendAnalyzer analyzer;
+  EXPECT_FALSE(WriteReportCsvFile(report, analyzer, catalog,
+                                  "/nonexistent-dir/report.csv")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mic::trend

@@ -1,0 +1,137 @@
+#include "apps/repositioning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mic::apps {
+namespace {
+
+// Hand-constructed SeriesSet + TrendReport with three prescription
+// verdicts (the end-to-end path from raw series to a report is covered
+// by the trend analyzer tests):
+//   (0,0) a new-indication signature (zero then rising, isolated break);
+//   (1,1) a break explained by its medicine series breaking too;
+//   (2,2) no break.
+struct Fixture {
+  medmodel::SeriesSet series{43};
+  trend::TrendAnalyzer analyzer;
+  trend::TrendReport report;
+
+  explicit Fixture(double noise = 0.4) {
+    Rng rng(7);
+    for (int t = 0; t < 43; ++t) {
+      const double rising =
+          (t >= 20 ? 2.0 * (t - 19) : 0.0) +
+          std::max(0.0, rng.NextGaussian(0.0, noise));
+      series.SetPrescriptionSeries(DiseaseId(0), MedicineId(0), {});
+      series.Add(DiseaseId(0), MedicineId(0), t, rising);
+      series.Add(DiseaseId(1), MedicineId(1), t,
+                 10.0 + (t >= 15 ? 1.5 * (t - 14) : 0.0));
+      series.Add(DiseaseId(2), MedicineId(2), t, 8.0);
+    }
+
+    auto add_marginal = [this](int id, bool change, int cp) {
+      trend::SeriesAnalysis disease;
+      disease.kind = trend::SeriesKind::kDisease;
+      disease.disease = DiseaseId(static_cast<std::uint32_t>(id));
+      disease.has_change = false;
+      report.disease_index.emplace(disease.disease,
+                                   report.diseases.size());
+      report.diseases.push_back(disease);
+      trend::SeriesAnalysis medicine;
+      medicine.kind = trend::SeriesKind::kMedicine;
+      medicine.medicine = MedicineId(static_cast<std::uint32_t>(id));
+      medicine.has_change = change;
+      medicine.change_point = change ? cp : ssm::kNoChangePoint;
+      report.medicine_index.emplace(medicine.medicine,
+                                    report.medicines.size());
+      report.medicines.push_back(medicine);
+    };
+    add_marginal(0, false, 0);
+    add_marginal(1, true, 15);  // Medicine 1 breaks with its pair.
+    add_marginal(2, false, 0);
+
+    auto add_pair = [this](int id, bool change, int cp, double lambda,
+                           double evidence) {
+      trend::SeriesAnalysis pair;
+      pair.kind = trend::SeriesKind::kPrescription;
+      pair.disease = DiseaseId(static_cast<std::uint32_t>(id));
+      pair.medicine = MedicineId(static_cast<std::uint32_t>(id));
+      pair.has_change = change;
+      pair.change_point = change ? cp : ssm::kNoChangePoint;
+      pair.lambda = lambda;
+      pair.aic_without_intervention = 100.0;
+      pair.aic = 100.0 - evidence;
+      report.prescriptions.push_back(pair);
+    };
+    add_pair(0, true, 20, 2.0, 12.0);
+    add_pair(1, true, 15, 1.5, 10.0);
+    add_pair(2, false, 0, 0.0, 0.0);
+  }
+};
+
+TEST(RepositioningTest, FindsNewIndicationSignature) {
+  Fixture fixture;
+  auto candidates = ScreenRepositioningCandidates(
+      fixture.series, fixture.report, fixture.analyzer);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_GE(candidates->size(), 1u);
+  const RepositioningCandidate& top = candidates->front();
+  EXPECT_EQ(top.disease, DiseaseId(0));
+  EXPECT_EQ(top.medicine, MedicineId(0));
+  EXPECT_NEAR(top.change_point, 20, 4);
+  EXPECT_GT(top.lambda, 0.0);
+  EXPECT_GT(top.evidence, 4.0);
+  EXPECT_LE(top.prior_share, 0.25);
+  // The medicine-derived pair (1,1) must NOT be a candidate: its
+  // medicine series breaks at the same time.
+  for (const RepositioningCandidate& candidate : *candidates) {
+    EXPECT_FALSE(candidate.disease == DiseaseId(1) &&
+                 candidate.medicine == MedicineId(1));
+  }
+}
+
+TEST(RepositioningTest, PriorShareFilterBlocksEstablishedPairs) {
+  Fixture fixture;
+  RepositioningOptions options;
+  options.max_prior_share = 0.0;  // Demand strictly zero prior use.
+  auto candidates = ScreenRepositioningCandidates(
+      fixture.series, fixture.report, fixture.analyzer, options);
+  ASSERT_TRUE(candidates.ok());
+  for (const RepositioningCandidate& candidate : *candidates) {
+    EXPECT_DOUBLE_EQ(candidate.prior_share, 0.0);
+  }
+}
+
+TEST(RepositioningTest, EvidenceThresholdFilters) {
+  Fixture fixture;
+  RepositioningOptions options;
+  options.min_evidence = 1e9;
+  auto candidates = ScreenRepositioningCandidates(
+      fixture.series, fixture.report, fixture.analyzer, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+TEST(RepositioningTest, RejectsBadOptions) {
+  Fixture fixture;
+  RepositioningOptions options;
+  options.max_prior_share = 1.5;
+  EXPECT_FALSE(ScreenRepositioningCandidates(fixture.series, fixture.report,
+                                             fixture.analyzer, options)
+                   .ok());
+}
+
+TEST(RepositioningTest, EmptyReportYieldsNoCandidates) {
+  medmodel::SeriesSet series(43);
+  trend::TrendReport report;
+  trend::TrendAnalyzer analyzer;
+  auto candidates =
+      ScreenRepositioningCandidates(series, report, analyzer);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+}  // namespace
+}  // namespace mic::apps

@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status original = Status::NotFound("missing");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_FALSE(original.ok());
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("x").code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::NumericError("x").code(), StatusCode::kNumericError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int value) {
+  MIC_RETURN_IF_ERROR(FailIfNegative(value));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int value) {
+  if (value <= 0) return Status::OutOfRange("must be positive");
+  return value;
+}
+
+Result<int> Doubled(int value) {
+  MIC_ASSIGN_OR_RETURN(int parsed, ParsePositive(value));
+  return parsed * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = ParsePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 21);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ParsePositive(-3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.value_or(99), 99);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+}  // namespace
+}  // namespace mic

@@ -1,0 +1,174 @@
+#include "ssm/structural.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ssm/kalman.h"
+
+namespace mic::ssm {
+namespace {
+
+TEST(SlopeShiftTest, DefinitionMatchesPaper) {
+  // w_t = t - t_cp + 1 for t >= t_cp, else 0 (0-based months).
+  const std::vector<double> w = SlopeShiftRegressor(3, 7);
+  EXPECT_EQ(w, (std::vector<double>{0, 0, 0, 1, 2, 3, 4}));
+}
+
+TEST(SlopeShiftTest, NoChangePointIsAllZero) {
+  const std::vector<double> w = SlopeShiftRegressor(kNoChangePoint, 5);
+  EXPECT_EQ(w, (std::vector<double>(5, 0.0)));
+}
+
+TEST(StructuralSpecTest, ParameterAccounting) {
+  StructuralSpec ll;
+  EXPECT_EQ(ll.NumVarianceParameters(), 2);
+  EXPECT_EQ(ll.NumDiffuseStates(), 1);
+  EXPECT_EQ(ll.TotalParameters(), 3);
+
+  StructuralSpec ll_s;
+  ll_s.seasonal = true;
+  EXPECT_EQ(ll_s.NumVarianceParameters(), 3);
+  EXPECT_EQ(ll_s.NumDiffuseStates(), 12);
+  EXPECT_EQ(ll_s.TotalParameters(), 15);
+
+  StructuralSpec ll_i;
+  ll_i.set_change_point(5);
+  EXPECT_EQ(ll_i.NumVarianceParameters(), 2);
+  EXPECT_EQ(ll_i.NumDiffuseStates(), 1);
+  EXPECT_EQ(ll_i.TotalParameters(), 4);  // + lambda
+
+  StructuralSpec full;
+  full.seasonal = true;
+  full.set_change_point(5);
+  EXPECT_EQ(full.NumVarianceParameters(), 3);
+  EXPECT_EQ(full.NumDiffuseStates(), 12);
+  EXPECT_EQ(full.TotalParameters(), 16);
+  EXPECT_EQ(full.ToString(), "LL+S+I(slope@5)");
+}
+
+TEST(LayoutTest, StateIndicesAreConsistent) {
+  StructuralSpec full;
+  full.seasonal = true;
+  full.set_change_point(2);
+  const StructuralLayout layout = LayoutFor(full);
+  EXPECT_EQ(layout.level_index, 0u);
+  EXPECT_EQ(layout.seasonal_index, 1u);
+  // Intervention is a profiled regression parameter, not a state.
+  EXPECT_EQ(layout.state_dim, 12u);
+
+  StructuralSpec ll_i;
+  ll_i.set_change_point(2);
+  EXPECT_EQ(LayoutFor(ll_i).state_dim, 1u);
+}
+
+TEST(BuildTest, ModelValidates) {
+  StructuralSpec full;
+  full.seasonal = true;
+  full.set_change_point(10);
+  auto model = BuildStructuralModel(full, {1.0, 0.1, 0.01});
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->Validate().ok());
+  EXPECT_EQ(model->state_dim(), 12u);
+  EXPECT_EQ(model->num_diffuse, 12);
+  EXPECT_TRUE(model->time_varying.empty());
+}
+
+TEST(BuildTest, RejectsBadInputs) {
+  StructuralSpec spec;
+  EXPECT_FALSE(BuildStructuralModel(spec, {0.0, 0.1, 0.0}).ok());
+  EXPECT_FALSE(BuildStructuralModel(spec, {1.0, -0.1, 0.0}).ok());
+  spec.period = 1;
+  spec.seasonal = true;
+  EXPECT_FALSE(BuildStructuralModel(spec, {1.0, 0.1, 0.0}).ok());
+}
+
+TEST(BuildTest, SeasonalTransitionNegatesSum) {
+  StructuralSpec spec;
+  spec.seasonal = true;
+  auto model = BuildStructuralModel(spec, {1.0, 0.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  la::Vector state(12);
+  for (int j = 0; j < 11; ++j) {
+    state[1 + j] = (j % 2 == 0) ? 1.0 : -1.0;
+  }
+  for (int step = 0; step < 36; ++step) {
+    la::Vector next = model->transition * state;
+    // gamma_{t+1} = -(sum of last 11 gammas).
+    double expected = 0.0;
+    for (int j = 0; j < 11; ++j) expected -= state[1 + j];
+    EXPECT_NEAR(next[1], expected, 1e-12);
+    state = next;
+  }
+}
+
+TEST(RegressionFilterTest, RecoversPlantedLambda) {
+  // x_t = 5 + lambda * w_t with tiny noise; the GLS profile must
+  // recover lambda accurately.
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {0.01, 1e-6, 0.0});
+  ASSERT_TRUE(model.ok());
+  const int n = 40;
+  const std::vector<double> w = SlopeShiftRegressor(20, n);
+  std::vector<double> x(n);
+  const double lambda = 1.7;
+  for (int t = 0; t < n; ++t) x[t] = 5.0 + lambda * w[t];
+  auto result = RunFilterWithRegression(*model, x, w);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->identified);
+  EXPECT_NEAR(result->lambda, lambda, 1e-3);
+  // Profiled likelihood must beat the base likelihood.
+  EXPECT_GT(result->profiled_log_likelihood,
+            result->base.log_likelihood);
+}
+
+TEST(RegressionFilterTest, ZeroRegressorIsUnidentified) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {1.0, 0.1, 0.0});
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> x(20, 3.0);
+  const std::vector<double> w(20, 0.0);
+  auto result = RunFilterWithRegression(*model, x, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->identified);
+  EXPECT_DOUBLE_EQ(result->lambda, 0.0);
+  EXPECT_DOUBLE_EQ(result->profiled_log_likelihood,
+                   result->base.log_likelihood);
+}
+
+TEST(RegressionFilterTest, ShortRegressorRejected) {
+  StructuralSpec spec;
+  auto model = BuildStructuralModel(spec, {1.0, 0.1, 0.0});
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> x(20, 3.0);
+  const std::vector<double> w(5, 0.0);
+  EXPECT_FALSE(RunFilterWithRegression(*model, x, w).ok());
+}
+
+// Parameterized: every spec variant must produce a runnable base model
+// whose filter yields a finite likelihood on a benign series.
+class SpecVariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecVariantTest, FilterRunsOnBenignSeries) {
+  const int variant = GetParam();
+  StructuralSpec spec;
+  spec.seasonal = (variant & 1) != 0;
+  if ((variant & 2) != 0) spec.set_change_point(20);
+  auto model = BuildStructuralModel(spec, {1.0, 0.05, 0.01});
+  ASSERT_TRUE(model.ok());
+  std::vector<double> x;
+  for (int t = 0; t < 43; ++t) {
+    x.push_back(10.0 + 2.0 * std::sin(2.0 * M_PI * t / 12.0) +
+                (t >= 20 ? 0.5 * (t - 19) : 0.0));
+  }
+  auto result = RunFilter(*model, x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->log_likelihood));
+  EXPECT_EQ(result->skipped_diffuse, spec.NumDiffuseStates());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SpecVariantTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace mic::ssm

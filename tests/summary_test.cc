@@ -1,0 +1,113 @@
+// Tests for corpus summaries, SeriesSet ranking helpers, and the
+// generator's determinism snapshot.
+
+#include <gtest/gtest.h>
+
+#include "medmodel/timeseries.h"
+#include "mic/summary.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+namespace mic {
+namespace {
+
+MicRecord MakeRecord(Catalog& catalog, const char* hospital,
+                     const char* patient,
+                     std::initializer_list<const char*> diseases,
+                     std::initializer_list<const char*> medicines) {
+  MicRecord record;
+  record.hospital = catalog.hospitals().Intern(hospital);
+  record.patient = catalog.patients().Intern(patient);
+  for (const char* name : diseases) {
+    record.diseases.push_back({catalog.diseases().Intern(name), 1});
+  }
+  for (const char* name : medicines) {
+    record.medicines.push_back({catalog.medicines().Intern(name), 1});
+  }
+  record.Normalize();
+  return record;
+}
+
+TEST(CorpusSummaryTest, ComputesMonthlyAndRecordMeans) {
+  MicCorpus corpus;
+  Catalog& catalog = corpus.catalog();
+  MonthlyDataset m0(0);
+  m0.AddRecord(MakeRecord(catalog, "h0", "p0", {"a", "b"}, {"x"}));
+  m0.AddRecord(MakeRecord(catalog, "h1", "p1", {"a"}, {"x", "y"}));
+  MonthlyDataset m1(1);
+  m1.AddRecord(MakeRecord(catalog, "h0", "p0", {"b", "c"}, {"y"}));
+  ASSERT_TRUE(corpus.AddMonth(std::move(m0)).ok());
+  ASSERT_TRUE(corpus.AddMonth(std::move(m1)).ok());
+
+  auto summary = SummarizeCorpus(corpus);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->num_months, 2u);
+  EXPECT_EQ(summary->total_records, 3u);
+  EXPECT_DOUBLE_EQ(summary->mean_records_per_month, 1.5);
+  EXPECT_DOUBLE_EQ(summary->mean_hospitals_per_month, 1.5);
+  EXPECT_DOUBLE_EQ(summary->mean_patients_per_month, 1.5);
+  EXPECT_DOUBLE_EQ(summary->mean_distinct_diseases_per_month, 2.0);
+  EXPECT_DOUBLE_EQ(summary->mean_distinct_medicines_per_month, 1.5);
+  EXPECT_DOUBLE_EQ(summary->mean_diseases_per_record, 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(summary->mean_medicines_per_record, 4.0 / 3.0);
+
+  const std::string text = FormatCorpusSummary(*summary);
+  EXPECT_NE(text.find("total records:"), std::string::npos);
+  EXPECT_NE(text.find("1.667"), std::string::npos);
+}
+
+TEST(CorpusSummaryTest, EmptyCorpusFails) {
+  MicCorpus corpus;
+  EXPECT_FALSE(SummarizeCorpus(corpus).ok());
+}
+
+TEST(SeriesRankingTest, TopMedicinesAndDiseases) {
+  medmodel::SeriesSet series(3);
+  series.Add(DiseaseId(0), MedicineId(0), 0, 10.0);
+  series.Add(DiseaseId(0), MedicineId(1), 1, 30.0);
+  series.Add(DiseaseId(0), MedicineId(2), 2, 20.0);
+  series.Add(DiseaseId(1), MedicineId(1), 0, 5.0);
+
+  const auto top = series.TopMedicines(DiseaseId(0), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, MedicineId(1));
+  EXPECT_DOUBLE_EQ(top[0].second, 30.0);
+  EXPECT_EQ(top[1].first, MedicineId(2));
+
+  const auto diseases = series.TopDiseases(MedicineId(1), 5);
+  ASSERT_EQ(diseases.size(), 2u);
+  EXPECT_EQ(diseases[0].first, DiseaseId(0));
+  EXPECT_EQ(diseases[1].first, DiseaseId(1));
+
+  EXPECT_TRUE(series.TopMedicines(DiseaseId(9), 3).empty());
+}
+
+// Determinism snapshot: the tiny world at a fixed seed must generate
+// byte-identical aggregates across library versions on one platform —
+// the reproducibility contract every bench relies on. If an intentional
+// generator change breaks this, update the constants.
+TEST(DeterminismTest, TinyWorldSnapshot) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(12, 7));
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+
+  auto summary = SummarizeCorpus(data->corpus);
+  ASSERT_TRUE(summary.ok());
+  std::uint64_t disease_mentions = 0;
+  std::uint64_t medicine_mentions = 0;
+  for (std::size_t t = 0; t < data->corpus.num_months(); ++t) {
+    for (const MicRecord& record : data->corpus.month(t).records()) {
+      disease_mentions += record.TotalDiseaseMentions();
+      medicine_mentions += record.TotalMedicineMentions();
+    }
+  }
+  // Snapshot constants (tiny world, seed 7, 12 months).
+  EXPECT_EQ(summary->total_records, 1681u);
+  EXPECT_EQ(disease_mentions, 3801u);
+  EXPECT_EQ(medicine_mentions, 3757u);
+}
+
+}  // namespace
+}  // namespace mic

@@ -1,0 +1,180 @@
+// Tests for the temporal-coupling extension (§IX): fitting month t with
+// month t-1's model as a Dirichlet prior on Phi.
+
+#include <gtest/gtest.h>
+
+#include "medmodel/evaluation.h"
+#include "medmodel/medication_model.h"
+#include "medmodel/timeseries.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+
+namespace mic::medmodel {
+namespace {
+
+MicRecord MakeRecord(std::initializer_list<int> diseases,
+                     std::initializer_list<int> medicines) {
+  MicRecord record;
+  for (int id : diseases) {
+    record.diseases.push_back({DiseaseId(static_cast<std::uint32_t>(id)), 1});
+  }
+  for (int id : medicines) {
+    record.medicines.push_back(
+        {MedicineId(static_cast<std::uint32_t>(id)), 1});
+  }
+  record.Normalize();
+  return record;
+}
+
+TEST(TrackingTest, PriorStrengthZeroMatchesIndependentFit) {
+  MonthlyDataset month(0);
+  for (int i = 0; i < 20; ++i) month.AddRecord(MakeRecord({0, 1}, {0, 1}));
+  for (int i = 0; i < 10; ++i) month.AddRecord(MakeRecord({1}, {1}));
+
+  auto independent = MedicationModel::Fit(month);
+  MedicationModelOptions options;
+  options.prior_strength = 0.0;
+  auto with_null_prior =
+      MedicationModel::Fit(month, options, independent->get());
+  ASSERT_TRUE(independent.ok());
+  ASSERT_TRUE(with_null_prior.ok());
+  for (int d = 0; d < 2; ++d) {
+    for (int m = 0; m < 2; ++m) {
+      EXPECT_DOUBLE_EQ((*independent)->Phi(DiseaseId(d), MedicineId(m)),
+                       (*with_null_prior)->Phi(DiseaseId(d), MedicineId(m)));
+    }
+  }
+}
+
+TEST(TrackingTest, PriorPullsSparseMonthTowardPreviousPhi) {
+  // Month 0: abundant, clean evidence that disease 0 -> medicine 0.
+  MonthlyDataset month0(0);
+  for (int i = 0; i < 50; ++i) month0.AddRecord(MakeRecord({0}, {0}));
+  for (int i = 0; i < 50; ++i) month0.AddRecord(MakeRecord({1}, {1}));
+  auto prior = MedicationModel::Fit(month0);
+  ASSERT_TRUE(prior.ok());
+
+  // Month 1: only ambiguous records; independently unidentifiable.
+  MonthlyDataset month1(1);
+  for (int i = 0; i < 20; ++i) {
+    month1.AddRecord(MakeRecord({0, 1}, {0, 1}));
+  }
+  auto independent = MedicationModel::Fit(month1);
+  MedicationModelOptions tracked_options;
+  tracked_options.prior_strength = 10.0;
+  auto tracked =
+      MedicationModel::Fit(month1, tracked_options, prior->get());
+  ASSERT_TRUE(independent.ok());
+  ASSERT_TRUE(tracked.ok());
+
+  // Independent EM on purely ambiguous data stays at its symmetric
+  // initialization; the tracked fit must break the tie towards the
+  // previous month's links.
+  const double tracked_correct =
+      (*tracked)->Phi(DiseaseId(0), MedicineId(0));
+  const double tracked_wrong =
+      (*tracked)->Phi(DiseaseId(0), MedicineId(1));
+  EXPECT_GT(tracked_correct, 2.0 * tracked_wrong);
+  const double independent_correct =
+      (*independent)->Phi(DiseaseId(0), MedicineId(0));
+  EXPECT_GT(tracked_correct, independent_correct + 0.1);
+}
+
+TEST(TrackingTest, PhiStaysNormalizedUnderPrior) {
+  MonthlyDataset month(0);
+  for (int i = 0; i < 30; ++i) month.AddRecord(MakeRecord({0, 1}, {0, 1}));
+  auto prior = MedicationModel::Fit(month);
+  ASSERT_TRUE(prior.ok());
+  MedicationModelOptions options;
+  options.prior_strength = 5.0;
+  auto tracked = MedicationModel::Fit(month, options, prior->get());
+  ASSERT_TRUE(tracked.ok());
+  for (int d = 0; d < 2; ++d) {
+    double total = 0.0;
+    for (int m = 0; m < 2; ++m) {
+      total += (*tracked)->Phi(DiseaseId(d), MedicineId(m));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TrackingTest, NegativePriorStrengthRejected) {
+  MonthlyDataset month(0);
+  month.AddRecord(MakeRecord({0}, {0}));
+  MedicationModelOptions options;
+  options.prior_strength = -1.0;
+  EXPECT_FALSE(MedicationModel::Fit(month, options).ok());
+}
+
+TEST(TrackingTest, CoupledReproductionImprovesHeldOutPerplexity) {
+  // Small monthly samples make independent fits noisy; coupling months
+  // should help predict held-out medicines.
+  auto config = synth::MakeTinyWorldConfig(10, 99);
+  config.patients.count = 80;  // Deliberately sparse months.
+  auto world = synth::World::Create(config);
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+
+  double independent_log_perplexity = 0.0;
+  double tracked_log_perplexity = 0.0;
+  int months_scored = 0;
+  std::unique_ptr<MedicationModel> previous_independent;
+  std::unique_ptr<MedicationModel> previous_tracked;
+  Rng rng(5);
+  for (std::size_t t = 0; t < data->corpus.num_months(); ++t) {
+    HoldoutSplit split =
+        SplitMedicines(data->corpus.month(t), 0.2, rng);
+    if (split.NumTestMentions() == 0) continue;
+    auto independent = MedicationModel::Fit(split.train);
+    MedicationModelOptions tracked_options;
+    tracked_options.prior_strength = 30.0;
+    auto tracked = MedicationModel::Fit(split.train, tracked_options,
+                                        previous_tracked.get());
+    if (!independent.ok() || !tracked.ok()) continue;
+    auto ppl_independent = Perplexity(**independent, split);
+    auto ppl_tracked = Perplexity(**tracked, split);
+    if (ppl_independent.ok() && ppl_tracked.ok()) {
+      independent_log_perplexity += std::log(*ppl_independent);
+      tracked_log_perplexity += std::log(*ppl_tracked);
+      ++months_scored;
+    }
+    previous_independent = std::move(*independent);
+    previous_tracked = std::move(*tracked);
+  }
+  ASSERT_GT(months_scored, 5);
+  EXPECT_LT(tracked_log_perplexity, independent_log_perplexity);
+}
+
+TEST(TrackingTest, ReproducerChainsWhenCouplingEnabled) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(6, 3));
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+  ReproducerOptions options;
+  options.filter_options.min_disease_count = 1;
+  options.filter_options.min_medicine_count = 1;
+  options.min_series_total = 0.0;
+  options.model_options.prior_strength = 20.0;
+  auto series = ReproduceSeries(data->corpus, options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_GT(series->num_pairs(), 0u);
+  // Conservation still holds per month.
+  for (std::size_t t = 0; t < data->corpus.num_months(); ++t) {
+    double reproduced = 0.0;
+    series->ForEachPair([&](DiseaseId, MedicineId,
+                            const std::vector<double>& values) {
+      reproduced += values[t];
+    });
+    std::uint64_t mentions = 0;
+    for (const MicRecord& record : data->corpus.month(t).records()) {
+      mentions += record.TotalMedicineMentions();
+    }
+    EXPECT_NEAR(reproduced, static_cast<double>(mentions), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mic::medmodel

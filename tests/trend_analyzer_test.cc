@@ -1,0 +1,198 @@
+#include "trend/trend_analyzer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mic::trend {
+namespace {
+
+std::vector<double> Series(int n, double level, int change_point,
+                           double slope, double noise_sd,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    double value = level + rng.NextGaussian(0.0, noise_sd);
+    if (change_point >= 0 && t >= change_point) {
+      value += slope * (t - change_point + 1);
+    }
+    x[t] = value;
+  }
+  return x;
+}
+
+TrendAnalyzerOptions FastOptions() {
+  TrendAnalyzerOptions options;
+  options.detector.seasonal = false;
+  options.detector.fit.optimizer.max_evaluations = 150;
+  return options;
+}
+
+TEST(TrendAnalyzerTest, DetectsBreakInSingleSeries) {
+  TrendAnalyzer analyzer(FastOptions());
+  const auto x = Series(43, 50.0, 20, 6.0, 2.0, 7);
+  auto analysis = analyzer.AnalyzeSeries(SeriesKind::kPrescription,
+                                         DiseaseId(0), MedicineId(0), x);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis->has_change);
+  EXPECT_NEAR(analysis->change_point, 20, 6);
+  // Lambda is reported in original units (the series was normalized
+  // internally): slope ~ 6 per month.
+  EXPECT_NEAR(analysis->lambda, 6.0, 2.0);
+  EXPECT_GT(analysis->scale, 1.0);  // SD of this series is well above 1.
+}
+
+TEST(TrendAnalyzerTest, FlatSeriesHasNoChange) {
+  TrendAnalyzer analyzer(FastOptions());
+  const auto x = Series(43, 30.0, -1, 0.0, 1.0, 11);
+  auto analysis = analyzer.AnalyzeSeries(SeriesKind::kDisease,
+                                         DiseaseId(0), MedicineId(), x);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->has_change);
+  EXPECT_EQ(analysis->change_point, ssm::kNoChangePoint);
+  EXPECT_DOUBLE_EQ(analysis->lambda, 0.0);
+}
+
+TEST(TrendAnalyzerTest, AnalyzeAllCoversEverySeries) {
+  medmodel::SeriesSet set(43);
+  // Pair (0, 0) with a break; its disease side flat, medicine side flat.
+  const auto broken = Series(43, 40.0, 18, 5.0, 1.5, 3);
+  const auto flat = Series(43, 40.0, -1, 0.0, 1.5, 4);
+  for (int t = 0; t < 43; ++t) {
+    set.Add(DiseaseId(0), MedicineId(0), t, broken[t]);
+    set.Add(DiseaseId(1), MedicineId(1), t, flat[t]);
+  }
+  TrendAnalyzer analyzer(FastOptions());
+  auto report = analyzer.AnalyzeAll(set);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->prescriptions.size(), 2u);
+  EXPECT_EQ(report->diseases.size(), 2u);
+  EXPECT_EQ(report->medicines.size(), 2u);
+  EXPECT_GE(report->CountChanges(SeriesKind::kPrescription), 1u);
+}
+
+TEST(TrendAnalyzerTest, ClassifiesMedicineDerivedChange) {
+  TrendReport report;
+  SeriesAnalysis disease;
+  disease.kind = SeriesKind::kDisease;
+  disease.disease = DiseaseId(0);
+  disease.has_change = false;
+  report.disease_index.emplace(DiseaseId(0), 0);
+  report.diseases.push_back(disease);
+
+  SeriesAnalysis medicine;
+  medicine.kind = SeriesKind::kMedicine;
+  medicine.medicine = MedicineId(0);
+  medicine.has_change = true;
+  medicine.change_point = 21;
+  report.medicine_index.emplace(MedicineId(0), 0);
+  report.medicines.push_back(medicine);
+
+  SeriesAnalysis prescription;
+  prescription.kind = SeriesKind::kPrescription;
+  prescription.disease = DiseaseId(0);
+  prescription.medicine = MedicineId(0);
+  prescription.has_change = true;
+  prescription.change_point = 20;
+
+  TrendAnalyzer analyzer(FastOptions());
+  EXPECT_EQ(analyzer.ClassifyPrescriptionChange(report, prescription),
+            ChangeCause::kMedicineDerived);
+}
+
+TEST(TrendAnalyzerTest, ClassifiesDiseaseDerivedBeforeMedicine) {
+  TrendReport report;
+  SeriesAnalysis disease;
+  disease.disease = DiseaseId(0);
+  disease.has_change = true;
+  disease.change_point = 19;
+  report.disease_index.emplace(DiseaseId(0), 0);
+  report.diseases.push_back(disease);
+
+  SeriesAnalysis medicine;
+  medicine.medicine = MedicineId(0);
+  medicine.has_change = true;
+  medicine.change_point = 20;
+  report.medicine_index.emplace(MedicineId(0), 0);
+  report.medicines.push_back(medicine);
+
+  SeriesAnalysis prescription;
+  prescription.disease = DiseaseId(0);
+  prescription.medicine = MedicineId(0);
+  prescription.has_change = true;
+  prescription.change_point = 20;
+
+  TrendAnalyzer analyzer(FastOptions());
+  // Disease wins ties (checked first): an epidemiological cause explains
+  // the prescription shift without invoking the medicine.
+  EXPECT_EQ(analyzer.ClassifyPrescriptionChange(report, prescription),
+            ChangeCause::kDiseaseDerived);
+}
+
+TEST(TrendAnalyzerTest, ClassifiesPrescriptionDerivedWhenIsolated) {
+  TrendReport report;
+  SeriesAnalysis disease;
+  disease.disease = DiseaseId(0);
+  disease.has_change = false;
+  report.disease_index.emplace(DiseaseId(0), 0);
+  report.diseases.push_back(disease);
+  SeriesAnalysis medicine;
+  medicine.medicine = MedicineId(0);
+  medicine.has_change = true;
+  medicine.change_point = 5;  // Far from the prescription break.
+  report.medicine_index.emplace(MedicineId(0), 0);
+  report.medicines.push_back(medicine);
+
+  SeriesAnalysis prescription;
+  prescription.disease = DiseaseId(0);
+  prescription.medicine = MedicineId(0);
+  prescription.has_change = true;
+  prescription.change_point = 25;
+
+  TrendAnalyzer analyzer(FastOptions());
+  EXPECT_EQ(analyzer.ClassifyPrescriptionChange(report, prescription),
+            ChangeCause::kPrescriptionDerived);
+}
+
+TEST(TrendAnalyzerTest, NoChangeClassifiesAsNone) {
+  TrendReport report;
+  SeriesAnalysis prescription;
+  prescription.has_change = false;
+  TrendAnalyzer analyzer(FastOptions());
+  EXPECT_EQ(analyzer.ClassifyPrescriptionChange(report, prescription),
+            ChangeCause::kNone);
+}
+
+TEST(TrendAnalyzerTest, CauseNamesAreStable) {
+  EXPECT_EQ(ChangeCauseName(ChangeCause::kNone), "none");
+  EXPECT_EQ(ChangeCauseName(ChangeCause::kDiseaseDerived),
+            "disease-derived");
+  EXPECT_EQ(ChangeCauseName(ChangeCause::kMedicineDerived),
+            "medicine-derived");
+  EXPECT_EQ(ChangeCauseName(ChangeCause::kPrescriptionDerived),
+            "prescription-derived");
+}
+
+TEST(TrendAnalyzerTest, ApproximateAndExactAgreeOnStrongBreak) {
+  const auto x = Series(43, 20.0, 24, 8.0, 1.0, 17);
+  TrendAnalyzerOptions exact_options = FastOptions();
+  exact_options.use_approximate = false;
+  TrendAnalyzer exact(exact_options);
+  TrendAnalyzer approximate(FastOptions());
+  auto exact_analysis = exact.AnalyzeSeries(
+      SeriesKind::kPrescription, DiseaseId(0), MedicineId(0), x);
+  auto approximate_analysis = approximate.AnalyzeSeries(
+      SeriesKind::kPrescription, DiseaseId(0), MedicineId(0), x);
+  ASSERT_TRUE(exact_analysis.ok());
+  ASSERT_TRUE(approximate_analysis.ok());
+  EXPECT_TRUE(exact_analysis->has_change);
+  EXPECT_TRUE(approximate_analysis->has_change);
+  EXPECT_GT(exact_analysis->fits_performed,
+            approximate_analysis->fits_performed);
+}
+
+}  // namespace
+}  // namespace mic::trend

@@ -1,0 +1,140 @@
+// Tests for the trigonometric seasonal form (the dummy form's
+// alternative representation, Commandeur & Koopman ch. 4).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ssm/decompose.h"
+#include "ssm/fit.h"
+#include "ssm/kalman.h"
+#include "ssm/structural.h"
+
+namespace mic::ssm {
+namespace {
+
+std::vector<double> SeasonalSeries(int n, double amplitude,
+                                   double noise_sd, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = 10.0 + amplitude * std::sin(2.0 * M_PI * t / 12.0) +
+           rng.NextGaussian(0.0, noise_sd);
+  }
+  return x;
+}
+
+TEST(TrigSeasonalTest, StateCountsAndNames) {
+  StructuralSpec spec;
+  spec.seasonal = true;
+  spec.seasonal_form = SeasonalForm::kTrigonometric;
+  spec.harmonics = 2;
+  EXPECT_EQ(spec.NumSeasonalStates(), 4);
+  EXPECT_EQ(spec.NumDiffuseStates(), 5);
+  spec.harmonics = 6;  // Nyquist harmonic for period 12 has one state.
+  EXPECT_EQ(spec.NumSeasonalStates(), 11);
+  EXPECT_EQ(spec.ToString(), "LL+S(trig:6)");
+  EXPECT_EQ(SeasonalFormName(SeasonalForm::kDummy), "dummy");
+  EXPECT_EQ(SeasonalFormName(SeasonalForm::kTrigonometric), "trig");
+  // Full trig (period/2 harmonics) has the same state count as dummy.
+  StructuralSpec dummy;
+  dummy.seasonal = true;
+  EXPECT_EQ(spec.NumSeasonalStates(), dummy.NumSeasonalStates());
+}
+
+TEST(TrigSeasonalTest, RejectsBadHarmonics) {
+  StructuralSpec spec;
+  spec.seasonal = true;
+  spec.seasonal_form = SeasonalForm::kTrigonometric;
+  spec.harmonics = 0;
+  EXPECT_FALSE(BuildStructuralModel(spec, {1.0, 0.1, 0.01}).ok());
+  spec.harmonics = 7;  // > period/2 for period 12.
+  EXPECT_FALSE(BuildStructuralModel(spec, {1.0, 0.1, 0.01}).ok());
+}
+
+TEST(TrigSeasonalTest, DeterministicRotationHasPeriodTwelve) {
+  StructuralSpec spec;
+  spec.seasonal = true;
+  spec.seasonal_form = SeasonalForm::kTrigonometric;
+  spec.harmonics = 2;
+  auto model = BuildStructuralModel(spec, {1.0, 0.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  // With zero noise, applying the transition 12 times returns the
+  // seasonal states to their start (rotation by 2 pi).
+  la::Vector state(model->state_dim());
+  state[1] = 1.0;
+  state[2] = 0.3;
+  state[3] = -0.7;
+  state[4] = 0.2;
+  la::Vector rotated = state;
+  for (int step = 0; step < 12; ++step) {
+    rotated = model->transition * rotated;
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(rotated[i], state[i], 1e-9) << "state " << i;
+  }
+}
+
+TEST(TrigSeasonalTest, FitsSinusoidWithOneHarmonic) {
+  const auto x = SeasonalSeries(48, 4.0, 0.3, 5);
+  StructuralSpec trig;
+  trig.seasonal = true;
+  trig.seasonal_form = SeasonalForm::kTrigonometric;
+  trig.harmonics = 1;
+  auto fitted = FitStructuralModel(x, trig);
+  ASSERT_TRUE(fitted.ok());
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  // The smoothed seasonal tracks the planted sinusoid.
+  double error = 0.0;
+  for (int t = 12; t < 48; ++t) {
+    const double truth = 4.0 * std::sin(2.0 * M_PI * t / 12.0);
+    error += std::fabs(decomposition->seasonal[t] - truth);
+  }
+  EXPECT_LT(error / 36.0, 0.6);
+}
+
+TEST(TrigSeasonalTest, OneHarmonicBeatsDummyOnPureSinusoid) {
+  // A pure first-harmonic seasonal: the 1-harmonic trig model (3 states,
+  // AIC parameter count 1+2+3) should beat the 11-state dummy form.
+  const auto x = SeasonalSeries(43, 4.0, 0.4, 11);
+  StructuralSpec trig;
+  trig.seasonal = true;
+  trig.seasonal_form = SeasonalForm::kTrigonometric;
+  trig.harmonics = 1;
+  StructuralSpec dummy;
+  dummy.seasonal = true;
+  auto fit_trig = FitStructuralModel(x, trig);
+  auto fit_dummy = FitStructuralModel(x, dummy);
+  ASSERT_TRUE(fit_trig.ok());
+  ASSERT_TRUE(fit_dummy.ok());
+  EXPECT_LT(fit_trig->aic, fit_dummy->aic);
+}
+
+TEST(TrigSeasonalTest, WorksWithInterventionSearch) {
+  Rng rng(21);
+  std::vector<double> x(43);
+  for (int t = 0; t < 43; ++t) {
+    x[t] = 10.0 + 3.0 * std::sin(2.0 * M_PI * t / 12.0) +
+           (t >= 24 ? 1.4 * (t - 23) : 0.0) +
+           rng.NextGaussian(0.0, 0.4);
+  }
+  StructuralSpec spec;
+  spec.seasonal = true;
+  spec.seasonal_form = SeasonalForm::kTrigonometric;
+  spec.harmonics = 2;
+  spec.set_change_point(24);
+  auto fitted = FitStructuralModel(x, spec);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->lambda, 1.4, 0.5);
+  auto decomposition = Decompose(*fitted, x);
+  ASSERT_TRUE(decomposition.ok());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_NEAR(decomposition->fitted[t] + decomposition->irregular[t],
+                x[t], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mic::ssm

@@ -1,0 +1,146 @@
+#include "synth/world_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "synth/scenario.h"
+
+namespace mic::synth {
+namespace {
+
+TEST(WorldIoTest, ParsesFullExample) {
+  std::istringstream in(R"(
+# demo world
+config,months=24,start_month=2,seed=77
+hospitals,count=12,small=0.5,medium=0.4,large=0.1
+patients,count=500,visit=0.4,boost=0.3,acute=1.5
+city,north,weight=1.0
+city,south,weight=2.0
+disease,flu,weight=1.5,amplitude=1.0,peak=0,sharpness=2.5,outlier=10:3.0
+disease,bp,weight=0.3,chronic=0.35,intensity=0.5
+disease,fading,weight=1.0,prevalence=12:0.4:6
+medicine,antiviral,propensity=1.1,indication=flu:1.0
+medicine,newdrug,release=12,indication=bp:0.8:14:6,propensity_event=0:0.2:0,city_delay=north:4
+medicine,generic,generic_of=antiviral,indication=flu:0.9,release=10
+medicine,fader,indication=fading
+bias,small,antiviral,bp,weight=0.3
+)");
+  auto config = ReadWorldConfig(in);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->num_months, 24);
+  EXPECT_EQ(config->start_calendar_month, 2);
+  EXPECT_EQ(config->seed, 77u);
+  EXPECT_EQ(config->hospitals.count, 12u);
+  EXPECT_DOUBLE_EQ(config->hospitals.medium_fraction, 0.4);
+  EXPECT_EQ(config->patients.count, 500u);
+  EXPECT_DOUBLE_EQ(config->patients.mean_acute_diseases, 1.5);
+  ASSERT_EQ(config->cities.size(), 2u);
+  EXPECT_DOUBLE_EQ(config->cities[1].population_weight, 2.0);
+
+  ASSERT_EQ(config->diseases.size(), 3u);
+  const DiseaseSpec& flu = config->diseases[0];
+  EXPECT_DOUBLE_EQ(flu.base_weight, 1.5);
+  EXPECT_DOUBLE_EQ(flu.seasonality.amplitude, 1.0);
+  EXPECT_DOUBLE_EQ(flu.seasonality.sharpness, 2.5);
+  EXPECT_DOUBLE_EQ(flu.outlier_multipliers.at(10), 3.0);
+  EXPECT_DOUBLE_EQ(config->diseases[1].chronic_fraction, 0.35);
+  ASSERT_EQ(config->diseases[2].prevalence_events.size(), 1u);
+  EXPECT_EQ(config->diseases[2].prevalence_events[0].ramp_months, 6);
+
+  ASSERT_EQ(config->medicines.size(), 4u);
+  const MedicineSpec& newdrug = config->medicines[1];
+  EXPECT_EQ(newdrug.release_month, 12);
+  ASSERT_EQ(newdrug.indications.size(), 1u);
+  EXPECT_EQ(newdrug.indications[0].start_month, 14);
+  EXPECT_EQ(newdrug.indications[0].ramp_months, 6);
+  ASSERT_EQ(newdrug.propensity_events.size(), 1u);
+  EXPECT_DOUBLE_EQ(newdrug.propensity_events[0].target_multiplier, 0.2);
+  EXPECT_EQ(newdrug.city_release_delays.at("north"), 4);
+  EXPECT_EQ(config->medicines[2].generic_of, "antiviral");
+
+  ASSERT_EQ(config->class_biases.size(), 1u);
+  EXPECT_EQ(config->class_biases[0].hospital_class, HospitalClass::kSmall);
+  EXPECT_DOUBLE_EQ(config->class_biases[0].weight, 0.3);
+
+  // The parsed config must build a valid world.
+  EXPECT_TRUE(World::Create(*config).ok());
+}
+
+TEST(WorldIoTest, PaperWorldRoundTrips) {
+  PaperWorldOptions options;
+  options.num_background_diseases = 3;
+  const WorldConfig original = MakePaperWorldConfig(options);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteWorldConfig(original, out).ok());
+
+  std::istringstream in(out.str());
+  auto parsed = ReadWorldConfig(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_months, original.num_months);
+  EXPECT_EQ(parsed->diseases.size(), original.diseases.size());
+  EXPECT_EQ(parsed->medicines.size(), original.medicines.size());
+  EXPECT_EQ(parsed->class_biases.size(), original.class_biases.size());
+  EXPECT_EQ(parsed->cities.size(), original.cities.size());
+  for (std::size_t i = 0; i < original.diseases.size(); ++i) {
+    EXPECT_EQ(parsed->diseases[i].name, original.diseases[i].name);
+    EXPECT_NEAR(parsed->diseases[i].base_weight,
+                original.diseases[i].base_weight, 1e-9);
+    EXPECT_EQ(parsed->diseases[i].prevalence_events.size(),
+              original.diseases[i].prevalence_events.size());
+  }
+  for (std::size_t i = 0; i < original.medicines.size(); ++i) {
+    EXPECT_EQ(parsed->medicines[i].name, original.medicines[i].name);
+    EXPECT_EQ(parsed->medicines[i].indications.size(),
+              original.medicines[i].indications.size());
+    EXPECT_EQ(parsed->medicines[i].city_release_delays,
+              original.medicines[i].city_release_delays);
+  }
+  EXPECT_TRUE(World::Create(*parsed).ok());
+}
+
+TEST(WorldIoTest, RejectsMalformedLines) {
+  {
+    std::istringstream in("banana,x\n");
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("disease\n");  // Missing name.
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("disease,flu,unknown_key=1\n");
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("medicine,m,indication=\n");
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("bias,giant,m,d\n");  // Unknown class.
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("config,months=abc\n");
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+  {
+    std::istringstream in("medicine,m,city_delay=oops\n");
+    EXPECT_FALSE(ReadWorldConfig(in).ok());
+  }
+}
+
+TEST(WorldIoTest, ErrorsCarryLineNumbers) {
+  std::istringstream in("city,a\n\n# comment\nbanana,x\n");
+  auto config = ReadWorldConfig(in);
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(WorldIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadWorldConfigFile("/nonexistent/world.cfg").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mic::synth

@@ -1,0 +1,230 @@
+#include "synth/world.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "synth/scenario.h"
+
+namespace mic::synth {
+namespace {
+
+TEST(SeasonalityTest, FlatProfileIsOne) {
+  SeasonalityProfile flat;
+  EXPECT_TRUE(flat.IsFlat());
+  for (int m = 0; m < 12; ++m) {
+    EXPECT_DOUBLE_EQ(flat.Multiplier(m), 1.0);
+  }
+}
+
+TEST(SeasonalityTest, PeakAtConfiguredMonth) {
+  SeasonalityProfile profile{.amplitude = 0.8, .peak_month = 3};
+  EXPECT_NEAR(profile.Multiplier(3), 1.8, 1e-12);
+  EXPECT_NEAR(profile.Multiplier(9), 0.2, 1e-12);  // Opposite phase.
+  // Never negative even with amplitude > 1.
+  SeasonalityProfile extreme{.amplitude = 2.0, .peak_month = 0};
+  EXPECT_DOUBLE_EQ(extreme.Multiplier(6), 0.0);
+}
+
+TEST(SeasonalityTest, SecondHarmonicGivesTwoPeaks) {
+  SeasonalityProfile profile{.second_amplitude = 0.5,
+                             .second_peak_month = 3};
+  // cos(4 pi (m - 3) / 12) peaks at m = 3 and m = 9.
+  EXPECT_NEAR(profile.Multiplier(3), 1.5, 1e-12);
+  EXPECT_NEAR(profile.Multiplier(9), 1.5, 1e-12);
+  EXPECT_NEAR(profile.Multiplier(0), 0.5, 1e-12);
+  EXPECT_NEAR(profile.Multiplier(6), 0.5, 1e-12);
+}
+
+TEST(EventMultiplierTest, RampsLinearlyToTarget) {
+  const std::vector<ScheduledEvent> events = {
+      {.month = 10, .target_multiplier = 3.0, .ramp_months = 4}};
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 9), 1.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 10), 1.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 12), 2.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 14), 3.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 40), 3.0);
+}
+
+TEST(EventMultiplierTest, InstantWhenNoRamp) {
+  const std::vector<ScheduledEvent> events = {
+      {.month = 5, .target_multiplier = 0.5}};
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 4), 1.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 5), 0.5);
+}
+
+TEST(EventMultiplierTest, SequentialEventsChain) {
+  // First drop to 0.2 instantly at t=2, then ramp from 0.2 to 1.0 over
+  // 4 months starting at t=10.
+  const std::vector<ScheduledEvent> events = {
+      {.month = 2, .target_multiplier = 0.2},
+      {.month = 10, .target_multiplier = 1.0, .ramp_months = 4}};
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 1), 1.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 5), 0.2);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 10), 0.2);
+  EXPECT_NEAR(EventMultiplier(events, 12), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 14), 1.0);
+  EXPECT_DOUBLE_EQ(EventMultiplier(events, 40), 1.0);
+}
+
+TEST(SeasonalityTest, SharpnessNarrowsPeaks) {
+  SeasonalityProfile smooth{.amplitude = 1.0, .peak_month = 0,
+                            .sharpness = 1.0};
+  SeasonalityProfile sharp{.amplitude = 1.0, .peak_month = 0,
+                           .sharpness = 3.0};
+  // Same peak height...
+  EXPECT_NEAR(smooth.Multiplier(0), sharp.Multiplier(0), 1e-12);
+  // ...but the sharp profile decays faster off-peak.
+  EXPECT_GT(smooth.Multiplier(2), sharp.Multiplier(2));
+  EXPECT_GT(smooth.Multiplier(4), sharp.Multiplier(4));
+  // Sharpness 1 reduces to the plain cosine.
+  for (int m = 0; m < 12; ++m) {
+    const double expected =
+        1.0 + std::cos(2.0 * 3.14159265358979323846 * m / 12.0);
+    EXPECT_NEAR(smooth.Multiplier(m), std::max(expected, 0.0), 1e-9);
+  }
+}
+
+WorldConfig MinimalConfig() {
+  WorldConfig config;
+  config.num_months = 12;
+  config.diseases = {{.name = "d0", .base_weight = 1.0}};
+  config.medicines = {
+      {.name = "m0", .indications = {{.disease = "d0", .weight = 1.0}}}};
+  config.hospitals.count = 2;
+  config.patients.count = 10;
+  return config;
+}
+
+TEST(WorldValidationTest, AcceptsMinimalConfig) {
+  auto world = World::Create(MinimalConfig());
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->num_diseases(), 1u);
+  EXPECT_EQ(world->num_medicines(), 1u);
+  EXPECT_TRUE(world->IsIndicated(world->disease_id(0),
+                                 world->medicine_id(0)));
+}
+
+TEST(WorldValidationTest, RejectsBrokenConfigs) {
+  {
+    WorldConfig config = MinimalConfig();
+    config.num_months = 0;
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+  {
+    WorldConfig config = MinimalConfig();
+    config.diseases.push_back({.name = "d0"});  // Duplicate name.
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+  {
+    WorldConfig config = MinimalConfig();
+    config.medicines[0].indications[0].disease = "nonexistent";
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+  {
+    WorldConfig config = MinimalConfig();
+    config.medicines[0].indications.clear();
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+  {
+    WorldConfig config = MinimalConfig();
+    config.class_biases.push_back({.hospital_class = HospitalClass::kSmall,
+                                   .medicine = "mX",
+                                   .disease = "d0"});
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+  {
+    WorldConfig config = MinimalConfig();
+    config.patients.count = 0;
+    EXPECT_FALSE(World::Create(config).ok());
+  }
+}
+
+TEST(WorldTest, DiseaseWeightCombinesSeasonalityOutliersAndEvents) {
+  WorldConfig config = MinimalConfig();
+  config.start_calendar_month = 0;
+  config.diseases[0].base_weight = 2.0;
+  config.diseases[0].seasonality = {.amplitude = 0.5, .peak_month = 0};
+  config.diseases[0].outlier_multipliers[3] = 4.0;
+  auto world = World::Create(config);
+  ASSERT_TRUE(world.ok());
+  // t = 0 is January: multiplier 1.5.
+  EXPECT_NEAR(world->DiseaseWeight(0, 0), 3.0, 1e-12);
+  // t = 3 is April: cos(2 pi 3/12) = 0 -> multiplier 1, outlier 4.
+  EXPECT_NEAR(world->DiseaseWeight(0, 3), 8.0, 1e-12);
+}
+
+TEST(WorldTest, AvailabilityRespectsReleaseAndCityDelay) {
+  WorldConfig config = MinimalConfig();
+  config.cities = {{"a", 1.0}, {"b", 1.0}};
+  config.medicines[0].release_month = 4;
+  config.medicines[0].city_release_delays["b"] = 3;
+  auto world = World::Create(config);
+  ASSERT_TRUE(world.ok());
+  const CityId a = *world->catalog()->cities().Lookup("a");
+  const CityId b = *world->catalog()->cities().Lookup("b");
+  EXPECT_FALSE(world->IsAvailable(0, 3, a));
+  EXPECT_TRUE(world->IsAvailable(0, 4, a));
+  EXPECT_FALSE(world->IsAvailable(0, 6, b));
+  EXPECT_TRUE(world->IsAvailable(0, 7, b));
+}
+
+TEST(WorldTest, IndicationWeightRampsAfterExpansion) {
+  WorldConfig config = MinimalConfig();
+  config.diseases.push_back({.name = "d1", .base_weight = 1.0});
+  config.medicines[0].indications.push_back(
+      {.disease = "d1", .weight = 1.0, .start_month = 6,
+       .ramp_months = 3});
+  auto world = World::Create(config);
+  ASSERT_TRUE(world.ok());
+  EXPECT_DOUBLE_EQ(world->IndicationWeight(1, 0, 5), 0.0);
+  EXPECT_NEAR(world->IndicationWeight(1, 0, 6), 0.25, 1e-12);
+  EXPECT_NEAR(world->IndicationWeight(1, 0, 8), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(world->IndicationWeight(1, 0, 9), 1.0);
+  EXPECT_DOUBLE_EQ(world->IndicationWeight(1, 0, 30), 1.0);
+}
+
+TEST(WorldTest, ClassBiasOnlyForConfiguredClass) {
+  WorldConfig config = MinimalConfig();
+  config.diseases.push_back({.name = "cold", .base_weight = 1.0});
+  config.class_biases.push_back({.hospital_class = HospitalClass::kSmall,
+                                 .medicine = "m0",
+                                 .disease = "cold",
+                                 .weight = 0.7});
+  auto world = World::Create(config);
+  ASSERT_TRUE(world.ok());
+  EXPECT_DOUBLE_EQ(
+      world->ClassBiasWeight(HospitalClass::kSmall, 1, 0), 0.7);
+  EXPECT_DOUBLE_EQ(
+      world->ClassBiasWeight(HospitalClass::kLarge, 1, 0), 0.0);
+  // "cold" has no indication edge, but the bias makes m0 a candidate.
+  const auto& candidates = world->CandidateMedicines(1);
+  EXPECT_EQ(candidates.size(), 1u);
+  EXPECT_FALSE(world->IsIndicated(world->disease_id(1),
+                                  world->medicine_id(0)));
+}
+
+TEST(ScenarioTest, PaperWorldValidates) {
+  PaperWorldOptions options;
+  options.num_patients = 50;
+  options.num_background_diseases = 5;
+  auto world = MakePaperWorld(options);
+  ASSERT_TRUE(world.ok());
+  EXPECT_TRUE(world->FindDisease(names::kInfluenza).ok());
+  EXPECT_TRUE(world->FindMedicine(names::kAntibiotic).ok());
+  // Paper ground truth example: the analgesic is NOT indicated for
+  // hypertension (Fig. 2) while the depressor is.
+  const DiseaseId hypertension = *world->FindDisease(names::kHypertension);
+  EXPECT_TRUE(world->IsIndicated(hypertension,
+                                 *world->FindMedicine(names::kDepressor)));
+  EXPECT_FALSE(world->IsIndicated(hypertension,
+                                  *world->FindMedicine(names::kAnalgesic)));
+}
+
+TEST(ScenarioTest, TinyWorldValidates) {
+  auto world = World::Create(MakeTinyWorldConfig());
+  ASSERT_TRUE(world.ok());
+}
+
+}  // namespace
+}  // namespace mic::synth

@@ -1,0 +1,86 @@
+// Minimal --flag value command-line parsing for the mictrend CLI.
+
+#ifndef MICTREND_TOOLS_FLAGS_H_
+#define MICTREND_TOOLS_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace mic::tools {
+
+/// Parsed command line: one positional subcommand plus --key value
+/// flags (boolean flags may omit the value).
+class Flags {
+ public:
+  /// Parses argv[1:]; the first non-flag token is the subcommand.
+  static Result<Flags> Parse(int argc, char** argv) {
+    Flags flags;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+      flags.command_ = argv[i];
+      ++i;
+    }
+    for (; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument: " + token);
+      }
+      std::string key = token.substr(2);
+      if (key.empty()) {
+        return Status::InvalidArgument("empty flag name");
+      }
+      std::string value;
+      const std::size_t equals = key.find('=');
+      if (equals != std::string::npos) {
+        value = key.substr(equals + 1);
+        key = key.substr(0, equals);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      } else {
+        value = "true";  // Bare boolean flag.
+      }
+      flags.values_[key] = value;
+    }
+    return flags;
+  }
+
+  const std::string& command() const { return command_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<std::int64_t> GetInt(const std::string& key,
+                              std::int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second);
+  }
+
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second);
+  }
+
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mic::tools
+
+#endif  // MICTREND_TOOLS_FLAGS_H_

@@ -1,0 +1,404 @@
+// mictrend command-line tool: the library's pipeline as composable
+// shell steps over CSV files.
+//
+//   mictrend generate  --out corpus.csv [--hospitals-out h.csv]
+//                      [--months 43] [--patients 2000] [--seed S]
+//                      [--background 40]
+//   mictrend stats     --corpus corpus.csv
+//   mictrend reproduce --corpus corpus.csv --out series.csv
+//                      [--min-total 10] [--coupling 0]
+//                      [--model proposed|cooccurrence]
+//   mictrend detect    --series series.csv [--algorithm exact|approx]
+//                      [--margin 0] [--criterion aic|aicc|bic]
+//                      [--kind slope|level|pulse|auto] [--seasonal true]
+//                      [--min-tail 1] [--max-breaks 1]
+//   mictrend pipeline  --corpus corpus.csv   (reproduce + detect +
+//                      classify, printed as a report)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "medmodel/series_io.h"
+#include "medmodel/timeseries.h"
+#include "mic/io.h"
+#include "ssm/changepoint.h"
+#include "stats/metrics.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "synth/world_io.h"
+#include "tools/flags.h"
+#include "trend/report_io.h"
+#include "trend/trend_analyzer.h"
+
+namespace mic::tools {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mictrend <generate|stats|reproduce|detect|pipeline> "
+      "[--flags]\n"
+      "  generate  --out corpus.csv [--world world.cfg]\n"
+      "            [--hospitals-out h.csv] [--months 43]\n"
+      "            [--patients 2000] [--background 40] [--seed 20190411]\n"
+      "  stats     --corpus corpus.csv\n"
+      "  reproduce --corpus corpus.csv --out series.csv [--min-total 10]\n"
+      "            [--coupling 0] [--model proposed|cooccurrence]\n"
+      "  detect    --series series.csv [--algorithm exact|approx]\n"
+      "            [--margin 0] [--criterion aic|aicc|bic]\n"
+      "            [--kind slope|level|pulse|auto] [--seasonal true]\n"
+      "            [--min-tail 1] [--max-breaks 1]\n"
+      "  pipeline  --corpus corpus.csv [--min-total 10] [--out report.csv]\n");
+  return 2;
+}
+
+Result<synth::GeneratedData> GenerateFromFlags(const Flags& flags) {
+  synth::WorldConfig config;
+  if (flags.Has("world")) {
+    // Custom world from the world_io text format.
+    MIC_ASSIGN_OR_RETURN(
+        config, synth::ReadWorldConfigFile(flags.GetString("world")));
+  } else {
+    synth::PaperWorldOptions options;
+    MIC_ASSIGN_OR_RETURN(std::int64_t months, flags.GetInt("months", 43));
+    MIC_ASSIGN_OR_RETURN(std::int64_t patients,
+                         flags.GetInt("patients", 2000));
+    MIC_ASSIGN_OR_RETURN(std::int64_t background,
+                         flags.GetInt("background", 40));
+    MIC_ASSIGN_OR_RETURN(std::int64_t seed,
+                         flags.GetInt("seed", 20190411));
+    options.num_months = static_cast<int>(months);
+    options.num_patients = static_cast<std::size_t>(patients);
+    options.num_background_diseases = static_cast<std::size_t>(background);
+    options.seed = static_cast<std::uint64_t>(seed);
+    config = synth::MakePaperWorldConfig(options);
+  }
+  MIC_ASSIGN_OR_RETURN(std::int64_t seed_override,
+                       flags.GetInt("seed", 0));
+  if (flags.Has("world") && seed_override != 0) {
+    config.seed = static_cast<std::uint64_t>(seed_override);
+  }
+  MIC_ASSIGN_OR_RETURN(synth::World world,
+                       synth::World::Create(std::move(config)));
+  synth::ClaimGenerator generator(&world);
+  return generator.Generate();
+}
+
+int RunGenerate(const Flags& flags) {
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  auto data = GenerateFromFlags(flags);
+  if (!data.ok()) return Fail(data.status());
+  if (Status status = WriteCorpusCsvFile(data->corpus, out_path);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %zu records over %zu months to %s\n",
+              data->corpus.TotalRecords(), data->corpus.num_months(),
+              out_path.c_str());
+  const std::string hospitals_path = flags.GetString("hospitals-out");
+  if (!hospitals_path.empty()) {
+    std::ofstream out(hospitals_path);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + hospitals_path));
+    }
+    if (Status status =
+            WriteHospitalsCsv(data->corpus.catalog(), out);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote hospital attributes to %s\n",
+                hospitals_path.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  const std::string corpus_path = flags.GetString("corpus");
+  if (corpus_path.empty()) {
+    std::fprintf(stderr, "stats: --corpus is required\n");
+    return 2;
+  }
+  auto corpus = ReadCorpusCsvFile(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  std::printf("months: %zu\nrecords: %zu\n", corpus->num_months(),
+              corpus->TotalRecords());
+  double mean_diseases = 0.0;
+  double mean_medicines = 0.0;
+  std::size_t nonempty = 0;
+  for (std::size_t t = 0; t < corpus->num_months(); ++t) {
+    const MonthlyDataset& month = corpus->month(t);
+    if (month.empty()) continue;
+    mean_diseases += month.MeanDiseasesPerRecord();
+    mean_medicines += month.MeanMedicinesPerRecord();
+    ++nonempty;
+    std::printf("  month %2zu: %6zu records, %5zu diseases, %5zu "
+                "medicines\n",
+                t, month.size(), month.CountDistinctDiseases(),
+                month.CountDistinctMedicines());
+  }
+  if (nonempty > 0) {
+    std::printf("mean diseases/record: %.3f\nmean medicines/record: %.3f\n",
+                mean_diseases / static_cast<double>(nonempty),
+                mean_medicines / static_cast<double>(nonempty));
+  }
+  return 0;
+}
+
+int RunReproduce(const Flags& flags) {
+  const std::string corpus_path = flags.GetString("corpus");
+  const std::string out_path = flags.GetString("out");
+  if (corpus_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "reproduce: --corpus and --out are required\n");
+    return 2;
+  }
+  auto corpus = ReadCorpusCsvFile(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  medmodel::ReproducerOptions options;
+  auto min_total = flags.GetDouble("min-total", 10.0);
+  if (!min_total.ok()) return Fail(min_total.status());
+  options.min_series_total = *min_total;
+  auto coupling = flags.GetDouble("coupling", 0.0);
+  if (!coupling.ok()) return Fail(coupling.status());
+  options.model_options.prior_strength = *coupling;
+  const std::string model = flags.GetString("model", "proposed");
+  if (model == "cooccurrence") {
+    options.model_kind = medmodel::LinkModelKind::kCooccurrence;
+  } else if (model != "proposed") {
+    std::fprintf(stderr, "reproduce: unknown --model '%s'\n",
+                 model.c_str());
+    return 2;
+  }
+
+  auto series = medmodel::ReproduceSeries(*corpus, options);
+  if (!series.ok()) return Fail(series.status());
+  if (Status status = medmodel::WriteSeriesCsvFile(
+          *series, corpus->catalog(), out_path);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %zu disease, %zu medicine, %zu prescription series "
+              "to %s\n",
+              series->num_diseases(), series->num_medicines(),
+              series->num_pairs(), out_path.c_str());
+  return 0;
+}
+
+Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
+    const Flags& flags) {
+  ssm::ChangePointOptions options;
+  options.seasonal = flags.GetBool("seasonal", true);
+  MIC_ASSIGN_OR_RETURN(double margin, flags.GetDouble("margin", 0.0));
+  options.aic_margin = margin;
+  MIC_ASSIGN_OR_RETURN(std::int64_t min_tail, flags.GetInt("min-tail", 1));
+  options.min_tail_observations = static_cast<int>(min_tail);
+  const std::string criterion = flags.GetString("criterion", "aic");
+  if (criterion == "aic") {
+    options.criterion = ssm::SelectionCriterion::kAic;
+  } else if (criterion == "aicc") {
+    options.criterion = ssm::SelectionCriterion::kAicc;
+  } else if (criterion == "bic") {
+    options.criterion = ssm::SelectionCriterion::kBic;
+  } else {
+    return Status::InvalidArgument("unknown --criterion: " + criterion);
+  }
+  const std::string kind = flags.GetString("kind", "slope");
+  if (kind == "slope") {
+    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift};
+  } else if (kind == "level") {
+    options.candidate_kinds = {ssm::InterventionKind::kLevelShift};
+  } else if (kind == "pulse") {
+    options.candidate_kinds = {ssm::InterventionKind::kPulse};
+  } else if (kind == "auto") {
+    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift,
+                               ssm::InterventionKind::kLevelShift};
+  } else {
+    return Status::InvalidArgument("unknown --kind: " + kind);
+  }
+  return options;
+}
+
+int RunDetect(const Flags& flags) {
+  const std::string series_path = flags.GetString("series");
+  if (series_path.empty()) {
+    std::fprintf(stderr, "detect: --series is required\n");
+    return 2;
+  }
+  Catalog catalog;
+  auto series = medmodel::ReadSeriesCsvFile(series_path, catalog);
+  if (!series.ok()) return Fail(series.status());
+
+  auto options = DetectorOptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status());
+  const bool exact = flags.GetString("algorithm", "exact") != "approx";
+  auto max_breaks = flags.GetInt("max-breaks", 1);
+  if (!max_breaks.ok()) return Fail(max_breaks.status());
+
+  trend::TrendAnalyzerOptions analyzer_options;
+  analyzer_options.detector = *options;
+  analyzer_options.use_approximate = !exact;
+  trend::TrendAnalyzer analyzer(analyzer_options);
+
+  std::printf("kind,disease,medicine,change,month,lambda,criterion,"
+              "criterion_no_change\n");
+  auto emit = [&](trend::SeriesKind kind, DiseaseId d, MedicineId m,
+                  const std::vector<double>& values) {
+    const char* kind_name =
+        kind == trend::SeriesKind::kDisease
+            ? "disease"
+            : (kind == trend::SeriesKind::kMedicine ? "medicine"
+                                                    : "prescription");
+    if (*max_breaks > 1) {
+      // Multi-break report: run the greedy extension directly.
+      std::vector<double> normalized = values;
+      const double sd = stats::StdDev(values);
+      if (sd > 0.0) {
+        for (double& value : normalized) value /= sd;
+      }
+      ssm::ChangePointDetector detector(normalized, *options);
+      auto result = detector.DetectMultiple(static_cast<int>(*max_breaks));
+      if (!result.ok()) return;
+      std::string months;
+      std::string lambdas;
+      for (std::size_t k = 0; k < result->interventions.size(); ++k) {
+        if (k > 0) {
+          months += '|';
+          lambdas += '|';
+        }
+        months += std::to_string(result->interventions[k].change_point);
+        lambdas += StrFormat(
+            "%.3f", (k < result->best_model.lambdas.size()
+                         ? result->best_model.lambdas[k] * sd
+                         : 0.0));
+      }
+      std::printf("%s,%s,%s,%d,%s,%s,%.3f,%.3f\n", kind_name,
+                  kind != trend::SeriesKind::kMedicine
+                      ? catalog.diseases().Name(d).c_str()
+                      : "-",
+                  kind != trend::SeriesKind::kDisease
+                      ? catalog.medicines().Name(m).c_str()
+                      : "-",
+                  result->interventions.empty() ? 0 : 1,
+                  months.empty() ? "-" : months.c_str(),
+                  lambdas.empty() ? "-" : lambdas.c_str(),
+                  result->best_aic, result->aic_without_intervention);
+      return;
+    }
+    auto analysis = analyzer.AnalyzeSeries(kind, d, m, values);
+    if (!analysis.ok()) return;
+    std::printf("%s,%s,%s,%d,%d,%.3f,%.3f,%.3f\n", kind_name,
+                kind != trend::SeriesKind::kMedicine
+                    ? catalog.diseases().Name(d).c_str()
+                    : "-",
+                kind != trend::SeriesKind::kDisease
+                    ? catalog.medicines().Name(m).c_str()
+                    : "-",
+                analysis->has_change ? 1 : 0, analysis->change_point,
+                analysis->lambda, analysis->aic,
+                analysis->aic_without_intervention);
+  };
+
+  series->ForEachDisease([&](DiseaseId d, const std::vector<double>& v) {
+    emit(trend::SeriesKind::kDisease, d, MedicineId(), v);
+  });
+  series->ForEachMedicine([&](MedicineId m, const std::vector<double>& v) {
+    emit(trend::SeriesKind::kMedicine, DiseaseId(), m, v);
+  });
+  series->ForEachPair(
+      [&](DiseaseId d, MedicineId m, const std::vector<double>& v) {
+        emit(trend::SeriesKind::kPrescription, d, m, v);
+      });
+  return 0;
+}
+
+int RunPipeline(const Flags& flags) {
+  const std::string corpus_path = flags.GetString("corpus");
+  if (corpus_path.empty()) {
+    std::fprintf(stderr, "pipeline: --corpus is required\n");
+    return 2;
+  }
+  auto corpus = ReadCorpusCsvFile(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  medmodel::ReproducerOptions reproducer;
+  auto min_total = flags.GetDouble("min-total", 10.0);
+  if (!min_total.ok()) return Fail(min_total.status());
+  reproducer.min_series_total = *min_total;
+  auto series = medmodel::ReproduceSeries(*corpus, reproducer);
+  if (!series.ok()) return Fail(series.status());
+  std::printf("reproduced %zu disease, %zu medicine, %zu prescription "
+              "series\n",
+              series->num_diseases(), series->num_medicines(),
+              series->num_pairs());
+
+  trend::TrendAnalyzer analyzer;
+  auto report = analyzer.AnalyzeAll(*series);
+  if (!report.ok()) return Fail(report.status());
+
+  const Catalog& catalog = corpus->catalog();
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    if (Status status = trend::WriteReportCsvFile(*report, analyzer,
+                                                  catalog, out_path);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote analysis report to %s\n", out_path.c_str());
+  }
+  std::printf("\ndetected changes (pipeline defaults: Algorithm 2, "
+              "margin 4, tail 3):\n");
+  for (const trend::SeriesAnalysis& analysis : report->medicines) {
+    if (!analysis.has_change) continue;
+    std::printf("  medicine      %-32s month %2d  lambda %+8.2f\n",
+                catalog.medicines().Name(analysis.medicine).c_str(),
+                analysis.change_point, analysis.lambda);
+  }
+  for (const trend::SeriesAnalysis& analysis : report->diseases) {
+    if (!analysis.has_change) continue;
+    std::printf("  disease       %-32s month %2d  lambda %+8.2f\n",
+                catalog.diseases().Name(analysis.disease).c_str(),
+                analysis.change_point, analysis.lambda);
+  }
+  for (const trend::SeriesAnalysis& analysis : report->prescriptions) {
+    if (!analysis.has_change) continue;
+    const trend::ChangeCause cause =
+        analyzer.ClassifyPrescriptionChange(*report, analysis);
+    std::printf("  prescription  %s -> %s  month %2d  %s\n",
+                catalog.diseases().Name(analysis.disease).c_str(),
+                catalog.medicines().Name(analysis.medicine).c_str(),
+                analysis.change_point,
+                std::string(trend::ChangeCauseName(cause)).c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags.status().ToString().c_str());
+    return Usage();
+  }
+  const std::string& command = flags->command();
+  if (command == "generate") return RunGenerate(*flags);
+  if (command == "stats") return RunStats(*flags);
+  if (command == "reproduce") return RunReproduce(*flags);
+  if (command == "detect") return RunDetect(*flags);
+  if (command == "pipeline") return RunPipeline(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mic::tools
+
+int main(int argc, char** argv) { return mic::tools::Main(argc, argv); }
