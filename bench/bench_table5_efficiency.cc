@@ -5,12 +5,18 @@
 // log2(43) ~ 5.4-7.4 for approximate; the measured rates should land
 // near those regardless of absolute hardware speed.
 
+// A second section benchmarks the mic::runtime parallel dispatch of the
+// same per-series sweep: TrendAnalyzer::AnalyzeAll at 1 thread vs N
+// threads must produce bit-identical reports, with the speedup bounded
+// only by the hardware.
+
 #include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "ssm/changepoint.h"
 #include "ssm/fit.h"
+#include "trend/trend_analyzer.h"
 
 namespace mic {
 namespace {
@@ -96,6 +102,79 @@ void PrintRow(const char* type, const TimingRow& row) {
                         static_cast<double>(row.series_count));
 }
 
+bool AnalysesBitIdentical(const std::vector<trend::SeriesAnalysis>& a,
+                          const std::vector<trend::SeriesAnalysis>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || !(a[i].disease == b[i].disease) ||
+        !(a[i].medicine == b[i].medicine) ||
+        a[i].has_change != b[i].has_change ||
+        a[i].change_point != b[i].change_point ||
+        a[i].lambda != b[i].lambda || a[i].aic != b[i].aic ||
+        a[i].aic_without_intervention != b[i].aic_without_intervention ||
+        a[i].scale != b[i].scale ||
+        a[i].fits_performed != b[i].fits_performed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReportsBitIdentical(const trend::TrendReport& a,
+                         const trend::TrendReport& b) {
+  return AnalysesBitIdentical(a.diseases, b.diseases) &&
+         AnalysesBitIdentical(a.medicines, b.medicines) &&
+         AnalysesBitIdentical(a.prescriptions, b.prescriptions);
+}
+
+// The parallel per-series analysis stage: the full AnalyzeAll sweep
+// (pipeline defaults, Algorithm 2) at 1 thread vs `threads`.
+void MeasureParallelStage(const bench::BenchData& data, int threads) {
+  trend::TrendAnalyzerOptions options;
+  options.detector.fit = FitOptions();
+
+  const std::size_t series_count = data.series.num_diseases() +
+                                   data.series.num_medicines() +
+                                   data.series.num_pairs();
+  std::printf("\nParallel per-series analysis (mic::runtime, %zu series, "
+              "Algorithm 2):\n", series_count);
+
+  runtime::ThreadPool single(1);
+  trend::TrendAnalyzerOptions serial_options = options;
+  serial_options.pool = &single;
+  const auto serial_start = Clock::now();
+  auto serial_report =
+      trend::TrendAnalyzer(serial_options).AnalyzeAll(data.series);
+  const double serial_seconds =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+  MIC_CHECK(serial_report.ok()) << serial_report.status();
+
+  runtime::ThreadPool pool(threads);
+  trend::TrendAnalyzerOptions parallel_options = options;
+  parallel_options.pool = &pool;
+  const auto parallel_start = Clock::now();
+  auto parallel_report =
+      trend::TrendAnalyzer(parallel_options).AnalyzeAll(data.series);
+  const double parallel_seconds =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+  MIC_CHECK(parallel_report.ok()) << parallel_report.status();
+
+  const bool identical =
+      ReportsBitIdentical(*serial_report, *parallel_report);
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%d threads", pool.num_threads());
+  std::printf("  %-22s %9.3f s\n", "1 thread", serial_seconds);
+  std::printf("  %-22s %9.3f s  (speedup %5.2fx; %d hardware threads)\n",
+              label, parallel_seconds, speedup,
+              runtime::ThreadPool::HardwareConcurrency());
+  std::printf("  reports bit-identical: %s\n", identical ? "yes" : "NO");
+  MIC_CHECK(identical)
+      << "parallel AnalyzeAll diverged from the single-thread report";
+  bench::PrintRuntimeStatsJson("table5_parallel_analysis", pool.stats());
+}
+
 }  // namespace
 
 int Run() {
@@ -127,6 +206,15 @@ int Run() {
            Measure(bench::SampleSeries(
                bench::CollectPrescriptionSeries(data.series), cap,
                sample_seed + 2)));
+
+  // Default to 4 threads (the paper-scale reference point) even on
+  // narrower hardware, where the speedup degrades gracefully to ~1x but
+  // the bit-identical check still bites.
+  const int threads = scale.threads > 0
+                          ? scale.threads
+                          : std::max(4, runtime::ThreadPool::
+                                            HardwareConcurrency());
+  MeasureParallelStage(data, threads);
   return 0;
 }
 

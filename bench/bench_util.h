@@ -11,6 +11,10 @@
 //   MICTREND_BENCH_MAX_SERIES   per-type series cap for the fitting
 //                               experiments (default 60)
 //   MICTREND_BENCH_SEED         world/generator seed (default 20190411)
+//   MICTREND_BENCH_THREADS      mic::runtime pool width for the stages
+//                               that take one (default 0 = hardware
+//                               concurrency; 1 = today's inline path).
+//                               Outputs are bit-identical either way.
 
 #ifndef MICTREND_BENCH_BENCH_UTIL_H_
 #define MICTREND_BENCH_BENCH_UTIL_H_
@@ -24,6 +28,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "medmodel/timeseries.h"
+#include "runtime/thread_pool.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 
@@ -42,6 +47,8 @@ struct BenchScale {
   std::size_t background_diseases = 40;
   std::size_t max_series_per_type = 60;
   std::uint64_t seed = 20190411;
+  /// Pool width for parallel stages; 0 = hardware concurrency.
+  int threads = 0;
 
   static BenchScale FromEnv() {
     BenchScale scale;
@@ -53,9 +60,23 @@ struct BenchScale {
         EnvInt("MICTREND_BENCH_MAX_SERIES", 60));
     scale.seed =
         static_cast<std::uint64_t>(EnvInt("MICTREND_BENCH_SEED", 20190411));
+    scale.threads =
+        static_cast<int>(EnvInt("MICTREND_BENCH_THREADS", 0));
     return scale;
   }
+
+  /// The pool the scale asks for (callers own it).
+  runtime::ThreadPool MakePool() const {
+    return runtime::ThreadPool(threads);
+  }
 };
+
+/// One machine-readable line per bench binary so harnesses can scrape
+/// the runtime counters next to the human-readable tables.
+inline void PrintRuntimeStatsJson(const char* label,
+                                  const runtime::RuntimeStats& stats) {
+  std::printf("RUNTIME_STATS %s %s\n", label, stats.ToJson().c_str());
+}
 
 /// The benchmark world + generated data + reproduced series, built once
 /// per binary.
@@ -66,7 +87,8 @@ struct BenchData {
 };
 
 inline BenchData BuildBenchData(const BenchScale& scale,
-                                double min_series_total = 10.0) {
+                                double min_series_total = 10.0,
+                                runtime::ThreadPool* pool = nullptr) {
   synth::PaperWorldOptions options;
   options.num_months = 43;
   options.seed = scale.seed;
@@ -83,6 +105,7 @@ inline BenchData BuildBenchData(const BenchScale& scale,
   reproducer.filter_options.min_disease_count = 5;
   reproducer.filter_options.min_medicine_count = 5;
   reproducer.min_series_total = min_series_total;
+  reproducer.model_options.pool = pool;  // null = inline, same output
   auto series = medmodel::ReproduceSeries(generated->corpus, reproducer);
   MIC_CHECK(series.ok()) << series.status();
 

@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace mic {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes sink emission so messages logged from parallel runtime
+// stages never interleave mid-line. Each message is formatted into its
+// LogMessage-local buffer first, so the critical section is one write.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,6 +55,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    std::lock_guard<std::mutex> lock(SinkMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (fatal_) std::abort();

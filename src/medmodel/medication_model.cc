@@ -14,6 +14,18 @@ struct CompiledRecord {
   std::vector<std::pair<std::size_t, std::uint32_t>> medicines;
 };
 
+// Records per E-step reduction chunk. The chunking is fixed — never a
+// function of the thread count — and chunk partials are merged in chunk
+// order, which is what makes the fit bit-identical at any parallelism.
+constexpr std::size_t kEstepChunkRecords = 256;
+
+// Per-chunk E-step accumulator: expected counts and the chunk's
+// log-likelihood contribution.
+struct EstepShard {
+  std::vector<std::unordered_map<std::size_t, double>> next;
+  double log_likelihood = 0.0;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
@@ -107,33 +119,59 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     }
   }
 
-  // EM (Eqs. 5-6). Responsibilities are recomputed per (record, medicine)
-  // on the fly; expected counts accumulate into `next`.
+  // EM (Eqs. 5-6). The E step shards the record loop into fixed-size
+  // chunks (parallel when options.pool is set); each chunk accumulates
+  // responsibilities into its own shard, and the shards are merged into
+  // `next` in chunk order so the reduction is deterministic.
+  const std::size_t num_chunks =
+      (records.size() + kEstepChunkRecords - 1) / kEstepChunkRecords;
+  std::vector<EstepShard> shards(num_chunks);
+  for (EstepShard& shard : shards) shard.next.resize(num_diseases);
   std::vector<std::unordered_map<std::size_t, double>> next(num_diseases);
-  std::vector<double> responsibilities;
   double previous_log_likelihood = -std::numeric_limits<double>::infinity();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+        options.pool, 0, records.size(), kEstepChunkRecords,
+        [&records, &phi, &shards](std::size_t chunk_begin,
+                                  std::size_t chunk_end,
+                                  std::size_t chunk_index) {
+          EstepShard& shard = shards[chunk_index];
+          shard.log_likelihood = 0.0;
+          for (auto& row : shard.next) row.clear();
+          std::vector<double> responsibilities;
+          for (std::size_t r = chunk_begin; r < chunk_end; ++r) {
+            const CompiledRecord& record = records[r];
+            for (const auto& [m, count] : record.medicines) {
+              responsibilities.clear();
+              double denominator = 0.0;
+              for (const auto& [d, theta] : record.diseases) {
+                auto it = phi[d].find(m);
+                const double weight =
+                    theta * (it == phi[d].end() ? 0.0 : it->second);
+                responsibilities.push_back(weight);
+                denominator += weight;
+              }
+              if (denominator <= 0.0) continue;  // No support.
+              shard.log_likelihood +=
+                  static_cast<double>(count) * std::log(denominator);
+              for (std::size_t i = 0; i < record.diseases.size(); ++i) {
+                const double q = responsibilities[i] / denominator;
+                shard.next[record.diseases[i].first][m] +=
+                    static_cast<double>(count) * q;
+              }
+            }
+          }
+          return Status::OK();
+        },
+        "em-estep"));
+
     for (auto& row : next) row.clear();
     double log_likelihood = 0.0;
-
-    for (const CompiledRecord& record : records) {
-      for (const auto& [m, count] : record.medicines) {
-        responsibilities.clear();
-        double denominator = 0.0;
-        for (const auto& [d, theta] : record.diseases) {
-          auto it = phi[d].find(m);
-          const double weight =
-              theta * (it == phi[d].end() ? 0.0 : it->second);
-          responsibilities.push_back(weight);
-          denominator += weight;
-        }
-        if (denominator <= 0.0) continue;  // No support; contributes 0.
-        log_likelihood +=
-            static_cast<double>(count) * std::log(denominator);
-        for (std::size_t i = 0; i < record.diseases.size(); ++i) {
-          const double q = responsibilities[i] / denominator;
-          next[record.diseases[i].first][m] +=
-              static_cast<double>(count) * q;
+    for (const EstepShard& shard : shards) {
+      log_likelihood += shard.log_likelihood;
+      for (std::size_t d = 0; d < num_diseases; ++d) {
+        for (const auto& [m, value] : shard.next[d]) {
+          next[d][m] += value;
         }
       }
     }
@@ -168,24 +206,40 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
   model->stats_.final_log_likelihood = previous_log_likelihood;
 
   // Final responsibilities accumulate the per-pair prescription counts
-  // x_dm (Eq. 7).
-  for (std::size_t r = 0; r < records.size(); ++r) {
-    const CompiledRecord& record = records[r];
-    for (const auto& [m, count] : record.medicines) {
-      double denominator = 0.0;
-      for (const auto& [d, theta] : record.diseases) {
-        auto it = phi[d].find(m);
-        if (it != phi[d].end()) denominator += theta * it->second;
-      }
-      if (denominator <= 0.0) continue;
-      for (const auto& [d, theta] : record.diseases) {
-        auto it = phi[d].find(m);
-        if (it == phi[d].end()) continue;
-        const double q = theta * it->second / denominator;
-        model->pair_counts_.Add(slot_to_disease[d], slot_to_medicine[m],
-                                static_cast<double>(count) * q);
-      }
-    }
+  // x_dm (Eq. 7), sharded over the same fixed chunks as the E step and
+  // merged in chunk order.
+  std::vector<PairCounts> count_shards(num_chunks);
+  MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+      options.pool, 0, records.size(), kEstepChunkRecords,
+      [&records, &phi, &count_shards, &slot_to_disease, &slot_to_medicine](
+          std::size_t chunk_begin, std::size_t chunk_end,
+          std::size_t chunk_index) {
+        PairCounts& local = count_shards[chunk_index];
+        for (std::size_t r = chunk_begin; r < chunk_end; ++r) {
+          const CompiledRecord& record = records[r];
+          for (const auto& [m, count] : record.medicines) {
+            double denominator = 0.0;
+            for (const auto& [d, theta] : record.diseases) {
+              auto it = phi[d].find(m);
+              if (it != phi[d].end()) denominator += theta * it->second;
+            }
+            if (denominator <= 0.0) continue;
+            for (const auto& [d, theta] : record.diseases) {
+              auto it = phi[d].find(m);
+              if (it == phi[d].end()) continue;
+              const double q = theta * it->second / denominator;
+              local.Add(slot_to_disease[d], slot_to_medicine[m],
+                        static_cast<double>(count) * q);
+            }
+          }
+        }
+        return Status::OK();
+      },
+      "em-pair-counts"));
+  for (const PairCounts& local : count_shards) {
+    local.ForEach([&model](DiseaseId d, MedicineId m, double value) {
+      model->pair_counts_.Add(d, m, value);
+    });
   }
 
   // Store smoothed phi: a fraction `phi_smoothing` of each disease's

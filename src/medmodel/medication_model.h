@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "medmodel/link_model.h"
 #include "mic/dataset.h"
+#include "runtime/thread_pool.h"
 
 namespace mic::medmodel {
 
@@ -38,6 +39,11 @@ struct MedicationModelOptions {
   /// counts — a Dirichlet(alpha * phi_prev) MAP prior that stabilizes
   /// sparse months. 0 restores the paper's independent monthly fits.
   double prior_strength = 0.0;
+  /// Execution pool for the E-step record shards (not owned; null runs
+  /// inline). The records are always reduced in fixed-size chunks
+  /// merged in chunk order, so the fit is bit-identical at any thread
+  /// count — including the null-pool inline path.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Fit diagnostics.

@@ -1,0 +1,58 @@
+// Deterministic per-task RNG seed splitting.
+//
+// A parallel stage that samples must give every task its own stream:
+// sharing one Rng across threads would race, and handing out streams in
+// scheduling order would tie the results to the thread count. Deriving
+// each task's seed purely from (base_seed, task_index) — the SplitMix64
+// finalizer over the pair, the same mixer Rng itself uses to expand
+// seeds — keeps streams decorrelated and the results bit-identical at
+// any thread count.
+
+#ifndef MICTREND_RUNTIME_TASK_SEED_H_
+#define MICTREND_RUNTIME_TASK_SEED_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+
+namespace mic::runtime {
+
+/// Derives an independent seed for task `task_index` under `base_seed`.
+/// Pure function: the same pair always yields the same seed.
+inline std::uint64_t SplitTaskSeed(std::uint64_t base_seed,
+                                   std::uint64_t task_index) {
+  std::uint64_t z =
+      base_seed + 0x9E3779B97F4A7C15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// An Rng seeded for one task.
+inline Rng MakeTaskRng(std::uint64_t base_seed, std::uint64_t task_index) {
+  return Rng(SplitTaskSeed(base_seed, task_index));
+}
+
+/// ParallelFor whose chunks each receive their own deterministic Rng,
+/// seeded from (base_seed, chunk_index).
+/// fn(chunk_begin, chunk_end, chunk_index, rng).
+inline Status ParallelForSeeded(
+    ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    std::uint64_t base_seed,
+    const std::function<Status(std::size_t, std::size_t, std::size_t, Rng&)>&
+        fn,
+    std::string_view stage = "parallel_for_seeded") {
+  return ParallelFor(
+      pool, begin, end, chunk,
+      [&fn, base_seed](std::size_t chunk_begin, std::size_t chunk_end,
+                       std::size_t chunk_index) {
+        Rng rng = MakeTaskRng(base_seed, chunk_index);
+        return fn(chunk_begin, chunk_end, chunk_index, rng);
+      },
+      stage);
+}
+
+}  // namespace mic::runtime
+
+#endif  // MICTREND_RUNTIME_TASK_SEED_H_

@@ -1,0 +1,291 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "common/strings.h"
+
+namespace mic::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// The pool whose task is executing on this thread (nested-use guard).
+thread_local const ThreadPool* tl_current_pool = nullptr;
+
+// Runs one chunk, converting any escaping exception into a Status so it
+// can cross the thread boundary as a value.
+Status RunOneChunk(const ThreadPool::ChunkFn& fn, std::size_t begin,
+                   std::size_t end, std::size_t index) {
+  try {
+    return fn(begin, end, index);
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        std::string("uncaught exception in ParallelFor task: ") + e.what());
+  } catch (...) {
+    return Status::Internal(
+        "uncaught non-standard exception in ParallelFor task");
+  }
+}
+
+Status ValidateRange(std::size_t begin, std::size_t end, std::size_t chunk) {
+  if (chunk == 0) {
+    return Status::InvalidArgument("ParallelFor chunk must be positive");
+  }
+  if (end < begin) {
+    return Status::InvalidArgument("ParallelFor range end precedes begin");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StageStats RuntimeStats::Totals() const {
+  StageStats totals;
+  for (const StageStats& stage : stages) {
+    totals.calls += stage.calls;
+    totals.tasks += stage.tasks;
+    totals.items += stage.items;
+    totals.wall_seconds += stage.wall_seconds;
+    totals.busy_seconds += stage.busy_seconds;
+    totals.wait_seconds += stage.wait_seconds;
+  }
+  return totals;
+}
+
+std::string RuntimeStats::ToJson() const {
+  std::string json = "{\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageStats& stage = stages[i];
+    if (i > 0) json += ',';
+    json += StrFormat(
+        "{\"stage\":\"%s\",\"calls\":%zu,\"tasks\":%zu,\"items\":%zu,"
+        "\"wall_seconds\":%.6f,\"busy_seconds\":%.6f,"
+        "\"wait_seconds\":%.6f}",
+        stage.stage.c_str(), stage.calls, stage.tasks, stage.items,
+        stage.wall_seconds, stage.busy_seconds, stage.wait_seconds);
+  }
+  json += "]}";
+  return json;
+}
+
+struct ThreadPool::Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  const ChunkFn* fn = nullptr;
+  Clock::time_point publish_time;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+  /// Workers currently inside RunChunks; guarded by the pool's mu_.
+  int active_workers = 0;
+
+  std::mutex result_mu;
+  bool has_error = false;
+  std::size_t error_chunk = 0;
+  Status error;
+
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> wait_ns{0};
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareConcurrency();
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_id_ != last_seen);
+      });
+      if (shutdown_) return;
+      job = job_;
+      last_seen = job_id_;
+      ++job->active_workers;
+    }
+    tl_current_pool = this;
+    RunChunks(*job);
+    tl_current_pool = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active_workers;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  bool first_chunk = true;
+  while (!job.cancelled.load(std::memory_order_acquire)) {
+    const std::size_t index =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.num_chunks) break;
+    const auto start = Clock::now();
+    if (first_chunk) {
+      first_chunk = false;
+      job.wait_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  start - job.publish_time)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+    const std::size_t chunk_begin = job.begin + index * job.chunk;
+    const std::size_t chunk_end =
+        std::min(job.end, chunk_begin + job.chunk);
+    Status status = RunOneChunk(*job.fn, chunk_begin, chunk_end, index);
+    job.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count()),
+        std::memory_order_relaxed);
+    job.tasks.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(job.result_mu);
+      if (!job.has_error || index < job.error_chunk) {
+        job.has_error = true;
+        job.error_chunk = index;
+        job.error = std::move(status);
+      }
+      job.cancelled.store(true, std::memory_order_release);
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                               std::size_t chunk, const ChunkFn& fn,
+                               std::string_view stage) {
+  MIC_RETURN_IF_ERROR(ValidateRange(begin, end, chunk));
+  if (tl_current_pool == this) {
+    return Status::FailedPrecondition(
+        "nested ParallelFor on the same pool would deadlock; run the "
+        "inner loop inline or on a different pool");
+  }
+  if (begin == end) return Status::OK();
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->chunk = chunk;
+  job->num_chunks = (end - begin + chunk - 1) / chunk;
+  job->fn = &fn;
+  const auto wall_start = Clock::now();
+  job->publish_time = wall_start;
+
+  const bool publish = !workers_.empty() && job->num_chunks > 1;
+  if (publish) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++job_id_;
+    }
+    work_cv_.notify_all();
+  }
+
+  // The caller participates; mark it so tasks that re-enter are caught.
+  const ThreadPool* previous = tl_current_pool;
+  tl_current_pool = this;
+  RunChunks(*job);
+  tl_current_pool = previous;
+
+  if (publish) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Unpublish first so idle workers stop joining, then drain the ones
+    // already inside.
+    if (job_ == job) job_.reset();
+    done_cv_.wait(lock, [&] { return job->active_workers == 0; });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    StageStats* entry = nullptr;
+    for (StageStats& existing : stats_.stages) {
+      if (existing.stage == stage) {
+        entry = &existing;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      stats_.stages.emplace_back();
+      entry = &stats_.stages.back();
+      entry->stage = std::string(stage);
+    }
+    entry->calls += 1;
+    entry->tasks += static_cast<std::size_t>(
+        job->tasks.load(std::memory_order_relaxed));
+    entry->items += end - begin;
+    entry->wall_seconds += Seconds(Clock::now() - wall_start);
+    entry->busy_seconds +=
+        static_cast<double>(job->busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    entry->wait_seconds +=
+        static_cast<double>(job->wait_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+
+  // All participants are done: the error fields are stable without the
+  // result mutex.
+  if (job->has_error) return job->error;
+  return Status::OK();
+}
+
+RuntimeStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ThreadPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.stages.clear();
+}
+
+Status ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                   std::size_t chunk, const ThreadPool::ChunkFn& fn,
+                   std::string_view stage) {
+  if (pool != nullptr) {
+    return pool->ParallelFor(begin, end, chunk, fn, stage);
+  }
+  MIC_RETURN_IF_ERROR(ValidateRange(begin, end, chunk));
+  const std::size_t num_chunks =
+      begin == end ? 0 : (end - begin + chunk - 1) / chunk;
+  for (std::size_t index = 0; index < num_chunks; ++index) {
+    const std::size_t chunk_begin = begin + index * chunk;
+    const std::size_t chunk_end = std::min(end, chunk_begin + chunk);
+    MIC_RETURN_IF_ERROR(RunOneChunk(fn, chunk_begin, chunk_end, index));
+  }
+  return Status::OK();
+}
+
+}  // namespace mic::runtime

@@ -1,0 +1,142 @@
+// Deterministic parallel execution runtime (mic::runtime).
+//
+// The paper's workload is embarrassingly parallel at two layers: the EM
+// E-step iterates hundreds of thousands of claim records per month and
+// change detection runs an independent Kalman/AIC sweep per series.
+// ThreadPool::ParallelFor farms fixed-size chunks of an index range out
+// to a fixed set of workers. The chunk decomposition depends only on
+// (range, chunk) — never on the thread count or on scheduling — so a
+// caller that reduces per-chunk partial results in chunk-index order
+// gets bit-identical output at any thread count, including the inline
+// single-threaded path used when no pool is supplied.
+//
+// Error model: the first failing chunk (lowest chunk index among the
+// failures observed) wins; its Status is returned and remaining chunks
+// are cooperatively cancelled. Exceptions escaping a task are caught at
+// the chunk boundary and surfaced as an Internal Status — consistent
+// with the library-wide "no exceptions cross public APIs" rule, and
+// necessary anyway because an exception unwinding out of a worker
+// thread would terminate the process.
+
+#ifndef MICTREND_RUNTIME_THREAD_POOL_H_
+#define MICTREND_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mic::runtime {
+
+/// Counters and timers for one named stage, aggregated over every
+/// ParallelFor call that used the stage name.
+struct StageStats {
+  std::string stage;
+  /// ParallelFor invocations.
+  std::size_t calls = 0;
+  /// Chunks executed (cancelled chunks are not counted).
+  std::size_t tasks = 0;
+  /// Range items covered (end - begin summed over calls).
+  std::size_t items = 0;
+  /// Wall time of the ParallelFor calls (caller-observed).
+  double wall_seconds = 0.0;
+  /// Total in-chunk execution time summed over all threads; with
+  /// perfect scaling busy/wall approaches the thread count.
+  double busy_seconds = 0.0;
+  /// Scheduling latency: per participating thread, time from job
+  /// publication to its first chunk starting (queue/wakeup wait).
+  double wait_seconds = 0.0;
+};
+
+/// Snapshot of a pool's per-stage activity.
+struct RuntimeStats {
+  std::vector<StageStats> stages;
+
+  /// Sums every stage into one anonymous StageStats.
+  StageStats Totals() const;
+
+  /// One-line JSON for bench output, e.g.
+  /// {"stages":[{"stage":"trend-analyze","calls":1,...}]}.
+  std::string ToJson() const;
+};
+
+/// Fixed-size pool. `num_threads` is the total parallelism including
+/// the calling thread: a pool of 1 spawns no workers and runs every
+/// chunk inline, preserving exact single-threaded behavior.
+class ThreadPool {
+ public:
+  /// fn(chunk_begin, chunk_end, chunk_index): processes one half-open
+  /// index chunk. chunk_index identifies the chunk deterministically
+  /// (chunk i covers [begin + i*chunk, min(end, begin + (i+1)*chunk))).
+  using ChunkFn =
+      std::function<Status(std::size_t, std::size_t, std::size_t)>;
+
+  /// num_threads <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  int num_threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareConcurrency();
+
+  /// Runs fn over [begin, end) in chunks of `chunk` items. Blocks until
+  /// every chunk has finished or been cancelled. The calling thread
+  /// participates. Returns the first error by chunk index; on error the
+  /// remaining chunks are skipped. Rejects nested use: calling
+  /// ParallelFor from inside a task of the same pool returns
+  /// FailedPrecondition (the task would deadlock waiting for workers
+  /// that are busy running it).
+  Status ParallelFor(std::size_t begin, std::size_t end, std::size_t chunk,
+                     const ChunkFn& fn,
+                     std::string_view stage = "parallel_for");
+
+  /// Per-stage counters accumulated since construction / ResetStats.
+  RuntimeStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a job
+  std::condition_variable done_cv_;  // the caller waits for completion
+  std::shared_ptr<Job> job_;         // currently published job
+  std::uint64_t job_id_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+};
+
+/// Pool-optional ParallelFor: dispatches to `pool` when one is given,
+/// otherwise runs the identical chunk decomposition inline (sequential,
+/// first error cancels the rest). Library stages take a nullable pool
+/// and call this, so the no-pool, one-thread, and N-thread paths all
+/// reduce over the same chunks and stay bit-identical.
+Status ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                   std::size_t chunk, const ThreadPool::ChunkFn& fn,
+                   std::string_view stage = "parallel_for");
+
+}  // namespace mic::runtime
+
+#endif  // MICTREND_RUNTIME_THREAD_POOL_H_

@@ -124,6 +124,9 @@ class ChangePointDetector {
   /// Distinct fits performed so far on this instance.
   int fits_performed() const { return fits_performed_; }
 
+  /// The series this detector owns (as passed in, e.g. normalized).
+  const std::vector<double>& series() const { return series_; }
+
   /// Clears the memo (e.g. to time exact and approximate independently).
   void ResetCache();
 

@@ -4,10 +4,21 @@ namespace mic::trend {
 
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
                                    const PipelineOptions& options) {
-  MIC_ASSIGN_OR_RETURN(
-      medmodel::SeriesSet series,
-      medmodel::ReproduceSeries(corpus, options.reproducer));
-  TrendAnalyzer analyzer(options.analyzer);
+  // Propagate the shared pool into both stages unless a stage already
+  // carries its own.
+  medmodel::ReproducerOptions reproducer = options.reproducer;
+  TrendAnalyzerOptions analyzer_options = options.analyzer;
+  if (options.pool != nullptr) {
+    if (reproducer.model_options.pool == nullptr) {
+      reproducer.model_options.pool = options.pool;
+    }
+    if (analyzer_options.pool == nullptr) {
+      analyzer_options.pool = options.pool;
+    }
+  }
+  MIC_ASSIGN_OR_RETURN(medmodel::SeriesSet series,
+                       medmodel::ReproduceSeries(corpus, reproducer));
+  TrendAnalyzer analyzer(analyzer_options);
   MIC_ASSIGN_OR_RETURN(TrendReport report, analyzer.AnalyzeAll(series));
   return PipelineResult{std::move(series), std::move(report)};
 }

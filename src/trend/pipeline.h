@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/dataset.h"
+#include "runtime/thread_pool.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic::trend {
@@ -14,6 +15,11 @@ namespace mic::trend {
 struct PipelineOptions {
   medmodel::ReproducerOptions reproducer;
   TrendAnalyzerOptions analyzer;
+  /// Shared execution pool for both stages (not owned; null runs the
+  /// whole pipeline inline). Propagated to the EM fits and the
+  /// per-series change detection unless those options already carry
+  /// their own pool. Output is bit-identical at any thread count.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// The pipeline's artifacts: the reproduced series (kept for follow-up

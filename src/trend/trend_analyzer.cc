@@ -44,15 +44,17 @@ std::size_t TrendReport::CountChanges(SeriesKind kind) const {
 
 Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
     SeriesKind kind, DiseaseId d, MedicineId m,
-    const std::vector<double>& series) const {
+    std::span<const double> series) const {
   SeriesAnalysis analysis;
   analysis.kind = kind;
   analysis.disease = d;
   analysis.medicine = m;
 
-  std::vector<double> working = series;
+  // The single working copy on this hot path; the detector takes
+  // ownership and keeps serving it via series().
+  std::vector<double> working(series.begin(), series.end());
   if (options_.normalize) {
-    const double sd = stats::StdDev(series);
+    const double sd = stats::StdDev(working);
     if (sd > 0.0) {
       analysis.scale = sd;
       for (double& value : working) value /= sd;
@@ -72,10 +74,10 @@ Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
   analysis.fits_performed = detected->fits_performed;
 
   if (detected->has_change) {
-    // The smoothed intervention coefficient, rescaled to original units.
-    std::vector<double> normalized = series;
-    for (double& value : normalized) value /= analysis.scale;
-    auto decomposition = ssm::Decompose(detected->best_model, normalized);
+    // The smoothed intervention coefficient, rescaled to original
+    // units; detector.series() is exactly the normalized series.
+    auto decomposition =
+        ssm::Decompose(detected->best_model, detector.series());
     if (decomposition.ok()) {
       analysis.lambda = decomposition->lambda * analysis.scale;
     }
@@ -83,43 +85,91 @@ Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
   return analysis;
 }
 
+namespace {
+
+// One per-series fit dispatched to the pool. The series is referenced,
+// not copied: the SeriesSet outlives the dispatch.
+struct SeriesTask {
+  SeriesKind kind;
+  DiseaseId disease;
+  MedicineId medicine;
+  const std::vector<double>* series;
+};
+
+}  // namespace
+
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     const medmodel::SeriesSet& set) const {
-  TrendReport report;
+  // Collect every series in the serial traversal order; that order also
+  // assembles the report below, so the result does not depend on which
+  // thread fits which series.
+  std::vector<SeriesTask> tasks;
+  tasks.reserve(set.num_diseases() + set.num_medicines() +
+                set.num_pairs());
+  set.ForEachDisease([&tasks](DiseaseId d,
+                              const std::vector<double>& series) {
+    tasks.push_back({SeriesKind::kDisease, d, MedicineId(), &series});
+  });
+  set.ForEachMedicine([&tasks](MedicineId m,
+                               const std::vector<double>& series) {
+    tasks.push_back({SeriesKind::kMedicine, DiseaseId(), m, &series});
+  });
+  set.ForEachPair([&tasks](DiseaseId d, MedicineId m,
+                           const std::vector<double>& series) {
+    tasks.push_back({SeriesKind::kPrescription, d, m, &series});
+  });
 
+  // One series per chunk: each fit costs milliseconds, so per-task
+  // dispatch overhead is noise and the pool load-balances freely.
+  std::vector<SeriesAnalysis> analyses(tasks.size());
+  std::vector<Status> statuses(tasks.size());
+  MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+      options_.pool, 0, tasks.size(), 1,
+      [this, &tasks, &analyses, &statuses](std::size_t chunk_begin,
+                                           std::size_t chunk_end,
+                                           std::size_t) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const SeriesTask& task = tasks[i];
+          auto analysis = AnalyzeSeries(task.kind, task.disease,
+                                        task.medicine, *task.series);
+          if (analysis.ok()) {
+            analyses[i] = std::move(*analysis);
+          } else {
+            statuses[i] = analysis.status();
+          }
+        }
+        return Status::OK();
+      },
+      "trend-analyze"));
+
+  // Assemble in task order; keep the serial error policy (the first
+  // non-InvalidArgument failure wins, degenerate series are skipped).
+  TrendReport report;
   Status first_error = Status::OK();
-  set.ForEachDisease([&](DiseaseId d, const std::vector<double>& series) {
-    auto analysis =
-        AnalyzeSeries(SeriesKind::kDisease, d, MedicineId(), series);
-    if (analysis.ok()) {
-      report.disease_index.emplace(d, report.diseases.size());
-      report.diseases.push_back(*analysis);
-    } else if (first_error.ok() &&
-               analysis.status().code() != StatusCode::kInvalidArgument) {
-      first_error = analysis.status();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!statuses[i].ok()) {
+      if (first_error.ok() &&
+          statuses[i].code() != StatusCode::kInvalidArgument) {
+        first_error = statuses[i];
+      }
+      continue;
     }
-  });
-  set.ForEachMedicine([&](MedicineId m, const std::vector<double>& series) {
-    auto analysis =
-        AnalyzeSeries(SeriesKind::kMedicine, DiseaseId(), m, series);
-    if (analysis.ok()) {
-      report.medicine_index.emplace(m, report.medicines.size());
-      report.medicines.push_back(*analysis);
-    } else if (first_error.ok() &&
-               analysis.status().code() != StatusCode::kInvalidArgument) {
-      first_error = analysis.status();
+    const SeriesTask& task = tasks[i];
+    switch (task.kind) {
+      case SeriesKind::kDisease:
+        report.disease_index.emplace(task.disease, report.diseases.size());
+        report.diseases.push_back(std::move(analyses[i]));
+        break;
+      case SeriesKind::kMedicine:
+        report.medicine_index.emplace(task.medicine,
+                                      report.medicines.size());
+        report.medicines.push_back(std::move(analyses[i]));
+        break;
+      case SeriesKind::kPrescription:
+        report.prescriptions.push_back(std::move(analyses[i]));
+        break;
     }
-  });
-  set.ForEachPair([&](DiseaseId d, MedicineId m,
-                      const std::vector<double>& series) {
-    auto analysis = AnalyzeSeries(SeriesKind::kPrescription, d, m, series);
-    if (analysis.ok()) {
-      report.prescriptions.push_back(*analysis);
-    } else if (first_error.ok() &&
-               analysis.status().code() != StatusCode::kInvalidArgument) {
-      first_error = analysis.status();
-    }
-  });
+  }
   MIC_RETURN_IF_ERROR(first_error);
   return report;
 }

@@ -14,12 +14,14 @@
 #define MICTREND_TREND_TREND_ANALYZER_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/types.h"
+#include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 
 namespace mic::trend {
@@ -77,6 +79,11 @@ struct TrendAnalyzerOptions {
   /// A disease/medicine break within this many months of a prescription
   /// break counts as its cause.
   int cause_window = 3;
+  /// Execution pool for AnalyzeAll's per-series fits (not owned; null
+  /// runs inline). Each series is one task; the report is assembled in
+  /// the serial traversal order, so it is bit-identical at any thread
+  /// count.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Full report over a SeriesSet.
@@ -97,11 +104,12 @@ class TrendAnalyzer {
   explicit TrendAnalyzer(const TrendAnalyzerOptions& options = {})
       : options_(options) {}
 
-  /// Analyzes a single series (already reproduced).
+  /// Analyzes a single series (already reproduced). Takes a view so
+  /// per-task callers (AnalyzeAll, benches) never copy the series just
+  /// to hand it over; the one normalized working copy is made inside.
   Result<SeriesAnalysis> AnalyzeSeries(SeriesKind kind, DiseaseId d,
                                        MedicineId m,
-                                       const std::vector<double>& series)
-      const;
+                                       std::span<const double> series) const;
 
   /// Analyzes every disease, medicine, and prescription series in `set`.
   Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set) const;

@@ -30,6 +30,12 @@ head -1 "$WORK/detect.csv" | grep -q "kind,disease,medicine,change"
   --out "$WORK/report.csv" | grep -q "reproduced"
 test -s "$WORK/report.csv"
 
+# The parallel runtime must reproduce the serial pipeline bit for bit.
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --threads 4 --runtime-stats \
+  --out "$WORK/report_mt.csv" | grep -q "runtime-stats threads=4"
+cmp "$WORK/report.csv" "$WORK/report_mt.csv"
+
 # Custom world config.
 cat > "$WORK/world.cfg" << 'EOF'
 config,months=6,seed=5

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "medmodel/baselines.h"
+#include "runtime/thread_pool.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 
@@ -169,6 +170,47 @@ TEST(MedicationModelTest, ConvergesOnGeneratedWorldMonth) {
   ASSERT_TRUE(fitted.ok());
   EXPECT_LT((*fitted)->fit_stats().iterations, 100);
   EXPECT_TRUE(std::isfinite((*fitted)->fit_stats().final_log_likelihood));
+}
+
+// Fitting through a 4-thread pool must be bitwise-equal to the inline
+// fit: the E step reduces fixed 256-record chunks merged in chunk
+// order, so scheduling can never reorder the floating-point sums. The
+// month here is large enough (800 records) to span several chunks.
+TEST(MedicationModelTest, FourThreadFitIsBitwiseEqualToSerial) {
+  MonthlyDataset month(0);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    for (int i = 0; i < 30; ++i) month.AddRecord(MakeRecord({0, 1}, {0, 1}));
+    for (int i = 0; i < 40; ++i) month.AddRecord(MakeRecord({1}, {1}));
+    for (int i = 0; i < 10; ++i) month.AddRecord(MakeRecord({0}, {0}));
+  }
+
+  auto serial = MedicationModel::Fit(month);
+  ASSERT_TRUE(serial.ok());
+
+  runtime::ThreadPool pool(4);
+  MedicationModelOptions options;
+  options.pool = &pool;
+  auto parallel = MedicationModel::Fit(month, options);
+  ASSERT_TRUE(parallel.ok());
+
+  // Exact equality throughout — no tolerance.
+  EXPECT_EQ((*serial)->fit_stats().iterations,
+            (*parallel)->fit_stats().iterations);
+  EXPECT_EQ((*serial)->fit_stats().final_log_likelihood,
+            (*parallel)->fit_stats().final_log_likelihood);
+  EXPECT_EQ((*serial)->fit_stats().log_likelihood_trace,
+            (*parallel)->fit_stats().log_likelihood_trace);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ((*serial)->Eta(DiseaseId(d)), (*parallel)->Eta(DiseaseId(d)));
+    for (int m = 0; m < 2; ++m) {
+      EXPECT_EQ((*serial)->Phi(DiseaseId(d), MedicineId(m)),
+                (*parallel)->Phi(DiseaseId(d), MedicineId(m)));
+    }
+  }
+  (*serial)->MonthlyPairCounts().ForEach(
+      [&](DiseaseId d, MedicineId m, double value) {
+        EXPECT_EQ(value, (*parallel)->MonthlyPairCounts().Get(d, m));
+      });
 }
 
 // Property: under any smoothing in range, Phi stays a (sub)distribution.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/thread_pool.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 
@@ -50,6 +51,59 @@ TEST(PipelineApiTest, RunsEndToEndOnTinyWorld) {
 TEST(PipelineApiTest, PropagatesReproductionErrors) {
   MicCorpus empty;
   EXPECT_FALSE(RunPipeline(empty).ok());
+}
+
+// Running the pipeline through a 4-thread pool must reproduce the
+// single-thread report bit for bit (the mic::runtime determinism
+// contract: fixed chunking, chunk-order merges).
+TEST(PipelineApiTest, FourThreadsMatchesSingleThreadBitwise) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(24, 5));
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+
+  auto run = [&](runtime::ThreadPool* pool) {
+    PipelineOptions options;
+    options.pool = pool;
+    options.reproducer.filter_options.min_disease_count = 1;
+    options.reproducer.filter_options.min_medicine_count = 1;
+    options.reproducer.min_series_total = 10.0;
+    options.analyzer.detector.seasonal = false;
+    options.analyzer.detector.fit.optimizer.max_evaluations = 150;
+    auto result = RunPipeline(data->corpus, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  };
+  runtime::ThreadPool single(1);
+  runtime::ThreadPool four(4);
+  const PipelineResult baseline = run(&single);
+  const PipelineResult parallel = run(&four);
+
+  auto expect_bitwise = [](const std::vector<SeriesAnalysis>& a,
+                           const std::vector<SeriesAnalysis>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].kind, b[i].kind) << i;
+      EXPECT_EQ(a[i].has_change, b[i].has_change) << i;
+      EXPECT_EQ(a[i].change_point, b[i].change_point) << i;
+      EXPECT_EQ(a[i].aic, b[i].aic) << i;        // exact, not NEAR
+      EXPECT_EQ(a[i].lambda, b[i].lambda) << i;  // exact, not NEAR
+      EXPECT_EQ(a[i].scale, b[i].scale) << i;
+      EXPECT_EQ(a[i].fits_performed, b[i].fits_performed) << i;
+    }
+  };
+  expect_bitwise(baseline.report.diseases, parallel.report.diseases);
+  expect_bitwise(baseline.report.medicines, parallel.report.medicines);
+  expect_bitwise(baseline.report.prescriptions,
+                 parallel.report.prescriptions);
+
+  // The reproduced series (EM stage) must agree exactly as well.
+  ASSERT_EQ(baseline.series.num_pairs(), parallel.series.num_pairs());
+  baseline.series.ForEachPair([&](DiseaseId d, MedicineId m,
+                                  const std::vector<double>& series) {
+    EXPECT_EQ(series, parallel.series.Prescription(d, m));
+  });
 }
 
 }  // namespace

@@ -17,11 +17,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "medmodel/series_io.h"
 #include "medmodel/timeseries.h"
 #include "mic/io.h"
+#include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 #include "stats/metrics.h"
 #include "synth/generator.h"
@@ -50,12 +52,27 @@ int Usage() {
       "  stats     --corpus corpus.csv\n"
       "  reproduce --corpus corpus.csv --out series.csv [--min-total 10]\n"
       "            [--coupling 0] [--model proposed|cooccurrence]\n"
+      "            [--threads N] [--runtime-stats]\n"
       "  detect    --series series.csv [--algorithm exact|approx]\n"
       "            [--margin 0] [--criterion aic|aicc|bic]\n"
       "            [--kind slope|level|pulse|auto] [--seasonal true]\n"
       "            [--min-tail 1] [--max-breaks 1]\n"
-      "  pipeline  --corpus corpus.csv [--min-total 10] [--out report.csv]\n");
+      "  pipeline  --corpus corpus.csv [--min-total 10] [--out report.csv]\n"
+      "            [--threads N] [--runtime-stats]\n"
+      "--threads defaults to the hardware concurrency; 1 runs inline\n"
+      "(either way the output is bit-identical).\n");
   return 2;
+}
+
+/// Pool for --threads N (default: hardware concurrency; 1 spawns no
+/// workers and preserves today's inline behavior exactly).
+Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
+    const Flags& flags) {
+  MIC_ASSIGN_OR_RETURN(std::int64_t threads, flags.GetInt("threads", 0));
+  if (flags.Has("threads") && threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  return std::make_unique<runtime::ThreadPool>(static_cast<int>(threads));
 }
 
 Result<synth::GeneratedData> GenerateFromFlags(const Flags& flags) {
@@ -164,7 +181,11 @@ int RunReproduce(const Flags& flags) {
   auto corpus = ReadCorpusCsvFile(corpus_path);
   if (!corpus.ok()) return Fail(corpus.status());
 
+  auto pool = MakePoolFromFlags(flags);
+  if (!pool.ok()) return Fail(pool.status());
+
   medmodel::ReproducerOptions options;
+  options.model_options.pool = pool->get();
   auto min_total = flags.GetDouble("min-total", 10.0);
   if (!min_total.ok()) return Fail(min_total.status());
   options.min_series_total = *min_total;
@@ -191,6 +212,10 @@ int RunReproduce(const Flags& flags) {
               "to %s\n",
               series->num_diseases(), series->num_medicines(),
               series->num_pairs(), out_path.c_str());
+  if (flags.GetBool("runtime-stats")) {
+    std::printf("runtime-stats threads=%d %s\n",
+                (*pool)->num_threads(), (*pool)->stats().ToJson().c_str());
+  }
   return 0;
 }
 
@@ -330,7 +355,11 @@ int RunPipeline(const Flags& flags) {
   auto corpus = ReadCorpusCsvFile(corpus_path);
   if (!corpus.ok()) return Fail(corpus.status());
 
+  auto pool = MakePoolFromFlags(flags);
+  if (!pool.ok()) return Fail(pool.status());
+
   medmodel::ReproducerOptions reproducer;
+  reproducer.model_options.pool = pool->get();
   auto min_total = flags.GetDouble("min-total", 10.0);
   if (!min_total.ok()) return Fail(min_total.status());
   reproducer.min_series_total = *min_total;
@@ -341,7 +370,9 @@ int RunPipeline(const Flags& flags) {
               series->num_diseases(), series->num_medicines(),
               series->num_pairs());
 
-  trend::TrendAnalyzer analyzer;
+  trend::TrendAnalyzerOptions analyzer_options;
+  analyzer_options.pool = pool->get();
+  trend::TrendAnalyzer analyzer(analyzer_options);
   auto report = analyzer.AnalyzeAll(*series);
   if (!report.ok()) return Fail(report.status());
 
@@ -378,6 +409,10 @@ int RunPipeline(const Flags& flags) {
                 catalog.medicines().Name(analysis.medicine).c_str(),
                 analysis.change_point,
                 std::string(trend::ChangeCauseName(cause)).c_str());
+  }
+  if (flags.GetBool("runtime-stats")) {
+    std::printf("runtime-stats threads=%d %s\n",
+                (*pool)->num_threads(), (*pool)->stats().ToJson().c_str());
   }
   return 0;
 }
