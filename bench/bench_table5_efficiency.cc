@@ -14,6 +14,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/exec_context.h"
+#include "obs/metrics.h"
 #include "ssm/changepoint.h"
 #include "ssm/fit.h"
 #include "trend/trend_analyzer.h"
@@ -175,6 +177,41 @@ void MeasureParallelStage(const bench::BenchData& data, int threads) {
   bench::PrintRuntimeStatsJson("table5_parallel_analysis", pool.stats());
 }
 
+// The mic::obs instrumentation cost on the same sweep. With no registry
+// attached (the default) every hook is a null-pointer compare, so the
+// disabled run must stay within noise of the uninstrumented baseline;
+// the enabled-vs-disabled delta bounds that overhead from above.
+void MeasureObsOverhead(const bench::BenchData& data) {
+  trend::TrendAnalyzerOptions options;
+  options.detector.fit = FitOptions();
+  trend::TrendAnalyzer analyzer(options);
+  runtime::ThreadPool single(1);
+
+  auto time_run = [&](const ExecContext& context) {
+    const auto start = Clock::now();
+    auto report = analyzer.AnalyzeAll(data.series, context);
+    MIC_CHECK(report.ok()) << report.status();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  std::printf("\nObservability overhead (serial AnalyzeAll sweep):\n");
+  time_run(ExecContext{&single, nullptr});  // Warm caches.
+  const double disabled_seconds = time_run(ExecContext{&single, nullptr});
+  obs::MetricsRegistry registry;
+  const double enabled_seconds = time_run(ExecContext{&single, &registry});
+  const double overhead =
+      disabled_seconds > 0.0
+          ? (enabled_seconds - disabled_seconds) / disabled_seconds * 100.0
+          : 0.0;
+  std::printf("  %-22s %9.3f s\n", "metrics disabled", disabled_seconds);
+  std::printf("  %-22s %9.3f s  (%+5.1f%% vs disabled)\n",
+              "metrics enabled", enabled_seconds, overhead);
+  std::printf("  series fits counted:   %llu\n",
+              static_cast<unsigned long long>(
+                  registry.counter_value("trend.series_fits")));
+  bench::PrintMetricsJson("table5_analyze_all", registry);
+}
+
 }  // namespace
 
 int Run() {
@@ -215,6 +252,7 @@ int Run() {
                           : std::max(4, runtime::ThreadPool::
                                             HardwareConcurrency());
   MeasureParallelStage(data, threads);
+  MeasureObsOverhead(data);
   return 0;
 }
 

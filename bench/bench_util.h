@@ -28,6 +28,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "medmodel/timeseries.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
@@ -76,6 +77,13 @@ struct BenchScale {
 inline void PrintRuntimeStatsJson(const char* label,
                                   const runtime::RuntimeStats& stats) {
   std::printf("RUNTIME_STATS %s %s\n", label, stats.ToJson().c_str());
+}
+
+/// Same, for an obs::MetricsRegistry the bench threaded through an
+/// ExecContext (deterministic key order, so lines diff cleanly).
+inline void PrintMetricsJson(const char* label,
+                             const obs::MetricsRegistry& registry) {
+  std::printf("METRICS %s %s\n", label, registry.ToJson().c_str());
 }
 
 /// The benchmark world + generated data + reproduced series, built once

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Builds and tests every preset: the Release build plus the TSan and
+# ASan+UBSan instrumented builds. Run from the repo root:
+#
+#   scripts/check.sh              # all three presets
+#   scripts/check.sh default      # just one
+#
+# Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
+# this falls back to plain -B/-S invocations with the same cache
+# variables.
+set -e
+
+cd "$(dirname "$0")/.."
+PRESETS="${*:-default tsan asan}"
+
+supports_presets() {
+  cmake --list-presets >/dev/null 2>&1
+}
+
+sanitizer_for() {
+  case "$1" in
+    tsan) echo "thread" ;;
+    asan) echo "address,undefined" ;;
+    *) echo "" ;;
+  esac
+}
+
+for preset in $PRESETS; do
+  echo "==== ${preset}: configure + build + test ===="
+  if supports_presets; then
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    ctest --preset "$preset"
+  else
+    build_dir="build"
+    [ "$preset" != "default" ] && build_dir="build-$preset"
+    sanitize="$(sanitizer_for "$preset")"
+    cmake -B "$build_dir" -S . \
+      -DCMAKE_BUILD_TYPE="$([ -n "$sanitize" ] && echo RelWithDebInfo || echo Release)" \
+      -DMICTREND_SANITIZE="$sanitize" \
+      -DMICTREND_BUILD_BENCHMARKS="$([ -n "$sanitize" ] && echo OFF || echo ON)" \
+      -DMICTREND_BUILD_EXAMPLES="$([ -n "$sanitize" ] && echo OFF || echo ON)"
+    cmake --build "$build_dir" -j "$(nproc)"
+    (cd "$build_dir" && ctest --output-on-failure)
+  fi
+done
+echo "all presets green"

@@ -1,0 +1,52 @@
+// mic::ExecContext: the execution context passed explicitly through the
+// pipeline's public entry points (RunPipeline, MedicationModel::Fit,
+// TrendAnalyzer::AnalyzeAll, ReproduceSeries).
+//
+// It bundles the two cross-cutting facilities a stage may use:
+//   - pool:    the mic::runtime::ThreadPool parallel work dispatches to
+//              (null = run inline, bit-identical output either way);
+//   - metrics: the mic::obs::MetricsRegistry stage counters, timers,
+//              and spans record into (null = observability disabled at
+//              near-zero cost).
+//
+// Precedence rule (tested in obs_test.cc): a pool carried by an
+// explicitly passed ExecContext wins over the deprecated per-options
+// pool fields (MedicationModelOptions::pool, TrendAnalyzerOptions::pool,
+// PipelineOptions::pool). Those fields keep working for callers that
+// have not migrated — a call without a context behaves exactly as
+// before — but new code should pass an ExecContext and leave them null.
+//
+// Only forward declarations are needed here: the context is a pair of
+// non-owning pointers, so this header stays includable from any layer
+// without dragging in threads or metrics.
+
+#ifndef MICTREND_COMMON_EXEC_CONTEXT_H_
+#define MICTREND_COMMON_EXEC_CONTEXT_H_
+
+namespace mic::runtime {
+class ThreadPool;
+}  // namespace mic::runtime
+namespace mic::obs {
+class MetricsRegistry;
+}  // namespace mic::obs
+
+namespace mic {
+
+struct ExecContext {
+  /// Execution pool (not owned; null runs parallel stages inline).
+  runtime::ThreadPool* pool = nullptr;
+  /// Metrics sink (not owned; null disables observability).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Resolves the pool a stage should use: the context's pool when one
+/// was passed explicitly, otherwise the (deprecated) options-carried
+/// pool.
+inline runtime::ThreadPool* EffectivePool(
+    const ExecContext& context, runtime::ThreadPool* options_pool) {
+  return context.pool != nullptr ? context.pool : options_pool;
+}
+
+}  // namespace mic
+
+#endif  // MICTREND_COMMON_EXEC_CONTEXT_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace mic::medmodel {
 namespace {
@@ -31,6 +32,12 @@ struct EstepShard {
 Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     const MonthlyDataset& month, const MedicationModelOptions& options,
     const MedicationModel* prior) {
+  return Fit(month, options, prior, ExecContext{});
+}
+
+Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
+    const MonthlyDataset& month, const MedicationModelOptions& options,
+    const MedicationModel* prior, const ExecContext& context) {
   if (options.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
@@ -41,6 +48,22 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     return Status::InvalidArgument("prior_strength must be non-negative");
   }
   const bool use_prior = prior != nullptr && options.prior_strength > 0.0;
+
+  runtime::ThreadPool* pool = EffectivePool(context, options.pool);
+  obs::MetricsRegistry* metrics = context.metrics;
+  obs::Span fit_span(metrics, "em_fit");
+  obs::Increment(obs::GetCounter(metrics, "em.fits"));
+  obs::Counter* iterations_counter = obs::GetCounter(metrics,
+                                                     "em.iterations");
+  obs::Counter* sharded_counter =
+      obs::GetCounter(metrics, "em.records_sharded");
+  // Relative per-iteration log-likelihood improvement, the EM
+  // convergence driver (options.tolerance sits among these edges).
+  obs::Histogram* improvement_histogram = obs::GetHistogram(
+      metrics, "em.loglik_rel_improvement",
+      {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1});
+  obs::Timer* estep_timer = obs::GetTimer(metrics, "em.estep");
+  obs::Timer* mstep_timer = obs::GetTimer(metrics, "em.mstep");
 
   auto model = std::unique_ptr<MedicationModel>(new MedicationModel());
 
@@ -130,48 +153,53 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
   std::vector<std::unordered_map<std::size_t, double>> next(num_diseases);
   double previous_log_likelihood = -std::numeric_limits<double>::infinity();
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    MIC_RETURN_IF_ERROR(runtime::ParallelFor(
-        options.pool, 0, records.size(), kEstepChunkRecords,
-        [&records, &phi, &shards](std::size_t chunk_begin,
-                                  std::size_t chunk_end,
-                                  std::size_t chunk_index) {
-          EstepShard& shard = shards[chunk_index];
-          shard.log_likelihood = 0.0;
-          for (auto& row : shard.next) row.clear();
-          std::vector<double> responsibilities;
-          for (std::size_t r = chunk_begin; r < chunk_end; ++r) {
-            const CompiledRecord& record = records[r];
-            for (const auto& [m, count] : record.medicines) {
-              responsibilities.clear();
-              double denominator = 0.0;
-              for (const auto& [d, theta] : record.diseases) {
-                auto it = phi[d].find(m);
-                const double weight =
-                    theta * (it == phi[d].end() ? 0.0 : it->second);
-                responsibilities.push_back(weight);
-                denominator += weight;
-              }
-              if (denominator <= 0.0) continue;  // No support.
-              shard.log_likelihood +=
-                  static_cast<double>(count) * std::log(denominator);
-              for (std::size_t i = 0; i < record.diseases.size(); ++i) {
-                const double q = responsibilities[i] / denominator;
-                shard.next[record.diseases[i].first][m] +=
-                    static_cast<double>(count) * q;
+    obs::Increment(iterations_counter);
+    obs::Increment(sharded_counter, records.size());
+    double log_likelihood = 0.0;
+    {
+      obs::ScopedTimer estep_scope(estep_timer);
+      MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+          pool, 0, records.size(), kEstepChunkRecords,
+          [&records, &phi, &shards](std::size_t chunk_begin,
+                                    std::size_t chunk_end,
+                                    std::size_t chunk_index) {
+            EstepShard& shard = shards[chunk_index];
+            shard.log_likelihood = 0.0;
+            for (auto& row : shard.next) row.clear();
+            std::vector<double> responsibilities;
+            for (std::size_t r = chunk_begin; r < chunk_end; ++r) {
+              const CompiledRecord& record = records[r];
+              for (const auto& [m, count] : record.medicines) {
+                responsibilities.clear();
+                double denominator = 0.0;
+                for (const auto& [d, theta] : record.diseases) {
+                  auto it = phi[d].find(m);
+                  const double weight =
+                      theta * (it == phi[d].end() ? 0.0 : it->second);
+                  responsibilities.push_back(weight);
+                  denominator += weight;
+                }
+                if (denominator <= 0.0) continue;  // No support.
+                shard.log_likelihood +=
+                    static_cast<double>(count) * std::log(denominator);
+                for (std::size_t i = 0; i < record.diseases.size(); ++i) {
+                  const double q = responsibilities[i] / denominator;
+                  shard.next[record.diseases[i].first][m] +=
+                      static_cast<double>(count) * q;
+                }
               }
             }
-          }
-          return Status::OK();
-        },
-        "em-estep"));
+            return Status::OK();
+          },
+          "em-estep"));
 
-    for (auto& row : next) row.clear();
-    double log_likelihood = 0.0;
-    for (const EstepShard& shard : shards) {
-      log_likelihood += shard.log_likelihood;
-      for (std::size_t d = 0; d < num_diseases; ++d) {
-        for (const auto& [m, value] : shard.next[d]) {
-          next[d][m] += value;
+      for (auto& row : next) row.clear();
+      for (const EstepShard& shard : shards) {
+        log_likelihood += shard.log_likelihood;
+        for (std::size_t d = 0; d < num_diseases; ++d) {
+          for (const auto& [m, value] : shard.next[d]) {
+            next[d][m] += value;
+          }
         }
       }
     }
@@ -179,18 +207,21 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     // M step: normalize expected counts into phi; with a temporal
     // prior, each pair receives alpha * phi_prev(d, m) pseudo counts
     // (Topic-Tracking MAP update).
-    for (std::size_t d = 0; d < num_diseases; ++d) {
-      double total = 0.0;
-      if (use_prior) {
-        for (auto& [m, value] : next[d]) {
-          value += options.prior_strength *
-                   prior->Phi(slot_to_disease[d], slot_to_medicine[m]);
+    {
+      obs::ScopedTimer mstep_scope(mstep_timer);
+      for (std::size_t d = 0; d < num_diseases; ++d) {
+        double total = 0.0;
+        if (use_prior) {
+          for (auto& [m, value] : next[d]) {
+            value += options.prior_strength *
+                     prior->Phi(slot_to_disease[d], slot_to_medicine[m]);
+          }
         }
-      }
-      for (const auto& [m, value] : next[d]) total += value;
-      if (total > 0.0) {
-        phi[d].clear();
-        for (const auto& [m, value] : next[d]) phi[d][m] = value / total;
+        for (const auto& [m, value] : next[d]) total += value;
+        if (total > 0.0) {
+          phi[d].clear();
+          for (const auto& [m, value] : next[d]) phi[d][m] = value / total;
+        }
       }
     }
 
@@ -198,9 +229,14 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     model->stats_.iterations = iteration + 1;
     const double improvement = log_likelihood - previous_log_likelihood;
     previous_log_likelihood = log_likelihood;
-    if (iteration > 0 &&
-        improvement < options.tolerance * std::fabs(log_likelihood)) {
-      break;
+    if (iteration > 0) {
+      if (std::fabs(log_likelihood) > 0.0) {
+        obs::Observe(improvement_histogram,
+                     improvement / std::fabs(log_likelihood));
+      }
+      if (improvement < options.tolerance * std::fabs(log_likelihood)) {
+        break;
+      }
     }
   }
   model->stats_.final_log_likelihood = previous_log_likelihood;
@@ -209,8 +245,9 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
   // x_dm (Eq. 7), sharded over the same fixed chunks as the E step and
   // merged in chunk order.
   std::vector<PairCounts> count_shards(num_chunks);
+  obs::Increment(sharded_counter, records.size());
   MIC_RETURN_IF_ERROR(runtime::ParallelFor(
-      options.pool, 0, records.size(), kEstepChunkRecords,
+      pool, 0, records.size(), kEstepChunkRecords,
       [&records, &phi, &count_shards, &slot_to_disease, &slot_to_medicine](
           std::size_t chunk_begin, std::size_t chunk_end,
           std::size_t chunk_index) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "medmodel/link_model.h"
 #include "mic/dataset.h"
@@ -39,10 +40,13 @@ struct MedicationModelOptions {
   /// counts — a Dirichlet(alpha * phi_prev) MAP prior that stabilizes
   /// sparse months. 0 restores the paper's independent monthly fits.
   double prior_strength = 0.0;
-  /// Execution pool for the E-step record shards (not owned; null runs
-  /// inline). The records are always reduced in fixed-size chunks
-  /// merged in chunk order, so the fit is bit-identical at any thread
-  /// count — including the null-pool inline path.
+  /// DEPRECATED: pass the pool via the ExecContext overload of Fit
+  /// instead; an explicit context's pool takes precedence over this
+  /// field (see common/exec_context.h). Execution pool for the E-step
+  /// record shards (not owned; null runs inline). The records are
+  /// always reduced in fixed-size chunks merged in chunk order, so the
+  /// fit is bit-identical at any thread count — including the null-pool
+  /// inline path.
   runtime::ThreadPool* pool = nullptr;
 };
 
@@ -66,6 +70,15 @@ class MedicationModel : public LinkModel {
       const MonthlyDataset& month,
       const MedicationModelOptions& options = {},
       const MedicationModel* prior = nullptr);
+
+  /// ExecContext overload: context.pool (when set) overrides
+  /// options.pool, and context.metrics receives the fit's counters
+  /// (em.fits / em.iterations / em.records_sharded, the
+  /// em.loglik_rel_improvement histogram) and E/M-step timers. The
+  /// three-argument form is equivalent to passing an empty context.
+  static Result<std::unique_ptr<MedicationModel>> Fit(
+      const MonthlyDataset& month, const MedicationModelOptions& options,
+      const MedicationModel* prior, const ExecContext& context);
 
   /// eta_d: probability of disease d under the diagnosis distribution
   /// (Eq. 4); 0 for diseases absent from the month.

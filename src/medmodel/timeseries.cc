@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "medmodel/baselines.h"
+#include "obs/trace.h"
 
 namespace mic::medmodel {
 namespace {
@@ -15,14 +16,17 @@ double SeriesTotal(const std::vector<double>& series) {
 }
 
 template <typename Map>
-void PruneMap(Map& map, double min_total) {
+std::size_t PruneMap(Map& map, double min_total) {
+  std::size_t removed = 0;
   for (auto it = map.begin(); it != map.end();) {
     if (SeriesTotal(it->second) < min_total) {
       it = map.erase(it);
+      ++removed;
     } else {
       ++it;
     }
   }
+  return removed;
 }
 
 }  // namespace
@@ -119,17 +123,32 @@ void SeriesSet::SetMedicineSeries(MedicineId m,
   medicines_[m] = std::move(values);
 }
 
-void SeriesSet::PruneRareSeries(double min_total) {
-  PruneMap(pairs_, min_total);
-  PruneMap(diseases_, min_total);
-  PruneMap(medicines_, min_total);
+std::size_t SeriesSet::PruneRareSeries(double min_total) {
+  std::size_t removed = 0;
+  removed += PruneMap(pairs_, min_total);
+  removed += PruneMap(diseases_, min_total);
+  removed += PruneMap(medicines_, min_total);
+  return removed;
 }
 
 Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
                                   const ReproducerOptions& options) {
+  return ReproduceSeries(corpus, options, ExecContext{});
+}
+
+Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
+                                  const ReproducerOptions& options,
+                                  const ExecContext& context) {
   if (corpus.num_months() == 0) {
     return Status::InvalidArgument("corpus has no months");
   }
+  obs::MetricsRegistry* metrics = context.metrics;
+  obs::Span reproduce_span(metrics, "reproduce");
+  obs::Counter* fitted_counter =
+      obs::GetCounter(metrics, "reproduce.months_fitted");
+  obs::Counter* skipped_counter =
+      obs::GetCounter(metrics, "reproduce.months_skipped");
+
   SeriesSet series(static_cast<int>(corpus.num_months()));
   // With temporal coupling (prior_strength > 0) each month's fit uses
   // the previous month's model as its Dirichlet prior (§IX extension).
@@ -139,23 +158,33 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
     if (options.apply_filter) {
       FilterMonth(options.filter_options, month);
     }
-    if (month.empty()) continue;  // A quiet month contributes zeros.
+    if (month.empty()) {  // A quiet month contributes zeros.
+      obs::Increment(skipped_counter);
+      continue;
+    }
 
     const PairCounts* counts = nullptr;
     std::unique_ptr<MedicationModel> proposed;
     std::unique_ptr<CooccurrenceModel> cooccurrence;
     if (options.model_kind == LinkModelKind::kProposed) {
       auto fitted = MedicationModel::Fit(month, options.model_options,
-                                         previous_model.get());
-      if (!fitted.ok()) continue;  // No usable records this month.
+                                         previous_model.get(), context);
+      if (!fitted.ok()) {  // No usable records this month.
+        obs::Increment(skipped_counter);
+        continue;
+      }
       proposed = std::move(fitted).value();
       counts = &proposed->MonthlyPairCounts();
     } else {
       auto fitted = CooccurrenceModel::Fit(month);
-      if (!fitted.ok()) continue;
+      if (!fitted.ok()) {
+        obs::Increment(skipped_counter);
+        continue;
+      }
       cooccurrence = std::move(fitted).value();
       counts = &cooccurrence->MonthlyPairCounts();
     }
+    obs::Increment(fitted_counter);
 
     counts->ForEach([&series, t](DiseaseId d, MedicineId m, double value) {
       series.Add(d, m, static_cast<int>(t), value);
@@ -165,7 +194,10 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
       previous_model = std::move(proposed);
     }
   }
-  series.PruneRareSeries(options.min_series_total);
+  const std::size_t pruned =
+      series.PruneRareSeries(options.min_series_total);
+  obs::Increment(obs::GetCounter(metrics, "reproduce.series_pruned"),
+                 pruned);
   return series;
 }
 

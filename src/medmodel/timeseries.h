@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "medmodel/medication_model.h"
 #include "medmodel/pair_counts.h"
@@ -76,8 +77,9 @@ class SeriesSet {
 
   /// Removes every series whose total over the window is below
   /// `min_total` (paper §VI uses 10). Disease/medicine series are
-  /// thresholded independently of the pair series.
-  void PruneRareSeries(double min_total);
+  /// thresholded independently of the pair series. Returns the number
+  /// of series removed across all three views.
+  std::size_t PruneRareSeries(double min_total);
 
  private:
   int num_months_;
@@ -106,6 +108,16 @@ struct ReproducerOptions {
 /// internally when filtering is enabled; the input is never mutated.
 Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
                                   const ReproducerOptions& options = {});
+
+/// ExecContext overload: the context is forwarded into every monthly
+/// MedicationModel::Fit (context.pool overrides
+/// options.model_options.pool; see common/exec_context.h), and
+/// context.metrics receives the stage's counters
+/// (reproduce.months_fitted / reproduce.months_skipped /
+/// reproduce.series_pruned) under a "reproduce" span.
+Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
+                                  const ReproducerOptions& options,
+                                  const ExecContext& context);
 
 }  // namespace mic::medmodel
 

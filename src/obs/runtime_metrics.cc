@@ -1,0 +1,21 @@
+#include "obs/runtime_metrics.h"
+
+namespace mic::obs {
+
+void FoldRuntimeStats(const runtime::RuntimeStats& stats, int num_threads,
+                      MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->gauge("runtime.threads")
+      ->Set(static_cast<double>(num_threads));
+  for (const runtime::StageStats& stage : stats.stages) {
+    const std::string prefix = "runtime." + stage.stage;
+    registry->counter(prefix + ".calls")->Increment(stage.calls);
+    registry->counter(prefix + ".tasks")->Increment(stage.tasks);
+    registry->counter(prefix + ".items")->Increment(stage.items);
+    registry->gauge(prefix + ".wall_seconds")->Add(stage.wall_seconds);
+    registry->gauge(prefix + ".busy_seconds")->Add(stage.busy_seconds);
+    registry->gauge(prefix + ".wait_seconds")->Add(stage.wait_seconds);
+  }
+}
+
+}  // namespace mic::obs

@@ -1,0 +1,25 @@
+// Folds mic::runtime's per-stage RuntimeStats into a MetricsRegistry,
+// making the thread pool one metrics producer among many instead of its
+// own side channel.
+
+#ifndef MICTREND_OBS_RUNTIME_METRICS_H_
+#define MICTREND_OBS_RUNTIME_METRICS_H_
+
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace mic::obs {
+
+/// Adds one snapshot of `stats` to `registry` (null registry = no-op):
+///   counters  runtime.<stage>.calls / .tasks / .items   (deterministic)
+///   gauges    runtime.<stage>.wall_seconds / .busy_seconds /
+///             .wait_seconds                              (wall time)
+///   gauge     runtime.threads = num_threads
+/// Fold once per pool per run — the counters are cumulative adds, so a
+/// second fold of the same snapshot double-counts.
+void FoldRuntimeStats(const runtime::RuntimeStats& stats, int num_threads,
+                      MetricsRegistry* registry);
+
+}  // namespace mic::obs
+
+#endif  // MICTREND_OBS_RUNTIME_METRICS_H_

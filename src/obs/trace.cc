@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+namespace mic::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+thread_local Span* tl_current_span = nullptr;
+
+std::uint64_t NanosSince(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+Span::Span(MetricsRegistry* registry, std::string_view name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  parent_ = tl_current_span;
+  path_ = parent_ == nullptr ? std::string(name)
+                             : parent_->path_ + '/' + std::string(name);
+  tl_current_span = this;
+  start_ = Clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  registry_->timer(path_)->Record(NanosSince(start_));
+  tl_current_span = parent_;
+}
+
+std::string Span::CurrentPath() {
+  return tl_current_span == nullptr ? std::string()
+                                    : tl_current_span->path_;
+}
+
+ScopedTimer::ScopedTimer(Timer* timer) : timer_(timer) {
+  if (timer_ != nullptr) start_ = Clock::now();
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string_view name)
+    : ScopedTimer(registry == nullptr ? nullptr : registry->timer(name)) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ != nullptr) timer_->Record(NanosSince(start_));
+}
+
+}  // namespace mic::obs

@@ -1,0 +1,67 @@
+// RAII stage tracing on top of the metrics registry.
+//
+// A Span names one pipeline stage; nested spans build a '/'-joined path
+// on a thread-local stack (pipeline -> pipeline/reproduce ->
+// pipeline/reproduce/em_fit), and each span records {count, seconds}
+// into the registry's timer of the same path at destruction. Spans are
+// for the coarse serial skeleton of a run; per-item work inside a
+// parallel stage uses a pre-resolved Timer with ScopedTimer, because
+// worker threads do not inherit the caller's span stack.
+//
+// Both types are inert when constructed against a null registry: no
+// clock read, no stack traffic.
+
+#ifndef MICTREND_OBS_TRACE_H_
+#define MICTREND_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace mic::obs {
+
+/// One nested, named stage. Must be destroyed in LIFO order on the
+/// thread that created it (the natural shape of a scoped local).
+class Span {
+ public:
+  Span(MetricsRegistry* registry, std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Full '/'-joined path of this span ("pipeline/reproduce").
+  const std::string& path() const { return path_; }
+
+  /// Path of the innermost live span on this thread ("" when none).
+  static std::string CurrentPath();
+
+ private:
+  MetricsRegistry* registry_;
+  Span* parent_ = nullptr;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records one {count, duration} observation into a timer. The
+/// Timer*-taking constructor is the hot-path form: resolve the handle
+/// once, then construct against it per item (null handle = inert).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer);
+  ScopedTimer(MetricsRegistry* registry, std::string_view name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mic::obs
+
+#endif  // MICTREND_OBS_TRACE_H_

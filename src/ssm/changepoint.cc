@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mic::ssm {
 
 std::string_view SelectionCriterionName(SelectionCriterion criterion) {
@@ -41,7 +43,18 @@ double InformationCriterion(double log_likelihood, int parameters, int n,
 
 ChangePointDetector::ChangePointDetector(std::vector<double> series,
                                          const ChangePointOptions& options)
-    : series_(std::move(series)), options_(options) {}
+    : series_(std::move(series)), options_(options) {
+  obs::MetricsRegistry* metrics = options_.fit.metrics;
+  pruned_counter_ =
+      obs::GetCounter(metrics, "changepoint.candidates_pruned");
+  evaluations_counter_ =
+      obs::GetCounter(metrics, "changepoint.aic_evaluations");
+  exact_counter_ =
+      obs::GetCounter(metrics, "changepoint.exact.aic_evaluations");
+  approximate_counter_ =
+      obs::GetCounter(metrics, "changepoint.approximate.aic_evaluations");
+  multiple_counter_ = obs::GetCounter(metrics, "changepoint.multiple.fits");
+}
 
 void ChangePointDetector::ResetCache() {
   aic_cache_.clear();
@@ -71,7 +84,13 @@ Result<FittedStructuralModel> ChangePointDetector::FitWith(
 
 Result<double> ChangePointDetector::AicAt(int t_cp) {
   auto it = aic_cache_.find(t_cp);
-  if (it != aic_cache_.end()) return it->second;
+  if (it != aic_cache_.end()) {
+    // Candidate answered from the memo: the search pruned a fit.
+    obs::Increment(pruned_counter_);
+    return it->second;
+  }
+  obs::Increment(evaluations_counter_);
+  obs::Increment(active_counter_);
 
   if (t_cp == kNoChangePoint) {
     MIC_ASSIGN_OR_RETURN(FittedStructuralModel fitted, FitWith({}));
@@ -135,6 +154,9 @@ Result<ChangePointResult> ChangePointDetector::Finalize(int best_candidate) {
 }
 
 Result<ChangePointResult> ChangePointDetector::DetectExact() {
+  active_counter_ = exact_counter_;
+  obs::Increment(
+      obs::GetCounter(options_.fit.metrics, "changepoint.exact.searches"));
   const int n = static_cast<int>(series_.size()) -
                 std::max(options_.min_tail_observations - 1, 0);
   int best_candidate = kNoChangePoint;
@@ -151,6 +173,9 @@ Result<ChangePointResult> ChangePointDetector::DetectExact() {
 }
 
 Result<ChangePointResult> ChangePointDetector::DetectApproximate() {
+  active_counter_ = approximate_counter_;
+  obs::Increment(obs::GetCounter(options_.fit.metrics,
+                                 "changepoint.approximate.searches"));
   const int n = static_cast<int>(series_.size()) -
                 std::max(options_.min_tail_observations - 1, 0);
   int left = options_.min_candidate;
@@ -179,11 +204,15 @@ Result<MultiChangePointResult> ChangePointDetector::DetectMultiple(
   if (max_breaks < 1) {
     return Status::InvalidArgument("max_breaks must be >= 1");
   }
+  active_counter_ = multiple_counter_;
+  obs::Increment(obs::GetCounter(options_.fit.metrics,
+                                 "changepoint.multiple.searches"));
   const int n = static_cast<int>(series_.size()) -
                 std::max(options_.min_tail_observations - 1, 0);
 
   MultiChangePointResult result;
   MIC_ASSIGN_OR_RETURN(FittedStructuralModel current, FitWith({}));
+  obs::Increment(multiple_counter_);
   result.aic_without_intervention = CriterionOf(current);
   double current_criterion = result.aic_without_intervention;
   std::vector<Intervention> accepted;
@@ -202,6 +231,7 @@ Result<MultiChangePointResult> ChangePointDetector::DetectMultiple(
         std::vector<Intervention> trial = accepted;
         trial.push_back(candidate);
         auto fitted = FitWith(trial);
+        obs::Increment(multiple_counter_);
         if (!fitted.ok()) continue;
         const double criterion = CriterionOf(*fitted);
         if (criterion < best_criterion) {
@@ -228,6 +258,7 @@ Result<MultiChangePointResult> ChangePointDetector::DetectMultiple(
 }
 
 Result<std::vector<double>> ChangePointDetector::AicCurve() {
+  active_counter_ = exact_counter_;
   const int n = static_cast<int>(series_.size());
   std::vector<double> curve(n, std::numeric_limits<double>::quiet_NaN());
   for (int t = options_.min_candidate; t < n; ++t) {

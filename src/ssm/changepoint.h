@@ -20,6 +20,10 @@
 #include "common/result.h"
 #include "ssm/fit.h"
 
+namespace mic::obs {
+class Counter;
+}  // namespace mic::obs
+
 namespace mic::ssm {
 
 /// Model selection criterion for the change point search.
@@ -98,6 +102,13 @@ struct MultiChangePointResult {
 
 /// Detector over one series; memoizes the criterion per candidate so
 /// exact and approximate runs on the same instance are counted fairly.
+///
+/// When options.fit.metrics is set the detector also reports
+/// changepoint.aic_evaluations (criterion computed for a fresh
+/// candidate, split per algorithm under changepoint.exact.* /
+/// changepoint.approximate.*), changepoint.candidates_pruned (candidate
+/// answered from the memo cache), and changepoint.multiple.fits. All
+/// are pure functions of the series and options.
 class ChangePointDetector {
  public:
   ChangePointDetector(std::vector<double> series,
@@ -151,6 +162,17 @@ class ChangePointDetector {
   std::unordered_map<int, double> aic_cache_;
   std::unordered_map<int, FittedStructuralModel> model_cache_;
   int fits_performed_ = 0;
+
+  // Counter handles pre-resolved from options_.fit.metrics in the
+  // constructor (all null when metrics are disabled); active_counter_
+  // points at the per-algorithm evaluation counter of the search
+  // currently running.
+  obs::Counter* pruned_counter_ = nullptr;
+  obs::Counter* evaluations_counter_ = nullptr;
+  obs::Counter* exact_counter_ = nullptr;
+  obs::Counter* approximate_counter_ = nullptr;
+  obs::Counter* multiple_counter_ = nullptr;
+  obs::Counter* active_counter_ = nullptr;
 };
 
 }  // namespace mic::ssm

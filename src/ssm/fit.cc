@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "stats/metrics.h"
 
 namespace mic::ssm {
@@ -55,6 +56,11 @@ Result<FittedStructuralModel> FitStructuralModel(
       BuildRegressors(spec, n);
   const bool single = regressors.size() == 1;
 
+  // Kalman passes are tallied locally (one fit runs serially) and folded
+  // into the registry once at the end, keeping the hot loop allocation-
+  // and lock-free.
+  std::uint64_t kalman_passes = 0;
+
   // Scale-aware starting point for the log-variances.
   double variance = 0.0;
   {
@@ -70,6 +76,7 @@ Result<FittedStructuralModel> FitStructuralModel(
 
   auto log_likelihood_at =
       [&](const StructuralVariances& variances) -> Result<double> {
+    ++kalman_passes;
     MIC_ASSIGN_OR_RETURN(StateSpaceModel model,
                          BuildStructuralModel(spec, variances));
     if (regressors.empty()) {
@@ -135,6 +142,7 @@ Result<FittedStructuralModel> FitStructuralModel(
   fitted.log_likelihood = -optimum.best_value;
   fitted.lambda_variance = std::numeric_limits<double>::infinity();
   if (single) {
+    ++kalman_passes;
     MIC_ASSIGN_OR_RETURN(
         RegressionFilterResult filtered,
         RunFilterWithRegression(fitted.model, series, regressors.front()));
@@ -142,6 +150,7 @@ Result<FittedStructuralModel> FitStructuralModel(
     fitted.lambda = filtered.lambda;
     fitted.lambda_variance = filtered.lambda_variance;
   } else if (!regressors.empty()) {
+    ++kalman_passes;
     MIC_ASSIGN_OR_RETURN(
         MultiRegressionFilterResult filtered,
         RunFilterWithRegressors(fitted.model, series, regressors));
@@ -150,6 +159,14 @@ Result<FittedStructuralModel> FitStructuralModel(
   }
   fitted.aic = StructuralAic(fitted.log_likelihood, spec);
   fitted.optimizer_evaluations = optimum.evaluations;
+  if (options.metrics != nullptr) {
+    obs::Increment(obs::GetCounter(options.metrics, "ssm.fits"));
+    obs::Increment(
+        obs::GetCounter(options.metrics, "ssm.nelder_mead_evaluations"),
+        static_cast<std::uint64_t>(optimum.evaluations));
+    obs::Increment(obs::GetCounter(options.metrics, "ssm.kalman_passes"),
+                   kalman_passes);
+  }
   return fitted;
 }
 

@@ -21,6 +21,10 @@
 #include "ssm/optimizer.h"
 #include "ssm/structural.h"
 
+namespace mic::obs {
+class MetricsRegistry;
+}  // namespace mic::obs
+
 namespace mic::ssm {
 
 struct StructuralFitOptions {
@@ -29,6 +33,11 @@ struct StructuralFitOptions {
   /// initial step; cheap insurance against premature simplex collapse
   /// on flat likelihood ridges.
   int restarts = 1;
+  /// Optional metrics sink (not owned; null disables). Each successful
+  /// fit adds to ssm.fits, ssm.nelder_mead_evaluations, and
+  /// ssm.kalman_passes — all pure functions of the input series, so
+  /// they stay bit-identical at any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A fitted structural model.

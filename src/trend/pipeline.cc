@@ -1,14 +1,29 @@
 #include "trend/pipeline.h"
 
+#include "obs/trace.h"
+
 namespace mic::trend {
 
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
                                    const PipelineOptions& options) {
-  // Propagate the shared pool into both stages unless a stage already
-  // carries its own.
+  return RunPipeline(corpus, options, ExecContext{});
+}
+
+Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
+                                   const PipelineOptions& options,
+                                   const ExecContext& context) {
+  obs::Span pipeline_span(context.metrics, "pipeline");
+
+  // Resolve the pool each stage runs on. An explicitly passed context
+  // pool wins everywhere; otherwise the legacy propagation applies: the
+  // shared options.pool fills any stage pool still unset.
   medmodel::ReproducerOptions reproducer = options.reproducer;
   TrendAnalyzerOptions analyzer_options = options.analyzer;
-  if (options.pool != nullptr) {
+  ExecContext stage_context;
+  stage_context.metrics = context.metrics;
+  if (context.pool != nullptr) {
+    stage_context.pool = context.pool;
+  } else if (options.pool != nullptr) {
     if (reproducer.model_options.pool == nullptr) {
       reproducer.model_options.pool = options.pool;
     }
@@ -16,10 +31,12 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
       analyzer_options.pool = options.pool;
     }
   }
-  MIC_ASSIGN_OR_RETURN(medmodel::SeriesSet series,
-                       medmodel::ReproduceSeries(corpus, reproducer));
+  MIC_ASSIGN_OR_RETURN(
+      medmodel::SeriesSet series,
+      medmodel::ReproduceSeries(corpus, reproducer, stage_context));
   TrendAnalyzer analyzer(analyzer_options);
-  MIC_ASSIGN_OR_RETURN(TrendReport report, analyzer.AnalyzeAll(series));
+  MIC_ASSIGN_OR_RETURN(TrendReport report,
+                       analyzer.AnalyzeAll(series, stage_context));
   return PipelineResult{std::move(series), std::move(report)};
 }
 

@@ -4,6 +4,7 @@
 #ifndef MICTREND_TREND_PIPELINE_H_
 #define MICTREND_TREND_PIPELINE_H_
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/dataset.h"
@@ -15,6 +16,9 @@ namespace mic::trend {
 struct PipelineOptions {
   medmodel::ReproducerOptions reproducer;
   TrendAnalyzerOptions analyzer;
+  /// DEPRECATED: pass the pool via the ExecContext overload of
+  /// RunPipeline instead; an explicit context's pool takes precedence
+  /// over this field and the stage pools (see common/exec_context.h).
   /// Shared execution pool for both stages (not owned; null runs the
   /// whole pipeline inline). Propagated to the EM fits and the
   /// per-series change detection unless those options already carry
@@ -33,6 +37,16 @@ struct PipelineResult {
 /// Runs reproduction + analysis over `corpus`.
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
                                    const PipelineOptions& options = {});
+
+/// ExecContext overload: the context flows through both stages under a
+/// root "pipeline" span. context.pool (when set) overrides
+/// options.pool AND any stage-level pools; context.metrics collects
+/// every stage's counters (em.* / reproduce.* / ssm.* / changepoint.* /
+/// trend.*). Counter values are bit-identical at any thread count —
+/// the determinism test in tests/obs_test.cc holds this invariant.
+Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
+                                   const PipelineOptions& options,
+                                   const ExecContext& context);
 
 }  // namespace mic::trend
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/trace.h"
 #include "ssm/decompose.h"
 #include "stats/metrics.h"
 
@@ -45,6 +46,12 @@ std::size_t TrendReport::CountChanges(SeriesKind kind) const {
 Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
     SeriesKind kind, DiseaseId d, MedicineId m,
     std::span<const double> series) const {
+  return AnalyzeSeries(kind, d, m, series, ExecContext{});
+}
+
+Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
+    SeriesKind kind, DiseaseId d, MedicineId m,
+    std::span<const double> series, const ExecContext& context) const {
   SeriesAnalysis analysis;
   analysis.kind = kind;
   analysis.disease = d;
@@ -61,7 +68,11 @@ Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
     }
   }
 
-  ssm::ChangePointDetector detector(std::move(working), options_.detector);
+  ssm::ChangePointOptions detector_options = options_.detector;
+  if (context.metrics != nullptr) {
+    detector_options.fit.metrics = context.metrics;
+  }
+  ssm::ChangePointDetector detector(std::move(working), detector_options);
   Result<ssm::ChangePointResult> detected =
       options_.use_approximate ? detector.DetectApproximate()
                                : detector.DetectExact();
@@ -100,6 +111,18 @@ struct SeriesTask {
 
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     const medmodel::SeriesSet& set) const {
+  return AnalyzeAll(set, ExecContext{});
+}
+
+Result<TrendReport> TrendAnalyzer::AnalyzeAll(
+    const medmodel::SeriesSet& set, const ExecContext& context) const {
+  runtime::ThreadPool* pool = EffectivePool(context, options_.pool);
+  obs::MetricsRegistry* metrics = context.metrics;
+  obs::Span detect_span(metrics, "detect");
+  // Per-series fit wall time. Workers record into this pre-resolved
+  // handle directly (they do not inherit the span stack).
+  obs::Timer* fit_timer = obs::GetTimer(metrics, "trend.series_fit");
+
   // Collect every series in the serial traversal order; that order also
   // assembles the report below, so the result does not depend on which
   // thread fits which series.
@@ -124,14 +147,15 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
   std::vector<SeriesAnalysis> analyses(tasks.size());
   std::vector<Status> statuses(tasks.size());
   MIC_RETURN_IF_ERROR(runtime::ParallelFor(
-      options_.pool, 0, tasks.size(), 1,
-      [this, &tasks, &analyses, &statuses](std::size_t chunk_begin,
-                                           std::size_t chunk_end,
-                                           std::size_t) {
+      pool, 0, tasks.size(), 1,
+      [this, &tasks, &analyses, &statuses, &context, fit_timer](
+          std::size_t chunk_begin, std::size_t chunk_end, std::size_t) {
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
           const SeriesTask& task = tasks[i];
+          obs::ScopedTimer fit_scope(fit_timer);
           auto analysis = AnalyzeSeries(task.kind, task.disease,
-                                        task.medicine, *task.series);
+                                        task.medicine, *task.series,
+                                        context);
           if (analysis.ok()) {
             analyses[i] = std::move(*analysis);
           } else {
@@ -171,6 +195,38 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     }
   }
   MIC_RETURN_IF_ERROR(first_error);
+
+  if (metrics != nullptr) {
+    obs::Increment(obs::GetCounter(metrics, "trend.series_analyzed"),
+                   tasks.size());
+    std::uint64_t fits = 0;
+    std::uint64_t changes = 0;
+    for (const auto* group :
+         {&report.diseases, &report.medicines, &report.prescriptions}) {
+      for (const SeriesAnalysis& analysis : *group) {
+        fits += static_cast<std::uint64_t>(analysis.fits_performed);
+        if (analysis.has_change) ++changes;
+      }
+    }
+    obs::Increment(obs::GetCounter(metrics, "trend.series_fits"), fits);
+    obs::Increment(obs::GetCounter(metrics, "trend.changes_detected"),
+                   changes);
+    std::uint64_t cause_counts[4] = {0, 0, 0, 0};
+    for (const SeriesAnalysis& prescription : report.prescriptions) {
+      const ChangeCause cause =
+          ClassifyPrescriptionChange(report, prescription);
+      ++cause_counts[static_cast<int>(cause)];
+    }
+    obs::Increment(obs::GetCounter(metrics, "trend.cause.disease_derived"),
+                   cause_counts[static_cast<int>(
+                       ChangeCause::kDiseaseDerived)]);
+    obs::Increment(obs::GetCounter(metrics, "trend.cause.medicine_derived"),
+                   cause_counts[static_cast<int>(
+                       ChangeCause::kMedicineDerived)]);
+    obs::Increment(
+        obs::GetCounter(metrics, "trend.cause.prescription_derived"),
+        cause_counts[static_cast<int>(ChangeCause::kPrescriptionDerived)]);
+  }
   return report;
 }
 

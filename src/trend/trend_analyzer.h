@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/types.h"
@@ -79,10 +80,12 @@ struct TrendAnalyzerOptions {
   /// A disease/medicine break within this many months of a prescription
   /// break counts as its cause.
   int cause_window = 3;
-  /// Execution pool for AnalyzeAll's per-series fits (not owned; null
-  /// runs inline). Each series is one task; the report is assembled in
-  /// the serial traversal order, so it is bit-identical at any thread
-  /// count.
+  /// DEPRECATED: pass the pool via the ExecContext overload of
+  /// AnalyzeAll instead; an explicit context's pool takes precedence
+  /// over this field (see common/exec_context.h). Execution pool for
+  /// AnalyzeAll's per-series fits (not owned; null runs inline). Each
+  /// series is one task; the report is assembled in the serial
+  /// traversal order, so it is bit-identical at any thread count.
   runtime::ThreadPool* pool = nullptr;
 };
 
@@ -111,8 +114,24 @@ class TrendAnalyzer {
                                        MedicineId m,
                                        std::span<const double> series) const;
 
+  /// ExecContext overload: context.metrics flows into the per-series
+  /// ChangePointDetector (changepoint.* / ssm.* counters). The pool is
+  /// not consulted here — a single series is always fitted serially.
+  Result<SeriesAnalysis> AnalyzeSeries(SeriesKind kind, DiseaseId d,
+                                       MedicineId m,
+                                       std::span<const double> series,
+                                       const ExecContext& context) const;
+
   /// Analyzes every disease, medicine, and prescription series in `set`.
   Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set) const;
+
+  /// ExecContext overload: context.pool (when set) overrides
+  /// options.pool for the per-series dispatch, and context.metrics
+  /// receives the stage's counters (trend.series_analyzed /
+  /// trend.series_fits / trend.changes_detected / trend.cause.*) under
+  /// a "detect" span, plus the per-series trend.series_fit timer.
+  Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set,
+                                 const ExecContext& context) const;
 
   /// Attributes a detected prescription change using the disease and
   /// medicine verdicts already present in `report`. Returns kNone when

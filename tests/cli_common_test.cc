@@ -1,0 +1,172 @@
+#include "tools/cli_common.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mic::tools {
+namespace {
+
+Flags ParseOrDie(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  std::string program = "mictrend";
+  argv.push_back(program.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().message();
+  return *flags;
+}
+
+TEST(CommandTableTest, CoversAllFiveSubcommands) {
+  std::set<std::string> names;
+  for (const CommandSpec& command : CommandTable()) {
+    names.insert(std::string(command.name));
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"generate", "stats", "reproduce",
+                                          "detect", "pipeline"}));
+}
+
+TEST(CommandTableTest, FlagNamesAreUniquePerCommand) {
+  for (const CommandSpec& command : CommandTable()) {
+    std::set<std::string_view> seen;
+    for (const FlagSpec& flag : command.flags) {
+      EXPECT_TRUE(seen.insert(flag.name).second)
+          << "duplicate --" << flag.name << " in " << command.name;
+    }
+  }
+}
+
+TEST(CommandTableTest, EveryCommandAcceptsMetricsOut) {
+  for (const CommandSpec& command : CommandTable()) {
+    bool found = false;
+    for (const FlagSpec& flag : command.flags) {
+      if (flag.name == "metrics-out") found = true;
+    }
+    EXPECT_TRUE(found) << command.name << " is missing --metrics-out";
+  }
+}
+
+// The regression the table fixes: the usage screen is generated from
+// the same specs the parser validates against, so every declared flag
+// (notably the pipeline detector flags the old hand-written Usage()
+// dropped) must appear in the text.
+TEST(UsageTextTest, MentionsEveryDeclaredFlag) {
+  const std::string usage = BuildUsageText();
+  for (const CommandSpec& command : CommandTable()) {
+    EXPECT_NE(usage.find(command.name), std::string::npos)
+        << std::string(command.name);
+    for (const FlagSpec& flag : command.flags) {
+      EXPECT_NE(usage.find("--" + std::string(flag.name)),
+                std::string::npos)
+          << "usage drops --" << flag.name << " of " << command.name;
+    }
+  }
+}
+
+TEST(UsageTextTest, PipelineSectionListsDetectorFlags) {
+  const std::string usage = BuildUsageText();
+  const std::size_t pipeline = usage.find("\n  pipeline");
+  ASSERT_NE(pipeline, std::string::npos);
+  for (const char* flag :
+       {"--algorithm", "--margin", "--criterion", "--kind", "--min-tail"}) {
+    EXPECT_NE(usage.find(flag, pipeline), std::string::npos) << flag;
+  }
+}
+
+TEST(ValidateFlagsTest, RejectsUnknownAndMissingRequired) {
+  const CommandSpec* pipeline = FindCommand("pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_TRUE(ValidateFlags(*pipeline,
+                            ParseOrDie({"pipeline", "--corpus", "c.csv",
+                                        "--margin", "2"}))
+                  .ok());
+  const Status unknown = ValidateFlags(
+      *pipeline, ParseOrDie({"pipeline", "--corpus", "c.csv", "--bogus"}));
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.message().find("--bogus"), std::string::npos);
+  const Status missing =
+      ValidateFlags(*pipeline, ParseOrDie({"pipeline", "--margin", "2"}));
+  EXPECT_EQ(missing.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.message().find("--corpus"), std::string::npos);
+  EXPECT_EQ(FindCommand("bogus"), nullptr);
+}
+
+TEST(DetectorOptionsTest, DefaultsDifferPerCaller) {
+  const Flags empty = ParseOrDie({"detect"});
+  auto detect = DetectorOptionsFromFlags(empty, DetectorFlagDefaults{});
+  ASSERT_TRUE(detect.ok());
+  EXPECT_EQ(detect->aic_margin, 0.0);
+  EXPECT_EQ(detect->min_tail_observations, 1);
+  auto pipeline =
+      DetectorOptionsFromFlags(empty, DetectorFlagDefaults{4.0, 3,
+                                                           "approx"});
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(pipeline->aic_margin, 4.0);
+  EXPECT_EQ(pipeline->min_tail_observations, 3);
+
+  const Flags overridden =
+      ParseOrDie({"pipeline", "--margin", "7.5", "--min-tail", "2",
+                  "--criterion", "bic", "--kind", "auto"});
+  auto custom = DetectorOptionsFromFlags(
+      overridden, DetectorFlagDefaults{4.0, 3, "approx"});
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom->aic_margin, 7.5);
+  EXPECT_EQ(custom->min_tail_observations, 2);
+  EXPECT_EQ(custom->criterion, ssm::SelectionCriterion::kBic);
+  EXPECT_EQ(custom->candidate_kinds.size(), 2u);
+  EXPECT_EQ(DetectorOptionsFromFlags(
+                ParseOrDie({"detect", "--criterion", "nope"}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DetectorOptionsTest, AlgorithmSelectionHonorsDefaults) {
+  const Flags empty = ParseOrDie({"detect"});
+  auto exact = UseExactAlgorithm(empty, DetectorFlagDefaults{});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(*exact);
+  auto approx =
+      UseExactAlgorithm(empty, DetectorFlagDefaults{4.0, 3, "approx"});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_FALSE(*approx);
+  auto flipped = UseExactAlgorithm(
+      ParseOrDie({"pipeline", "--algorithm", "exact"}),
+      DetectorFlagDefaults{4.0, 3, "approx"});
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_TRUE(*flipped);
+  EXPECT_EQ(UseExactAlgorithm(
+                ParseOrDie({"detect", "--algorithm", "nope"}),
+                DetectorFlagDefaults{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliRunTest, MetricsEnabledOnlyWhenRequested) {
+  auto plain = CliRun::FromFlags(ParseOrDie({"stats"}), false);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->metrics(), nullptr);
+  EXPECT_EQ(plain->context().metrics, nullptr);
+  ASSERT_NE(plain->pool(), nullptr);
+  EXPECT_EQ(plain->pool()->num_threads(), 1);
+
+  auto with_metrics = CliRun::FromFlags(
+      ParseOrDie({"pipeline", "--metrics-out", "m.json", "--threads", "3"}),
+      true);
+  ASSERT_TRUE(with_metrics.ok());
+  ASSERT_NE(with_metrics->metrics(), nullptr);
+  EXPECT_EQ(with_metrics->context().metrics, with_metrics->metrics());
+  EXPECT_EQ(with_metrics->pool()->num_threads(), 3);
+
+  EXPECT_EQ(CliRun::FromFlags(ParseOrDie({"pipeline", "--threads", "0"}),
+                              true)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mic::tools

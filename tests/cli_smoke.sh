@@ -36,6 +36,48 @@ test -s "$WORK/report.csv"
   --out "$WORK/report_mt.csv" | grep -q "runtime-stats threads=4"
 cmp "$WORK/report.csv" "$WORK/report_mt.csv"
 
+# --metrics-out writes valid JSON with the pipeline's counters, and the
+# counters section is bit-identical across thread counts.
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --seasonal false --out "$WORK/r1.csv" --threads 1 \
+  --metrics-out "$WORK/m1.json" 2>&1 | grep -q "wrote metrics to"
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --seasonal false --out "$WORK/r4.csv" --threads 4 \
+  --metrics-out "$WORK/m4.json" > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/m1.json" "$WORK/m4.json" << 'EOF'
+import json, sys
+one, four = (json.load(open(path)) for path in sys.argv[1:3])
+for key in ("em.fits", "em.iterations", "ssm.kalman_passes",
+            "changepoint.aic_evaluations", "trend.series_analyzed",
+            "reproduce.months_fitted", "runtime.threads"):
+    assert key in one["counters"] or key in one["gauges"], key
+assert one["counters"] == four["counters"], "counters differ by threads"
+assert "pipeline/reproduce/em_fit" in one["timers"], "missing span timer"
+EOF
+else
+  grep -q '"em.iterations"' "$WORK/m1.json"
+fi
+
+# detect honors --threads and --metrics-out too.
+"$MICTREND" detect --series "$WORK/series.csv" --algorithm approx \
+  --seasonal false --margin 4 --min-tail 3 --threads 2 \
+  --metrics-out "$WORK/detect_metrics.json" > "$WORK/detect_mt.csv"
+cmp "$WORK/detect.csv" "$WORK/detect_mt.csv"
+grep -q '"changepoint.approximate.aic_evaluations"' \
+  "$WORK/detect_metrics.json"
+
+# Undeclared flags are rejected, and the usage screen the parser
+# validates against advertises the pipeline detector flags.
+if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --bogus 2>/dev/null; then
+  echo "expected failure for unknown flag" >&2
+  exit 1
+fi
+"$MICTREND" 2>&1 | grep -q -- "--algorithm" || {
+  echo "usage screen is missing the pipeline detector flags" >&2
+  exit 1
+}
+
 # Custom world config.
 cat > "$WORK/world.cfg" << 'EOF'
 config,months=6,seed=5

@@ -1,0 +1,249 @@
+#include "tools/cli_common.h"
+
+#include <cstdio>
+
+#include "obs/runtime_metrics.h"
+
+namespace mic::tools {
+namespace {
+
+// Shared flag groups, spliced into the per-command flag lists below.
+std::vector<FlagSpec> WithExecFlags(std::vector<FlagSpec> flags,
+                                    bool runtime_stats) {
+  flags.push_back({"threads", "N"});
+  if (runtime_stats) flags.push_back({"runtime-stats", ""});
+  flags.push_back({"metrics-out", "m.json"});
+  return flags;
+}
+
+std::vector<FlagSpec> DetectorFlags(std::string_view margin,
+                                    std::string_view min_tail,
+                                    std::string_view algorithm) {
+  return {
+      {"algorithm", algorithm},
+      {"margin", margin},
+      {"criterion", "aic|aicc|bic"},
+      {"kind", "slope|level|pulse|auto"},
+      {"seasonal", "true"},
+      {"min-tail", min_tail},
+  };
+}
+
+std::vector<CommandSpec> BuildCommandTable() {
+  std::vector<CommandSpec> table;
+  table.push_back(
+      {"generate",
+       {{"out", "corpus.csv", true},
+        {"world", "world.cfg"},
+        {"hospitals-out", "h.csv"},
+        {"months", "43"},
+        {"patients", "2000"},
+        {"background", "40"},
+        {"seed", "20190411"},
+        {"metrics-out", "m.json"}}});
+  table.push_back({"stats",
+                   {{"corpus", "corpus.csv", true},
+                    {"metrics-out", "m.json"}}});
+  table.push_back(
+      {"reproduce",
+       WithExecFlags({{"corpus", "corpus.csv", true},
+                      {"out", "series.csv", true},
+                      {"min-total", "10"},
+                      {"coupling", "0"},
+                      {"model", "proposed|cooccurrence"}},
+                     /*runtime_stats=*/true)});
+  {
+    std::vector<FlagSpec> detect_flags = {{"series", "series.csv", true}};
+    for (FlagSpec& flag : DetectorFlags("0", "1", "exact|approx")) {
+      detect_flags.push_back(flag);
+    }
+    detect_flags.push_back({"max-breaks", "1"});
+    table.push_back(
+        {"detect", WithExecFlags(std::move(detect_flags),
+                                 /*runtime_stats=*/false)});
+  }
+  {
+    std::vector<FlagSpec> pipeline_flags = {{"corpus", "corpus.csv", true},
+                                            {"out", "report.csv"},
+                                            {"min-total", "10"}};
+    for (FlagSpec& flag : DetectorFlags("4", "3", "approx|exact")) {
+      pipeline_flags.push_back(flag);
+    }
+    table.push_back(
+        {"pipeline", WithExecFlags(std::move(pipeline_flags),
+                                   /*runtime_stats=*/true)});
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::vector<CommandSpec>& CommandTable() {
+  static const std::vector<CommandSpec>* table =
+      new std::vector<CommandSpec>(BuildCommandTable());
+  return *table;
+}
+
+const CommandSpec* FindCommand(std::string_view name) {
+  for (const CommandSpec& command : CommandTable()) {
+    if (command.name == name) return &command;
+  }
+  return nullptr;
+}
+
+std::string BuildUsageText() {
+  std::string usage = "usage: mictrend <";
+  const std::vector<CommandSpec>& table = CommandTable();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i > 0) usage += '|';
+    usage += table[i].name;
+  }
+  usage += "> [--flags]\n";
+
+  constexpr std::size_t kIndent = 12;
+  constexpr std::size_t kWidth = 76;
+  for (const CommandSpec& command : table) {
+    std::string line = "  ";
+    line += command.name;
+    while (line.size() < kIndent) line += ' ';
+    for (const FlagSpec& flag : command.flags) {
+      std::string item = "--";
+      item += flag.name;
+      if (!flag.value.empty()) {
+        item += ' ';
+        item += flag.value;
+      }
+      if (!flag.required) item = "[" + item + "]";
+      if (line.size() + 1 + item.size() > kWidth &&
+          line.size() > kIndent) {
+        usage += line;
+        usage += '\n';
+        line.assign(kIndent, ' ');
+      } else if (line.size() > kIndent) {
+        line += ' ';
+      }
+      line += item;
+    }
+    usage += line;
+    usage += '\n';
+  }
+  usage +=
+      "--threads defaults to the hardware concurrency; 1 runs inline\n"
+      "(either way the output is bit-identical). --metrics-out writes\n"
+      "the run's counters, timers, and histograms as JSON;\n"
+      "--runtime-stats is deprecated in its favor.\n";
+  return usage;
+}
+
+Status ValidateFlags(const CommandSpec& spec, const Flags& flags) {
+  for (const std::string& key : flags.Keys()) {
+    bool known = false;
+    for (const FlagSpec& flag : spec.flags) {
+      if (flag.name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag --" + key +
+                                     " for command '" +
+                                     std::string(spec.name) + "'");
+    }
+  }
+  for (const FlagSpec& flag : spec.flags) {
+    if (flag.required && !flags.Has(std::string(flag.name))) {
+      return Status::InvalidArgument(std::string(spec.name) + ": --" +
+                                     std::string(flag.name) +
+                                     " is required");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
+    const Flags& flags) {
+  MIC_ASSIGN_OR_RETURN(std::int64_t threads, flags.GetInt("threads", 0));
+  if (flags.Has("threads") && threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  return std::make_unique<runtime::ThreadPool>(static_cast<int>(threads));
+}
+
+Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool) {
+  CliRun run;
+  if (with_pool) {
+    MIC_ASSIGN_OR_RETURN(run.pool_, MakePoolFromFlags(flags));
+  } else {
+    run.pool_ = std::make_unique<runtime::ThreadPool>(1);
+  }
+  if (flags.Has("metrics-out")) {
+    run.metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  return run;
+}
+
+Status CliRun::Finish(const Flags& flags) {
+  if (flags.GetBool("runtime-stats")) {
+    // Deprecated (kept for existing scripts): --metrics-out carries the
+    // same stage stats plus the pipeline counters.
+    std::printf("runtime-stats threads=%d %s\n", pool_->num_threads(),
+                pool_->stats().ToJson().c_str());
+  }
+  const std::string metrics_path = flags.GetString("metrics-out");
+  if (!metrics_path.empty()) {
+    obs::FoldRuntimeStats(pool_->stats(), pool_->num_threads(),
+                          metrics_.get());
+    MIC_RETURN_IF_ERROR(obs::WriteMetricsJsonFile(*metrics_, metrics_path));
+    // stderr: `detect` streams its report CSV to stdout.
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return Status::OK();
+}
+
+Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
+    const Flags& flags, const DetectorFlagDefaults& defaults) {
+  ssm::ChangePointOptions options;
+  options.seasonal = flags.GetBool("seasonal", true);
+  MIC_ASSIGN_OR_RETURN(double margin,
+                       flags.GetDouble("margin", defaults.margin));
+  options.aic_margin = margin;
+  MIC_ASSIGN_OR_RETURN(
+      std::int64_t min_tail,
+      flags.GetInt("min-tail", defaults.min_tail));
+  options.min_tail_observations = static_cast<int>(min_tail);
+  const std::string criterion = flags.GetString("criterion", "aic");
+  if (criterion == "aic") {
+    options.criterion = ssm::SelectionCriterion::kAic;
+  } else if (criterion == "aicc") {
+    options.criterion = ssm::SelectionCriterion::kAicc;
+  } else if (criterion == "bic") {
+    options.criterion = ssm::SelectionCriterion::kBic;
+  } else {
+    return Status::InvalidArgument("unknown --criterion: " + criterion);
+  }
+  const std::string kind = flags.GetString("kind", "slope");
+  if (kind == "slope") {
+    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift};
+  } else if (kind == "level") {
+    options.candidate_kinds = {ssm::InterventionKind::kLevelShift};
+  } else if (kind == "pulse") {
+    options.candidate_kinds = {ssm::InterventionKind::kPulse};
+  } else if (kind == "auto") {
+    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift,
+                               ssm::InterventionKind::kLevelShift};
+  } else {
+    return Status::InvalidArgument("unknown --kind: " + kind);
+  }
+  return options;
+}
+
+Result<bool> UseExactAlgorithm(const Flags& flags,
+                               const DetectorFlagDefaults& defaults) {
+  const std::string algorithm =
+      flags.GetString("algorithm", std::string(defaults.algorithm));
+  if (algorithm == "exact") return true;
+  if (algorithm == "approx") return false;
+  return Status::InvalidArgument("unknown --algorithm: " + algorithm);
+}
+
+}  // namespace mic::tools

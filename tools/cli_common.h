@@ -1,0 +1,111 @@
+// Shared plumbing for the mictrend subcommands.
+//
+// The command/flag table declared here is the single source of truth
+// for the CLI surface: BuildUsageText() renders the usage screen from
+// it and ValidateFlags() rejects anything not declared in it, so the
+// two can never drift apart again (the old hand-written Usage() had
+// silently dropped the pipeline detector flags).
+//
+// CliRun bundles the per-invocation execution state every subcommand
+// shares — the --threads pool and the --metrics-out registry — and
+// hands it to the library as one mic::ExecContext.
+
+#ifndef MICTREND_TOOLS_CLI_COMMON_H_
+#define MICTREND_TOOLS_CLI_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "ssm/changepoint.h"
+#include "tools/flags.h"
+
+namespace mic::tools {
+
+/// One flag a subcommand accepts.
+struct FlagSpec {
+  std::string_view name;   // without the leading "--"
+  std::string_view value;  // usage placeholder; empty = boolean flag
+  bool required = false;
+};
+
+/// One subcommand. The flag list drives BOTH the usage text and the
+/// unknown-flag validation.
+struct CommandSpec {
+  std::string_view name;
+  std::vector<FlagSpec> flags;
+};
+
+/// The full mictrend command surface, in usage-screen order.
+const std::vector<CommandSpec>& CommandTable();
+
+/// Spec for `name`, or null for an unknown subcommand.
+const CommandSpec* FindCommand(std::string_view name);
+
+/// Usage screen regenerated from CommandTable().
+std::string BuildUsageText();
+
+/// Rejects flags not declared in `spec` and reports missing required
+/// flags.
+Status ValidateFlags(const CommandSpec& spec, const Flags& flags);
+
+/// Pool for --threads N (default: hardware concurrency; 1 spawns no
+/// workers and runs inline — output is bit-identical either way).
+Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
+    const Flags& flags);
+
+/// Per-invocation execution + observability state shared by every
+/// subcommand: the --threads pool and, when --metrics-out (or the
+/// deprecated --runtime-stats) is given, the metrics registry the
+/// pipeline records into.
+class CliRun {
+ public:
+  /// `with_pool` = false builds a 1-thread (inline) pool for
+  /// subcommands that do no parallel work.
+  static Result<CliRun> FromFlags(const Flags& flags, bool with_pool);
+
+  /// Context for the library entry points. metrics is null when no
+  /// metrics output was requested, which keeps the hot paths on the
+  /// disabled (pointer-compare) branch.
+  ExecContext context() const {
+    return ExecContext{pool_.get(), metrics_.get()};
+  }
+  runtime::ThreadPool* pool() const { return pool_.get(); }
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Finishes the run: folds the pool's runtime stats into the
+  /// registry, writes --metrics-out (deterministic JSON), and honors
+  /// the deprecated --runtime-stats one-liner.
+  Status Finish(const Flags& flags);
+
+ private:
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+};
+
+/// Defaults for the detector flag group, so `detect` keeps the paper's
+/// plain search (margin 0, tail 1, exact) while `pipeline` keeps its
+/// calibrated screening defaults (margin 4, tail 3, approximate).
+struct DetectorFlagDefaults {
+  double margin = 0.0;
+  int min_tail = 1;
+  std::string_view algorithm = "exact";
+};
+
+/// Parses the shared detector flag group (--seasonal --margin
+/// --criterion --kind --min-tail) against `defaults`.
+Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
+    const Flags& flags, const DetectorFlagDefaults& defaults = {});
+
+/// True when --algorithm resolves to the exact search (Algorithm 1).
+Result<bool> UseExactAlgorithm(const Flags& flags,
+                               const DetectorFlagDefaults& defaults);
+
+}  // namespace mic::tools
+
+#endif  // MICTREND_TOOLS_CLI_COMMON_H_

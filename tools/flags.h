@@ -51,6 +51,15 @@ class Flags {
   const std::string& command() const { return command_; }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// All flag names seen on the command line, sorted (std::map order);
+  /// lets callers validate against a declared flag set.
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(values_.size());
+    for (const auto& [key, value] : values_) keys.push_back(key);
+    return keys;
+  }
+
   std::string GetString(const std::string& key,
                         const std::string& fallback = "") const {
     auto it = values_.find(key);

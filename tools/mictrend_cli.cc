@@ -1,19 +1,7 @@
 // mictrend command-line tool: the library's pipeline as composable
-// shell steps over CSV files.
-//
-//   mictrend generate  --out corpus.csv [--hospitals-out h.csv]
-//                      [--months 43] [--patients 2000] [--seed S]
-//                      [--background 40]
-//   mictrend stats     --corpus corpus.csv
-//   mictrend reproduce --corpus corpus.csv --out series.csv
-//                      [--min-total 10] [--coupling 0]
-//                      [--model proposed|cooccurrence]
-//   mictrend detect    --series series.csv [--algorithm exact|approx]
-//                      [--margin 0] [--criterion aic|aicc|bic]
-//                      [--kind slope|level|pulse|auto] [--seasonal true]
-//                      [--min-tail 1] [--max-breaks 1]
-//   mictrend pipeline  --corpus corpus.csv   (reproduce + detect +
-//                      classify, printed as a report)
+// shell steps over CSV files. Run `mictrend` with no arguments for the
+// usage screen — it is generated from the command table in
+// tools/cli_common.cc, the same table that validates the flags.
 
 #include <cstdio>
 #include <fstream>
@@ -23,13 +11,16 @@
 #include "medmodel/series_io.h"
 #include "medmodel/timeseries.h"
 #include "mic/io.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 #include "stats/metrics.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 #include "synth/world_io.h"
+#include "tools/cli_common.h"
 #include "tools/flags.h"
+#include "trend/pipeline.h"
 #include "trend/report_io.h"
 #include "trend/trend_analyzer.h"
 
@@ -42,37 +33,8 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: mictrend <generate|stats|reproduce|detect|pipeline> "
-      "[--flags]\n"
-      "  generate  --out corpus.csv [--world world.cfg]\n"
-      "            [--hospitals-out h.csv] [--months 43]\n"
-      "            [--patients 2000] [--background 40] [--seed 20190411]\n"
-      "  stats     --corpus corpus.csv\n"
-      "  reproduce --corpus corpus.csv --out series.csv [--min-total 10]\n"
-      "            [--coupling 0] [--model proposed|cooccurrence]\n"
-      "            [--threads N] [--runtime-stats]\n"
-      "  detect    --series series.csv [--algorithm exact|approx]\n"
-      "            [--margin 0] [--criterion aic|aicc|bic]\n"
-      "            [--kind slope|level|pulse|auto] [--seasonal true]\n"
-      "            [--min-tail 1] [--max-breaks 1]\n"
-      "  pipeline  --corpus corpus.csv [--min-total 10] [--out report.csv]\n"
-      "            [--threads N] [--runtime-stats]\n"
-      "--threads defaults to the hardware concurrency; 1 runs inline\n"
-      "(either way the output is bit-identical).\n");
+  std::fputs(BuildUsageText().c_str(), stderr);
   return 2;
-}
-
-/// Pool for --threads N (default: hardware concurrency; 1 spawns no
-/// workers and preserves today's inline behavior exactly).
-Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
-    const Flags& flags) {
-  MIC_ASSIGN_OR_RETURN(std::int64_t threads, flags.GetInt("threads", 0));
-  if (flags.Has("threads") && threads < 1) {
-    return Status::InvalidArgument("--threads must be >= 1");
-  }
-  return std::make_unique<runtime::ThreadPool>(static_cast<int>(threads));
 }
 
 Result<synth::GeneratedData> GenerateFromFlags(const Flags& flags) {
@@ -108,11 +70,9 @@ Result<synth::GeneratedData> GenerateFromFlags(const Flags& flags) {
 }
 
 int RunGenerate(const Flags& flags) {
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
+  if (!run.ok()) return Fail(run.status());
   const std::string out_path = flags.GetString("out");
-  if (out_path.empty()) {
-    std::fprintf(stderr, "generate: --out is required\n");
-    return 2;
-  }
   auto data = GenerateFromFlags(flags);
   if (!data.ok()) return Fail(data.status());
   if (Status status = WriteCorpusCsvFile(data->corpus, out_path);
@@ -136,16 +96,20 @@ int RunGenerate(const Flags& flags) {
     std::printf("wrote hospital attributes to %s\n",
                 hospitals_path.c_str());
   }
+  obs::Increment(obs::GetCounter(run->metrics(), "cli.records_written"),
+                 data->corpus.TotalRecords());
+  obs::Increment(obs::GetCounter(run->metrics(), "cli.months_written"),
+                 data->corpus.num_months());
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
   return 0;
 }
 
 int RunStats(const Flags& flags) {
-  const std::string corpus_path = flags.GetString("corpus");
-  if (corpus_path.empty()) {
-    std::fprintf(stderr, "stats: --corpus is required\n");
-    return 2;
-  }
-  auto corpus = ReadCorpusCsvFile(corpus_path);
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
+  if (!run.ok()) return Fail(run.status());
+  auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
   if (!corpus.ok()) return Fail(corpus.status());
   std::printf("months: %zu\nrecords: %zu\n", corpus->num_months(),
               corpus->TotalRecords());
@@ -168,24 +132,23 @@ int RunStats(const Flags& flags) {
                 mean_diseases / static_cast<double>(nonempty),
                 mean_medicines / static_cast<double>(nonempty));
   }
+  obs::Increment(obs::GetCounter(run->metrics(), "cli.records_read"),
+                 corpus->TotalRecords());
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
   return 0;
 }
 
 int RunReproduce(const Flags& flags) {
-  const std::string corpus_path = flags.GetString("corpus");
-  const std::string out_path = flags.GetString("out");
-  if (corpus_path.empty() || out_path.empty()) {
-    std::fprintf(stderr, "reproduce: --corpus and --out are required\n");
-    return 2;
-  }
-  auto corpus = ReadCorpusCsvFile(corpus_path);
+  auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
   if (!corpus.ok()) return Fail(corpus.status());
+  const std::string out_path = flags.GetString("out");
 
-  auto pool = MakePoolFromFlags(flags);
-  if (!pool.ok()) return Fail(pool.status());
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
+  if (!run.ok()) return Fail(run.status());
 
   medmodel::ReproducerOptions options;
-  options.model_options.pool = pool->get();
   auto min_total = flags.GetDouble("min-total", 10.0);
   if (!min_total.ok()) return Fail(min_total.status());
   options.min_series_total = *min_total;
@@ -201,7 +164,8 @@ int RunReproduce(const Flags& flags) {
     return 2;
   }
 
-  auto series = medmodel::ReproduceSeries(*corpus, options);
+  auto series =
+      medmodel::ReproduceSeries(*corpus, options, run->context());
   if (!series.ok()) return Fail(series.status());
   if (Status status = medmodel::WriteSeriesCsvFile(
           *series, corpus->catalog(), out_path);
@@ -212,85 +176,64 @@ int RunReproduce(const Flags& flags) {
               "to %s\n",
               series->num_diseases(), series->num_medicines(),
               series->num_pairs(), out_path.c_str());
-  if (flags.GetBool("runtime-stats")) {
-    std::printf("runtime-stats threads=%d %s\n",
-                (*pool)->num_threads(), (*pool)->stats().ToJson().c_str());
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
   }
   return 0;
 }
 
-Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
-    const Flags& flags) {
-  ssm::ChangePointOptions options;
-  options.seasonal = flags.GetBool("seasonal", true);
-  MIC_ASSIGN_OR_RETURN(double margin, flags.GetDouble("margin", 0.0));
-  options.aic_margin = margin;
-  MIC_ASSIGN_OR_RETURN(std::int64_t min_tail, flags.GetInt("min-tail", 1));
-  options.min_tail_observations = static_cast<int>(min_tail);
-  const std::string criterion = flags.GetString("criterion", "aic");
-  if (criterion == "aic") {
-    options.criterion = ssm::SelectionCriterion::kAic;
-  } else if (criterion == "aicc") {
-    options.criterion = ssm::SelectionCriterion::kAicc;
-  } else if (criterion == "bic") {
-    options.criterion = ssm::SelectionCriterion::kBic;
-  } else {
-    return Status::InvalidArgument("unknown --criterion: " + criterion);
-  }
-  const std::string kind = flags.GetString("kind", "slope");
-  if (kind == "slope") {
-    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift};
-  } else if (kind == "level") {
-    options.candidate_kinds = {ssm::InterventionKind::kLevelShift};
-  } else if (kind == "pulse") {
-    options.candidate_kinds = {ssm::InterventionKind::kPulse};
-  } else if (kind == "auto") {
-    options.candidate_kinds = {ssm::InterventionKind::kSlopeShift,
-                               ssm::InterventionKind::kLevelShift};
-  } else {
-    return Status::InvalidArgument("unknown --kind: " + kind);
-  }
-  return options;
-}
-
 int RunDetect(const Flags& flags) {
-  const std::string series_path = flags.GetString("series");
-  if (series_path.empty()) {
-    std::fprintf(stderr, "detect: --series is required\n");
-    return 2;
-  }
   Catalog catalog;
-  auto series = medmodel::ReadSeriesCsvFile(series_path, catalog);
+  auto series = medmodel::ReadSeriesCsvFile(flags.GetString("series"),
+                                            catalog);
   if (!series.ok()) return Fail(series.status());
 
-  auto options = DetectorOptionsFromFlags(flags);
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
+  if (!run.ok()) return Fail(run.status());
+
+  const DetectorFlagDefaults defaults;  // margin 0, tail 1, exact
+  auto options = DetectorOptionsFromFlags(flags, defaults);
   if (!options.ok()) return Fail(options.status());
-  const bool exact = flags.GetString("algorithm", "exact") != "approx";
+  auto exact = UseExactAlgorithm(flags, defaults);
+  if (!exact.ok()) return Fail(exact.status());
   auto max_breaks = flags.GetInt("max-breaks", 1);
   if (!max_breaks.ok()) return Fail(max_breaks.status());
 
-  trend::TrendAnalyzerOptions analyzer_options;
-  analyzer_options.detector = *options;
-  analyzer_options.use_approximate = !exact;
-  trend::TrendAnalyzer analyzer(analyzer_options);
-
   std::printf("kind,disease,medicine,change,month,lambda,criterion,"
               "criterion_no_change\n");
-  auto emit = [&](trend::SeriesKind kind, DiseaseId d, MedicineId m,
-                  const std::vector<double>& values) {
-    const char* kind_name =
-        kind == trend::SeriesKind::kDisease
-            ? "disease"
-            : (kind == trend::SeriesKind::kMedicine ? "medicine"
-                                                    : "prescription");
-    if (*max_breaks > 1) {
-      // Multi-break report: run the greedy extension directly.
+
+  const auto kind_name = [](trend::SeriesKind kind) {
+    return kind == trend::SeriesKind::kDisease
+               ? "disease"
+               : (kind == trend::SeriesKind::kMedicine ? "medicine"
+                                                       : "prescription");
+  };
+  const auto disease_name = [&catalog](trend::SeriesKind kind,
+                                       DiseaseId d) {
+    return kind != trend::SeriesKind::kMedicine
+               ? catalog.diseases().Name(d)
+               : std::string("-");
+  };
+  const auto medicine_name = [&catalog](trend::SeriesKind kind,
+                                        MedicineId m) {
+    return kind != trend::SeriesKind::kDisease
+               ? catalog.medicines().Name(m)
+               : std::string("-");
+  };
+
+  if (*max_breaks > 1) {
+    // Multi-break report: run the greedy extension per series, serially
+    // (the multi-break search is itself the expensive path).
+    ssm::ChangePointOptions detector_options = *options;
+    detector_options.fit.metrics = run->metrics();
+    auto emit = [&](trend::SeriesKind kind, DiseaseId d, MedicineId m,
+                    const std::vector<double>& values) {
       std::vector<double> normalized = values;
       const double sd = stats::StdDev(values);
       if (sd > 0.0) {
         for (double& value : normalized) value /= sd;
       }
-      ssm::ChangePointDetector detector(normalized, *options);
+      ssm::ChangePointDetector detector(normalized, detector_options);
       auto result = detector.DetectMultiple(static_cast<int>(*max_breaks));
       if (!result.ok()) return;
       std::string months;
@@ -306,113 +249,128 @@ int RunDetect(const Flags& flags) {
                          ? result->best_model.lambdas[k] * sd
                          : 0.0));
       }
-      std::printf("%s,%s,%s,%d,%s,%s,%.3f,%.3f\n", kind_name,
-                  kind != trend::SeriesKind::kMedicine
-                      ? catalog.diseases().Name(d).c_str()
-                      : "-",
-                  kind != trend::SeriesKind::kDisease
-                      ? catalog.medicines().Name(m).c_str()
-                      : "-",
+      std::printf("%s,%s,%s,%d,%s,%s,%.3f,%.3f\n", kind_name(kind),
+                  disease_name(kind, d).c_str(),
+                  medicine_name(kind, m).c_str(),
                   result->interventions.empty() ? 0 : 1,
                   months.empty() ? "-" : months.c_str(),
                   lambdas.empty() ? "-" : lambdas.c_str(),
                   result->best_aic, result->aic_without_intervention);
-      return;
+    };
+    series->ForEachDisease([&](DiseaseId d, const std::vector<double>& v) {
+      emit(trend::SeriesKind::kDisease, d, MedicineId(), v);
+    });
+    series->ForEachMedicine(
+        [&](MedicineId m, const std::vector<double>& v) {
+          emit(trend::SeriesKind::kMedicine, DiseaseId(), m, v);
+        });
+    series->ForEachPair(
+        [&](DiseaseId d, MedicineId m, const std::vector<double>& v) {
+          emit(trend::SeriesKind::kPrescription, d, m, v);
+        });
+  } else {
+    // Single-break: analyze every series through AnalyzeAll so --threads
+    // parallelizes the fits; the report preserves the serial traversal
+    // order, so the printed rows are bit-identical at any thread count.
+    trend::TrendAnalyzerOptions analyzer_options;
+    analyzer_options.detector = *options;
+    analyzer_options.use_approximate = !*exact;
+    trend::TrendAnalyzer analyzer(analyzer_options);
+    auto report = analyzer.AnalyzeAll(*series, run->context());
+    if (!report.ok()) return Fail(report.status());
+    auto emit_analysis = [&](const trend::SeriesAnalysis& analysis) {
+      std::printf("%s,%s,%s,%d,%d,%.3f,%.3f,%.3f\n",
+                  kind_name(analysis.kind),
+                  disease_name(analysis.kind, analysis.disease).c_str(),
+                  medicine_name(analysis.kind, analysis.medicine).c_str(),
+                  analysis.has_change ? 1 : 0, analysis.change_point,
+                  analysis.lambda, analysis.aic,
+                  analysis.aic_without_intervention);
+    };
+    for (const trend::SeriesAnalysis& analysis : report->diseases) {
+      emit_analysis(analysis);
     }
-    auto analysis = analyzer.AnalyzeSeries(kind, d, m, values);
-    if (!analysis.ok()) return;
-    std::printf("%s,%s,%s,%d,%d,%.3f,%.3f,%.3f\n", kind_name,
-                kind != trend::SeriesKind::kMedicine
-                    ? catalog.diseases().Name(d).c_str()
-                    : "-",
-                kind != trend::SeriesKind::kDisease
-                    ? catalog.medicines().Name(m).c_str()
-                    : "-",
-                analysis->has_change ? 1 : 0, analysis->change_point,
-                analysis->lambda, analysis->aic,
-                analysis->aic_without_intervention);
-  };
-
-  series->ForEachDisease([&](DiseaseId d, const std::vector<double>& v) {
-    emit(trend::SeriesKind::kDisease, d, MedicineId(), v);
-  });
-  series->ForEachMedicine([&](MedicineId m, const std::vector<double>& v) {
-    emit(trend::SeriesKind::kMedicine, DiseaseId(), m, v);
-  });
-  series->ForEachPair(
-      [&](DiseaseId d, MedicineId m, const std::vector<double>& v) {
-        emit(trend::SeriesKind::kPrescription, d, m, v);
-      });
+    for (const trend::SeriesAnalysis& analysis : report->medicines) {
+      emit_analysis(analysis);
+    }
+    for (const trend::SeriesAnalysis& analysis : report->prescriptions) {
+      emit_analysis(analysis);
+    }
+  }
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
   return 0;
 }
 
 int RunPipeline(const Flags& flags) {
-  const std::string corpus_path = flags.GetString("corpus");
-  if (corpus_path.empty()) {
-    std::fprintf(stderr, "pipeline: --corpus is required\n");
-    return 2;
-  }
-  auto corpus = ReadCorpusCsvFile(corpus_path);
+  auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
   if (!corpus.ok()) return Fail(corpus.status());
 
-  auto pool = MakePoolFromFlags(flags);
-  if (!pool.ok()) return Fail(pool.status());
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
+  if (!run.ok()) return Fail(run.status());
 
-  medmodel::ReproducerOptions reproducer;
-  reproducer.model_options.pool = pool->get();
+  const DetectorFlagDefaults defaults{4.0, 3, "approx"};
+  auto detector = DetectorOptionsFromFlags(flags, defaults);
+  if (!detector.ok()) return Fail(detector.status());
+  auto exact = UseExactAlgorithm(flags, defaults);
+  if (!exact.ok()) return Fail(exact.status());
+
+  trend::PipelineOptions options;
   auto min_total = flags.GetDouble("min-total", 10.0);
   if (!min_total.ok()) return Fail(min_total.status());
-  reproducer.min_series_total = *min_total;
-  auto series = medmodel::ReproduceSeries(*corpus, reproducer);
-  if (!series.ok()) return Fail(series.status());
+  options.reproducer.min_series_total = *min_total;
+  options.analyzer.detector = *detector;
+  options.analyzer.use_approximate = !*exact;
+
+  auto result = trend::RunPipeline(*corpus, options, run->context());
+  if (!result.ok()) return Fail(result.status());
+  const medmodel::SeriesSet& series = result->series;
+  const trend::TrendReport& report = result->report;
   std::printf("reproduced %zu disease, %zu medicine, %zu prescription "
               "series\n",
-              series->num_diseases(), series->num_medicines(),
-              series->num_pairs());
+              series.num_diseases(), series.num_medicines(),
+              series.num_pairs());
 
-  trend::TrendAnalyzerOptions analyzer_options;
-  analyzer_options.pool = pool->get();
-  trend::TrendAnalyzer analyzer(analyzer_options);
-  auto report = analyzer.AnalyzeAll(*series);
-  if (!report.ok()) return Fail(report.status());
-
+  trend::TrendAnalyzer analyzer(options.analyzer);
   const Catalog& catalog = corpus->catalog();
   const std::string out_path = flags.GetString("out");
   if (!out_path.empty()) {
-    if (Status status = trend::WriteReportCsvFile(*report, analyzer,
+    if (Status status = trend::WriteReportCsvFile(report, analyzer,
                                                   catalog, out_path);
         !status.ok()) {
       return Fail(status);
     }
     std::printf("wrote analysis report to %s\n", out_path.c_str());
   }
-  std::printf("\ndetected changes (pipeline defaults: Algorithm 2, "
-              "margin 4, tail 3):\n");
-  for (const trend::SeriesAnalysis& analysis : report->medicines) {
+  std::printf("\ndetected changes (algorithm %s, margin %g, tail %d):\n",
+              *exact ? "1 (exact)" : "2 (approx)",
+              options.analyzer.detector.aic_margin,
+              options.analyzer.detector.min_tail_observations);
+  for (const trend::SeriesAnalysis& analysis : report.medicines) {
     if (!analysis.has_change) continue;
     std::printf("  medicine      %-32s month %2d  lambda %+8.2f\n",
                 catalog.medicines().Name(analysis.medicine).c_str(),
                 analysis.change_point, analysis.lambda);
   }
-  for (const trend::SeriesAnalysis& analysis : report->diseases) {
+  for (const trend::SeriesAnalysis& analysis : report.diseases) {
     if (!analysis.has_change) continue;
     std::printf("  disease       %-32s month %2d  lambda %+8.2f\n",
                 catalog.diseases().Name(analysis.disease).c_str(),
                 analysis.change_point, analysis.lambda);
   }
-  for (const trend::SeriesAnalysis& analysis : report->prescriptions) {
+  for (const trend::SeriesAnalysis& analysis : report.prescriptions) {
     if (!analysis.has_change) continue;
     const trend::ChangeCause cause =
-        analyzer.ClassifyPrescriptionChange(*report, analysis);
+        analyzer.ClassifyPrescriptionChange(report, analysis);
     std::printf("  prescription  %s -> %s  month %2d  %s\n",
                 catalog.diseases().Name(analysis.disease).c_str(),
                 catalog.medicines().Name(analysis.medicine).c_str(),
                 analysis.change_point,
                 std::string(trend::ChangeCauseName(cause)).c_str());
   }
-  if (flags.GetBool("runtime-stats")) {
-    std::printf("runtime-stats threads=%d %s\n",
-                (*pool)->num_threads(), (*pool)->stats().ToJson().c_str());
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
   }
   return 0;
 }
@@ -422,6 +380,12 @@ int Main(int argc, char** argv) {
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  flags.status().ToString().c_str());
+    return Usage();
+  }
+  const CommandSpec* spec = FindCommand(flags->command());
+  if (spec == nullptr) return Usage();
+  if (Status status = ValidateFlags(*spec, *flags); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return Usage();
   }
   const std::string& command = flags->command();
