@@ -61,6 +61,8 @@ OperatingPoint Measure(ssm::SelectionCriterion criterion, double margin,
 }  // namespace
 
 int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("ablation_criteria", scale);
   bench::PrintHeader("Ablation: selection criterion and evidence margin");
   std::printf(
       "paper uses plain AIC ('performs at least as well as its\n"
@@ -93,6 +95,7 @@ int Run() {
       "\n(BIC's log(n) penalty ~ 3.76 at n = 43 behaves like AIC with a\n"
       "margin of ~1.8 per extra parameter; the pipeline default, AIC with\n"
       "margin 4, suppresses noise detections while keeping full recall.)\n");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -71,6 +71,8 @@ void PrintKindRow(const char* label, const KindStats& stats, int trials) {
 }  // namespace
 
 int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("ablation_interventions", scale);
   bench::PrintHeader("Ablation: intervention shapes and multi-break "
                      "search");
   constexpr int kTrials = 12;
@@ -140,6 +142,7 @@ int Run() {
   std::printf("  (paper §IX: 'more than one change point can exist ... "
               "state space models can accept more than one intervention "
               "variable')\n");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

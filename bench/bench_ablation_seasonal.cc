@@ -76,6 +76,8 @@ void RunShape(const char* label, bool peaked) {
 }  // namespace
 
 int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("ablation_seasonal", scale);
   bench::PrintHeader("Ablation: seasonal representation "
                      "(dummy vs trigonometric)");
   RunShape("smooth sinusoidal seasonality", /*peaked=*/false);
@@ -87,6 +89,7 @@ int Run() {
       "Intermediate harmonic counts whose upper harmonics the data does\n"
       "not excite are weakly identified under the approximate-diffuse\n"
       "initialization, which inflates their trial-to-trial AIC spread.)\n");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

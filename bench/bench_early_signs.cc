@@ -45,6 +45,8 @@ EarlySeries MakeSeries(std::uint64_t seed) {
 }  // namespace
 
 int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("early_signs", scale);
   bench::PrintHeader(
       "Early signs: predicting prescription growth from initial "
       "behavior (paper §IX)");
@@ -100,6 +102,7 @@ int Run() {
       "growth rate should rise quickly with the observation window k,\n"
       "supporting the paper's 'early signs' conjecture for prescriptions\n"
       "whose breaks follow the slope-shift shape.)\n");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -23,6 +23,7 @@ double Total(const std::vector<double>& series) {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("fig2_link_prediction", scale);
   bench::PrintHeader("Figure 2: prescription link prediction for "
                      "hypertension");
   std::printf(
@@ -90,6 +91,7 @@ int Run() {
               cooccurrence_analgesic > 0.0
                   ? proposed_analgesic / cooccurrence_analgesic
                   : 0.0);
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -25,6 +25,7 @@ int ArgMax(const std::vector<double>& series) {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("fig3_trend_factors", scale);
   bench::PrintHeader("Figure 3: factors affecting monthly prescriptions");
   bench::BenchData data = bench::BuildBenchData(scale, 0.0);
   const synth::World& world = data.world;
@@ -112,6 +113,7 @@ int Run() {
               after > 4.0 * (before + 1.0)
                   ? "  [gradual uptake REPRODUCED]"
                   : "");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -20,6 +20,8 @@ constexpr int kTrueBreak = 18;
 }  // namespace
 
 int Run() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("fig5_aic_sensitivity", scale);
   bench::PrintHeader("Figure 5: AIC sensitivity to the intervention point");
   std::printf(
       "paper: models fitted with an intervention point near the true\n"
@@ -62,6 +64,7 @@ int Run() {
               std::abs(exact->change_point - kTrueBreak) <= 1
                   ? "  [REPRODUCED]"
                   : "");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -87,6 +87,7 @@ CaseOutcome RunCase(const char* title, const std::vector<double>& raw,
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("fig67_case_studies", scale);
   bench::PrintHeader("Figures 6-7: case studies with decomposition");
   bench::BenchData data = bench::BuildBenchData(scale, 0.0);
   const synth::World& world = data.world;
@@ -170,6 +171,7 @@ int Run() {
   std::printf("(dehydration declines while oral feeding difficulty rises:"
               " the paper's opposite-trend diagnostics signature)\n");
 
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -13,6 +13,7 @@ namespace mic {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport bench_report("fig8_geo_spread", scale);
   bench::PrintHeader("Figure 8: geographic spread of anti-platelet "
                      "generics");
   std::printf(
@@ -96,6 +97,7 @@ int Run() {
               report->Share(north, original, group, 1) > 0.95
                   ? "  [northern holdout REPRODUCED]"
                   : "");
+  bench_report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -104,6 +104,7 @@ void RunCase(const char* title, const std::vector<double>& raw) {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("fig9_forecast", scale);
   bench::PrintHeader(
       "Figure 9: forecasting (train 31 months, forecast 12)");
   std::printf(
@@ -159,6 +160,7 @@ int Run() {
     std::printf("  (paper: medians comparable, ARIMA less stable -> "
                 "larger spread)\n");
   }
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -14,6 +14,7 @@ namespace mic {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport bench_report("table2_hospital_gap", scale);
   bench::PrintHeader("Table II: antibiotic prescriptions by hospital class");
   std::printf(
       "paper: small hospitals prescribe the antibiotic for acute upper\n"
@@ -64,6 +65,7 @@ int Run() {
               small_cold_ratio > large_cold_ratio + 0.02
                   ? "  [small-hospital antibiotic misuse REPRODUCED]"
                   : "");
+  bench_report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -166,6 +166,7 @@ void PrintTTest(const char* label, const std::vector<double>& a,
 
 int Run() {
   const BenchScale scale = BenchScale::FromEnv();
+  bench::BenchReport report("table3_accuracy", scale);
   bench::PrintHeader(
       "Table III: predictive performance and prescription relevance");
   std::printf(
@@ -226,6 +227,7 @@ int Run() {
              ranking.ap_cooccurrence);
   PrintTTest("NDCG@10 Proposed vs Cooccurrence", ranking.ndcg_proposed,
              ranking.ndcg_cooccurrence);
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -119,6 +119,7 @@ void PrintColumns(const char* type, const AicColumns& columns) {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("table4_fitting", scale);
   bench::PrintHeader("Table IV: fitting quality (AIC) by model variant");
   std::printf(
       "paper reports (disease/medicine/prescription means): LL 326/277/119,\n"
@@ -144,6 +145,7 @@ int Run() {
   PrintColumns("Disease", EvaluateSeries(diseases));
   PrintColumns("Medicine", EvaluateSeries(medicines));
   PrintColumns("Prescription", EvaluateSeries(prescriptions));
+  report.WriteJsonFromEnv();
   return 0;
 }
 

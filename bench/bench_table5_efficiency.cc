@@ -81,6 +81,26 @@ TimingRow Measure(const std::vector<std::vector<double>>& all) {
   return row;
 }
 
+// The row's numbers under `section` in the machine-readable report.
+// Fit counts and the series count are deterministic for a fixed config;
+// the seconds and rates are wall-clock.
+void RecordRow(bench::BenchReport& report, const std::string& section,
+               const TimingRow& row) {
+  report.Set(section, "series_count",
+             static_cast<double>(row.series_count));
+  report.Set(section, "exact_fits", static_cast<double>(row.exact_fits));
+  report.Set(section, "approx_fits",
+             static_cast<double>(row.approximate_fits));
+  report.Set(section, "base_seconds", row.base_seconds);
+  report.Set(section, "exact_seconds", row.exact_seconds);
+  report.Set(section, "approx_seconds", row.approximate_seconds);
+  if (row.base_seconds > 0.0) {
+    report.Set(section, "exact_rate", row.exact_seconds / row.base_seconds);
+    report.Set(section, "approx_rate",
+               row.approximate_seconds / row.base_seconds);
+  }
+}
+
 void PrintRow(const char* type, const TimingRow& row) {
   const double exact_rate =
       row.base_seconds > 0.0 ? row.exact_seconds / row.base_seconds : 0.0;
@@ -131,7 +151,8 @@ bool ReportsBitIdentical(const trend::TrendReport& a,
 
 // The parallel per-series analysis stage: the full AnalyzeAll sweep
 // (pipeline defaults, Algorithm 2) at 1 thread vs `threads`.
-void MeasureParallelStage(const bench::BenchData& data, int threads) {
+void MeasureParallelStage(const bench::BenchData& data, int threads,
+                          bench::BenchReport& report) {
   trend::TrendAnalyzerOptions options;
   options.detector.fit = FitOptions();
 
@@ -175,13 +196,22 @@ void MeasureParallelStage(const bench::BenchData& data, int threads) {
   MIC_CHECK(identical)
       << "parallel AnalyzeAll diverged from the single-thread report";
   bench::PrintRuntimeStatsJson("table5_parallel_analysis", pool.stats());
+  report.Set("parallel", "series_count",
+             static_cast<double>(series_count));
+  report.Set("parallel", "threads",
+             static_cast<double>(pool.num_threads()));
+  report.Set("parallel", "identical", identical ? 1.0 : 0.0);
+  report.Set("parallel", "serial_seconds", serial_seconds);
+  report.Set("parallel", "parallel_seconds", parallel_seconds);
+  report.Set("parallel", "speedup", speedup);
 }
 
 // The mic::obs instrumentation cost on the same sweep. With no registry
 // attached (the default) every hook is a null-pointer compare, so the
 // disabled run must stay within noise of the uninstrumented baseline;
 // the enabled-vs-disabled delta bounds that overhead from above.
-void MeasureObsOverhead(const bench::BenchData& data) {
+void MeasureObsOverhead(const bench::BenchData& data,
+                        bench::BenchReport& report) {
   trend::TrendAnalyzerOptions options;
   options.detector.fit = FitOptions();
   trend::TrendAnalyzer analyzer(options);
@@ -210,12 +240,18 @@ void MeasureObsOverhead(const bench::BenchData& data) {
               static_cast<unsigned long long>(
                   registry.counter_value("trend.series_fits")));
   bench::PrintMetricsJson("table5_analyze_all", registry);
+  report.Set("obs_overhead", "series_fits",
+             static_cast<double>(
+                 registry.counter_value("trend.series_fits")));
+  report.Set("obs_overhead", "disabled_seconds", disabled_seconds);
+  report.Set("obs_overhead", "enabled_seconds", enabled_seconds);
 }
 
 }  // namespace
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("table5", scale);
   bench::PrintHeader(
       "Table V: change point search cost, exact vs approximate");
   std::printf(
@@ -231,18 +267,19 @@ int Run() {
   const std::size_t cap = std::max<std::size_t>(
       8, scale.max_series_per_type / 3);
 
-  PrintRow("Disease",
-           Measure(bench::SampleSeries(
-               bench::CollectDiseaseSeries(data.series), cap,
-               sample_seed)));
-  PrintRow("Medicine",
-           Measure(bench::SampleSeries(
-               bench::CollectMedicineSeries(data.series), cap,
-               sample_seed + 1)));
-  PrintRow("Prescription",
-           Measure(bench::SampleSeries(
-               bench::CollectPrescriptionSeries(data.series), cap,
-               sample_seed + 2)));
+  const TimingRow disease = Measure(bench::SampleSeries(
+      bench::CollectDiseaseSeries(data.series), cap, sample_seed));
+  PrintRow("Disease", disease);
+  RecordRow(report, "disease", disease);
+  const TimingRow medicine = Measure(bench::SampleSeries(
+      bench::CollectMedicineSeries(data.series), cap, sample_seed + 1));
+  PrintRow("Medicine", medicine);
+  RecordRow(report, "medicine", medicine);
+  const TimingRow prescription = Measure(bench::SampleSeries(
+      bench::CollectPrescriptionSeries(data.series), cap,
+      sample_seed + 2));
+  PrintRow("Prescription", prescription);
+  RecordRow(report, "prescription", prescription);
 
   // Default to 4 threads (the paper-scale reference point) even on
   // narrower hardware, where the speedup degrades gracefully to ~1x but
@@ -251,8 +288,9 @@ int Run() {
                           ? scale.threads
                           : std::max(4, runtime::ThreadPool::
                                             HardwareConcurrency());
-  MeasureParallelStage(data, threads);
-  MeasureObsOverhead(data);
+  MeasureParallelStage(data, threads, report);
+  MeasureObsOverhead(data, report);
+  report.WriteJsonFromEnv();
   return 0;
 }
 

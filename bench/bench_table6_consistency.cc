@@ -89,6 +89,7 @@ void PrintRow(const char* type, const ConsistencyRow& row) {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("table6_consistency", scale);
   bench::PrintHeader(
       "Table VI: exact vs approximate change point consistency");
   std::printf(
@@ -113,6 +114,7 @@ int Run() {
            Measure(bench::SampleSeries(
                bench::CollectPrescriptionSeries(data.series), cap,
                sample_seed + 2)));
+  report.WriteJsonFromEnv();
   return 0;
 }
 

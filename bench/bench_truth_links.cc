@@ -73,6 +73,7 @@ medmodel::ReproducerOptions BaseOptions() {
 
 int Run() {
   const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::BenchReport report("truth_links", scale);
   bench::PrintHeader(
       "Truth-grounded link prediction accuracy (beyond the paper)");
   std::printf(
@@ -123,6 +124,7 @@ int Run() {
       "\n(cooccurrence counting inflates every pair that merely shares\n"
       "records; the latent model's totals should sit close to truth, and\n"
       "mild temporal coupling should help by stabilizing sparse months.)\n");
+  report.WriteJsonFromEnv();
   return 0;
 }
 

@@ -15,18 +15,28 @@
 //                               that take one (default 0 = hardware
 //                               concurrency; 1 = today's inline path).
 //                               Outputs are bit-identical either way.
+//   MICTREND_BENCH_JSON         when set, the binary also writes its
+//                               headline numbers to this path as one
+//                               schema-stable BenchReport JSON object
+//                               (scripts/bench_compare.py diffs two of
+//                               them; bench/baselines/ holds the
+//                               committed reference files).
 
 #ifndef MICTREND_BENCH_BENCH_UTIL_H_
 #define MICTREND_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "medmodel/timeseries.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
@@ -70,6 +80,94 @@ struct BenchScale {
   runtime::ThreadPool MakePool() const {
     return runtime::ThreadPool(threads);
   }
+};
+
+/// Machine-readable result file for one bench run, written when the
+/// MICTREND_BENCH_JSON environment variable names a path. The schema is
+/// frozen (bench_compare.py refuses anything else):
+///
+///   {"schema_version":1,"bench":"table5",
+///    "config":{"patients":2000,"background":40,"max_series":60,
+///              "seed":20190411,"threads":0},
+///    "sections":{"<section>":{"<key>":<number>,...},...}}
+///
+/// Sections and keys are emitted in sorted order so two files diff
+/// cleanly. Key-name convention (bench_compare.py keys off it): values
+/// named `*_seconds`, `*_rate`, or `speedup` are wall-clock measurements
+/// and only gate when a time factor is requested; everything else is
+/// deterministic for a fixed config and compares within a strict
+/// relative tolerance. A `totals/wall_seconds` entry (whole-binary wall
+/// time) is stamped automatically at Write() time.
+class BenchReport {
+ public:
+  BenchReport(std::string name, const BenchScale& scale)
+      : name_(std::move(name)),
+        scale_(scale),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Records one number; overwrites an earlier Set() of the same key.
+  void Set(const std::string& section, const std::string& key,
+           double value) {
+    sections_[section][key] = value;
+  }
+
+  std::string ToJson() const {
+    std::string json = "{\"schema_version\":1,\"bench\":\"";
+    AppendJsonEscaped(json, name_);
+    json += StrFormat(
+        "\",\"config\":{\"patients\":%zu,\"background\":%zu,"
+        "\"max_series\":%zu,\"seed\":%llu,\"threads\":%d},\"sections\":{",
+        scale_.patients, scale_.background_diseases,
+        scale_.max_series_per_type,
+        static_cast<unsigned long long>(scale_.seed), scale_.threads);
+    bool first_section = true;
+    for (const auto& [section, keys] : sections_) {
+      if (!first_section) json += ',';
+      first_section = false;
+      json += '"';
+      AppendJsonEscaped(json, section);
+      json += "\":{";
+      bool first_key = true;
+      for (const auto& [key, value] : keys) {
+        if (!first_key) json += ',';
+        first_key = false;
+        json += '"';
+        AppendJsonEscaped(json, key);
+        // %.17g round-trips doubles exactly, so re-running at identical
+        // config reproduces deterministic values bit-for-bit.
+        json += StrFormat("\":%.17g", value);
+      }
+      json += '}';
+    }
+    json += "}}";
+    return json;
+  }
+
+  /// Writes the report to $MICTREND_BENCH_JSON (no-op when unset) and
+  /// stamps totals/wall_seconds. Aborts on an unwritable path: a
+  /// harness that asked for the file must not silently lose it.
+  void WriteJsonFromEnv() {
+    const char* path = std::getenv("MICTREND_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    Set("totals", "wall_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+    std::ofstream out(path);
+    MIC_CHECK(out.good()) << "cannot open MICTREND_BENCH_JSON path "
+                          << path;
+    out << ToJson() << '\n';
+    out.flush();
+    MIC_CHECK(out.good()) << "failed writing " << path;
+    std::fprintf(stderr, "wrote bench json to %s\n", path);
+  }
+
+ private:
+  std::string name_;
+  BenchScale scale_;
+  std::chrono::steady_clock::time_point start_;
+  // Ordered maps: sorted emission is part of the schema contract.
+  std::map<std::string, std::map<std::string, double>> sections_;
 };
 
 /// One machine-readable line per bench binary so harnesses can scrape

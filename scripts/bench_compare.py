@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare two BenchReport JSON files (bench_util.h schema version 1).
+
+Usage:
+    bench_compare.py BASELINE.json NEW.json [options]
+
+Exit status 0 when NEW is schema-valid, was produced at the same config
+as BASELINE, and every gated value is within threshold; 1 otherwise.
+
+Keys are split by the bench_util.h naming convention:
+
+  * timing keys  -- name ends with `_seconds` or `_rate`, or equals
+    `speedup`: wall-clock measurements. Gated only when --time-factor is
+    given (fail when NEW exceeds BASELINE * FACTOR); always reported.
+  * value keys   -- everything else: deterministic for a fixed config
+    (series counts, fit counts, bit-identical flags). Gated at
+    --rel-tol relative tolerance (default 1e-9, i.e. exact for counts).
+
+Keys present in BASELINE but missing from NEW fail; keys only in NEW
+warn (a bench grew a section -- regenerate the baseline when intended).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+TIMING_SUFFIXES = ("_seconds", "_rate")
+TIMING_NAMES = ("speedup",)
+CONFIG_KEYS = ("patients", "background", "max_series", "seed", "threads")
+
+
+def fail(message):
+    print(f"bench_compare: FAIL: {message}")
+    return False
+
+
+def is_timing_key(key):
+    return key.endswith(TIMING_SUFFIXES) or key in TIMING_NAMES
+
+
+def load_report(path):
+    """Loads and schema-validates one report; exits on malformed input."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_compare: cannot read {path}: {error}")
+
+    def die(message):
+        sys.exit(f"bench_compare: {path}: schema error: {message}")
+
+    if not isinstance(report, dict):
+        die("top level is not an object")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        die(f"schema_version {report.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}")
+    if not isinstance(report.get("bench"), str) or not report["bench"]:
+        die("missing/empty 'bench' name")
+    config = report.get("config")
+    if not isinstance(config, dict):
+        die("missing 'config' object")
+    for key in CONFIG_KEYS:
+        if not isinstance(config.get(key), (int, float)):
+            die(f"config.{key} missing or not a number")
+    sections = report.get("sections")
+    if not isinstance(sections, dict) or not sections:
+        die("missing/empty 'sections' object")
+    for section, keys in sections.items():
+        if not isinstance(keys, dict):
+            die(f"section {section!r} is not an object")
+        for key, value in keys.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                die(f"{section}/{key} is not a number")
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed reference JSON")
+    parser.add_argument("new", help="freshly measured JSON")
+    parser.add_argument(
+        "--rel-tol", type=float, default=1e-9,
+        help="relative tolerance for deterministic values (default 1e-9)")
+    parser.add_argument(
+        "--time-factor", type=float, default=0.0,
+        help="fail when a timing value exceeds baseline * FACTOR; "
+             "0 (default) reports timing drift without gating")
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    new = load_report(args.new)
+
+    ok = True
+    if baseline["bench"] != new["bench"]:
+        ok = fail(f"bench name mismatch: baseline {baseline['bench']!r} "
+                  f"vs new {new['bench']!r}")
+    for key in CONFIG_KEYS:
+        if baseline["config"][key] != new["config"][key]:
+            ok = fail(f"config.{key} mismatch: baseline "
+                      f"{baseline['config'][key]} vs new "
+                      f"{new['config'][key]} (values are only comparable "
+                      f"at identical config)")
+
+    for section, keys in sorted(baseline["sections"].items()):
+        new_section = new["sections"].get(section)
+        if new_section is None:
+            ok = fail(f"section {section!r} missing from new report")
+            continue
+        for key, old_value in sorted(keys.items()):
+            label = f"{section}/{key}"
+            if key not in new_section:
+                ok = fail(f"{label} missing from new report")
+                continue
+            new_value = new_section[key]
+            if is_timing_key(key):
+                ratio = (new_value / old_value) if old_value else float("inf")
+                gated = args.time_factor > 0.0
+                within = (not gated) or new_value <= old_value * args.time_factor
+                status = "ok" if within else "FAIL"
+                print(f"bench_compare: [time ] {label}: {old_value:.6g} -> "
+                      f"{new_value:.6g} ({ratio:.2f}x) {status}")
+                if not within:
+                    ok = fail(f"{label} regressed beyond "
+                              f"{args.time_factor}x: {old_value:.6g} -> "
+                              f"{new_value:.6g}")
+            else:
+                scale = max(1.0, abs(old_value))
+                within = abs(new_value - old_value) <= args.rel_tol * scale
+                status = "ok" if within else "FAIL"
+                print(f"bench_compare: [value] {label}: {old_value:.17g} "
+                      f"vs {new_value:.17g} {status}")
+                if not within:
+                    ok = fail(f"{label} drifted: {old_value:.17g} -> "
+                              f"{new_value:.17g} (rel-tol {args.rel_tol})")
+
+    for section, keys in sorted(new["sections"].items()):
+        old_section = baseline["sections"].get(section, {})
+        for key in sorted(keys):
+            if section not in baseline["sections"] or key not in old_section:
+                print(f"bench_compare: warning: {section}/{key} not in "
+                      f"baseline (regenerate it if this is intended)")
+
+    if ok:
+        print(f"bench_compare: OK ({args.new} vs {args.baseline})")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

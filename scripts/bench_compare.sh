@@ -1,0 +1,10 @@
+#!/bin/sh
+# Diffs a fresh MICTREND_BENCH_JSON report against a committed baseline.
+#
+#   scripts/bench_compare.sh bench/baselines/BENCH_table5.json new.json \
+#       [--rel-tol T] [--time-factor F]
+#
+# Thin wrapper over bench_compare.py so harnesses that expect a shell
+# entry point (scripts/check.sh, CI) have one.
+set -e
+exec python3 "$(dirname "$0")/bench_compare.py" "$@"

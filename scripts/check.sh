@@ -1,9 +1,13 @@
 #!/bin/sh
 # Builds and tests every preset: the Release build plus the TSan and
-# ASan+UBSan instrumented builds. Run from the repo root:
+# ASan+UBSan instrumented builds, then a bench-smoke stage that runs
+# bench_table5_efficiency at a tiny scale, validates its
+# MICTREND_BENCH_JSON report, and gates the deterministic values
+# against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all three presets
-#   scripts/check.sh default      # just one
+#   scripts/check.sh              # all three presets + bench-smoke
+#   scripts/check.sh default      # just one preset
+#   scripts/check.sh bench-smoke  # just the bench regression gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
 # this falls back to plain -B/-S invocations with the same cache
@@ -11,7 +15,29 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan}"
+PRESETS="${*:-default tsan asan bench-smoke}"
+
+# Runs bench_table5_efficiency at the pinned smoke scale (the config the
+# committed baseline was generated with -- bench_compare refuses to diff
+# across configs) and compares. Timing keys report but do not gate; the
+# deterministic keys (series counts, fit counts, the bit-identical
+# parallel check) must match the baseline exactly.
+bench_smoke() {
+  echo "==== bench-smoke: bench_table5_efficiency JSON regression gate ===="
+  if [ ! -x build/bench/bench_table5_efficiency ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+      -DMICTREND_BUILD_BENCHMARKS=ON
+    cmake --build build -j "$(nproc)" --target bench_table5_efficiency
+  fi
+  out="build/bench/BENCH_table5.json"
+  MICTREND_BENCH_PATIENTS=200 \
+  MICTREND_BENCH_BACKGROUND=10 \
+  MICTREND_BENCH_MAX_SERIES=12 \
+  MICTREND_BENCH_THREADS=2 \
+  MICTREND_BENCH_JSON="$out" \
+    build/bench/bench_table5_efficiency > build/bench/BENCH_table5.out
+  scripts/bench_compare.sh bench/baselines/BENCH_table5.json "$out"
+}
 
 supports_presets() {
   cmake --list-presets >/dev/null 2>&1
@@ -26,6 +52,10 @@ sanitizer_for() {
 }
 
 for preset in $PRESETS; do
+  if [ "$preset" = "bench-smoke" ]; then
+    bench_smoke
+    continue
+  fi
   echo "==== ${preset}: configure + build + test ===="
   if supports_presets; then
     cmake --preset "$preset"
@@ -44,4 +74,4 @@ for preset in $PRESETS; do
     (cd "$build_dir" && ctest --output-on-failure)
   fi
 done
-echo "all presets green"
+echo "all stages green"

@@ -2,12 +2,16 @@
 // pipeline's public entry points (RunPipeline, MedicationModel::Fit,
 // TrendAnalyzer::AnalyzeAll, ReproduceSeries).
 //
-// It bundles the two cross-cutting facilities a stage may use:
+// It bundles the cross-cutting facilities a stage may use:
 //   - pool:    the mic::runtime::ThreadPool parallel work dispatches to
 //              (null = run inline, bit-identical output either way);
 //   - metrics: the mic::obs::MetricsRegistry stage counters, timers,
 //              and spans record into (null = observability disabled at
-//              near-zero cost).
+//              near-zero cost);
+//   - trace:   the mic::obs::TraceLog spans and ParallelFor chunks emit
+//              begin/end timeline events into (null = no tracing).
+//              Tracing never touches the metrics counters, so counter
+//              determinism holds with or without it.
 //
 // Precedence rule (tested in obs_test.cc): a pool carried by an
 // explicitly passed ExecContext wins over the deprecated per-options
@@ -28,6 +32,7 @@ class ThreadPool;
 }  // namespace mic::runtime
 namespace mic::obs {
 class MetricsRegistry;
+class TraceLog;
 }  // namespace mic::obs
 
 namespace mic {
@@ -37,6 +42,8 @@ struct ExecContext {
   runtime::ThreadPool* pool = nullptr;
   /// Metrics sink (not owned; null disables observability).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Event trace sink (not owned; null disables trace timelines).
+  obs::TraceLog* trace = nullptr;
 };
 
 /// Resolves the pool a stage should use: the context's pool when one

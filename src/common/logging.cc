@@ -1,12 +1,18 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+
+#include "common/strings.h"
 
 namespace mic {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
 
 // Serializes sink emission so messages logged from parallel runtime
 // stages never interleave mid-line. Each message is formatted into its
@@ -15,6 +21,9 @@ std::mutex& SinkMutex() {
   static std::mutex mutex;
   return mutex;
 }
+
+// The optional JSON-lines file sink; guarded by SinkMutex().
+std::ofstream* g_log_file = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,6 +39,81 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+const char* LevelNameLower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+// Dense process-local thread id, assigned on a thread's first log
+// record (0 is normally the main thread).
+std::uint32_t ThisThreadLogId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const char* FileBaseName(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+double WallClockSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// One record as a JSON line; `extra` is a pre-rendered fragment of
+// additional key/value members ("" or ",\"key\":value,...").
+std::string JsonRecord(LogLevel level, const char* file, int line,
+                       std::string_view message, std::string_view extra) {
+  std::string json = StrFormat(
+      "{\"ts\":%.6f,\"level\":\"%s\",\"file\":\"", WallClockSeconds(),
+      LevelNameLower(level));
+  AppendJsonEscaped(json, FileBaseName(file));
+  json += StrFormat("\",\"line\":%d,\"thread\":%u,\"message\":\"", line,
+                    ThisThreadLogId());
+  AppendJsonEscaped(json, message);
+  json += '"';
+  json += extra;
+  json += '}';
+  return json;
+}
+
+// Writes one already-formatted record to the enabled sinks.
+void EmitRecord(LogLevel level, const char* file, int line,
+                const std::string& message, std::string_view extra) {
+  const bool stderr_json = GetLogFormat() == LogFormat::kJson;
+  std::string json;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (stderr_json || g_log_file != nullptr) {
+    json = JsonRecord(level, file, line, message, extra);
+  }
+  if (stderr_json) {
+    std::cerr << json << std::endl;
+  } else {
+    std::cerr << "[" << LevelName(level) << " " << FileBaseName(file)
+              << ":" << line << "] " << message << std::endl;
+  }
+  if (g_log_file != nullptr) {
+    *g_log_file << json << '\n';
+    g_log_file->flush();
+  }
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -40,23 +124,90 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ApplyLogLevelFromEnv() {
+  const char* value = std::getenv("MICTREND_LOG_LEVEL");
+  if (value == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(value, &level)) SetLogLevel(level);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(
+      g_log_format.load(std::memory_order_relaxed));
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+bool OpenLogFile(const std::string& path) {
+  auto file = new std::ofstream(path, std::ios::trunc);
+  if (!*file) {
+    delete file;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  delete g_log_file;
+  g_log_file = file;
+  return true;
+}
+
+void CloseLogFile() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  delete g_log_file;
+  g_log_file = nullptr;
+}
+
+void LogRunMetadata(const RunMetadata& run) {
+  if (LogLevel::kInfo < GetLogLevel()) return;
+  std::string extra = ",\"event\":\"run_start\",\"command\":\"";
+  AppendJsonEscaped(extra, run.command);
+  extra += StrFormat(
+      "\",\"seed\":%llu,\"threads\":%d,"
+      "\"build\":{\"compiler\":\"",
+      static_cast<unsigned long long>(run.seed), run.threads);
+#if defined(__VERSION__)
+  AppendJsonEscaped(extra, __VERSION__);
+#endif
+  extra += StrFormat("\",\"std\":%ld,\"mode\":\"",
+                     static_cast<long>(__cplusplus));
+#if defined(NDEBUG)
+  extra += "release";
+#else
+  extra += "debug";
+#endif
+  extra += "\"}";
+  EmitRecord(LogLevel::kInfo, __FILE__, __LINE__,
+             "run started: " + run.command, extra);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
-    : level_(level), fatal_(fatal), enabled_(fatal || level >= GetLogLevel()) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
-}
+    : level_(level),
+      file_(file),
+      line_(line),
+      fatal_(fatal),
+      enabled_(fatal || level >= GetLogLevel()) {}
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(SinkMutex());
-    std::cerr << stream_.str() << std::endl;
+    EmitRecord(level_, file_, line_, stream_.str(), "");
   }
   if (fatal_) std::abort();
 }

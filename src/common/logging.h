@@ -1,4 +1,19 @@
-// Minimal leveled logging plus CHECK macros for invariant enforcement.
+// Leveled logging with pluggable sink formats, plus CHECK macros for
+// invariant enforcement.
+//
+// Messages below the global threshold are discarded before any
+// formatting work. The stderr sink renders either the classic human
+// one-liner (`[INFO file.cc:12] message`) or structured JSON lines; an
+// optional file sink always receives JSON lines, one object per record:
+//
+//   {"ts":1754500000.123456,"level":"info","file":"pipeline.cc",
+//    "line":15,"thread":0,"message":"..."}
+//
+// `thread` is a dense process-local id in first-log order (0 is
+// normally the main thread), matching the tid scheme of the obs trace
+// layer. LogRunMetadata() stamps a run's identity (command, seed,
+// thread count, build info) as the first structured record so a
+// `*.jsonl` run log is self-describing.
 //
 // CHECK failures abort: they indicate programmer error, never data error
 // (data errors travel through Status/Result).
@@ -6,10 +21,12 @@
 #ifndef MICTREND_COMMON_LOGGING_H_
 #define MICTREND_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mic {
 
@@ -18,6 +35,37 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global log threshold; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses "debug" / "info" / "warning" / "error" (case-sensitive,
+/// lowercase). Returns false and leaves `level` untouched on anything
+/// else.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// Applies the MICTREND_LOG_LEVEL environment variable, when set to a
+/// parseable level name. Call once at process start (the CLI does).
+void ApplyLogLevelFromEnv();
+
+/// Stderr sink rendering: classic human text (default) or JSON lines.
+enum class LogFormat { kText, kJson };
+LogFormat GetLogFormat();
+void SetLogFormat(LogFormat format);
+
+/// Opens `path` as a JSON-lines log sink alongside stderr (truncates an
+/// existing file). Returns false when the file cannot be opened. The
+/// sink stays open until CloseLogFile() or process exit.
+bool OpenLogFile(const std::string& path);
+void CloseLogFile();
+
+/// Identity of one run, logged as the first structured record.
+struct RunMetadata {
+  std::string command;      // e.g. "pipeline"
+  std::uint64_t seed = 0;   // world/generator seed, 0 = not applicable
+  int threads = 0;          // pool width (workers + caller)
+};
+
+/// Emits an Info record with `run` plus compile-time build info
+/// (compiler, C++ standard, build mode) as structured fields.
+void LogRunMetadata(const RunMetadata& run);
 
 namespace internal {
 
@@ -30,6 +78,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   bool fatal_;
   bool enabled_;
   std::ostringstream stream_;

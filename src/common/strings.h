@@ -32,6 +32,11 @@ Result<double> ParseDouble(std::string_view text);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Appends `text` to `out` with JSON string escaping (quotes,
+/// backslashes, and control characters; the content goes between the
+/// caller's own quote characters).
+void AppendJsonEscaped(std::string& out, std::string_view text);
+
 }  // namespace mic
 
 #endif  // MICTREND_COMMON_STRINGS_H_

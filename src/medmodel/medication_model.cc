@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "obs/trace_log.h"
 
 namespace mic::medmodel {
 namespace {
@@ -51,7 +52,7 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
 
   runtime::ThreadPool* pool = EffectivePool(context, options.pool);
   obs::MetricsRegistry* metrics = context.metrics;
-  obs::Span fit_span(metrics, "em_fit");
+  obs::Span fit_span(context, "em_fit");
   obs::Increment(obs::GetCounter(metrics, "em.fits"));
   obs::Counter* iterations_counter = obs::GetCounter(metrics,
                                                      "em.iterations");
@@ -157,12 +158,14 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     obs::Increment(sharded_counter, records.size());
     double log_likelihood = 0.0;
     {
-      obs::ScopedTimer estep_scope(estep_timer);
+      obs::ScopedTimer estep_scope(estep_timer, context.trace, "estep");
       MIC_RETURN_IF_ERROR(runtime::ParallelFor(
           pool, 0, records.size(), kEstepChunkRecords,
-          [&records, &phi, &shards](std::size_t chunk_begin,
-                                    std::size_t chunk_end,
-                                    std::size_t chunk_index) {
+          obs::TraceChunks(
+              context.trace, "em-estep",
+              [&records, &phi, &shards](std::size_t chunk_begin,
+                                        std::size_t chunk_end,
+                                        std::size_t chunk_index) {
             EstepShard& shard = shards[chunk_index];
             shard.log_likelihood = 0.0;
             for (auto& row : shard.next) row.clear();
@@ -190,7 +193,7 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
               }
             }
             return Status::OK();
-          },
+              }),
           "em-estep"));
 
       for (auto& row : next) row.clear();
@@ -208,7 +211,7 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     // prior, each pair receives alpha * phi_prev(d, m) pseudo counts
     // (Topic-Tracking MAP update).
     {
-      obs::ScopedTimer mstep_scope(mstep_timer);
+      obs::ScopedTimer mstep_scope(mstep_timer, context.trace, "mstep");
       for (std::size_t d = 0; d < num_diseases; ++d) {
         double total = 0.0;
         if (use_prior) {
@@ -248,9 +251,12 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
   obs::Increment(sharded_counter, records.size());
   MIC_RETURN_IF_ERROR(runtime::ParallelFor(
       pool, 0, records.size(), kEstepChunkRecords,
-      [&records, &phi, &count_shards, &slot_to_disease, &slot_to_medicine](
-          std::size_t chunk_begin, std::size_t chunk_end,
-          std::size_t chunk_index) {
+      obs::TraceChunks(
+          context.trace, "em-pair-counts",
+          [&records, &phi, &count_shards, &slot_to_disease,
+           &slot_to_medicine](std::size_t chunk_begin,
+                              std::size_t chunk_end,
+                              std::size_t chunk_index) {
         PairCounts& local = count_shards[chunk_index];
         for (std::size_t r = chunk_begin; r < chunk_end; ++r) {
           const CompiledRecord& record = records[r];
@@ -271,7 +277,7 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
           }
         }
         return Status::OK();
-      },
+          }),
       "em-pair-counts"));
   for (const PairCounts& local : count_shards) {
     local.ForEach([&model](DiseaseId d, MedicineId m, double value) {

@@ -143,7 +143,7 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
     return Status::InvalidArgument("corpus has no months");
   }
   obs::MetricsRegistry* metrics = context.metrics;
-  obs::Span reproduce_span(metrics, "reproduce");
+  obs::Span reproduce_span(context, "reproduce");
   obs::Counter* fitted_counter =
       obs::GetCounter(metrics, "reproduce.months_fitted");
   obs::Counter* skipped_counter =

@@ -1,15 +1,22 @@
-// RAII stage tracing on top of the metrics registry.
+// RAII stage tracing on top of the metrics registry and the event
+// trace buffer.
 //
 // A Span names one pipeline stage; nested spans build a '/'-joined path
 // on a thread-local stack (pipeline -> pipeline/reproduce ->
-// pipeline/reproduce/em_fit), and each span records {count, seconds}
-// into the registry's timer of the same path at destruction. Spans are
-// for the coarse serial skeleton of a run; per-item work inside a
-// parallel stage uses a pre-resolved Timer with ScopedTimer, because
-// worker threads do not inherit the caller's span stack.
+// pipeline/reproduce/em_fit). At destruction each span records
+// {count, seconds} into the registry's timer of the same path, and —
+// when a TraceLog travels in the ExecContext — emits a begin/end event
+// pair onto the calling thread's trace timeline.
 //
-// Both types are inert when constructed against a null registry: no
-// clock read, no stack traffic.
+// Spans cover the serial skeleton of a run. Per-item work inside a
+// parallel stage uses a pre-resolved Timer with ScopedTimer (worker
+// threads do not inherit the caller's span stack); wrapping the chunk
+// function with obs::TraceChunks() (trace_log.h) is what carries the
+// caller's span path across the pool boundary, after which nested
+// spans/timers on the worker resolve against the chunk's path.
+//
+// Both types are inert when constructed against null sinks: no clock
+// read, no stack traffic.
 
 #ifndef MICTREND_OBS_TRACE_H_
 #define MICTREND_OBS_TRACE_H_
@@ -18,15 +25,24 @@
 #include <string>
 #include <string_view>
 
+#include "common/exec_context.h"
 #include "obs/metrics.h"
 
 namespace mic::obs {
+
+class TraceLog;
 
 /// One nested, named stage. Must be destroyed in LIFO order on the
 /// thread that created it (the natural shape of a scoped local).
 class Span {
  public:
   Span(MetricsRegistry* registry, std::string_view name);
+  /// Records into both of the context's sinks (either may be null).
+  Span(const ExecContext& context, std::string_view name);
+  /// Stack-only span: installs `path` verbatim as this thread's current
+  /// span path without recording anything. Used by TraceChunks to carry
+  /// the dispatching thread's nesting onto pool workers.
+  explicit Span(std::string path);
   ~Span();
 
   Span(const Span&) = delete;
@@ -39,7 +55,11 @@ class Span {
   static std::string CurrentPath();
 
  private:
-  MetricsRegistry* registry_;
+  Span(MetricsRegistry* registry, TraceLog* trace, std::string_view name);
+
+  MetricsRegistry* registry_ = nullptr;
+  TraceLog* trace_ = nullptr;
+  bool engaged_ = false;
   Span* parent_ = nullptr;
   std::string path_;
   std::chrono::steady_clock::time_point start_;
@@ -48,10 +68,14 @@ class Span {
 /// Records one {count, duration} observation into a timer. The
 /// Timer*-taking constructor is the hot-path form: resolve the handle
 /// once, then construct against it per item (null handle = inert).
+/// The three-argument form additionally emits `<CurrentPath()>/<name>`
+/// begin/end events onto `trace` (null trace = timer only), putting
+/// per-item work on the trace timeline.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Timer* timer);
   ScopedTimer(MetricsRegistry* registry, std::string_view name);
+  ScopedTimer(Timer* timer, TraceLog* trace, std::string_view name);
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -59,6 +83,8 @@ class ScopedTimer {
 
  private:
   Timer* timer_;
+  TraceLog* trace_ = nullptr;
+  std::string trace_path_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -12,7 +12,7 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
                                    const PipelineOptions& options,
                                    const ExecContext& context) {
-  obs::Span pipeline_span(context.metrics, "pipeline");
+  obs::Span pipeline_span(context, "pipeline");
 
   // Resolve the pool each stage runs on. An explicitly passed context
   // pool wins everywhere; otherwise the legacy propagation applies: the
@@ -21,6 +21,7 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
   TrendAnalyzerOptions analyzer_options = options.analyzer;
   ExecContext stage_context;
   stage_context.metrics = context.metrics;
+  stage_context.trace = context.trace;
   if (context.pool != nullptr) {
     stage_context.pool = context.pool;
   } else if (options.pool != nullptr) {

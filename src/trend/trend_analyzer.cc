@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/trace.h"
+#include "obs/trace_log.h"
 #include "ssm/decompose.h"
 #include "stats/metrics.h"
 
@@ -118,7 +119,7 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     const medmodel::SeriesSet& set, const ExecContext& context) const {
   runtime::ThreadPool* pool = EffectivePool(context, options_.pool);
   obs::MetricsRegistry* metrics = context.metrics;
-  obs::Span detect_span(metrics, "detect");
+  obs::Span detect_span(context, "detect");
   // Per-series fit wall time. Workers record into this pre-resolved
   // handle directly (they do not inherit the span stack).
   obs::Timer* fit_timer = obs::GetTimer(metrics, "trend.series_fit");
@@ -148,22 +149,26 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
   std::vector<Status> statuses(tasks.size());
   MIC_RETURN_IF_ERROR(runtime::ParallelFor(
       pool, 0, tasks.size(), 1,
-      [this, &tasks, &analyses, &statuses, &context, fit_timer](
-          std::size_t chunk_begin, std::size_t chunk_end, std::size_t) {
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-          const SeriesTask& task = tasks[i];
-          obs::ScopedTimer fit_scope(fit_timer);
-          auto analysis = AnalyzeSeries(task.kind, task.disease,
-                                        task.medicine, *task.series,
-                                        context);
-          if (analysis.ok()) {
-            analyses[i] = std::move(*analysis);
-          } else {
-            statuses[i] = analysis.status();
-          }
-        }
-        return Status::OK();
-      },
+      obs::TraceChunks(
+          context.trace, "trend-analyze",
+          [this, &tasks, &analyses, &statuses, &context, fit_timer](
+              std::size_t chunk_begin, std::size_t chunk_end,
+              std::size_t) {
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+              const SeriesTask& task = tasks[i];
+              obs::ScopedTimer fit_scope(fit_timer, context.trace,
+                                         "series_fit");
+              auto analysis = AnalyzeSeries(task.kind, task.disease,
+                                            task.medicine, *task.series,
+                                            context);
+              if (analysis.ok()) {
+                analyses[i] = std::move(*analysis);
+              } else {
+                statuses[i] = analysis.status();
+              }
+            }
+            return Status::OK();
+          }),
       "trend-analyze"));
 
   // Assemble in task order; keep the serial error policy (the first

@@ -38,14 +38,36 @@ TEST(CommandTableTest, FlagNamesAreUniquePerCommand) {
   }
 }
 
-TEST(CommandTableTest, EveryCommandAcceptsMetricsOut) {
+TEST(CommandTableTest, EveryCommandAcceptsTheObservabilityFlags) {
   for (const CommandSpec& command : CommandTable()) {
-    bool found = false;
-    for (const FlagSpec& flag : command.flags) {
-      if (flag.name == "metrics-out") found = true;
+    for (const char* name : {"metrics-out", "trace-out", "log-json"}) {
+      bool found = false;
+      for (const FlagSpec& flag : command.flags) {
+        if (flag.name == name) found = true;
+      }
+      EXPECT_TRUE(found) << command.name << " is missing --" << name;
     }
-    EXPECT_TRUE(found) << command.name << " is missing --metrics-out";
   }
+}
+
+TEST(CommandTableTest, RuntimeStatsIsFullyRemoved) {
+  for (const CommandSpec& command : CommandTable()) {
+    for (const FlagSpec& flag : command.flags) {
+      EXPECT_NE(flag.name, "runtime-stats") << command.name;
+    }
+  }
+  // The rejection is deliberate (not the generic unknown-flag error)
+  // and points at the replacement.
+  const CommandSpec* pipeline = FindCommand("pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  const Status rejected = ValidateFlags(
+      *pipeline,
+      ParseOrDie({"pipeline", "--corpus", "c.csv", "--runtime-stats"}));
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("--metrics-out"), std::string::npos)
+      << rejected.message();
+  EXPECT_NE(rejected.message().find("removed"), std::string::npos)
+      << rejected.message();
 }
 
 // The regression the table fixes: the usage screen is generated from
@@ -166,6 +188,21 @@ TEST(CliRunTest, MetricsEnabledOnlyWhenRequested) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(CliRunTest, TraceEnabledOnlyWhenRequested) {
+  auto plain = CliRun::FromFlags(ParseOrDie({"pipeline"}), true);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace(), nullptr);
+  EXPECT_EQ(plain->context().trace, nullptr);
+
+  auto with_trace = CliRun::FromFlags(
+      ParseOrDie({"pipeline", "--trace-out", "t.json"}), true);
+  ASSERT_TRUE(with_trace.ok());
+  ASSERT_NE(with_trace->trace(), nullptr);
+  EXPECT_EQ(with_trace->context().trace, with_trace->trace());
+  // Requesting a trace without metrics keeps counters off.
+  EXPECT_EQ(with_trace->metrics(), nullptr);
 }
 
 }  // namespace

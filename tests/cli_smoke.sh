@@ -32,9 +32,21 @@ test -s "$WORK/report.csv"
 
 # The parallel runtime must reproduce the serial pipeline bit for bit.
 "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
-  --threads 4 --runtime-stats \
-  --out "$WORK/report_mt.csv" | grep -q "runtime-stats threads=4"
+  --threads 4 \
+  --out "$WORK/report_mt.csv" | grep -q "reproduced"
 cmp "$WORK/report.csv" "$WORK/report_mt.csv"
+
+# The removed --runtime-stats flag is rejected with a pointer to its
+# replacement, not a generic unknown-flag error.
+if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --runtime-stats \
+    > "$WORK/rts.out" 2>&1; then
+  echo "expected failure for removed --runtime-stats" >&2
+  exit 1
+fi
+grep -q -- "--metrics-out" "$WORK/rts.out" || {
+  echo "--runtime-stats rejection must name --metrics-out" >&2
+  exit 1
+}
 
 # --metrics-out writes valid JSON with the pipeline's counters, and the
 # counters section is bit-identical across thread counts.
@@ -57,6 +69,38 @@ assert "pipeline/reproduce/em_fit" in one["timers"], "missing span timer"
 EOF
 else
   grep -q '"em.iterations"' "$WORK/m1.json"
+fi
+
+# --trace-out writes parseable Chrome-trace JSON with begin/end pairs
+# and ParallelFor chunk events nested under their owning span path;
+# --log-json writes a JSON-lines run log that opens with the run_start
+# metadata record.
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --seasonal false --threads 4 --trace-out "$WORK/trace.json" \
+  --log-json "$WORK/run.jsonl" 2>&1 | grep -q "wrote trace to"
+test -s "$WORK/trace.json"
+test -s "$WORK/run.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/trace.json" "$WORK/run.jsonl" << 'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert "droppedEvents" in trace, "missing drop accounting"
+begins = [e for e in events if e.get("ph") == "B"]
+ends = [e for e in events if e.get("ph") == "E"]
+assert len(begins) == len(ends), "unbalanced begin/end events"
+chunked = {e["name"] for e in begins if "chunk" in e.get("args", {})}
+assert any(n.startswith("pipeline/") for n in chunked), \
+    f"chunk events not nested under the pipeline span: {chunked}"
+records = [json.loads(line) for line in open(sys.argv[2])]
+assert records[0]["event"] == "run_start", records[0]
+assert records[0]["threads"] == 4, records[0]
+assert all("ts" in r and "level" in r and "message" in r
+           for r in records), "malformed log record"
+EOF
+else
+  grep -q '"traceEvents"' "$WORK/trace.json"
+  grep -q '"run_start"' "$WORK/run.jsonl"
 fi
 
 # detect honors --threads and --metrics-out too.

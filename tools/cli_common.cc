@@ -2,18 +2,25 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "obs/runtime_metrics.h"
 
 namespace mic::tools {
 namespace {
 
 // Shared flag groups, spliced into the per-command flag lists below.
-std::vector<FlagSpec> WithExecFlags(std::vector<FlagSpec> flags,
-                                    bool runtime_stats) {
-  flags.push_back({"threads", "N"});
-  if (runtime_stats) flags.push_back({"runtime-stats", ""});
+// Every subcommand takes the observability outputs; the parallel ones
+// additionally take --threads.
+std::vector<FlagSpec> WithObsFlags(std::vector<FlagSpec> flags) {
   flags.push_back({"metrics-out", "m.json"});
+  flags.push_back({"trace-out", "t.json"});
+  flags.push_back({"log-json", "run.jsonl"});
   return flags;
+}
+
+std::vector<FlagSpec> WithExecFlags(std::vector<FlagSpec> flags) {
+  flags.push_back({"threads", "N"});
+  return WithObsFlags(std::move(flags));
 }
 
 std::vector<FlagSpec> DetectorFlags(std::string_view margin,
@@ -33,34 +40,29 @@ std::vector<CommandSpec> BuildCommandTable() {
   std::vector<CommandSpec> table;
   table.push_back(
       {"generate",
-       {{"out", "corpus.csv", true},
-        {"world", "world.cfg"},
-        {"hospitals-out", "h.csv"},
-        {"months", "43"},
-        {"patients", "2000"},
-        {"background", "40"},
-        {"seed", "20190411"},
-        {"metrics-out", "m.json"}}});
-  table.push_back({"stats",
-                   {{"corpus", "corpus.csv", true},
-                    {"metrics-out", "m.json"}}});
+       WithObsFlags({{"out", "corpus.csv", true},
+                     {"world", "world.cfg"},
+                     {"hospitals-out", "h.csv"},
+                     {"months", "43"},
+                     {"patients", "2000"},
+                     {"background", "40"},
+                     {"seed", "20190411"}})});
+  table.push_back(
+      {"stats", WithObsFlags({{"corpus", "corpus.csv", true}})});
   table.push_back(
       {"reproduce",
        WithExecFlags({{"corpus", "corpus.csv", true},
                       {"out", "series.csv", true},
                       {"min-total", "10"},
                       {"coupling", "0"},
-                      {"model", "proposed|cooccurrence"}},
-                     /*runtime_stats=*/true)});
+                      {"model", "proposed|cooccurrence"}})});
   {
     std::vector<FlagSpec> detect_flags = {{"series", "series.csv", true}};
     for (FlagSpec& flag : DetectorFlags("0", "1", "exact|approx")) {
       detect_flags.push_back(flag);
     }
     detect_flags.push_back({"max-breaks", "1"});
-    table.push_back(
-        {"detect", WithExecFlags(std::move(detect_flags),
-                                 /*runtime_stats=*/false)});
+    table.push_back({"detect", WithExecFlags(std::move(detect_flags))});
   }
   {
     std::vector<FlagSpec> pipeline_flags = {{"corpus", "corpus.csv", true},
@@ -69,9 +71,8 @@ std::vector<CommandSpec> BuildCommandTable() {
     for (FlagSpec& flag : DetectorFlags("4", "3", "approx|exact")) {
       pipeline_flags.push_back(flag);
     }
-    table.push_back(
-        {"pipeline", WithExecFlags(std::move(pipeline_flags),
-                                   /*runtime_stats=*/true)});
+    table.push_back({"pipeline",
+                     WithExecFlags(std::move(pipeline_flags))});
   }
   return table;
 }
@@ -130,13 +131,21 @@ std::string BuildUsageText() {
   usage +=
       "--threads defaults to the hardware concurrency; 1 runs inline\n"
       "(either way the output is bit-identical). --metrics-out writes\n"
-      "the run's counters, timers, and histograms as JSON;\n"
-      "--runtime-stats is deprecated in its favor.\n";
+      "the run's counters, timers, and histograms as JSON; --trace-out\n"
+      "writes a Chrome-trace/Perfetto event timeline; --log-json writes\n"
+      "a structured JSON-lines run log (MICTREND_LOG_LEVEL filters it).\n";
   return usage;
 }
 
 Status ValidateFlags(const CommandSpec& spec, const Flags& flags) {
   for (const std::string& key : flags.Keys()) {
+    if (key == "runtime-stats") {
+      // Removed after its PR 2 deprecation; keep the pointer to the
+      // replacement rather than a generic unknown-flag error.
+      return Status::InvalidArgument(
+          "--runtime-stats was removed; use --metrics-out <file> (the "
+          "JSON includes the runtime.* stage stats)");
+    }
     bool known = false;
     for (const FlagSpec& flag : spec.flags) {
       if (flag.name == key) {
@@ -179,23 +188,48 @@ Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool) {
   if (flags.Has("metrics-out")) {
     run.metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
+  if (flags.Has("trace-out")) {
+    run.trace_ = std::make_unique<obs::TraceLog>();
+  }
+  const std::string log_path = flags.GetString("log-json");
+  if (!log_path.empty()) {
+    if (!OpenLogFile(log_path)) {
+      return Status::IoError("cannot open --log-json file " + log_path);
+    }
+    RunMetadata metadata;
+    metadata.command = flags.command();
+    MIC_ASSIGN_OR_RETURN(std::int64_t seed, flags.GetInt("seed", 0));
+    metadata.seed = static_cast<std::uint64_t>(seed);
+    metadata.threads = run.pool_->num_threads();
+    LogRunMetadata(metadata);
+  }
   return run;
 }
 
 Status CliRun::Finish(const Flags& flags) {
-  if (flags.GetBool("runtime-stats")) {
-    // Deprecated (kept for existing scripts): --metrics-out carries the
-    // same stage stats plus the pipeline counters.
-    std::printf("runtime-stats threads=%d %s\n", pool_->num_threads(),
-                pool_->stats().ToJson().c_str());
-  }
   const std::string metrics_path = flags.GetString("metrics-out");
   if (!metrics_path.empty()) {
     obs::FoldRuntimeStats(pool_->stats(), pool_->num_threads(),
                           metrics_.get());
+    if (trace_ != nullptr) {
+      // Wall-clock artifact of ring capacity vs. event volume — a
+      // gauge, never a counter, so the deterministic counters section
+      // stays thread-count- and tracing-invariant.
+      metrics_->gauge("obs.trace.dropped")
+          ->Set(static_cast<double>(trace_->dropped_count()));
+    }
     MIC_RETURN_IF_ERROR(obs::WriteMetricsJsonFile(*metrics_, metrics_path));
     // stderr: `detect` streams its report CSV to stdout.
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
+  const std::string trace_path = flags.GetString("trace-out");
+  if (!trace_path.empty()) {
+    MIC_RETURN_IF_ERROR(obs::WriteTraceJsonFile(*trace_, trace_path));
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
+  if (flags.Has("log-json")) {
+    MIC_LOG(Info) << "run finished: " << flags.command();
+    CloseLogFile();
   }
   return Status::OK();
 }

@@ -7,7 +7,8 @@
 // silently dropped the pipeline detector flags).
 //
 // CliRun bundles the per-invocation execution state every subcommand
-// shares — the --threads pool and the --metrics-out registry — and
+// shares — the --threads pool, the --metrics-out registry, the
+// --trace-out event trace, and the --log-json structured run log — and
 // hands it to the library as one mic::ExecContext.
 
 #ifndef MICTREND_TOOLS_CLI_COMMON_H_
@@ -21,6 +22,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 #include "tools/flags.h"
@@ -60,32 +62,35 @@ Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
     const Flags& flags);
 
 /// Per-invocation execution + observability state shared by every
-/// subcommand: the --threads pool and, when --metrics-out (or the
-/// deprecated --runtime-stats) is given, the metrics registry the
-/// pipeline records into.
+/// subcommand: the --threads pool, the --metrics-out registry, the
+/// --trace-out event trace buffer, and the --log-json structured run
+/// log (which also stamps the run's metadata record).
 class CliRun {
  public:
   /// `with_pool` = false builds a 1-thread (inline) pool for
   /// subcommands that do no parallel work.
   static Result<CliRun> FromFlags(const Flags& flags, bool with_pool);
 
-  /// Context for the library entry points. metrics is null when no
-  /// metrics output was requested, which keeps the hot paths on the
-  /// disabled (pointer-compare) branch.
+  /// Context for the library entry points. metrics/trace are null when
+  /// the matching output was not requested, which keeps the hot paths
+  /// on the disabled (pointer-compare) branch.
   ExecContext context() const {
-    return ExecContext{pool_.get(), metrics_.get()};
+    return ExecContext{pool_.get(), metrics_.get(), trace_.get()};
   }
   runtime::ThreadPool* pool() const { return pool_.get(); }
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::TraceLog* trace() const { return trace_.get(); }
 
   /// Finishes the run: folds the pool's runtime stats into the
-  /// registry, writes --metrics-out (deterministic JSON), and honors
-  /// the deprecated --runtime-stats one-liner.
+  /// registry, writes --metrics-out (deterministic JSON) and
+  /// --trace-out (Chrome-trace JSON; drop count included), and closes
+  /// the --log-json sink.
   Status Finish(const Flags& flags);
 
  private:
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceLog> trace_;
 };
 
 /// Defaults for the detector flag group, so `detect` keeps the paper's

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.h"
 #include "medmodel/series_io.h"
 #include "medmodel/timeseries.h"
 #include "mic/io.h"
@@ -376,6 +377,7 @@ int RunPipeline(const Flags& flags) {
 }
 
 int Main(int argc, char** argv) {
+  ApplyLogLevelFromEnv();
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n",
