@@ -12,12 +12,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench/bench_util.h"
+#include "cache/cache_store.h"
 #include "common/exec_context.h"
 #include "obs/metrics.h"
 #include "ssm/changepoint.h"
 #include "ssm/fit.h"
+#include "trend/pipeline.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic {
@@ -162,22 +165,22 @@ void MeasureParallelStage(const bench::BenchData& data, int threads,
   std::printf("\nParallel per-series analysis (mic::runtime, %zu series, "
               "Algorithm 2):\n", series_count);
 
+  trend::TrendAnalyzer analyzer(options);
+
   runtime::ThreadPool single(1);
-  trend::TrendAnalyzerOptions serial_options = options;
-  serial_options.pool = &single;
+  ExecContext serial_context;
+  serial_context.pool = &single;
   const auto serial_start = Clock::now();
-  auto serial_report =
-      trend::TrendAnalyzer(serial_options).AnalyzeAll(data.series);
+  auto serial_report = analyzer.AnalyzeAll(data.series, serial_context);
   const double serial_seconds =
       std::chrono::duration<double>(Clock::now() - serial_start).count();
   MIC_CHECK(serial_report.ok()) << serial_report.status();
 
   runtime::ThreadPool pool(threads);
-  trend::TrendAnalyzerOptions parallel_options = options;
-  parallel_options.pool = &pool;
+  ExecContext parallel_context;
+  parallel_context.pool = &pool;
   const auto parallel_start = Clock::now();
-  auto parallel_report =
-      trend::TrendAnalyzer(parallel_options).AnalyzeAll(data.series);
+  auto parallel_report = analyzer.AnalyzeAll(data.series, parallel_context);
   const double parallel_seconds =
       std::chrono::duration<double>(Clock::now() - parallel_start).count();
   MIC_CHECK(parallel_report.ok()) << parallel_report.status();
@@ -204,6 +207,74 @@ void MeasureParallelStage(const bench::BenchData& data, int threads,
   report.Set("parallel", "serial_seconds", serial_seconds);
   report.Set("parallel", "parallel_seconds", parallel_seconds);
   report.Set("parallel", "speedup", speedup);
+}
+
+// The mic::cache incremental-update story, end to end: a cold seeding
+// run (cache=write) followed by a warm rerun (cache=rw) of the same
+// corpus. The warm pass must reproduce the cold report bit for bit
+// while skipping every EM month and every series fit, which is the
+// monthly-update workflow the cache layer exists for.
+void MeasureIncremental(const bench::BenchData& data,
+                        bench::BenchReport& report) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "mictrend_bench_table5_cache";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  trend::PipelineConfig config;
+  config.reproducer.filter_options.min_disease_count = 5;
+  config.reproducer.filter_options.min_medicine_count = 5;
+  config.analyzer.detector.fit = FitOptions();
+  config.cache.directory = dir.string();
+
+  runtime::ThreadPool single(1);
+  auto timed_run = [&](cache::CacheMode mode, obs::MetricsRegistry* metrics,
+                       double* seconds) {
+    config.cache.mode = mode;
+    ExecContext context;
+    context.pool = &single;
+    context.metrics = metrics;
+    const auto start = Clock::now();
+    auto result = trend::RunPipeline(data.generated.corpus, config, context);
+    *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    MIC_CHECK(result.ok()) << result.status();
+    return std::move(result).value();
+  };
+
+  std::printf("\nIncremental update (mic::cache, cold seed vs warm rerun):\n");
+  obs::MetricsRegistry cold_metrics;
+  double cold_seconds = 0.0;
+  const trend::PipelineResult cold =
+      timed_run(cache::CacheMode::kWrite, &cold_metrics, &cold_seconds);
+  obs::MetricsRegistry warm_metrics;
+  double warm_seconds = 0.0;
+  const trend::PipelineResult warm =
+      timed_run(cache::CacheMode::kReadWrite, &warm_metrics, &warm_seconds);
+
+  const bool identical = ReportsBitIdentical(cold.report, warm.report);
+  const double speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  const auto hits = warm_metrics.counter_value("cache.hits");
+  const auto misses = warm_metrics.counter_value("cache.misses");
+  std::printf("  %-22s %9.3f s\n", "cold (cache=write)", cold_seconds);
+  std::printf("  %-22s %9.3f s  (speedup %5.2fx)\n", "warm (cache=rw)",
+              warm_seconds, speedup);
+  std::printf("  warm cache hits/misses: %llu / %llu\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  std::printf("  reports bit-identical:  %s\n", identical ? "yes" : "NO");
+  MIC_CHECK(identical)
+      << "warm cached rerun diverged from the cold seeding report";
+  MIC_CHECK(hits > 0) << "warm rerun hit nothing in the cache";
+  bench::PrintMetricsJson("table5_incremental_warm", warm_metrics);
+  report.Set("incremental", "cache_hits", static_cast<double>(hits));
+  report.Set("incremental", "cache_misses", static_cast<double>(misses));
+  report.Set("incremental", "identical", identical ? 1.0 : 0.0);
+  report.Set("incremental", "cold_seconds", cold_seconds);
+  report.Set("incremental", "warm_seconds", warm_seconds);
+  report.Set("incremental", "speedup", speedup);
+  fs::remove_all(dir, ec);
 }
 
 // The mic::obs instrumentation cost on the same sweep. With no registry
@@ -289,6 +360,7 @@ int Run() {
                           : std::max(4, runtime::ThreadPool::
                                             HardwareConcurrency());
   MeasureParallelStage(data, threads, report);
+  MeasureIncremental(data, report);
   MeasureObsOverhead(data, report);
   report.WriteJsonFromEnv();
   return 0;

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -211,8 +212,10 @@ inline BenchData BuildBenchData(const BenchScale& scale,
   reproducer.filter_options.min_disease_count = 5;
   reproducer.filter_options.min_medicine_count = 5;
   reproducer.min_series_total = min_series_total;
-  reproducer.model_options.pool = pool;  // null = inline, same output
-  auto series = medmodel::ReproduceSeries(generated->corpus, reproducer);
+  ExecContext context;
+  context.pool = pool;  // null = inline, same output
+  auto series =
+      medmodel::ReproduceSeries(generated->corpus, reproducer, context);
   MIC_CHECK(series.ok()) << series.status();
 
   return BenchData{std::move(world).value(),

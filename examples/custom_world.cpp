@@ -60,7 +60,7 @@ medicine,gout-next,release=18,propensity=1.4,indication=chronic-gout:1.0,propens
   std::printf("generated %zu records over %zu months\n",
               data->corpus.TotalRecords(), data->corpus.num_months());
 
-  trend::PipelineOptions options;
+  trend::PipelineConfig options;
   options.reproducer.min_series_total = 20.0;
   options.analyzer.use_approximate = false;
   auto result = trend::RunPipeline(data->corpus, options);

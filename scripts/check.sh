@@ -5,9 +5,10 @@
 # MICTREND_BENCH_JSON report, and gates the deterministic values
 # against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all three presets + bench-smoke
+#   scripts/check.sh              # all presets + bench-smoke + cache-smoke
 #   scripts/check.sh default      # just one preset
 #   scripts/check.sh bench-smoke  # just the bench regression gate
+#   scripts/check.sh cache-smoke  # just the incremental-cache gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
 # this falls back to plain -B/-S invocations with the same cache
@@ -15,7 +16,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -39,6 +40,38 @@ bench_smoke() {
   scripts/bench_compare.sh bench/baselines/BENCH_table5.json "$out"
 }
 
+# The mic::cache incremental-update gate: seed a cache with a cold
+# pipeline run (--cache=write), rerun warm (--cache=rw), and require a
+# byte-identical report with nonzero hits and zero misses/read errors.
+cache_smoke() {
+  echo "==== cache-smoke: cold seed -> warm rerun identity gate ===="
+  if [ ! -x build/tools/mictrend ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$(nproc)" --target mictrend
+  fi
+  work="build/cache_smoke_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  build/tools/mictrend generate --out "$work/corpus.csv" \
+    --months 12 --patients 250 --background 3 --seed 7
+  build/tools/mictrend pipeline --corpus "$work/corpus.csv" \
+    --min-total 5 --seasonal false --cache write \
+    --cache-dir "$work/cache" --out "$work/cold.csv" > /dev/null
+  build/tools/mictrend pipeline --corpus "$work/corpus.csv" \
+    --min-total 5 --seasonal false --cache rw \
+    --cache-dir "$work/cache" --out "$work/warm.csv" \
+    --metrics-out "$work/warm_metrics.json" > /dev/null
+  cmp "$work/cold.csv" "$work/warm.csv"
+  python3 - "$work/warm_metrics.json" << 'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("cache.hits", 0) > 0, counters
+assert counters.get("cache.misses", 1) == 0, counters
+assert counters.get("cache.read_errors", 1) == 0, counters
+EOF
+  echo "cache-smoke OK: warm rerun byte-identical with cache hits"
+}
+
 supports_presets() {
   cmake --list-presets >/dev/null 2>&1
 }
@@ -54,6 +87,10 @@ sanitizer_for() {
 for preset in $PRESETS; do
   if [ "$preset" = "bench-smoke" ]; then
     bench_smoke
+    continue
+  fi
+  if [ "$preset" = "cache-smoke" ]; then
+    cache_smoke
     continue
   fi
   echo "==== ${preset}: configure + build + test ===="

@@ -1,0 +1,243 @@
+#include "cache/cache_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <system_error>
+#include <thread>
+
+#include "cache/fingerprint.h"
+#include "obs/metrics.h"
+
+namespace mic::cache {
+namespace {
+
+// Entry envelope: magic, format version, payload checksum, payload
+// size, payload bytes. The checksum is the FNV digest of the payload,
+// so a torn or bit-flipped entry is detected before deserialization.
+constexpr std::uint32_t kMagic = 0x4d494343;  // "MICC"
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::uint64_t PayloadChecksum(const std::vector<std::uint8_t>& payload) {
+  Hasher hasher;
+  hasher.Mix(payload.size());
+  for (std::uint8_t byte : payload) {
+    hasher.Mix(byte);
+  }
+  return hasher.digest();
+}
+
+void AppendU32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+std::uint64_t ReadFixed(const std::string& bytes, std::size_t offset,
+                        std::size_t width) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[offset + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+}  // namespace
+
+Result<CacheMode> ParseCacheMode(std::string_view text) {
+  if (text == "off") return CacheMode::kOff;
+  if (text == "read") return CacheMode::kRead;
+  if (text == "write") return CacheMode::kWrite;
+  if (text == "rw") return CacheMode::kReadWrite;
+  return Status::InvalidArgument("--cache must be one of off, read, "
+                                 "write, rw; got '" +
+                                 std::string(text) + "'");
+}
+
+std::string_view CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kRead:
+      return "read";
+    case CacheMode::kWrite:
+      return "write";
+    case CacheMode::kReadWrite:
+      return "rw";
+  }
+  return "off";
+}
+
+CacheStore::CacheStore(std::string directory, CacheMode mode,
+                       obs::MetricsRegistry* metrics)
+    : directory_(std::move(directory)), mode_(mode) {
+  hits_ = obs::GetCounter(metrics, "cache.hits");
+  misses_ = obs::GetCounter(metrics, "cache.misses");
+  read_errors_ = obs::GetCounter(metrics, "cache.read_errors");
+  bytes_read_ = obs::GetCounter(metrics, "cache.bytes_read");
+  bytes_written_ = obs::GetCounter(metrics, "cache.bytes_written");
+}
+
+Status CacheStore::Open() {
+  if (mode_ == CacheMode::kOff) {
+    opened_ = false;
+    return Status::OK();
+  }
+  if (directory_.empty()) {
+    return Status::InvalidArgument(
+        "cache directory is empty (--cache-dir is required when "
+        "--cache is not off)");
+  }
+  std::error_code error;
+  std::filesystem::create_directories(directory_, error);
+  if (error) {
+    return Status::IoError("cannot create cache directory '" + directory_ +
+                           "': " + error.message());
+  }
+  if (!std::filesystem::is_directory(directory_, error)) {
+    return Status::IoError("cache path '" + directory_ +
+                           "' is not a directory");
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+bool CacheStore::can_read() const {
+  return opened_ &&
+         (mode_ == CacheMode::kRead || mode_ == CacheMode::kReadWrite);
+}
+
+bool CacheStore::can_write() const {
+  return opened_ &&
+         (mode_ == CacheMode::kWrite || mode_ == CacheMode::kReadWrite);
+}
+
+std::string CacheStore::EntryPath(std::string_view ns,
+                                  std::uint64_t key) const {
+  std::string path = directory_;
+  path += '/';
+  path += ns;
+  path += '/';
+  path += KeyToHex(key);
+  path += ".snap";
+  return path;
+}
+
+Result<std::vector<std::uint8_t>> CacheStore::Get(std::string_view ns,
+                                                  std::uint64_t key) {
+  if (!can_read()) {
+    obs::Increment(misses_);
+    return Status::NotFound("cache is not readable in mode '" +
+                            std::string(CacheModeName(mode_)) + "'");
+  }
+  const std::string path = EntryPath(ns, key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    obs::Increment(misses_);
+    return Status::NotFound("no cache entry at " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    obs::Increment(misses_);
+    obs::Increment(read_errors_);
+    return Status::IoError("failed reading cache entry " + path);
+  }
+  if (bytes.size() < kHeaderSize) {
+    obs::Increment(misses_);
+    obs::Increment(read_errors_);
+    return Status::FailedPrecondition("truncated cache entry " + path);
+  }
+  if (ReadFixed(bytes, 0, 4) != kMagic) {
+    obs::Increment(misses_);
+    obs::Increment(read_errors_);
+    return Status::FailedPrecondition("bad magic in cache entry " + path);
+  }
+  if (ReadFixed(bytes, 4, 4) != kFormatVersion) {
+    // A future format bump reads as a plain miss: old entries are
+    // simply recomputed under the new version.
+    obs::Increment(misses_);
+    return Status::NotFound("cache entry " + path +
+                            " has an unsupported format version");
+  }
+  const std::uint64_t checksum = ReadFixed(bytes, 8, 8);
+  const std::uint64_t payload_size = ReadFixed(bytes, 16, 8);
+  if (bytes.size() - kHeaderSize != payload_size) {
+    obs::Increment(misses_);
+    obs::Increment(read_errors_);
+    return Status::FailedPrecondition("truncated cache entry " + path);
+  }
+  std::vector<std::uint8_t> payload(bytes.begin() + kHeaderSize,
+                                    bytes.end());
+  if (PayloadChecksum(payload) != checksum) {
+    obs::Increment(misses_);
+    obs::Increment(read_errors_);
+    return Status::FailedPrecondition("checksum mismatch in cache entry " +
+                                      path);
+  }
+  obs::Increment(hits_);
+  obs::Increment(bytes_read_, bytes.size());
+  return payload;
+}
+
+Status CacheStore::Put(std::string_view ns, std::uint64_t key,
+                       const std::vector<std::uint8_t>& payload) {
+  if (!can_write()) return Status::OK();
+
+  std::error_code error;
+  const std::string dir = directory_ + '/' + std::string(ns);
+  std::filesystem::create_directories(dir, error);
+  if (error) {
+    return Status::IoError("cannot create cache namespace '" + dir +
+                           "': " + error.message());
+  }
+
+  std::string bytes;
+  bytes.reserve(kHeaderSize + payload.size());
+  AppendU32(bytes, kMagic);
+  AppendU32(bytes, kFormatVersion);
+  AppendU64(bytes, PayloadChecksum(payload));
+  AppendU64(bytes, payload.size());
+  bytes.append(reinterpret_cast<const char*>(payload.data()),
+               payload.size());
+
+  // Stage + rename so a reader never observes a half-written entry.
+  // The temp name embeds the writing thread; concurrent writers of the
+  // same key carry identical content-addressed bytes, so either rename
+  // winning is fine.
+  const std::string path = EntryPath(ns, key);
+  const std::string tmp =
+      path + ".tmp" +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open cache temp file " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("failed writing cache entry " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot publish cache entry " + path);
+  }
+  obs::Increment(bytes_written_, bytes.size());
+  return Status::OK();
+}
+
+}  // namespace mic::cache

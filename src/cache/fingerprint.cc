@@ -1,0 +1,75 @@
+#include "cache/fingerprint.h"
+
+#include <bit>
+
+namespace mic::cache {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+Hasher& Hasher::Mix(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    state_ ^= (value >> shift) & 0xffu;
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::MixSigned(std::int64_t value) {
+  return Mix(static_cast<std::uint64_t>(value));
+}
+
+Hasher& Hasher::MixDouble(double value) {
+  return Mix(std::bit_cast<std::uint64_t>(value));
+}
+
+Hasher& Hasher::MixString(std::string_view text) {
+  for (unsigned char byte : text) {
+    state_ ^= byte;
+    state_ *= kFnvPrime;
+  }
+  // Length terminator so "ab" + "c" != "a" + "bc".
+  return Mix(text.size());
+}
+
+std::uint64_t FingerprintMonth(const MonthlyDataset& month) {
+  Hasher hasher;
+  hasher.MixSigned(month.month());
+  hasher.Mix(month.records().size());
+  for (const MicRecord& record : month.records()) {
+    hasher.Mix(record.hospital.value());
+    hasher.Mix(record.patient.value());
+    hasher.Mix(record.diseases.size());
+    for (const DiseaseCount& entry : record.diseases) {
+      hasher.Mix(entry.id.value());
+      hasher.Mix(entry.count);
+    }
+    hasher.Mix(record.medicines.size());
+    for (const MedicineCount& entry : record.medicines) {
+      hasher.Mix(entry.id.value());
+      hasher.Mix(entry.count);
+    }
+  }
+  return hasher.digest();
+}
+
+std::uint64_t FingerprintSeries(const std::vector<double>& values) {
+  Hasher hasher;
+  hasher.Mix(values.size());
+  for (double value : values) hasher.MixDouble(value);
+  return hasher.digest();
+}
+
+std::string KeyToHex(std::uint64_t key) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[key & 0xfu];
+    key >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mic::cache

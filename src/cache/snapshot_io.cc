@@ -1,0 +1,72 @@
+#include "cache/snapshot_io.h"
+
+#include <bit>
+
+namespace mic::cache {
+
+void SnapshotWriter::PutU32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((value >> shift) & 0xffu));
+  }
+}
+
+void SnapshotWriter::PutU64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((value >> shift) & 0xffu));
+  }
+}
+
+void SnapshotWriter::PutI64(std::int64_t value) {
+  PutU64(static_cast<std::uint64_t>(value));
+}
+
+void SnapshotWriter::PutDouble(double value) {
+  PutU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void SnapshotWriter::PutString(std::string_view text) {
+  PutU64(text.size());
+  bytes_.insert(bytes_.end(), text.begin(), text.end());
+}
+
+Result<std::uint64_t> SnapshotReader::Fixed(std::size_t width) {
+  if (size_ - offset_ < width) {
+    return Status::FailedPrecondition("truncated snapshot payload");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += width;
+  return value;
+}
+
+Result<std::uint32_t> SnapshotReader::U32() {
+  MIC_ASSIGN_OR_RETURN(std::uint64_t value, Fixed(4));
+  return static_cast<std::uint32_t>(value);
+}
+
+Result<std::uint64_t> SnapshotReader::U64() { return Fixed(8); }
+
+Result<std::int64_t> SnapshotReader::I64() {
+  MIC_ASSIGN_OR_RETURN(std::uint64_t value, Fixed(8));
+  return static_cast<std::int64_t>(value);
+}
+
+Result<double> SnapshotReader::Double() {
+  MIC_ASSIGN_OR_RETURN(std::uint64_t value, Fixed(8));
+  return std::bit_cast<double>(value);
+}
+
+Result<std::string> SnapshotReader::String() {
+  MIC_ASSIGN_OR_RETURN(std::uint64_t length, U64());
+  if (size_ - offset_ < length) {
+    return Status::FailedPrecondition("truncated snapshot payload");
+  }
+  std::string out(reinterpret_cast<const char*>(bytes_ + offset_),
+                  static_cast<std::size_t>(length));
+  offset_ += static_cast<std::size_t>(length);
+  return out;
+}
+
+}  // namespace mic::cache

@@ -1,0 +1,66 @@
+// Little binary snapshot format used by every cached artifact.
+//
+// The writer appends fixed-width little-endian integers and raw
+// IEEE-754 double bits; the reader consumes them in the same order and
+// fails with a Status (never aborts) on truncation, so a corrupted or
+// stale cache entry degrades to a cold recompute. Doubles round-trip
+// bit-exactly, which is what makes a warm rerun byte-identical to the
+// cold run that populated the cache.
+
+#ifndef MICTREND_CACHE_SNAPSHOT_IO_H_
+#define MICTREND_CACHE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mic::cache {
+
+/// Append-only byte buffer with typed put helpers.
+class SnapshotWriter {
+ public:
+  void PutU32(std::uint32_t value);
+  void PutU64(std::uint64_t value);
+  void PutI64(std::int64_t value);
+  void PutDouble(double value);
+  void PutString(std::string_view text);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a snapshot payload. Every getter returns
+/// FailedPrecondition once the payload runs short; callers bail out via
+/// MIC_ASSIGN_OR_RETURN and fall back to the cold path.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data()), size_(bytes.size()) {}
+
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<std::int64_t> I64();
+  Result<double> Double();
+  Result<std::string> String();
+
+  /// True when every byte has been consumed; deserializers check this
+  /// to reject payloads with trailing garbage.
+  bool AtEnd() const { return offset_ == size_; }
+
+ private:
+  Result<std::uint64_t> Fixed(std::size_t width);
+
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace mic::cache
+
+#endif  // MICTREND_CACHE_SNAPSHOT_IO_H_

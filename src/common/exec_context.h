@@ -12,17 +12,21 @@
 //              begin/end timeline events into (null = no tracing).
 //              Tracing never touches the metrics counters, so counter
 //              determinism holds with or without it.
+//   - cache:   the mic::cache::CacheStore the incremental engine reads
+//              fitted-model snapshots and per-series reports from and
+//              writes them to (null = every stage computes cold).
+//              Cache hits reproduce the cold computation bit for bit,
+//              so output determinism holds with or without it.
 //
-// Precedence rule (tested in obs_test.cc): a pool carried by an
-// explicitly passed ExecContext wins over the deprecated per-options
-// pool fields (MedicationModelOptions::pool, TrendAnalyzerOptions::pool,
-// PipelineOptions::pool). Those fields keep working for callers that
-// have not migrated — a call without a context behaves exactly as
-// before — but new code should pass an ExecContext and leave them null.
+// The context is the only way to hand a stage a thread pool: the
+// per-options pool fields that carried one before (deprecated since the
+// observability PR) are gone. A caller that still sets `options.pool`
+// fails to compile; pass the pool via ExecContext instead (see the
+// migration notes in docs/usage_cookbook.md).
 //
-// Only forward declarations are needed here: the context is a pair of
+// Only forward declarations are needed here: the context is a bundle of
 // non-owning pointers, so this header stays includable from any layer
-// without dragging in threads or metrics.
+// without dragging in threads, metrics, or the cache implementation.
 
 #ifndef MICTREND_COMMON_EXEC_CONTEXT_H_
 #define MICTREND_COMMON_EXEC_CONTEXT_H_
@@ -34,6 +38,9 @@ namespace mic::obs {
 class MetricsRegistry;
 class TraceLog;
 }  // namespace mic::obs
+namespace mic::cache {
+class CacheStore;
+}  // namespace mic::cache
 
 namespace mic {
 
@@ -44,15 +51,9 @@ struct ExecContext {
   obs::MetricsRegistry* metrics = nullptr;
   /// Event trace sink (not owned; null disables trace timelines).
   obs::TraceLog* trace = nullptr;
+  /// Incremental-computation store (not owned; null disables caching).
+  cache::CacheStore* cache = nullptr;
 };
-
-/// Resolves the pool a stage should use: the context's pool when one
-/// was passed explicitly, otherwise the (deprecated) options-carried
-/// pool.
-inline runtime::ThreadPool* EffectivePool(
-    const ExecContext& context, runtime::ThreadPool* options_pool) {
-  return context.pool != nullptr ? context.pool : options_pool;
-}
 
 }  // namespace mic
 

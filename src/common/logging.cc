@@ -124,26 +124,21 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-bool ParseLogLevel(std::string_view name, LogLevel* level) {
-  if (name == "debug") {
-    *level = LogLevel::kDebug;
-  } else if (name == "info") {
-    *level = LogLevel::kInfo;
-  } else if (name == "warning") {
-    *level = LogLevel::kWarning;
-  } else if (name == "error") {
-    *level = LogLevel::kError;
-  } else {
-    return false;
-  }
-  return true;
+Result<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  return Status::InvalidArgument(
+      "unknown log level '" + std::string(name) +
+      "' (expected debug, info, warning, or error)");
 }
 
 void ApplyLogLevelFromEnv() {
   const char* value = std::getenv("MICTREND_LOG_LEVEL");
   if (value == nullptr) return;
-  LogLevel level;
-  if (ParseLogLevel(value, &level)) SetLogLevel(level);
+  auto level = ParseLogLevel(value);
+  if (level.ok()) SetLogLevel(*level);
 }
 
 LogFormat GetLogFormat() {
@@ -155,16 +150,16 @@ void SetLogFormat(LogFormat format) {
   g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
 }
 
-bool OpenLogFile(const std::string& path) {
+Status OpenLogFile(const std::string& path) {
   auto file = new std::ofstream(path, std::ios::trunc);
   if (!*file) {
     delete file;
-    return false;
+    return Status::IoError("cannot open log file '" + path + "'");
   }
   std::lock_guard<std::mutex> lock(SinkMutex());
   delete g_log_file;
   g_log_file = file;
-  return true;
+  return Status::OK();
 }
 
 void CloseLogFile() {

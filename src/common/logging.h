@@ -28,6 +28,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/result.h"
+
 namespace mic {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
@@ -37,9 +39,8 @@ LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 /// Parses "debug" / "info" / "warning" / "error" (case-sensitive,
-/// lowercase). Returns false and leaves `level` untouched on anything
-/// else.
-bool ParseLogLevel(std::string_view name, LogLevel* level);
+/// lowercase); anything else is an InvalidArgument naming the input.
+Result<LogLevel> ParseLogLevel(std::string_view name);
 
 /// Applies the MICTREND_LOG_LEVEL environment variable, when set to a
 /// parseable level name. Call once at process start (the CLI does).
@@ -51,9 +52,9 @@ LogFormat GetLogFormat();
 void SetLogFormat(LogFormat format);
 
 /// Opens `path` as a JSON-lines log sink alongside stderr (truncates an
-/// existing file). Returns false when the file cannot be opened. The
-/// sink stays open until CloseLogFile() or process exit.
-bool OpenLogFile(const std::string& path);
+/// existing file); IoError when the file cannot be opened. The sink
+/// stays open until CloseLogFile() or process exit.
+Status OpenLogFile(const std::string& path);
 void CloseLogFile();
 
 /// Identity of one run, logged as the first structured record.

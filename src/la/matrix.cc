@@ -180,6 +180,40 @@ Vector operator*(const Matrix& m, const Vector& v) {
   return out;
 }
 
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  MIC_CHECK_EQ(a.cols(), b.rows());
+  MIC_CHECK(out != &a && out != &b) << "MultiplyInto output aliases input";
+  out->Resize(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double a_rk = a(r, k);
+      if (a_rk == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        (*out)(r, c) += a_rk * b(k, c);
+      }
+    }
+  }
+}
+
+void MultiplyInto(const Matrix& m, const Vector& v, Vector* out) {
+  MIC_CHECK_EQ(m.cols(), v.size());
+  MIC_CHECK(out != &v) << "MultiplyInto output aliases input";
+  out->Resize(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) total += m(r, c) * v[c];
+    (*out)[r] = total;
+  }
+}
+
+void TransposeInto(const Matrix& a, Matrix* out) {
+  MIC_CHECK(out != &a) << "TransposeInto output aliases input";
+  out->Resize(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) (*out)(c, r) = a(r, c);
+  }
+}
+
 Matrix Outer(const Vector& a, const Vector& b) {
   Matrix out(a.size(), b.size());
   for (std::size_t r = 0; r < a.size(); ++r) {

@@ -36,6 +36,10 @@ class Vector {
   Vector& operator-=(const Vector& other);
   Vector& operator*=(double scale);
 
+  /// Resets to `size` zeros, reusing the existing allocation when it is
+  /// large enough (workspace reuse in the Kalman hot loop).
+  void Resize(std::size_t size) { data_.assign(size, 0.0); }
+
   /// Euclidean norm.
   double Norm() const;
 
@@ -83,6 +87,14 @@ class Matrix {
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double scale);
 
+  /// Resets to rows x cols zeros, reusing the existing allocation when
+  /// it is large enough (workspace reuse in the Kalman hot loop).
+  void Resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   Matrix Transpose() const;
 
   /// Row `r` as a vector.
@@ -110,6 +122,15 @@ Matrix operator-(Matrix lhs, const Matrix& rhs);
 Matrix operator*(double scale, Matrix m);
 Matrix operator*(const Matrix& a, const Matrix& b);
 Vector operator*(const Matrix& m, const Vector& v);
+
+/// Allocation-free kernels for preallocated outputs: each computes into
+/// `*out` (resized as needed, reusing its buffer) with exactly the same
+/// floating-point accumulation order as the operator form, so switching
+/// a call site between the two never changes a bit of the result. The
+/// output must not alias an input.
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* out);
+void MultiplyInto(const Matrix& m, const Vector& v, Vector* out);
+void TransposeInto(const Matrix& a, Matrix* out);
 
 /// a * b' (outer product).
 Matrix Outer(const Vector& a, const Vector& b);

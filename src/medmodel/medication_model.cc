@@ -1,10 +1,13 @@
 #include "medmodel/medication_model.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "cache/snapshot_io.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 #include "obs/trace_log.h"
+#include "runtime/thread_pool.h"
 
 namespace mic::medmodel {
 namespace {
@@ -49,8 +52,9 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     return Status::InvalidArgument("prior_strength must be non-negative");
   }
   const bool use_prior = prior != nullptr && options.prior_strength > 0.0;
+  const bool warm_start = prior != nullptr && options.warm_start;
 
-  runtime::ThreadPool* pool = EffectivePool(context, options.pool);
+  runtime::ThreadPool* pool = context.pool;
   obs::MetricsRegistry* metrics = context.metrics;
   obs::Span fit_span(context, "em_fit");
   obs::Increment(obs::GetCounter(metrics, "em.fits"));
@@ -143,8 +147,30 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     }
   }
 
+  // Warm start (incremental update): overwrite the cooccurrence seed
+  // with the previous month's converged phi wherever the prior has
+  // support, keeping the cooccurrence value for pairs new this month so
+  // every responsibility stays well defined, then renormalize. The
+  // support set is unchanged, so EM explores the same parameter space
+  // and converges to the same tolerance — just from a closer start.
+  if (warm_start) {
+    for (std::size_t d = 0; d < num_diseases; ++d) {
+      auto& row = phi[d];
+      double total = 0.0;
+      for (auto& [m, value] : row) {
+        const double prior_phi =
+            prior->Phi(slot_to_disease[d], slot_to_medicine[m]);
+        if (prior_phi > 0.0) value = prior_phi;
+        total += value;
+      }
+      if (total > 0.0) {
+        for (auto& [m, value] : row) value /= total;
+      }
+    }
+  }
+
   // EM (Eqs. 5-6). The E step shards the record loop into fixed-size
-  // chunks (parallel when options.pool is set); each chunk accumulates
+  // chunks (parallel when context.pool is set); each chunk accumulates
   // responsibilities into its own shard, and the shards are merged into
   // `next` in chunk order so the reduction is deterministic.
   const std::size_t num_chunks =
@@ -297,6 +323,134 @@ Result<std::unique_ptr<MedicationModel>> MedicationModel::Fit(
     }
   }
 
+  return model;
+}
+
+std::vector<std::uint8_t> MedicationModel::Serialize() const {
+  cache::SnapshotWriter writer;
+  const std::size_t num_diseases = eta_.size();
+  writer.PutU64(num_diseases);
+  writer.PutU64(medicine_slots_.size());
+
+  // Slot tables in id order (unordered_map iteration order is not
+  // stable across processes).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> slots;
+  slots.reserve(disease_slots_.size());
+  for (const auto& [id, slot] : disease_slots_) {
+    slots.push_back({id.value(), slot});
+  }
+  std::sort(slots.begin(), slots.end());
+  for (const auto& [id, slot] : slots) {
+    writer.PutU32(id);
+    writer.PutU64(slot);
+  }
+  slots.clear();
+  for (const auto& [id, slot] : medicine_slots_) {
+    slots.push_back({id.value(), slot});
+  }
+  std::sort(slots.begin(), slots.end());
+  for (const auto& [id, slot] : slots) {
+    writer.PutU32(id);
+    writer.PutU64(slot);
+  }
+
+  for (double value : eta_) writer.PutDouble(value);
+
+  std::vector<std::pair<std::uint64_t, double>> row;
+  for (std::size_t d = 0; d < num_diseases; ++d) {
+    row.assign(phi_[d].begin(), phi_[d].end());
+    std::sort(row.begin(), row.end());
+    writer.PutU64(row.size());
+    for (const auto& [m, value] : row) {
+      writer.PutU64(m);
+      writer.PutDouble(value);
+    }
+  }
+  writer.PutDouble(smoothing_floor_);
+
+  row.assign(pair_counts_.raw().begin(), pair_counts_.raw().end());
+  std::sort(row.begin(), row.end());
+  writer.PutU64(row.size());
+  for (const auto& [key, value] : row) {
+    writer.PutU64(key);
+    writer.PutDouble(value);
+  }
+
+  writer.PutI64(stats_.iterations);
+  writer.PutDouble(stats_.final_log_likelihood);
+  writer.PutU64(stats_.log_likelihood_trace.size());
+  for (double value : stats_.log_likelihood_trace) writer.PutDouble(value);
+  return writer.Take();
+}
+
+Result<std::unique_ptr<MedicationModel>> MedicationModel::Deserialize(
+    const std::vector<std::uint8_t>& payload) {
+  cache::SnapshotReader reader(payload);
+  auto model = std::unique_ptr<MedicationModel>(new MedicationModel());
+
+  MIC_ASSIGN_OR_RETURN(const std::uint64_t num_diseases, reader.U64());
+  MIC_ASSIGN_OR_RETURN(const std::uint64_t num_medicines, reader.U64());
+  for (std::uint64_t i = 0; i < num_diseases; ++i) {
+    MIC_ASSIGN_OR_RETURN(const std::uint32_t id, reader.U32());
+    MIC_ASSIGN_OR_RETURN(const std::uint64_t slot, reader.U64());
+    if (slot >= num_diseases) {
+      return Status::FailedPrecondition("disease slot out of range");
+    }
+    model->disease_slots_.emplace(DiseaseId(id), slot);
+  }
+  for (std::uint64_t i = 0; i < num_medicines; ++i) {
+    MIC_ASSIGN_OR_RETURN(const std::uint32_t id, reader.U32());
+    MIC_ASSIGN_OR_RETURN(const std::uint64_t slot, reader.U64());
+    if (slot >= num_medicines) {
+      return Status::FailedPrecondition("medicine slot out of range");
+    }
+    model->medicine_slots_.emplace(MedicineId(id), slot);
+  }
+  if (model->disease_slots_.size() != num_diseases ||
+      model->medicine_slots_.size() != num_medicines) {
+    return Status::FailedPrecondition("duplicate ids in slot table");
+  }
+
+  model->eta_.resize(num_diseases);
+  for (std::uint64_t d = 0; d < num_diseases; ++d) {
+    MIC_ASSIGN_OR_RETURN(model->eta_[d], reader.Double());
+  }
+
+  model->phi_.resize(num_diseases);
+  for (std::uint64_t d = 0; d < num_diseases; ++d) {
+    MIC_ASSIGN_OR_RETURN(const std::uint64_t row_size, reader.U64());
+    for (std::uint64_t i = 0; i < row_size; ++i) {
+      MIC_ASSIGN_OR_RETURN(const std::uint64_t m, reader.U64());
+      MIC_ASSIGN_OR_RETURN(const double value, reader.Double());
+      if (m >= num_medicines) {
+        return Status::FailedPrecondition("phi medicine slot out of range");
+      }
+      model->phi_[d][m] = value;
+    }
+  }
+  MIC_ASSIGN_OR_RETURN(model->smoothing_floor_, reader.Double());
+
+  MIC_ASSIGN_OR_RETURN(const std::uint64_t num_pairs, reader.U64());
+  for (std::uint64_t i = 0; i < num_pairs; ++i) {
+    MIC_ASSIGN_OR_RETURN(const std::uint64_t key, reader.U64());
+    MIC_ASSIGN_OR_RETURN(const double value, reader.Double());
+    model->pair_counts_.Add(PairDisease(key), PairMedicine(key), value);
+  }
+
+  MIC_ASSIGN_OR_RETURN(const std::int64_t iterations, reader.I64());
+  model->stats_.iterations = static_cast<int>(iterations);
+  MIC_ASSIGN_OR_RETURN(model->stats_.final_log_likelihood,
+                       reader.Double());
+  MIC_ASSIGN_OR_RETURN(const std::uint64_t trace_size, reader.U64());
+  model->stats_.log_likelihood_trace.resize(trace_size);
+  for (std::uint64_t i = 0; i < trace_size; ++i) {
+    MIC_ASSIGN_OR_RETURN(model->stats_.log_likelihood_trace[i],
+                         reader.Double());
+  }
+  if (!reader.AtEnd()) {
+    return Status::FailedPrecondition(
+        "trailing bytes after medication-model snapshot");
+  }
   return model;
 }
 

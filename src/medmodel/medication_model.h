@@ -12,6 +12,7 @@
 #ifndef MICTREND_MEDMODEL_MEDICATION_MODEL_H_
 #define MICTREND_MEDMODEL_MEDICATION_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -20,7 +21,6 @@
 #include "common/result.h"
 #include "medmodel/link_model.h"
 #include "mic/dataset.h"
-#include "runtime/thread_pool.h"
 
 namespace mic::medmodel {
 
@@ -40,14 +40,18 @@ struct MedicationModelOptions {
   /// counts — a Dirichlet(alpha * phi_prev) MAP prior that stabilizes
   /// sparse months. 0 restores the paper's independent monthly fits.
   double prior_strength = 0.0;
-  /// DEPRECATED: pass the pool via the ExecContext overload of Fit
-  /// instead; an explicit context's pool takes precedence over this
-  /// field (see common/exec_context.h). Execution pool for the E-step
-  /// record shards (not owned; null runs inline). The records are
-  /// always reduced in fixed-size chunks merged in chunk order, so the
-  /// fit is bit-identical at any thread count — including the null-pool
-  /// inline path.
-  runtime::ThreadPool* pool = nullptr;
+  /// Incremental-update warm start: when a previous month's fitted
+  /// model is passed to Fit, initialize each phi row from that model's
+  /// phi (falling back to the cooccurrence value of Eq. 10 for pairs
+  /// the prior has never seen) instead of starting from cooccurrence
+  /// alone. EM still iterates to the same tolerance, so the result is
+  /// convergence-equivalent to a cold fit — typically in far fewer
+  /// iterations when consecutive months are similar. Ignored without a
+  /// prior model.
+  bool warm_start = false;
+  // The E-step thread pool is passed via the ExecContext overload of
+  // Fit; the deprecated `pool` field this struct used to carry is gone
+  // (see docs/usage_cookbook.md for migration notes).
 };
 
 /// Fit diagnostics.
@@ -71,14 +75,29 @@ class MedicationModel : public LinkModel {
       const MedicationModelOptions& options = {},
       const MedicationModel* prior = nullptr);
 
-  /// ExecContext overload: context.pool (when set) overrides
-  /// options.pool, and context.metrics receives the fit's counters
-  /// (em.fits / em.iterations / em.records_sharded, the
-  /// em.loglik_rel_improvement histogram) and E/M-step timers. The
-  /// three-argument form is equivalent to passing an empty context.
+  /// ExecContext overload: context.pool dispatches the E-step record
+  /// shards (null runs inline, bit-identical either way), and
+  /// context.metrics receives the fit's counters (em.fits /
+  /// em.iterations / em.records_sharded, the em.loglik_rel_improvement
+  /// histogram) and E/M-step timers. The three-argument form is
+  /// equivalent to passing an empty context.
   static Result<std::unique_ptr<MedicationModel>> Fit(
       const MonthlyDataset& month, const MedicationModelOptions& options,
       const MedicationModel* prior, const ExecContext& context);
+
+  /// Serializes every fitted parameter — slot tables, eta, phi, the
+  /// smoothing floor, pair counts, and the fit stats — into a snapshot
+  /// payload for the incremental cache. Doubles are stored by bit
+  /// pattern and maps in sorted key order, so Deserialize(Serialize())
+  /// reconstructs a model whose every query (Eta/Phi/
+  /// PredictiveProbability/MonthlyPairCounts) answers bit-identically.
+  std::vector<std::uint8_t> Serialize() const;
+
+  /// Rebuilds a model from a snapshot payload. Fails (rather than
+  /// aborting) on truncated or malformed payloads, so a corrupt cache
+  /// entry degrades to a cold refit.
+  static Result<std::unique_ptr<MedicationModel>> Deserialize(
+      const std::vector<std::uint8_t>& payload);
 
   /// eta_d: probability of disease d under the diagnosis distribution
   /// (Eq. 4); 0 for diseases absent from the month.

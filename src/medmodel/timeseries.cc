@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <optional>
 
+#include "cache/cache_store.h"
+#include "cache/fingerprint.h"
+#include "common/logging.h"
 #include "medmodel/baselines.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mic::medmodel {
@@ -136,6 +140,46 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
   return ReproduceSeries(corpus, options, ExecContext{});
 }
 
+namespace {
+
+// Chain fingerprint of one month's fit: the filtered claims, the fit
+// options, and the previous month's fingerprint. Chaining the previous
+// fingerprint makes warm-started (and temporally coupled) fits content
+// addressed: editing month k re-keys every month >= k, while a
+// one-month append leaves months 0..k-1 hitting their old snapshots.
+std::uint64_t ChainedMonthFingerprint(const MonthlyDataset& month,
+                                      const MedicationModelOptions& options,
+                                      bool warm_start,
+                                      std::uint64_t previous) {
+  cache::Hasher hasher;
+  hasher.Mix(cache::FingerprintMonth(month));
+  hasher.MixSigned(options.max_iterations);
+  hasher.MixDouble(options.tolerance);
+  hasher.MixDouble(options.phi_smoothing);
+  hasher.MixDouble(options.prior_strength);
+  hasher.Mix(warm_start ? 1 : 0);
+  hasher.Mix(previous);
+  return hasher.digest();
+}
+
+// Applies one month's pair counts to the series in ascending pair-key
+// order. The derived disease/medicine sums of Eq. 8 accumulate across
+// several pairs, so the application order is a floating-point contract:
+// sorting makes a freshly fitted model and its deserialized snapshot
+// (whose map iteration orders differ) produce byte-identical series.
+void AddCountsSorted(const PairCounts& counts, std::size_t t,
+                     SeriesSet& series) {
+  std::vector<std::pair<std::uint64_t, double>> ordered(
+      counts.raw().begin(), counts.raw().end());
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [key, value] : ordered) {
+    series.Add(PairDisease(key), PairMedicine(key), static_cast<int>(t),
+               value);
+  }
+}
+
+}  // namespace
+
 Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
                                   const ReproducerOptions& options,
                                   const ExecContext& context) {
@@ -148,11 +192,32 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
       obs::GetCounter(metrics, "reproduce.months_fitted");
   obs::Counter* skipped_counter =
       obs::GetCounter(metrics, "reproduce.months_skipped");
+  obs::Counter* snapshot_hits =
+      obs::GetCounter(metrics, "reproduce.snapshot_hits");
+  obs::Counter* snapshot_misses =
+      obs::GetCounter(metrics, "reproduce.snapshot_misses");
+
+  // The cache only stores MedicationModel snapshots; the cooccurrence
+  // baseline is a single counting pass and not worth the I/O.
+  cache::CacheStore* store =
+      options.model_kind == LinkModelKind::kProposed ? context.cache
+                                                     : nullptr;
+  const bool cache_active =
+      store != nullptr && (store->can_read() || store->can_write());
+  // An attached cache implies warm starts: the seeding (write) run and
+  // the incremental (read) run must fit every missed month identically,
+  // so both derive the same effective option here.
+  MedicationModelOptions model_options = options.model_options;
+  model_options.warm_start = model_options.warm_start || cache_active;
 
   SeriesSet series(static_cast<int>(corpus.num_months()));
   // With temporal coupling (prior_strength > 0) each month's fit uses
-  // the previous month's model as its Dirichlet prior (§IX extension).
+  // the previous month's model as its Dirichlet prior (§IX extension);
+  // warm starts reuse the same chain as the EM initializer.
+  const bool keep_previous =
+      model_options.prior_strength > 0.0 || model_options.warm_start;
   std::unique_ptr<MedicationModel> previous_model;
+  std::uint64_t previous_fingerprint = 0;
   for (std::size_t t = 0; t < corpus.num_months(); ++t) {
     MonthlyDataset month = corpus.month(t);  // Copy; filter mutates.
     if (options.apply_filter) {
@@ -167,14 +232,45 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
     std::unique_ptr<MedicationModel> proposed;
     std::unique_ptr<CooccurrenceModel> cooccurrence;
     if (options.model_kind == LinkModelKind::kProposed) {
-      auto fitted = MedicationModel::Fit(month, options.model_options,
-                                         previous_model.get(), context);
-      if (!fitted.ok()) {  // No usable records this month.
-        obs::Increment(skipped_counter);
-        continue;
+      std::uint64_t fingerprint = 0;
+      if (cache_active) {
+        fingerprint = ChainedMonthFingerprint(
+            month, model_options, model_options.warm_start,
+            previous_fingerprint);
+        if (store->can_read()) {
+          auto payload = store->Get("em", fingerprint);
+          if (payload.ok()) {
+            auto restored = MedicationModel::Deserialize(*payload);
+            if (restored.ok()) {
+              proposed = std::move(restored).value();
+              obs::Increment(snapshot_hits);
+            }
+            // A payload that fails to deserialize falls through to a
+            // cold refit (and rewrites the entry below).
+          }
+        }
       }
-      proposed = std::move(fitted).value();
+      if (proposed == nullptr) {
+        if (cache_active) obs::Increment(snapshot_misses);
+        auto fitted = MedicationModel::Fit(month, model_options,
+                                           previous_model.get(), context);
+        if (!fitted.ok()) {  // No usable records this month.
+          obs::Increment(skipped_counter);
+          continue;
+        }
+        proposed = std::move(fitted).value();
+        obs::Increment(fitted_counter);
+        if (cache_active && store->can_write()) {
+          // A failed write only costs the next run a refit.
+          Status put = store->Put("em", fingerprint,
+                                  proposed->Serialize());
+          if (!put.ok()) {
+            MIC_LOG(Warning) << "cache write failed: " << put.ToString();
+          }
+        }
+      }
       counts = &proposed->MonthlyPairCounts();
+      previous_fingerprint = fingerprint;
     } else {
       auto fitted = CooccurrenceModel::Fit(month);
       if (!fitted.ok()) {
@@ -183,14 +279,11 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
       }
       cooccurrence = std::move(fitted).value();
       counts = &cooccurrence->MonthlyPairCounts();
+      obs::Increment(fitted_counter);
     }
-    obs::Increment(fitted_counter);
 
-    counts->ForEach([&series, t](DiseaseId d, MedicineId m, double value) {
-      series.Add(d, m, static_cast<int>(t), value);
-    });
-    if (proposed != nullptr &&
-        options.model_options.prior_strength > 0.0) {
+    AddCountsSorted(*counts, t, series);
+    if (proposed != nullptr && keep_previous) {
       previous_model = std::move(proposed);
     }
   }

@@ -110,11 +110,21 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
                                   const ReproducerOptions& options = {});
 
 /// ExecContext overload: the context is forwarded into every monthly
-/// MedicationModel::Fit (context.pool overrides
-/// options.model_options.pool; see common/exec_context.h), and
+/// MedicationModel::Fit (context.pool shards the E step), and
 /// context.metrics receives the stage's counters
 /// (reproduce.months_fitted / reproduce.months_skipped /
 /// reproduce.series_pruned) under a "reproduce" span.
+///
+/// When context.cache carries an open CacheStore, each month's fitted
+/// model is content addressed in the "em" namespace under a chained
+/// fingerprint of (filtered claims, fit options, previous month's
+/// fingerprint): a readable store serves unchanged months from their
+/// snapshots (reproduce.snapshot_hits) instead of refitting, a
+/// writable store captures every fresh fit, and an attached cache
+/// turns on EM warm starts so seeding and incremental runs fit missed
+/// months identically. Snapshots round-trip bit-exactly and pair
+/// counts are applied in sorted key order, so a fully warm rerun
+/// reproduces the cold run's series byte for byte.
 Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
                                   const ReproducerOptions& options,
                                   const ExecContext& context);

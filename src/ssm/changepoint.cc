@@ -20,6 +20,31 @@ std::string_view SelectionCriterionName(SelectionCriterion criterion) {
   return "?";
 }
 
+std::optional<SharedAicMemo::Entry> SharedAicMemo::Lookup(
+    std::uint64_t series_key, int t_cp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto series_it = entries_.find(series_key);
+  if (series_it == entries_.end()) return std::nullopt;
+  auto entry_it = series_it->second.find(t_cp);
+  if (entry_it == series_it->second.end()) return std::nullopt;
+  return entry_it->second;
+}
+
+void SharedAicMemo::Store(std::uint64_t series_key, int t_cp,
+                          const Entry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[series_key].emplace(t_cp, entry);  // First writer wins.
+}
+
+std::size_t SharedAicMemo::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, per_candidate] : entries_) {
+    total += per_candidate.size();
+  }
+  return total;
+}
+
 double InformationCriterion(double log_likelihood, int parameters, int n,
                             SelectionCriterion criterion) {
   const double k = static_cast<double>(parameters);
@@ -47,6 +72,8 @@ ChangePointDetector::ChangePointDetector(std::vector<double> series,
   obs::MetricsRegistry* metrics = options_.fit.metrics;
   pruned_counter_ =
       obs::GetCounter(metrics, "changepoint.candidates_pruned");
+  shared_memo_counter_ =
+      obs::GetCounter(metrics, "changepoint.shared_memo_hits");
   evaluations_counter_ =
       obs::GetCounter(metrics, "changepoint.aic_evaluations");
   exact_counter_ =
@@ -89,12 +116,30 @@ Result<double> ChangePointDetector::AicAt(int t_cp) {
     obs::Increment(pruned_counter_);
     return it->second;
   }
+  if (options_.shared_memo != nullptr) {
+    // A detector that ran earlier under the same key already fitted
+    // this candidate; adopt its verdict (criterion AND model, so
+    // Finalize returns the identical best_model). Neither an
+    // evaluation nor a fit is counted — nothing was computed.
+    auto shared =
+        options_.shared_memo->Lookup(options_.series_key, t_cp);
+    if (shared.has_value()) {
+      obs::Increment(shared_memo_counter_);
+      aic_cache_.emplace(t_cp, shared->criterion);
+      model_cache_.emplace(t_cp, std::move(shared->model));
+      return shared->criterion;
+    }
+  }
   obs::Increment(evaluations_counter_);
   obs::Increment(active_counter_);
 
   if (t_cp == kNoChangePoint) {
     MIC_ASSIGN_OR_RETURN(FittedStructuralModel fitted, FitWith({}));
     const double criterion = CriterionOf(fitted);
+    if (options_.shared_memo != nullptr) {
+      options_.shared_memo->Store(options_.series_key, t_cp,
+                                  {criterion, fitted});
+    }
     aic_cache_.emplace(t_cp, criterion);
     model_cache_.emplace(t_cp, std::move(fitted));
     return criterion;
@@ -120,6 +165,10 @@ Result<double> ChangePointDetector::AicAt(int t_cp) {
     return last_error.ok()
                ? Status::InvalidArgument("no candidate kinds configured")
                : last_error;
+  }
+  if (options_.shared_memo != nullptr) {
+    options_.shared_memo->Store(options_.series_key, t_cp,
+                                {best_criterion, *best_fit});
   }
   aic_cache_.emplace(t_cp, best_criterion);
   model_cache_.emplace(t_cp, std::move(*best_fit));

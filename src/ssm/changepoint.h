@@ -13,6 +13,8 @@
 #ifndef MICTREND_SSM_CHANGEPOINT_H_
 #define MICTREND_SSM_CHANGEPOINT_H_
 
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +41,42 @@ std::string_view SelectionCriterionName(SelectionCriterion criterion);
 /// observations.
 double InformationCriterion(double log_likelihood, int parameters, int n,
                             SelectionCriterion criterion);
+
+/// Criterion memo shared ACROSS detector instances: maps
+/// (series_key, candidate change point) to the fitted criterion and
+/// model. A detector given one via ChangePointOptions consults it
+/// before fitting and publishes what it fits, so Algorithm 1 and
+/// Algorithm 2 runs over the same series (e.g. the Table V
+/// exact-vs-approximate comparison, or repeated detections under one
+/// cache key) share every candidate fit instead of redoing it.
+///
+/// The caller owns the keying discipline: series_key must fingerprint
+/// the series AND every option that affects a fit (cache/fingerprint.h
+/// provides the hash). Entries are mutex-guarded, so concurrent
+/// detectors are memory-safe; hit/miss counters are deterministic only
+/// under sequential use, which is how the pipeline uses it.
+class SharedAicMemo {
+ public:
+  struct Entry {
+    double criterion = 0.0;
+    FittedStructuralModel model;
+  };
+
+  /// Returns the entry for (series_key, t_cp), or nullopt on miss.
+  std::optional<Entry> Lookup(std::uint64_t series_key, int t_cp) const;
+
+  /// Publishes an entry (first writer wins; later stores are no-ops,
+  /// which keeps concurrent detectors agreeing on one fitted model).
+  void Store(std::uint64_t series_key, int t_cp, const Entry& entry);
+
+  /// Entries currently held (test hook).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unordered_map<int, Entry>>
+      entries_;
+};
 
 struct ChangePointOptions {
   /// Whether the underlying structural model carries a seasonal
@@ -68,6 +106,14 @@ struct ChangePointOptions {
       InterventionKind::kSlopeShift};
   /// Model selection criterion (the paper uses AIC).
   SelectionCriterion criterion = SelectionCriterion::kAic;
+  /// Optional cross-detector criterion memo (not owned). When set, a
+  /// candidate already fitted under `series_key` — by this detector OR
+  /// any earlier one sharing the memo — is answered without a fit and
+  /// counted under changepoint.shared_memo_hits.
+  SharedAicMemo* shared_memo = nullptr;
+  /// Key the shared memo entries live under; must fingerprint the
+  /// series and the fit-affecting options (see SharedAicMemo docs).
+  std::uint64_t series_key = 0;
 };
 
 struct ChangePointResult {
@@ -168,6 +214,7 @@ class ChangePointDetector {
   // points at the per-algorithm evaluation counter of the search
   // currently running.
   obs::Counter* pruned_counter_ = nullptr;
+  obs::Counter* shared_memo_counter_ = nullptr;
   obs::Counter* evaluations_counter_ = nullptr;
   obs::Counter* exact_counter_ = nullptr;
   obs::Counter* approximate_counter_ = nullptr;

@@ -10,7 +10,31 @@ constexpr double kLogTwoPi = 1.8378770664093453;
 
 bool IsMissing(double x) { return std::isnan(x); }
 
+// RQR' is constant across a pass; computed into ws.rqr via ws scratch.
+void ComputeRqrInto(const StateSpaceModel& model, KalmanWorkspace& ws) {
+  la::MultiplyInto(model.selection, model.state_noise, &ws.tmp_matrix);
+  la::TransposeInto(model.selection, &ws.tmp_matrix2);
+  la::MultiplyInto(ws.tmp_matrix, ws.tmp_matrix2, &ws.rqr);
+}
+
+// covariance <- T * source * T' + rqr, symmetrized; same accumulation
+// order as the operator chain it replaces.
+void AdvanceCovariance(const StateSpaceModel& model, KalmanWorkspace& ws,
+                       const la::Matrix& source) {
+  la::MultiplyInto(model.transition, source, &ws.tmp_matrix);
+  la::MultiplyInto(ws.tmp_matrix, ws.transition_transpose,
+                   &ws.next_covariance);
+  ws.next_covariance += ws.rqr;
+  ws.next_covariance.Symmetrize();
+  std::swap(ws.covariance, ws.next_covariance);
+}
+
 }  // namespace
+
+KalmanWorkspace& KalmanWorkspace::ThreadLocal() {
+  static thread_local KalmanWorkspace workspace;
+  return workspace;
+}
 
 Result<FilterResult> RunFilter(const StateSpaceModel& model,
                                const std::vector<double>& observations,
@@ -27,12 +51,14 @@ Result<FilterResult> RunFilter(const StateSpaceModel& model,
     result.predicted_covariances.reserve(n);
   }
 
-  // RQR' is constant; precompute.
-  const la::Matrix rqr =
-      model.selection * model.state_noise * model.selection.Transpose();
-
-  la::Vector state = model.initial_state;        // a_{t|t-1}
-  la::Matrix covariance = model.initial_covariance;  // P_{t|t-1}
+  // All per-step temporaries live in the thread's workspace; the only
+  // allocations left in this pass are the result vectors above.
+  KalmanWorkspace& ws = KalmanWorkspace::ThreadLocal();
+  ++ws.acquires;
+  ComputeRqrInto(model, ws);
+  la::TransposeInto(model.transition, &ws.transition_transpose);
+  ws.state = model.initial_state;                // a_{t|t-1}
+  ws.covariance = model.initial_covariance;      // P_{t|t-1}
 
   int skipped_diffuse = 0;
   double log_likelihood = 0.0;
@@ -52,20 +78,19 @@ Result<FilterResult> RunFilter(const StateSpaceModel& model,
                              !options.store_states &&
                              n >= dim * dim + 20;
   bool steady = false;
-  la::Vector steady_pz;
   double steady_variance = 0.0;
 
   for (std::size_t t = 0; t < n; ++t) {
-    const la::Vector z = model.ObservationVector(t);
+    model.ObservationVectorInto(t, &ws.z);
+    const la::Vector& z = ws.z;
     if (options.store_states) {
-      result.predicted_states.push_back(state);
-      result.predicted_covariances.push_back(covariance);
+      result.predicted_states.push_back(ws.state);
+      result.predicted_covariances.push_back(ws.covariance);
     }
 
-    la::Vector pz_storage;
-    if (!steady) pz_storage = covariance * z;
-    const la::Vector& pz = steady ? steady_pz : pz_storage;
-    const double prediction = la::Dot(z, state);
+    if (!steady) la::MultiplyInto(ws.covariance, z, &ws.pz);
+    const la::Vector& pz = steady ? ws.steady_pz : ws.pz;
+    const double prediction = la::Dot(z, ws.state);
     const double prediction_variance =
         steady ? steady_variance
                : la::Dot(z, pz) + model.observation_variance;
@@ -77,14 +102,12 @@ Result<FilterResult> RunFilter(const StateSpaceModel& model,
       result.innovations[t] = std::numeric_limits<double>::quiet_NaN();
       // No update; just predict forward. A gap invalidates the steady
       // state (the covariance grows through it).
-      state = model.transition * state;
+      la::MultiplyInto(model.transition, ws.state, &ws.tmp_vector);
+      std::swap(ws.state, ws.tmp_vector);
       if (steady) {
         steady = false;
       }
-      covariance =
-          model.transition * covariance * model.transition.Transpose() +
-          rqr;
-      covariance.Symmetrize();
+      AdvanceCovariance(model, ws, ws.covariance);
       continue;
     }
 
@@ -108,41 +131,54 @@ Result<FilterResult> RunFilter(const StateSpaceModel& model,
 
     // Measurement update then time update.
     const double gain_scale = innovation / prediction_variance;
-    la::Vector filtered_state = state;
-    for (std::size_t i = 0; i < filtered_state.size(); ++i) {
-      filtered_state[i] += pz[i] * gain_scale;
+    ws.filtered = ws.state;
+    for (std::size_t i = 0; i < ws.filtered.size(); ++i) {
+      ws.filtered[i] += pz[i] * gain_scale;
     }
-    state = model.transition * filtered_state;
+    la::MultiplyInto(model.transition, ws.filtered, &ws.tmp_vector);
+    std::swap(ws.state, ws.tmp_vector);
     if (steady) continue;  // Covariance frozen.
 
-    la::Matrix filtered_covariance = covariance;
-    for (std::size_t r = 0; r < filtered_covariance.rows(); ++r) {
-      for (std::size_t c = 0; c < filtered_covariance.cols(); ++c) {
-        filtered_covariance(r, c) -= pz[r] * pz[c] / prediction_variance;
+    ws.filtered_covariance = ws.covariance;
+    for (std::size_t r = 0; r < ws.filtered_covariance.rows(); ++r) {
+      for (std::size_t c = 0; c < ws.filtered_covariance.cols(); ++c) {
+        ws.filtered_covariance(r, c) -=
+            pz[r] * pz[c] / prediction_variance;
       }
     }
-    la::Matrix next_covariance = model.transition * filtered_covariance *
-                                     model.transition.Transpose() +
-                                 rqr;
-    next_covariance.Symmetrize();
+    la::MultiplyInto(model.transition, ws.filtered_covariance,
+                     &ws.tmp_matrix);
+    la::MultiplyInto(ws.tmp_matrix, ws.transition_transpose,
+                     &ws.next_covariance);
+    ws.next_covariance += ws.rqr;
+    ws.next_covariance.Symmetrize();
     if (may_go_steady) {
-      const la::Matrix difference = next_covariance - covariance;
-      const double scale = std::max(covariance.MaxAbs(), 1e-300);
-      if (difference.MaxAbs() <= options.steady_state_tolerance * scale) {
+      // Max-abs of (next - current) without forming the difference;
+      // identical to the matrix-difference form value by value.
+      double max_change = 0.0;
+      for (std::size_t r = 0; r < dim; ++r) {
+        for (std::size_t c = 0; c < dim; ++c) {
+          max_change = std::max(
+              max_change, std::fabs(ws.next_covariance(r, c) -
+                                    ws.covariance(r, c)));
+        }
+      }
+      const double scale = std::max(ws.covariance.MaxAbs(), 1e-300);
+      if (max_change <= options.steady_state_tolerance * scale) {
         steady = true;
-        steady_pz = next_covariance * z;
+        la::MultiplyInto(ws.next_covariance, z, &ws.steady_pz);
         steady_variance =
-            la::Dot(z, steady_pz) + model.observation_variance;
+            la::Dot(z, ws.steady_pz) + model.observation_variance;
       }
     }
-    covariance = std::move(next_covariance);
+    std::swap(ws.covariance, ws.next_covariance);
   }
 
   result.log_likelihood = log_likelihood;
   result.effective_observations = effective;
   result.skipped_diffuse = skipped_diffuse;
-  result.final_state = state;
-  result.final_covariance = covariance;
+  result.final_state = ws.state;
+  result.final_covariance = ws.covariance;
   return result;
 }
 
@@ -168,12 +204,15 @@ Result<RegressionFilterResult> RunFilterWithRegression(
 
   // One fused pass: the gain sequence depends only on the covariance
   // recursion, so the observation series x and the regressor series w
-  // share P and F; only the state means differ.
-  const la::Matrix rqr =
-      model.selection * model.state_noise * model.selection.Transpose();
-  la::Vector state_x = model.initial_state;
-  la::Vector state_w(model.state_dim());
-  la::Matrix covariance = model.initial_covariance;
+  // share P and F; only the state means differ. state/filtered hold the
+  // x recursion, state_aux/filtered_aux the w recursion.
+  KalmanWorkspace& ws = KalmanWorkspace::ThreadLocal();
+  ++ws.acquires;
+  ComputeRqrInto(model, ws);
+  la::TransposeInto(model.transition, &ws.transition_transpose);
+  ws.state = model.initial_state;
+  ws.state_aux.Resize(model.state_dim());
+  ws.covariance = model.initial_covariance;
 
   double log_likelihood = 0.0;
   int effective = 0;
@@ -182,14 +221,16 @@ Result<RegressionFilterResult> RunFilterWithRegression(
   double s_wx = 0.0;
 
   for (std::size_t t = 0; t < n; ++t) {
-    const la::Vector z = model.ObservationVector(t);
+    model.ObservationVectorInto(t, &ws.z);
+    const la::Vector& z = ws.z;
     if (options.store_states) {
-      base.predicted_states.push_back(state_x);
-      base.predicted_covariances.push_back(covariance);
+      base.predicted_states.push_back(ws.state);
+      base.predicted_covariances.push_back(ws.covariance);
     }
 
-    const la::Vector pz = covariance * z;
-    const double prediction_x = la::Dot(z, state_x);
+    la::MultiplyInto(ws.covariance, z, &ws.pz);
+    const la::Vector& pz = ws.pz;
+    const double prediction_x = la::Dot(z, ws.state);
     const double prediction_variance =
         la::Dot(z, pz) + model.observation_variance;
     base.predictions[t] = prediction_x;
@@ -198,12 +239,11 @@ Result<RegressionFilterResult> RunFilterWithRegression(
     const double x = observations[t];
     if (IsMissing(x)) {
       base.innovations[t] = std::numeric_limits<double>::quiet_NaN();
-      state_x = model.transition * state_x;
-      state_w = model.transition * state_w;
-      covariance =
-          model.transition * covariance * model.transition.Transpose() +
-          rqr;
-      covariance.Symmetrize();
+      la::MultiplyInto(model.transition, ws.state, &ws.tmp_vector);
+      std::swap(ws.state, ws.tmp_vector);
+      la::MultiplyInto(model.transition, ws.state_aux, &ws.tmp_vector);
+      std::swap(ws.state_aux, ws.tmp_vector);
+      AdvanceCovariance(model, ws, ws.covariance);
       continue;
     }
     if (!(prediction_variance > 0.0) ||
@@ -213,7 +253,7 @@ Result<RegressionFilterResult> RunFilterWithRegression(
     }
 
     const double v_x = x - prediction_x;
-    const double v_w = regressor[t] - la::Dot(z, state_w);
+    const double v_w = regressor[t] - la::Dot(z, ws.state_aux);
     base.innovations[t] = v_x;
 
     if (prediction_variance > options.diffuse_variance_threshold) {
@@ -230,31 +270,29 @@ Result<RegressionFilterResult> RunFilterWithRegression(
     // Shared measurement + time update.
     const double gain_x = v_x / prediction_variance;
     const double gain_w = v_w / prediction_variance;
-    la::Vector filtered_x = state_x;
-    la::Vector filtered_w = state_w;
-    for (std::size_t i = 0; i < filtered_x.size(); ++i) {
-      filtered_x[i] += pz[i] * gain_x;
-      filtered_w[i] += pz[i] * gain_w;
+    ws.filtered = ws.state;
+    ws.filtered_aux = ws.state_aux;
+    for (std::size_t i = 0; i < ws.filtered.size(); ++i) {
+      ws.filtered[i] += pz[i] * gain_x;
+      ws.filtered_aux[i] += pz[i] * gain_w;
     }
-    la::Matrix filtered_covariance = covariance;
-    for (std::size_t r = 0; r < filtered_covariance.rows(); ++r) {
-      for (std::size_t c = 0; c < filtered_covariance.cols(); ++c) {
-        filtered_covariance(r, c) -= pz[r] * pz[c] / prediction_variance;
+    ws.filtered_covariance = ws.covariance;
+    for (std::size_t r = 0; r < ws.filtered_covariance.rows(); ++r) {
+      for (std::size_t c = 0; c < ws.filtered_covariance.cols(); ++c) {
+        ws.filtered_covariance(r, c) -=
+            pz[r] * pz[c] / prediction_variance;
       }
     }
-    state_x = model.transition * filtered_x;
-    state_w = model.transition * filtered_w;
-    covariance = model.transition * filtered_covariance *
-                     model.transition.Transpose() +
-                 rqr;
-    covariance.Symmetrize();
+    la::MultiplyInto(model.transition, ws.filtered, &ws.state);
+    la::MultiplyInto(model.transition, ws.filtered_aux, &ws.state_aux);
+    AdvanceCovariance(model, ws, ws.filtered_covariance);
   }
 
   base.log_likelihood = log_likelihood;
   base.effective_observations = effective;
   base.skipped_diffuse = skipped_diffuse;
-  base.final_state = state_x;
-  base.final_covariance = covariance;
+  base.final_state = ws.state;
+  base.final_covariance = ws.covariance;
   if (s_ww > 1e-12) {
     result.identified = true;
     result.lambda = s_wx / s_ww;
@@ -291,11 +329,16 @@ Result<MultiRegressionFilterResult> RunFilterWithRegressors(
   base.prediction_variances.resize(n);
   base.innovations.resize(n);
 
-  const la::Matrix rqr =
-      model.selection * model.state_noise * model.selection.Transpose();
-  la::Vector state_x = model.initial_state;
+  // The shared z/pz/covariance recursion borrows the workspace like the
+  // plain filter; only the K per-regressor state means stay per-call
+  // (their count varies with the query, not the thread).
+  KalmanWorkspace& ws = KalmanWorkspace::ThreadLocal();
+  ++ws.acquires;
+  ComputeRqrInto(model, ws);
+  la::TransposeInto(model.transition, &ws.transition_transpose);
+  ws.state = model.initial_state;
   std::vector<la::Vector> state_w(k, la::Vector(dim));
-  la::Matrix covariance = model.initial_covariance;
+  ws.covariance = model.initial_covariance;
 
   double log_likelihood = 0.0;
   int effective = 0;
@@ -305,9 +348,11 @@ Result<MultiRegressionFilterResult> RunFilterWithRegressors(
   std::vector<double> v_w(k);
 
   for (std::size_t t = 0; t < n; ++t) {
-    const la::Vector z = model.ObservationVector(t);
-    const la::Vector pz = covariance * z;
-    const double prediction_x = la::Dot(z, state_x);
+    model.ObservationVectorInto(t, &ws.z);
+    const la::Vector& z = ws.z;
+    la::MultiplyInto(ws.covariance, z, &ws.pz);
+    const la::Vector& pz = ws.pz;
+    const double prediction_x = la::Dot(z, ws.state);
     const double prediction_variance =
         la::Dot(z, pz) + model.observation_variance;
     base.predictions[t] = prediction_x;
@@ -316,12 +361,13 @@ Result<MultiRegressionFilterResult> RunFilterWithRegressors(
     const double x = observations[t];
     if (IsMissing(x)) {
       base.innovations[t] = std::numeric_limits<double>::quiet_NaN();
-      state_x = model.transition * state_x;
-      for (auto& state : state_w) state = model.transition * state;
-      covariance =
-          model.transition * covariance * model.transition.Transpose() +
-          rqr;
-      covariance.Symmetrize();
+      la::MultiplyInto(model.transition, ws.state, &ws.tmp_vector);
+      std::swap(ws.state, ws.tmp_vector);
+      for (auto& state : state_w) {
+        la::MultiplyInto(model.transition, state, &ws.tmp_vector);
+        std::swap(state, ws.tmp_vector);
+      }
+      AdvanceCovariance(model, ws, ws.covariance);
       continue;
     }
     if (!(prediction_variance > 0.0) ||
@@ -352,35 +398,34 @@ Result<MultiRegressionFilterResult> RunFilterWithRegressors(
     }
 
     const double gain_x = v_x / prediction_variance;
-    la::Vector filtered_x = state_x;
+    ws.filtered = ws.state;
     for (std::size_t i = 0; i < dim; ++i) {
-      filtered_x[i] += pz[i] * gain_x;
+      ws.filtered[i] += pz[i] * gain_x;
     }
     for (std::size_t j = 0; j < k; ++j) {
       const double gain_w = v_w[j] / prediction_variance;
       for (std::size_t i = 0; i < dim; ++i) {
         state_w[j][i] += pz[i] * gain_w;
       }
-      state_w[j] = model.transition * state_w[j];
+      la::MultiplyInto(model.transition, state_w[j], &ws.tmp_vector);
+      std::swap(state_w[j], ws.tmp_vector);
     }
-    la::Matrix filtered_covariance = covariance;
+    ws.filtered_covariance = ws.covariance;
     for (std::size_t r = 0; r < dim; ++r) {
       for (std::size_t c = 0; c < dim; ++c) {
-        filtered_covariance(r, c) -= pz[r] * pz[c] / prediction_variance;
+        ws.filtered_covariance(r, c) -=
+            pz[r] * pz[c] / prediction_variance;
       }
     }
-    state_x = model.transition * filtered_x;
-    covariance = model.transition * filtered_covariance *
-                     model.transition.Transpose() +
-                 rqr;
-    covariance.Symmetrize();
+    la::MultiplyInto(model.transition, ws.filtered, &ws.state);
+    AdvanceCovariance(model, ws, ws.filtered_covariance);
   }
 
   base.log_likelihood = log_likelihood;
   base.effective_observations = effective;
   base.skipped_diffuse = skipped_diffuse;
-  base.final_state = state_x;
-  base.final_covariance = covariance;
+  base.final_state = ws.state;
+  base.final_covariance = ws.covariance;
 
   result.lambdas.assign(k, 0.0);
   result.profiled_log_likelihood = log_likelihood;

@@ -8,6 +8,7 @@
 #ifndef MICTREND_SSM_KALMAN_H_
 #define MICTREND_SSM_KALMAN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -43,6 +44,31 @@ struct FilterResult {
   /// starting point for forecasting.
   la::Vector final_state;
   la::Matrix final_covariance;
+};
+
+/// Per-thread scratch buffers for the filter hot loops. A filter pass
+/// over a dim-d state touches ~6 d x d temporaries per step; borrowing
+/// them from a thread_local workspace instead of allocating turns the
+/// steady-state cost into pure arithmetic. All in-place kernels used
+/// with these buffers preserve the operator form's accumulation order,
+/// so workspace reuse never changes a bit of any filter output.
+///
+/// The filter functions borrow the workspace internally — callers never
+/// pass one. ThreadLocal() is exposed for tests and for the `acquires`
+/// pass counter.
+class KalmanWorkspace {
+ public:
+  /// This thread's workspace (created on first use).
+  static KalmanWorkspace& ThreadLocal();
+
+  /// Filter passes that borrowed this workspace (test hook).
+  std::uint64_t acquires = 0;
+
+  // Scratch buffers (internal to the filter implementations).
+  la::Vector z, pz, steady_pz, state, state_aux, filtered, filtered_aux,
+      tmp_vector;
+  la::Matrix rqr, transition_transpose, covariance, filtered_covariance,
+      next_covariance, tmp_matrix, tmp_matrix2;
 };
 
 struct KalmanOptions {

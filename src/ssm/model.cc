@@ -14,6 +14,16 @@ la::Vector StateSpaceModel::ObservationVector(std::size_t t) const {
   return z;
 }
 
+void StateSpaceModel::ObservationVectorInto(std::size_t t,
+                                            la::Vector* out) const {
+  *out = observation;  // Copy-assign reuses `out`'s buffer.
+  for (const TimeVaryingObservation& entry : time_varying) {
+    if (t < entry.values.size()) {
+      (*out)[entry.state_index] = entry.values[t];
+    }
+  }
+}
+
 Status StateSpaceModel::Validate() const {
   const std::size_t n = state_dim();
   if (n == 0) return Status::InvalidArgument("empty state vector");

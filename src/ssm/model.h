@@ -54,6 +54,10 @@ struct StateSpaceModel {
   /// Z_t for a given time.
   la::Vector ObservationVector(std::size_t t) const;
 
+  /// Z_t computed into a preallocated vector (same values as
+  /// ObservationVector; the filter hot loop reuses one buffer).
+  void ObservationVectorInto(std::size_t t, la::Vector* out) const;
+
   /// Structural validation (dimension agreement, finite variances).
   Status Validate() const;
 };

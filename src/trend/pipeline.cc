@@ -1,41 +1,82 @@
 #include "trend/pipeline.h"
 
+#include "common/logging.h"
 #include "obs/trace.h"
 
 namespace mic::trend {
 
-Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
-                                   const PipelineOptions& options) {
-  return RunPipeline(corpus, options, ExecContext{});
+Status PipelineConfig::Validate() const {
+  if (cache.mode != cache::CacheMode::kOff && cache.directory.empty()) {
+    return Status::InvalidArgument(
+        "cache.directory must be set when cache.mode is '" +
+        std::string(cache::CacheModeName(cache.mode)) +
+        "' (pass --cache-dir alongside --cache)");
+  }
+  if (cache.mode == cache::CacheMode::kOff && !cache.directory.empty()) {
+    return Status::InvalidArgument(
+        "cache.directory is set but cache.mode is 'off' (pass "
+        "--cache={read,write,rw} alongside --cache-dir)");
+  }
+  if (analyzer.cause_window < 0) {
+    return Status::InvalidArgument(
+        "analyzer.cause_window must be >= 0 (--cause-window)");
+  }
+  if (analyzer.detector.min_candidate < 1) {
+    return Status::InvalidArgument(
+        "analyzer.detector.min_candidate must be >= 1");
+  }
+  if (analyzer.detector.min_tail_observations < 1) {
+    return Status::InvalidArgument(
+        "analyzer.detector.min_tail_observations must be >= 1");
+  }
+  if (analyzer.detector.candidate_kinds.empty()) {
+    return Status::InvalidArgument(
+        "analyzer.detector.candidate_kinds must not be empty");
+  }
+  if (reproducer.model_options.max_iterations < 1) {
+    return Status::InvalidArgument(
+        "reproducer.model_options.max_iterations must be >= 1 "
+        "(--em-iterations)");
+  }
+  if (!(reproducer.model_options.tolerance > 0.0)) {
+    return Status::InvalidArgument(
+        "reproducer.model_options.tolerance must be > 0 (--em-tolerance)");
+  }
+  return Status::OK();
 }
 
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
-                                   const PipelineOptions& options,
+                                   const PipelineConfig& config) {
+  return RunPipeline(corpus, config, ExecContext{});
+}
+
+Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
+                                   const PipelineConfig& config,
                                    const ExecContext& context) {
+  MIC_RETURN_IF_ERROR(config.Validate());
   obs::Span pipeline_span(context, "pipeline");
 
-  // Resolve the pool each stage runs on. An explicitly passed context
-  // pool wins everywhere; otherwise the legacy propagation applies: the
-  // shared options.pool fills any stage pool still unset.
-  medmodel::ReproducerOptions reproducer = options.reproducer;
-  TrendAnalyzerOptions analyzer_options = options.analyzer;
-  ExecContext stage_context;
-  stage_context.metrics = context.metrics;
-  stage_context.trace = context.trace;
-  if (context.pool != nullptr) {
-    stage_context.pool = context.pool;
-  } else if (options.pool != nullptr) {
-    if (reproducer.model_options.pool == nullptr) {
-      reproducer.model_options.pool = options.pool;
-    }
-    if (analyzer_options.pool == nullptr) {
-      analyzer_options.pool = options.pool;
+  // An explicitly attached store wins; otherwise config.cache may open
+  // one scoped to this call. Failure to open is deliberately not fatal:
+  // the cache is an accelerator, so the run proceeds cold.
+  ExecContext stage_context = context;
+  cache::CacheStore local_store(config.cache.directory, config.cache.mode,
+                                context.metrics);
+  if (context.cache == nullptr &&
+      config.cache.mode != cache::CacheMode::kOff) {
+    Status opened = local_store.Open();
+    if (opened.ok()) {
+      stage_context.cache = &local_store;
+    } else {
+      MIC_LOG(Warning) << "cache disabled for this run: "
+                       << opened.ToString();
     }
   }
+
   MIC_ASSIGN_OR_RETURN(
       medmodel::SeriesSet series,
-      medmodel::ReproduceSeries(corpus, reproducer, stage_context));
-  TrendAnalyzer analyzer(analyzer_options);
+      medmodel::ReproduceSeries(corpus, config.reproducer, stage_context));
+  TrendAnalyzer analyzer(config.analyzer);
   MIC_ASSIGN_OR_RETURN(TrendReport report,
                        analyzer.AnalyzeAll(series, stage_context));
   return PipelineResult{std::move(series), std::move(report)};

@@ -4,26 +4,42 @@
 #ifndef MICTREND_TREND_PIPELINE_H_
 #define MICTREND_TREND_PIPELINE_H_
 
+#include <string>
+
+#include "cache/cache_store.h"
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/dataset.h"
-#include "runtime/thread_pool.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic::trend {
 
-struct PipelineOptions {
+/// Where and how the pipeline caches its intermediate artifacts (EM
+/// model snapshots, per-series analysis reports). kOff disables the
+/// layer entirely; any other mode requires a directory.
+struct CacheConfig {
+  cache::CacheMode mode = cache::CacheMode::kOff;
+  std::string directory;
+};
+
+/// The pipeline's full configuration, layered by stage. The CLI
+/// populates one of these in a single place (tools/cli_common.cc) and
+/// library callers construct it directly; RunPipeline validates it
+/// before doing any work.
+///
+/// The former PipelineOptions::pool field (and the per-stage pools it
+/// propagated into) is gone: execution resources travel exclusively in
+/// the ExecContext. See docs/usage_cookbook.md for migration notes.
+struct PipelineConfig {
   medmodel::ReproducerOptions reproducer;
   TrendAnalyzerOptions analyzer;
-  /// DEPRECATED: pass the pool via the ExecContext overload of
-  /// RunPipeline instead; an explicit context's pool takes precedence
-  /// over this field and the stage pools (see common/exec_context.h).
-  /// Shared execution pool for both stages (not owned; null runs the
-  /// whole pipeline inline). Propagated to the EM fits and the
-  /// per-series change detection unless those options already carry
-  /// their own pool. Output is bit-identical at any thread count.
-  runtime::ThreadPool* pool = nullptr;
+  CacheConfig cache;
+
+  /// Rejects inconsistent configurations with a message naming the
+  /// offending field and its CLI flag. OK means RunPipeline will not
+  /// fail on configuration grounds.
+  Status Validate() const;
 };
 
 /// The pipeline's artifacts: the reproduced series (kept for follow-up
@@ -36,16 +52,22 @@ struct PipelineResult {
 
 /// Runs reproduction + analysis over `corpus`.
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
-                                   const PipelineOptions& options = {});
+                                   const PipelineConfig& config = {});
 
 /// ExecContext overload: the context flows through both stages under a
-/// root "pipeline" span. context.pool (when set) overrides
-/// options.pool AND any stage-level pools; context.metrics collects
-/// every stage's counters (em.* / reproduce.* / ssm.* / changepoint.* /
-/// trend.*). Counter values are bit-identical at any thread count —
-/// the determinism test in tests/obs_test.cc holds this invariant.
+/// root "pipeline" span. context.pool runs both stages (null = inline);
+/// context.metrics collects every stage's counters (em.* / reproduce.*
+/// / ssm.* / changepoint.* / trend.* / cache.*). Counter values are
+/// bit-identical at any thread count — the determinism test in
+/// tests/obs_test.cc holds this invariant.
+///
+/// Caching: when context.cache is attached it is used as-is and
+/// config.cache is ignored. Otherwise, a non-kOff config.cache opens a
+/// store for the duration of the call; an unopenable cache directory
+/// degrades to a cold, uncached run with a logged warning rather than
+/// failing the pipeline.
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
-                                   const PipelineOptions& options,
+                                   const PipelineConfig& config,
                                    const ExecContext& context);
 
 }  // namespace mic::trend

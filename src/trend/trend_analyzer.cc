@@ -3,8 +3,13 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "cache/cache_store.h"
+#include "cache/fingerprint.h"
+#include "cache/snapshot_io.h"
+#include "common/logging.h"
 #include "obs/trace.h"
 #include "obs/trace_log.h"
+#include "runtime/thread_pool.h"
 #include "ssm/decompose.h"
 #include "stats/metrics.h"
 
@@ -108,6 +113,87 @@ struct SeriesTask {
   const std::vector<double>* series;
 };
 
+// Every option that can change a single-series verdict takes part in
+// the cache key; editing any of them re-keys the whole sweep.
+std::uint64_t FingerprintAnalyzerOptions(
+    const TrendAnalyzerOptions& options) {
+  cache::Hasher hasher;
+  const ssm::ChangePointOptions& detector = options.detector;
+  hasher.Mix(detector.seasonal ? 1 : 0);
+  hasher.MixSigned(detector.period);
+  hasher.MixSigned(detector.fit.restarts);
+  hasher.MixSigned(detector.fit.optimizer.max_evaluations);
+  hasher.MixDouble(detector.fit.optimizer.tolerance);
+  hasher.MixDouble(detector.fit.optimizer.initial_step);
+  hasher.MixSigned(detector.min_candidate);
+  hasher.MixSigned(detector.min_tail_observations);
+  hasher.MixDouble(detector.aic_margin);
+  hasher.Mix(detector.candidate_kinds.size());
+  for (ssm::InterventionKind kind : detector.candidate_kinds) {
+    hasher.MixSigned(static_cast<std::int64_t>(kind));
+  }
+  hasher.MixSigned(static_cast<std::int64_t>(detector.criterion));
+  hasher.Mix(options.use_approximate ? 1 : 0);
+  hasher.Mix(options.normalize ? 1 : 0);
+  return hasher.digest();
+}
+
+std::uint64_t FingerprintSeriesTask(std::uint64_t options_key,
+                                    const SeriesTask& task) {
+  cache::Hasher hasher;
+  hasher.Mix(options_key);
+  hasher.MixSigned(static_cast<std::int64_t>(task.kind));
+  hasher.Mix(task.disease.value());
+  hasher.Mix(task.medicine.value());
+  hasher.Mix(cache::FingerprintSeries(*task.series));
+  return hasher.digest();
+}
+
+std::vector<std::uint8_t> SerializeAnalysis(const SeriesAnalysis& analysis) {
+  cache::SnapshotWriter writer;
+  writer.PutI64(static_cast<std::int64_t>(analysis.kind));
+  writer.PutU32(analysis.disease.value());
+  writer.PutU32(analysis.medicine.value());
+  writer.PutU32(analysis.has_change ? 1 : 0);
+  writer.PutI64(analysis.change_point);
+  writer.PutDouble(analysis.lambda);
+  writer.PutDouble(analysis.aic);
+  writer.PutDouble(analysis.aic_without_intervention);
+  writer.PutDouble(analysis.scale);
+  writer.PutI64(analysis.fits_performed);
+  return writer.Take();
+}
+
+Result<SeriesAnalysis> DeserializeAnalysis(
+    const std::vector<std::uint8_t>& payload) {
+  cache::SnapshotReader reader(payload);
+  SeriesAnalysis analysis;
+  MIC_ASSIGN_OR_RETURN(const std::int64_t kind, reader.I64());
+  if (kind < 0 || kind > 2) {
+    return Status::FailedPrecondition("series-analysis kind out of range");
+  }
+  analysis.kind = static_cast<SeriesKind>(kind);
+  MIC_ASSIGN_OR_RETURN(const std::uint32_t disease, reader.U32());
+  analysis.disease = DiseaseId(disease);
+  MIC_ASSIGN_OR_RETURN(const std::uint32_t medicine, reader.U32());
+  analysis.medicine = MedicineId(medicine);
+  MIC_ASSIGN_OR_RETURN(const std::uint32_t has_change, reader.U32());
+  analysis.has_change = has_change != 0;
+  MIC_ASSIGN_OR_RETURN(const std::int64_t change_point, reader.I64());
+  analysis.change_point = static_cast<int>(change_point);
+  MIC_ASSIGN_OR_RETURN(analysis.lambda, reader.Double());
+  MIC_ASSIGN_OR_RETURN(analysis.aic, reader.Double());
+  MIC_ASSIGN_OR_RETURN(analysis.aic_without_intervention, reader.Double());
+  MIC_ASSIGN_OR_RETURN(analysis.scale, reader.Double());
+  MIC_ASSIGN_OR_RETURN(const std::int64_t fits, reader.I64());
+  analysis.fits_performed = static_cast<int>(fits);
+  if (!reader.AtEnd()) {
+    return Status::FailedPrecondition(
+        "trailing bytes after series-analysis snapshot");
+  }
+  return analysis;
+}
+
 }  // namespace
 
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
@@ -117,7 +203,7 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
 
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     const medmodel::SeriesSet& set, const ExecContext& context) const {
-  runtime::ThreadPool* pool = EffectivePool(context, options_.pool);
+  runtime::ThreadPool* pool = context.pool;
   obs::MetricsRegistry* metrics = context.metrics;
   obs::Span detect_span(context, "detect");
   // Per-series fit wall time. Workers record into this pre-resolved
@@ -143,18 +229,55 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     tasks.push_back({SeriesKind::kPrescription, d, m, &series});
   });
 
-  // One series per chunk: each fit costs milliseconds, so per-task
-  // dispatch overhead is noise and the pool load-balances freely.
+  // Dirty-set sweep: answer unchanged series from the cache before the
+  // dispatch. The serial prepass keeps hit/miss accounting in traversal
+  // order, so the counters are identical at any thread count.
   std::vector<SeriesAnalysis> analyses(tasks.size());
   std::vector<Status> statuses(tasks.size());
+  cache::CacheStore* store = context.cache;
+  const bool cache_active =
+      store != nullptr && (store->can_read() || store->can_write());
+  std::vector<std::uint64_t> keys;
+  std::vector<char> from_cache(tasks.size(), 0);
+  if (cache_active) {
+    const std::uint64_t options_key = FingerprintAnalyzerOptions(options_);
+    keys.resize(tasks.size());
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      keys[i] = FingerprintSeriesTask(options_key, tasks[i]);
+      if (!store->can_read()) continue;
+      auto payload = store->Get("series", keys[i]);
+      if (!payload.ok()) continue;  // Miss or corrupt: recompute cold.
+      auto cached = DeserializeAnalysis(*payload);
+      if (!cached.ok() || cached->kind != tasks[i].kind ||
+          cached->disease != tasks[i].disease ||
+          cached->medicine != tasks[i].medicine) {
+        continue;  // Malformed or collided entry: recompute cold.
+      }
+      analyses[i] = std::move(*cached);
+      from_cache[i] = 1;
+      ++hits;
+    }
+    if (metrics != nullptr) {
+      obs::Increment(obs::GetCounter(metrics, "trend.series_cache_hits"),
+                     hits);
+      obs::Increment(
+          obs::GetCounter(metrics, "trend.series_cache_misses"),
+          static_cast<std::uint64_t>(tasks.size()) - hits);
+    }
+  }
+
+  // One series per chunk: each fit costs milliseconds, so per-task
+  // dispatch overhead is noise and the pool load-balances freely.
   MIC_RETURN_IF_ERROR(runtime::ParallelFor(
       pool, 0, tasks.size(), 1,
       obs::TraceChunks(
           context.trace, "trend-analyze",
-          [this, &tasks, &analyses, &statuses, &context, fit_timer](
-              std::size_t chunk_begin, std::size_t chunk_end,
-              std::size_t) {
+          [this, &tasks, &analyses, &statuses, &from_cache, &context,
+           fit_timer](std::size_t chunk_begin, std::size_t chunk_end,
+                      std::size_t) {
             for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+              if (from_cache[i]) continue;
               const SeriesTask& task = tasks[i];
               obs::ScopedTimer fit_scope(fit_timer, context.trace,
                                          "series_fit");
@@ -170,6 +293,18 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
             return Status::OK();
           }),
       "trend-analyze"));
+
+  // Publish the fresh analyses; write failures degrade to "no cache".
+  if (cache_active && store->can_write()) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (from_cache[i] || !statuses[i].ok()) continue;
+      Status put = store->Put("series", keys[i],
+                              SerializeAnalysis(analyses[i]));
+      if (!put.ok()) {
+        MIC_LOG(Warning) << "cache write failed: " << put.ToString();
+      }
+    }
+  }
 
   // Assemble in task order; keep the serial error policy (the first
   // non-InvalidArgument failure wins, degenerate series are skipped).

@@ -22,7 +22,6 @@
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/types.h"
-#include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 
 namespace mic::trend {
@@ -80,13 +79,9 @@ struct TrendAnalyzerOptions {
   /// A disease/medicine break within this many months of a prescription
   /// break counts as its cause.
   int cause_window = 3;
-  /// DEPRECATED: pass the pool via the ExecContext overload of
-  /// AnalyzeAll instead; an explicit context's pool takes precedence
-  /// over this field (see common/exec_context.h). Execution pool for
-  /// AnalyzeAll's per-series fits (not owned; null runs inline). Each
-  /// series is one task; the report is assembled in the serial
-  /// traversal order, so it is bit-identical at any thread count.
-  runtime::ThreadPool* pool = nullptr;
+  // The former `pool` field is gone: AnalyzeAll runs on the pool of the
+  // ExecContext it is given (see common/exec_context.h and the
+  // migration notes in docs/usage_cookbook.md).
 };
 
 /// Full report over a SeriesSet.
@@ -125,11 +120,21 @@ class TrendAnalyzer {
   /// Analyzes every disease, medicine, and prescription series in `set`.
   Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set) const;
 
-  /// ExecContext overload: context.pool (when set) overrides
-  /// options.pool for the per-series dispatch, and context.metrics
-  /// receives the stage's counters (trend.series_analyzed /
-  /// trend.series_fits / trend.changes_detected / trend.cause.*) under
-  /// a "detect" span, plus the per-series trend.series_fit timer.
+  /// ExecContext overload: context.pool runs the per-series dispatch
+  /// (null = inline), and context.metrics receives the stage's counters
+  /// (trend.series_analyzed / trend.series_fits /
+  /// trend.changes_detected / trend.cause.*) under a "detect" span,
+  /// plus the per-series trend.series_fit timer.
+  ///
+  /// context.cache (when attached) drives the dirty-set sweep: each
+  /// series' analysis is keyed in the "series" namespace by a
+  /// fingerprint of (kind, ids, series values, analyzer + detector
+  /// options). Unchanged series are answered from the cached
+  /// SeriesAnalysis without fitting (trend.series_cache_hits); changed
+  /// or new ones are fitted and written back
+  /// (trend.series_cache_misses). Hits reproduce the cached analysis
+  /// field-for-field — including fits_performed — so a warm report is
+  /// byte-identical to the cold one at any thread count.
   Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set,
                                  const ExecContext& context) const;
 

@@ -111,6 +111,41 @@ cmp "$WORK/detect.csv" "$WORK/detect_mt.csv"
 grep -q '"changepoint.approximate.aic_evaluations"' \
   "$WORK/detect_metrics.json"
 
+# mic::cache incremental engine: a cold seeding run (--cache=write)
+# followed by a warm rerun (--cache=rw) against the same directory must
+# write a byte-identical report while serving hits from the cache.
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --seasonal false --cache write --cache-dir "$WORK/cache" \
+  --out "$WORK/cache_cold.csv" > /dev/null
+"$MICTREND" pipeline --corpus "$WORK/corpus.csv" --min-total 5 \
+  --seasonal false --cache rw --cache-dir "$WORK/cache" \
+  --out "$WORK/cache_warm.csv" \
+  --metrics-out "$WORK/cache_metrics.json" > /dev/null
+cmp "$WORK/cache_cold.csv" "$WORK/cache_warm.csv"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/cache_metrics.json" << 'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("cache.hits", 0) > 0, counters
+assert counters.get("cache.misses", 1) == 0, counters
+assert counters.get("cache.read_errors", 1) == 0, counters
+assert counters.get("trend.series_cache_hits", 0) > 0, counters
+EOF
+else
+  grep -q '"cache.hits"' "$WORK/cache_metrics.json"
+fi
+
+# Invalid cache flag combinations are rejected naming the flag.
+if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --cache rw \
+    > "$WORK/cache_err.out" 2>&1; then
+  echo "expected failure for --cache without --cache-dir" >&2
+  exit 1
+fi
+grep -q -- "--cache-dir" "$WORK/cache_err.out" || {
+  echo "cache rejection must name --cache-dir" >&2
+  exit 1
+}
+
 # Undeclared flags are rejected, and the usage screen the parser
 # validates against advertises the pipeline detector flags.
 if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --bogus 2>/dev/null; then

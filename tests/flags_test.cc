@@ -26,18 +26,25 @@ TEST(FlagsTest, ParsesSubcommandAndFlags) {
 TEST(FlagsTest, EqualsSyntax) {
   const Flags flags = ParseOk({"detect", "--margin=4.5", "--seasonal=false"});
   EXPECT_DOUBLE_EQ(*flags.GetDouble("margin", 0.0), 4.5);
-  EXPECT_FALSE(flags.GetBool("seasonal", true));
+  EXPECT_FALSE(*flags.GetBool("seasonal", true));
 }
 
 TEST(FlagsTest, BareBooleanFlag) {
   const Flags flags = ParseOk({"stats", "--verbose"});
-  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_TRUE(*flags.GetBool("verbose"));
 }
 
 TEST(FlagsTest, NoSubcommand) {
   const Flags flags = ParseOk({"--help"});
   EXPECT_TRUE(flags.command().empty());
-  EXPECT_TRUE(flags.GetBool("help"));
+  EXPECT_TRUE(*flags.GetBool("help"));
+}
+
+TEST(FlagsTest, RejectsMalformedBoolean) {
+  const Flags flags = ParseOk({"detect", "--seasonal=maybe"});
+  auto value = flags.GetBool("seasonal", true);
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("--seasonal"), std::string::npos);
 }
 
 TEST(FlagsTest, RejectsStrayPositional) {

@@ -188,9 +188,10 @@ TEST(MedicationModelTest, FourThreadFitIsBitwiseEqualToSerial) {
   ASSERT_TRUE(serial.ok());
 
   runtime::ThreadPool pool(4);
-  MedicationModelOptions options;
-  options.pool = &pool;
-  auto parallel = MedicationModel::Fit(month, options);
+  ExecContext context;
+  context.pool = &pool;
+  auto parallel = MedicationModel::Fit(month, MedicationModelOptions{},
+                                       /*prior=*/nullptr, context);
   ASSERT_TRUE(parallel.ok());
 
   // Exact equality throughout — no tolerance.

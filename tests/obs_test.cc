@@ -182,10 +182,10 @@ TEST(RuntimeMetricsTest, FoldsStageStatsIntoRegistry) {
   EXPECT_DOUBLE_EQ(registry.gauge("runtime.threads")->value(), 2.0);
 }
 
-// The ExecContext precedence rule: a pool passed via context wins over
-// the deprecated options-carried pool. Observable through the pools'
-// own stage stats: only the winning pool sees the "em-estep" stage.
-TEST(ExecContextTest, ContextPoolWinsOverOptionsPool) {
+// The ExecContext is the only way execution resources reach a fit
+// after the removal of the per-options pool fields: the context's pool
+// sees the EM stages, and an empty context runs inline.
+TEST(ExecContextTest, ContextPoolDrivesTheFit) {
   auto world = synth::World::Create(synth::MakeTinyWorldConfig(6, 99));
   ASSERT_TRUE(world.ok());
   synth::ClaimGenerator generator(&*world);
@@ -193,34 +193,21 @@ TEST(ExecContextTest, ContextPoolWinsOverOptionsPool) {
   ASSERT_TRUE(data.ok());
 
   runtime::ThreadPool context_pool(2);
-  runtime::ThreadPool options_pool(2);
-  medmodel::MedicationModelOptions options;
-  options.pool = &options_pool;  // Deprecated path: must lose.
   ExecContext context;
   context.pool = &context_pool;
-  auto fitted = medmodel::MedicationModel::Fit(data->corpus.month(0),
-                                               options, nullptr, context);
+  auto fitted = medmodel::MedicationModel::Fit(
+      data->corpus.month(0), medmodel::MedicationModelOptions{}, nullptr,
+      context);
   ASSERT_TRUE(fitted.ok()) << fitted.status();
   EXPECT_FALSE(context_pool.stats().stages.empty());
-  EXPECT_TRUE(options_pool.stats().stages.empty());
 
-  // Without a context pool, the options pool keeps working (legacy
-  // callers are unaffected by the API redesign).
-  auto legacy = medmodel::MedicationModel::Fit(data->corpus.month(0),
-                                               options, nullptr,
-                                               ExecContext{});
-  ASSERT_TRUE(legacy.ok()) << legacy.status();
-  EXPECT_FALSE(options_pool.stats().stages.empty());
-}
-
-TEST(ExecContextTest, EffectivePoolResolvesPrecedence) {
-  runtime::ThreadPool a(1);
-  runtime::ThreadPool b(1);
-  ExecContext with_pool;
-  with_pool.pool = &a;
-  EXPECT_EQ(EffectivePool(with_pool, &b), &a);
-  EXPECT_EQ(EffectivePool(ExecContext{}, &b), &b);
-  EXPECT_EQ(EffectivePool(ExecContext{}, nullptr), nullptr);
+  // An empty context fits inline and produces the identical model.
+  auto inline_fit = medmodel::MedicationModel::Fit(
+      data->corpus.month(0), medmodel::MedicationModelOptions{}, nullptr,
+      ExecContext{});
+  ASSERT_TRUE(inline_fit.ok()) << inline_fit.status();
+  EXPECT_EQ((*fitted)->fit_stats().final_log_likelihood,
+            (*inline_fit)->fit_stats().final_log_likelihood);
 }
 
 // The tentpole acceptance test: every counter the pipeline emits is
@@ -236,7 +223,7 @@ TEST(ObsDeterminismTest, PipelineCountersIdenticalAcrossThreadCounts) {
   auto counters_with_threads = [&](int threads) {
     runtime::ThreadPool pool(threads);
     MetricsRegistry registry;
-    trend::PipelineOptions options;
+    trend::PipelineConfig options;
     options.reproducer.filter_options.min_disease_count = 1;
     options.reproducer.filter_options.min_medicine_count = 1;
     options.analyzer.detector.seasonal = false;  // 24-month window.
@@ -273,7 +260,7 @@ TEST(ObsDeterminismTest, PipelineSpansNestUnderRoot) {
   ASSERT_TRUE(data.ok());
 
   MetricsRegistry registry;
-  trend::PipelineOptions options;
+  trend::PipelineConfig options;
   options.reproducer.filter_options.min_disease_count = 1;
   options.reproducer.filter_options.min_medicine_count = 1;
   options.analyzer.detector.seasonal = false;

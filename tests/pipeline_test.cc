@@ -16,7 +16,7 @@ TEST(PipelineApiTest, RunsEndToEndOnTinyWorld) {
   auto data = generator.Generate();
   ASSERT_TRUE(data.ok());
 
-  PipelineOptions options;
+  PipelineConfig options;
   options.reproducer.filter_options.min_disease_count = 1;
   options.reproducer.filter_options.min_medicine_count = 1;
   options.reproducer.min_series_total = 10.0;
@@ -64,14 +64,15 @@ TEST(PipelineApiTest, FourThreadsMatchesSingleThreadBitwise) {
   ASSERT_TRUE(data.ok());
 
   auto run = [&](runtime::ThreadPool* pool) {
-    PipelineOptions options;
-    options.pool = pool;
+    PipelineConfig options;
     options.reproducer.filter_options.min_disease_count = 1;
     options.reproducer.filter_options.min_medicine_count = 1;
     options.reproducer.min_series_total = 10.0;
     options.analyzer.detector.seasonal = false;
     options.analyzer.detector.fit.optimizer.max_evaluations = 150;
-    auto result = RunPipeline(data->corpus, options);
+    ExecContext context;
+    context.pool = pool;
+    auto result = RunPipeline(data->corpus, options, context);
     EXPECT_TRUE(result.ok()) << result.status();
     return std::move(result).value();
   };

@@ -200,10 +200,11 @@ TEST(RuntimeDeterminismTest, EmFitBitIdenticalAcrossThreadCounts) {
 
   auto fit_with_threads = [&](int threads) {
     ThreadPool pool(threads);
-    medmodel::MedicationModelOptions options;
-    options.pool = &pool;
-    auto fitted = medmodel::MedicationModel::Fit(data->corpus.month(0),
-                                                 options);
+    ExecContext context;
+    context.pool = &pool;
+    auto fitted = medmodel::MedicationModel::Fit(
+        data->corpus.month(0), medmodel::MedicationModelOptions{},
+        /*prior=*/nullptr, context);
     EXPECT_TRUE(fitted.ok()) << fitted.status();
     return std::move(fitted).value();
   };
@@ -224,13 +225,14 @@ TEST(RuntimeDeterminismTest, PipelineChangepointsIdenticalAcrossThreads) {
 
   auto run_with_threads = [&](int threads) {
     ThreadPool pool(threads);
-    trend::PipelineOptions options;
-    options.pool = &pool;
-    options.reproducer.filter_options.min_disease_count = 1;
-    options.reproducer.filter_options.min_medicine_count = 1;
-    options.analyzer.detector.seasonal = false;  // 24-month window.
-    options.analyzer.detector.fit.optimizer.max_evaluations = 120;
-    auto result = trend::RunPipeline(data->corpus, options);
+    ExecContext context;
+    context.pool = &pool;
+    trend::PipelineConfig config;
+    config.reproducer.filter_options.min_disease_count = 1;
+    config.reproducer.filter_options.min_medicine_count = 1;
+    config.analyzer.detector.seasonal = false;  // 24-month window.
+    config.analyzer.detector.fit.optimizer.max_evaluations = 120;
+    auto result = trend::RunPipeline(data->corpus, config, context);
     EXPECT_TRUE(result.ok()) << result.status();
     return std::move(result).value();
   };

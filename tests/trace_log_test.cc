@@ -207,7 +207,7 @@ TEST(TraceLogPipelineTest, FourThreadTimelineIsWellFormedAndCountersMatch) {
   auto data = generator.Generate();
   ASSERT_TRUE(data.ok());
 
-  trend::PipelineOptions options;
+  trend::PipelineConfig options;
   options.reproducer.filter_options.min_disease_count = 1;
   options.reproducer.filter_options.min_medicine_count = 1;
   options.reproducer.min_series_total = 10.0;

@@ -20,6 +20,8 @@ std::vector<FlagSpec> WithObsFlags(std::vector<FlagSpec> flags) {
 
 std::vector<FlagSpec> WithExecFlags(std::vector<FlagSpec> flags) {
   flags.push_back({"threads", "N"});
+  flags.push_back({"cache", "off|read|write|rw"});
+  flags.push_back({"cache-dir", "dir"});
   return WithObsFlags(std::move(flags));
 }
 
@@ -133,7 +135,10 @@ std::string BuildUsageText() {
       "(either way the output is bit-identical). --metrics-out writes\n"
       "the run's counters, timers, and histograms as JSON; --trace-out\n"
       "writes a Chrome-trace/Perfetto event timeline; --log-json writes\n"
-      "a structured JSON-lines run log (MICTREND_LOG_LEVEL filters it).\n";
+      "a structured JSON-lines run log (MICTREND_LOG_LEVEL filters it).\n"
+      "--cache-dir names an incremental snapshot store and --cache sets\n"
+      "the mode: write seeds it, read serves from it, rw does both;\n"
+      "warm results are byte-identical to a cold run.\n";
   return usage;
 }
 
@@ -178,6 +183,47 @@ Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
   return std::make_unique<runtime::ThreadPool>(static_cast<int>(threads));
 }
 
+Result<trend::CacheConfig> CacheConfigFromFlags(const Flags& flags) {
+  trend::CacheConfig config;
+  const std::string mode_text = flags.GetString("cache", "off");
+  MIC_ASSIGN_OR_RETURN(config.mode, cache::ParseCacheMode(mode_text));
+  config.directory = flags.GetString("cache-dir");
+  if (config.mode != cache::CacheMode::kOff && config.directory.empty()) {
+    return Status::InvalidArgument("--cache=" + mode_text +
+                                   " requires --cache-dir <dir>");
+  }
+  if (config.mode == cache::CacheMode::kOff && !config.directory.empty()) {
+    return Status::InvalidArgument(
+        "--cache-dir is set but --cache is 'off'; pass "
+        "--cache={read,write,rw} to use it");
+  }
+  return config;
+}
+
+Result<trend::PipelineConfig> PipelineConfigFromFlags(
+    const Flags& flags, const DetectorFlagDefaults& defaults) {
+  trend::PipelineConfig config;
+  MIC_ASSIGN_OR_RETURN(double min_total,
+                       flags.GetDouble("min-total", 10.0));
+  config.reproducer.min_series_total = min_total;
+  MIC_ASSIGN_OR_RETURN(double coupling, flags.GetDouble("coupling", 0.0));
+  config.reproducer.model_options.prior_strength = coupling;
+  const std::string model = flags.GetString("model", "proposed");
+  if (model == "cooccurrence") {
+    config.reproducer.model_kind = medmodel::LinkModelKind::kCooccurrence;
+  } else if (model != "proposed") {
+    return Status::InvalidArgument("unknown --model: " + model);
+  }
+  MIC_ASSIGN_OR_RETURN(config.analyzer.detector,
+                       DetectorOptionsFromFlags(flags, defaults));
+  MIC_ASSIGN_OR_RETURN(const bool exact,
+                       UseExactAlgorithm(flags, defaults));
+  config.analyzer.use_approximate = !exact;
+  MIC_ASSIGN_OR_RETURN(config.cache, CacheConfigFromFlags(flags));
+  MIC_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
 Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool) {
   CliRun run;
   if (with_pool) {
@@ -191,11 +237,23 @@ Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool) {
   if (flags.Has("trace-out")) {
     run.trace_ = std::make_unique<obs::TraceLog>();
   }
+  MIC_ASSIGN_OR_RETURN(trend::CacheConfig cache_config,
+                       CacheConfigFromFlags(flags));
+  if (cache_config.mode != cache::CacheMode::kOff) {
+    auto store = std::make_unique<cache::CacheStore>(
+        cache_config.directory, cache_config.mode, run.metrics_.get());
+    if (Status opened = store->Open(); opened.ok()) {
+      run.cache_ = std::move(store);
+    } else {
+      // The cache is an accelerator: a store that cannot open degrades
+      // to a cold, uncached run instead of failing the command.
+      std::fprintf(stderr, "warning: cache disabled for this run: %s\n",
+                   opened.ToString().c_str());
+    }
+  }
   const std::string log_path = flags.GetString("log-json");
   if (!log_path.empty()) {
-    if (!OpenLogFile(log_path)) {
-      return Status::IoError("cannot open --log-json file " + log_path);
-    }
+    MIC_RETURN_IF_ERROR(OpenLogFile(log_path));
     RunMetadata metadata;
     metadata.command = flags.command();
     MIC_ASSIGN_OR_RETURN(std::int64_t seed, flags.GetInt("seed", 0));
@@ -237,7 +295,7 @@ Status CliRun::Finish(const Flags& flags) {
 Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
     const Flags& flags, const DetectorFlagDefaults& defaults) {
   ssm::ChangePointOptions options;
-  options.seasonal = flags.GetBool("seasonal", true);
+  MIC_ASSIGN_OR_RETURN(options.seasonal, flags.GetBool("seasonal", true));
   MIC_ASSIGN_OR_RETURN(double margin,
                        flags.GetDouble("margin", defaults.margin));
   options.aic_margin = margin;

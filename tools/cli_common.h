@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/cache_store.h"
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "obs/metrics.h"
@@ -26,6 +27,7 @@
 #include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 #include "tools/flags.h"
+#include "trend/pipeline.h"
 
 namespace mic::tools {
 
@@ -63,23 +65,26 @@ Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
 
 /// Per-invocation execution + observability state shared by every
 /// subcommand: the --threads pool, the --metrics-out registry, the
-/// --trace-out event trace buffer, and the --log-json structured run
-/// log (which also stamps the run's metadata record).
+/// --trace-out event trace buffer, the --cache/--cache-dir snapshot
+/// store, and the --log-json structured run log (which also stamps the
+/// run's metadata record).
 class CliRun {
  public:
   /// `with_pool` = false builds a 1-thread (inline) pool for
   /// subcommands that do no parallel work.
   static Result<CliRun> FromFlags(const Flags& flags, bool with_pool);
 
-  /// Context for the library entry points. metrics/trace are null when
-  /// the matching output was not requested, which keeps the hot paths
-  /// on the disabled (pointer-compare) branch.
+  /// Context for the library entry points. metrics/trace/cache are null
+  /// when the matching output was not requested, which keeps the hot
+  /// paths on the disabled (pointer-compare) branch.
   ExecContext context() const {
-    return ExecContext{pool_.get(), metrics_.get(), trace_.get()};
+    return ExecContext{pool_.get(), metrics_.get(), trace_.get(),
+                       cache_.get()};
   }
   runtime::ThreadPool* pool() const { return pool_.get(); }
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
   obs::TraceLog* trace() const { return trace_.get(); }
+  cache::CacheStore* cache() const { return cache_.get(); }
 
   /// Finishes the run: folds the pool's runtime stats into the
   /// registry, writes --metrics-out (deterministic JSON) and
@@ -91,6 +96,7 @@ class CliRun {
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceLog> trace_;
+  std::unique_ptr<cache::CacheStore> cache_;
 };
 
 /// Defaults for the detector flag group, so `detect` keeps the paper's
@@ -110,6 +116,20 @@ Result<ssm::ChangePointOptions> DetectorOptionsFromFlags(
 /// True when --algorithm resolves to the exact search (Algorithm 1).
 Result<bool> UseExactAlgorithm(const Flags& flags,
                                const DetectorFlagDefaults& defaults);
+
+/// Parses the cache flag group (--cache {off,read,write,rw} and
+/// --cache-dir). Rejects inconsistent combinations with a message
+/// naming the offending flag (e.g. --cache=read without --cache-dir).
+Result<trend::CacheConfig> CacheConfigFromFlags(const Flags& flags);
+
+/// THE place the CLI turns flags into a trend::PipelineConfig: the
+/// reproducer group (--min-total, --coupling, --model), the detector
+/// group (via DetectorOptionsFromFlags with `defaults`), --algorithm,
+/// and the cache group. Every subcommand that runs pipeline stages goes
+/// through here, so a flag can never mean different things to
+/// different commands. The result is already Validate()d.
+Result<trend::PipelineConfig> PipelineConfigFromFlags(
+    const Flags& flags, const DetectorFlagDefaults& defaults);
 
 }  // namespace mic::tools
 

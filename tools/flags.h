@@ -79,10 +79,17 @@ class Flags {
     return ParseDouble(it->second);
   }
 
-  bool GetBool(const std::string& key, bool fallback = false) const {
+  /// Strict boolean parse: only true/1/false/0 are accepted, so a typo
+  /// like --seasonal=yes is an error instead of silently meaning false.
+  Result<bool> GetBool(const std::string& key,
+                       bool fallback = false) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    return it->second != "false" && it->second != "0";
+    if (it->second == "true" || it->second == "1") return true;
+    if (it->second == "false" || it->second == "0") return false;
+    return Status::InvalidArgument("--" + key +
+                                   " expects true or false, got '" +
+                                   it->second + "'");
   }
 
  private:

@@ -149,24 +149,12 @@ int RunReproduce(const Flags& flags) {
   auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
   if (!run.ok()) return Fail(run.status());
 
-  medmodel::ReproducerOptions options;
-  auto min_total = flags.GetDouble("min-total", 10.0);
-  if (!min_total.ok()) return Fail(min_total.status());
-  options.min_series_total = *min_total;
-  auto coupling = flags.GetDouble("coupling", 0.0);
-  if (!coupling.ok()) return Fail(coupling.status());
-  options.model_options.prior_strength = *coupling;
-  const std::string model = flags.GetString("model", "proposed");
-  if (model == "cooccurrence") {
-    options.model_kind = medmodel::LinkModelKind::kCooccurrence;
-  } else if (model != "proposed") {
-    std::fprintf(stderr, "reproduce: unknown --model '%s'\n",
-                 model.c_str());
-    return 2;
-  }
+  auto config = PipelineConfigFromFlags(flags, DetectorFlagDefaults{});
+  if (!config.ok()) return Fail(config.status());
 
   auto series =
-      medmodel::ReproduceSeries(*corpus, options, run->context());
+      medmodel::ReproduceSeries(*corpus, config->reproducer,
+                                run->context());
   if (!series.ok()) return Fail(series.status());
   if (Status status = medmodel::WriteSeriesCsvFile(
           *series, corpus->catalog(), out_path);
@@ -312,19 +300,10 @@ int RunPipeline(const Flags& flags) {
   if (!run.ok()) return Fail(run.status());
 
   const DetectorFlagDefaults defaults{4.0, 3, "approx"};
-  auto detector = DetectorOptionsFromFlags(flags, defaults);
-  if (!detector.ok()) return Fail(detector.status());
-  auto exact = UseExactAlgorithm(flags, defaults);
-  if (!exact.ok()) return Fail(exact.status());
+  auto config = PipelineConfigFromFlags(flags, defaults);
+  if (!config.ok()) return Fail(config.status());
 
-  trend::PipelineOptions options;
-  auto min_total = flags.GetDouble("min-total", 10.0);
-  if (!min_total.ok()) return Fail(min_total.status());
-  options.reproducer.min_series_total = *min_total;
-  options.analyzer.detector = *detector;
-  options.analyzer.use_approximate = !*exact;
-
-  auto result = trend::RunPipeline(*corpus, options, run->context());
+  auto result = trend::RunPipeline(*corpus, *config, run->context());
   if (!result.ok()) return Fail(result.status());
   const medmodel::SeriesSet& series = result->series;
   const trend::TrendReport& report = result->report;
@@ -333,7 +312,7 @@ int RunPipeline(const Flags& flags) {
               series.num_diseases(), series.num_medicines(),
               series.num_pairs());
 
-  trend::TrendAnalyzer analyzer(options.analyzer);
+  trend::TrendAnalyzer analyzer(config->analyzer);
   const Catalog& catalog = corpus->catalog();
   const std::string out_path = flags.GetString("out");
   if (!out_path.empty()) {
@@ -345,9 +324,10 @@ int RunPipeline(const Flags& flags) {
     std::printf("wrote analysis report to %s\n", out_path.c_str());
   }
   std::printf("\ndetected changes (algorithm %s, margin %g, tail %d):\n",
-              *exact ? "1 (exact)" : "2 (approx)",
-              options.analyzer.detector.aic_margin,
-              options.analyzer.detector.min_tail_observations);
+              config->analyzer.use_approximate ? "2 (approx)"
+                                               : "1 (exact)",
+              config->analyzer.detector.aic_margin,
+              config->analyzer.detector.min_tail_observations);
   for (const trend::SeriesAnalysis& analysis : report.medicines) {
     if (!analysis.has_change) continue;
     std::printf("  medicine      %-32s month %2d  lambda %+8.2f\n",
