@@ -17,9 +17,11 @@
 #include "bench/bench_util.h"
 #include "cache/cache_store.h"
 #include "common/exec_context.h"
+#include "mic/io.h"
 #include "obs/metrics.h"
 #include "ssm/changepoint.h"
 #include "ssm/fit.h"
+#include "store/claim_store.h"
 #include "trend/pipeline.h"
 #include "trend/trend_analyzer.h"
 
@@ -277,6 +279,129 @@ void MeasureIncremental(const bench::BenchData& data,
   fs::remove_all(dir, ec);
 }
 
+// The mic::store ingest story: what every run paid before the store
+// existed (cold CSV re-parse) vs loading the persisted columnar
+// segments (mmap where the platform has it), plus the marginal cost of
+// appending one new month — the monthly-update path. The loaded world
+// must reproduce the CSV corpus record for record; absolute times are
+// wall-clock but the ratio is the reproduced claim (binary columns +
+// interned ids remove all per-record text parsing).
+void MeasureIngest(const bench::BenchData& data,
+                   bench::BenchReport& report) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "mictrend_bench_table5_store";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  const std::string csv = (dir / "corpus.csv").string();
+  const std::string store_dir = (dir / "store").string();
+
+  const MicCorpus& corpus = data.generated.corpus;
+  MIC_CHECK(WriteCorpusCsvFile(corpus, csv).ok());
+  {
+    auto store = store::ClaimStore::Open(store_dir);
+    MIC_CHECK(store.ok()) << store.status();
+    auto imported = store::ImportCorpus(corpus, *store);
+    MIC_CHECK(imported.ok()) << imported.status();
+  }
+
+  std::size_t records = 0;
+  for (std::size_t t = 0; t < corpus.num_months(); ++t) {
+    records += corpus.month(t).records().size();
+  }
+
+  // Both paths are quick at smoke scale; keep the best of a few
+  // repeats so scheduler noise cannot fake (or hide) the gap.
+  constexpr int kRepeats = 5;
+  auto best_of = [&](auto&& run) {
+    double best = 0.0;
+    for (int i = 0; i < kRepeats; ++i) {
+      const auto start = Clock::now();
+      run();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (i == 0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+
+  bool round_trip_identical = true;
+  const double csv_seconds = best_of([&] {
+    auto parsed = ReadCorpusCsvFile(csv);
+    MIC_CHECK(parsed.ok()) << parsed.status();
+  });
+  std::string backend_name;
+  const double load_seconds = best_of([&] {
+    auto store = store::ClaimStore::Open(store_dir);
+    MIC_CHECK(store.ok()) << store.status();
+    backend_name = store->backend_name();
+    auto loaded = store->OpenWorld();
+    MIC_CHECK(loaded.ok()) << loaded.status();
+    if (loaded->num_months() != corpus.num_months()) {
+      round_trip_identical = false;
+      return;
+    }
+    for (std::size_t t = 0; t < corpus.num_months(); ++t) {
+      if (loaded->month(t).records() != corpus.month(t).records()) {
+        round_trip_identical = false;
+      }
+    }
+  });
+
+  // Appending the newest month to an already-populated store: the cost
+  // the monthly-update workflow actually pays per cycle.
+  const std::size_t last = corpus.num_months() - 1;
+  double append_seconds = 0.0;
+  for (int i = 0; i < kRepeats; ++i) {
+    const std::string tail_dir =
+        (dir / ("append" + std::to_string(i))).string();
+    auto store = store::ClaimStore::Open(tail_dir);
+    MIC_CHECK(store.ok()) << store.status();
+    for (std::size_t t = 0; t < last; ++t) {
+      MIC_CHECK(store->AppendMonth(corpus.month(t), corpus.catalog()).ok());
+    }
+    const auto start = Clock::now();
+    MIC_CHECK(store->AppendMonth(corpus.month(last), corpus.catalog()).ok());
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (i == 0 || seconds < append_seconds) append_seconds = seconds;
+  }
+
+  // Deterministic for a fixed config: the columnar encoding has no
+  // timestamps or random padding, so the byte total is reproducible.
+  double store_bytes = 0.0;
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    store_bytes += static_cast<double>(fs::file_size(entry.path(), ec));
+  }
+
+  const double speedup =
+      load_seconds > 0.0 ? csv_seconds / load_seconds : 0.0;
+  std::printf("\nIngest (mic::store, %zu months, %zu records):\n",
+              corpus.num_months(), records);
+  std::printf("  %-22s %9.3f ms\n", "cold CSV parse", csv_seconds * 1e3);
+  std::printf("  %-22s %9.3f ms  (speedup %5.2fx, %s backend)\n",
+              "store load", load_seconds * 1e3, speedup,
+              backend_name.c_str());
+  std::printf("  %-22s %9.3f ms\n", "one-month append",
+              append_seconds * 1e3);
+  std::printf("  round trip identical:  %s\n",
+              round_trip_identical ? "yes" : "NO");
+  MIC_CHECK(round_trip_identical)
+      << "store load diverged from the CSV corpus";
+  report.Set("ingest", "months",
+             static_cast<double>(corpus.num_months()));
+  report.Set("ingest", "records", static_cast<double>(records));
+  report.Set("ingest", "round_trip_identical",
+             round_trip_identical ? 1.0 : 0.0);
+  report.Set("ingest", "store_bytes", store_bytes);
+  report.Set("ingest", "csv_parse_seconds", csv_seconds);
+  report.Set("ingest", "store_load_seconds", load_seconds);
+  report.Set("ingest", "append_seconds", append_seconds);
+  report.Set("ingest", "speedup", speedup);
+  fs::remove_all(dir, ec);
+}
+
 // The mic::obs instrumentation cost on the same sweep. With no registry
 // attached (the default) every hook is a null-pointer compare, so the
 // disabled run must stay within noise of the uninstrumented baseline;
@@ -361,6 +486,7 @@ int Run() {
                                             HardwareConcurrency());
   MeasureParallelStage(data, threads, report);
   MeasureIncremental(data, report);
+  MeasureIngest(data, report);
   MeasureObsOverhead(data, report);
   report.WriteJsonFromEnv();
   return 0;

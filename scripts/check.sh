@@ -5,10 +5,11 @@
 # MICTREND_BENCH_JSON report, and gates the deterministic values
 # against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all presets + bench-smoke + cache-smoke
+#   scripts/check.sh              # all presets + bench/cache/store smoke
 #   scripts/check.sh default      # just one preset
 #   scripts/check.sh bench-smoke  # just the bench regression gate
 #   scripts/check.sh cache-smoke  # just the incremental-cache gate
+#   scripts/check.sh store-smoke  # just the persistent-store gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
 # this falls back to plain -B/-S invocations with the same cache
@@ -16,7 +17,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke cache-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -72,6 +73,50 @@ EOF
   echo "cache-smoke OK: warm rerun byte-identical with cache hits"
 }
 
+# The mic::store persistence gate: import a corpus into a columnar
+# store, rerun the pipeline from the store (warm load), append one new
+# month, and require every store-backed report to match its CSV-backed
+# twin byte for byte.
+store_smoke() {
+  echo "==== store-smoke: import -> warm load -> append identity gate ===="
+  if [ ! -x build/tools/mictrend ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$(nproc)" --target mictrend
+  fi
+  work="build/store_smoke_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  # One 13-month world; the first 12 months are the "already imported"
+  # history and month 12 is the newly arrived batch.
+  build/tools/mictrend generate --out "$work/corpus13.csv" \
+    --hospitals-out "$work/hospitals.csv" \
+    --months 13 --patients 250 --background 3 --seed 7
+  awk -F, 'NR == 1 || $1 != 12' "$work/corpus13.csv" > "$work/corpus12.csv"
+  build/tools/mictrend import --corpus "$work/corpus12.csv" \
+    --hospitals "$work/hospitals.csv" --store-dir "$work/store" \
+    | grep -q "imported 12 of 12 months"
+  build/tools/mictrend pipeline --corpus "$work/corpus12.csv" \
+    --min-total 5 --seasonal false --out "$work/csv12.csv" > /dev/null
+  build/tools/mictrend pipeline --corpus "$work/corpus12.csv" \
+    --store-dir "$work/store" --min-total 5 --seasonal false \
+    --out "$work/store12.csv" > /dev/null 2> "$work/ingest12.err"
+  grep -q "ingested 12 months from store" "$work/ingest12.err"
+  cmp "$work/csv12.csv" "$work/store12.csv"
+  # Month 12 arrives: append extends the store in place, and the
+  # store-backed report tracks the grown world.
+  build/tools/mictrend import --corpus "$work/corpus13.csv" \
+    --store-dir "$work/store" --append \
+    | grep -q "imported 1 of 13 months"
+  build/tools/mictrend pipeline --corpus "$work/corpus13.csv" \
+    --min-total 5 --seasonal false --out "$work/csv13.csv" > /dev/null
+  build/tools/mictrend pipeline --corpus "$work/corpus13.csv" \
+    --store-dir "$work/store" --min-total 5 --seasonal false \
+    --out "$work/store13.csv" > /dev/null 2> "$work/ingest13.err"
+  grep -q "ingested 13 months from store" "$work/ingest13.err"
+  cmp "$work/csv13.csv" "$work/store13.csv"
+  echo "store-smoke OK: store-backed reports byte-identical through append"
+}
+
 supports_presets() {
   cmake --list-presets >/dev/null 2>&1
 }
@@ -91,6 +136,10 @@ for preset in $PRESETS; do
   fi
   if [ "$preset" = "cache-smoke" ]; then
     cache_smoke
+    continue
+  fi
+  if [ "$preset" = "store-smoke" ]; then
+    store_smoke
     continue
   fi
   echo "==== ${preset}: configure + build + test ===="

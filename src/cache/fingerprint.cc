@@ -34,6 +34,16 @@ Hasher& Hasher::MixString(std::string_view text) {
   return Mix(text.size());
 }
 
+Hasher& Hasher::MixBytes(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t state = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= data[i];
+    state *= kFnvPrime;
+  }
+  state_ = state;
+  return *this;
+}
+
 std::uint64_t FingerprintMonth(const MonthlyDataset& month) {
   Hasher hasher;
   hasher.MixSigned(month.month());

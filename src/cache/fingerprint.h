@@ -30,6 +30,9 @@ class Hasher {
   /// snapshot format (which stores raw bits) re-derive the same key.
   Hasher& MixDouble(double value);
   Hasher& MixString(std::string_view text);
+  /// Folds a raw byte run in one call (one FNV step per byte, not
+  /// eight) — the claim store checksums whole segments through this.
+  Hasher& MixBytes(const std::uint8_t* data, std::size_t size);
 
   std::uint64_t digest() const { return state_; }
 

@@ -41,6 +41,21 @@ Result<std::uint64_t> SnapshotReader::Fixed(std::size_t width) {
   return value;
 }
 
+Status SnapshotReader::U32Column(std::uint32_t* out, std::size_t count) {
+  if ((size_ - offset_) / 4 < count) {
+    return Status::FailedPrecondition("truncated snapshot payload");
+  }
+  const std::uint8_t* src = bytes_ + offset_;
+  for (std::size_t i = 0; i < count; ++i, src += 4) {
+    out[i] = static_cast<std::uint32_t>(src[0]) |
+             (static_cast<std::uint32_t>(src[1]) << 8) |
+             (static_cast<std::uint32_t>(src[2]) << 16) |
+             (static_cast<std::uint32_t>(src[3]) << 24);
+  }
+  offset_ += count * 4;
+  return Status::OK();
+}
+
 Result<std::uint32_t> SnapshotReader::U32() {
   MIC_ASSIGN_OR_RETURN(std::uint64_t value, Fixed(4));
   return static_cast<std::uint32_t>(value);

@@ -42,12 +42,26 @@ class SnapshotReader {
  public:
   explicit SnapshotReader(const std::vector<std::uint8_t>& bytes)
       : bytes_(bytes.data()), size_(bytes.size()) {}
+  /// View form for payloads that never lived in a vector (the claim
+  /// store reads straight out of a memory-mapped segment).
+  SnapshotReader(const std::uint8_t* bytes, std::size_t size)
+      : bytes_(bytes), size_(size) {}
 
   Result<std::uint32_t> U32();
   Result<std::uint64_t> U64();
   Result<std::int64_t> I64();
   Result<double> Double();
   Result<std::string> String();
+
+  /// Reads `count` little-endian u32s into `out` with one bounds check.
+  /// The claim store's column loads are too hot for a per-element
+  /// Result round trip; the tight loop here is what makes a store load
+  /// beat re-parsing the CSV.
+  Status U32Column(std::uint32_t* out, std::size_t count);
+
+  /// Bytes left to consume; deserializers use it to sanity-check
+  /// untrusted element counts before allocating.
+  std::size_t remaining() const { return size_ - offset_; }
 
   /// True when every byte has been consumed; deserializers check this
   /// to reject payloads with trailing garbage.

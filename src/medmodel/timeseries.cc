@@ -142,23 +142,48 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
 
 namespace {
 
-// Chain fingerprint of one month's fit: the filtered claims, the fit
-// options, and the previous month's fingerprint. Chaining the previous
-// fingerprint makes warm-started (and temporally coupled) fits content
-// addressed: editing month k re-keys every month >= k, while a
+// Chain fingerprint of one month's fit: the month's content digest, the
+// fit options, and the previous month's fingerprint. Chaining the
+// previous fingerprint makes warm-started (and temporally coupled) fits
+// content addressed: editing month k re-keys every month >= k, while a
 // one-month append leaves months 0..k-1 hitting their old snapshots.
-std::uint64_t ChainedMonthFingerprint(const MonthlyDataset& month,
+std::uint64_t ChainedMonthFingerprint(std::uint64_t content_digest,
                                       const MedicationModelOptions& options,
                                       bool warm_start,
                                       std::uint64_t previous) {
   cache::Hasher hasher;
-  hasher.Mix(cache::FingerprintMonth(month));
+  hasher.Mix(content_digest);
   hasher.MixSigned(options.max_iterations);
   hasher.MixDouble(options.tolerance);
   hasher.MixDouble(options.phi_smoothing);
   hasher.MixDouble(options.prior_strength);
   hasher.Mix(warm_start ? 1 : 0);
   hasher.Mix(previous);
+  return hasher.digest();
+}
+
+// Content digest of the month about to be fitted. When the ingest layer
+// stamped a fingerprint on the raw month (the claim store persists one
+// per segment), mixing that stamp with the filter settings is as
+// injective as re-hashing the filtered records — filtering is a pure
+// function of (raw month, options) — and skips a full pass over the
+// data. Note the two derivations produce *different* key spaces: a
+// store-ingested run and a CSV run keep separate (but each internally
+// consistent and equally correct) snapshot universes.
+std::uint64_t MonthContentDigest(const MonthlyDataset& raw_month,
+                                 const MonthlyDataset& filtered_month,
+                                 const ReproducerOptions& options,
+                                 obs::Counter* fingerprint_reuses) {
+  if (!raw_month.has_content_fingerprint()) {
+    return cache::FingerprintMonth(filtered_month);
+  }
+  obs::Increment(fingerprint_reuses);
+  cache::Hasher hasher;
+  hasher.Mix(raw_month.content_fingerprint());
+  hasher.Mix(options.apply_filter ? 1 : 0);
+  hasher.Mix(options.filter_options.min_disease_count);
+  hasher.Mix(options.filter_options.min_medicine_count);
+  hasher.Mix(options.filter_options.drop_empty_records ? 1 : 0);
   return hasher.digest();
 }
 
@@ -196,6 +221,8 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
       obs::GetCounter(metrics, "reproduce.snapshot_hits");
   obs::Counter* snapshot_misses =
       obs::GetCounter(metrics, "reproduce.snapshot_misses");
+  obs::Counter* fingerprint_reuses =
+      obs::GetCounter(metrics, "reproduce.fingerprint_reuses");
 
   // The cache only stores MedicationModel snapshots; the cooccurrence
   // baseline is a single counting pass and not worth the I/O.
@@ -219,7 +246,8 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
   std::unique_ptr<MedicationModel> previous_model;
   std::uint64_t previous_fingerprint = 0;
   for (std::size_t t = 0; t < corpus.num_months(); ++t) {
-    MonthlyDataset month = corpus.month(t);  // Copy; filter mutates.
+    const MonthlyDataset& raw_month = corpus.month(t);
+    MonthlyDataset month = raw_month;  // Copy; filter mutates.
     if (options.apply_filter) {
       FilterMonth(options.filter_options, month);
     }
@@ -235,7 +263,9 @@ Result<SeriesSet> ReproduceSeries(const MicCorpus& corpus,
       std::uint64_t fingerprint = 0;
       if (cache_active) {
         fingerprint = ChainedMonthFingerprint(
-            month, model_options, model_options.warm_start,
+            MonthContentDigest(raw_month, month, options,
+                               fingerprint_reuses),
+            model_options, model_options.warm_start,
             previous_fingerprint);
         if (store->can_read()) {
           auto payload = store->Get("em", fingerprint);

@@ -30,6 +30,8 @@ class MonthlyDataset {
 
   void AddRecord(MicRecord record) {
     records_.push_back(std::move(record));
+    content_fingerprint_ = 0;
+    has_content_fingerprint_ = false;
   }
 
   const std::vector<MicRecord>& records() const { return records_; }
@@ -52,9 +54,22 @@ class MonthlyDataset {
   double MeanDiseasesPerRecord() const;
   double MeanMedicinesPerRecord() const;
 
+  /// Content fingerprint stamped by an ingest layer that already knows
+  /// this month's digest (the claim store persists it at append time),
+  /// letting downstream caching skip re-hashing every record. Cleared
+  /// by AddRecord — a mutated month no longer matches its stamp.
+  bool has_content_fingerprint() const { return has_content_fingerprint_; }
+  std::uint64_t content_fingerprint() const { return content_fingerprint_; }
+  void set_content_fingerprint(std::uint64_t fingerprint) {
+    content_fingerprint_ = fingerprint;
+    has_content_fingerprint_ = true;
+  }
+
  private:
   MonthIndex month_ = 0;
   std::vector<MicRecord> records_;
+  std::uint64_t content_fingerprint_ = 0;
+  bool has_content_fingerprint_ = false;
 };
 
 /// The full corpus: a shared catalog plus T monthly datasets indexed by

@@ -41,6 +41,10 @@ struct MicRecord {
   /// Sorts both bags by id and merges duplicate entries. Call after
   /// constructing a record from unordered events.
   void Normalize();
+
+  /// Field-wise equality; the store's round-trip tests compare whole
+  /// record vectors against the imported corpus.
+  friend bool operator==(const MicRecord&, const MicRecord&) = default;
 };
 
 }  // namespace mic

@@ -1,0 +1,255 @@
+#include "store/backend.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <system_error>
+#include <thread>
+
+#include "cache/fingerprint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MICTREND_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MICTREND_STORE_HAS_MMAP 0
+#endif
+
+namespace mic::store {
+namespace {
+
+// Segment envelope: magic, format version, payload checksum, payload
+// size, payload bytes — the cache-entry layout, reused so corruption
+// detection behaves identically across both on-disk formats.
+constexpr std::uint32_t kMagic = 0x4d494353;  // "MICS"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kEnvelopeSize = 4 + 4 + 8 + 8;
+
+// The checksum guards against torn writes and bit rot, not attackers:
+// a word-at-a-time FNV fold (one multiply per 8 payload bytes) keeps
+// verification cheap enough to run on every segment load. Words are
+// assembled little-endian so the digest is byte-order portable.
+std::uint64_t PayloadChecksum(const std::uint8_t* data, std::size_t size) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  std::uint64_t state = 14695981039346656037ull;
+  state = (state ^ size) * kFnvPrime;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+    }
+    state = (state ^ word) * kFnvPrime;
+  }
+  std::uint64_t tail = 0;
+  for (int b = 0; i + b < size; ++b) {
+    tail |= static_cast<std::uint64_t>(data[i + b]) << (8 * b);
+  }
+  state = (state ^ tail) * kFnvPrime;
+  return state;
+}
+
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xffu));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xffu));
+  }
+}
+
+std::uint64_t ReadFixed(const std::uint8_t* bytes, std::size_t width) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+class FileBackend final : public StoreBackend {
+ public:
+  std::string_view name() const override { return "file"; }
+
+  Result<SegmentView> Read(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("no store segment at " + path);
+    auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+      return Status::IoError("failed reading store segment " + path);
+    }
+    SegmentView view;
+    view.data = buffer->data();
+    view.size = buffer->size();
+    view.owner = std::shared_ptr<const void>(buffer, buffer->data());
+    return view;
+  }
+};
+
+#if MICTREND_STORE_HAS_MMAP
+
+// Releases one mapping; shared from the SegmentView owner so the pages
+// stay valid for as long as any view into them is alive.
+struct Mapping {
+  void* address = nullptr;
+  std::size_t size = 0;
+  ~Mapping() {
+    if (address != nullptr && size > 0) munmap(address, size);
+  }
+};
+
+class MmapBackend final : public StoreBackend {
+ public:
+  std::string_view name() const override { return "mmap"; }
+
+  Result<SegmentView> Read(const std::string& path) override {
+    const int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::NotFound("no store segment at " + path);
+    struct stat info;
+    if (fstat(fd, &info) != 0) {
+      close(fd);
+      return Status::IoError("cannot stat store segment " + path);
+    }
+    const auto size = static_cast<std::size_t>(info.st_size);
+    if (size == 0) {
+      // mmap rejects zero-length maps; an empty file is simply an empty
+      // (and therefore invalid-envelope) segment.
+      close(fd);
+      return SegmentView{};
+    }
+    void* address = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    close(fd);  // The mapping outlives the descriptor.
+    if (address == MAP_FAILED) {
+      return Status::IoError("cannot map store segment " + path);
+    }
+    auto mapping = std::make_shared<Mapping>();
+    mapping->address = address;
+    mapping->size = size;
+    SegmentView view;
+    view.data = static_cast<const std::uint8_t*>(address);
+    view.size = size;
+    view.owner = std::shared_ptr<const void>(mapping, mapping->address);
+    return view;
+  }
+};
+
+#endif  // MICTREND_STORE_HAS_MMAP
+
+}  // namespace
+
+Result<BackendKind> ParseBackendKind(std::string_view text) {
+  if (text == "auto") return BackendKind::kAuto;
+  if (text == "mmap") return BackendKind::kMmap;
+  if (text == "file") return BackendKind::kFile;
+  return Status::InvalidArgument("--store must be one of auto, mmap, "
+                                 "file; got '" +
+                                 std::string(text) + "'");
+}
+
+std::string_view BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kMmap:
+      return "mmap";
+    case BackendKind::kFile:
+      return "file";
+  }
+  return "auto";
+}
+
+bool MmapAvailable() { return MICTREND_STORE_HAS_MMAP != 0; }
+
+Result<std::unique_ptr<StoreBackend>> MakeBackend(BackendKind kind) {
+  if (kind == BackendKind::kAuto) {
+    kind = MmapAvailable() ? BackendKind::kMmap : BackendKind::kFile;
+  }
+#if MICTREND_STORE_HAS_MMAP
+  if (kind == BackendKind::kMmap) {
+    return std::unique_ptr<StoreBackend>(new MmapBackend());
+  }
+#else
+  if (kind == BackendKind::kMmap) {
+    return Status::NotImplemented(
+        "the mmap store backend is not available on this platform; use "
+        "--store=file");
+  }
+#endif
+  return std::unique_ptr<StoreBackend>(new FileBackend());
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp =
+      path + ".tmp" +
+      std::to_string(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open store temp file " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("failed writing store file " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot publish store file " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint8_t> SealSegment(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kEnvelopeSize + payload.size());
+  AppendU32(bytes, kMagic);
+  AppendU32(bytes, kFormatVersion);
+  AppendU64(bytes, PayloadChecksum(payload.data(), payload.size()));
+  AppendU64(bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+Result<SegmentView> UnsealSegment(const SegmentView& segment,
+                                  const std::string& path) {
+  if (segment.size < kEnvelopeSize) {
+    return Status::FailedPrecondition("truncated store segment " + path);
+  }
+  if (ReadFixed(segment.data, 4) != kMagic) {
+    return Status::FailedPrecondition("bad magic in store segment " +
+                                      path);
+  }
+  if (ReadFixed(segment.data + 4, 4) != kFormatVersion) {
+    return Status::NotFound("store segment " + path +
+                            " has an unsupported format version");
+  }
+  const std::uint64_t checksum = ReadFixed(segment.data + 8, 8);
+  const std::uint64_t payload_size = ReadFixed(segment.data + 16, 8);
+  if (segment.size - kEnvelopeSize != payload_size) {
+    return Status::FailedPrecondition("truncated store segment " + path);
+  }
+  const std::uint8_t* payload = segment.data + kEnvelopeSize;
+  if (PayloadChecksum(payload, payload_size) != checksum) {
+    return Status::FailedPrecondition("checksum mismatch in store segment " +
+                                      path);
+  }
+  SegmentView view;
+  view.data = payload;
+  view.size = static_cast<std::size_t>(payload_size);
+  view.owner = segment.owner;
+  return view;
+}
+
+}  // namespace mic::store

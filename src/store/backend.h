@@ -1,0 +1,92 @@
+// Pluggable read backends for the persistent claim store (mic::store).
+//
+// A store directory holds checksummed binary segments (see
+// claim_store.h for the layout); how a segment's bytes get into memory
+// is the backend's business. Two implementations ship:
+//
+//   - MmapBackend: maps the file read-only and hands out a zero-copy
+//     view. This is the fast path for repeated "open the world" loads —
+//     the page cache keeps warm segments resident across runs.
+//   - FileBackend: reads the file into an owned buffer with plain
+//     stream I/O. It exists so the mmap path is optional per platform:
+//     kAuto resolves to mmap where POSIX mmap is available and degrades
+//     to file I/O everywhere else, with identical results.
+//
+// Writes are backend-independent (every backend produces the same
+// bytes): AtomicWriteFile stages through a temp file and renames into
+// place, the same publish idiom the cache store uses, so a reader never
+// observes a half-written segment.
+//
+// The segment envelope (SealSegment/UnsealSegment) wraps every payload
+// in a magic + format version + FNV-1a checksum header; a torn,
+// truncated, or bit-flipped segment surfaces as a non-OK Status that
+// callers treat as "this store is unusable, fall back to CSV".
+
+#ifndef MICTREND_STORE_BACKEND_H_
+#define MICTREND_STORE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mic::store {
+
+/// Which read backend a store uses. kAuto picks mmap when the platform
+/// supports it, plain file I/O otherwise.
+enum class BackendKind { kAuto, kMmap, kFile };
+
+/// Parses the --store flag value {auto, mmap, file}.
+Result<BackendKind> ParseBackendKind(std::string_view text);
+std::string_view BackendKindName(BackendKind kind);
+
+/// True when this build can memory-map segments (POSIX mmap).
+bool MmapAvailable();
+
+/// A read-only view of one segment file's bytes. `owner` keeps the
+/// backing storage (mapping or buffer) alive for the view's lifetime.
+struct SegmentView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::shared_ptr<const void> owner;
+};
+
+/// How segment bytes get into memory. Implementations must be safe to
+/// call from one thread at a time (the store serializes its I/O).
+class StoreBackend {
+ public:
+  virtual ~StoreBackend() = default;
+  /// Stable name for logs and metrics ("mmap" / "file").
+  virtual std::string_view name() const = 0;
+  /// Brings the file at `path` into memory. NotFound when the file does
+  /// not exist; IoError on any read/map failure.
+  virtual Result<SegmentView> Read(const std::string& path) = 0;
+};
+
+/// Builds the backend for `kind`. kMmap fails with NotImplemented on
+/// platforms without mmap; kAuto never fails.
+Result<std::unique_ptr<StoreBackend>> MakeBackend(BackendKind kind);
+
+/// Writes `bytes` to `path` via a temp file + rename, so concurrent
+/// readers see either the old file or the complete new one.
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Wraps a payload in the segment envelope: magic, format version,
+/// payload checksum, payload size, payload bytes.
+std::vector<std::uint8_t> SealSegment(
+    const std::vector<std::uint8_t>& payload);
+
+/// Validates the envelope of a read segment and returns a view of its
+/// payload (sharing `segment`'s owner — no copy). FailedPrecondition on
+/// bad magic, truncation, or checksum mismatch; NotFound on a format
+/// version this build does not understand.
+Result<SegmentView> UnsealSegment(const SegmentView& segment,
+                                  const std::string& path);
+
+}  // namespace mic::store
+
+#endif  // MICTREND_STORE_BACKEND_H_

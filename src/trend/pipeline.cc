@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "store/claim_store.h"
 
 namespace mic::trend {
 
@@ -16,6 +17,12 @@ Status PipelineConfig::Validate() const {
     return Status::InvalidArgument(
         "cache.directory is set but cache.mode is 'off' (pass "
         "--cache={read,write,rw} alongside --cache-dir)");
+  }
+  if (store.enabled() && store.backend == store::BackendKind::kMmap &&
+      !store::MmapAvailable()) {
+    return Status::NotImplemented(
+        "store.backend is 'mmap' but this platform cannot memory-map "
+        "segments (pass --store=file or --store=auto)");
   }
   if (analyzer.cause_window < 0) {
     return Status::InvalidArgument(
@@ -80,6 +87,30 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
   MIC_ASSIGN_OR_RETURN(TrendReport report,
                        analyzer.AnalyzeAll(series, stage_context));
   return PipelineResult{std::move(series), std::move(report)};
+}
+
+Result<PipelineResult> RunPipelineFromStore(const PipelineConfig& config,
+                                            const ExecContext& context) {
+  MIC_RETURN_IF_ERROR(config.Validate());
+  if (!config.store.enabled()) {
+    return Status::InvalidArgument(
+        "config.store.directory must be set to ingest from a store "
+        "(pass --store-dir)");
+  }
+  MicCorpus corpus;
+  {
+    // The store closes before the pipeline runs — every segment is
+    // already decoded into the corpus, so keeping mappings alive buys
+    // nothing.
+    obs::Span ingest_span(context, "ingest/store");
+    MIC_ASSIGN_OR_RETURN(
+        store::ClaimStore store,
+        store::ClaimStore::Open(config.store.directory,
+                                {.backend = config.store.backend},
+                                context.metrics));
+    MIC_ASSIGN_OR_RETURN(corpus, store.OpenWorld());
+  }
+  return RunPipeline(corpus, config, context);
 }
 
 }  // namespace mic::trend

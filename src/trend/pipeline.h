@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "medmodel/timeseries.h"
 #include "mic/dataset.h"
+#include "store/backend.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic::trend {
@@ -21,6 +22,16 @@ namespace mic::trend {
 struct CacheConfig {
   cache::CacheMode mode = cache::CacheMode::kOff;
   std::string directory;
+};
+
+/// Which persistent claim store (if any) the pipeline ingests from. The
+/// layer is enabled by a non-empty directory; `backend` picks how
+/// segment bytes reach memory (kAuto = mmap where available).
+struct StoreConfig {
+  std::string directory;
+  store::BackendKind backend = store::BackendKind::kAuto;
+
+  bool enabled() const { return !directory.empty(); }
 };
 
 /// The pipeline's full configuration, layered by stage. The CLI
@@ -35,6 +46,7 @@ struct PipelineConfig {
   medmodel::ReproducerOptions reproducer;
   TrendAnalyzerOptions analyzer;
   CacheConfig cache;
+  StoreConfig store;
 
   /// Rejects inconsistent configurations with a message naming the
   /// offending field and its CLI flag. OK means RunPipeline will not
@@ -69,6 +81,15 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
 Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
                                    const PipelineConfig& config,
                                    const ExecContext& context);
+
+/// Ingests the whole world from config.store (which must be enabled)
+/// and runs the pipeline over it. The store is a source of truth, so an
+/// unopenable or corrupt store FAILS the call — callers that hold the
+/// original CSV (the CLI does) degrade to a cold parse themselves.
+/// Reports are byte-identical to a RunPipeline call over the corpus the
+/// store was imported from.
+Result<PipelineResult> RunPipelineFromStore(const PipelineConfig& config,
+                                            const ExecContext& context);
 
 }  // namespace mic::trend
 

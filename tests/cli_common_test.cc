@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "store/backend.h"
+
 namespace mic::tools {
 namespace {
 
@@ -19,13 +21,14 @@ Flags ParseOrDie(std::vector<std::string> args) {
   return *flags;
 }
 
-TEST(CommandTableTest, CoversAllFiveSubcommands) {
+TEST(CommandTableTest, CoversAllSixSubcommands) {
   std::set<std::string> names;
   for (const CommandSpec& command : CommandTable()) {
     names.insert(std::string(command.name));
   }
-  EXPECT_EQ(names, (std::set<std::string>{"generate", "stats", "reproduce",
-                                          "detect", "pipeline"}));
+  EXPECT_EQ(names,
+            (std::set<std::string>{"generate", "import", "stats",
+                                   "reproduce", "detect", "pipeline"}));
 }
 
 TEST(CommandTableTest, FlagNamesAreUniquePerCommand) {
@@ -203,6 +206,82 @@ TEST(CliRunTest, TraceEnabledOnlyWhenRequested) {
   EXPECT_EQ(with_trace->context().trace, with_trace->trace());
   // Requesting a trace without metrics keeps counters off.
   EXPECT_EQ(with_trace->metrics(), nullptr);
+}
+
+TEST(CommandTableTest, StoreFlagsCoverTheCorpusReadingCommands) {
+  const auto has_flag = [](const CommandSpec* spec, std::string_view name) {
+    for (const FlagSpec& flag : spec->flags) {
+      if (flag.name == name) return true;
+    }
+    return false;
+  };
+  // Every command that ingests a corpus can point at a claim store.
+  for (const char* name : {"stats", "reproduce", "pipeline"}) {
+    const CommandSpec* spec = FindCommand(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_TRUE(has_flag(spec, "store")) << name;
+    EXPECT_TRUE(has_flag(spec, "store-dir")) << name;
+  }
+  // detect reads a series CSV, not a corpus — no store surface.
+  const CommandSpec* detect = FindCommand("detect");
+  ASSERT_NE(detect, nullptr);
+  EXPECT_FALSE(has_flag(detect, "store"));
+  EXPECT_FALSE(has_flag(detect, "store-dir"));
+
+  const CommandSpec* import = FindCommand("import");
+  ASSERT_NE(import, nullptr);
+  for (const FlagSpec& flag : import->flags) {
+    if (flag.name == "corpus" || flag.name == "store-dir") {
+      EXPECT_TRUE(flag.required) << flag.name;
+    }
+  }
+  EXPECT_TRUE(has_flag(import, "append"));
+  EXPECT_TRUE(has_flag(import, "hospitals"));
+  // import is serial ingest: no --threads.
+  EXPECT_FALSE(has_flag(import, "threads"));
+}
+
+TEST(StoreConfigTest, ParsesBackendsAndRejectsNamingMistakes) {
+  auto off = StoreConfigFromFlags(ParseOrDie({"pipeline"}));
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->enabled());
+  EXPECT_EQ(off->backend, store::BackendKind::kAuto);
+
+  auto dir_only = StoreConfigFromFlags(
+      ParseOrDie({"pipeline", "--store-dir", "s"}));
+  ASSERT_TRUE(dir_only.ok());
+  EXPECT_TRUE(dir_only->enabled());
+  EXPECT_EQ(dir_only->backend, store::BackendKind::kAuto);
+
+  auto explicit_backend = StoreConfigFromFlags(
+      ParseOrDie({"pipeline", "--store", "file", "--store-dir", "s"}));
+  ASSERT_TRUE(explicit_backend.ok());
+  EXPECT_EQ(explicit_backend->backend, store::BackendKind::kFile);
+
+  // --store names a backend but nothing to read: point at the missing
+  // flag, not a generic error.
+  const Status orphan =
+      StoreConfigFromFlags(ParseOrDie({"pipeline", "--store", "mmap"}))
+          .status();
+  EXPECT_EQ(orphan.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(orphan.message().find("--store-dir"), std::string::npos);
+
+  const Status bogus =
+      StoreConfigFromFlags(
+          ParseOrDie({"pipeline", "--store", "turbo", "--store-dir", "s"}))
+          .status();
+  EXPECT_EQ(bogus.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bogus.message().find("auto, mmap"), std::string::npos);
+}
+
+TEST(StoreConfigTest, PipelineConfigCarriesTheStoreGroup) {
+  auto config = PipelineConfigFromFlags(
+      ParseOrDie({"pipeline", "--store", "file", "--store-dir", "s"}),
+      DetectorFlagDefaults{4.0, 3, "approx"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->store.enabled());
+  EXPECT_EQ(config->store.directory, "s");
+  EXPECT_EQ(config->store.backend, store::BackendKind::kFile);
 }
 
 }  // namespace

@@ -146,6 +146,65 @@ grep -q -- "--cache-dir" "$WORK/cache_err.out" || {
   exit 1
 }
 
+# mic::store persistent claim store: import seeds a columnar store,
+# and a store-backed pipeline run writes a byte-identical report to
+# the CSV-backed run at 1 and 4 threads. Drop any store a previous
+# smoke run left behind — import refuses to overwrite one.
+rm -rf "$WORK/store"
+"$MICTREND" import --corpus "$WORK/corpus.csv" \
+  --hospitals "$WORK/hospitals.csv" \
+  --store-dir "$WORK/store" | grep -q "imported 12 of 12 months"
+test -s "$WORK/store/MANIFEST"
+test -s "$WORK/store/dict.seg"
+test -s "$WORK/store/m0000.seg"
+"$MICTREND" pipeline --store-dir "$WORK/store" --corpus "$WORK/corpus.csv" \
+  --min-total 5 --out "$WORK/report_store.csv" \
+  2> "$WORK/store_ingest.err" > /dev/null
+grep -q "ingested 12 months from store" "$WORK/store_ingest.err"
+cmp "$WORK/report.csv" "$WORK/report_store.csv"
+"$MICTREND" pipeline --store-dir "$WORK/store" --corpus "$WORK/corpus.csv" \
+  --min-total 5 --threads 4 --out "$WORK/report_store_mt.csv" > /dev/null 2>&1
+cmp "$WORK/report.csv" "$WORK/report_store_mt.csv"
+
+# Re-importing the same corpus without --append is refused (the store
+# is a commit log, not a scratch dir), while --append is a no-op that
+# reports zero new months.
+if "$MICTREND" import --corpus "$WORK/corpus.csv" \
+    --store-dir "$WORK/store" > "$WORK/import_err.out" 2>&1; then
+  echo "expected failure for re-import without --append" >&2
+  exit 1
+fi
+grep -q -- "--append" "$WORK/import_err.out"
+"$MICTREND" import --corpus "$WORK/corpus.csv" --store-dir "$WORK/store" \
+  --append | grep -q "imported 0 of 12 months"
+
+# A corrupt segment degrades to a warned cold CSV parse, not a crash
+# and not silent bad data.
+cp "$WORK/store/m0003.seg" "$WORK/m0003.seg.bak"
+printf 'garbage' > "$WORK/store/m0003.seg"
+"$MICTREND" stats --corpus "$WORK/corpus.csv" \
+  --store-dir "$WORK/store" > "$WORK/stats_fallback.out" \
+  2> "$WORK/store_fallback.err"
+grep -q "warning: store ingest failed" "$WORK/store_fallback.err"
+grep -q "falling back to cold CSV parse" "$WORK/store_fallback.err"
+grep -q "months: 12" "$WORK/stats_fallback.out"
+cp "$WORK/m0003.seg.bak" "$WORK/store/m0003.seg"
+
+# Store flag mistakes are rejected naming the fix.
+if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --store mmap \
+    > "$WORK/store_err.out" 2>&1; then
+  echo "expected failure for --store without --store-dir" >&2
+  exit 1
+fi
+grep -q -- "--store-dir" "$WORK/store_err.out"
+if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" \
+    --store bogus --store-dir "$WORK/store" \
+    > "$WORK/store_err2.out" 2>&1; then
+  echo "expected failure for bogus --store backend" >&2
+  exit 1
+fi
+grep -q "auto, mmap" "$WORK/store_err2.out"
+
 # Undeclared flags are rejected, and the usage screen the parser
 # validates against advertises the pipeline detector flags.
 if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --bogus 2>/dev/null; then

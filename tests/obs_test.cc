@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <filesystem>
+#include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -9,6 +12,7 @@
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "store/claim_store.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 #include "trend/pipeline.h"
@@ -276,6 +280,52 @@ TEST(ObsDeterminismTest, PipelineSpansNestUnderRoot) {
   EXPECT_EQ(registry.timer("pipeline/reproduce/em_fit")->count(),
             registry.counter_value("em.fits"));
   EXPECT_GT(registry.timer("trend.series_fit")->count(), 0u);
+}
+
+// The claim store's counters join the determinism contract: a
+// store-ingested pipeline run exports bit-identical counters at 1 and
+// 4 threads (ingest is serial, so thread count cannot touch store.*,
+// and the stamped fingerprints feed reproduce.* deterministically).
+TEST(ObsDeterminismTest, StoreCountersIdenticalAcrossThreadCounts) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(24, 5));
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "obs_store_determinism";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  {
+    auto seeder = store::ClaimStore::Open(dir.string());
+    ASSERT_TRUE(seeder.ok());
+    ASSERT_TRUE(store::ImportCorpus(data->corpus, *seeder).ok());
+  }
+
+  auto counters_with_threads = [&](int threads) {
+    runtime::ThreadPool pool(threads);
+    MetricsRegistry registry;
+    trend::PipelineConfig options;
+    options.reproducer.filter_options.min_disease_count = 1;
+    options.reproducer.filter_options.min_medicine_count = 1;
+    options.analyzer.detector.seasonal = false;  // 24-month window.
+    options.analyzer.detector.fit.optimizer.max_evaluations = 120;
+    options.store.directory = dir.string();
+    ExecContext context;
+    context.pool = &pool;
+    context.metrics = &registry;
+    auto result = trend::RunPipelineFromStore(options, context);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return registry.CountersToJson();
+  };
+  const std::string one = counters_with_threads(1);
+  const std::string four = counters_with_threads(4);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("\"store.segments_read\":"), std::string::npos);
+  EXPECT_NE(one.find("\"store.bytes_read\":"), std::string::npos);
+  EXPECT_NE(one.find("\"store.records_read\":"), std::string::npos);
+  EXPECT_NE(one.find("\"store.read_errors\":0"), std::string::npos);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "mic/io.h"
 #include "obs/runtime_metrics.h"
+#include "obs/trace.h"
+#include "store/claim_store.h"
 
 namespace mic::tools {
 namespace {
@@ -23,6 +26,13 @@ std::vector<FlagSpec> WithExecFlags(std::vector<FlagSpec> flags) {
   flags.push_back({"cache", "off|read|write|rw"});
   flags.push_back({"cache-dir", "dir"});
   return WithObsFlags(std::move(flags));
+}
+
+// The claim-store ingest group, for subcommands that read a corpus.
+std::vector<FlagSpec> WithStoreFlags(std::vector<FlagSpec> flags) {
+  flags.push_back({"store", "auto|mmap|file"});
+  flags.push_back({"store-dir", "dir"});
+  return flags;
 }
 
 std::vector<FlagSpec> DetectorFlags(std::string_view margin,
@@ -50,14 +60,22 @@ std::vector<CommandSpec> BuildCommandTable() {
                      {"background", "40"},
                      {"seed", "20190411"}})});
   table.push_back(
-      {"stats", WithObsFlags({{"corpus", "corpus.csv", true}})});
+      {"import",
+       WithObsFlags({{"corpus", "corpus.csv", true},
+                     {"store-dir", "dir", true},
+                     {"store", "auto|mmap|file"},
+                     {"hospitals", "h.csv"},
+                     {"append", ""}})});
+  table.push_back(
+      {"stats",
+       WithObsFlags(WithStoreFlags({{"corpus", "corpus.csv", true}}))});
   table.push_back(
       {"reproduce",
-       WithExecFlags({{"corpus", "corpus.csv", true},
-                      {"out", "series.csv", true},
-                      {"min-total", "10"},
-                      {"coupling", "0"},
-                      {"model", "proposed|cooccurrence"}})});
+       WithExecFlags(WithStoreFlags({{"corpus", "corpus.csv", true},
+                                     {"out", "series.csv", true},
+                                     {"min-total", "10"},
+                                     {"coupling", "0"},
+                                     {"model", "proposed|cooccurrence"}}))});
   {
     std::vector<FlagSpec> detect_flags = {{"series", "series.csv", true}};
     for (FlagSpec& flag : DetectorFlags("0", "1", "exact|approx")) {
@@ -67,9 +85,10 @@ std::vector<CommandSpec> BuildCommandTable() {
     table.push_back({"detect", WithExecFlags(std::move(detect_flags))});
   }
   {
-    std::vector<FlagSpec> pipeline_flags = {{"corpus", "corpus.csv", true},
-                                            {"out", "report.csv"},
-                                            {"min-total", "10"}};
+    std::vector<FlagSpec> pipeline_flags =
+        WithStoreFlags({{"corpus", "corpus.csv", true},
+                        {"out", "report.csv"},
+                        {"min-total", "10"}});
     for (FlagSpec& flag : DetectorFlags("4", "3", "approx|exact")) {
       pipeline_flags.push_back(flag);
     }
@@ -138,7 +157,13 @@ std::string BuildUsageText() {
       "a structured JSON-lines run log (MICTREND_LOG_LEVEL filters it).\n"
       "--cache-dir names an incremental snapshot store and --cache sets\n"
       "the mode: write seeds it, read serves from it, rw does both;\n"
-      "warm results are byte-identical to a cold run.\n";
+      "warm results are byte-identical to a cold run.\n"
+      "`import` seeds a persistent claim store from a corpus CSV\n"
+      "(--append extends it by the new months); --store-dir points the\n"
+      "corpus-reading commands at one so they skip the CSV parse, and\n"
+      "--store picks the segment backend. Store-ingested runs produce\n"
+      "byte-identical reports to CSV runs; a failed store read warns\n"
+      "and falls back to the --corpus CSV.\n";
   return usage;
 }
 
@@ -200,6 +225,57 @@ Result<trend::CacheConfig> CacheConfigFromFlags(const Flags& flags) {
   return config;
 }
 
+Result<trend::StoreConfig> StoreConfigFromFlags(const Flags& flags) {
+  trend::StoreConfig config;
+  config.directory = flags.GetString("store-dir");
+  const std::string backend_text = flags.GetString("store", "auto");
+  MIC_ASSIGN_OR_RETURN(config.backend,
+                       store::ParseBackendKind(backend_text));
+  if (flags.Has("store") && config.directory.empty()) {
+    return Status::InvalidArgument("--store=" + backend_text +
+                                   " requires --store-dir <dir>");
+  }
+  return config;
+}
+
+Result<MicCorpus> LoadCorpusFromFlags(const Flags& flags,
+                                      const CliRun& run) {
+  MIC_ASSIGN_OR_RETURN(trend::StoreConfig store_config,
+                       StoreConfigFromFlags(flags));
+  const ExecContext context = run.context();
+  if (store_config.enabled()) {
+    Status failed = Status::OK();
+    {
+      obs::Span ingest_span(context, "ingest/store");
+      auto opened = store::ClaimStore::Open(
+          store_config.directory, {.backend = store_config.backend},
+          run.metrics());
+      if (opened.ok()) {
+        auto world = opened->OpenWorld();
+        if (world.ok()) {
+          std::fprintf(stderr,
+                       "ingested %zu months from store %s (%s backend)\n",
+                       world->num_months(), store_config.directory.c_str(),
+                       std::string(opened->backend_name()).c_str());
+          return world;
+        }
+        failed = world.status();
+      } else {
+        failed = opened.status();
+      }
+    }
+    // The store failed loudly (it is a source of truth, not a cache),
+    // but this command also holds the original CSV — degrade to a cold
+    // parse rather than failing the run.
+    std::fprintf(stderr,
+                 "warning: store ingest failed (%s); falling back to "
+                 "cold CSV parse\n",
+                 failed.ToString().c_str());
+  }
+  obs::Span ingest_span(context, "ingest/csv");
+  return ReadCorpusCsvFile(flags.GetString("corpus"));
+}
+
 Result<trend::PipelineConfig> PipelineConfigFromFlags(
     const Flags& flags, const DetectorFlagDefaults& defaults) {
   trend::PipelineConfig config;
@@ -220,6 +296,7 @@ Result<trend::PipelineConfig> PipelineConfigFromFlags(
                        UseExactAlgorithm(flags, defaults));
   config.analyzer.use_approximate = !exact;
   MIC_ASSIGN_OR_RETURN(config.cache, CacheConfigFromFlags(flags));
+  MIC_ASSIGN_OR_RETURN(config.store, StoreConfigFromFlags(flags));
   MIC_RETURN_IF_ERROR(config.Validate());
   return config;
 }

@@ -122,6 +122,18 @@ Result<bool> UseExactAlgorithm(const Flags& flags,
 /// naming the offending flag (e.g. --cache=read without --cache-dir).
 Result<trend::CacheConfig> CacheConfigFromFlags(const Flags& flags);
 
+/// Parses the claim-store flag group: --store-dir <dir> points a
+/// subcommand at a persistent claim store and --store {auto,mmap,file}
+/// picks the read backend. Rejects --store without --store-dir.
+Result<trend::StoreConfig> StoreConfigFromFlags(const Flags& flags);
+
+/// Ingests a subcommand's corpus. With --store-dir set the world loads
+/// from the claim store (counted under the "ingest/store" span); a
+/// failed store read warns on stderr and degrades to a cold parse of
+/// the --corpus CSV, which is also the no-store path ("ingest/csv").
+Result<MicCorpus> LoadCorpusFromFlags(const Flags& flags,
+                                      const CliRun& run);
+
 /// THE place the CLI turns flags into a trend::PipelineConfig: the
 /// reproducer group (--min-total, --coupling, --model), the detector
 /// group (via DetectorOptionsFromFlags with `defaults`), --algorithm,

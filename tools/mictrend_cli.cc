@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/fingerprint.h"
 #include "common/logging.h"
 #include "medmodel/series_io.h"
 #include "medmodel/timeseries.h"
@@ -16,6 +17,7 @@
 #include "runtime/thread_pool.h"
 #include "ssm/changepoint.h"
 #include "stats/metrics.h"
+#include "store/claim_store.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 #include "synth/world_io.h"
@@ -107,10 +109,55 @@ int RunGenerate(const Flags& flags) {
   return 0;
 }
 
-int RunStats(const Flags& flags) {
+int RunImport(const Flags& flags) {
   auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
   if (!run.ok()) return Fail(run.status());
   auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
+  if (!corpus.ok()) return Fail(corpus.status());
+  const std::string hospitals_path = flags.GetString("hospitals");
+  if (!hospitals_path.empty()) {
+    std::ifstream in(hospitals_path);
+    if (!in) {
+      return Fail(Status::IoError("cannot open " + hospitals_path));
+    }
+    if (Status status = ReadHospitalsCsv(in, corpus->catalog());
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  auto append = flags.GetBool("append", false);
+  if (!append.ok()) return Fail(append.status());
+  auto store_config = StoreConfigFromFlags(flags);
+  if (!store_config.ok()) return Fail(store_config.status());
+  auto store = store::ClaimStore::Open(store_config->directory,
+                                       {.backend = store_config->backend},
+                                       run->metrics());
+  if (!store.ok()) return Fail(store.status());
+  if (!*append && store->num_months() > 0) {
+    return Fail(Status::FailedPrecondition(
+        "store at '" + store->directory() + "' already holds " +
+        std::to_string(store->num_months()) +
+        " months; pass --append to extend it"));
+  }
+  auto appended = store::ImportCorpus(*corpus, *store);
+  if (!appended.ok()) return Fail(appended.status());
+  std::printf("imported %zu of %zu months (%zu records) into %s "
+              "(%s backend)\n",
+              *appended, corpus->num_months(), corpus->TotalRecords(),
+              store->directory().c_str(),
+              std::string(store->backend_name()).c_str());
+  std::printf("store fingerprint: %s\n",
+              cache::KeyToHex(store->Fingerprint()).c_str());
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
+  if (!run.ok()) return Fail(run.status());
+  auto corpus = LoadCorpusFromFlags(flags, *run);
   if (!corpus.ok()) return Fail(corpus.status());
   std::printf("months: %zu\nrecords: %zu\n", corpus->num_months(),
               corpus->TotalRecords());
@@ -142,12 +189,11 @@ int RunStats(const Flags& flags) {
 }
 
 int RunReproduce(const Flags& flags) {
-  auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
-  if (!corpus.ok()) return Fail(corpus.status());
-  const std::string out_path = flags.GetString("out");
-
   auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
   if (!run.ok()) return Fail(run.status());
+  auto corpus = LoadCorpusFromFlags(flags, *run);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const std::string out_path = flags.GetString("out");
 
   auto config = PipelineConfigFromFlags(flags, DetectorFlagDefaults{});
   if (!config.ok()) return Fail(config.status());
@@ -293,11 +339,10 @@ int RunDetect(const Flags& flags) {
 }
 
 int RunPipeline(const Flags& flags) {
-  auto corpus = ReadCorpusCsvFile(flags.GetString("corpus"));
-  if (!corpus.ok()) return Fail(corpus.status());
-
   auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
   if (!run.ok()) return Fail(run.status());
+  auto corpus = LoadCorpusFromFlags(flags, *run);
+  if (!corpus.ok()) return Fail(corpus.status());
 
   const DetectorFlagDefaults defaults{4.0, 3, "approx"};
   auto config = PipelineConfigFromFlags(flags, defaults);
@@ -372,6 +417,7 @@ int Main(int argc, char** argv) {
   }
   const std::string& command = flags->command();
   if (command == "generate") return RunGenerate(*flags);
+  if (command == "import") return RunImport(*flags);
   if (command == "stats") return RunStats(*flags);
   if (command == "reproduce") return RunReproduce(*flags);
   if (command == "detect") return RunDetect(*flags);
