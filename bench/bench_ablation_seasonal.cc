@@ -43,7 +43,7 @@ void RunShape(const char* label, bool peaked) {
       // Trig models with unused harmonics have flat likelihood ridges;
       // give Nelder-Mead headroom so the comparison is about the model,
       // not the optimizer.
-      ssm::StructuralFitOptions fit;
+      ssm::FitOptions fit;
       fit.optimizer.max_evaluations = 1500;
       fit.optimizer.tolerance = 1e-10;
       auto fitted = ssm::FitStructuralModel(x, spec, fit);

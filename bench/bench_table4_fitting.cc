@@ -27,8 +27,8 @@ struct AicColumns {
   std::size_t series_count = 0;
 };
 
-ssm::StructuralFitOptions FitOptions() {
-  ssm::StructuralFitOptions options;
+ssm::FitOptions MakeFitOptions() {
+  ssm::FitOptions options;
   options.optimizer.max_evaluations = 160;
   return options;
 }
@@ -42,8 +42,8 @@ AicColumns EvaluateSeries(const std::vector<std::vector<double>>& all) {
     ssm::StructuralSpec ll;
     ssm::StructuralSpec ll_s;
     ll_s.seasonal = true;
-    auto fit_ll = ssm::FitStructuralModel(series, ll, FitOptions());
-    auto fit_ll_s = ssm::FitStructuralModel(series, ll_s, FitOptions());
+    auto fit_ll = ssm::FitStructuralModel(series, ll, MakeFitOptions());
+    auto fit_ll_s = ssm::FitStructuralModel(series, ll_s, MakeFitOptions());
     if (!fit_ll.ok() || !fit_ll_s.ok()) continue;
 
     // LL+I / LL+S+I: the intervention point is chosen by the exact
@@ -51,12 +51,12 @@ AicColumns EvaluateSeries(const std::vector<std::vector<double>>& all) {
     // no-intervention fallback), as in the paper's pipeline.
     ssm::ChangePointOptions plain;
     plain.seasonal = false;
-    plain.fit = FitOptions();
+    plain.fit = MakeFitOptions();
     ssm::ChangePointDetector detector_plain(series, plain);
     auto result_plain = detector_plain.DetectExact();
     ssm::ChangePointOptions seasonal;
     seasonal.seasonal = true;
-    seasonal.fit = FitOptions();
+    seasonal.fit = MakeFitOptions();
     ssm::ChangePointDetector detector_full(series, seasonal);
     auto result_full = detector_full.DetectExact();
     if (!result_plain.ok() || !result_full.ok()) continue;

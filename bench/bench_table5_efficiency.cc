@@ -30,8 +30,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-ssm::StructuralFitOptions FitOptions() {
-  ssm::StructuralFitOptions options;
+ssm::FitOptions MakeFitOptions() {
+  ssm::FitOptions options;
   options.optimizer.max_evaluations = 160;
   return options;
 }
@@ -56,7 +56,7 @@ TimingRow Measure(const std::vector<std::vector<double>>& all) {
       const auto start = Clock::now();
       ssm::StructuralSpec spec;
       spec.seasonal = true;
-      auto fitted = ssm::FitStructuralModel(series, spec, FitOptions());
+      auto fitted = ssm::FitStructuralModel(series, spec, MakeFitOptions());
       row.base_seconds +=
           std::chrono::duration<double>(Clock::now() - start).count();
       if (!fitted.ok()) continue;
@@ -64,7 +64,7 @@ TimingRow Measure(const std::vector<std::vector<double>>& all) {
 
     ssm::ChangePointOptions options;
     options.seasonal = true;
-    options.fit = FitOptions();
+    options.fit = MakeFitOptions();
     {
       ssm::ChangePointDetector detector(series, options);
       const auto start = Clock::now();
@@ -154,61 +154,87 @@ bool ReportsBitIdentical(const trend::TrendReport& a,
          AnalysesBitIdentical(a.prescriptions, b.prescriptions);
 }
 
-// The parallel per-series analysis stage: the full AnalyzeAll sweep
-// (pipeline defaults, Algorithm 2) at 1 thread vs `threads`.
-void MeasureParallelStage(const bench::BenchData& data, int threads,
+// The parallel candidate-sweep stage: the full AnalyzeAll run
+// (pipeline defaults, Algorithm 2) at every MICTREND_BENCH_THREADS
+// width. The 1-thread run is the reference; every wider run must
+// reproduce its report bit for bit, and the per-width wall clocks form
+// the scaling curve (t<w>_seconds / t<w>_speedup in the JSON report).
+void MeasureParallelStage(const bench::BenchData& data,
+                          const std::vector<int>& thread_curve,
                           bench::BenchReport& report) {
   trend::TrendAnalyzerOptions options;
-  options.detector.fit = FitOptions();
+  options.detector.fit = MakeFitOptions();
 
   const std::size_t series_count = data.series.num_diseases() +
                                    data.series.num_medicines() +
                                    data.series.num_pairs();
-  std::printf("\nParallel per-series analysis (mic::runtime, %zu series, "
-              "Algorithm 2):\n", series_count);
+  std::printf("\nParallel candidate sweep (mic::runtime, %zu series, "
+              "Algorithm 2, %d hardware threads):\n", series_count,
+              runtime::ThreadPool::HardwareConcurrency());
 
   trend::TrendAnalyzer analyzer(options);
 
-  runtime::ThreadPool single(1);
-  ExecContext serial_context;
-  serial_context.pool = &single;
-  const auto serial_start = Clock::now();
-  auto serial_report = analyzer.AnalyzeAll(data.series, serial_context);
-  const double serial_seconds =
-      std::chrono::duration<double>(Clock::now() - serial_start).count();
-  MIC_CHECK(serial_report.ok()) << serial_report.status();
+  auto timed_run = [&](int width, double* seconds) {
+    runtime::ThreadPool pool(width);
+    ExecContext context;
+    context.pool = &pool;
+    const auto start = Clock::now();
+    auto result = analyzer.AnalyzeAll(context, data.series);
+    *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    MIC_CHECK(result.ok()) << result.status();
+    if (width == thread_curve.back()) {
+      bench::PrintRuntimeStatsJson("table5_parallel_analysis",
+                                   pool.stats());
+    }
+    return std::move(result).value();
+  };
 
-  runtime::ThreadPool pool(threads);
-  ExecContext parallel_context;
-  parallel_context.pool = &pool;
-  const auto parallel_start = Clock::now();
-  auto parallel_report = analyzer.AnalyzeAll(data.series, parallel_context);
-  const double parallel_seconds =
-      std::chrono::duration<double>(Clock::now() - parallel_start).count();
-  MIC_CHECK(parallel_report.ok()) << parallel_report.status();
-
-  const bool identical =
-      ReportsBitIdentical(*serial_report, *parallel_report);
-  const double speedup =
-      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
-  char label[64];
-  std::snprintf(label, sizeof(label), "%d threads", pool.num_threads());
+  double serial_seconds = 0.0;
+  const trend::TrendReport serial_report = timed_run(1, &serial_seconds);
   std::printf("  %-22s %9.3f s\n", "1 thread", serial_seconds);
-  std::printf("  %-22s %9.3f s  (speedup %5.2fx; %d hardware threads)\n",
-              label, parallel_seconds, speedup,
-              runtime::ThreadPool::HardwareConcurrency());
-  std::printf("  reports bit-identical: %s\n", identical ? "yes" : "NO");
-  MIC_CHECK(identical)
-      << "parallel AnalyzeAll diverged from the single-thread report";
-  bench::PrintRuntimeStatsJson("table5_parallel_analysis", pool.stats());
+
+  bool all_identical = true;
+  double last_seconds = serial_seconds;
+  double last_speedup = 1.0;
+  int last_width = 1;
+  for (int width : thread_curve) {
+    double seconds = serial_seconds;
+    bool identical = true;
+    if (width == 1) {
+      // The reference run already measured this width.
+    } else {
+      const trend::TrendReport wide_report = timed_run(width, &seconds);
+      identical = ReportsBitIdentical(serial_report, wide_report);
+    }
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    all_identical = all_identical && identical;
+    last_seconds = seconds;
+    last_speedup = speedup;
+    last_width = width;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d threads", width);
+    std::printf("  %-22s %9.3f s  (speedup %5.2fx%s)\n", label, seconds,
+                speedup, identical ? "" : "; NOT bit-identical");
+    MIC_CHECK(identical)
+        << "parallel AnalyzeAll at " << width
+        << " threads diverged from the single-thread report";
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "t%d", width);
+    report.Set("parallel", std::string(prefix) + "_seconds", seconds);
+    report.Set("parallel", std::string(prefix) + "_speedup", speedup);
+  }
+  std::printf("  reports bit-identical: %s\n",
+              all_identical ? "yes" : "NO");
   report.Set("parallel", "series_count",
              static_cast<double>(series_count));
-  report.Set("parallel", "threads",
-             static_cast<double>(pool.num_threads()));
-  report.Set("parallel", "identical", identical ? 1.0 : 0.0);
+  report.Set("parallel", "threads", static_cast<double>(last_width));
+  report.Set("parallel", "curve_points",
+             static_cast<double>(thread_curve.size()));
+  report.Set("parallel", "identical", all_identical ? 1.0 : 0.0);
   report.Set("parallel", "serial_seconds", serial_seconds);
-  report.Set("parallel", "parallel_seconds", parallel_seconds);
-  report.Set("parallel", "speedup", speedup);
+  // Headline keys keep their historical meaning: the widest run.
+  report.Set("parallel", "parallel_seconds", last_seconds);
+  report.Set("parallel", "speedup", last_speedup);
 }
 
 // The mic::cache incremental-update story, end to end: a cold seeding
@@ -227,7 +253,7 @@ void MeasureIncremental(const bench::BenchData& data,
   trend::PipelineConfig config;
   config.reproducer.filter_options.min_disease_count = 5;
   config.reproducer.filter_options.min_medicine_count = 5;
-  config.analyzer.detector.fit = FitOptions();
+  config.analyzer.detector.fit = MakeFitOptions();
   config.cache.directory = dir.string();
 
   runtime::ThreadPool single(1);
@@ -409,13 +435,13 @@ void MeasureIngest(const bench::BenchData& data,
 void MeasureObsOverhead(const bench::BenchData& data,
                         bench::BenchReport& report) {
   trend::TrendAnalyzerOptions options;
-  options.detector.fit = FitOptions();
+  options.detector.fit = MakeFitOptions();
   trend::TrendAnalyzer analyzer(options);
   runtime::ThreadPool single(1);
 
   auto time_run = [&](const ExecContext& context) {
     const auto start = Clock::now();
-    auto report = analyzer.AnalyzeAll(data.series, context);
+    auto report = analyzer.AnalyzeAll(context, data.series);
     MIC_CHECK(report.ok()) << report.status();
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
@@ -477,14 +503,10 @@ int Run() {
   PrintRow("Prescription", prescription);
   RecordRow(report, "prescription", prescription);
 
-  // Default to 4 threads (the paper-scale reference point) even on
-  // narrower hardware, where the speedup degrades gracefully to ~1x but
-  // the bit-identical check still bites.
-  const int threads = scale.threads > 0
-                          ? scale.threads
-                          : std::max(4, runtime::ThreadPool::
-                                            HardwareConcurrency());
-  MeasureParallelStage(data, threads, report);
+  // The full scaling curve (default 1,2,4,8): on narrower hardware the
+  // speedup degrades gracefully toward 1x but the bit-identical check
+  // still bites at every width.
+  MeasureParallelStage(data, scale.thread_curve, report);
   MeasureIncremental(data, report);
   MeasureIngest(data, report);
   MeasureObsOverhead(data, report);

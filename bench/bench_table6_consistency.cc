@@ -21,8 +21,8 @@ struct ConsistencyRow {
   std::size_t matched_positives = 0;
 };
 
-ssm::StructuralFitOptions FitOptions() {
-  ssm::StructuralFitOptions options;
+ssm::FitOptions MakeFitOptions() {
+  ssm::FitOptions options;
   options.optimizer.max_evaluations = 160;
   return options;
 }
@@ -34,7 +34,7 @@ ConsistencyRow Measure(const std::vector<std::vector<double>>& all) {
     bench::NormalizeBySd(series);
     ssm::ChangePointOptions options;
     options.seasonal = true;
-    options.fit = FitOptions();
+    options.fit = MakeFitOptions();
     // One detector instance: the exact sweep fills the AIC cache, and
     // the approximate run replays deterministically from it, exactly as
     // the two algorithms would behave independently.

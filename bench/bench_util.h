@@ -11,10 +11,13 @@
 //   MICTREND_BENCH_MAX_SERIES   per-type series cap for the fitting
 //                               experiments (default 60)
 //   MICTREND_BENCH_SEED         world/generator seed (default 20190411)
-//   MICTREND_BENCH_THREADS      mic::runtime pool width for the stages
-//                               that take one (default 0 = hardware
-//                               concurrency; 1 = today's inline path).
-//                               Outputs are bit-identical either way.
+//   MICTREND_BENCH_THREADS      comma-separated pool widths for the
+//                               parallel scaling stage, e.g. "1,2,4,8"
+//                               (the default). A single value pins one
+//                               width; the last entry is the headline
+//                               width the other pooled stages use
+//                               (0 = hardware concurrency). Outputs are
+//                               bit-identical at every width.
 //   MICTREND_BENCH_JSON         when set, the binary also writes its
 //                               headline numbers to this path as one
 //                               schema-stable BenchReport JSON object
@@ -54,13 +57,37 @@ inline std::int64_t EnvInt(const char* name, std::int64_t fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+/// Parses a comma-separated integer list ("1,2,4,8"); returns
+/// `fallback` when the variable is unset, empty, or malformed.
+inline std::vector<int> EnvIntList(const char* name,
+                                   std::vector<int> fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  std::vector<int> parsed;
+  const char* cursor = value;
+  while (true) {
+    char* end = nullptr;
+    const long long entry = std::strtoll(cursor, &end, 10);
+    if (end == cursor) return fallback;
+    parsed.push_back(static_cast<int>(entry));
+    if (*end == '\0') break;
+    if (*end != ',') return fallback;
+    cursor = end + 1;
+  }
+  return parsed;
+}
+
 struct BenchScale {
   std::size_t patients = 2000;
   std::size_t background_diseases = 40;
   std::size_t max_series_per_type = 60;
   std::uint64_t seed = 20190411;
-  /// Pool width for parallel stages; 0 = hardware concurrency.
+  /// Headline pool width (the last MICTREND_BENCH_THREADS entry);
+  /// 0 = hardware concurrency.
   int threads = 0;
+  /// The full scaling curve: every positive MICTREND_BENCH_THREADS
+  /// entry, in order. The parallel bench stage runs once per width.
+  std::vector<int> thread_curve = {1, 2, 4, 8};
 
   static BenchScale FromEnv() {
     BenchScale scale;
@@ -72,8 +99,14 @@ struct BenchScale {
         EnvInt("MICTREND_BENCH_MAX_SERIES", 60));
     scale.seed =
         static_cast<std::uint64_t>(EnvInt("MICTREND_BENCH_SEED", 20190411));
-    scale.threads =
-        static_cast<int>(EnvInt("MICTREND_BENCH_THREADS", 0));
+    const std::vector<int> entries =
+        EnvIntList("MICTREND_BENCH_THREADS", {1, 2, 4, 8});
+    scale.threads = entries.empty() ? 0 : entries.back();
+    scale.thread_curve.clear();
+    for (int width : entries) {
+      if (width > 0) scale.thread_curve.push_back(width);
+    }
+    if (scale.thread_curve.empty()) scale.thread_curve = {1, 2, 4, 8};
     return scale;
   }
 
@@ -94,7 +127,8 @@ struct BenchScale {
 ///
 /// Sections and keys are emitted in sorted order so two files diff
 /// cleanly. Key-name convention (bench_compare.py keys off it): values
-/// named `*_seconds`, `*_rate`, or `speedup` are wall-clock measurements
+/// named `*_seconds`, `*_rate`, `*_speedup`, or `speedup` are
+/// wall-clock measurements
 /// and only gate when a time factor is requested; everything else is
 /// deterministic for a fixed config and compares within a strict
 /// relative tolerance. A `totals/wall_seconds` entry (whole-binary wall

@@ -44,7 +44,7 @@ int main() {
   trend::TrendAnalyzerOptions analyzer_options;
   analyzer_options.use_approximate = false;  // Exact for final screening.
   trend::TrendAnalyzer analyzer(analyzer_options);
-  auto report = analyzer.AnalyzeAll(*series);
+  auto report = analyzer.AnalyzeAll(mic::ExecContext{}, *series);
   if (!report.ok()) {
     std::fprintf(stderr, "analyze: %s\n",
                  report.status().ToString().c_str());

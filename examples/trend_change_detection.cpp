@@ -49,7 +49,7 @@ int main() {
   trend::TrendAnalyzerOptions analyzer_options;
   analyzer_options.use_approximate = true;  // Algorithm 2 for speed.
   trend::TrendAnalyzer analyzer(analyzer_options);
-  auto report = analyzer.AnalyzeAll(*series);
+  auto report = analyzer.AnalyzeAll(mic::ExecContext{}, *series);
   if (!report.ok()) {
     std::fprintf(stderr, "analyze: %s\n",
                  report.status().ToString().c_str());

@@ -9,8 +9,8 @@ as BASELINE, and every gated value is within threshold; 1 otherwise.
 
 Keys are split by the bench_util.h naming convention:
 
-  * timing keys  -- name ends with `_seconds` or `_rate`, or equals
-    `speedup`: wall-clock measurements. Gated only when --time-factor is
+  * timing keys  -- name ends with `_seconds`, `_rate`, or `_speedup`,
+    or equals `speedup`: wall-clock measurements. Gated only when --time-factor is
     given (fail when NEW exceeds BASELINE * FACTOR); always reported.
   * value keys   -- everything else: deterministic for a fixed config
     (series counts, fit counts, bit-identical flags). Gated at
@@ -25,7 +25,7 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
-TIMING_SUFFIXES = ("_seconds", "_rate")
+TIMING_SUFFIXES = ("_seconds", "_rate", "_speedup")
 TIMING_NAMES = ("speedup",)
 CONFIG_KEYS = ("patients", "background", "max_series", "seed", "threads")
 

@@ -5,11 +5,12 @@
 # MICTREND_BENCH_JSON report, and gates the deterministic values
 # against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all presets + bench/cache/store smoke
+#   scripts/check.sh              # all presets + bench/cache/store/perf smoke
 #   scripts/check.sh default      # just one preset
 #   scripts/check.sh bench-smoke  # just the bench regression gate
 #   scripts/check.sh cache-smoke  # just the incremental-cache gate
 #   scripts/check.sh store-smoke  # just the persistent-store gate
+#   scripts/check.sh perf-smoke   # just the parallel-scaling gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
 # this falls back to plain -B/-S invocations with the same cache
@@ -17,7 +18,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke perf-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -35,10 +36,53 @@ bench_smoke() {
   MICTREND_BENCH_PATIENTS=200 \
   MICTREND_BENCH_BACKGROUND=10 \
   MICTREND_BENCH_MAX_SERIES=12 \
-  MICTREND_BENCH_THREADS=2 \
+  MICTREND_BENCH_THREADS=1,2,4,8 \
   MICTREND_BENCH_JSON="$out" \
     build/bench/bench_table5_efficiency > build/bench/BENCH_table5.out
   scripts/bench_compare.sh bench/baselines/BENCH_table5.json "$out"
+}
+
+# The parallel-scaling gate: rerun the table5 bench at the pinned smoke
+# scale with the 1,2,4,8 thread curve, gate timing keys against the
+# baseline (--time-factor bounds regressions), and require the
+# candidate-level sweep to reach >= 1.5x at 4 threads -- on hardware
+# that has 4 cores to scale over. Narrower machines (CI containers)
+# check bit-identity at every width but skip the speedup floor, since
+# no scheduling can beat the core count.
+perf_smoke() {
+  echo "==== perf-smoke: parallel scaling gate (table5 thread curve) ===="
+  if [ ! -x build/bench/bench_table5_efficiency ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+      -DMICTREND_BUILD_BENCHMARKS=ON
+    cmake --build build -j "$(nproc)" --target bench_table5_efficiency
+  fi
+  out="build/bench/BENCH_table5_perf.json"
+  MICTREND_BENCH_PATIENTS=200 \
+  MICTREND_BENCH_BACKGROUND=10 \
+  MICTREND_BENCH_MAX_SERIES=12 \
+  MICTREND_BENCH_THREADS=1,2,4,8 \
+  MICTREND_BENCH_JSON="$out" \
+    build/bench/bench_table5_efficiency > build/bench/BENCH_table5_perf.out
+  scripts/bench_compare.sh bench/baselines/BENCH_table5.json "$out" \
+    --time-factor "${MICTREND_PERF_TIME_FACTOR:-10}"
+  python3 - "$out" "$(nproc)" << 'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+parallel = report["sections"]["parallel"]
+assert parallel["identical"] == 1, \
+    f"parallel sweep not bit-identical across widths: {parallel}"
+cores = int(sys.argv[2])
+speedup = parallel.get("t4_speedup")
+assert speedup is not None, "t4_speedup missing from parallel section"
+if cores >= 4:
+    assert speedup >= 1.5, (
+        f"candidate sweep speedup at 4 threads is {speedup:.2f}x "
+        f"(< 1.5x) on a {cores}-core machine")
+    print(f"perf-smoke OK: {speedup:.2f}x at 4 threads ({cores} cores)")
+else:
+    print(f"perf-smoke: speedup floor skipped on {cores}-core hardware "
+          f"(measured {speedup:.2f}x at 4 threads); bit-identity held")
+EOF
 }
 
 # The mic::cache incremental-update gate: seed a cache with a cold
@@ -140,6 +184,10 @@ for preset in $PRESETS; do
   fi
   if [ "$preset" = "store-smoke" ]; then
     store_smoke
+    continue
+  fi
+  if [ "$preset" = "perf-smoke" ]; then
+    perf_smoke
     continue
   fi
   echo "==== ${preset}: configure + build + test ===="

@@ -44,7 +44,7 @@ struct RepositioningCandidate {
 };
 
 /// Screens an analyzed report for new-indication signatures. `report`
-/// must come from `analyzer.AnalyzeAll(series)` so the disease and
+/// must come from `analyzer.AnalyzeAll(context, series)` so the disease and
 /// medicine verdicts needed for cause attribution are present.
 /// Candidates are returned strongest-evidence first.
 Result<std::vector<RepositioningCandidate>> ScreenRepositioningCandidates(

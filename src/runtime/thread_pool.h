@@ -64,7 +64,7 @@ struct RuntimeStats {
   StageStats Totals() const;
 
   /// One-line JSON for bench output, e.g.
-  /// {"stages":[{"stage":"trend-analyze","calls":1,...}]}.
+  /// {"stages":[{"stage":"trend-sweep","calls":1,...}]}.
   std::string ToJson() const;
 };
 

@@ -14,9 +14,11 @@
 #define MICTREND_SSM_CHANGEPOINT_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -65,6 +67,10 @@ class SharedAicMemo {
   /// Returns the entry for (series_key, t_cp), or nullopt on miss.
   std::optional<Entry> Lookup(std::uint64_t series_key, int t_cp) const;
 
+  /// Presence probe without copying the entry (no counters either way;
+  /// used by the search planner to decide what to request).
+  bool Contains(std::uint64_t series_key, int t_cp) const;
+
   /// Publishes an entry (first writer wins; later stores are no-ops,
   /// which keeps concurrent detectors agreeing on one fitted model).
   void Store(std::uint64_t series_key, int t_cp, const Entry& entry);
@@ -83,7 +89,7 @@ struct ChangePointOptions {
   /// component (LL+S+I vs LL+I).
   bool seasonal = true;
   int period = 12;
-  StructuralFitOptions fit;
+  FitOptions fit;
   /// Candidate change points are
   /// [min_candidate, series length - min_tail_observations].
   int min_candidate = 1;
@@ -134,6 +140,36 @@ struct ChangePointResult {
   FittedStructuralModel best_model;
 };
 
+/// Output of one candidate fit, produced off-detector (possibly on a
+/// worker thread) and folded back in by SupplyEvaluation. The counter
+/// deltas are carried here instead of being written to the metrics
+/// registry at fit time, so a speculative evaluation that the serial
+/// algorithm would never have performed (e.g. the sibling of a failed
+/// bisection endpoint) can be discarded without a trace.
+struct CandidateEvaluation {
+  /// Criterion of the best candidate kind (the detector's AicAt value).
+  double criterion = 0.0;
+  /// The criterion-best fitted model.
+  FittedStructuralModel model;
+  /// Successful model fits this evaluation performed.
+  int fits_performed = 0;
+  /// Deferred ssm.* metric deltas (successful fits only, matching what
+  /// FitStructuralModel would have recorded itself).
+  std::uint64_t nelder_mead_evaluations = 0;
+  std::uint64_t kalman_passes = 0;
+};
+
+/// Fits candidate `t_cp` (kNoChangePoint = the no-intervention model)
+/// exactly as ChangePointDetector::AicAt would: one fit per candidate
+/// kind, keeping the criterion-best. Pure function of its arguments —
+/// no detector state, no shared memo, no metrics registry writes
+/// (options.fit.metrics is ignored; deltas come back in the result) —
+/// so concurrent calls over different candidates are safe and
+/// bit-deterministic.
+Result<CandidateEvaluation> EvaluateCandidate(
+    const std::vector<double>& series, const ChangePointOptions& options,
+    int t_cp);
+
 /// Result of the greedy multi-break search.
 struct MultiChangePointResult {
   /// Accepted interventions in acceptance order.
@@ -178,6 +214,49 @@ class ChangePointDetector {
   /// curve of Fig. 5b. Runs the exact sweep as a side effect.
   Result<std::vector<double>> AicCurve();
 
+  // --- Resumable candidate-level search -----------------------------
+  //
+  // DetectExact / DetectApproximate are thin serial drivers over this
+  // API, which splits a detection into (a) planning which candidates
+  // need a model fit and (b) consuming fit results — so a caller can
+  // run step (b)'s fits for MANY detectors through one ParallelFor
+  // batch. The protocol:
+  //
+  //   detector.BeginSearch(approximate);
+  //   while (!detector.SearchDone()) {
+  //     for (int t : detector.PendingCandidates())   // evaluate freely
+  //       evals[t] = EvaluateCandidate(detector.series(), options, t);
+  //     for (int t : pending order)                  // fold back in
+  //       detector.SupplyEvaluation(t, std::move(evals[t]));
+  //   }
+  //   result = detector.FinishSearch();
+  //
+  // All detector-side effects (fit counts, metrics, memo publication)
+  // happen inside SupplyEvaluation/FinishSearch on the supplying
+  // thread, in the exact order the serial algorithms would have
+  // produced them — a search driven this way is bit- and
+  // counter-identical to DetectExact / DetectApproximate, at any
+  // evaluation parallelism.
+
+  /// Starts an exact (Algorithm 1) or approximate (Algorithm 2) search.
+  void BeginSearch(bool approximate);
+
+  /// Candidates the search cannot answer from its caches (in request
+  /// order; may include kNoChangePoint). Empty while SearchDone().
+  std::vector<int> PendingCandidates() const;
+
+  /// Feeds back the evaluation of one pending candidate. Evaluations
+  /// for candidates that are no longer pending (e.g. after an
+  /// approximate search aborted on a failed endpoint) are discarded.
+  void SupplyEvaluation(int t_cp, Result<CandidateEvaluation> evaluation);
+
+  /// True when no more evaluations are needed.
+  bool SearchDone() const;
+
+  /// Completes the search and returns the detection result (or the
+  /// error the serial algorithm would have returned).
+  Result<ChangePointResult> FinishSearch();
+
   /// Distinct fits performed so far on this instance.
   int fits_performed() const { return fits_performed_; }
 
@@ -188,9 +267,45 @@ class ChangePointDetector {
   void ResetCache();
 
  private:
+  enum class SearchPhase {
+    kIdle = 0,
+    kExactSweep,   // waiting on the round-0 batch of sweep candidates
+    kBisect,       // Algorithm 2 halving loop
+    kFinalEval,    // Algorithm 2 post-loop left/right comparison
+    kFinalize,     // all candidate values resolved; FinishSearch ready
+    kFailed,       // a required evaluation failed; FinishSearch errors
+  };
+
   /// Memoized criterion of the model with change point `t_cp`
   /// (kNoChangePoint = no intervention) under the BEST candidate kind.
   Result<double> AicAt(int t_cp);
+
+  /// The search-machine twin of AicAt: answers from the caches (with
+  /// the same counters AicAt would bump) or consumes a staged
+  /// evaluation (bumping the evaluation counters and folding in the
+  /// deferred fit metrics, exactly as the serial fit-at-call-site
+  /// would). Returns nullopt — after queueing the candidate on
+  /// pending_ — when a fit is needed.
+  std::optional<Result<double>> MachineAicAt(int t_cp);
+
+  /// Whether a search would have to fit `t_cp` (no cache, no memo).
+  /// Counter-neutral, unlike MachineAicAt.
+  bool NeedsEvaluation(int t_cp) const;
+
+  /// Queues a candidate for evaluation (deduplicated).
+  void Request(int t_cp);
+
+  /// Runs the search state machine forward until it blocks on pending
+  /// evaluations or reaches kFinalize/kFailed.
+  void AdvanceSearch();
+
+  /// Aborts the search with `failure` (the serial algorithms propagate
+  /// the first evaluation error).
+  void FailSearch(const Status& failure);
+
+  /// Serial driver: evaluates every pending candidate inline until the
+  /// search completes (what DetectExact/DetectApproximate run on).
+  Result<ChangePointResult> DriveSearch();
 
   /// Criterion of a fitted model under the configured criterion.
   double CriterionOf(const FittedStructuralModel& fitted) const;
@@ -208,6 +323,27 @@ class ChangePointDetector {
   std::unordered_map<int, double> aic_cache_;
   std::unordered_map<int, FittedStructuralModel> model_cache_;
   int fits_performed_ = 0;
+
+  // --- Search-machine state (live between BeginSearch/FinishSearch).
+  SearchPhase phase_ = SearchPhase::kIdle;
+  int search_n_ = 0;  // candidate range is [min_candidate, search_n_)
+  std::vector<int> pending_;
+  std::unordered_set<int> pending_set_;
+  /// Supplied-but-not-yet-consumed evaluations.
+  std::map<int, Result<CandidateEvaluation>> staged_;
+  /// Candidates whose evaluation failed this search (status kept so a
+  /// later query in the same search returns the serial error).
+  std::unordered_map<int, Status> failed_this_search_;
+  /// Exact sweep: resolved criterion per candidate (failures absent);
+  /// ordered so the best-candidate scan runs in ascending t.
+  std::map<int, double> sweep_values_;
+  // Algorithm 2 state.
+  int bisect_left_ = 0;
+  int bisect_right_ = 0;
+  std::optional<double> bisect_left_value_;
+  std::optional<double> bisect_right_value_;
+  int best_candidate_ = kNoChangePoint;
+  Status search_failure_ = Status::OK();
 
   // Counter handles pre-resolved from options_.fit.metrics in the
   // constructor (all null when metrics are disabled); active_counter_

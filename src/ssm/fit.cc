@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "ssm/kalman_fixed.h"
 #include "stats/metrics.h"
 
 namespace mic::ssm {
@@ -32,6 +33,29 @@ std::vector<std::vector<double>> BuildRegressors(
 
 }  // namespace
 
+Status FitOptions::Validate() const {
+  if (kernel != KalmanKernel::kAuto && kernel != KalmanKernel::kDynamic &&
+      kernel != KalmanKernel::kFixed) {
+    return Status::InvalidArgument(
+        "fit.kernel must be auto, dynamic, or fixed");
+  }
+  if (restarts < 0) {
+    return Status::InvalidArgument("fit.restarts must be >= 0");
+  }
+  if (optimizer.max_evaluations < 1) {
+    return Status::InvalidArgument(
+        "fit.optimizer.max_evaluations must be >= 1");
+  }
+  if (!(optimizer.tolerance > 0.0)) {
+    return Status::InvalidArgument("fit.optimizer.tolerance must be > 0");
+  }
+  if (!(optimizer.initial_step > 0.0)) {
+    return Status::InvalidArgument(
+        "fit.optimizer.initial_step must be > 0");
+  }
+  return Status::OK();
+}
+
 double StructuralAic(double log_likelihood, const StructuralSpec& spec) {
   return -2.0 * log_likelihood +
          2.0 * static_cast<double>(spec.TotalParameters());
@@ -39,12 +63,20 @@ double StructuralAic(double log_likelihood, const StructuralSpec& spec) {
 
 Result<FittedStructuralModel> FitStructuralModel(
     const std::vector<double>& series, const StructuralSpec& spec,
-    const StructuralFitOptions& options) {
+    const FitOptions& options) {
+  MIC_RETURN_IF_ERROR(options.Validate());
   const int n = static_cast<int>(series.size());
   if (n < spec.NumDiffuseStates() + 2) {
     return Status::InvalidArgument(
         "series too short for spec " + spec.ToString() + ": " +
         std::to_string(n) + " observations");
+  }
+  if (options.kernel == KalmanKernel::kFixed &&
+      !HasFixedKernel(static_cast<std::size_t>(spec.NumDiffuseStates()))) {
+    return Status::InvalidArgument(
+        "fit.kernel is fixed but state dimension " +
+        std::to_string(spec.NumDiffuseStates()) +
+        " has no compiled kernel");
   }
   for (const Intervention& intervention : spec.interventions) {
     if (intervention.change_point < 0 || intervention.change_point >= n) {
@@ -80,18 +112,22 @@ Result<FittedStructuralModel> FitStructuralModel(
     MIC_ASSIGN_OR_RETURN(StateSpaceModel model,
                          BuildStructuralModel(spec, variances));
     if (regressors.empty()) {
-      MIC_ASSIGN_OR_RETURN(FilterResult filtered, RunFilter(model, series));
+      MIC_ASSIGN_OR_RETURN(
+          FilterResult filtered,
+          RunFilterKernel(options.kernel, model, series));
       return filtered.log_likelihood;
     }
     if (single) {
-      MIC_ASSIGN_OR_RETURN(
-          RegressionFilterResult filtered,
-          RunFilterWithRegression(model, series, regressors.front()));
+      MIC_ASSIGN_OR_RETURN(RegressionFilterResult filtered,
+                           RunFilterWithRegressionKernel(
+                               options.kernel, model, series,
+                               regressors.front()));
       return filtered.profiled_log_likelihood;
     }
     MIC_ASSIGN_OR_RETURN(
         MultiRegressionFilterResult filtered,
-        RunFilterWithRegressors(model, series, regressors));
+        RunFilterWithRegressorsKernel(options.kernel, model, series,
+                                      regressors));
     return filtered.profiled_log_likelihood;
   };
 
@@ -143,9 +179,10 @@ Result<FittedStructuralModel> FitStructuralModel(
   fitted.lambda_variance = std::numeric_limits<double>::infinity();
   if (single) {
     ++kalman_passes;
-    MIC_ASSIGN_OR_RETURN(
-        RegressionFilterResult filtered,
-        RunFilterWithRegression(fitted.model, series, regressors.front()));
+    MIC_ASSIGN_OR_RETURN(RegressionFilterResult filtered,
+                         RunFilterWithRegressionKernel(
+                             options.kernel, fitted.model, series,
+                             regressors.front()));
     fitted.lambdas = {filtered.lambda};
     fitted.lambda = filtered.lambda;
     fitted.lambda_variance = filtered.lambda_variance;
@@ -153,12 +190,14 @@ Result<FittedStructuralModel> FitStructuralModel(
     ++kalman_passes;
     MIC_ASSIGN_OR_RETURN(
         MultiRegressionFilterResult filtered,
-        RunFilterWithRegressors(fitted.model, series, regressors));
+        RunFilterWithRegressorsKernel(options.kernel, fitted.model, series,
+                                      regressors));
     fitted.lambdas = filtered.lambdas;
     fitted.lambda = filtered.lambdas.empty() ? 0.0 : filtered.lambdas[0];
   }
   fitted.aic = StructuralAic(fitted.log_likelihood, spec);
   fitted.optimizer_evaluations = optimum.evaluations;
+  fitted.kalman_passes = kalman_passes;
   if (options.metrics != nullptr) {
     obs::Increment(obs::GetCounter(options.metrics, "ssm.fits"));
     obs::Increment(

@@ -14,6 +14,7 @@
 #ifndef MICTREND_SSM_FIT_H_
 #define MICTREND_SSM_FIT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -27,7 +28,18 @@ class MetricsRegistry;
 
 namespace mic::ssm {
 
-struct StructuralFitOptions {
+/// One options struct for the ssm::Fit* entry points, mirroring the
+/// layered trend::PipelineConfig idiom: every knob is a named field with
+/// a Validate() that reports the exact field path, and the fixed/dynamic
+/// Kalman kernel choice is one explicit field instead of an overload
+/// set.
+struct FitOptions {
+  /// Which filter implementation runs the Kalman passes. kAuto resolves
+  /// to the compile-time fixed-dimension kernel when the model's state
+  /// dimension has one (bit-exact with the dynamic path) and to the
+  /// dynamic path otherwise; kFixed fails the fit up front when the
+  /// dimension has no compiled kernel.
+  KalmanKernel kernel = KalmanKernel::kAuto;
   NelderMeadOptions optimizer;
   /// Nelder-Mead restarts from the incumbent optimum with a halved
   /// initial step; cheap insurance against premature simplex collapse
@@ -38,6 +50,10 @@ struct StructuralFitOptions {
   /// ssm.kalman_passes — all pure functions of the input series, so
   /// they stay bit-identical at any thread count.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Field-path diagnostics in the PipelineConfig style
+  /// ("fit.restarts must be >= 0").
+  Status Validate() const;
 };
 
 /// A fitted structural model.
@@ -57,6 +73,9 @@ struct FittedStructuralModel {
   double log_likelihood = 0.0;
   double aic = 0.0;
   int optimizer_evaluations = 0;
+  /// Kalman filter passes this fit ran (optimizer evaluations plus the
+  /// final lambda pass); what ssm.kalman_passes aggregates.
+  std::uint64_t kalman_passes = 0;
 };
 
 /// Fits `spec` to `series` by maximum likelihood. Requires at least
@@ -64,7 +83,7 @@ struct FittedStructuralModel {
 /// inside the series.
 Result<FittedStructuralModel> FitStructuralModel(
     const std::vector<double>& series, const StructuralSpec& spec,
-    const StructuralFitOptions& options = {});
+    const FitOptions& options = {});
 
 /// AIC of a fitted model given the spec's parameter accounting.
 double StructuralAic(double log_likelihood, const StructuralSpec& spec);

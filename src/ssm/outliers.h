@@ -19,7 +19,7 @@ struct OutlierDetectionOptions {
   /// Base model shape (the intervention list of `base_spec` is kept and
   /// extended with pulses).
   StructuralSpec base_spec;
-  StructuralFitOptions fit;
+  FitOptions fit;
   /// A month is an outlier when |irregular| exceeds this many sample
   /// SDs of the irregular component.
   double threshold_sd = 3.0;

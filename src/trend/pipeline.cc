@@ -85,7 +85,7 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
       medmodel::ReproduceSeries(corpus, config.reproducer, stage_context));
   TrendAnalyzer analyzer(config.analyzer);
   MIC_ASSIGN_OR_RETURN(TrendReport report,
-                       analyzer.AnalyzeAll(series, stage_context));
+                       analyzer.AnalyzeAll(stage_context, series));
   return PipelineResult{std::move(series), std::move(report)};
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "cache/cache_store.h"
 #include "cache/fingerprint.h"
@@ -50,14 +53,8 @@ std::size_t TrendReport::CountChanges(SeriesKind kind) const {
 }
 
 Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
-    SeriesKind kind, DiseaseId d, MedicineId m,
+    const ExecContext& context, SeriesKind kind, DiseaseId d, MedicineId m,
     std::span<const double> series) const {
-  return AnalyzeSeries(kind, d, m, series, ExecContext{});
-}
-
-Result<SeriesAnalysis> TrendAnalyzer::AnalyzeSeries(
-    SeriesKind kind, DiseaseId d, MedicineId m,
-    std::span<const double> series, const ExecContext& context) const {
   SeriesAnalysis analysis;
   analysis.kind = kind;
   analysis.disease = d;
@@ -113,11 +110,17 @@ struct SeriesTask {
   const std::vector<double>* series;
 };
 
+// Version salt for cached SeriesAnalysis entries: bump whenever the
+// analysis algorithm changes in a way that leaves stale cached verdicts
+// structurally valid (v2 = candidate-level wavefront sweep).
+constexpr std::uint64_t kSeriesAnalysisVersion = 2;
+
 // Every option that can change a single-series verdict takes part in
 // the cache key; editing any of them re-keys the whole sweep.
 std::uint64_t FingerprintAnalyzerOptions(
     const TrendAnalyzerOptions& options) {
   cache::Hasher hasher;
+  hasher.Mix(kSeriesAnalysisVersion);
   const ssm::ChangePointOptions& detector = options.detector;
   hasher.Mix(detector.seasonal ? 1 : 0);
   hasher.MixSigned(detector.period);
@@ -194,15 +197,31 @@ Result<SeriesAnalysis> DeserializeAnalysis(
   return analysis;
 }
 
+// One in-flight per-series search in the candidate-level wavefront.
+// The detector owns the normalized working copy; `options` is the exact
+// option set the detector was constructed with, so a worker-side
+// EvaluateCandidate call fits precisely the models the detector planned
+// for. `analysis` carries the AnalyzeSeries preamble results (ids,
+// normalization scale) until FinishSearch fills in the verdict.
+struct SweepSlot {
+  SweepSlot(std::size_t task_index_in, const SeriesAnalysis& analysis_in,
+            std::vector<double> working,
+            const ssm::ChangePointOptions& detector_options)
+      : task_index(task_index_in),
+        analysis(analysis_in),
+        options(detector_options),
+        detector(std::move(working), detector_options) {}
+
+  std::size_t task_index;
+  SeriesAnalysis analysis;
+  ssm::ChangePointOptions options;
+  ssm::ChangePointDetector detector;
+};
+
 }  // namespace
 
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
-    const medmodel::SeriesSet& set) const {
-  return AnalyzeAll(set, ExecContext{});
-}
-
-Result<TrendReport> TrendAnalyzer::AnalyzeAll(
-    const medmodel::SeriesSet& set, const ExecContext& context) const {
+    const ExecContext& context, const medmodel::SeriesSet& set) const {
   runtime::ThreadPool* pool = context.pool;
   obs::MetricsRegistry* metrics = context.metrics;
   obs::Span detect_span(context, "detect");
@@ -267,32 +286,110 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     }
   }
 
-  // One series per chunk: each fit costs milliseconds, so per-task
-  // dispatch overhead is noise and the pool load-balances freely.
-  MIC_RETURN_IF_ERROR(runtime::ParallelFor(
-      pool, 0, tasks.size(), 1,
-      obs::TraceChunks(
-          context.trace, "trend-analyze",
-          [this, &tasks, &analyses, &statuses, &from_cache, &context,
-           fit_timer](std::size_t chunk_begin, std::size_t chunk_end,
-                      std::size_t) {
-            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-              if (from_cache[i]) continue;
-              const SeriesTask& task = tasks[i];
-              obs::ScopedTimer fit_scope(fit_timer, context.trace,
-                                         "series_fit");
-              auto analysis = AnalyzeSeries(task.kind, task.disease,
-                                            task.medicine, *task.series,
-                                            context);
-              if (analysis.ok()) {
-                analyses[i] = std::move(*analysis);
-              } else {
-                statuses[i] = analysis.status();
+  // Candidate-level wavefront. One slot per uncached series replicates
+  // the AnalyzeSeries preamble (normalization, metrics wiring) in task
+  // order and starts the resumable search; each round then gathers the
+  // pending candidate fits of ALL open searches into one batch for the
+  // pool. The pool therefore sees series x candidates-per-round
+  // independent fits instead of one opaque task per series — the serial
+  // per-series AIC sweep no longer starves it. All detector-side
+  // bookkeeping (counters, memo publication, fit accounting) happens in
+  // the serial fold-back below, in task order, so the report and every
+  // counter are bit-identical to the serial path at any thread count.
+  std::vector<std::unique_ptr<SweepSlot>> slots;
+  slots.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (from_cache[i]) continue;
+    const SeriesTask& task = tasks[i];
+    SeriesAnalysis analysis;
+    analysis.kind = task.kind;
+    analysis.disease = task.disease;
+    analysis.medicine = task.medicine;
+    std::vector<double> working(task.series->begin(), task.series->end());
+    if (options_.normalize) {
+      const double sd = stats::StdDev(working);
+      if (sd > 0.0) {
+        analysis.scale = sd;
+        for (double& value : working) value /= sd;
+      }
+    }
+    ssm::ChangePointOptions detector_options = options_.detector;
+    if (metrics != nullptr) {
+      detector_options.fit.metrics = metrics;
+    }
+    slots.push_back(std::make_unique<SweepSlot>(i, analysis,
+                                                std::move(working),
+                                                detector_options));
+    slots.back()->detector.BeginSearch(options_.use_approximate);
+  }
+
+  // A candidate fit dispatched to the pool this round.
+  struct CandidateRef {
+    SweepSlot* slot;
+    int t_cp;
+  };
+  while (true) {
+    std::vector<CandidateRef> batch;
+    for (const auto& slot : slots) {
+      if (slot->detector.SearchDone()) continue;
+      for (int t_cp : slot->detector.PendingCandidates()) {
+        batch.push_back({slot.get(), t_cp});
+      }
+    }
+    if (batch.empty()) break;
+    // Result<CandidateEvaluation> has no default constructor; stage the
+    // worker results through optionals.
+    std::vector<std::optional<Result<ssm::CandidateEvaluation>>> evals(
+        batch.size());
+    MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+        pool, 0, batch.size(), 1,
+        obs::TraceChunks(
+            context.trace, "trend-sweep",
+            [&batch, &evals, &context, fit_timer](
+                std::size_t chunk_begin, std::size_t chunk_end,
+                std::size_t) {
+              for (std::size_t j = chunk_begin; j < chunk_end; ++j) {
+                const CandidateRef& ref = batch[j];
+                obs::ScopedTimer fit_scope(fit_timer, context.trace,
+                                           "series_fit");
+                evals[j].emplace(ssm::EvaluateCandidate(
+                    ref.slot->detector.series(), ref.slot->options,
+                    ref.t_cp));
               }
-            }
-            return Status::OK();
-          }),
-      "trend-analyze"));
+              return Status::OK();
+            }),
+        "trend-sweep"));
+    // Serial fold-back in batch (= task) order.
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      batch[j].slot->detector.SupplyEvaluation(batch[j].t_cp,
+                                               std::move(*evals[j]));
+    }
+  }
+
+  // Close out each search with the AnalyzeSeries tail.
+  for (auto& slot : slots) {
+    const std::size_t i = slot->task_index;
+    Result<ssm::ChangePointResult> detected = slot->detector.FinishSearch();
+    if (!detected.ok()) {
+      statuses[i] = detected.status();
+      continue;
+    }
+    SeriesAnalysis analysis = std::move(slot->analysis);
+    analysis.has_change = detected->has_change;
+    analysis.change_point = detected->change_point;
+    analysis.aic = detected->best_aic;
+    analysis.aic_without_intervention = detected->aic_without_intervention;
+    analysis.fits_performed = detected->fits_performed;
+    if (detected->has_change) {
+      auto decomposition =
+          ssm::Decompose(detected->best_model, slot->detector.series());
+      if (decomposition.ok()) {
+        analysis.lambda = decomposition->lambda * analysis.scale;
+      }
+    }
+    analyses[i] = std::move(analysis);
+  }
+  slots.clear();
 
   // Publish the fresh analyses; write failures degrade to "no cache".
   if (cache_active && store->can_write()) {

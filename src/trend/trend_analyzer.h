@@ -102,29 +102,36 @@ class TrendAnalyzer {
   explicit TrendAnalyzer(const TrendAnalyzerOptions& options = {})
       : options_(options) {}
 
-  /// Analyzes a single series (already reproduced). Takes a view so
-  /// per-task callers (AnalyzeAll, benches) never copy the series just
-  /// to hand it over; the one normalized working copy is made inside.
-  Result<SeriesAnalysis> AnalyzeSeries(SeriesKind kind, DiseaseId d,
+  /// Analyzes a single series (already reproduced). Context-first, like
+  /// every entry point: context.metrics flows into the per-series
+  /// ChangePointDetector (changepoint.* / ssm.* counters); the pool is
+  /// not consulted — a single series is always fitted serially, so this
+  /// is safe to call from inside a ParallelFor worker. Takes a view so
+  /// per-task callers never copy the series just to hand it over; the
+  /// one normalized working copy is made inside.
+  ///
+  /// (The former context-less convenience overloads are gone; pass
+  /// ExecContext{} explicitly. See docs/usage_cookbook.md.)
+  Result<SeriesAnalysis> AnalyzeSeries(const ExecContext& context,
+                                       SeriesKind kind, DiseaseId d,
                                        MedicineId m,
                                        std::span<const double> series) const;
 
-  /// ExecContext overload: context.metrics flows into the per-series
-  /// ChangePointDetector (changepoint.* / ssm.* counters). The pool is
-  /// not consulted here — a single series is always fitted serially.
-  Result<SeriesAnalysis> AnalyzeSeries(SeriesKind kind, DiseaseId d,
-                                       MedicineId m,
-                                       std::span<const double> series,
-                                       const ExecContext& context) const;
-
   /// Analyzes every disease, medicine, and prescription series in `set`.
-  Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set) const;
-
-  /// ExecContext overload: context.pool runs the per-series dispatch
-  /// (null = inline), and context.metrics receives the stage's counters
+  /// context.pool runs the candidate-level sweep (null = inline), and
+  /// context.metrics receives the stage's counters
   /// (trend.series_analyzed / trend.series_fits /
   /// trend.changes_detected / trend.cause.*) under a "detect" span,
-  /// plus the per-series trend.series_fit timer.
+  /// plus the per-candidate trend.series_fit timer.
+  ///
+  /// Parallel decomposition: every series runs the resumable
+  /// ChangePointDetector search, and each round batches the pending
+  /// candidate fits of ALL series through one ParallelFor — so the pool
+  /// sees series_count x candidates_per_round independent fits instead
+  /// of one task per series whose internal sweep runs serially. All
+  /// detector bookkeeping happens on the calling thread in task order,
+  /// which keeps the report and every counter bit-identical at any
+  /// thread count (and identical to the serial AnalyzeSeries path).
   ///
   /// context.cache (when attached) drives the dirty-set sweep: each
   /// series' analysis is keyed in the "series" namespace by a
@@ -135,8 +142,8 @@ class TrendAnalyzer {
   /// (trend.series_cache_misses). Hits reproduce the cached analysis
   /// field-for-field — including fits_performed — so a warm report is
   /// byte-identical to the cold one at any thread count.
-  Result<TrendReport> AnalyzeAll(const medmodel::SeriesSet& set,
-                                 const ExecContext& context) const;
+  Result<TrendReport> AnalyzeAll(const ExecContext& context,
+                                 const medmodel::SeriesSet& set) const;
 
   /// Attributes a detected prescription change using the disease and
   /// medicine verdicts already present in `report`. Returns kNone when

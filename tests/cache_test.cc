@@ -513,7 +513,7 @@ TEST(KalmanWorkspaceTest, FilterPassesReuseTheThreadLocalWorkspace) {
   }
   ssm::StructuralSpec spec;
   spec.seasonal = false;
-  ssm::StructuralFitOptions options;
+  ssm::FitOptions options;
   options.optimizer.max_evaluations = 120;
   auto fitted = ssm::FitStructuralModel(series, spec, options);
   ASSERT_TRUE(fitted.ok());

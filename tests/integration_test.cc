@@ -101,7 +101,8 @@ TEST_F(PipelineTest, NewMedicineBreakDetected) {
   options.use_approximate = false;
   trend::TrendAnalyzer analyzer(options);
   auto analysis = analyzer.AnalyzeSeries(
-      trend::SeriesKind::kMedicine, DiseaseId(), new_drug, series);
+      ExecContext{}, trend::SeriesKind::kMedicine, DiseaseId(), new_drug,
+      series);
   ASSERT_TRUE(analysis.ok());
   EXPECT_TRUE(analysis->has_change);
   // The series is exactly zero until the release and then ramps, so the
@@ -135,7 +136,8 @@ TEST_F(PipelineTest, IndicationExpansionDetectedOnPairSeries) {
   options.use_approximate = false;
   trend::TrendAnalyzer analyzer(options);
   auto analysis = analyzer.AnalyzeSeries(
-      trend::SeriesKind::kPrescription, lewy, drug, pair_series);
+      ExecContext{}, trend::SeriesKind::kPrescription, lewy, drug,
+      pair_series);
   ASSERT_TRUE(analysis.ok());
   EXPECT_TRUE(analysis->has_change);
   EXPECT_NEAR(analysis->change_point,

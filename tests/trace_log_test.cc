@@ -259,8 +259,8 @@ TEST(TraceLogPipelineTest, FourThreadTimelineIsWellFormedAndCountersMatch) {
   }
   EXPECT_TRUE(chunk_paths.count("pipeline/reproduce/em_fit/em-estep"))
       << "EM chunk events missing";
-  EXPECT_TRUE(chunk_paths.count("pipeline/detect/trend-analyze"))
-      << "per-series analysis chunk events missing";
+  EXPECT_TRUE(chunk_paths.count("pipeline/detect/trend-sweep"))
+      << "candidate sweep chunk events missing";
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 #include "trend/trend_analyzer.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace mic::trend {
 namespace {
@@ -34,7 +38,7 @@ TrendAnalyzerOptions FastOptions() {
 TEST(TrendAnalyzerTest, DetectsBreakInSingleSeries) {
   TrendAnalyzer analyzer(FastOptions());
   const auto x = Series(43, 50.0, 20, 6.0, 2.0, 7);
-  auto analysis = analyzer.AnalyzeSeries(SeriesKind::kPrescription,
+  auto analysis = analyzer.AnalyzeSeries(ExecContext{}, SeriesKind::kPrescription,
                                          DiseaseId(0), MedicineId(0), x);
   ASSERT_TRUE(analysis.ok());
   EXPECT_TRUE(analysis->has_change);
@@ -48,7 +52,7 @@ TEST(TrendAnalyzerTest, DetectsBreakInSingleSeries) {
 TEST(TrendAnalyzerTest, FlatSeriesHasNoChange) {
   TrendAnalyzer analyzer(FastOptions());
   const auto x = Series(43, 30.0, -1, 0.0, 1.0, 11);
-  auto analysis = analyzer.AnalyzeSeries(SeriesKind::kDisease,
+  auto analysis = analyzer.AnalyzeSeries(ExecContext{}, SeriesKind::kDisease,
                                          DiseaseId(0), MedicineId(), x);
   ASSERT_TRUE(analysis.ok());
   EXPECT_FALSE(analysis->has_change);
@@ -66,7 +70,7 @@ TEST(TrendAnalyzerTest, AnalyzeAllCoversEverySeries) {
     set.Add(DiseaseId(1), MedicineId(1), t, flat[t]);
   }
   TrendAnalyzer analyzer(FastOptions());
-  auto report = analyzer.AnalyzeAll(set);
+  auto report = analyzer.AnalyzeAll(ExecContext{}, set);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->prescriptions.size(), 2u);
   EXPECT_EQ(report->diseases.size(), 2u);
@@ -176,6 +180,99 @@ TEST(TrendAnalyzerTest, CauseNamesAreStable) {
             "prescription-derived");
 }
 
+void ExpectAnalysesBitIdentical(
+    const std::vector<SeriesAnalysis>& a,
+    const std::vector<SeriesAnalysis>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto bits = [](double value) {
+    return std::bit_cast<std::uint64_t>(value);
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_TRUE(a[i].disease == b[i].disease);
+    EXPECT_TRUE(a[i].medicine == b[i].medicine);
+    EXPECT_EQ(a[i].has_change, b[i].has_change);
+    EXPECT_EQ(a[i].change_point, b[i].change_point);
+    EXPECT_EQ(bits(a[i].lambda), bits(b[i].lambda));
+    EXPECT_EQ(bits(a[i].aic), bits(b[i].aic));
+    EXPECT_EQ(bits(a[i].aic_without_intervention),
+              bits(b[i].aic_without_intervention));
+    EXPECT_EQ(bits(a[i].scale), bits(b[i].scale));
+    EXPECT_EQ(a[i].fits_performed, b[i].fits_performed);
+  }
+}
+
+TEST(TrendAnalyzerTest, AnalyzeAllByteIdenticalAcrossThreadCounts) {
+  // The candidate-level wavefront must reproduce the report — every
+  // field of every analysis, plus the counters — bit for bit at any
+  // pool width. Mix breaking, flat, and degenerate (constant) series
+  // over both search algorithms to cover the machine's branches.
+  medmodel::SeriesSet set(43);
+  const auto broken = Series(43, 40.0, 18, 5.0, 1.5, 3);
+  const auto flat = Series(43, 40.0, -1, 0.0, 1.5, 4);
+  const auto late_break = Series(43, 25.0, 35, 7.0, 1.0, 5);
+  for (int t = 0; t < 43; ++t) {
+    set.Add(DiseaseId(0), MedicineId(0), t, broken[t]);
+    set.Add(DiseaseId(1), MedicineId(1), t, flat[t]);
+    set.Add(DiseaseId(2), MedicineId(2), t, late_break[t]);
+    set.Add(DiseaseId(0), MedicineId(2), t, 40.0);  // Constant: sd = 0.
+  }
+  for (bool approximate : {false, true}) {
+    TrendAnalyzerOptions options = FastOptions();
+    options.use_approximate = approximate;
+    TrendAnalyzer analyzer(options);
+
+    auto run = [&](int threads, obs::MetricsRegistry* metrics) {
+      runtime::ThreadPool pool(threads);
+      ExecContext context;
+      context.pool = &pool;
+      context.metrics = metrics;
+      auto report = analyzer.AnalyzeAll(context, set);
+      EXPECT_TRUE(report.ok()) << report.status();
+      return std::move(report).value();
+    };
+
+    obs::MetricsRegistry metrics1, metrics4, metrics8;
+    const TrendReport at1 = run(1, &metrics1);
+    const TrendReport at4 = run(4, &metrics4);
+    const TrendReport at8 = run(8, &metrics8);
+    ExpectAnalysesBitIdentical(at1.diseases, at4.diseases);
+    ExpectAnalysesBitIdentical(at1.medicines, at4.medicines);
+    ExpectAnalysesBitIdentical(at1.prescriptions, at4.prescriptions);
+    ExpectAnalysesBitIdentical(at1.diseases, at8.diseases);
+    ExpectAnalysesBitIdentical(at1.medicines, at8.medicines);
+    ExpectAnalysesBitIdentical(at1.prescriptions, at8.prescriptions);
+    EXPECT_EQ(metrics1.CountersToJson(), metrics4.CountersToJson());
+    EXPECT_EQ(metrics1.CountersToJson(), metrics8.CountersToJson());
+  }
+}
+
+TEST(TrendAnalyzerTest, AnalyzeAllMatchesSerialAnalyzeSeries) {
+  // The wavefront AnalyzeAll and the serial AnalyzeSeries drive the
+  // same detector machine; spot-check they agree field for field.
+  medmodel::SeriesSet set(43);
+  const auto broken = Series(43, 40.0, 18, 5.0, 1.5, 3);
+  for (int t = 0; t < 43; ++t) {
+    set.Add(DiseaseId(0), MedicineId(0), t, broken[t]);
+  }
+  TrendAnalyzer analyzer(FastOptions());
+  auto report = analyzer.AnalyzeAll(ExecContext{}, set);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->prescriptions.size(), 1u);
+  auto single = analyzer.AnalyzeSeries(
+      ExecContext{}, SeriesKind::kPrescription, DiseaseId(0),
+      MedicineId(0), broken);
+  ASSERT_TRUE(single.ok());
+  const SeriesAnalysis& a = report->prescriptions[0];
+  EXPECT_EQ(a.has_change, single->has_change);
+  EXPECT_EQ(a.change_point, single->change_point);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.lambda),
+            std::bit_cast<std::uint64_t>(single->lambda));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.aic),
+            std::bit_cast<std::uint64_t>(single->aic));
+  EXPECT_EQ(a.fits_performed, single->fits_performed);
+}
+
 TEST(TrendAnalyzerTest, ApproximateAndExactAgreeOnStrongBreak) {
   const auto x = Series(43, 20.0, 24, 8.0, 1.0, 17);
   TrendAnalyzerOptions exact_options = FastOptions();
@@ -183,9 +280,11 @@ TEST(TrendAnalyzerTest, ApproximateAndExactAgreeOnStrongBreak) {
   TrendAnalyzer exact(exact_options);
   TrendAnalyzer approximate(FastOptions());
   auto exact_analysis = exact.AnalyzeSeries(
-      SeriesKind::kPrescription, DiseaseId(0), MedicineId(0), x);
+      ExecContext{}, SeriesKind::kPrescription, DiseaseId(0), MedicineId(0),
+      x);
   auto approximate_analysis = approximate.AnalyzeSeries(
-      SeriesKind::kPrescription, DiseaseId(0), MedicineId(0), x);
+      ExecContext{}, SeriesKind::kPrescription, DiseaseId(0), MedicineId(0),
+      x);
   ASSERT_TRUE(exact_analysis.ok());
   ASSERT_TRUE(approximate_analysis.ok());
   EXPECT_TRUE(exact_analysis->has_change);

@@ -311,7 +311,7 @@ int RunDetect(const Flags& flags) {
     analyzer_options.detector = *options;
     analyzer_options.use_approximate = !*exact;
     trend::TrendAnalyzer analyzer(analyzer_options);
-    auto report = analyzer.AnalyzeAll(*series, run->context());
+    auto report = analyzer.AnalyzeAll(run->context(), *series);
     if (!report.ok()) return Fail(report.status());
     auto emit_analysis = [&](const trend::SeriesAnalysis& analysis) {
       std::printf("%s,%s,%s,%d,%d,%.3f,%.3f,%.3f\n",
