@@ -1,0 +1,374 @@
+// Load bench for `mictrend serve`: requests/sec and tail latency of the
+// snapshot-swapped query daemon, with one live monthly ingest landing
+// mid-run. The headline numbers:
+//
+//   - rps_rate / p50 / p99 / max client-observed latency over a mixed
+//     query stream (health + top_changes + report_csv) from N
+//     concurrent connections;
+//   - swap_drain_seconds: how long Publish() waited for in-flight
+//     readers of the superseded snapshot (the RCU swap stall);
+//   - identical: the served report CSV byte-compared against the
+//     offline `mictrend pipeline` twin both before and after the
+//     ingest (1 = both matched), using the same cache chaining the
+//     daemon performs (cold seed at version 1, warm rebuild at 2).
+//
+// Extra scale knobs next to the bench_util ones:
+//   MICTREND_BENCH_SERVE_CLIENTS    concurrent client connections (4)
+//   MICTREND_BENCH_SERVE_REQUESTS   requests per client (50)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "cache/cache_store.h"
+#include "common/exec_context.h"
+#include "mic/io.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "store/claim_store.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "trend/pipeline.h"
+#include "trend/report_io.h"
+
+namespace mic {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSeedMonths = 12;   // store contents at daemon start
+constexpr int kTotalMonths = 13;  // month 12 arrives via live ingest
+
+trend::PipelineConfig MakeConfig(const std::string& store_dir,
+                                 const std::string& cache_dir) {
+  trend::PipelineConfig config;
+  config.reproducer.filter_options.min_disease_count = 5;
+  config.reproducer.filter_options.min_medicine_count = 5;
+  config.reproducer.min_series_total = 10.0;
+  config.analyzer.detector.seasonal = false;  // 12-month seed window
+  config.analyzer.detector.fit.optimizer.max_evaluations = 160;
+  config.store.directory = store_dir;
+  config.cache.mode = cache::CacheMode::kReadWrite;
+  config.cache.directory = cache_dir;
+  return config;
+}
+
+MicCorpus ParseCorpus(const std::string& corpus_csv,
+                      const std::string& hospitals_csv) {
+  auto corpus = ReadCorpusCsvFile(corpus_csv);
+  MIC_CHECK(corpus.ok()) << corpus.status();
+  std::ifstream in(hospitals_csv);
+  MIC_CHECK(in.good()) << "cannot open " << hospitals_csv;
+  auto joined = ReadHospitalsCsv(in, corpus->catalog());
+  MIC_CHECK(joined.ok()) << joined;
+  return std::move(*corpus);
+}
+
+// The offline twin of one daemon rebuild: RunPipeline over the parsed
+// corpus with the given cache (the same cold-then-warm chaining the
+// daemon's snapshot builds perform), serialized as report_io CSV.
+std::string OfflineReportCsv(const MicCorpus& corpus,
+                             const trend::PipelineConfig& config,
+                             cache::CacheStore* cache) {
+  ExecContext context;
+  context.cache = cache;
+  auto result = trend::RunPipeline(corpus, config, context);
+  MIC_CHECK(result.ok()) << result.status();
+  std::ostringstream csv;
+  trend::TrendAnalyzer analyzer(config.analyzer);
+  auto written = trend::WriteReportCsv(result->report, analyzer,
+                                       corpus.catalog(), csv);
+  MIC_CHECK(written.ok()) << written;
+  return csv.str();
+}
+
+serve::JsonValue MakeRequest(const char* op) {
+  serve::JsonValue request = serve::JsonValue::Object();
+  request.Set("op", serve::JsonValue::String(op));
+  return request;
+}
+
+// The per-client query mix, deterministic in the request index: mostly
+// cheap health probes, some ranked-change queries, a periodic full
+// report download.
+serve::JsonValue MixedRequest(int index) {
+  if (index % 10 == 0) return MakeRequest("report_csv");
+  if (index % 3 == 0) {
+    serve::JsonValue request = MakeRequest("top_changes");
+    request.Set("k", serve::JsonValue::Int(5));
+    return request;
+  }
+  return MakeRequest("health");
+}
+
+struct ClientResult {
+  std::vector<double> latencies_seconds;
+  int errors = 0;
+};
+
+void RunClient(int port, int requests, int client_index,
+               ClientResult* result) {
+  auto fd = serve::ConnectTcp("127.0.0.1", port);
+  if (!fd.ok()) {
+    result->errors = requests;
+    return;
+  }
+  serve::WireLimits limits;
+  limits.timeout_ms = 60000;
+  result->latencies_seconds.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    const serve::JsonValue request = MixedRequest(i + client_index);
+    const auto start = Clock::now();
+    auto response = serve::RoundTrip(*fd, request, limits);
+    result->latencies_seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+    if (!response.ok() || !response->GetBool("ok", false)) {
+      ++result->errors;
+    }
+  }
+  close(*fd);
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int Main() {
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  const int clients = static_cast<int>(
+      bench::EnvInt("MICTREND_BENCH_SERVE_CLIENTS", 4));
+  const int requests_per_client = static_cast<int>(
+      bench::EnvInt("MICTREND_BENCH_SERVE_REQUESTS", 50));
+  bench::BenchReport report("serve", scale);
+
+  bench::PrintHeader(StrFormat(
+      "mictrend serve load bench: %d clients x %d requests, "
+      "one live ingest mid-run",
+      clients, requests_per_client));
+
+  // ---- the world: a 13-month store seed + the arriving month --------
+  const fs::path work =
+      fs::temp_directory_path() / "mictrend_bench_serve";
+  std::error_code ec;
+  fs::remove_all(work, ec);
+  fs::create_directories(work);
+
+  synth::PaperWorldOptions world_options;
+  world_options.num_months = kTotalMonths;
+  world_options.seed = scale.seed;
+  world_options.num_patients = scale.patients;
+  world_options.num_background_diseases = scale.background_diseases;
+  auto world = synth::MakePaperWorld(world_options);
+  MIC_CHECK(world.ok()) << world.status();
+  synth::ClaimGenerator generator(&*world);
+  auto generated = generator.Generate();
+  MIC_CHECK(generated.ok()) << generated.status();
+
+  const std::string hospitals_csv = (work / "hospitals.csv").string();
+  const std::string corpus12_csv = (work / "corpus12.csv").string();
+  const std::string corpus13_csv = (work / "corpus13.csv").string();
+  {
+    std::ofstream out(hospitals_csv);
+    MIC_CHECK(
+        WriteHospitalsCsv(generated->corpus.catalog(), out).ok());
+  }
+  MIC_CHECK(WriteCorpusCsvFile(generated->corpus, corpus13_csv).ok());
+  {
+    MicCorpus prefix(generated->corpus.shared_catalog());
+    for (int t = 0; t < kSeedMonths; ++t) {
+      MIC_CHECK(prefix.AddMonth(generated->corpus.month(t)).ok());
+    }
+    MIC_CHECK(WriteCorpusCsvFile(prefix, corpus12_csv).ok());
+  }
+
+  // Seed the store from the parsed CSV (deployment entity order), like
+  // `mictrend import` would.
+  const std::string store_dir = (work / "store").string();
+  const MicCorpus parsed12 = ParseCorpus(corpus12_csv, hospitals_csv);
+  {
+    auto store = store::ClaimStore::Open(store_dir);
+    MIC_CHECK(store.ok()) << store.status();
+    auto imported = store::ImportCorpus(parsed12, *store);
+    MIC_CHECK(imported.ok()) << imported.status();
+  }
+
+  // ---- offline references (the byte-identity gate) ------------------
+  const trend::PipelineConfig offline_config =
+      MakeConfig(store_dir, (work / "cache_offline").string());
+  cache::CacheStore offline_cache(offline_config.cache.directory,
+                                  cache::CacheMode::kReadWrite);
+  MIC_CHECK(offline_cache.Open().ok());
+  const auto offline_start = Clock::now();
+  const std::string offline12 =
+      OfflineReportCsv(parsed12, offline_config, &offline_cache);
+  const std::string offline13 = OfflineReportCsv(
+      ParseCorpus(corpus13_csv, hospitals_csv), offline_config,
+      &offline_cache);
+  const double offline_seconds =
+      std::chrono::duration<double>(Clock::now() - offline_start).count();
+
+  // ---- the daemon ---------------------------------------------------
+  obs::MetricsRegistry metrics;
+  const trend::PipelineConfig config =
+      MakeConfig(store_dir, (work / "cache_serve").string());
+  cache::CacheStore cache(config.cache.directory,
+                          cache::CacheMode::kReadWrite, &metrics);
+  MIC_CHECK(cache.Open().ok());
+  ExecContext context;
+  context.metrics = &metrics;
+  context.cache = &cache;
+
+  const auto boot_start = Clock::now();
+  auto service = serve::TrendService::Create(config, context);
+  MIC_CHECK(service.ok()) << service.status();
+  const double boot_seconds =
+      std::chrono::duration<double>(Clock::now() - boot_start).count();
+
+  serve::ServerOptions options;
+  // Persistent connections each occupy a worker; size the pool so no
+  // client starves.
+  options.num_workers = clients + 1;
+  options.limits.poll_interval_ms = 20;
+  auto server = serve::TcpServer::Start(service->get(), options);
+  MIC_CHECK(server.ok()) << server.status();
+  const int port = (*server)->port();
+  std::thread serving([&server] { (void)(*server)->Serve(); });
+
+  serve::WireLimits limits;
+  limits.timeout_ms = 60000;
+
+  // Pre-ingest identity: version 1 serves the 12-month offline twin.
+  auto control = serve::ConnectTcp("127.0.0.1", port);
+  MIC_CHECK(control.ok()) << control.status();
+  auto pre = serve::RoundTrip(*control, MakeRequest("report_csv"), limits);
+  MIC_CHECK(pre.ok() && pre->GetBool("ok", false));
+  const bool identical_pre =
+      pre->Find("data")->GetString("csv") == offline12;
+  const std::int64_t months_pre = pre->GetInt("months", -1);
+
+  // ---- the load phase ----------------------------------------------
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  const auto load_start = Clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(RunClient, port, requests_per_client, i,
+                         &results[i]);
+  }
+
+  // Month 12 arrives while the clients are hammering: the live ingest
+  // warm-starts the rebuild and swaps the snapshot under them.
+  serve::JsonValue ingest = MakeRequest("ingest");
+  ingest.Set("corpus", serve::JsonValue::String(corpus13_csv));
+  ingest.Set("hospitals", serve::JsonValue::String(hospitals_csv));
+  const auto ingest_start = Clock::now();
+  auto swapped = serve::RoundTrip(*control, ingest, limits);
+  const double ingest_seconds =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+  MIC_CHECK(swapped.ok()) << swapped.status();
+  MIC_CHECK(swapped->GetBool("ok", false)) << swapped->Serialize();
+  const double swap_drain_seconds =
+      swapped->Find("data")->GetDouble("drain_seconds", -1.0);
+  const std::int64_t ingest_appended =
+      swapped->Find("data")->GetInt("appended", -1);
+
+  for (std::thread& thread : threads) thread.join();
+  const double load_seconds =
+      std::chrono::duration<double>(Clock::now() - load_start).count();
+
+  // Post-ingest identity: version 2 serves the 13-month offline twin.
+  auto post = serve::RoundTrip(*control, MakeRequest("report_csv"), limits);
+  MIC_CHECK(post.ok() && post->GetBool("ok", false));
+  const bool identical_post =
+      post->Find("data")->GetString("csv") == offline13;
+  const std::int64_t months_post = post->GetInt("months", -1);
+
+  auto stopping = serve::RoundTrip(*control, MakeRequest("shutdown"), limits);
+  MIC_CHECK(stopping.ok() && stopping->GetBool("ok", false));
+  close(*control);
+  serving.join();
+
+  // ---- aggregate ----------------------------------------------------
+  std::vector<double> latencies;
+  int errors = 0;
+  for (const ClientResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_seconds.begin(),
+                     result.latencies_seconds.end());
+    errors += result.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double total_requests = static_cast<double>(latencies.size());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double max_latency = latencies.empty() ? 0.0 : latencies.back();
+  const double rps =
+      load_seconds > 0.0 ? total_requests / load_seconds : 0.0;
+  const bool identical = identical_pre && identical_post;
+
+  bench::PrintRule();
+  std::printf("daemon boot (12-month cold pipeline)  %8.3f s\n",
+              boot_seconds);
+  std::printf("offline reference runs                %8.3f s\n",
+              offline_seconds);
+  std::printf("load phase: %4.0f requests             %8.3f s  (%.0f rps)\n",
+              total_requests, load_seconds, rps);
+  std::printf("latency p50 / p99 / max       %8.2f / %.2f / %.2f ms\n",
+              p50 * 1e3, p99 * 1e3, max_latency * 1e3);
+  std::printf("live ingest (warm rebuild + swap)     %8.3f s\n",
+              ingest_seconds);
+  std::printf("snapshot swap drain                   %8.2e s\n",
+              swap_drain_seconds);
+  std::printf("months %lld -> %lld (appended %lld), errors %d\n",
+              static_cast<long long>(months_pre),
+              static_cast<long long>(months_post),
+              static_cast<long long>(ingest_appended), errors);
+  std::printf("byte-identity vs offline pipeline: pre %s, post %s\n",
+              identical_pre ? "OK" : "MISMATCH",
+              identical_post ? "OK" : "MISMATCH");
+  bench::PrintMetricsJson("serve", metrics);
+
+  report.Set("serve", "clients", clients);
+  report.Set("serve", "requests", total_requests);
+  report.Set("serve", "errors", errors);
+  report.Set("serve", "identical", identical ? 1.0 : 0.0);
+  report.Set("serve", "months_pre", static_cast<double>(months_pre));
+  report.Set("serve", "months_post", static_cast<double>(months_post));
+  report.Set("serve", "ingest_appended",
+             static_cast<double>(ingest_appended));
+  report.Set("serve", "boot_seconds", boot_seconds);
+  report.Set("serve", "p50_seconds", p50);
+  report.Set("serve", "p99_seconds", p99);
+  report.Set("serve", "max_seconds", max_latency);
+  report.Set("serve", "rps_rate", rps);
+  report.Set("serve", "ingest_seconds", ingest_seconds);
+  report.Set("serve", "swap_drain_seconds", swap_drain_seconds);
+  report.WriteJsonFromEnv();
+
+  if (!identical || errors != 0) {
+    std::fprintf(stderr, "bench_serve FAILED: identical=%d errors=%d\n",
+                 identical ? 1 : 0, errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mic
+
+int main() { return mic::Main(); }

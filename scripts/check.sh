@@ -5,11 +5,12 @@
 # MICTREND_BENCH_JSON report, and gates the deterministic values
 # against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all presets + bench/cache/store/perf smoke
+#   scripts/check.sh              # all presets + bench/cache/store/serve/perf smoke
 #   scripts/check.sh default      # just one preset
 #   scripts/check.sh bench-smoke  # just the bench regression gate
 #   scripts/check.sh cache-smoke  # just the incremental-cache gate
 #   scripts/check.sh store-smoke  # just the persistent-store gate
+#   scripts/check.sh serve-smoke  # just the trend-query daemon gate
 #   scripts/check.sh perf-smoke   # just the parallel-scaling gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
@@ -18,7 +19,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke perf-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke serve-smoke perf-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -161,6 +162,161 @@ store_smoke() {
   echo "store-smoke OK: store-backed reports byte-identical through append"
 }
 
+# The mictrend serve gate: start the daemon on a 12-month store, ingest
+# month 12 live, and require the served report to byte-match the
+# offline pipeline both before and after the swap. The offline
+# references are produced with the SAME cache chaining the daemon
+# performs (cold 12-month seed, warm 13-month rerun against one cache
+# directory) — a warm rebuild chains each month's EM fit from the
+# previous snapshot, so a cold offline run would produce a different
+# (equally valid) fit and the byte-compare would fail.
+serve_smoke() {
+  echo "==== serve-smoke: daemon query/ingest identity gate ===="
+  if [ ! -x build/tools/mictrend ] || [ ! -x build/bench/bench_serve ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+      -DMICTREND_BUILD_BENCHMARKS=ON
+    cmake --build build -j "$(nproc)" --target mictrend bench_serve
+  fi
+  work="build/serve_smoke_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  bin=build/tools/mictrend
+  # One 13-month world; the daemon starts on the first 12 months and
+  # month 12 arrives through the ingest endpoint while it serves.
+  $bin generate --out "$work/corpus13.csv" \
+    --hospitals-out "$work/hospitals.csv" \
+    --months 13 --patients 250 --background 3 --seed 7
+  awk -F, 'NR == 1 || $1 != 12' "$work/corpus13.csv" > "$work/corpus12.csv"
+  $bin import --corpus "$work/corpus12.csv" \
+    --hospitals "$work/hospitals.csv" --store-dir "$work/store" \
+    | grep -q "imported 12 of 12 months"
+  $bin pipeline --corpus "$work/corpus12.csv" --min-total 5 \
+    --seasonal false --cache rw --cache-dir "$work/cache_offline" \
+    --out "$work/offline12.csv" > /dev/null
+  $bin pipeline --corpus "$work/corpus13.csv" --min-total 5 \
+    --seasonal false --cache rw --cache-dir "$work/cache_offline" \
+    --out "$work/offline13.csv" > /dev/null
+  # Cold 13-month twin for the cache-less tsan daemon round below.
+  $bin pipeline --corpus "$work/corpus13.csv" --min-total 5 \
+    --seasonal false --out "$work/offline13_cold.csv" > /dev/null
+
+  rm -f "$work/port.txt"
+  $bin serve --store-dir "$work/store" --min-total 5 --seasonal false \
+    --cache rw --cache-dir "$work/cache_serve" \
+    --port 0 --port-file "$work/port.txt" --workers 4 \
+    > "$work/serve.log" 2>&1 &
+  pid=$!
+  i=0
+  while [ ! -s "$work/port.txt" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "serve daemon died during startup:" >&2
+      cat "$work/serve.log" >&2
+      exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 240 ]; then
+      echo "serve daemon never wrote the port file" >&2
+      kill "$pid" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.5
+  done
+  port=$(cat "$work/port.txt")
+
+  # Pre-ingest: the served report is the offline 12-month report, byte
+  # for byte.
+  $bin query --port "$port" --op health --out "$work/health12.json"
+  $bin query --port "$port" --op report_csv --out "$work/served12.csv"
+  cmp "$work/offline12.csv" "$work/served12.csv"
+
+  # Live ingest of month 12 (full corpus + hospital attributes), then
+  # the served report must track the offline 13-month twin.
+  $bin query --port "$port" --op ingest --corpus "$work/corpus13.csv" \
+    --hospitals "$work/hospitals.csv" --out "$work/ingest.json"
+  $bin query --port "$port" --op report_csv --out "$work/served13.csv"
+  cmp "$work/offline13.csv" "$work/served13.csv"
+  $bin query --port "$port" --op metrics --out "$work/metrics.json"
+  python3 - "$work/health12.json" "$work/ingest.json" \
+    "$work/metrics.json" << 'EOF'
+import json, sys
+health, ingest, metrics = (json.load(open(p)) for p in sys.argv[1:4])
+assert health["months"] == 12 and health["version"] == 1, health
+assert ingest["months"] == 13 and ingest["version"] == 2, ingest
+assert ingest["data"]["appended"] == 1, ingest
+counters = metrics["data"]["counters"]
+# The rebuild warm-started: the first 12 months came from the cache,
+# not a full refit.
+assert counters["reproduce.snapshot_hits"] >= 12, counters
+assert counters["cache.hits"] > 0, counters
+assert counters["serve.ingest.months_appended"] == 1, counters
+assert counters["serve.snapshots_published"] == 2, counters
+EOF
+
+  # Every query endpoint answers from the new snapshot (names are read
+  # off the served report, so this stays world-agnostic).
+  dis=$(awk -F, '$1 == "disease" { print $2; exit }' "$work/served13.csv")
+  med=$(awk -F, '$1 == "medicine" { print $3; exit }' "$work/served13.csv")
+  $bin query --port "$port" --op series --kind disease \
+    --disease "$dis" > /dev/null
+  $bin query --port "$port" --op top_changes --k 5 > /dev/null
+  $bin query --port "$port" --op geo_spread --medicines "$med" \
+    --snapshot-months 0,6,12 > /dev/null
+  $bin query --port "$port" --op hospital_gap --medicine "$med" \
+    --top-k 3 > /dev/null
+
+  $bin query --port "$port" --op shutdown > /dev/null
+  wait "$pid"
+  grep -q "server stopped" "$work/serve.log"
+
+  # The load bench at the pinned smoke scale, gated against its
+  # committed baseline (deterministic keys must match; timings report).
+  out="build/bench/BENCH_serve.json"
+  MICTREND_BENCH_PATIENTS=200 \
+  MICTREND_BENCH_BACKGROUND=10 \
+  MICTREND_BENCH_MAX_SERIES=12 \
+  MICTREND_BENCH_JSON="$out" \
+    build/bench/bench_serve > build/bench/BENCH_serve.out
+  scripts/bench_compare.sh bench/baselines/BENCH_serve.json "$out"
+
+  # A compact daemon round under ThreadSanitizer when the instrumented
+  # binary is already built (the tsan preset's ctest run covers the
+  # serve_test hammer either way). `wait` surfaces TSan's exit code.
+  if [ -x build-tsan/tools/mictrend ]; then
+    rm -f "$work/tsan_port.txt"
+    build-tsan/tools/mictrend serve --store-dir "$work/store" \
+      --min-total 5 --seasonal false \
+      --port 0 --port-file "$work/tsan_port.txt" --workers 4 \
+      > "$work/serve_tsan.log" 2>&1 &
+    tpid=$!
+    i=0
+    while [ ! -s "$work/tsan_port.txt" ]; do
+      if ! kill -0 "$tpid" 2>/dev/null; then
+        echo "tsan serve daemon died during startup:" >&2
+        cat "$work/serve_tsan.log" >&2
+        exit 1
+      fi
+      i=$((i + 1))
+      if [ "$i" -gt 600 ]; then
+        echo "tsan serve daemon never wrote the port file" >&2
+        kill "$tpid" 2>/dev/null || true
+        exit 1
+      fi
+      sleep 0.5
+    done
+    tport=$(cat "$work/tsan_port.txt")
+    tsan_bin=build-tsan/tools/mictrend
+    $tsan_bin query --port "$tport" --op health > /dev/null
+    $tsan_bin query --port "$tport" --op ingest > /dev/null  # refresh
+    $tsan_bin query --port "$tport" --op report_csv \
+      --out "$work/served_tsan.csv"
+    cmp "$work/offline13_cold.csv" "$work/served_tsan.csv"
+    $tsan_bin query --port "$tport" --op shutdown > /dev/null
+    wait "$tpid"
+    echo "serve-smoke: tsan daemon round clean"
+  fi
+  echo "serve-smoke OK: served reports byte-identical through live ingest"
+}
+
 supports_presets() {
   cmake --list-presets >/dev/null 2>&1
 }
@@ -184,6 +340,10 @@ for preset in $PRESETS; do
   fi
   if [ "$preset" = "store-smoke" ]; then
     store_smoke
+    continue
+  fi
+  if [ "$preset" = "serve-smoke" ]; then
+    serve_smoke
     continue
   fi
   if [ "$preset" = "perf-smoke" ]; then

@@ -1,0 +1,267 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace mic::serve {
+namespace {
+
+/// Transport-level error envelope (codes the service layer never
+/// produces: frame_too_large, overloaded).
+JsonValue TransportError(std::string_view code, std::string message) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(std::string(code)));
+  error.Set("message", JsonValue::String(std::move(message)));
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(false))
+      .Set("error", std::move(error));
+  return response;
+}
+
+/// Best-effort reply on a path that is closing the connection anyway.
+void TryWriteFrame(int fd, const JsonValue& response,
+                   std::size_t max_frame_bytes) {
+  Status status = WriteFrame(fd, response.Serialize(), max_frame_bytes);
+  (void)status;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    TrendService* service, const ServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("TcpServer needs a service");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("invalid port " +
+                                   std::to_string(options.port));
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be at least 1");
+  }
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  const std::string resolved =
+      options.host == "localhost" ? "127.0.0.1" : options.host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   options.host + "'");
+  }
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = std::string("cannot bind ") + resolved +
+                                ":" + std::to_string(options.port) + ": " +
+                                std::strerror(errno);
+    ::close(listen_fd);
+    return Status::IoError(message);
+  }
+  if (::listen(listen_fd, 128) != 0) {
+    const std::string message = std::string("listen failed: ") +
+                                std::strerror(errno);
+    ::close(listen_fd);
+    return Status::IoError(message);
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd,
+                    reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string message = std::string("getsockname failed: ") +
+                                std::strerror(errno);
+    ::close(listen_fd);
+    return Status::IoError(message);
+  }
+  const int port = static_cast<int>(ntohs(bound.sin_port));
+
+  ServerOptions clamped = options;
+  if (clamped.num_workers > SnapshotHub::kMaxReaders) {
+    clamped.num_workers = SnapshotHub::kMaxReaders;
+  }
+  auto server = std::unique_ptr<TcpServer>(
+      new TcpServer(service, clamped, listen_fd, port));
+  server->workers_.reserve(
+      static_cast<std::size_t>(clamped.num_workers));
+  for (int i = 0; i < clamped.num_workers; ++i) {
+    server->workers_.emplace_back([raw = server.get()] {
+      raw->WorkerMain();
+    });
+  }
+  return server;
+}
+
+TcpServer::TcpServer(TrendService* service, const ServerOptions& options,
+                     int listen_fd, int port)
+    : service_(service),
+      options_(options),
+      listen_fd_(listen_fd),
+      port_(port) {}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+void TcpServer::RequestStop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  pending_cv_.notify_all();
+}
+
+Status TcpServer::Serve(const std::atomic<bool>* external_stop) {
+  while (!stop_.load(std::memory_order_seq_cst)) {
+    if (service_->shutdown_requested() ||
+        (external_stop != nullptr &&
+         external_stop->load(std::memory_order_seq_cst))) {
+      break;
+    }
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, options_.limits.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      RequestStop();
+      Shutdown();
+      return Status::IoError(std::string("accept poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      RequestStop();
+      Shutdown();
+      return Status::IoError(std::string("accept failed: ") +
+                             std::strerror(errno));
+    }
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.size() >=
+          static_cast<std::size_t>(options_.max_pending)) {
+        rejected = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (rejected) {
+      obs::Increment(obs::GetCounter(service_->metrics(),
+                                     "serve.rejected.overloaded"));
+      TryWriteFrame(fd,
+                    TransportError("overloaded",
+                                   "connection queue is full; retry"),
+                    options_.limits.max_frame_bytes);
+      ::close(fd);
+      continue;
+    }
+    pending_cv_.notify_one();
+  }
+  RequestStop();
+  Shutdown();
+  return Status::OK();
+}
+
+void TcpServer::WorkerMain() {
+  auto reader = service_->hub().Register();
+  if (!reader.ok()) {
+    // Start() clamps num_workers to the slot count, so this only
+    // happens when something else exhausted the hub; log and bail.
+    MIC_LOG(Warning) << "serve worker could not register a snapshot "
+                        "reader: "
+                     << reader.status();
+    return;
+  }
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      pending_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_seq_cst) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_seq_cst)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd, *reader);
+    ::close(fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd, const SnapshotReader& reader) {
+  for (;;) {
+    Result<std::string> payload = ReadFrame(fd, options_.limits, &stop_);
+    if (!payload.ok()) {
+      const Status status = payload.status();
+      if (status.code() == StatusCode::kFailedPrecondition &&
+          !stop_.load(std::memory_order_seq_cst)) {
+        // Oversized frame: a protocol violation worth answering before
+        // hanging up (the peer's stream position is unrecoverable).
+        TryWriteFrame(fd,
+                      TransportError("frame_too_large", status.message()),
+                      options_.limits.max_frame_bytes);
+      }
+      return;  // clean EOF, stop, timeout, or torn frame: just close
+    }
+    Result<JsonValue> request = JsonValue::Parse(*payload);
+    JsonValue response;
+    if (!request.ok()) {
+      response = TransportError("bad_request", request.status().message());
+    } else {
+      response = service_->Handle(*request, reader);
+    }
+    if (Status status = WriteFrame(fd, response.Serialize(),
+                                   options_.limits.max_frame_bytes);
+        !status.ok()) {
+      return;
+    }
+    if (service_->shutdown_requested()) {
+      // The response to the shutdown request is on the wire; let the
+      // accept loop and the other workers observe the flag.
+      RequestStop();
+      return;
+    }
+  }
+}
+
+void TcpServer::Shutdown() {
+  RequestStop();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(pending_);
+  }
+  for (const int fd : leftover) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace mic::serve

@@ -1,0 +1,132 @@
+// TrendService: the daemon's request handler, independent of any
+// transport. The TCP server (serve/server.h) parses frames into
+// JsonValue requests and hands them here; tests call Handle() directly.
+//
+// Query ops (series / top_changes / geo_spread / hospital_gap /
+// report_csv / health / metrics) run entirely against a pinned
+// WorldSnapshot — no locks, no mutable service state. Mutating ops
+// (ingest) serialize on a mutex, build the next snapshot off the query
+// path, and publish it through the SnapshotHub; queries keep answering
+// from the old snapshot until the swap lands.
+//
+// Every response carries the snapshot's version and month count next to
+// the payload, which is what lets a client (and the hammer test) assert
+// that one response is internally consistent — all fields from one
+// snapshot, never torn across a swap.
+//
+// Observability: each op increments serve.requests.<op>, failures add
+// serve.errors.<op>, latency lands in the serve.latency.<op> timer, and
+// each request runs under a "serve/<op>" span. Ingest additionally
+// maintains serve.ingest.months_appended, serve.snapshots_published,
+// and the serve.swap.drain_seconds gauge (the publish stall).
+
+#ifndef MICTREND_SERVE_SERVICE_H_
+#define MICTREND_SERVE_SERVICE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "store/claim_store.h"
+#include "trend/pipeline.h"
+
+namespace mic::obs {
+class Counter;
+class Timer;
+}  // namespace mic::obs
+
+namespace mic::serve {
+
+/// Protocol version served in `health` responses and checked against a
+/// request's optional "protocol" field (docs/serve_protocol.md states
+/// the compatibility rules).
+inline constexpr std::int64_t kProtocolVersion = 1;
+
+/// Builds the uniform error envelope:
+/// {"ok":false,"error":{"code":"...","message":"..."}}.
+/// Codes: bad_request, not_found, conflict, io_error, internal,
+/// frame_too_large (used by the server), overloaded (ditto).
+JsonValue ErrorEnvelope(const Status& status);
+
+class TrendService {
+ public:
+  /// Opens the claim store named by config.store (which must be
+  /// enabled and non-empty), runs the pipeline once, and publishes
+  /// snapshot version 1. `context` is captured for the lifetime of the
+  /// service: context.cache warm-starts rebuilds, context.metrics
+  /// receives the serve.* metrics (null disables them).
+  static Result<std::unique_ptr<TrendService>> Create(
+      const trend::PipelineConfig& config, const ExecContext& context);
+
+  /// Handles one request. Total: every failure becomes an error
+  /// envelope, so the transport always has a document to write back.
+  /// `reader` is the calling thread's registered hazard slot.
+  JsonValue Handle(const JsonValue& request, const SnapshotReader& reader);
+
+  SnapshotHub& hub() { return hub_; }
+  obs::MetricsRegistry* metrics() const { return context_.metrics; }
+
+  /// Set once a shutdown request was handled; the server polls it.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  TrendService(const trend::PipelineConfig& config,
+               const ExecContext& context, store::ClaimStore store);
+
+  /// Dispatches on request["op"]; status errors bubble up to Handle
+  /// which wraps them in the envelope.
+  Result<JsonValue> Dispatch(const std::string& op,
+                             const JsonValue& request,
+                             const SnapshotReader& reader);
+
+  Result<JsonValue> HandleHealth(const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleMetrics(const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleSeries(const JsonValue& request,
+                                 const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleTopChanges(const JsonValue& request,
+                                     const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleGeoSpread(const JsonValue& request,
+                                    const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleHospitalGap(const JsonValue& request,
+                                      const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleReportCsv(const WorldSnapshot& snapshot);
+  /// Serialized on ingest_mu_. Appends the months of request["corpus"]
+  /// (a server-local CSV path; omitted = reload the store from disk to
+  /// pick up external appends), rebuilds warm via context_.cache, and
+  /// publishes the next snapshot version.
+  Result<JsonValue> HandleIngest(const JsonValue& request);
+
+  /// Pre-resolved per-op metric handles (one row per known op plus a
+  /// trailing catch-all for unknown ops), so the query path never takes
+  /// the registry's name-resolution mutex. All null when the context
+  /// carries no registry.
+  struct OpMetricHandles {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Timer* latency = nullptr;
+  };
+  static constexpr std::size_t kNumOpSlots = 10;
+
+  trend::PipelineConfig config_;
+  ExecContext context_;
+  store::ClaimStore store_;
+  SnapshotHub hub_;
+  std::array<OpMetricHandles, kNumOpSlots> op_metrics_;
+
+  std::mutex ingest_mu_;
+  std::uint64_t next_version_ = 2;  // guarded by ingest_mu_ after Create
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mic::serve
+
+#endif  // MICTREND_SERVE_SERVICE_H_

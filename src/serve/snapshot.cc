@@ -1,0 +1,123 @@
+#include "serve/snapshot.h"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "store/claim_store.h"
+#include "trend/report_io.h"
+
+namespace mic::serve {
+
+// ------------------------------------------------------------ SnapshotReader
+
+SnapshotReader::SnapshotReader(SnapshotReader&& other) noexcept
+    : hub_(other.hub_), slot_(other.slot_) {
+  other.hub_ = nullptr;
+  other.slot_ = -1;
+}
+
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
+  if (this != &other) {
+    if (hub_ != nullptr) hub_->Unregister(slot_);
+    hub_ = other.hub_;
+    slot_ = other.slot_;
+    other.hub_ = nullptr;
+    other.slot_ = -1;
+  }
+  return *this;
+}
+
+SnapshotReader::~SnapshotReader() {
+  if (hub_ != nullptr) hub_->Unregister(slot_);
+}
+
+// --------------------------------------------------------------- SnapshotPin
+
+SnapshotPin::~SnapshotPin() { hub_->ClearPin(slot_); }
+
+// --------------------------------------------------------------- SnapshotHub
+
+SnapshotHub::~SnapshotHub() {
+  delete current_.load(std::memory_order_seq_cst);
+}
+
+Result<SnapshotReader> SnapshotHub::Register() {
+  for (int slot = 0; slot < kMaxReaders; ++slot) {
+    bool expected = false;
+    if (slots_[slot].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_seq_cst)) {
+      return SnapshotReader(this, slot);
+    }
+  }
+  return Status::FailedPrecondition(
+      "all " + std::to_string(kMaxReaders) +
+      " snapshot reader slots are claimed");
+}
+
+void SnapshotHub::Unregister(int slot) {
+  slots_[slot].pointer.store(nullptr, std::memory_order_seq_cst);
+  slots_[slot].claimed.store(false, std::memory_order_seq_cst);
+}
+
+SnapshotPin SnapshotHub::Acquire(const SnapshotReader& reader) {
+  HazardSlot& slot = slots_[reader.slot_];
+  for (;;) {
+    const WorldSnapshot* snapshot =
+        current_.load(std::memory_order_seq_cst);
+    slot.pointer.store(snapshot, std::memory_order_seq_cst);
+    if (current_.load(std::memory_order_seq_cst) == snapshot) {
+      return SnapshotPin(this, reader.slot_, snapshot);
+    }
+    // A publish landed between the load and the recheck; retry against
+    // the new current. The loop is bounded by the publish rate.
+  }
+}
+
+void SnapshotHub::ClearPin(int slot) {
+  slots_[slot].pointer.store(nullptr, std::memory_order_seq_cst);
+}
+
+double SnapshotHub::Publish(const WorldSnapshot* next) {
+  const WorldSnapshot* old =
+      current_.exchange(next, std::memory_order_seq_cst);
+  if (old == nullptr) return 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int slot = 0; slot < kMaxReaders; ++slot) {
+    while (slots_[slot].pointer.load(std::memory_order_seq_cst) == old) {
+      std::this_thread::yield();
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  delete old;
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// ------------------------------------------------------------- BuildSnapshot
+
+Result<const WorldSnapshot*> BuildSnapshot(
+    std::uint64_t version, const store::ClaimStore& store,
+    const trend::PipelineConfig& config, const ExecContext& context) {
+  auto snapshot = std::make_unique<WorldSnapshot>();
+  snapshot->version = version;
+  snapshot->store_fingerprint = store.Fingerprint();
+  MIC_ASSIGN_OR_RETURN(snapshot->corpus, store.OpenWorld());
+  snapshot->months = snapshot->corpus.num_months();
+  MIC_ASSIGN_OR_RETURN(
+      trend::PipelineResult result,
+      trend::RunPipeline(snapshot->corpus, config, context));
+  snapshot->series = std::move(result.series);
+  snapshot->report = std::move(result.report);
+  snapshot->analyzer = trend::TrendAnalyzer(config.analyzer);
+  std::ostringstream csv;
+  MIC_RETURN_IF_ERROR(trend::WriteReportCsv(snapshot->report,
+                                            snapshot->analyzer,
+                                            snapshot->corpus.catalog(),
+                                            csv));
+  snapshot->report_csv = csv.str();
+  return snapshot.release();
+}
+
+}  // namespace mic::serve

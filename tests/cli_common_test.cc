@@ -21,14 +21,15 @@ Flags ParseOrDie(std::vector<std::string> args) {
   return *flags;
 }
 
-TEST(CommandTableTest, CoversAllSixSubcommands) {
+TEST(CommandTableTest, CoversAllEightSubcommands) {
   std::set<std::string> names;
   for (const CommandSpec& command : CommandTable()) {
     names.insert(std::string(command.name));
   }
   EXPECT_EQ(names,
             (std::set<std::string>{"generate", "import", "stats",
-                                   "reproduce", "detect", "pipeline"}));
+                                   "reproduce", "detect", "pipeline",
+                                   "serve", "query"}));
 }
 
 TEST(CommandTableTest, FlagNamesAreUniquePerCommand) {

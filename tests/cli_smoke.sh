@@ -205,6 +205,73 @@ if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" \
 fi
 grep -q "auto, mmap" "$WORK/store_err2.out"
 
+# mictrend serve: a compact daemon round trip against the store seeded
+# above — health, then the served report must byte-match the offline
+# `pipeline --out` artifact (both run cold with the same defaults), then
+# a clean shutdown through the protocol.
+rm -f "$WORK/serve_port.txt"
+"$MICTREND" serve --store-dir "$WORK/store" --min-total 5 \
+  --port 0 --port-file "$WORK/serve_port.txt" --workers 2 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -s "$WORK/serve_port.txt" ]; do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve daemon died during startup:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  i=$((i + 1))
+  if [ "$i" -gt 240 ]; then
+    echo "serve daemon never wrote the port file" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.5
+done
+SERVE_PORT=$(cat "$WORK/serve_port.txt")
+"$MICTREND" query --port "$SERVE_PORT" --op health | grep -q '"ok":true'
+"$MICTREND" query --port "$SERVE_PORT" --op report_csv \
+  --out "$WORK/served.csv"
+cmp "$WORK/report.csv" "$WORK/served.csv"
+# An error envelope exits non-zero and names the code.
+if "$MICTREND" query --port "$SERVE_PORT" --op series --kind disease \
+    --disease no-such-disease > "$WORK/query_err.out" 2>&1; then
+  echo "expected failure for an unknown series name" >&2
+  exit 1
+fi
+grep -q '"not_found"' "$WORK/query_err.out"
+"$MICTREND" query --port "$SERVE_PORT" --op shutdown > /dev/null
+wait "$SERVE_PID"
+grep -q "server stopped" "$WORK/serve.log"
+
+# Every JSON example in the wire-protocol reference must parse: the doc
+# is normative, so a stale example is a test failure.
+PROTOCOL_DOC="$(dirname "$0")/../docs/serve_protocol.md"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PROTOCOL_DOC" << 'EOF'
+import json, sys
+blocks, current = [], None
+for line in open(sys.argv[1]):
+    stripped = line.strip()
+    if current is None and stripped == "```json":
+        current = []
+    elif current is not None and stripped == "```":
+        blocks.append("".join(current))
+        current = None
+    elif current is not None:
+        current.append(line)
+assert current is None, "unterminated ```json fence"
+assert len(blocks) >= 10, f"expected >= 10 JSON examples, found {len(blocks)}"
+for i, block in enumerate(blocks):
+    try:
+        json.loads(block)
+    except Exception as error:
+        raise AssertionError(f"example {i + 1} is not valid JSON: {error}\n{block}")
+print(f"serve_protocol.md: {len(blocks)} JSON examples parse")
+EOF
+fi
+
 # Undeclared flags are rejected, and the usage screen the parser
 # validates against advertises the pipeline detector flags.
 if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" --bogus 2>/dev/null; then

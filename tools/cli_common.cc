@@ -95,6 +95,38 @@ std::vector<CommandSpec> BuildCommandTable() {
     table.push_back({"pipeline",
                      WithExecFlags(std::move(pipeline_flags))});
   }
+  {
+    std::vector<FlagSpec> serve_flags = {{"store-dir", "dir", true},
+                                         {"store", "auto|mmap|file"},
+                                         {"host", "127.0.0.1"},
+                                         {"port", "0"},
+                                         {"port-file", "port.txt"},
+                                         {"workers", "4"},
+                                         {"max-pending", "64"},
+                                         {"min-total", "10"},
+                                         {"coupling", "0"},
+                                         {"model", "proposed|cooccurrence"}};
+    for (FlagSpec& flag : DetectorFlags("4", "3", "approx|exact")) {
+      serve_flags.push_back(flag);
+    }
+    table.push_back({"serve", WithExecFlags(std::move(serve_flags))});
+  }
+  table.push_back(
+      {"query",
+       WithObsFlags({{"port", "N", true},
+                     {"host", "127.0.0.1"},
+                     {"op", "health"},
+                     {"kind", "disease|medicine|prescription|all"},
+                     {"disease", "name"},
+                     {"medicine", "name"},
+                     {"medicines", "a,b"},
+                     {"snapshot-months", "0,5,11"},
+                     {"k", "10"},
+                     {"top-k", "10"},
+                     {"corpus", "corpus.csv"},
+                     {"hospitals", "h.csv"},
+                     {"out", "resp.json"},
+                     {"timeout-ms", "30000"}})});
   return table;
 }
 
@@ -163,7 +195,15 @@ std::string BuildUsageText() {
       "corpus-reading commands at one so they skip the CSV parse, and\n"
       "--store picks the segment backend. Store-ingested runs produce\n"
       "byte-identical reports to CSV runs; a failed store read warns\n"
-      "and falls back to the --corpus CSV.\n";
+      "and falls back to the --corpus CSV.\n"
+      "`serve` holds a store's analyzed world hot behind an immutable\n"
+      "snapshot and answers queries over a length-prefixed JSON TCP\n"
+      "protocol (docs/serve_protocol.md); `query` is the matching\n"
+      "client (--op health|metrics|series|top_changes|geo_spread|\n"
+      "hospital_gap|report_csv|ingest|shutdown). An ingest appends new\n"
+      "months, warm-starts the pipeline via the cache, and swaps the\n"
+      "snapshot atomically; served reports stay byte-identical to\n"
+      "offline `pipeline --out` runs.\n";
   return usage;
 }
 
@@ -301,14 +341,15 @@ Result<trend::PipelineConfig> PipelineConfigFromFlags(
   return config;
 }
 
-Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool) {
+Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool,
+                                 bool force_metrics) {
   CliRun run;
   if (with_pool) {
     MIC_ASSIGN_OR_RETURN(run.pool_, MakePoolFromFlags(flags));
   } else {
     run.pool_ = std::make_unique<runtime::ThreadPool>(1);
   }
-  if (flags.Has("metrics-out")) {
+  if (force_metrics || flags.Has("metrics-out")) {
     run.metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
   if (flags.Has("trace-out")) {

@@ -71,8 +71,12 @@ Result<std::unique_ptr<runtime::ThreadPool>> MakePoolFromFlags(
 class CliRun {
  public:
   /// `with_pool` = false builds a 1-thread (inline) pool for
-  /// subcommands that do no parallel work.
-  static Result<CliRun> FromFlags(const Flags& flags, bool with_pool);
+  /// subcommands that do no parallel work. `force_metrics` creates the
+  /// registry even without --metrics-out — the serve daemon needs one
+  /// for its `metrics` endpoint and the cache.* counters regardless of
+  /// whether the run exports a metrics file at exit.
+  static Result<CliRun> FromFlags(const Flags& flags, bool with_pool,
+                                  bool force_metrics = false);
 
   /// Context for the library entry points. metrics/trace/cache are null
   /// when the matching output was not requested, which keeps the hot

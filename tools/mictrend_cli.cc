@@ -8,9 +8,15 @@
 #include <memory>
 #include <string>
 
+#include <unistd.h>
+
 #include "cache/fingerprint.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "medmodel/series_io.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
 #include "medmodel/timeseries.h"
 #include "mic/io.h"
 #include "obs/metrics.h"
@@ -401,6 +407,138 @@ int RunPipeline(const Flags& flags) {
   return 0;
 }
 
+int RunServe(const Flags& flags) {
+  // force_metrics: the daemon's `metrics` endpoint and the cache.*
+  // warm-start counters need a registry whether or not this run also
+  // exports --metrics-out at exit.
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/true,
+                               /*force_metrics=*/true);
+  if (!run.ok()) return Fail(run.status());
+
+  const DetectorFlagDefaults defaults{4.0, 3, "approx"};
+  auto config = PipelineConfigFromFlags(flags, defaults);
+  if (!config.ok()) return Fail(config.status());
+
+  auto service = serve::TrendService::Create(*config, run->context());
+  if (!service.ok()) return Fail(service.status());
+
+  serve::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  auto port = flags.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  options.port = static_cast<int>(*port);
+  auto workers = flags.GetInt("workers", 4);
+  if (!workers.ok()) return Fail(workers.status());
+  options.num_workers = static_cast<int>(*workers);
+  auto max_pending = flags.GetInt("max-pending", 64);
+  if (!max_pending.ok()) return Fail(max_pending.status());
+  options.max_pending = static_cast<int>(*max_pending);
+
+  auto server = serve::TcpServer::Start(service->get(), options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving on %s:%d (%d workers)\n", options.host.c_str(),
+              (*server)->port(), options.num_workers);
+  std::fflush(stdout);
+  const std::string port_file = flags.GetString("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + port_file));
+    }
+    out << (*server)->port() << "\n";
+  }
+  if (Status status = (*server)->Serve(); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("server stopped\n");
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
+  if (!run.ok()) return Fail(run.status());
+  const std::string op = flags.GetString("op", "health");
+
+  serve::JsonValue request = serve::JsonValue::Object();
+  request.Set("op", serve::JsonValue::String(op));
+  for (const char* key : {"kind", "disease", "medicine", "corpus",
+                          "hospitals"}) {
+    const std::string value = flags.GetString(key);
+    if (!value.empty()) {
+      request.Set(key, serve::JsonValue::String(value));
+    }
+  }
+  if (flags.Has("k")) {
+    auto k = flags.GetInt("k", 10);
+    if (!k.ok()) return Fail(k.status());
+    request.Set("k", serve::JsonValue::Int(*k));
+  }
+  if (flags.Has("top-k")) {
+    auto top_k = flags.GetInt("top-k", 10);
+    if (!top_k.ok()) return Fail(top_k.status());
+    request.Set("top_k", serve::JsonValue::Int(*top_k));
+  }
+  if (flags.Has("medicines")) {
+    serve::JsonValue medicines = serve::JsonValue::Array();
+    for (const std::string& name :
+         Split(flags.GetString("medicines"), ',')) {
+      medicines.Append(serve::JsonValue::String(name));
+    }
+    request.Set("medicines", std::move(medicines));
+  }
+  if (flags.Has("snapshot-months")) {
+    serve::JsonValue months = serve::JsonValue::Array();
+    for (const std::string& month :
+         Split(flags.GetString("snapshot-months"), ',')) {
+      auto parsed = ParseInt64(month);
+      if (!parsed.ok()) return Fail(parsed.status());
+      months.Append(serve::JsonValue::Int(*parsed));
+    }
+    request.Set("snapshot_months", std::move(months));
+  }
+
+  auto port = flags.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  auto fd = serve::ConnectTcp(flags.GetString("host", "127.0.0.1"),
+                              static_cast<int>(*port));
+  if (!fd.ok()) return Fail(fd.status());
+  serve::WireLimits limits;
+  auto timeout = flags.GetInt("timeout-ms", 30000);
+  if (!timeout.ok()) return Fail(timeout.status());
+  limits.timeout_ms = static_cast<int>(*timeout);
+  auto response = serve::RoundTrip(*fd, request, limits);
+  ::close(*fd);
+  if (!response.ok()) return Fail(response.status());
+
+  const bool ok = response->GetBool("ok", false);
+  const std::string out_path = flags.GetString("out");
+  if (ok && op == "report_csv" && !out_path.empty()) {
+    // Raw CSV payload, so the file byte-compares against the offline
+    // `pipeline --out` artifact.
+    const serve::JsonValue* data = response->Find("data");
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + out_path));
+    }
+    out << (data != nullptr ? data->GetString("csv") : "");
+  } else if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + out_path));
+    }
+    out << response->Serialize() << "\n";
+  } else {
+    std::printf("%s\n", response->Serialize().c_str());
+  }
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   ApplyLogLevelFromEnv();
   auto flags = Flags::Parse(argc, argv);
@@ -422,6 +560,8 @@ int Main(int argc, char** argv) {
   if (command == "reproduce") return RunReproduce(*flags);
   if (command == "detect") return RunDetect(*flags);
   if (command == "pipeline") return RunPipeline(*flags);
+  if (command == "serve") return RunServe(*flags);
+  if (command == "query") return RunQuery(*flags);
   return Usage();
 }
 
