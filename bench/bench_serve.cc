@@ -300,6 +300,24 @@ int Main() {
       post->Find("data")->GetString("csv") == offline13;
   const std::int64_t months_post = post->GetInt("months", -1);
 
+  // Windowed telemetry must have seen the load: the stats op reports a
+  // non-zero serve.health window and a positive request rate.
+  auto stats = serve::RoundTrip(*control, MakeRequest("stats"), limits);
+  MIC_CHECK(stats.ok() && stats->GetBool("ok", false))
+      << (stats.ok() ? stats->Serialize() : stats.status().ToString());
+  const serve::JsonValue* windows =
+      stats->Find("data") ? stats->Find("data")->Find("windows") : nullptr;
+  MIC_CHECK(windows != nullptr) << stats->Serialize();
+  const serve::JsonValue* minute = windows->Find("60s");
+  MIC_CHECK(minute != nullptr && minute->Find("serve.health") != nullptr)
+      << stats->Serialize();
+  const double stats_health_count =
+      minute->Find("serve.health")->GetDouble("count", 0.0);
+  const double stats_health_rps =
+      minute->Find("serve.health")->GetDouble("rps", 0.0);
+  MIC_CHECK(stats_health_count > 0.0 && stats_health_rps > 0.0)
+      << stats->Serialize();
+
   auto stopping = serve::RoundTrip(*control, MakeRequest("shutdown"), limits);
   MIC_CHECK(stopping.ok() && stopping->GetBool("ok", false));
   close(*control);
@@ -342,6 +360,8 @@ int Main() {
   std::printf("byte-identity vs offline pipeline: pre %s, post %s\n",
               identical_pre ? "OK" : "MISMATCH",
               identical_post ? "OK" : "MISMATCH");
+  std::printf("stats op: serve.health window count %.0f (%.0f rps)\n",
+              stats_health_count, stats_health_rps);
   bench::PrintMetricsJson("serve", metrics);
 
   report.Set("serve", "clients", clients);
@@ -359,6 +379,7 @@ int Main() {
   report.Set("serve", "rps_rate", rps);
   report.Set("serve", "ingest_seconds", ingest_seconds);
   report.Set("serve", "swap_drain_seconds", swap_drain_seconds);
+  report.Set("serve", "stats_health_rps_rate", stats_health_rps);
   report.WriteJsonFromEnv();
 
   if (!identical || errors != 0) {

@@ -28,6 +28,8 @@
 #ifndef MICTREND_BENCH_BENCH_UTIL_H_
 #define MICTREND_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +37,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/exec_context.h"
@@ -123,7 +126,12 @@ struct BenchScale {
 ///   {"schema_version":1,"bench":"table5",
 ///    "config":{"patients":2000,"background":40,"max_series":60,
 ///              "seed":20190411,"threads":0},
+///    "machine":{"nproc":8,"host":"buildbox"},
 ///    "sections":{"<section>":{"<key>":<number>,...},...}}
+///
+/// "machine" records where the run happened (core count, hostname) so
+/// bench_compare.py can refuse to compare wall-clock timings recorded
+/// on machines with different core counts.
 ///
 /// Sections and keys are emitted in sorted order so two files diff
 /// cleanly. Key-name convention (bench_compare.py keys off it): values
@@ -151,10 +159,19 @@ class BenchReport {
     AppendJsonEscaped(json, name_);
     json += StrFormat(
         "\",\"config\":{\"patients\":%zu,\"background\":%zu,"
-        "\"max_series\":%zu,\"seed\":%llu,\"threads\":%d},\"sections\":{",
+        "\"max_series\":%zu,\"seed\":%llu,\"threads\":%d},",
         scale_.patients, scale_.background_diseases,
         scale_.max_series_per_type,
         static_cast<unsigned long long>(scale_.seed), scale_.threads);
+    // Machine provenance, outside "config" because it describes where
+    // the run happened, not what it computed. bench_compare.py skips
+    // wall-clock comparisons when the core counts differ.
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+    json += StrFormat("\"machine\":{\"nproc\":%u,\"host\":\"",
+                      std::thread::hardware_concurrency());
+    AppendJsonEscaped(json, host);
+    json += "\"},\"sections\":{";
     bool first_section = true;
     for (const auto& [section, keys] : sections_) {
       if (!first_section) json += ',';

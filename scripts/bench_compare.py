@@ -16,6 +16,13 @@ Keys are split by the bench_util.h naming convention:
     (series counts, fit counts, bit-identical flags). Gated at
     --rel-tol relative tolerance (default 1e-9, i.e. exact for counts).
 
+Reports may carry a "machine" object ({"nproc": N, "host": "..."}) —
+timings recorded on machines with different core counts are not
+comparable, so a nproc mismatch downgrades every timing comparison to
+report-only (a loud warning, never a failure) even when --time-factor
+is given. Value keys still gate — determinism doesn't depend on the
+machine. Hostname differences are reported but gate nothing.
+
 Keys present in BASELINE but missing from NEW fail; keys only in NEW
 warn (a bench grew a section -- regenerate the baseline when intended).
 """
@@ -63,6 +70,14 @@ def load_report(path):
     for key in CONFIG_KEYS:
         if not isinstance(config.get(key), (int, float)):
             die(f"config.{key} missing or not a number")
+    machine = report.get("machine")
+    if machine is not None:  # absent in pre-PR-9 reports
+        if not isinstance(machine, dict):
+            die("'machine' is not an object")
+        if not isinstance(machine.get("nproc"), int) or machine["nproc"] < 0:
+            die("machine.nproc missing or not a non-negative integer")
+        if not isinstance(machine.get("host"), str):
+            die("machine.host missing or not a string")
     sections = report.get("sections")
     if not isinstance(sections, dict) or not sections:
         die("missing/empty 'sections' object")
@@ -104,6 +119,31 @@ def main():
                       f"{new['config'][key]} (values are only comparable "
                       f"at identical config)")
 
+    # Machine provenance: timings from machines with different core
+    # counts are not comparable — refuse to gate them, but keep
+    # reporting the drift and keep gating deterministic values.
+    gate_timings = args.time_factor > 0.0
+    old_machine = baseline.get("machine") or {}
+    new_machine = new.get("machine") or {}
+    old_nproc = old_machine.get("nproc")
+    new_nproc = new_machine.get("nproc")
+    if old_nproc is not None and new_nproc is not None \
+            and old_nproc != new_nproc:
+        print(f"bench_compare: WARNING: core-count mismatch: baseline "
+              f"ran on {old_nproc} cores "
+              f"(host {old_machine.get('host', '?')!r}), new on "
+              f"{new_nproc} cores (host {new_machine.get('host', '?')!r})"
+              f" -- timing comparisons are NOT meaningful and will not "
+              f"be gated; re-record the baseline on this machine to "
+              f"gate timings again")
+        gate_timings = False
+    elif old_machine and new_machine \
+            and old_machine.get("host") != new_machine.get("host"):
+        print(f"bench_compare: note: hostname changed "
+              f"({old_machine.get('host')!r} -> "
+              f"{new_machine.get('host')!r}), same core count "
+              f"({old_nproc}); timings compared as usual")
+
     for section, keys in sorted(baseline["sections"].items()):
         new_section = new["sections"].get(section)
         if new_section is None:
@@ -117,8 +157,8 @@ def main():
             new_value = new_section[key]
             if is_timing_key(key):
                 ratio = (new_value / old_value) if old_value else float("inf")
-                gated = args.time_factor > 0.0
-                within = (not gated) or new_value <= old_value * args.time_factor
+                within = (not gate_timings) or \
+                    new_value <= old_value * args.time_factor
                 status = "ok" if within else "FAIL"
                 print(f"bench_compare: [time ] {label}: {old_value:.6g} -> "
                       f"{new_value:.6g} ({ratio:.2f}x) {status}")

@@ -5,13 +5,14 @@
 # MICTREND_BENCH_JSON report, and gates the deterministic values
 # against the committed baseline. Run from the repo root:
 #
-#   scripts/check.sh              # all presets + bench/cache/store/serve/perf smoke
+#   scripts/check.sh              # all presets + bench/cache/store/serve/perf/obs smoke
 #   scripts/check.sh default      # just one preset
 #   scripts/check.sh bench-smoke  # just the bench regression gate
 #   scripts/check.sh cache-smoke  # just the incremental-cache gate
 #   scripts/check.sh store-smoke  # just the persistent-store gate
 #   scripts/check.sh serve-smoke  # just the trend-query daemon gate
 #   scripts/check.sh perf-smoke   # just the parallel-scaling gate
+#   scripts/check.sh obs-smoke    # just the telemetry/OpenMetrics gate
 #
 # Presets come from CMakePresets.json (cmake >= 3.21); on older cmake
 # this falls back to plain -B/-S invocations with the same cache
@@ -19,7 +20,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke serve-smoke perf-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke serve-smoke perf-smoke obs-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -317,6 +318,148 @@ EOF
   echo "serve-smoke OK: served reports byte-identical through live ingest"
 }
 
+# The telemetry gate: a daemon under a little query load must answer
+# lint-clean OpenMetrics on /metrics (twice, so counter monotonicity is
+# checked across scrapes), a parseable /varz whose window payload
+# matches the framed `stats` op structurally, and an access log with
+# one JSON record per request. When the ASan+UBSan build exists, one
+# compact daemon round (health + /metrics scrape + shutdown) runs under
+# it — `wait` surfaces the sanitizer's exit code.
+obs_smoke() {
+  echo "==== obs-smoke: windowed telemetry + OpenMetrics exposition gate ===="
+  if [ ! -x build/tools/mictrend ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$(nproc)" --target mictrend
+  fi
+  work="build/obs_smoke_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  bin=build/tools/mictrend
+  $bin generate --out "$work/corpus.csv" \
+    --hospitals-out "$work/hospitals.csv" \
+    --months 12 --patients 250 --background 3 --seed 7
+  $bin import --corpus "$work/corpus.csv" \
+    --hospitals "$work/hospitals.csv" --store-dir "$work/store" \
+    | grep -q "imported 12 of 12 months"
+
+  rm -f "$work/port.txt"
+  $bin serve --store-dir "$work/store" --min-total 5 --seasonal false \
+    --port 0 --port-file "$work/port.txt" --workers 2 \
+    --access-log "$work/access.jsonl" \
+    > "$work/serve.log" 2>&1 &
+  pid=$!
+  i=0
+  while [ ! -s "$work/port.txt" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "obs-smoke daemon died during startup:" >&2
+      cat "$work/serve.log" >&2
+      exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 240 ]; then
+      echo "obs-smoke daemon never wrote the port file" >&2
+      kill "$pid" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.5
+  done
+  port=$(cat "$work/port.txt")
+
+  # A little framed load so the windows have something to show.
+  $bin query --port "$port" --op health > /dev/null
+  $bin query --port "$port" --op health > /dev/null
+  $bin query --port "$port" --op top_changes --k 3 > /dev/null
+
+  # Two /metrics scrapes with more load in between: the lint checks
+  # both for format violations and the pair for counter monotonicity.
+  fetch() {
+    python3 -c 'import sys, urllib.request
+body = urllib.request.urlopen(sys.argv[1], timeout=30).read()
+sys.stdout.buffer.write(body)' "http://127.0.0.1:$port$1"
+  }
+  fetch /metrics > "$work/scrape1.txt"
+  $bin query --port "$port" --op health > /dev/null
+  $bin query --port "$port" --op stats --out "$work/stats.json"
+  fetch /metrics > "$work/scrape2.txt"
+  python3 scripts/openmetrics_lint.py "$work/scrape1.txt" "$work/scrape2.txt"
+
+  fetch /healthz | grep -qx "ok"
+  fetch /varz > "$work/varz.json"
+  python3 - "$work/varz.json" "$work/stats.json" << 'EOF'
+import json, sys
+varz = json.load(open(sys.argv[1]))
+stats = json.load(open(sys.argv[2]))["data"]
+# /varz and the framed stats op render the same registry: identical
+# window set; every channel the earlier stats payload saw is still in
+# /varz (the HTTP requests in between may have added http.* channels,
+# so equality only holds one way here).
+assert varz["slot_width_seconds"] == stats["slot_width_seconds"], varz
+assert sorted(varz["windows"]) == sorted(stats["windows"]), varz
+for window in varz["windows"]:
+    missing = set(stats["windows"][window]) - set(varz["windows"][window])
+    assert not missing, f"{window}: channels {missing} lost from /varz"
+minute = varz["windows"]["60s"]
+assert minute["serve.health"]["count"] >= 3, minute["serve.health"]
+assert minute["serve.health"]["errors"] == 0, minute["serve.health"]
+assert minute["serve.top_changes"]["count"] >= 1, minute
+EOF
+
+  $bin query --port "$port" --op shutdown > /dev/null
+  wait "$pid"
+
+  # Every request the daemon handled is one JSON line with a unique id.
+  python3 - "$work/access.jsonl" << 'EOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+assert len(records) >= 9, f"expected >= 9 access records, got {len(records)}"
+ids = [record["id"] for record in records]
+assert len(set(ids)) == len(ids), "duplicate request ids in access log"
+endpoints = {record["endpoint"] for record in records}
+assert "health" in endpoints and "/metrics" in endpoints, endpoints
+for record in records:
+    assert "latency_seconds" in record and "ts" in record, record
+EOF
+  echo "obs-smoke: access log complete with unique request ids"
+
+  # One daemon round under ASan+UBSan when the instrumented binary is
+  # already built.
+  if [ -x build-asan/tools/mictrend ]; then
+    rm -f "$work/asan_port.txt"
+    build-asan/tools/mictrend serve --store-dir "$work/store" \
+      --min-total 5 --seasonal false \
+      --port 0 --port-file "$work/asan_port.txt" --workers 2 \
+      --access-log "$work/access_asan.jsonl" \
+      > "$work/serve_asan.log" 2>&1 &
+    apid=$!
+    i=0
+    while [ ! -s "$work/asan_port.txt" ]; do
+      if ! kill -0 "$apid" 2>/dev/null; then
+        echo "asan obs daemon died during startup:" >&2
+        cat "$work/serve_asan.log" >&2
+        exit 1
+      fi
+      i=$((i + 1))
+      if [ "$i" -gt 600 ]; then
+        echo "asan obs daemon never wrote the port file" >&2
+        kill "$apid" 2>/dev/null || true
+        exit 1
+      fi
+      sleep 0.5
+    done
+    aport=$(cat "$work/asan_port.txt")
+    build-asan/tools/mictrend query --port "$aport" --op health > /dev/null
+    build-asan/tools/mictrend query --port "$aport" --op stats > /dev/null
+    python3 -c 'import sys, urllib.request
+body = urllib.request.urlopen(sys.argv[1], timeout=60).read()
+assert body.endswith(b"# EOF\n"), body[-80:]' \
+      "http://127.0.0.1:$aport/metrics"
+    build-asan/tools/mictrend query --port "$aport" --op shutdown > /dev/null
+    wait "$apid"
+    echo "obs-smoke: asan daemon round clean"
+  fi
+  echo "obs-smoke OK: lint-clean exposition, matching stats/varz, full access log"
+}
+
 supports_presets() {
   cmake --list-presets >/dev/null 2>&1
 }
@@ -348,6 +491,10 @@ for preset in $PRESETS; do
   fi
   if [ "$preset" = "perf-smoke" ]; then
     perf_smoke
+    continue
+  fi
+  if [ "$preset" = "obs-smoke" ]; then
+    obs_smoke
     continue
   fi
   echo "==== ${preset}: configure + build + test ===="

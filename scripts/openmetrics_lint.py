@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics exposition (the daemon's GET /metrics body).
+
+Usage:
+    openmetrics_lint.py SCRAPE1 [SCRAPE2]
+
+Checks the subset of the OpenMetrics 1.0 text format that
+RenderOpenMetrics() emits:
+
+  * the body is valid UTF-8 and its final line is exactly `# EOF`;
+  * every sample belongs to a family with a `# TYPE` (and `# HELP`)
+    declared before its first sample, HELP before TYPE, neither
+    repeated;
+  * metric and label names are legal, label values use only the
+    three escapes the spec allows (\\\\, \\", \\n), and sample values
+    parse as floats;
+  * counter families expose only `_total`-suffixed samples,
+    histogram families only `_bucket`/`_count`/`_sum`, and
+    `_bucket` series carry an `le` label with non-decreasing
+    cumulative counts ending at `le="+Inf"`.
+
+With a second scrape of the same endpoint, additionally checks that
+every counter series present in both is monotone (value in SCRAPE2 >=
+value in SCRAPE1) — the property Prometheus rate() depends on.
+
+Exit status 0 when clean; 1 with one `openmetrics_lint: FAIL:` line
+per violation otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" where value contains no raw " or \ except as
+# one of the three legal escapes.
+LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\\\|\\"|\\n)*)"')
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(\s+\S+)?$")
+
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "unknown")
+# Sample-name suffixes each type may emit (empty string = bare name).
+TYPE_SUFFIXES = {
+    "counter": ("_total", "_created"),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum", "_created"),
+    "summary": ("", "_count", "_sum", "_created"),
+    "unknown": ("",),
+}
+
+
+class Lint:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        # family -> "counter" | "gauge" | ...
+        self.types = {}
+        self.helped = set()
+        # (family, sample-name, sorted-label-tuple) -> value, for the
+        # cross-scrape monotonicity check and duplicate detection.
+        self.series = {}
+
+    def fail(self, line_no, message):
+        self.errors.append(f"{self.path}:{line_no}: {message}")
+
+    def family_of(self, sample_name):
+        """Longest declared family this sample name belongs to."""
+        best = None
+        for family, family_type in self.types.items():
+            for suffix in TYPE_SUFFIXES[family_type]:
+                if sample_name == family + suffix:
+                    if best is None or len(family) > len(best):
+                        best = family
+        return best
+
+
+def parse_labels(lint, line_no, labels_text):
+    """Parses `{a="b",...}` strictly; returns sorted tuple or None."""
+    inner = labels_text[1:-1]
+    if inner == "":
+        return ()
+    pairs = []
+    position = 0
+    while position < len(inner):
+        match = LABEL_PAIR.match(inner, position)
+        if not match:
+            lint.fail(line_no,
+                      f"malformed or badly escaped label at ...{inner[position:]!r}")
+            return None
+        pairs.append((match.group(1), match.group(2)))
+        position = match.end()
+        if position < len(inner):
+            if inner[position] != ",":
+                lint.fail(line_no, f"expected ',' between labels in {inner!r}")
+                return None
+            position += 1
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        lint.fail(line_no, f"duplicate label name in {inner!r}")
+        return None
+    return tuple(sorted(pairs))
+
+
+def lint_file(path):
+    lint = Lint(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
+        lint.fail(0, f"cannot read: {error}")
+        return lint
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        lint.fail(0, f"not valid UTF-8: {error}")
+        return lint
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # the trailing newline after "# EOF"
+    else:
+        lint.fail(len(lines), "body does not end with a newline")
+    if not lines or lines[-1] != "# EOF":
+        lint.fail(len(lines), "final line is not '# EOF'")
+
+    seen_eof = False
+    # family -> list of (le-as-float, cumulative count) for bucket order
+    buckets = {}
+    for line_no, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if seen_eof:
+                lint.fail(line_no, "multiple '# EOF' lines")
+            seen_eof = True
+            continue
+        if seen_eof:
+            lint.fail(line_no, "content after '# EOF'")
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            family = parts[0]
+            if not METRIC_NAME.match(family):
+                lint.fail(line_no, f"bad metric name in HELP: {family!r}")
+            if family in lint.helped:
+                lint.fail(line_no, f"duplicate HELP for {family!r}")
+            if family in lint.types:
+                lint.fail(line_no, f"HELP for {family!r} after its TYPE")
+            lint.helped.add(family)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                lint.fail(line_no, f"malformed TYPE line: {line!r}")
+                continue
+            family, family_type = parts
+            if not METRIC_NAME.match(family):
+                lint.fail(line_no, f"bad metric name in TYPE: {family!r}")
+                continue
+            if family_type not in KNOWN_TYPES:
+                lint.fail(line_no, f"unknown type {family_type!r}")
+                continue
+            if family in lint.types:
+                lint.fail(line_no, f"duplicate TYPE for {family!r}")
+            if family not in lint.helped:
+                lint.fail(line_no, f"TYPE for {family!r} without prior HELP")
+            lint.types[family] = family_type
+            continue
+        if line.startswith("#"):
+            lint.fail(line_no, f"unrecognized comment line: {line!r}")
+            continue
+        if line.strip() == "":
+            lint.fail(line_no, "blank line (not allowed in OpenMetrics)")
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            lint.fail(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name, labels_text, value_text = match.group(1), match.group(2), \
+            match.group(3)
+        family = lint.family_of(name)
+        if family is None:
+            lint.fail(line_no, f"sample {name!r} has no preceding TYPE "
+                               f"for its family")
+            continue
+        labels = parse_labels(lint, line_no, labels_text) \
+            if labels_text else ()
+        if labels is None:
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            lint.fail(line_no, f"sample value {value_text!r} is not a number")
+            continue
+
+        key = (family, name, labels)
+        if key in lint.series:
+            lint.fail(line_no, f"duplicate series {name}{labels_text or ''}")
+        lint.series[key] = value
+
+        family_type = lint.types[family]
+        if family_type == "counter":
+            if value < 0:
+                lint.fail(line_no, f"counter {name!r} is negative")
+        if family_type == "histogram" and name == family + "_bucket":
+            label_map = dict(labels)
+            if "le" not in label_map:
+                lint.fail(line_no, f"histogram bucket {name!r} missing "
+                                   f"'le' label")
+                continue
+            le_text = label_map["le"]
+            le = float("inf") if le_text == "+Inf" else None
+            if le is None:
+                try:
+                    le = float(le_text)
+                except ValueError:
+                    lint.fail(line_no, f"bad le value {le_text!r}")
+                    continue
+            rest = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            buckets.setdefault((family, rest), []).append(
+                (line_no, le, value))
+
+    for (family, _), entries in sorted(buckets.items()):
+        previous_le, previous_count = None, None
+        for line_no, le, count in entries:  # renderer emits in le order
+            if previous_le is not None and le <= previous_le:
+                lint.fail(line_no, f"{family}_bucket le values not "
+                                   f"increasing ({previous_le} -> {le})")
+            if previous_count is not None and count < previous_count:
+                lint.fail(line_no, f"{family}_bucket counts not cumulative "
+                                   f"({previous_count} -> {count})")
+            previous_le, previous_count = le, count
+        if previous_le != float("inf"):
+            lint.fail(entries[-1][0],
+                      f"{family}_bucket series does not end at le=\"+Inf\"")
+    return lint
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__.strip().split("\n")[2].strip())
+    lints = [lint_file(path) for path in sys.argv[1:]]
+
+    errors = []
+    for lint in lints:
+        errors.extend(lint.errors)
+
+    if len(lints) == 2:
+        first, second = lints
+        compared = 0
+        for key, old_value in sorted(first.series.items()):
+            family, name, labels = key
+            if first.types.get(family) != "counter":
+                continue
+            if second.types.get(family) != "counter":
+                errors.append(f"{second.path}: counter family {family!r} "
+                              f"disappeared or changed type")
+                continue
+            if key not in second.series:
+                errors.append(f"{second.path}: counter series {name}"
+                              f"{dict(labels)} disappeared between scrapes")
+                continue
+            compared += 1
+            if second.series[key] < old_value:
+                errors.append(
+                    f"{second.path}: counter {name}{dict(labels)} went "
+                    f"backwards: {old_value} -> {second.series[key]}")
+        print(f"openmetrics_lint: {compared} counter series checked for "
+              f"monotonicity across the two scrapes")
+
+    for error in errors:
+        print(f"openmetrics_lint: FAIL: {error}")
+    if errors:
+        return 1
+    total = sum(len(lint.series) for lint in lints)
+    print(f"openmetrics_lint: OK ({total} samples across "
+          f"{len(lints)} scrape{'s' if len(lints) > 1 else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

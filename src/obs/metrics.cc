@@ -66,6 +66,14 @@ Histogram::Histogram(std::vector<double> edges)
   for (std::size_t i = 0; i <= edges_.size(); ++i) buckets_[i] = 0;
 }
 
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 void Histogram::Observe(double value) {
   const auto it =
       std::lower_bound(edges_.begin(), edges_.end(), value);
@@ -199,6 +207,58 @@ std::string MetricsRegistry::ToCsv() const {
              (i < edges.size() ? FormatDouble(edges[i]) : "inf") + ',' +
              FormatUint(histogram->bucket_count(i)) + '\n';
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::TimerValue>>
+MetricsRegistry::SnapshotTimers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, TimerValue>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    out.emplace_back(name, TimerValue{timer->count(), timer->seconds()});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::HistogramValue>>
+MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramValue>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramValue value;
+    value.edges = histogram->edges();
+    value.buckets.reserve(value.edges.size() + 1);
+    for (std::size_t i = 0; i <= value.edges.size(); ++i) {
+      value.buckets.push_back(histogram->bucket_count(i));
+    }
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    out.emplace_back(name, std::move(value));
   }
   return out;
 }

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -115,7 +116,16 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
+  // The windowed layer (window.h) embeds histograms in its slot ring
+  // and recycles them as the window slides, which needs the private
+  // constructor and Reset().
+  friend class WindowedChannel;
   explicit Histogram(std::vector<double> edges);
+
+  /// Zeroes every bucket, the count, and the sum. Only the windowed
+  /// layer calls this (on slot turnover); registry-owned histograms are
+  /// cumulative for the process lifetime.
+  void Reset();
 
   std::vector<double> edges_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
@@ -157,6 +167,26 @@ class MetricsRegistry {
 
   /// CSV snapshot, one `kind,name,field,value` row per scalar.
   std::string ToCsv() const;
+
+  /// Point-in-time copies of every metric, name-ascending. These feed
+  /// exposition formats that need to iterate (the OpenMetrics renderer
+  /// in openmetrics.h); the registry mutex is held only while copying.
+  struct TimerValue {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  struct HistogramValue {
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets;  // edges.size() + 1 (+inf last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters()
+      const;
+  std::vector<std::pair<std::string, double>> SnapshotGauges() const;
+  std::vector<std::pair<std::string, TimerValue>> SnapshotTimers() const;
+  std::vector<std::pair<std::string, HistogramValue>> SnapshotHistograms()
+      const;
 
  private:
   mutable std::mutex mu_;

@@ -60,15 +60,17 @@ void TraceLog::Push(TraceEvent::Phase phase, std::string_view name,
   event.ts_ns = NowNs();
   event.name.assign(name);
   event.chunk = chunk;
+  const std::uint64_t pushed =
+      buffer->pushed.load(std::memory_order_relaxed);
   if (buffer->ring.size() < capacity_) {
     buffer->ring.push_back(std::move(event));
   } else {
     // Ring wrap: overwrite the oldest surviving event and account for
     // the drop instead of silently truncating the tail.
-    buffer->ring[buffer->pushed % capacity_] = std::move(event);
-    ++buffer->dropped;
+    buffer->ring[pushed % capacity_] = std::move(event);
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
   }
-  ++buffer->pushed;
+  buffer->pushed.store(pushed + 1, std::memory_order_relaxed);
 }
 
 void TraceLog::BeginEvent(std::string_view name, std::uint64_t chunk) {
@@ -79,6 +81,44 @@ void TraceLog::EndEvent(std::string_view name, std::uint64_t chunk) {
   Push(TraceEvent::Phase::kEnd, name, chunk);
 }
 
+std::uint64_t TraceLog::ThreadMark() {
+  return BufferForThisThread()->pushed.load(std::memory_order_relaxed);
+}
+
+void TraceLog::RetainSince(std::uint64_t mark, std::string_view label) {
+  // The ring is read lock-free: only the calling thread pushes into it,
+  // so [pushed - size, pushed) is stable here. Appending to retained_
+  // takes the log mutex, which is fine off the hot path (callers only
+  // retain requests that already blew the latency threshold).
+  ThreadBuffer* buffer = BufferForThisThread();
+  const std::uint64_t pushed =
+      buffer->pushed.load(std::memory_order_relaxed);
+  const std::size_t size = buffer->ring.size();
+  const std::uint64_t oldest = pushed - size;
+  const std::uint64_t from = std::max(mark, oldest);
+  if (from >= pushed) return;
+  RetainedTrace group;
+  group.label.assign(label);
+  group.tid = buffer->tid;
+  group.events.reserve(static_cast<std::size_t>(pushed - from));
+  for (std::uint64_t logical = from; logical < pushed; ++logical) {
+    group.events.push_back(buffer->ring[logical % size]);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  retained_.push_back(std::move(group));
+  while (retained_.size() > kRetainedGroupCap) retained_.pop_front();
+}
+
+std::vector<RetainedTrace> TraceLog::RetainedSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RetainedTrace>(retained_.begin(), retained_.end());
+}
+
+std::size_t TraceLog::retained_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.size();
+}
+
 std::vector<ThreadTrace> TraceLog::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ThreadTrace> snapshot;
@@ -86,13 +126,15 @@ std::vector<ThreadTrace> TraceLog::Snapshot() const {
   for (const auto& buffer : buffers_) {
     ThreadTrace trace;
     trace.tid = buffer->tid;
-    trace.dropped = buffer->dropped;
+    trace.dropped = buffer->dropped.load(std::memory_order_relaxed);
     trace.events.reserve(buffer->ring.size());
     // Logical order is [pushed - size, pushed); after a wrap the oldest
     // surviving event sits at pushed % capacity.
     const std::size_t size = buffer->ring.size();
     const std::size_t start =
-        size < capacity_ ? 0 : buffer->pushed % capacity_;
+        size < capacity_
+            ? 0
+            : buffer->pushed.load(std::memory_order_relaxed) % capacity_;
     for (std::size_t i = 0; i < size; ++i) {
       trace.events.push_back(buffer->ring[(start + i) % size]);
     }
@@ -111,7 +153,9 @@ std::size_t TraceLog::event_count() const {
 std::uint64_t TraceLog::dropped_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t dropped = 0;
-  for (const auto& buffer : buffers_) dropped += buffer->dropped;
+  for (const auto& buffer : buffers_) {
+    dropped += buffer->dropped.load(std::memory_order_relaxed);
+  }
   return dropped;
 }
 

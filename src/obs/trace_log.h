@@ -37,9 +37,11 @@
 #ifndef MICTREND_OBS_TRACE_LOG_H_
 #define MICTREND_OBS_TRACE_LOG_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -65,6 +67,17 @@ struct TraceEvent {
   std::uint64_t chunk = kNoChunk;
 
   static constexpr std::uint64_t kNoChunk = ~std::uint64_t{0};
+};
+
+/// One force-retained event group: a slow request's span tree copied
+/// out of its thread's ring before wrap could reclaim it (tail-based
+/// sampling — see TraceLog::RetainSince).
+struct RetainedTrace {
+  /// Caller-chosen tag, normally the request id.
+  std::string label;
+  /// tid of the thread whose ring the events came from.
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
 };
 
 /// Export-time view of one thread's ring: the surviving events in
@@ -106,8 +119,27 @@ class TraceLog {
   /// Events currently retained across all threads (post-drop).
   std::size_t event_count() const;
   /// Total events dropped to ring wrap across all threads
-  /// (the "obs.trace.dropped" count in the exported JSON).
+  /// (the "obs.trace.dropped" count in the exported JSON). Safe to
+  /// poll while producers are live — the per-thread counters are
+  /// atomic — unlike Snapshot(), which needs quiescence.
   std::uint64_t dropped_count() const;
+
+  /// Tail-based slow-request sampling. ThreadMark() returns the calling
+  /// thread's current logical ring position; after the request
+  /// finishes, a caller that measured it slow passes the mark back to
+  /// RetainSince, which copies every event the thread recorded since
+  /// (those the ring still holds) into a pinned retained set the wrap
+  /// can never reclaim. Bounded to kRetainedGroupCap groups,
+  /// oldest-group eviction. Both calls are cheap enough for the serve
+  /// request path: ThreadMark is a thread-local read and RetainSince
+  /// only runs for requests that already blew the latency threshold.
+  std::uint64_t ThreadMark();
+  void RetainSince(std::uint64_t mark, std::string_view label);
+  /// Retained groups, oldest first.
+  std::vector<RetainedTrace> RetainedSnapshot() const;
+  std::size_t retained_count() const;
+
+  static constexpr std::size_t kRetainedGroupCap = 64;
 
   /// Chrome-trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms",
   /// "droppedEvents":N}. Events are "B"/"E" pairs (ts in microseconds,
@@ -121,8 +153,11 @@ class TraceLog {
     std::uint32_t tid = 0;
     /// Ring storage; logical order is [pushed - size, pushed).
     std::vector<TraceEvent> ring;
-    std::uint64_t pushed = 0;
-    std::uint64_t dropped = 0;
+    /// Only the owning thread writes these; they are atomic (relaxed)
+    /// because dropped_count() polls them live from the server's
+    /// watchdog thread. The ring itself still requires quiescence.
+    std::atomic<std::uint64_t> pushed{0};
+    std::atomic<std::uint64_t> dropped{0};
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -133,8 +168,9 @@ class TraceLog {
   const std::uint64_t log_id_;  // Key for the thread-local buffer cache.
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // Guards registration and snapshots only.
+  mutable std::mutex mu_;  // Guards registration, snapshots, retained_.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::deque<RetainedTrace> retained_;
 };
 
 /// Writes ToChromeTraceJson() (plus a trailing newline) to `path`.

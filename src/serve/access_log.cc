@@ -1,0 +1,46 @@
+#include "serve/access_log.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mic::serve {
+
+AccessLog::AccessLog(std::ofstream out) : out_(std::move(out)) {}
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(
+    const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::IoError("cannot open access log " + path);
+  }
+  return std::unique_ptr<AccessLog>(new AccessLog(std::move(out)));
+}
+
+void AccessLog::Write(const AccessRecord& record) {
+  const double ts =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string line = StrFormat("{\"ts\":%.6f,\"id\":\"", ts);
+  AppendJsonEscaped(line, record.id);
+  line += "\",\"transport\":\"";
+  AppendJsonEscaped(line, record.transport);
+  line += "\",\"endpoint\":\"";
+  AppendJsonEscaped(line, record.endpoint);
+  line += record.ok ? "\",\"ok\":true,\"error\":\""
+                    : "\",\"ok\":false,\"error\":\"";
+  AppendJsonEscaped(line, record.error);
+  line += StrFormat(
+      "\",\"latency_seconds\":%.9f,\"version\":%lld,\"bytes_in\":%llu,"
+      "\"bytes_out\":%llu}",
+      record.latency_seconds, static_cast<long long>(record.version),
+      static_cast<unsigned long long>(record.bytes_in),
+      static_cast<unsigned long long>(record.bytes_out));
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+}  // namespace mic::serve

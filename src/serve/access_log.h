@@ -1,0 +1,67 @@
+// Structured access log for the serve daemon: one JSON-lines record
+// per wire request (framed or HTTP) and per rejected-overload
+// connection, keyed by the request id that also tags the request's
+// trace spans — the join point between the log, the trace ring, and
+// the windowed metrics.
+//
+// Records are serialized under a mutex; the daemon writes one short
+// line per request, so contention is negligible next to the socket
+// round trip. The stream is flushed per record: an operator tailing
+// the file sees a request as soon as it finished.
+
+#ifndef MICTREND_SERVE_ACCESS_LOG_H_
+#define MICTREND_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace mic::serve {
+
+/// One finished request (or rejected connection).
+struct AccessRecord {
+  /// Server-assigned request id ("1a2b3c-42"); the same id prefixes
+  /// the request's trace-span paths ("req/1a2b3c-42/serve/health").
+  std::string id;
+  /// "frame" or "http".
+  std::string transport = "frame";
+  /// The framed op name, the HTTP target, or "connect" for a
+  /// connection rejected before any request was read.
+  std::string endpoint;
+  bool ok = false;
+  /// Error-envelope code ("bad_request", "overloaded", ...) or empty.
+  std::string error;
+  double latency_seconds = 0.0;
+  /// Snapshot version the response was served from, -1 when the
+  /// request never reached a snapshot (transport errors, HTTP).
+  std::int64_t version = -1;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class AccessLog {
+ public:
+  /// Opens (appends to) the JSON-lines file at `path`.
+  static Result<std::unique_ptr<AccessLog>> Open(const std::string& path);
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Appends one record as a single JSON line and flushes. The "ts"
+  /// field is stamped here (Unix seconds, wall clock).
+  void Write(const AccessRecord& record);
+
+ private:
+  explicit AccessLog(std::ofstream out);
+
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace mic::serve
+
+#endif  // MICTREND_SERVE_ACCESS_LOG_H_

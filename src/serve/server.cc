@@ -7,11 +7,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/trace.h"
+#include "obs/trace_log.h"
 
 namespace mic::serve {
 namespace {
@@ -33,6 +38,28 @@ void TryWriteFrame(int fd, const JsonValue& response,
                    std::size_t max_frame_bytes) {
   Status status = WriteFrame(fd, response.Serialize(), max_frame_bytes);
   (void)status;
+}
+
+/// Error-envelope code of a response ("" on success envelopes).
+std::string ResponseErrorCode(const JsonValue& response) {
+  const JsonValue* error = response.Find("error");
+  return error == nullptr ? std::string() : error->GetString("code");
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Window channel name for an HTTP target: known endpoints get their
+/// own channel, everything else shares "http.other" so arbitrary 404
+/// probing cannot grow the channel map without bound.
+std::string_view HttpChannelName(std::string_view path) {
+  if (path == "/metrics") return "http.metrics";
+  if (path == "/healthz") return "http.healthz";
+  if (path == "/varz") return "http.varz";
+  return "http.other";
 }
 
 }  // namespace
@@ -99,6 +126,28 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(
   }
   auto server = std::unique_ptr<TcpServer>(
       new TcpServer(service, clamped, listen_fd, port));
+  if (!clamped.access_log_path.empty()) {
+    MIC_ASSIGN_OR_RETURN(server->access_log_,
+                         AccessLog::Open(clamped.access_log_path));
+  }
+  // Request-id prefix: low bits of the steady clock, so ids from
+  // different daemon runs against the same access log stay distinct.
+  server->id_prefix_ = StrFormat(
+      "%06llx",
+      static_cast<unsigned long long>(
+          std::chrono::steady_clock::now().time_since_epoch().count() &
+          0xffffff));
+  obs::MetricsRegistry* metrics = service->metrics();
+  server->overload_rejections_ =
+      obs::GetCounter(metrics, "serve.overload_rejections");
+  server->rejected_overloaded_ =
+      obs::GetCounter(metrics, "serve.rejected.overloaded");
+  server->swap_stalls_ = obs::GetCounter(metrics, "serve.swap.stalls");
+  server->queue_depth_ = obs::GetGauge(metrics, "serve.queue_depth");
+  server->trace_dropped_ = obs::GetGauge(metrics, "obs.trace.dropped");
+  server->trace_retained_ = obs::GetGauge(metrics, "obs.trace.retained");
+  server->drop_window_ =
+      service->windows()->channel("obs.trace.dropped");
   server->workers_.reserve(
       static_cast<std::size_t>(clamped.num_workers));
   for (int i = 0; i < clamped.num_workers; ++i) {
@@ -106,6 +155,9 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(
       raw->WorkerMain();
     });
   }
+  server->watcher_ = std::thread([raw = server.get()] {
+    raw->WatchMain();
+  });
   return server;
 }
 
@@ -164,13 +216,23 @@ Status TcpServer::Serve(const std::atomic<bool>* external_stop) {
       }
     }
     if (rejected) {
-      obs::Increment(obs::GetCounter(service_->metrics(),
-                                     "serve.rejected.overloaded"));
+      // Two spellings of the same event: serve.rejected.overloaded is
+      // the pre-existing name, serve.overload_rejections the SLO-facing
+      // one the scrape recipes key on.
+      obs::Increment(rejected_overloaded_);
+      obs::Increment(overload_rejections_);
       TryWriteFrame(fd,
                     TransportError("overloaded",
                                    "connection queue is full; retry"),
                     options_.limits.max_frame_bytes);
       ::close(fd);
+      if (access_log_ != nullptr) {
+        AccessRecord record;
+        record.id = NextRequestId();
+        record.endpoint = "connect";
+        record.error = "overloaded";
+        access_log_->Write(record);
+      }
       continue;
     }
     pending_cv_.notify_one();
@@ -207,6 +269,18 @@ void TcpServer::WorkerMain() {
 }
 
 void TcpServer::ServeConnection(int fd, const SnapshotReader& reader) {
+  {
+    // Peek before any frame read: an HTTP request line parsed as a
+    // big-endian frame length would be ~1.2 GB and trip
+    // frame_too_large, so the transport decision has to come first.
+    Result<bool> is_http = LooksLikeHttp(fd, options_.limits, &stop_);
+    if (!is_http.ok()) return;  // clean EOF before four bytes, or stop
+    if (*is_http) {
+      ServeHttp(fd);
+      return;
+    }
+  }
+  obs::TraceLog* trace = service_->trace();
   for (;;) {
     Result<std::string> payload = ReadFrame(fd, options_.limits, &stop_);
     if (!payload.ok()) {
@@ -218,21 +292,56 @@ void TcpServer::ServeConnection(int fd, const SnapshotReader& reader) {
         TryWriteFrame(fd,
                       TransportError("frame_too_large", status.message()),
                       options_.limits.max_frame_bytes);
+        if (access_log_ != nullptr) {
+          AccessRecord record;
+          record.id = NextRequestId();
+          record.endpoint = "frame";
+          record.error = "frame_too_large";
+          access_log_->Write(record);
+        }
       }
       return;  // clean EOF, stop, timeout, or torn frame: just close
     }
+    const std::string rid = NextRequestId();
+    const std::uint64_t trace_mark =
+        trace == nullptr ? 0 : trace->ThreadMark();
+    const auto start = std::chrono::steady_clock::now();
     Result<JsonValue> request = JsonValue::Parse(*payload);
     JsonValue response;
+    std::string endpoint = "invalid";
     if (!request.ok()) {
       response = TransportError("bad_request", request.status().message());
     } else {
+      endpoint = request->GetString("op");
+      // Stack-only span: everything the service traces for this
+      // request nests under "req/<id>/...", tying the trace ring to
+      // the access-log line with the same id.
+      obs::Span request_span("req/" + rid);
       response = service_->Handle(*request, reader);
     }
-    if (Status status = WriteFrame(fd, response.Serialize(),
-                                   options_.limits.max_frame_bytes);
-        !status.ok()) {
-      return;
+    const std::string body = response.Serialize();
+    const Status write_status =
+        WriteFrame(fd, body, options_.limits.max_frame_bytes);
+    const double seconds = SecondsSince(start);
+    if (trace != nullptr && options_.slow_request_threshold_ms > 0 &&
+        seconds * 1000.0 >=
+            static_cast<double>(options_.slow_request_threshold_ms)) {
+      trace->RetainSince(trace_mark, rid);
     }
+    if (access_log_ != nullptr) {
+      AccessRecord record;
+      record.id = rid;
+      record.endpoint = endpoint;
+      record.ok = response.GetBool("ok", false);
+      if (!record.ok) record.error = ResponseErrorCode(response);
+      record.latency_seconds = seconds;
+      record.version = response.GetInt("version", -1);
+      // +4 on each side for the length prefix.
+      record.bytes_in = payload->size() + 4;
+      record.bytes_out = body.size() + 4;
+      access_log_->Write(record);
+    }
+    if (!write_status.ok()) return;
     if (service_->shutdown_requested()) {
       // The response to the shutdown request is on the wire; let the
       // accept loop and the other workers observe the flag.
@@ -240,6 +349,113 @@ void TcpServer::ServeConnection(int fd, const SnapshotReader& reader) {
       return;
     }
   }
+}
+
+void TcpServer::ServeHttp(int fd) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<HttpRequest> request =
+      ReadHttpRequest(fd, options_.limits, &stop_);
+  if (!request.ok()) {
+    (void)SendAll(fd, BuildHttpResponse(400, "Bad Request", "text/plain",
+                                        "bad request\n"));
+    return;
+  }
+  const std::string path =
+      request->target.substr(0, request->target.find('?'));
+  int status = 200;
+  std::string_view reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/metrics") {
+    content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    body = obs::RenderOpenMetrics(service_->metrics(),
+                                  service_->windows());
+  } else if (path == "/varz") {
+    content_type = "application/json; charset=utf-8";
+    body = service_->windows()->ToJson();
+    body += '\n';
+  } else {
+    status = 404;
+    reason = "Not Found";
+    body = "not found\n";
+  }
+  const std::string response = BuildHttpResponse(
+      status, reason, content_type, body, request->method == "HEAD");
+  const Status sent = SendAll(fd, response);
+  const double seconds = SecondsSince(start);
+  // Scrapes are periodic, so resolving the channel by name per request
+  // (one mutex hop) is fine here, unlike the framed hot path.
+  obs::Record(service_->windows()->channel(HttpChannelName(path)),
+              seconds, status >= 400 || !sent.ok());
+  if (access_log_ != nullptr) {
+    AccessRecord record;
+    record.id = NextRequestId();
+    record.transport = "http";
+    record.endpoint = path;
+    record.ok = status < 400 && sent.ok();
+    if (status == 404) record.error = "not_found";
+    record.latency_seconds = seconds;
+    record.bytes_in = request->bytes;
+    record.bytes_out = response.size();
+    access_log_->Write(record);
+  }
+}
+
+void TcpServer::WatchMain() {
+  obs::TraceLog* trace = service_->trace();
+  obs::WindowRegistry* windows = service_->windows();
+  std::uint64_t last_dropped =
+      trace == nullptr ? 0 : trace->dropped_count();
+  // Swap-start stamp already counted as a stall, so one stuck drain is
+  // one serve.swap.stalls increment no matter how long it lasts.
+  std::uint64_t counted_stall_stamp = 0;
+  const int interval_ms = options_.limits.poll_interval_ms > 0
+                              ? options_.limits.poll_interval_ms
+                              : 100;
+  while (!stop_.load(std::memory_order_seq_cst)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = pending_.size();
+    }
+    obs::Set(queue_depth_, static_cast<double>(depth));
+    if (trace != nullptr) {
+      const std::uint64_t dropped = trace->dropped_count();
+      obs::Set(trace_dropped_, static_cast<double>(dropped));
+      obs::Set(trace_retained_,
+               static_cast<double>(trace->retained_count()));
+      if (dropped > last_dropped) {
+        obs::AddCount(drop_window_, dropped - last_dropped);
+        last_dropped = dropped;
+      }
+    }
+    if (options_.swap_stall_deadline_ms > 0) {
+      const std::uint64_t started = service_->swap_started_ns();
+      if (started != 0 && started != counted_stall_stamp) {
+        const std::uint64_t now = windows->NowNs();
+        const std::uint64_t waited_ms =
+            now > started ? (now - started) / 1000000ull : 0;
+        if (waited_ms >=
+            static_cast<std::uint64_t>(options_.swap_stall_deadline_ms)) {
+          obs::Increment(swap_stalls_);
+          counted_stall_stamp = started;
+          MIC_LOG(Warning)
+              << "snapshot swap has been draining for " << waited_ms
+              << " ms (a reader is likely holding a pin)";
+        }
+      }
+    }
+  }
+}
+
+std::string TcpServer::NextRequestId() {
+  return id_prefix_ + '-' +
+         std::to_string(
+             request_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 void TcpServer::Shutdown() {
@@ -252,6 +468,7 @@ void TcpServer::Shutdown() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (watcher_.joinable()) watcher_.join();
   std::deque<int> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);

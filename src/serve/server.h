@@ -20,17 +20,36 @@
 //     connections are waiting for a worker, new ones are answered with
 //     `overloaded` and closed instead of queueing unboundedly.
 //
+// Observability (this transport layer, on top of the service's per-op
+// telemetry):
+//   - every wire request gets a server-assigned id ("<hex>-<seq>"); a
+//     stack-only span makes the request's trace events nest under
+//     "req/<id>/...", and the same id keys the JSON-lines access log
+//     (ServerOptions::access_log_path) — the join point between log,
+//     trace, and metrics. Requests slower than
+//     slow_request_threshold_ms get their span tree force-retained in
+//     the trace ring (tail-based sampling, TraceLog::RetainSince).
+//   - plain HTTP GET/HEAD on the same port (detected by peeking the
+//     first bytes) serves /metrics (OpenMetrics), /healthz, and /varz
+//     (the windowed-stats JSON) — see serve/http.h.
+//   - a watchdog thread samples queue depth and trace-ring drop/retain
+//     gauges each poll interval, feeds the drop delta into the
+//     "obs.trace.dropped" window channel, and counts a
+//     `serve.swap.stalls` episode when a snapshot publish waits on
+//     readers longer than swap_stall_deadline_ms.
+//
 // Shutdown is bounded by the poll cadence: RequestStop() (or the
 // service handling a `shutdown` request, or an external stop flag) is
-// observed by the accept loop and by every blocked frame read within
-// ~one WireLimits::poll_interval_ms; workers finish the request in
-// flight, close their connection, and join.
+// observed by the accept loop, the watchdog, and every blocked frame
+// read within ~one WireLimits::poll_interval_ms; workers finish the
+// request in flight, close their connection, and join.
 
 #ifndef MICTREND_SERVE_SERVER_H_
 #define MICTREND_SERVE_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -39,6 +58,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "serve/access_log.h"
+#include "serve/http.h"
 #include "serve/service.h"
 #include "serve/wire.h"
 
@@ -55,6 +76,14 @@ struct ServerOptions {
   /// Accepted connections allowed to wait for a worker before new ones
   /// are rejected with an `overloaded` error.
   int max_pending = 64;
+  /// JSON-lines access log path; empty disables the log.
+  std::string access_log_path;
+  /// Requests slower than this get their trace-span tree force-retained
+  /// (tail-based sampling); <= 0 disables retention.
+  int slow_request_threshold_ms = 500;
+  /// A snapshot publish waiting on readers longer than this counts one
+  /// `serve.swap.stalls` episode; <= 0 disables the watchdog check.
+  int swap_stall_deadline_ms = 1000;
   WireLimits limits;
 };
 
@@ -92,6 +121,15 @@ class TcpServer {
   /// failures answer with an error envelope where a reply is still
   /// possible.
   void ServeConnection(int fd, const SnapshotReader& reader);
+  /// Answers one HTTP GET/HEAD (/metrics, /healthz, /varz) and returns;
+  /// HTTP connections are one-shot.
+  void ServeHttp(int fd);
+  /// The self-watching loop: queue depth, trace-drop rate, swap-stall
+  /// detection. Runs until stop, sampling each poll interval.
+  void WatchMain();
+  /// "<hex prefix>-<seq>": unique within the process, prefix-distinct
+  /// across restarts (seeded from the steady clock at Start).
+  std::string NextRequestId();
   /// Stops, joins, drains the pending queue, closes the listen socket.
   /// Idempotent.
   void Shutdown();
@@ -101,11 +139,26 @@ class TcpServer {
   int listen_fd_;
   int port_;
 
+  std::unique_ptr<AccessLog> access_log_;  // null when disabled
+  std::string id_prefix_;
+  std::atomic<std::uint64_t> request_seq_{0};
+
+  /// Pre-resolved telemetry handles (null without a registry).
+  obs::Counter* overload_rejections_ = nullptr;
+  obs::Counter* rejected_overloaded_ = nullptr;
+  obs::Counter* swap_stalls_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* trace_dropped_ = nullptr;
+  obs::Gauge* trace_retained_ = nullptr;
+  /// Window channel fed the per-interval trace-drop delta.
+  obs::WindowedChannel* drop_window_ = nullptr;
+
   std::atomic<bool> stop_{false};
   std::mutex mu_;
   std::condition_variable pending_cv_;
   std::deque<int> pending_;  // accepted fds awaiting a worker
   std::vector<std::thread> workers_;
+  std::thread watcher_;
   bool joined_ = false;  // guarded by mu_
 };
 

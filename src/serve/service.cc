@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <fstream>
 #include <utility>
 #include <vector>
@@ -18,10 +19,11 @@ namespace {
 // Fixed op universe: per-op metric handles are pre-resolved once at
 // construction so the query path never takes the registry's
 // name-resolution mutex. Index kUnknownOp catches unrecognized ops.
-constexpr std::array<std::string_view, 9> kOps = {
-    "health",       "metrics",    "series",
-    "top_changes",  "geo_spread", "hospital_gap",
-    "report_csv",   "ingest",     "shutdown",
+constexpr std::array<std::string_view, 10> kOps = {
+    "health",       "metrics",    "stats",
+    "series",       "top_changes", "geo_spread",
+    "hospital_gap", "report_csv",  "ingest",
+    "shutdown",
 };
 constexpr std::size_t kUnknownOp = kOps.size();
 
@@ -133,7 +135,8 @@ JsonValue ErrorEnvelope(const Status& status) {
 TrendService::TrendService(const trend::PipelineConfig& config,
                            const ExecContext& context,
                            store::ClaimStore store)
-    : config_(config), context_(context), store_(std::move(store)) {
+    : config_(config), context_(context), store_(std::move(store)),
+      windows_(std::make_unique<obs::WindowRegistry>()) {
   context_.store = &store_;
   static_assert(kNumOpSlots == kOps.size() + 1,
                 "one metric row per op plus the unknown-op catch-all");
@@ -146,7 +149,9 @@ TrendService::TrendService(const trend::PipelineConfig& config,
         obs::GetCounter(context_.metrics, "serve.errors." + name);
     op_metrics_[i].latency =
         obs::GetTimer(context_.metrics, "serve.latency." + name);
+    op_metrics_[i].window = windows_->channel("serve." + name);
   }
+  drain_channel_ = windows_->channel("serve.swap.drain");
 }
 
 Result<std::unique_ptr<TrendService>> TrendService::Create(
@@ -185,8 +190,11 @@ JsonValue TrendService::Handle(const JsonValue& request,
   const std::string op = request.GetString("op");
   const OpMetricHandles& op_metrics = op_metrics_[OpIndex(op)];
   obs::Increment(op_metrics.requests);
+  const auto start = std::chrono::steady_clock::now();
   JsonValue response;
   {
+    // The trace event nests under the transport's current span path
+    // ("req/<id>/serve/<op>" when the server opened a request span).
     obs::ScopedTimer timer(op_metrics.latency, context_.trace,
                            "serve/" + op);
     const std::int64_t protocol =
@@ -202,9 +210,13 @@ JsonValue TrendService::Handle(const JsonValue& request,
                              : ErrorEnvelope(result.status());
     }
   }
-  if (!response.GetBool("ok", false)) {
-    obs::Increment(op_metrics.errors);
-  }
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  const bool ok = response.GetBool("ok", false);
+  if (!ok) obs::Increment(op_metrics.errors);
+  obs::Record(op_metrics.window, seconds, !ok);
   return response;
 }
 
@@ -220,6 +232,7 @@ Result<JsonValue> TrendService::Dispatch(const std::string& op,
   const WorldSnapshot& snapshot = *pin;
   if (op == "health") return HandleHealth(snapshot);
   if (op == "metrics") return HandleMetrics(snapshot);
+  if (op == "stats") return HandleStats(snapshot);
   if (op == "series") return HandleSeries(request, snapshot);
   if (op == "top_changes") return HandleTopChanges(request, snapshot);
   if (op == "geo_spread") return HandleGeoSpread(request, snapshot);
@@ -265,6 +278,16 @@ Result<JsonValue> TrendService::HandleMetrics(
   }
   JsonValue data = JsonValue::Object();
   data.Set("counters", std::move(counters));
+  return Envelope(snapshot, std::move(data));
+}
+
+Result<JsonValue> TrendService::HandleStats(
+    const WorldSnapshot& snapshot) {
+  // ToJson is the single source for both this op and the HTTP /varz
+  // body; parsing it into the envelope keeps the two byte-equivalent in
+  // structure.
+  MIC_ASSIGN_OR_RETURN(JsonValue data,
+                       JsonValue::Parse(windows_->ToJson()));
   return Envelope(snapshot, std::move(data));
 }
 
@@ -524,7 +547,14 @@ Result<JsonValue> TrendService::HandleIngest(const JsonValue& request) {
   MIC_ASSIGN_OR_RETURN(
       const WorldSnapshot* next,
       BuildSnapshot(next_version_, store_, config_, context_));
+  // Stamp the swap start (never 0, which means "no swap in flight") so
+  // the server's watchdog can flag a publish stuck waiting on a pinned
+  // reader; clear it as soon as the drain completes.
+  swap_started_ns_.store(std::max<std::uint64_t>(1, windows_->NowNs()),
+                         std::memory_order_relaxed);
   const double drain_seconds = hub_.Publish(next);
+  swap_started_ns_.store(0, std::memory_order_relaxed);
+  obs::Record(drain_channel_, drain_seconds);
   ++next_version_;
   obs::Increment(obs::GetCounter(context_.metrics,
                                  "serve.snapshots_published"));

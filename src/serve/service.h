@@ -15,10 +15,15 @@
 // snapshot, never torn across a swap.
 //
 // Observability: each op increments serve.requests.<op>, failures add
-// serve.errors.<op>, latency lands in the serve.latency.<op> timer, and
-// each request runs under a "serve/<op>" span. Ingest additionally
-// maintains serve.ingest.months_appended, serve.snapshots_published,
-// and the serve.swap.drain_seconds gauge (the publish stall).
+// serve.errors.<op>, latency lands in the serve.latency.<op> timer and
+// the "serve.<op>" sliding-window channel (rolling p50/p95/p99, rps,
+// error rate — see obs/window.h), and each request emits a
+// "serve/<op>" trace event nested under whatever span path the
+// transport opened (the server's per-request "req/<id>" path). Ingest
+// additionally maintains serve.ingest.months_appended,
+// serve.snapshots_published, the serve.swap.drain_seconds gauge, the
+// "serve.swap.drain" window channel, and the swap_started_ns() stamp
+// the server's stall watchdog samples.
 
 #ifndef MICTREND_SERVE_SERVICE_H_
 #define MICTREND_SERVE_SERVICE_H_
@@ -32,6 +37,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "obs/window.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
 #include "store/claim_store.h"
@@ -40,6 +46,7 @@
 namespace mic::obs {
 class Counter;
 class Timer;
+class TraceLog;
 }  // namespace mic::obs
 
 namespace mic::serve {
@@ -72,6 +79,19 @@ class TrendService {
 
   SnapshotHub& hub() { return hub_; }
   obs::MetricsRegistry* metrics() const { return context_.metrics; }
+  obs::TraceLog* trace() const { return context_.trace; }
+
+  /// The service's sliding-window telemetry (never null): one channel
+  /// per op ("serve.health", ...) plus "serve.swap.drain". Its ToJson()
+  /// is both the HTTP /varz body and the framed `stats` payload.
+  obs::WindowRegistry* windows() const { return windows_.get(); }
+
+  /// Timestamp (windows()->NowNs() clock) when an in-flight snapshot
+  /// publish started waiting for readers to drain, 0 when no swap is in
+  /// flight. The server's watchdog samples it to detect swap stalls.
+  std::uint64_t swap_started_ns() const {
+    return swap_started_ns_.load(std::memory_order_relaxed);
+  }
 
   /// Set once a shutdown request was handled; the server polls it.
   bool shutdown_requested() const {
@@ -99,6 +119,9 @@ class TrendService {
   Result<JsonValue> HandleHospitalGap(const JsonValue& request,
                                       const WorldSnapshot& snapshot);
   Result<JsonValue> HandleReportCsv(const WorldSnapshot& snapshot);
+  /// The windowed-telemetry snapshot (windows()->ToJson() parsed into
+  /// the envelope), for `mictrend query --op stats`.
+  Result<JsonValue> HandleStats(const WorldSnapshot& snapshot);
   /// Serialized on ingest_mu_. Appends the months of request["corpus"]
   /// (a server-local CSV path; omitted = reload the store from disk to
   /// pick up external appends), rebuilds warm via context_.cache, and
@@ -113,14 +136,20 @@ class TrendService {
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
     obs::Timer* latency = nullptr;
+    /// Sliding-window channel "serve.<op>" (always non-null: the
+    /// window registry exists even without a metrics registry).
+    obs::WindowedChannel* window = nullptr;
   };
-  static constexpr std::size_t kNumOpSlots = 10;
+  static constexpr std::size_t kNumOpSlots = 11;
 
   trend::PipelineConfig config_;
   ExecContext context_;
   store::ClaimStore store_;
   SnapshotHub hub_;
   std::array<OpMetricHandles, kNumOpSlots> op_metrics_;
+  std::unique_ptr<obs::WindowRegistry> windows_;
+  obs::WindowedChannel* drain_channel_ = nullptr;
+  std::atomic<std::uint64_t> swap_started_ns_{0};
 
   std::mutex ingest_mu_;
   std::uint64_t next_version_ = 2;  // guarded by ingest_mu_ after Create

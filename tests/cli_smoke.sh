@@ -241,6 +241,30 @@ if "$MICTREND" query --port "$SERVE_PORT" --op series --kind disease \
   exit 1
 fi
 grep -q '"not_found"' "$WORK/query_err.out"
+# Windowed telemetry: the stats op reports the requests above, and the
+# HTTP /varz body on the same port carries the same window/channel
+# structure (values move between the two reads, so only keys compare).
+"$MICTREND" query --port "$SERVE_PORT" --op stats --out "$WORK/stats.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/stats.json" "$SERVE_PORT" << 'EOF'
+import json, sys, urllib.request
+stats = json.load(open(sys.argv[1]))
+assert stats["ok"] is True, stats
+data = stats["data"]
+assert data["slot_width_seconds"] > 0 and data["slots"] > 0, data
+minute = data["windows"]["60s"]
+assert minute["serve.health"]["count"] >= 1, minute["serve.health"]
+assert minute["serve.report_csv"]["count"] >= 1, minute
+assert minute["serve.series"]["errors"] >= 1, minute["serve.series"]
+varz = json.loads(urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[2]}/varz", timeout=30).read())
+assert sorted(varz["windows"]) == sorted(data["windows"]), varz
+for window in varz["windows"]:
+    assert sorted(varz["windows"][window]) == \
+        sorted(data["windows"][window]), window
+print("stats/varz window payloads structurally identical")
+EOF
+fi
 "$MICTREND" query --port "$SERVE_PORT" --op shutdown > /dev/null
 wait "$SERVE_PID"
 grep -q "server stopped" "$WORK/serve.log"

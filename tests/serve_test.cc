@@ -29,6 +29,7 @@
 #include "common/exec_context.h"
 #include "mic/io.h"
 #include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -670,6 +671,55 @@ TEST(ServerTest, OversizeFrameIsAnsweredAndTheConnectionClosed) {
   serving.join();
 }
 
+TEST(ServiceTest, StatsOpReportsWindowedTelemetry) {
+  ServeWorld world = ServeWorld::Create("serve_stats", 6, 6);
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), {});
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto reader = (*service)->hub().Register();
+  ASSERT_TRUE(reader.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*service)
+                    ->Handle(MakeRequest("health"), *reader)
+                    .GetBool("ok", false));
+  }
+  JsonValue stats = (*service)->Handle(MakeRequest("stats"), *reader);
+  ASSERT_TRUE(stats.GetBool("ok", false)) << stats.Serialize();
+  const JsonValue* data = stats.Find("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->GetInt("slot_width_seconds", -1), 10);
+  EXPECT_EQ(data->GetInt("slots", -1), 60);
+  const JsonValue* windows = data->Find("windows");
+  ASSERT_NE(windows, nullptr);
+  const JsonValue* minute = windows->Find("60s");
+  ASSERT_NE(minute, nullptr);
+  const JsonValue* health = minute->Find("serve.health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->GetInt("count", -1), 3);
+  EXPECT_EQ(health->GetInt("errors", -1), 0);
+  EXPECT_GT(health->GetDouble("rps", 0.0), 0.0);
+  EXPECT_GT(health->GetDouble("p99", 0.0), 0.0);
+  // A request's own window sample lands after its response is built, so
+  // the first stats call is visible to the second.
+  JsonValue again = (*service)->Handle(MakeRequest("stats"), *reader);
+  EXPECT_EQ(again.Find("data")
+                ->Find("windows")
+                ->Find("60s")
+                ->Find("serve.stats")
+                ->GetInt("count", -1),
+            1);
+  // Errors count into the same window.
+  (void)(*service)->Handle(MakeRequest("nope"), *reader);
+  JsonValue after = (*service)->Handle(MakeRequest("stats"), *reader);
+  const JsonValue* unknown = after.Find("data")
+                                 ->Find("windows")
+                                 ->Find("60s")
+                                 ->Find("serve.unknown");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->GetInt("count", -1), 1);
+  EXPECT_EQ(unknown->GetInt("errors", -1), 1);
+}
+
 TEST(ServerTest, RequestStopWindsDownAnIdleServer) {
   ServeWorld world = ServeWorld::Create("serve_stop", 6, 6);
   auto service =
@@ -692,6 +742,400 @@ TEST(ServerTest, RequestStopWindsDownAnIdleServer) {
   (*server)->RequestStop();
   serving.join();
   close(*fd);
+}
+
+// --------------------------------------------- transport observability
+
+// One-shot HTTP exchange against the daemon's port: sends `request`
+// verbatim and returns everything until the server closes.
+std::string HttpExchange(int port, const std::string& request) {
+  auto fd = ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(fd.ok()) << fd.status();
+  if (!fd.ok()) return "";
+  EXPECT_EQ(write(*fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = read(*fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  close(*fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+std::vector<JsonValue> ReadAccessLog(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<JsonValue> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = JsonValue::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    if (parsed.ok()) records.push_back(std::move(*parsed));
+  }
+  return records;
+}
+
+TEST(ServerTest, AnswersHttpMetricsHealthzAndVarzOnTheFramedPort) {
+  ServeWorld world = ServeWorld::Create("serve_http", 6, 6);
+  obs::MetricsRegistry metrics;
+  ExecContext context;
+  context.metrics = &metrics;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.limits.poll_interval_ms = 10;
+  auto server = TcpServer::Start(service->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::thread serving([&server] { (*server)->Serve(); });
+  const int port = (*server)->port();
+
+  // One framed request first, so the windowed stats have something to
+  // show and the multiplexer is exercised in both directions.
+  {
+    auto fd = ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(fd.ok());
+    WireLimits limits;
+    limits.timeout_ms = 30000;
+    auto health = RoundTrip(*fd, MakeRequest("health"), limits);
+    ASSERT_TRUE(health.ok()) << health.status();
+    EXPECT_TRUE(health->GetBool("ok", false));
+    close(*fd);
+  }
+
+  const std::string healthz =
+      HttpExchange(port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(healthz.rfind("HTTP/1.1 200 OK", 0), 0u) << healthz;
+  EXPECT_EQ(HttpBody(healthz), "ok\n");
+
+  const std::string exposition =
+      HttpExchange(port, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(exposition.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(exposition.find("application/openmetrics-text"),
+            std::string::npos);
+  const std::string body = HttpBody(exposition);
+  EXPECT_NE(
+      body.find("# TYPE mictrend_serve_requests_health counter"),
+      std::string::npos);
+  EXPECT_NE(body.find("mictrend_serve_requests_health_total 1"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find(
+          "mictrend_window_requests{channel=\"serve.health\",window=\"60s\"} 1"),
+      std::string::npos);
+  EXPECT_NE(body.find("mictrend_window_latency_seconds{"
+                      "channel=\"serve.health\",window=\"60s\","
+                      "quantile=\"0.99\"}"),
+            std::string::npos);
+  // OpenMetrics requires the EOF marker as the final line.
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+
+  const std::string varz =
+      HttpExchange(port, "GET /varz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(varz.rfind("HTTP/1.1 200 OK", 0), 0u);
+  auto parsed = JsonValue::Parse(HttpBody(varz));
+  ASSERT_TRUE(parsed.ok()) << HttpBody(varz);
+  const JsonValue* health_window =
+      parsed->Find("windows")->Find("60s")->Find("serve.health");
+  ASSERT_NE(health_window, nullptr);
+  EXPECT_EQ(health_window->GetInt("count", -1), 1);
+
+  // HEAD answers the same Content-Length with no body; unknown targets
+  // are 404, and both close the connection after one exchange.
+  const std::string head =
+      HttpExchange(port, "HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(head.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(head.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(HttpBody(head), "");
+  const std::string missing =
+      HttpExchange(port, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404 Not Found", 0), 0u);
+
+  (*server)->RequestStop();
+  serving.join();
+}
+
+TEST(ServerTest, SaturatedPendingQueueRejectsWithCounterAndAccessLog) {
+  ServeWorld world = ServeWorld::Create("serve_overload", 6, 6);
+  obs::MetricsRegistry metrics;
+  ExecContext context;
+  context.metrics = &metrics;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ServerOptions options;
+  options.num_workers = 1;
+  // max_pending 0 makes every accepted connection an overload — the
+  // deterministic way to pin the rejection path without racing a
+  // worker for the queue.
+  options.max_pending = 0;
+  options.access_log_path = (world.dir / "access.jsonl").string();
+  options.limits.poll_interval_ms = 10;
+  auto server = TcpServer::Start(service->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::thread serving([&server] { (*server)->Serve(); });
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  WireLimits limits;
+  limits.timeout_ms = 30000;
+  // The server answers unprompted before closing.
+  auto response = ReadFrame(*fd, limits);
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto parsed = JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  EXPECT_EQ(ErrorCode(*parsed), "overloaded");
+  close(*fd);
+
+  (*server)->RequestStop();
+  serving.join();
+
+  EXPECT_EQ(metrics.counter_value("serve.overload_rejections"), 1u);
+  EXPECT_EQ(metrics.counter_value("serve.rejected.overloaded"), 1u);
+  const std::vector<JsonValue> records =
+      ReadAccessLog(options.access_log_path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].GetString("endpoint"), "connect");
+  EXPECT_EQ(records[0].GetString("error"), "overloaded");
+  EXPECT_FALSE(records[0].GetString("id").empty());
+}
+
+TEST(ServerTest, AccessLogAndRequestScopedTraceShareIds) {
+  ServeWorld world = ServeWorld::Create("serve_access", 7, 6);
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
+  ExecContext context;
+  context.metrics = &metrics;
+  context.trace = &trace;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.access_log_path = (world.dir / "access.jsonl").string();
+  // 1 ms: a health round trip stays under it, an ingest rebuild does
+  // not, so tail-based retention keeps exactly the slow request.
+  options.slow_request_threshold_ms = 1;
+  options.limits.poll_interval_ms = 10;
+  auto server = TcpServer::Start(service->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::thread serving([&server] { (*server)->Serve(); });
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  WireLimits limits;
+  limits.timeout_ms = 30000;
+  auto health = RoundTrip(*fd, MakeRequest("health"), limits);
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->GetBool("ok", false));
+  JsonValue ingest = MakeRequest("ingest");
+  ingest.Set("corpus", JsonValue::String(world.corpus_csv[7]));
+  ingest.Set("hospitals", JsonValue::String(world.hospitals_csv));
+  auto appended = RoundTrip(*fd, ingest, limits);
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  EXPECT_TRUE(appended->GetBool("ok", false)) << appended->Serialize();
+  close(*fd);
+
+  (*server)->RequestStop();
+  serving.join();
+
+  const std::vector<JsonValue> records =
+      ReadAccessLog(options.access_log_path);
+  ASSERT_EQ(records.size(), 2u);
+  const std::string health_id = records[0].GetString("id");
+  const std::string ingest_id = records[1].GetString("id");
+  EXPECT_EQ(records[0].GetString("endpoint"), "health");
+  EXPECT_EQ(records[1].GetString("endpoint"), "ingest");
+  EXPECT_TRUE(records[0].GetBool("ok", false));
+  EXPECT_TRUE(records[1].GetBool("ok", false));
+  EXPECT_EQ(records[0].GetInt("version", -1), 1);
+  EXPECT_EQ(records[1].GetInt("version", -1), 2);
+  EXPECT_FALSE(health_id.empty());
+  EXPECT_NE(health_id, ingest_id);
+  EXPECT_GT(records[0].GetDouble("latency_seconds", 0.0), 0.0);
+  EXPECT_GT(records[0].GetInt("bytes_in", 0), 0);
+  EXPECT_GT(records[0].GetInt("bytes_out", 0), 0);
+
+  // The ids in the log are the ids on the trace timeline: every event
+  // the request produced is nested under "req/<id>/".
+  std::vector<std::string> names;
+  for (const obs::ThreadTrace& thread : trace.Snapshot()) {
+    for (const obs::TraceEvent& event : thread.events) {
+      names.push_back(event.name);
+    }
+  }
+  const auto has = [&names](const std::string& name) {
+    for (const std::string& candidate : names) {
+      if (candidate == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("req/" + health_id + "/serve/health")) << health_id;
+  EXPECT_TRUE(has("req/" + ingest_id + "/serve/ingest")) << ingest_id;
+
+  // Tail-based sampling retained the slow ingest's span tree under its
+  // request id — and only that request.
+  const std::vector<obs::RetainedTrace> retained =
+      trace.RetainedSnapshot();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].label, ingest_id);
+  ASSERT_FALSE(retained[0].events.empty());
+  bool saw_ingest_event = false;
+  for (const obs::TraceEvent& event : retained[0].events) {
+    if (event.name == "req/" + ingest_id + "/serve/ingest") {
+      saw_ingest_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_ingest_event);
+}
+
+TEST(ServerTest, WatchdogCountsASwapStalledOnAPinnedReader) {
+  ServeWorld world = ServeWorld::Create("serve_stall", 7, 6);
+  obs::MetricsRegistry metrics;
+  ExecContext context;
+  context.metrics = &metrics;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.limits.poll_interval_ms = 10;
+  options.swap_stall_deadline_ms = 50;
+  auto server = TcpServer::Start(service->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::thread serving([&server] { (*server)->Serve(); });
+
+  auto pinner = (*service)->hub().Register();
+  ASSERT_TRUE(pinner.ok());
+  std::thread ingesting;
+  {
+    // Pin the live snapshot so the ingest's publish cannot drain.
+    SnapshotPin pin = (*service)->hub().Acquire(*pinner);
+    EXPECT_EQ(pin->version, 1u);
+    ingesting = std::thread([&server, &world] {
+      auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(fd.ok());
+      WireLimits limits;
+      limits.timeout_ms = 30000;
+      JsonValue ingest = MakeRequest("ingest");
+      ingest.Set("corpus", JsonValue::String(world.corpus_csv[7]));
+      ingest.Set("hospitals", JsonValue::String(world.hospitals_csv));
+      auto response = RoundTrip(*fd, ingest, limits);
+      ASSERT_TRUE(response.ok()) << response.status();
+      EXPECT_TRUE(response->GetBool("ok", false))
+          << response->Serialize();
+      close(*fd);
+    });
+    // The publish is now stuck on our pin; the watchdog must flag the
+    // episode within deadline + a few poll intervals.
+    for (int i = 0;
+         i < 500 && metrics.counter_value("serve.swap.stalls") == 0;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(metrics.counter_value("serve.swap.stalls"), 1u);
+    // One stuck drain is one episode, however long it lasts.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    EXPECT_EQ(metrics.counter_value("serve.swap.stalls"), 1u);
+  }  // pin released -> the drain completes
+  ingesting.join();
+
+  (*server)->RequestStop();
+  serving.join();
+  EXPECT_EQ(metrics.counter_value("serve.swap.stalls"), 1u);
+}
+
+TEST(ServerTest, TraceRingDropRateIsExportedPerWindow) {
+  ServeWorld world = ServeWorld::Create("serve_drops", 6, 6);
+  obs::MetricsRegistry metrics;
+  // A ring this small wraps after a handful of requests, so the hammer
+  // below is guaranteed to drop events.
+  obs::TraceLog trace(8);
+  ExecContext context;
+  context.metrics = &metrics;
+  context.trace = &trace;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.limits.poll_interval_ms = 10;
+  options.slow_request_threshold_ms = 0;  // retention off: drops only
+  auto server = TcpServer::Start(service->get(), options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  std::thread serving([&server] { (*server)->Serve(); });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 30;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server] {
+      auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(fd.ok());
+      WireLimits limits;
+      limits.timeout_ms = 30000;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto response = RoundTrip(*fd, MakeRequest("health"), limits);
+        ASSERT_TRUE(response.ok()) << response.status();
+        EXPECT_TRUE(response->GetBool("ok", false));
+      }
+      close(*fd);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_GT(trace.dropped_count(), 0u);
+
+  // The watchdog samples the drop totals into gauges and feeds the
+  // per-interval delta into the "obs.trace.dropped" window channel.
+  const auto dropped_gauge = [&metrics] {
+    for (const auto& [name, value] : metrics.SnapshotGauges()) {
+      if (name == "obs.trace.dropped") return value;
+    }
+    return -1.0;
+  };
+  for (int i = 0; i < 500 && dropped_gauge() <= 0.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const double first = dropped_gauge();
+  EXPECT_GT(first, 0.0);
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  WireLimits limits;
+  limits.timeout_ms = 30000;
+  auto stats = RoundTrip(*fd, MakeRequest("stats"), limits);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_TRUE(stats->GetBool("ok", false)) << stats->Serialize();
+  const JsonValue* drops = stats->Find("data")
+                               ->Find("windows")
+                               ->Find("60s")
+                               ->Find("obs.trace.dropped");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_GT(drops->GetInt("count", 0), 0);
+  EXPECT_GT(drops->GetDouble("rps", 0.0), 0.0);
+  close(*fd);
+
+  // The exported total is monotone: more traffic can only grow it.
+  const double second = dropped_gauge();
+  EXPECT_GE(second, first);
+
+  (*server)->RequestStop();
+  serving.join();
 }
 
 }  // namespace

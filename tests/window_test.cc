@@ -1,0 +1,222 @@
+#include "obs/window.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace mic::obs {
+namespace {
+
+// 1-second slots, 5-slot ring, 2 s / 5 s lookbacks: small enough to
+// drive every transition by hand with the injected clock.
+WindowOptions TinyOptions() {
+  WindowOptions options;
+  options.slot_width_ns = 1000ull * 1000ull * 1000ull;
+  options.num_slots = 5;
+  options.lookback_seconds = {2, 5};
+  return options;
+}
+
+constexpr std::uint64_t kSecond = 1000ull * 1000ull * 1000ull;
+
+TEST(WindowTest, AggregatesCountsErrorsAndQuantilesDeterministically) {
+  std::atomic<std::uint64_t> now{0};
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  WindowedChannel* channel = windows.channel("serve.health");
+
+  // 90 fast (<= 0.001 s bucket), 10 slow (<= 0.05 s bucket), 5 errors.
+  for (int i = 0; i < 90; ++i) channel->Record(0.0009);
+  for (int i = 0; i < 10; ++i) channel->Record(0.04, /*error=*/i < 5);
+
+  const WindowStats stats = channel->Aggregate(2 * kSecond);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_EQ(stats.errors, 5u);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.05);
+  EXPECT_DOUBLE_EQ(stats.rps, 50.0);  // 100 requests / 2 s lookback
+  EXPECT_DOUBLE_EQ(stats.p50, 0.001);
+  EXPECT_DOUBLE_EQ(stats.p95, 0.05);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.05);
+  EXPECT_DOUBLE_EQ(stats.max, 0.05);
+  EXPECT_NEAR(stats.mean, (90 * 0.0009 + 10 * 0.04) / 100.0, 1e-12);
+}
+
+TEST(WindowTest, OldSlotsAgeOutOfTheShorterLookbacks) {
+  std::atomic<std::uint64_t> now{kSecond / 2};  // epoch 0
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  WindowedChannel* channel = windows.channel("serve.series");
+  channel->Record(0.002);
+
+  now.store(3 * kSecond + kSecond / 2);  // epoch 3
+  EXPECT_EQ(channel->Aggregate(2 * kSecond).count, 0u)
+      << "epoch 0 is outside the trailing 2 s once the clock reaches "
+         "epoch 3";
+  EXPECT_EQ(channel->Aggregate(5 * kSecond).count, 1u);
+}
+
+TEST(WindowTest, RingReusesSlotsPastTheHorizon) {
+  std::atomic<std::uint64_t> now{0};  // epoch 0
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  WindowedChannel* channel = windows.channel("serve.top_changes");
+  channel->Record(0.002);
+  channel->Record(0.002);
+
+  // Epoch 5 maps to the same slot index as epoch 0 (5 % 5): the write
+  // must turn the slot over and the stale epoch-0 samples must vanish
+  // from every lookback.
+  now.store(5 * kSecond + 1);
+  channel->Record(0.004);
+  const WindowStats stats = channel->Aggregate(5 * kSecond);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.005);
+}
+
+TEST(WindowTest, AddCountFeedsRatesWithoutSkewingQuantiles) {
+  std::atomic<std::uint64_t> now{0};
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  WindowedChannel* channel = windows.channel("obs.trace.dropped");
+  channel->AddCount(40);
+  channel->AddCount(2);
+
+  const WindowStats stats = channel->Aggregate(2 * kSecond);
+  EXPECT_EQ(stats.count, 42u);
+  EXPECT_DOUBLE_EQ(stats.rps, 21.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0) << "count-only deltas must not land "
+                                      "in the value histogram";
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(WindowTest, ToJsonIsDeterministicForIdenticalHistories) {
+  auto drive = [](WindowRegistry& windows,
+                  std::atomic<std::uint64_t>& now) {
+    windows.channel("serve.health")->Record(0.0009);
+    windows.channel("serve.report_csv")->Record(0.3, /*error=*/true);
+    now.store(kSecond);
+    windows.channel("serve.health")->Record(0.002);
+  };
+  std::atomic<std::uint64_t> now_a{0};
+  std::atomic<std::uint64_t> now_b{0};
+  WindowRegistry a(TinyOptions(), [&now_a] { return now_a.load(); });
+  WindowRegistry b(TinyOptions(), [&now_b] { return now_b.load(); });
+  drive(a, now_a);
+  drive(b, now_b);
+
+  const std::string json = a.ToJson();
+  EXPECT_EQ(json, b.ToJson());
+  EXPECT_NE(json.find("\"windows\":{\"2s\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"5s\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.health\":{\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"serve.report_csv\":{\"count\":1,\"errors\":1"),
+            std::string::npos);
+}
+
+// All slot state is atomic: concurrent recorders under a fixed clock
+// (no turnover races) must neither lose counts nor trip TSan.
+TEST(WindowTest, ConcurrentRecordsAreAllCounted) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::atomic<std::uint64_t> now{0};
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  WindowedChannel* channel = windows.channel("serve.health");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([channel] {
+      for (int i = 0; i < kPerThread; ++i) {
+        channel->Record(0.0009, /*error=*/i % 100 == 0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const WindowStats stats = channel->Aggregate(2 * kSecond);
+  EXPECT_EQ(stats.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.errors, static_cast<std::uint64_t>(kThreads) * 10);
+}
+
+TEST(OpenMetricsTest, SanitizesNames) {
+  EXPECT_EQ(OpenMetricsName("serve.latency.top-changes"),
+            "mictrend_serve_latency_top_changes");
+  EXPECT_EQ(OpenMetricsName("cache.hits"), "mictrend_cache_hits");
+}
+
+TEST(OpenMetricsTest, RendersEveryMetricKindWithTypeAndHelp) {
+  MetricsRegistry metrics;
+  metrics.counter("serve.requests.health")->Increment(3);
+  metrics.gauge("serve.queue_depth")->Set(2.0);
+  Timer* timer = metrics.timer("serve.latency.health");
+  timer->Record(1000000);  // 1 ms
+  Histogram* histogram =
+      metrics.histogram("serve.frame_bytes", {1.0, 2.0});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+  histogram->Observe(5.0);
+
+  std::atomic<std::uint64_t> now{0};
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  windows.channel("serve.health")->Record(0.0009);
+
+  const std::string text = RenderOpenMetrics(&metrics, &windows);
+  EXPECT_NE(
+      text.find("# TYPE mictrend_serve_requests_health counter\n"
+                "mictrend_serve_requests_health_total 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# HELP mictrend_serve_requests_health "
+                      "serve.requests.health\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mictrend_serve_queue_depth gauge\n"
+                      "mictrend_serve_queue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("mictrend_serve_latency_health_calls_total 1\n"),
+      std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf.
+  EXPECT_NE(text.find("mictrend_serve_frame_bytes_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mictrend_serve_frame_bytes_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("mictrend_serve_frame_bytes_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("mictrend_serve_frame_bytes_count 3\n"),
+            std::string::npos);
+  // Windowed families carry channel/window (and quantile) labels.
+  EXPECT_NE(text.find("mictrend_window_requests{channel=\"serve.health\","
+                      "window=\"2s\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("mictrend_window_latency_seconds{channel=\"serve.health\","
+                "window=\"5s\",quantile=\"0.99\"} 0.001\n"),
+      std::string::npos);
+  // OpenMetrics terminator.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsTest, EscapesLabelValuesAndHelpText) {
+  std::atomic<std::uint64_t> now{0};
+  WindowRegistry windows(TinyOptions(),
+                         [&now] { return now.load(); });
+  windows.channel("bad\"channel\\name")->Record(0.0009);
+
+  const std::string text = RenderOpenMetrics(nullptr, &windows);
+  EXPECT_NE(
+      text.find("{channel=\"bad\\\"channel\\\\name\",window=\"2s\"}"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace mic::obs

@@ -103,6 +103,10 @@ std::vector<CommandSpec> BuildCommandTable() {
                                          {"port-file", "port.txt"},
                                          {"workers", "4"},
                                          {"max-pending", "64"},
+                                         {"max-frame", "8388608"},
+                                         {"access-log", "access.jsonl"},
+                                         {"slow-ms", "500"},
+                                         {"swap-stall-ms", "1000"},
                                          {"min-total", "10"},
                                          {"coupling", "0"},
                                          {"model", "proposed|cooccurrence"}};
@@ -115,7 +119,7 @@ std::vector<CommandSpec> BuildCommandTable() {
       {"query",
        WithObsFlags({{"port", "N", true},
                      {"host", "127.0.0.1"},
-                     {"op", "health"},
+                     {"op", "health|metrics|stats|..."},
                      {"kind", "disease|medicine|prescription|all"},
                      {"disease", "name"},
                      {"medicine", "name"},
@@ -342,7 +346,7 @@ Result<trend::PipelineConfig> PipelineConfigFromFlags(
 }
 
 Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool,
-                                 bool force_metrics) {
+                                 bool force_metrics, bool force_trace) {
   CliRun run;
   if (with_pool) {
     MIC_ASSIGN_OR_RETURN(run.pool_, MakePoolFromFlags(flags));
@@ -352,7 +356,7 @@ Result<CliRun> CliRun::FromFlags(const Flags& flags, bool with_pool,
   if (force_metrics || flags.Has("metrics-out")) {
     run.metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
-  if (flags.Has("trace-out")) {
+  if (force_trace || flags.Has("trace-out")) {
     run.trace_ = std::make_unique<obs::TraceLog>();
   }
   MIC_ASSIGN_OR_RETURN(trend::CacheConfig cache_config,

@@ -74,9 +74,13 @@ class CliRun {
   /// subcommands that do no parallel work. `force_metrics` creates the
   /// registry even without --metrics-out — the serve daemon needs one
   /// for its `metrics` endpoint and the cache.* counters regardless of
-  /// whether the run exports a metrics file at exit.
+  /// whether the run exports a metrics file at exit. `force_trace`
+  /// likewise creates the trace ring without --trace-out — the daemon's
+  /// request-scoped tracing and tail-based slow-request retention need
+  /// one for the lifetime of the server.
   static Result<CliRun> FromFlags(const Flags& flags, bool with_pool,
-                                  bool force_metrics = false);
+                                  bool force_metrics = false,
+                                  bool force_trace = false);
 
   /// Context for the library entry points. metrics/trace/cache are null
   /// when the matching output was not requested, which keeps the hot

@@ -410,9 +410,12 @@ int RunPipeline(const Flags& flags) {
 int RunServe(const Flags& flags) {
   // force_metrics: the daemon's `metrics` endpoint and the cache.*
   // warm-start counters need a registry whether or not this run also
-  // exports --metrics-out at exit.
+  // exports --metrics-out at exit. force_trace: request-scoped spans
+  // and tail-based slow-request retention need the ring regardless of
+  // --trace-out.
   auto run = CliRun::FromFlags(flags, /*with_pool=*/true,
-                               /*force_metrics=*/true);
+                               /*force_metrics=*/true,
+                               /*force_trace=*/true);
   if (!run.ok()) return Fail(run.status());
 
   const DetectorFlagDefaults defaults{4.0, 3, "approx"};
@@ -433,6 +436,21 @@ int RunServe(const Flags& flags) {
   auto max_pending = flags.GetInt("max-pending", 64);
   if (!max_pending.ok()) return Fail(max_pending.status());
   options.max_pending = static_cast<int>(*max_pending);
+  auto max_frame = flags.GetInt(
+      "max-frame", static_cast<std::int64_t>(options.limits.max_frame_bytes));
+  if (!max_frame.ok()) return Fail(max_frame.status());
+  if (*max_frame < 16) {
+    return Fail(Status::InvalidArgument(
+        "--max-frame must be at least 16 bytes"));
+  }
+  options.limits.max_frame_bytes = static_cast<std::size_t>(*max_frame);
+  options.access_log_path = flags.GetString("access-log");
+  auto slow_ms = flags.GetInt("slow-ms", 500);
+  if (!slow_ms.ok()) return Fail(slow_ms.status());
+  options.slow_request_threshold_ms = static_cast<int>(*slow_ms);
+  auto stall_ms = flags.GetInt("swap-stall-ms", 1000);
+  if (!stall_ms.ok()) return Fail(stall_ms.status());
+  options.swap_stall_deadline_ms = static_cast<int>(*stall_ms);
 
   auto server = serve::TcpServer::Start(service->get(), options);
   if (!server.ok()) return Fail(server.status());
