@@ -22,6 +22,7 @@
 #include "ssm/changepoint.h"
 #include "ssm/fit.h"
 #include "store/claim_store.h"
+#include "trend/drilldown.h"
 #include "trend/pipeline.h"
 #include "trend/trend_analyzer.h"
 
@@ -428,6 +429,109 @@ void MeasureIngest(const bench::BenchData& data,
   fs::remove_all(dir, ec);
 }
 
+bool DrillReportsBitIdentical(const trend::DrillDownReport& a,
+                              const trend::DrillDownReport& b) {
+  if (a.num_months != b.num_months || a.nodes.size() != b.nodes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const trend::DrillNode& x = a.nodes[i];
+    const trend::DrillNode& y = b.nodes[i];
+    if (x.name != y.name || x.parent != y.parent || x.depth != y.depth ||
+        x.children != y.children || x.is_leaf != y.is_leaf ||
+        x.series != y.series || x.total != y.total ||
+        x.analysis.has_change != y.analysis.has_change ||
+        x.analysis.change_point != y.analysis.change_point ||
+        x.analysis.lambda != y.analysis.lambda ||
+        x.analysis.aic != y.analysis.aic ||
+        x.analysis.aic_without_intervention !=
+            y.analysis.aic_without_intervention) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The drill-down rollup stage (PR 10): build the flat report once,
+// then roll it up the medicine hierarchy serially and at the widest
+// curve point. The wide run must reproduce the single-thread tree bit
+// for bit — the determinism ExplainShift's greedy descent depends on —
+// and the node/leaf/change counts are deterministic for a fixed
+// config.
+void MeasureDrilldown(const bench::BenchData& data,
+                      const std::vector<int>& thread_curve,
+                      bench::BenchReport& report) {
+  trend::TrendAnalyzerOptions options;
+  options.detector.fit = MakeFitOptions();
+  trend::TrendAnalyzer analyzer(options);
+  runtime::ThreadPool single(1);
+  ExecContext serial_context;
+  serial_context.pool = &single;
+  auto flat = analyzer.AnalyzeAll(serial_context, data.series);
+  MIC_CHECK(flat.ok()) << flat.status();
+
+  auto timed_build = [&](int width, obs::MetricsRegistry* metrics,
+                         double* seconds) {
+    runtime::ThreadPool pool(width);
+    ExecContext context;
+    context.pool = &pool;
+    context.metrics = metrics;
+    const auto start = Clock::now();
+    auto drill =
+        trend::BuildDrillDown(context, data.generated.corpus, data.series,
+                              *flat, trend::DrillAxis::kMedicine, options);
+    *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    MIC_CHECK(drill.ok()) << drill.status();
+    return std::move(drill).value();
+  };
+
+  obs::MetricsRegistry metrics;
+  double serial_seconds = 0.0;
+  const trend::DrillDownReport serial_drill =
+      timed_build(1, &metrics, &serial_seconds);
+  const int widest = thread_curve.back();
+  double wide_seconds = serial_seconds;
+  bool identical = true;
+  if (widest > 1) {
+    const trend::DrillDownReport wide_drill =
+        timed_build(widest, nullptr, &wide_seconds);
+    identical = DrillReportsBitIdentical(serial_drill, wide_drill);
+  }
+  const double speedup =
+      wide_seconds > 0.0 ? serial_seconds / wide_seconds : 0.0;
+
+  std::size_t leaves = 0;
+  std::size_t changes = 0;
+  for (const trend::DrillNode& node : serial_drill.nodes) {
+    if (node.is_leaf) ++leaves;
+    if (node.analysis.has_change) ++changes;
+  }
+  const auto leaf_reuses = metrics.counter_value("trend.rollup.leaf_reuses");
+
+  std::printf("\nDrill-down rollup (medicine axis, %zu nodes):\n",
+              serial_drill.nodes.size());
+  std::printf("  %-22s %9.3f s\n", "1 thread", serial_seconds);
+  char label[64];
+  std::snprintf(label, sizeof(label), "%d threads", widest);
+  std::printf("  %-22s %9.3f s  (speedup %5.2fx%s)\n", label, wide_seconds,
+              speedup, identical ? "" : "; NOT bit-identical");
+  std::printf("  leaves / changes / leaf reuses: %zu / %zu / %llu\n",
+              leaves, changes, static_cast<unsigned long long>(leaf_reuses));
+  MIC_CHECK(identical)
+      << "drill-down at " << widest
+      << " threads diverged from the single-thread tree";
+  report.Set("drilldown", "nodes",
+             static_cast<double>(serial_drill.nodes.size()));
+  report.Set("drilldown", "leaves", static_cast<double>(leaves));
+  report.Set("drilldown", "changes", static_cast<double>(changes));
+  report.Set("drilldown", "leaf_reuses", static_cast<double>(leaf_reuses));
+  report.Set("drilldown", "identical", identical ? 1.0 : 0.0);
+  report.Set("drilldown", "threads", static_cast<double>(widest));
+  report.Set("drilldown", "serial_seconds", serial_seconds);
+  report.Set("drilldown", "parallel_seconds", wide_seconds);
+  report.Set("drilldown", "speedup", speedup);
+}
+
 // The mic::obs instrumentation cost on the same sweep. With no registry
 // attached (the default) every hook is a null-pointer compare, so the
 // disabled run must stay within noise of the uninstrumented baseline;
@@ -507,6 +611,7 @@ int Run() {
   // speedup degrades gracefully toward 1x but the bit-identical check
   // still bites at every width.
   MeasureParallelStage(data, scale.thread_curve, report);
+  MeasureDrilldown(data, scale.thread_curve, report);
   MeasureIncremental(data, report);
   MeasureIngest(data, report);
   MeasureObsOverhead(data, report);

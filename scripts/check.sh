@@ -11,6 +11,7 @@
 #   scripts/check.sh cache-smoke  # just the incremental-cache gate
 #   scripts/check.sh store-smoke  # just the persistent-store gate
 #   scripts/check.sh serve-smoke  # just the trend-query daemon gate
+#   scripts/check.sh drill-smoke  # just the drill-down rollup gate
 #   scripts/check.sh perf-smoke   # just the parallel-scaling gate
 #   scripts/check.sh obs-smoke    # just the telemetry/OpenMetrics gate
 #
@@ -20,7 +21,7 @@
 set -e
 
 cd "$(dirname "$0")/.."
-PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke serve-smoke perf-smoke obs-smoke}"
+PRESETS="${*:-default tsan asan bench-smoke cache-smoke store-smoke serve-smoke drill-smoke perf-smoke obs-smoke}"
 
 # Runs bench_table5_efficiency at the pinned smoke scale (the config the
 # committed baseline was generated with -- bench_compare refuses to diff
@@ -318,6 +319,108 @@ EOF
   echo "serve-smoke OK: served reports byte-identical through live ingest"
 }
 
+# The drill-down rollup gate: the served drilldown document must
+# byte-match the offline `mictrend drilldown` build both before and
+# after a live ingest, and a warm rerun against a seeded cache must
+# reproduce the cold document byte for byte while answering every
+# rollup fit from the cache (nonzero hits, zero misses, nonzero leaf
+# reuses). Everything runs with --seasonal false: an 11-state dummy
+# seasonal cannot be fitted on a 12-month series, so the seasonal
+# default would degenerate every fit to a skip and the gate would
+# vacuously pass on empty documents.
+drill_smoke() {
+  echo "==== drill-smoke: drill-down rollup identity gate ===="
+  if [ ! -x build/tools/mictrend ]; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$(nproc)" --target mictrend
+  fi
+  work="build/drill_smoke_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  bin=build/tools/mictrend
+  # Same world shape as serve-smoke: 13 months, daemon starts on the
+  # first 12, month 12 arrives live.
+  $bin generate --out "$work/corpus13.csv" \
+    --hospitals-out "$work/hospitals.csv" \
+    --months 13 --patients 250 --background 3 --seed 7
+  awk -F, 'NR == 1 || $1 != 12' "$work/corpus13.csv" > "$work/corpus12.csv"
+  $bin import --corpus "$work/corpus12.csv" \
+    --hospitals "$work/hospitals.csv" --store-dir "$work/store" \
+    | grep -q "imported 12 of 12 months"
+
+  # Cold offline twins for each served comparison. The daemon below
+  # runs cache-less, so its rebuilds are cold too and the documents
+  # compare byte for byte.
+  $bin drilldown --corpus "$work/corpus12.csv" \
+    --hospitals "$work/hospitals.csv" --min-total 5 --seasonal false \
+    --axis medicine --json "$work/offline12.json" > /dev/null
+  $bin drilldown --corpus "$work/corpus12.csv" \
+    --hospitals "$work/hospitals.csv" --min-total 5 --seasonal false \
+    --axis hospital --json "$work/offline12h.json" > /dev/null
+  $bin drilldown --corpus "$work/corpus13.csv" \
+    --hospitals "$work/hospitals.csv" --min-total 5 --seasonal false \
+    --axis medicine --json "$work/offline13.json" > /dev/null
+
+  rm -f "$work/port.txt"
+  $bin serve --store-dir "$work/store" --min-total 5 --seasonal false \
+    --port 0 --port-file "$work/port.txt" --workers 2 \
+    > "$work/serve.log" 2>&1 &
+  pid=$!
+  i=0
+  while [ ! -s "$work/port.txt" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "drill-smoke daemon died during startup:" >&2
+      cat "$work/serve.log" >&2
+      exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 240 ]; then
+      echo "drill-smoke daemon never wrote the port file" >&2
+      kill "$pid" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.5
+  done
+  port=$(cat "$work/port.txt")
+
+  $bin query --port "$port" --op drilldown --axis medicine \
+    --out "$work/served12.json"
+  cmp "$work/offline12.json" "$work/served12.json"
+  $bin query --port "$port" --op drilldown --axis hospital \
+    --out "$work/served12h.json"
+  cmp "$work/offline12h.json" "$work/served12h.json"
+
+  $bin query --port "$port" --op ingest --corpus "$work/corpus13.csv" \
+    --hospitals "$work/hospitals.csv" > /dev/null
+  $bin query --port "$port" --op drilldown --axis medicine \
+    --out "$work/served13.json"
+  cmp "$work/offline13.json" "$work/served13.json"
+  $bin query --port "$port" --op shutdown > /dev/null
+  wait "$pid"
+
+  # Warm-cache leg: seed a cache with a cold write run, rerun rw, and
+  # require the same bytes with every rollup fit answered from disk.
+  $bin drilldown --corpus "$work/corpus13.csv" \
+    --hospitals "$work/hospitals.csv" --min-total 5 --seasonal false \
+    --axis medicine --json "$work/cold.json" \
+    --cache write --cache-dir "$work/cache" > /dev/null
+  $bin drilldown --corpus "$work/corpus13.csv" \
+    --hospitals "$work/hospitals.csv" --min-total 5 --seasonal false \
+    --axis medicine --json "$work/warm.json" \
+    --cache rw --cache-dir "$work/cache" \
+    --metrics-out "$work/warm_metrics.json" > /dev/null
+  cmp "$work/cold.json" "$work/warm.json"
+  python3 - "$work/warm_metrics.json" << 'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters["trend.rollup.cache_hits"] > 0, counters
+assert counters["trend.rollup.cache_misses"] == 0, counters
+assert counters["trend.rollup.leaf_reuses"] > 0, counters
+assert counters["cache.read_errors"] == 0, counters
+EOF
+  echo "drill-smoke OK: drill documents byte-identical served and cached"
+}
+
 # The telemetry gate: a daemon under a little query load must answer
 # lint-clean OpenMetrics on /metrics (twice, so counter monotonicity is
 # checked across scrapes), a parseable /varz whose window payload
@@ -487,6 +590,10 @@ for preset in $PRESETS; do
   fi
   if [ "$preset" = "serve-smoke" ]; then
     serve_smoke
+    continue
+  fi
+  if [ "$preset" = "drill-smoke" ]; then
+    drill_smoke
     continue
   fi
   if [ "$preset" = "perf-smoke" ]; then

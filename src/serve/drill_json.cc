@@ -1,0 +1,55 @@
+#include "serve/drill_json.h"
+
+#include <string>
+
+namespace mic::serve {
+
+JsonValue DrillDownToJson(const trend::DrillDownReport& report) {
+  JsonValue nodes = JsonValue::Array();
+  for (const trend::DrillNode& node : report.nodes) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue::String(node.name));
+    row.Set("parent", JsonValue::Int(node.parent));
+    row.Set("depth", JsonValue::Int(node.depth));
+    row.Set("leaf", JsonValue::Bool(node.is_leaf));
+    row.Set("total", JsonValue::Number(node.total));
+    row.Set("change", JsonValue::Bool(node.analysis.has_change));
+    row.Set("month", JsonValue::Int(node.analysis.change_point));
+    row.Set("lambda", JsonValue::Number(node.analysis.lambda));
+    row.Set("criterion", JsonValue::Number(node.analysis.aic));
+    row.Set("criterion_no_change",
+            JsonValue::Number(node.analysis.aic_without_intervention));
+    nodes.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("axis",
+           JsonValue::String(std::string(DrillAxisName(report.axis))));
+  data.Set("months", JsonValue::Int(report.num_months));
+  data.Set("nodes", std::move(nodes));
+  return data;
+}
+
+JsonValue ExplainToJson(const trend::DrillDownReport& report,
+                        const trend::ExplainResult& result) {
+  JsonValue path = JsonValue::Array();
+  for (const trend::ExplainStep& step : result.path) {
+    JsonValue row = JsonValue::Object();
+    row.Set("node", JsonValue::String(step.node));
+    row.Set("delta", JsonValue::Number(step.delta));
+    row.Set("share", JsonValue::Number(step.share));
+    path.Append(std::move(row));
+  }
+  JsonValue data = JsonValue::Object();
+  data.Set("axis",
+           JsonValue::String(std::string(DrillAxisName(report.axis))));
+  data.Set("target", JsonValue::String(result.target));
+  data.Set("change_month", JsonValue::Int(result.change_month));
+  data.Set("delta", JsonValue::Number(result.delta));
+  data.Set("min_share", JsonValue::Number(result.min_share));
+  data.Set("path", std::move(path));
+  data.Set("driver", JsonValue::String(result.driver));
+  data.Set("driver_share", JsonValue::Number(result.driver_share));
+  return data;
+}
+
+}  // namespace mic::serve

@@ -1,0 +1,29 @@
+// JSON rendering of drill-down artifacts, shared verbatim between the
+// serve endpoints (`drilldown` / `explain` data payloads) and the
+// offline CLI (`mictrend drilldown --json` / `--explain-json`). One
+// renderer + JsonValue's deterministic serialization is what lets the
+// drill-smoke gate byte-compare served output against the offline run.
+
+#ifndef MICTREND_SERVE_DRILL_JSON_H_
+#define MICTREND_SERVE_DRILL_JSON_H_
+
+#include "serve/wire.h"
+#include "trend/drilldown.h"
+
+namespace mic::serve {
+
+/// The whole tree: {"axis","months","nodes":[{name,parent,depth,leaf,
+/// total,change,month,lambda,criterion,criterion_no_change}, ...]}.
+/// Node order is the report's storage order (root first, children
+/// after their parent) — deterministic at any thread count.
+JsonValue DrillDownToJson(const trend::DrillDownReport& report);
+
+/// One subgroup-search descent: {"axis","target","change_month",
+/// "delta","min_share","path":[{node,delta,share},...],"driver",
+/// "driver_share"}.
+JsonValue ExplainToJson(const trend::DrillDownReport& report,
+                        const trend::ExplainResult& result);
+
+}  // namespace mic::serve
+
+#endif  // MICTREND_SERVE_DRILL_JSON_H_

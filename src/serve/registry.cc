@@ -1,0 +1,214 @@
+#include "serve/registry.h"
+
+namespace mic::serve {
+namespace {
+
+constexpr ParamSpec kSeriesParams[] = {
+    {"kind", ParamType::kString, false,
+     "disease|medicine|prescription (default prescription)"},
+    {"disease", ParamType::kString, false,
+     "disease name (required unless kind=medicine)"},
+    {"medicine", ParamType::kString, false,
+     "medicine name (required unless kind=disease)"},
+};
+
+constexpr ParamSpec kTopChangesParams[] = {
+    {"kind", ParamType::kString, false,
+     "all|disease|medicine|prescription (default all)"},
+    {"k", ParamType::kInt, false, "result count (default 10)"},
+};
+
+constexpr ParamSpec kGeoSpreadParams[] = {
+    {"medicines", ParamType::kStringList, true,
+     "medicine names to trace"},
+    {"snapshot_months", ParamType::kIntList, true,
+     "month indexes to snapshot"},
+};
+
+constexpr ParamSpec kHospitalGapParams[] = {
+    {"medicine", ParamType::kString, true, "medicine name"},
+    {"top_k", ParamType::kInt, false,
+     "per-class disease ranking depth (default 10)"},
+};
+
+constexpr ParamSpec kDrilldownParams[] = {
+    {"axis", ParamType::kString, true, "medicine|disease|hospital"},
+};
+
+constexpr ParamSpec kExplainParams[] = {
+    {"axis", ParamType::kString, true, "medicine|disease|hospital"},
+    {"node", ParamType::kString, true,
+     "tree node whose shift to explain (e.g. 'all')"},
+    {"min_share", ParamType::kDouble, false,
+     "minimum child contribution to keep descending (default 0.6)"},
+};
+
+constexpr ParamSpec kIngestParams[] = {
+    {"corpus", ParamType::kString, false,
+     "server-local corpus CSV (omit: re-open the store directory)"},
+    {"hospitals", ParamType::kString, false,
+     "server-local hospital attributes CSV"},
+};
+
+constexpr EndpointSpec kEndpoints[] = {
+    {"health", false, "liveness + served snapshot identity", {},
+     ResponseMode::kEnvelope, {}},
+    {"metrics", false, "the metrics registry counters", {},
+     ResponseMode::kEnvelope, {}},
+    {"stats", false, "sliding-window telemetry (the /varz document)",
+     {}, ResponseMode::kEnvelope, {}},
+    {"series", false, "one analyzed series by name", kSeriesParams,
+     ResponseMode::kEnvelope, {}},
+    {"top_changes", false, "largest detected changes, ranked",
+     kTopChangesParams, ResponseMode::kEnvelope, {}},
+    {"geo_spread", false, "per-city medicine counts at month snapshots",
+     kGeoSpreadParams, ResponseMode::kEnvelope, {}},
+    {"hospital_gap", false, "disease mix by hospital bed-size class",
+     kHospitalGapParams, ResponseMode::kEnvelope, {}},
+    {"drilldown", false, "hierarchical rollup tree for one axis",
+     kDrilldownParams, ResponseMode::kDataOnly, {}},
+    {"explain", false, "subgroup search for an aggregate shift",
+     kExplainParams, ResponseMode::kDataOnly, {}},
+    {"report_csv", false, "the full trend report CSV artifact", {},
+     ResponseMode::kRawMember, "csv"},
+    {"ingest", true, "append months and publish the next snapshot",
+     kIngestParams, ResponseMode::kEnvelope, {}},
+    {"shutdown", false, "answer, then wind the daemon down", {},
+     ResponseMode::kEnvelope, {}},
+};
+
+static_assert(std::size(kEndpoints) == kNumEndpoints,
+              "keep kNumEndpoints in sync with the endpoint table");
+
+bool ShapeMatches(ParamType type, const JsonValue& value) {
+  switch (type) {
+    case ParamType::kString:
+      return value.is_string();
+    case ParamType::kInt:
+    case ParamType::kDouble:
+      return value.is_number();
+    case ParamType::kBool:
+      return value.is_bool();
+    case ParamType::kStringList:
+    case ParamType::kIntList:
+      return value.is_array();
+  }
+  return false;
+}
+
+std::string_view ShapeName(ParamType type) {
+  switch (type) {
+    case ParamType::kString:
+      return "a string";
+    case ParamType::kInt:
+      return "an integer";
+    case ParamType::kDouble:
+      return "a number";
+    case ParamType::kBool:
+      return "a boolean";
+    case ParamType::kStringList:
+      return "an array of strings";
+    case ParamType::kIntList:
+      return "an array of integers";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kString:
+      return "string";
+    case ParamType::kInt:
+      return "int";
+    case ParamType::kDouble:
+      return "number";
+    case ParamType::kBool:
+      return "bool";
+    case ParamType::kStringList:
+      return "list";
+    case ParamType::kIntList:
+      return "int-list";
+  }
+  return "?";
+}
+
+const ParamSpec* EndpointSpec::FindParam(std::string_view param) const {
+  for (const ParamSpec& spec : params) {
+    if (spec.name == param) return &spec;
+  }
+  return nullptr;
+}
+
+std::span<const EndpointSpec> EndpointTable() { return kEndpoints; }
+
+const EndpointSpec* FindEndpoint(std::string_view op) {
+  for (const EndpointSpec& spec : kEndpoints) {
+    if (spec.name == op) return &spec;
+  }
+  return nullptr;
+}
+
+std::size_t EndpointIndex(std::string_view op) {
+  for (std::size_t i = 0; i < std::size(kEndpoints); ++i) {
+    if (kEndpoints[i].name == op) return i;
+  }
+  return std::size(kEndpoints);
+}
+
+Status ValidateRequest(const EndpointSpec& spec, const JsonValue& request) {
+  for (const auto& [name, value] : request.members()) {
+    if (name == "op" || name == "protocol") continue;
+    const ParamSpec* param = spec.FindParam(name);
+    if (param == nullptr) {
+      return Status::InvalidArgument(
+          "unknown parameter '" + name + "' for op '" +
+          std::string(spec.name) + "'");
+    }
+    if (!ShapeMatches(param->type, value)) {
+      return Status::InvalidArgument(
+          "parameter '" + name + "' of op '" + std::string(spec.name) +
+          "' must be " + std::string(ShapeName(param->type)));
+    }
+  }
+  for (const ParamSpec& param : spec.params) {
+    if (param.required && request.Find(param.name) == nullptr) {
+      return Status::InvalidArgument(
+          "missing required parameter '" + std::string(param.name) +
+          "' for op '" + std::string(spec.name) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string BuildOpsUsageText() {
+  std::string out;
+  for (const EndpointSpec& endpoint : kEndpoints) {
+    out += "    ";
+    out += endpoint.name;
+    out += " — ";
+    out += endpoint.summary;
+    out += "\n";
+    for (const ParamSpec& param : endpoint.params) {
+      // Flags are printed CLI-style: the wire name's '_' becomes '-'
+      // (tools/cli_common.h CliFlagName applies the same mapping when
+      // assembling requests).
+      std::string flag(param.name);
+      for (char& c : flag) {
+        if (c == '_') c = '-';
+      }
+      out += "        --";
+      out += flag;
+      out += " <";
+      out += ParamTypeName(param.type);
+      out += ">";
+      out += param.required ? "  (required) " : "  ";
+      out += param.summary;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mic::serve

@@ -12,27 +12,10 @@
 #include "cache/fingerprint.h"
 #include "mic/io.h"
 #include "obs/trace.h"
+#include "serve/drill_json.h"
 
 namespace mic::serve {
 namespace {
-
-// Fixed op universe: per-op metric handles are pre-resolved once at
-// construction so the query path never takes the registry's
-// name-resolution mutex. Index kUnknownOp catches unrecognized ops.
-constexpr std::array<std::string_view, 10> kOps = {
-    "health",       "metrics",    "stats",
-    "series",       "top_changes", "geo_spread",
-    "hospital_gap", "report_csv",  "ingest",
-    "shutdown",
-};
-constexpr std::size_t kUnknownOp = kOps.size();
-
-std::size_t OpIndex(std::string_view op) {
-  for (std::size_t i = 0; i < kOps.size(); ++i) {
-    if (kOps[i] == op) return i;
-  }
-  return kUnknownOp;
-}
 
 std::string_view ErrorCodeName(StatusCode code) {
   switch (code) {
@@ -138,11 +121,14 @@ TrendService::TrendService(const trend::PipelineConfig& config,
     : config_(config), context_(context), store_(std::move(store)),
       windows_(std::make_unique<obs::WindowRegistry>()) {
   context_.store = &store_;
-  static_assert(kNumOpSlots == kOps.size() + 1,
-                "one metric row per op plus the unknown-op catch-all");
+  // One metric row per registry op plus the unknown-op catch-all,
+  // pre-resolved once so the query path never takes the metrics
+  // registry's name-resolution mutex.
+  const std::span<const EndpointSpec> endpoints = EndpointTable();
   for (std::size_t i = 0; i < kNumOpSlots; ++i) {
-    const std::string name =
-        i == kUnknownOp ? std::string("unknown") : std::string(kOps[i]);
+    const std::string name = i == endpoints.size()
+                                 ? std::string("unknown")
+                                 : std::string(endpoints[i].name);
     op_metrics_[i].requests =
         obs::GetCounter(context_.metrics, "serve.requests." + name);
     op_metrics_[i].errors =
@@ -188,7 +174,7 @@ Result<std::unique_ptr<TrendService>> TrendService::Create(
 JsonValue TrendService::Handle(const JsonValue& request,
                                const SnapshotReader& reader) {
   const std::string op = request.GetString("op");
-  const OpMetricHandles& op_metrics = op_metrics_[OpIndex(op)];
+  const OpMetricHandles& op_metrics = op_metrics_[EndpointIndex(op)];
   obs::Increment(op_metrics.requests);
   const auto start = std::chrono::steady_clock::now();
   JsonValue response;
@@ -223,32 +209,36 @@ JsonValue TrendService::Handle(const JsonValue& request,
 Result<JsonValue> TrendService::Dispatch(const std::string& op,
                                          const JsonValue& request,
                                          const SnapshotReader& reader) {
-  if (op == "ingest") {
+  // Positional handler binding for the registry's endpoint table: one
+  // row per EndpointTable() entry, in table order. Mutating ops carry
+  // nullptr — they are routed below, before a snapshot pin exists.
+  using QueryHandler = Result<JsonValue> (TrendService::*)(
+      const JsonValue&, const WorldSnapshot&);
+  static constexpr std::array<QueryHandler, kNumEndpoints> kHandlers = {
+      &TrendService::HandleHealth,      &TrendService::HandleMetrics,
+      &TrendService::HandleStats,       &TrendService::HandleSeries,
+      &TrendService::HandleTopChanges,  &TrendService::HandleGeoSpread,
+      &TrendService::HandleHospitalGap, &TrendService::HandleDrilldown,
+      &TrendService::HandleExplain,     &TrendService::HandleReportCsv,
+      /*ingest=*/nullptr,               &TrendService::HandleShutdown,
+  };
+  const std::size_t index = EndpointIndex(op);
+  if (index >= kNumEndpoints) {
+    return Status::InvalidArgument("unknown op '" + op + "'");
+  }
+  const EndpointSpec& spec = EndpointTable()[index];
+  MIC_RETURN_IF_ERROR(ValidateRequest(spec, request));
+  if (spec.mutates) {
     // No pin: the ingest path publishes, and Publish waits for pins of
     // the superseded snapshot — holding one here would self-deadlock.
     return HandleIngest(request);
   }
   SnapshotPin pin = hub_.Acquire(reader);
-  const WorldSnapshot& snapshot = *pin;
-  if (op == "health") return HandleHealth(snapshot);
-  if (op == "metrics") return HandleMetrics(snapshot);
-  if (op == "stats") return HandleStats(snapshot);
-  if (op == "series") return HandleSeries(request, snapshot);
-  if (op == "top_changes") return HandleTopChanges(request, snapshot);
-  if (op == "geo_spread") return HandleGeoSpread(request, snapshot);
-  if (op == "hospital_gap") return HandleHospitalGap(request, snapshot);
-  if (op == "report_csv") return HandleReportCsv(snapshot);
-  if (op == "shutdown") {
-    shutdown_.store(true, std::memory_order_seq_cst);
-    JsonValue data = JsonValue::Object();
-    data.Set("stopping", JsonValue::Bool(true));
-    return Envelope(snapshot, std::move(data));
-  }
-  return Status::InvalidArgument("unknown op '" + op + "'");
+  return (this->*kHandlers[index])(request, *pin);
 }
 
 Result<JsonValue> TrendService::HandleHealth(
-    const WorldSnapshot& snapshot) {
+    const JsonValue& /*request*/, const WorldSnapshot& snapshot) {
   JsonValue data = JsonValue::Object();
   data.Set("status", JsonValue::String("ok"));
   data.Set("protocol", JsonValue::Int(kProtocolVersion));
@@ -267,7 +257,7 @@ Result<JsonValue> TrendService::HandleHealth(
 }
 
 Result<JsonValue> TrendService::HandleMetrics(
-    const WorldSnapshot& snapshot) {
+    const JsonValue& /*request*/, const WorldSnapshot& snapshot) {
   JsonValue counters = JsonValue::Object();
   if (context_.metrics != nullptr) {
     // CountersToJson is already the deterministic sorted-name JSON
@@ -282,7 +272,7 @@ Result<JsonValue> TrendService::HandleMetrics(
 }
 
 Result<JsonValue> TrendService::HandleStats(
-    const WorldSnapshot& snapshot) {
+    const JsonValue& /*request*/, const WorldSnapshot& snapshot) {
   // ToJson is the single source for both this op and the HTTP /varz
   // body; parsing it into the envelope keeps the two byte-equivalent in
   // structure.
@@ -505,10 +495,43 @@ Result<JsonValue> TrendService::HandleHospitalGap(
   return Envelope(snapshot, std::move(data));
 }
 
+Result<JsonValue> TrendService::HandleDrilldown(
+    const JsonValue& request, const WorldSnapshot& snapshot) {
+  MIC_ASSIGN_OR_RETURN(const trend::DrillAxis axis,
+                       trend::ParseDrillAxis(request.GetString("axis")));
+  return Envelope(snapshot,
+                  DrillDownToJson(
+                      snapshot.drilldowns[static_cast<std::size_t>(axis)]));
+}
+
+Result<JsonValue> TrendService::HandleExplain(
+    const JsonValue& request, const WorldSnapshot& snapshot) {
+  MIC_ASSIGN_OR_RETURN(const trend::DrillAxis axis,
+                       trend::ParseDrillAxis(request.GetString("axis")));
+  const double min_share = request.GetDouble("min_share", 0.6);
+  if (!(min_share > 0.0) || min_share > 1.0) {
+    return Status::InvalidArgument("'min_share' must be in (0, 1]");
+  }
+  const trend::DrillDownReport& drill =
+      snapshot.drilldowns[static_cast<std::size_t>(axis)];
+  MIC_ASSIGN_OR_RETURN(
+      const trend::ExplainResult result,
+      trend::ExplainShift(drill, request.GetString("node"), min_share));
+  return Envelope(snapshot, ExplainToJson(drill, result));
+}
+
 Result<JsonValue> TrendService::HandleReportCsv(
-    const WorldSnapshot& snapshot) {
+    const JsonValue& /*request*/, const WorldSnapshot& snapshot) {
   JsonValue data = JsonValue::Object();
   data.Set("csv", JsonValue::String(snapshot.report_csv));
+  return Envelope(snapshot, std::move(data));
+}
+
+Result<JsonValue> TrendService::HandleShutdown(
+    const JsonValue& /*request*/, const WorldSnapshot& snapshot) {
+  shutdown_.store(true, std::memory_order_seq_cst);
+  JsonValue data = JsonValue::Object();
+  data.Set("stopping", JsonValue::Bool(true));
   return Envelope(snapshot, std::move(data));
 }
 

@@ -2,12 +2,15 @@
 // transport. The TCP server (serve/server.h) parses frames into
 // JsonValue requests and hands them here; tests call Handle() directly.
 //
-// Query ops (series / top_changes / geo_spread / hospital_gap /
-// report_csv / health / metrics) run entirely against a pinned
-// WorldSnapshot — no locks, no mutable service state. Mutating ops
-// (ingest) serialize on a mutex, build the next snapshot off the query
-// path, and publish it through the SnapshotHub; queries keep answering
-// from the old snapshot until the swap lands.
+// The op universe lives in ONE place — the declarative endpoint
+// registry (serve/registry.h) — which also carries each op's typed
+// parameter schema; Dispatch validates every request against it before
+// any handler runs (unknown parameters are rejected). Query ops run
+// entirely against a pinned WorldSnapshot — no locks, no mutable
+// service state. Mutating ops (ingest) serialize on a mutex, build the
+// next snapshot off the query path, and publish it through the
+// SnapshotHub; queries keep answering from the old snapshot until the
+// swap lands.
 //
 // Every response carries the snapshot's version and month count next to
 // the payload, which is what lets a client (and the hammer test) assert
@@ -38,6 +41,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "obs/window.h"
+#include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
 #include "store/claim_store.h"
@@ -53,8 +57,10 @@ namespace mic::serve {
 
 /// Protocol version served in `health` responses and checked against a
 /// request's optional "protocol" field (docs/serve_protocol.md states
-/// the compatibility rules).
-inline constexpr std::int64_t kProtocolVersion = 1;
+/// the compatibility rules). Version 2: every framed op routes through
+/// the declarative endpoint registry (serve/registry.h) and unknown
+/// request members are rejected with bad_request instead of ignored.
+inline constexpr std::int64_t kProtocolVersion = 2;
 
 /// Builds the uniform error envelope:
 /// {"ok":false,"error":{"code":"...","message":"..."}}.
@@ -102,14 +108,25 @@ class TrendService {
   TrendService(const trend::PipelineConfig& config,
                const ExecContext& context, store::ClaimStore store);
 
-  /// Dispatches on request["op"]; status errors bubble up to Handle
-  /// which wraps them in the envelope.
+  /// Dispatches on request["op"] via the endpoint registry
+  /// (serve/registry.h): unknown ops and schema violations (unknown
+  /// parameters included) fail before any handler runs; status errors
+  /// bubble up to Handle which wraps them in the envelope.
   Result<JsonValue> Dispatch(const std::string& op,
                              const JsonValue& request,
                              const SnapshotReader& reader);
 
-  Result<JsonValue> HandleHealth(const WorldSnapshot& snapshot);
-  Result<JsonValue> HandleMetrics(const WorldSnapshot& snapshot);
+  /// Query handlers, one per registry row, all on the uniform
+  /// (request, snapshot) shape so the dispatch table stays positional.
+  /// Handlers that need no parameters simply ignore `request`.
+  Result<JsonValue> HandleHealth(const JsonValue& request,
+                                 const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleMetrics(const JsonValue& request,
+                                  const WorldSnapshot& snapshot);
+  /// The windowed-telemetry snapshot (windows()->ToJson() parsed into
+  /// the envelope), for `mictrend query --op stats`.
+  Result<JsonValue> HandleStats(const JsonValue& request,
+                                const WorldSnapshot& snapshot);
   Result<JsonValue> HandleSeries(const JsonValue& request,
                                  const WorldSnapshot& snapshot);
   Result<JsonValue> HandleTopChanges(const JsonValue& request,
@@ -118,10 +135,16 @@ class TrendService {
                                     const WorldSnapshot& snapshot);
   Result<JsonValue> HandleHospitalGap(const JsonValue& request,
                                       const WorldSnapshot& snapshot);
-  Result<JsonValue> HandleReportCsv(const WorldSnapshot& snapshot);
-  /// The windowed-telemetry snapshot (windows()->ToJson() parsed into
-  /// the envelope), for `mictrend query --op stats`.
-  Result<JsonValue> HandleStats(const WorldSnapshot& snapshot);
+  /// The precomputed rollup tree for request["axis"].
+  Result<JsonValue> HandleDrilldown(const JsonValue& request,
+                                    const WorldSnapshot& snapshot);
+  /// Subgroup search over the precomputed tree (trend::ExplainShift).
+  Result<JsonValue> HandleExplain(const JsonValue& request,
+                                  const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleReportCsv(const JsonValue& request,
+                                    const WorldSnapshot& snapshot);
+  Result<JsonValue> HandleShutdown(const JsonValue& request,
+                                   const WorldSnapshot& snapshot);
   /// Serialized on ingest_mu_. Appends the months of request["corpus"]
   /// (a server-local CSV path; omitted = reload the store from disk to
   /// pick up external appends), rebuilds warm via context_.cache, and
@@ -140,7 +163,7 @@ class TrendService {
     /// window registry exists even without a metrics registry).
     obs::WindowedChannel* window = nullptr;
   };
-  static constexpr std::size_t kNumOpSlots = 11;
+  static constexpr std::size_t kNumOpSlots = kNumEndpoints + 1;
 
   trend::PipelineConfig config_;
   ExecContext context_;

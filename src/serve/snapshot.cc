@@ -105,11 +105,21 @@ Result<const WorldSnapshot*> BuildSnapshot(
   snapshot->store_fingerprint = store.Fingerprint();
   MIC_ASSIGN_OR_RETURN(snapshot->corpus, store.OpenWorld());
   snapshot->months = snapshot->corpus.num_months();
+  // The daemon always serves every drill-down axis; request them in
+  // DrillAxis order so snapshot->drilldowns is indexable by the axis
+  // enum. Each axis builds the same tree as a standalone offline
+  // `mictrend drilldown` run with this config (the drill-smoke gate
+  // byte-compares the two).
+  trend::PipelineConfig drill_config = config;
+  drill_config.drilldown_axes = {trend::DrillAxis::kMedicine,
+                                 trend::DrillAxis::kDisease,
+                                 trend::DrillAxis::kHospital};
   MIC_ASSIGN_OR_RETURN(
       trend::PipelineResult result,
-      trend::RunPipeline(snapshot->corpus, config, context));
+      trend::RunPipeline(snapshot->corpus, drill_config, context));
   snapshot->series = std::move(result.series);
   snapshot->report = std::move(result.report);
+  snapshot->drilldowns = std::move(result.drilldowns);
   snapshot->analyzer = trend::TrendAnalyzer(config.analyzer);
   std::ostringstream csv;
   MIC_RETURN_IF_ERROR(trend::WriteReportCsv(snapshot->report,

@@ -79,6 +79,12 @@ struct WorldSnapshot {
   /// — byte-identical to the offline `mictrend pipeline --out` artifact
   /// for the same store and config, so serving it is a string copy.
   std::string report_csv;
+
+  /// Precomputed drill-down trees, one per axis, indexed by
+  /// static_cast<int>(trend::DrillAxis). Built through the same cache
+  /// as the report, so warm rebuilds answer the aggregates from the
+  /// "drill" namespace instead of refitting.
+  std::vector<trend::DrillDownReport> drilldowns;
 };
 
 class SnapshotHub;

@@ -86,7 +86,16 @@ Result<PipelineResult> RunPipeline(const MicCorpus& corpus,
   TrendAnalyzer analyzer(config.analyzer);
   MIC_ASSIGN_OR_RETURN(TrendReport report,
                        analyzer.AnalyzeAll(stage_context, series));
-  return PipelineResult{std::move(series), std::move(report)};
+  std::vector<DrillDownReport> drilldowns;
+  drilldowns.reserve(config.drilldown_axes.size());
+  for (DrillAxis axis : config.drilldown_axes) {
+    MIC_ASSIGN_OR_RETURN(DrillDownReport drill,
+                         BuildDrillDown(stage_context, corpus, series,
+                                        report, axis, config.analyzer));
+    drilldowns.push_back(std::move(drill));
+  }
+  return PipelineResult{std::move(series), std::move(report),
+                        std::move(drilldowns)};
 }
 
 Result<PipelineResult> RunPipelineFromStore(const PipelineConfig& config,

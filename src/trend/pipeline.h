@@ -12,6 +12,7 @@
 #include "medmodel/timeseries.h"
 #include "mic/dataset.h"
 #include "store/backend.h"
+#include "trend/drilldown.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic::trend {
@@ -47,6 +48,10 @@ struct PipelineConfig {
   TrendAnalyzerOptions analyzer;
   CacheConfig cache;
   StoreConfig store;
+  /// Hierarchy axes to roll the report up after analysis (empty = no
+  /// drill-down). Each requested axis produces one DrillDownReport in
+  /// PipelineResult::drilldowns, in this order.
+  std::vector<DrillAxis> drilldown_axes;
 
   /// Rejects inconsistent configurations with a message naming the
   /// offending field and its CLI flag. OK means RunPipeline will not
@@ -60,6 +65,8 @@ struct PipelineConfig {
 struct PipelineResult {
   medmodel::SeriesSet series;
   TrendReport report;
+  /// One tree per config.drilldown_axes entry, same order.
+  std::vector<DrillDownReport> drilldowns;
 };
 
 /// Runs reproduction + analysis over `corpus`.

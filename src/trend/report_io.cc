@@ -62,4 +62,35 @@ Status WriteReportCsvFile(const TrendReport& report,
   return WriteReportCsv(report, analyzer, catalog, out);
 }
 
+Status WriteDrillDownCsv(const DrillDownReport& report, std::ostream& out) {
+  out << "axis,node,parent,depth,leaf,total,change,month,lambda,"
+         "criterion,criterion_no_change\n";
+  for (const DrillNode& node : report.nodes) {
+    out << DrillAxisName(report.axis) << ',' << node.name << ','
+        << (node.parent < 0
+                ? "-"
+                : report.nodes[static_cast<std::size_t>(node.parent)]
+                      .name.c_str())
+        << ',' << node.depth << ',' << (node.is_leaf ? 1 : 0) << ','
+        << StrFormat("%.6g", node.total) << ','
+        << (node.analysis.has_change ? 1 : 0) << ','
+        << node.analysis.change_point << ','
+        << StrFormat("%.6g", node.analysis.lambda) << ','
+        << StrFormat("%.6g", node.analysis.aic) << ','
+        << StrFormat("%.6g", node.analysis.aic_without_intervention)
+        << "\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("stream failure writing drill-down report");
+  }
+  return Status::OK();
+}
+
+Status WriteDrillDownCsvFile(const DrillDownReport& report,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteDrillDownCsv(report, out);
+}
+
 }  // namespace mic::trend

@@ -15,6 +15,7 @@
 
 #include "common/result.h"
 #include "mic/catalog.h"
+#include "trend/drilldown.h"
 #include "trend/trend_analyzer.h"
 
 namespace mic::trend {
@@ -25,6 +26,15 @@ Status WriteReportCsv(const TrendReport& report,
 Status WriteReportCsvFile(const TrendReport& report,
                           const TrendAnalyzer& analyzer,
                           const Catalog& catalog, const std::string& path);
+
+/// Drill-down tree as CSV, one row per node in storage order:
+///   axis,node,parent,depth,leaf,total,change,month,lambda,criterion,
+///   criterion_no_change
+/// `parent` is the parent node's name ("-" for the root). The row
+/// order, like the tree, is deterministic at any thread count.
+Status WriteDrillDownCsv(const DrillDownReport& report, std::ostream& out);
+Status WriteDrillDownCsvFile(const DrillDownReport& report,
+                             const std::string& path);
 
 }  // namespace mic::trend
 

@@ -115,6 +115,8 @@ struct SeriesTask {
 // structurally valid (v2 = candidate-level wavefront sweep).
 constexpr std::uint64_t kSeriesAnalysisVersion = 2;
 
+}  // namespace
+
 // Every option that can change a single-series verdict takes part in
 // the cache key; editing any of them re-keys the whole sweep.
 std::uint64_t FingerprintAnalyzerOptions(
@@ -141,6 +143,8 @@ std::uint64_t FingerprintAnalyzerOptions(
   return hasher.digest();
 }
 
+namespace {
+
 std::uint64_t FingerprintSeriesTask(std::uint64_t options_key,
                                     const SeriesTask& task) {
   cache::Hasher hasher;
@@ -151,6 +155,8 @@ std::uint64_t FingerprintSeriesTask(std::uint64_t options_key,
   hasher.Mix(cache::FingerprintSeries(*task.series));
   return hasher.digest();
 }
+
+}  // namespace
 
 std::vector<std::uint8_t> SerializeAnalysis(const SeriesAnalysis& analysis) {
   cache::SnapshotWriter writer;
@@ -197,6 +203,8 @@ Result<SeriesAnalysis> DeserializeAnalysis(
   return analysis;
 }
 
+namespace {
+
 // One in-flight per-series search in the candidate-level wavefront.
 // The detector owns the normalized working copy; `options` is the exact
 // option set the detector was constructed with, so a worker-side
@@ -222,12 +230,8 @@ struct SweepSlot {
 
 Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     const ExecContext& context, const medmodel::SeriesSet& set) const {
-  runtime::ThreadPool* pool = context.pool;
   obs::MetricsRegistry* metrics = context.metrics;
   obs::Span detect_span(context, "detect");
-  // Per-series fit wall time. Workers record into this pre-resolved
-  // handle directly (they do not inherit the span stack).
-  obs::Timer* fit_timer = obs::GetTimer(metrics, "trend.series_fit");
 
   // Collect every series in the serial traversal order; that order also
   // assembles the report below, so the result does not depend on which
@@ -286,110 +290,34 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
     }
   }
 
-  // Candidate-level wavefront. One slot per uncached series replicates
-  // the AnalyzeSeries preamble (normalization, metrics wiring) in task
-  // order and starts the resumable search; each round then gathers the
-  // pending candidate fits of ALL open searches into one batch for the
-  // pool. The pool therefore sees series x candidates-per-round
-  // independent fits instead of one opaque task per series — the serial
-  // per-series AIC sweep no longer starves it. All detector-side
-  // bookkeeping (counters, memo publication, fit accounting) happens in
-  // the serial fold-back below, in task order, so the report and every
-  // counter are bit-identical to the serial path at any thread count.
-  std::vector<std::unique_ptr<SweepSlot>> slots;
-  slots.reserve(tasks.size());
+  // Batch the uncached series through the candidate-level wavefront
+  // (SweepSeries below). Items are assembled in task order and folded
+  // back in the same order, so the report and every counter stay
+  // bit-identical to the serial path at any thread count.
+  std::vector<SweepItem> sweep;
+  std::vector<std::size_t> sweep_to_task;
+  sweep.reserve(tasks.size());
+  sweep_to_task.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     if (from_cache[i]) continue;
     const SeriesTask& task = tasks[i];
-    SeriesAnalysis analysis;
-    analysis.kind = task.kind;
-    analysis.disease = task.disease;
-    analysis.medicine = task.medicine;
-    std::vector<double> working(task.series->begin(), task.series->end());
-    if (options_.normalize) {
-      const double sd = stats::StdDev(working);
-      if (sd > 0.0) {
-        analysis.scale = sd;
-        for (double& value : working) value /= sd;
-      }
-    }
-    ssm::ChangePointOptions detector_options = options_.detector;
-    if (metrics != nullptr) {
-      detector_options.fit.metrics = metrics;
-    }
-    slots.push_back(std::make_unique<SweepSlot>(i, analysis,
-                                                std::move(working),
-                                                detector_options));
-    slots.back()->detector.BeginSearch(options_.use_approximate);
+    SweepItem item;
+    item.series = task.series;
+    item.analysis.kind = task.kind;
+    item.analysis.disease = task.disease;
+    item.analysis.medicine = task.medicine;
+    sweep.push_back(std::move(item));
+    sweep_to_task.push_back(i);
   }
-
-  // A candidate fit dispatched to the pool this round.
-  struct CandidateRef {
-    SweepSlot* slot;
-    int t_cp;
-  };
-  while (true) {
-    std::vector<CandidateRef> batch;
-    for (const auto& slot : slots) {
-      if (slot->detector.SearchDone()) continue;
-      for (int t_cp : slot->detector.PendingCandidates()) {
-        batch.push_back({slot.get(), t_cp});
-      }
-    }
-    if (batch.empty()) break;
-    // Result<CandidateEvaluation> has no default constructor; stage the
-    // worker results through optionals.
-    std::vector<std::optional<Result<ssm::CandidateEvaluation>>> evals(
-        batch.size());
-    MIC_RETURN_IF_ERROR(runtime::ParallelFor(
-        pool, 0, batch.size(), 1,
-        obs::TraceChunks(
-            context.trace, "trend-sweep",
-            [&batch, &evals, &context, fit_timer](
-                std::size_t chunk_begin, std::size_t chunk_end,
-                std::size_t) {
-              for (std::size_t j = chunk_begin; j < chunk_end; ++j) {
-                const CandidateRef& ref = batch[j];
-                obs::ScopedTimer fit_scope(fit_timer, context.trace,
-                                           "series_fit");
-                evals[j].emplace(ssm::EvaluateCandidate(
-                    ref.slot->detector.series(), ref.slot->options,
-                    ref.t_cp));
-              }
-              return Status::OK();
-            }),
-        "trend-sweep"));
-    // Serial fold-back in batch (= task) order.
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-      batch[j].slot->detector.SupplyEvaluation(batch[j].t_cp,
-                                               std::move(*evals[j]));
-    }
-  }
-
-  // Close out each search with the AnalyzeSeries tail.
-  for (auto& slot : slots) {
-    const std::size_t i = slot->task_index;
-    Result<ssm::ChangePointResult> detected = slot->detector.FinishSearch();
-    if (!detected.ok()) {
-      statuses[i] = detected.status();
+  MIC_RETURN_IF_ERROR(SweepSeries(context, sweep));
+  for (std::size_t j = 0; j < sweep.size(); ++j) {
+    const std::size_t i = sweep_to_task[j];
+    if (!sweep[j].status.ok()) {
+      statuses[i] = sweep[j].status;
       continue;
     }
-    SeriesAnalysis analysis = std::move(slot->analysis);
-    analysis.has_change = detected->has_change;
-    analysis.change_point = detected->change_point;
-    analysis.aic = detected->best_aic;
-    analysis.aic_without_intervention = detected->aic_without_intervention;
-    analysis.fits_performed = detected->fits_performed;
-    if (detected->has_change) {
-      auto decomposition =
-          ssm::Decompose(detected->best_model, slot->detector.series());
-      if (decomposition.ok()) {
-        analysis.lambda = decomposition->lambda * analysis.scale;
-      }
-    }
-    analyses[i] = std::move(analysis);
+    analyses[i] = std::move(sweep[j].analysis);
   }
-  slots.clear();
 
   // Publish the fresh analyses; write failures degrade to "no cache".
   if (cache_active && store->can_write()) {
@@ -465,6 +393,115 @@ Result<TrendReport> TrendAnalyzer::AnalyzeAll(
         cause_counts[static_cast<int>(ChangeCause::kPrescriptionDerived)]);
   }
   return report;
+}
+
+Status TrendAnalyzer::SweepSeries(const ExecContext& context,
+                                  std::span<SweepItem> items) const {
+  runtime::ThreadPool* pool = context.pool;
+  obs::MetricsRegistry* metrics = context.metrics;
+  // Per-series fit wall time. Workers record into this pre-resolved
+  // handle directly (they do not inherit the span stack).
+  obs::Timer* fit_timer = obs::GetTimer(metrics, "trend.series_fit");
+
+  // Candidate-level wavefront. One slot per item replicates the
+  // AnalyzeSeries preamble (normalization, metrics wiring) in item
+  // order and starts the resumable search; each round then gathers the
+  // pending candidate fits of ALL open searches into one batch for the
+  // pool. The pool therefore sees series x candidates-per-round
+  // independent fits instead of one opaque task per series — the serial
+  // per-series AIC sweep no longer starves it. All detector-side
+  // bookkeeping (counters, memo publication, fit accounting) happens in
+  // the serial fold-back below, in item order, so every verdict and
+  // counter is bit-identical to the serial path at any thread count.
+  std::vector<std::unique_ptr<SweepSlot>> slots;
+  slots.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SweepItem& item = items[i];
+    std::vector<double> working(item.series->begin(), item.series->end());
+    if (options_.normalize) {
+      const double sd = stats::StdDev(working);
+      if (sd > 0.0) {
+        item.analysis.scale = sd;
+        for (double& value : working) value /= sd;
+      }
+    }
+    ssm::ChangePointOptions detector_options = options_.detector;
+    if (metrics != nullptr) {
+      detector_options.fit.metrics = metrics;
+    }
+    slots.push_back(std::make_unique<SweepSlot>(i, item.analysis,
+                                                std::move(working),
+                                                detector_options));
+    slots.back()->detector.BeginSearch(options_.use_approximate);
+  }
+
+  // A candidate fit dispatched to the pool this round.
+  struct CandidateRef {
+    SweepSlot* slot;
+    int t_cp;
+  };
+  while (true) {
+    std::vector<CandidateRef> batch;
+    for (const auto& slot : slots) {
+      if (slot->detector.SearchDone()) continue;
+      for (int t_cp : slot->detector.PendingCandidates()) {
+        batch.push_back({slot.get(), t_cp});
+      }
+    }
+    if (batch.empty()) break;
+    // Result<CandidateEvaluation> has no default constructor; stage the
+    // worker results through optionals.
+    std::vector<std::optional<Result<ssm::CandidateEvaluation>>> evals(
+        batch.size());
+    MIC_RETURN_IF_ERROR(runtime::ParallelFor(
+        pool, 0, batch.size(), 1,
+        obs::TraceChunks(
+            context.trace, "trend-sweep",
+            [&batch, &evals, &context, fit_timer](
+                std::size_t chunk_begin, std::size_t chunk_end,
+                std::size_t) {
+              for (std::size_t j = chunk_begin; j < chunk_end; ++j) {
+                const CandidateRef& ref = batch[j];
+                obs::ScopedTimer fit_scope(fit_timer, context.trace,
+                                           "series_fit");
+                evals[j].emplace(ssm::EvaluateCandidate(
+                    ref.slot->detector.series(), ref.slot->options,
+                    ref.t_cp));
+              }
+              return Status::OK();
+            }),
+        "trend-sweep"));
+    // Serial fold-back in batch (= item) order.
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      batch[j].slot->detector.SupplyEvaluation(batch[j].t_cp,
+                                               std::move(*evals[j]));
+    }
+  }
+
+  // Close out each search with the AnalyzeSeries tail.
+  for (auto& slot : slots) {
+    SweepItem& item = items[slot->task_index];
+    Result<ssm::ChangePointResult> detected = slot->detector.FinishSearch();
+    if (!detected.ok()) {
+      item.status = detected.status();
+      continue;
+    }
+    SeriesAnalysis analysis = std::move(slot->analysis);
+    analysis.has_change = detected->has_change;
+    analysis.change_point = detected->change_point;
+    analysis.aic = detected->best_aic;
+    analysis.aic_without_intervention = detected->aic_without_intervention;
+    analysis.fits_performed = detected->fits_performed;
+    if (detected->has_change) {
+      auto decomposition =
+          ssm::Decompose(detected->best_model, slot->detector.series());
+      if (decomposition.ok()) {
+        analysis.lambda = decomposition->lambda * analysis.scale;
+      }
+    }
+    item.analysis = std::move(analysis);
+  }
+  return Status::OK();
 }
 
 ChangeCause TrendAnalyzer::ClassifyPrescriptionChange(

@@ -84,6 +84,27 @@ struct TrendAnalyzerOptions {
   // migration notes in docs/usage_cookbook.md).
 };
 
+/// Cache-key and snapshot helpers for persisted SeriesAnalysis entries.
+/// Shared with the drill-down rollup (trend/drilldown.cc), whose "drill"
+/// cache namespace reuses the same option fingerprint so editing any
+/// verdict-affecting option re-keys both namespaces at once. The
+/// fingerprint already mixes the analysis version salt.
+std::uint64_t FingerprintAnalyzerOptions(const TrendAnalyzerOptions& options);
+std::vector<std::uint8_t> SerializeAnalysis(const SeriesAnalysis& analysis);
+Result<SeriesAnalysis> DeserializeAnalysis(
+    const std::vector<std::uint8_t>& payload);
+
+/// One series in a batch sweep (see TrendAnalyzer::SweepSeries).
+/// In: `series` points at the monthly values (must outlive the call) and
+/// `analysis.kind/disease/medicine` carry the caller's identity tags.
+/// Out: `analysis` holds the full verdict (scale, change point, AIC,
+/// lambda, fits) and `status` the per-series failure, if any.
+struct SweepItem {
+  const std::vector<double>* series = nullptr;
+  SeriesAnalysis analysis;
+  Status status;
+};
+
 /// Full report over a SeriesSet.
 struct TrendReport {
   std::vector<SeriesAnalysis> diseases;
@@ -144,6 +165,20 @@ class TrendAnalyzer {
   /// byte-identical to the cold one at any thread count.
   Result<TrendReport> AnalyzeAll(const ExecContext& context,
                                  const medmodel::SeriesSet& set) const;
+
+  /// Runs the candidate-level wavefront over a caller-assembled batch:
+  /// per-item normalization preamble in item order, then each round
+  /// gathers the pending candidate fits of ALL open searches into one
+  /// ParallelFor on context.pool, with detector bookkeeping folded back
+  /// serially in item order — the same bit-for-bit determinism contract
+  /// as AnalyzeAll, which is itself built on this call. Per-series
+  /// failures land in item.status (the item's analysis is then
+  /// untouched); the returned Status only reports pool dispatch
+  /// failures. Does NOT consult context.cache — callers own their
+  /// cache namespace and policy (AnalyzeAll uses "series", the
+  /// drill-down rollup "drill").
+  Status SweepSeries(const ExecContext& context,
+                     std::span<SweepItem> items) const;
 
   /// Attributes a detected prescription change using the disease and
   /// medicine verdicts already present in `report`. Returns kNone when

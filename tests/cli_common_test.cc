@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "serve/registry.h"
 #include "store/backend.h"
 
 namespace mic::tools {
@@ -21,7 +22,7 @@ Flags ParseOrDie(std::vector<std::string> args) {
   return *flags;
 }
 
-TEST(CommandTableTest, CoversAllEightSubcommands) {
+TEST(CommandTableTest, CoversAllNineSubcommands) {
   std::set<std::string> names;
   for (const CommandSpec& command : CommandTable()) {
     names.insert(std::string(command.name));
@@ -29,7 +30,45 @@ TEST(CommandTableTest, CoversAllEightSubcommands) {
   EXPECT_EQ(names,
             (std::set<std::string>{"generate", "import", "stats",
                                    "reproduce", "detect", "pipeline",
-                                   "serve", "query"}));
+                                   "drilldown", "serve", "query"}));
+}
+
+TEST(CommandTableTest, QueryFlagsMirrorTheServeRegistry) {
+  // The query command's flag set is generated from the endpoint table:
+  // every declared wire parameter must be reachable as a CLI flag.
+  const CommandSpec* query = FindCommand("query");
+  ASSERT_NE(query, nullptr);
+  const auto has_flag = [&](std::string_view name) {
+    for (const FlagSpec& flag : query->flags) {
+      if (flag.name == name) return true;
+    }
+    return false;
+  };
+  for (const serve::EndpointSpec& endpoint : serve::EndpointTable()) {
+    for (const serve::ParamSpec& param : endpoint.params) {
+      EXPECT_TRUE(has_flag(CliFlagName(param.name)))
+          << "query is missing --" << CliFlagName(param.name) << " of op "
+          << endpoint.name;
+    }
+  }
+  // The --op flag's value hint enumerates every registered op.
+  const FlagSpec* op = nullptr;
+  for (const FlagSpec& flag : query->flags) {
+    if (flag.name == "op") op = &flag;
+  }
+  ASSERT_NE(op, nullptr);
+  for (const serve::EndpointSpec& endpoint : serve::EndpointTable()) {
+    EXPECT_NE(std::string(op->value).find(endpoint.name),
+              std::string::npos)
+        << endpoint.name;
+  }
+}
+
+TEST(CommandTableTest, CliFlagNameDashesWireUnderscores) {
+  EXPECT_EQ(CliFlagName("axis"), "axis");
+  EXPECT_EQ(CliFlagName("min_share"), "min-share");
+  EXPECT_EQ(CliFlagName("top_k"), "top-k");
+  EXPECT_EQ(CliFlagName("snapshot_months"), "snapshot-months");
 }
 
 TEST(CommandTableTest, FlagNamesAreUniquePerCommand) {

@@ -205,6 +205,52 @@ if "$MICTREND" pipeline --corpus "$WORK/corpus.csv" \
 fi
 grep -q "auto, mmap" "$WORK/store_err2.out"
 
+# Hierarchical drill-down: a hand-written corpus with one stepped
+# medicine ("step-ramp" jumps 2 -> 8 at month 12, "step-flat" stays 3)
+# must put a detected change on every aggregate above the ramp, and the
+# subgroup search must walk all -> step -> step-ramp and name the ramp
+# as the driver of the whole shift.
+{
+  echo "month,hospital,patient,diseases,medicines"
+  m=0
+  while [ "$m" -lt 24 ]; do
+    if [ "$m" -lt 12 ]; then ramp=2; else ramp=8; fi
+    p=0
+    while [ "$p" -lt 4 ]; do
+      echo "$m,hospital-0,patient-$p,flu:2,step-ramp:$ramp;step-flat:3"
+      p=$((p + 1))
+    done
+    m=$((m + 1))
+  done
+} > "$WORK/step.csv"
+"$MICTREND" drilldown --corpus "$WORK/step.csv" --min-total 5 \
+  --axis medicine --out "$WORK/step_drill.csv" \
+  --json "$WORK/step_drill.json" \
+  --explain all --explain-out "$WORK/step_explain.json" \
+  > "$WORK/step_drill.out"
+head -1 "$WORK/step_drill.csv" | grep -q "axis,node,parent,depth,leaf"
+grep -q "driver: step-ramp (100.0% of the shift)" "$WORK/step_drill.out"
+grep -q '"driver":"step-ramp"' "$WORK/step_explain.json"
+
+# The drill-down tree is bit-identical at 1 and 4 threads.
+"$MICTREND" drilldown --corpus "$WORK/step.csv" --min-total 5 \
+  --axis medicine --threads 4 --json "$WORK/step_drill_mt.json" > /dev/null
+cmp "$WORK/step_drill.json" "$WORK/step_drill_mt.json"
+
+# Axis and flag mistakes are rejected naming the offender.
+if "$MICTREND" drilldown --corpus "$WORK/step.csv" --axis city \
+    > "$WORK/drill_err.out" 2>&1; then
+  echo "expected failure for unknown drill axis" >&2
+  exit 1
+fi
+grep -q "city" "$WORK/drill_err.out"
+if "$MICTREND" drilldown --corpus "$WORK/step.csv" --axis medicine \
+    --explain-out "$WORK/x.json" > "$WORK/drill_err2.out" 2>&1; then
+  echo "expected failure for --explain-out without --explain" >&2
+  exit 1
+fi
+grep -q -- "--explain" "$WORK/drill_err2.out"
+
 # mictrend serve: a compact daemon round trip against the store seeded
 # above — health, then the served report must byte-match the offline
 # `pipeline --out` artifact (both run cold with the same defaults), then
@@ -265,6 +311,26 @@ for window in varz["windows"]:
 print("stats/varz window payloads structurally identical")
 EOF
 fi
+# The served drill-down document is byte-identical to the offline
+# `drilldown --json` twin over the same months (same tree, same
+# renderer), and the registry rejects cross-op flags client-side.
+"$MICTREND" drilldown --corpus "$WORK/corpus.csv" --min-total 5 \
+  --axis medicine --json "$WORK/drill_offline.json" > /dev/null
+"$MICTREND" query --port "$SERVE_PORT" --op drilldown --axis medicine \
+  --out "$WORK/drill_served.json"
+cmp "$WORK/drill_offline.json" "$WORK/drill_served.json"
+if "$MICTREND" query --port "$SERVE_PORT" --op health --axis medicine \
+    > "$WORK/query_err2.out" 2>&1; then
+  echo "expected failure for a cross-op query flag" >&2
+  exit 1
+fi
+grep -q -- "--axis does not apply to op 'health'" "$WORK/query_err2.out"
+if "$MICTREND" query --port "$SERVE_PORT" --op explain --axis medicine \
+    --node no-such-node > "$WORK/query_err3.out" 2>&1; then
+  echo "expected failure for an unknown explain node" >&2
+  exit 1
+fi
+grep -q '"not_found"' "$WORK/query_err3.out"
 "$MICTREND" query --port "$SERVE_PORT" --op shutdown > /dev/null
 wait "$SERVE_PID"
 grep -q "server stopped" "$WORK/serve.log"

@@ -1,0 +1,436 @@
+// Tests for the hierarchical drill-down layer (trend/drilldown.h):
+// tree shape (class grouping, single-child chains, chain reuse across
+// sibling groups), deterministic aggregation over children with
+// disjoint month coverage, leaf reuse from the flat report, the drill
+// cache round trip, bit-identical reports at 1 vs 4 threads, and the
+// subgroup search (ground-truth driver recovery, tie breaking,
+// min-share cutoff, error cases).
+
+#include "trend/drilldown.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_store.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "trend/pipeline.h"
+
+namespace mic::trend {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<double> Series(int n, double level, int change_point,
+                           double slope, double noise_sd,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    double value = level + rng.NextGaussian(0.0, noise_sd);
+    if (change_point >= 0 && t >= change_point) {
+      value += slope * (t - change_point + 1);
+    }
+    x[t] = value;
+  }
+  return x;
+}
+
+TrendAnalyzerOptions FastOptions() {
+  TrendAnalyzerOptions options;
+  options.detector.seasonal = false;
+  options.detector.fit.optimizer.max_evaluations = 150;
+  return options;
+}
+
+// A corpus whose catalog holds the given medicine names (ids in list
+// order) but no records — the medicine axis reads only the catalog.
+MicCorpus MedicineCatalog(const std::vector<std::string>& names) {
+  MicCorpus corpus;
+  for (const std::string& name : names) {
+    corpus.catalog().medicines().Intern(name);
+  }
+  return corpus;
+}
+
+// Analyzed world for the medicine-axis tests: three medicines, one
+// two-member class ("beta"), one hyphen-free name ("solo") that forms
+// an own-class chain.
+struct MedicineWorld {
+  MicCorpus corpus;
+  medmodel::SeriesSet series;
+  TrendReport report;
+  TrendAnalyzerOptions options;
+
+  static MedicineWorld Create() {
+    MedicineWorld world;
+    world.corpus =
+        MedicineCatalog({"beta-ramp", "beta-flat", "solo"});
+    world.series = medmodel::SeriesSet(24);
+    world.series.SetMedicineSeries(MedicineId(0),
+                                   Series(24, 30.0, 12, 5.0, 1.0, 3));
+    world.series.SetMedicineSeries(MedicineId(1),
+                                   Series(24, 50.0, -1, 0.0, 1.0, 4));
+    world.series.SetMedicineSeries(MedicineId(2),
+                                   Series(24, 20.0, -1, 0.0, 1.0, 5));
+    world.options = FastOptions();
+    TrendAnalyzer analyzer(world.options);
+    auto report = analyzer.AnalyzeAll(ExecContext{}, world.series);
+    EXPECT_TRUE(report.ok()) << report.status();
+    world.report = std::move(*report);
+    return world;
+  }
+};
+
+TEST(DrillDownTest, AxisNamesRoundTrip) {
+  for (DrillAxis axis : {DrillAxis::kMedicine, DrillAxis::kDisease,
+                         DrillAxis::kHospital}) {
+    auto parsed = ParseDrillAxis(DrillAxisName(axis));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, axis);
+  }
+  EXPECT_EQ(ParseDrillAxis("city").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DrillDownTest, BuildsClassTreeWithSingleChildChains) {
+  MedicineWorld world = MedicineWorld::Create();
+  obs::MetricsRegistry metrics;
+  ExecContext context;
+  context.metrics = &metrics;
+  auto drill =
+      BuildDrillDown(context, world.corpus, world.series, world.report,
+                     DrillAxis::kMedicine, world.options);
+  ASSERT_TRUE(drill.ok()) << drill.status();
+
+  // all + beta + {beta-flat, beta-ramp} + solo-class + solo-leaf.
+  ASSERT_EQ(drill->nodes.size(), 6u);
+  EXPECT_EQ(drill->num_months, 24);
+  const DrillNode& root = drill->nodes[0];
+  EXPECT_EQ(root.name, "all");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_FALSE(root.is_leaf);
+
+  // Children of every internal node are name-sorted.
+  const int beta = drill->FindNode("beta");
+  ASSERT_GE(beta, 0);
+  const DrillNode& beta_node = drill->nodes[beta];
+  ASSERT_EQ(beta_node.children.size(), 2u);
+  EXPECT_EQ(drill->nodes[beta_node.children[0]].name, "beta-flat");
+  EXPECT_EQ(drill->nodes[beta_node.children[1]].name, "beta-ramp");
+  EXPECT_EQ(beta_node.depth, 1);
+  EXPECT_EQ(drill->nodes[beta_node.children[0]].depth, 2);
+
+  // "solo" has no hyphen: it is its own class, a single-child chain.
+  // FindNode resolves the class node (first in preorder); its one
+  // child is the leaf of the same name.
+  const int solo = drill->FindNode("solo");
+  ASSERT_GE(solo, 0);
+  const DrillNode& solo_node = drill->nodes[solo];
+  EXPECT_FALSE(solo_node.is_leaf);
+  ASSERT_EQ(solo_node.children.size(), 1u);
+  const DrillNode& solo_leaf = drill->nodes[solo_node.children[0]];
+  EXPECT_TRUE(solo_leaf.is_leaf);
+  EXPECT_EQ(solo_leaf.name, "solo");
+  EXPECT_EQ(solo_leaf.series, world.series.Medicine(MedicineId(2)));
+  EXPECT_EQ(solo_node.series, solo_leaf.series);
+
+  // Topological order: every child index is greater than its parent's.
+  for (std::size_t i = 0; i < drill->nodes.size(); ++i) {
+    for (int child : drill->nodes[i].children) {
+      EXPECT_GT(child, static_cast<int>(i));
+      EXPECT_EQ(drill->nodes[child].parent, static_cast<int>(i));
+    }
+  }
+
+  // Root series is the elementwise sum of all three medicines.
+  for (int t = 0; t < 24; ++t) {
+    const double expected = world.series.Medicine(MedicineId(0))[t] +
+                            world.series.Medicine(MedicineId(1))[t] +
+                            world.series.Medicine(MedicineId(2))[t];
+    EXPECT_DOUBLE_EQ(root.series[t], expected) << t;
+  }
+
+  // All three leaves reused the flat report's verdicts.
+  EXPECT_EQ(metrics.counter_value("trend.rollup.nodes"), 6u);
+  EXPECT_EQ(metrics.counter_value("trend.rollup.leaf_reuses"), 3u);
+  const int ramp = drill->FindNode("beta-ramp");
+  ASSERT_GE(ramp, 0);
+  const SeriesAnalysis& flat =
+      world.report.medicines[world.report.medicine_index.at(MedicineId(0))];
+  EXPECT_EQ(drill->nodes[ramp].analysis.aic, flat.aic);
+  EXPECT_EQ(drill->nodes[ramp].analysis.change_point, flat.change_point);
+  EXPECT_TRUE(drill->nodes[ramp].analysis.has_change);
+}
+
+TEST(DrillDownTest, RecoversTheInjectedDriver) {
+  MedicineWorld world = MedicineWorld::Create();
+  auto drill =
+      BuildDrillDown(ExecContext{}, world.corpus, world.series,
+                     world.report, DrillAxis::kMedicine, world.options);
+  ASSERT_TRUE(drill.ok()) << drill.status();
+
+  // The ramp was injected into beta-ramp only; the aggregate "all"
+  // series inherits its shift, and the subgroup search must descend
+  // all -> beta -> beta-ramp.
+  ASSERT_TRUE(drill->nodes[0].analysis.has_change);
+  auto explain = ExplainShift(*drill, "all");
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_EQ(explain->target, "all");
+  ASSERT_EQ(explain->path.size(), 3u);
+  EXPECT_EQ(explain->path[0].node, "all");
+  EXPECT_EQ(explain->path[1].node, "beta");
+  EXPECT_EQ(explain->path[2].node, "beta-ramp");
+  EXPECT_EQ(explain->driver, "beta-ramp");
+  EXPECT_GT(explain->driver_share, 0.6);
+  EXPECT_LE(explain->driver_share, 1.5);
+  EXPECT_GT(explain->delta, 0.0);
+  // Shares along the path are relative to the previous step.
+  EXPECT_DOUBLE_EQ(explain->path[0].share, 1.0);
+  EXPECT_GE(explain->path[1].share, 0.6);
+}
+
+TEST(DrillDownTest, ExplainTieBreaksToTheLowestNamedSibling) {
+  // Hand-built tree: two children with numerically identical shifted
+  // series. The search must deterministically keep the first
+  // (lowest-named) sibling on the exact tie.
+  DrillDownReport report;
+  report.axis = DrillAxis::kMedicine;
+  report.num_months = 12;
+  std::vector<double> child(12, 5.0);
+  for (int t = 6; t < 12; ++t) child[t] = 15.0;
+
+  DrillNode root;
+  root.name = "all";
+  root.children = {1, 2};
+  root.series.assign(12, 10.0);
+  for (int t = 6; t < 12; ++t) root.series[t] = 30.0;
+  root.analysis.has_change = true;
+  root.analysis.change_point = 6;
+  report.nodes.push_back(root);
+  for (const char* name : {"aa", "ab"}) {
+    DrillNode node;
+    node.name = name;
+    node.parent = 0;
+    node.depth = 1;
+    node.is_leaf = true;
+    node.series = child;
+    report.nodes.push_back(node);
+  }
+
+  // Each child contributes exactly half the shift; with min_share 0.4
+  // the descent continues and the tie picks "aa".
+  auto explain = ExplainShift(report, "all", 0.4);
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  ASSERT_EQ(explain->path.size(), 2u);
+  EXPECT_EQ(explain->path[1].node, "aa");
+  EXPECT_DOUBLE_EQ(explain->path[1].share, 0.5);
+  EXPECT_EQ(explain->driver, "aa");
+  EXPECT_DOUBLE_EQ(explain->driver_share, 0.5);
+
+  // With the default 0.6 cutoff neither child qualifies: the target
+  // itself is the smallest subgroup.
+  auto shallow = ExplainShift(report, "all", 0.6);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow->path.size(), 1u);
+  EXPECT_EQ(shallow->driver, "all");
+  EXPECT_DOUBLE_EQ(shallow->driver_share, 1.0);
+}
+
+TEST(DrillDownTest, ExplainRejectsUnknownAndChangelessNodes) {
+  MedicineWorld world = MedicineWorld::Create();
+  auto drill =
+      BuildDrillDown(ExecContext{}, world.corpus, world.series,
+                     world.report, DrillAxis::kMedicine, world.options);
+  ASSERT_TRUE(drill.ok());
+  EXPECT_EQ(ExplainShift(*drill, "no-such-node").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_FALSE(drill->nodes[drill->FindNode("beta-flat")]
+                   .analysis.has_change);
+  EXPECT_EQ(ExplainShift(*drill, "beta-flat").status().code(),
+            StatusCode::kNotFound);
+}
+
+// Hospital axis over a hand-built corpus whose two hospitals are active
+// in DISJOINT month ranges: the aggregates must still cover the full
+// window, with zeros where a child has no records.
+TEST(DrillDownTest, HospitalAxisAggregatesDisjointMonthCoverage) {
+  MicCorpus corpus;
+  Catalog& catalog = corpus.catalog();
+  const HospitalId early = catalog.hospitals().Intern("hosp-early");
+  const HospitalId late = catalog.hospitals().Intern("hosp-late");
+  const CityId metro = catalog.cities().Intern("metro");
+  catalog.SetHospitalInfo(early, {metro, 10});   // small
+  catalog.SetHospitalInfo(late, {metro, 500});   // large
+  const DiseaseId flu = catalog.diseases().Intern("flu");
+  const MedicineId drug = catalog.medicines().Intern("drug-a");
+
+  const int months = 24;
+  for (int t = 0; t < months; ++t) {
+    MonthlyDataset month{t};
+    MicRecord record;
+    record.hospital = t < 12 ? early : late;
+    record.patient = PatientId(1);
+    record.diseases = {{flu, 1}};
+    // 2 mentions/month in the early half, 6 in the late half: the
+    // city aggregate steps up at month 12.
+    record.medicines = {{drug, t < 12 ? 2u : 6u}};
+    month.AddRecord(std::move(record));
+    ASSERT_TRUE(corpus.AddMonth(std::move(month)).ok());
+  }
+
+  medmodel::SeriesSet series(months);  // Hospital axis ignores it.
+  TrendReport report;
+  auto drill = BuildDrillDown(ExecContext{}, corpus, series, report,
+                              DrillAxis::kHospital, FastOptions());
+  ASSERT_TRUE(drill.ok()) << drill.status();
+
+  // all -> metro -> {metro/small -> hosp-early, metro/large -> hosp-late}.
+  ASSERT_EQ(drill->nodes.size(), 6u);
+  const int city = drill->FindNode("metro");
+  ASSERT_GE(city, 0);
+  EXPECT_EQ(drill->nodes[city].children.size(), 2u);
+  const int early_leaf = drill->FindNode("hosp-early");
+  const int late_leaf = drill->FindNode("hosp-late");
+  ASSERT_GE(early_leaf, 0);
+  ASSERT_GE(late_leaf, 0);
+  EXPECT_EQ(drill->nodes[drill->nodes[early_leaf].parent].name,
+            "metro/small");
+  EXPECT_EQ(drill->nodes[drill->nodes[late_leaf].parent].name,
+            "metro/large");
+
+  // Disjoint coverage: each leaf's series spans all 24 months, zero
+  // outside its active range, and the city sums them without gaps.
+  for (int t = 0; t < months; ++t) {
+    EXPECT_DOUBLE_EQ(drill->nodes[early_leaf].series[t],
+                     t < 12 ? 2.0 : 0.0);
+    EXPECT_DOUBLE_EQ(drill->nodes[late_leaf].series[t],
+                     t < 12 ? 0.0 : 6.0);
+    EXPECT_DOUBLE_EQ(drill->nodes[city].series[t], t < 12 ? 2.0 : 6.0);
+  }
+  EXPECT_DOUBLE_EQ(drill->nodes[early_leaf].total, 24.0);
+  EXPECT_DOUBLE_EQ(drill->nodes[late_leaf].total, 72.0);
+  EXPECT_DOUBLE_EQ(drill->nodes[0].total, 96.0);
+}
+
+TEST(DrillDownTest, CacheRoundTripIsByteIdenticalAndCountsHits) {
+  MedicineWorld world = MedicineWorld::Create();
+  fs::path dir = fs::path(::testing::TempDir()) / "drill_cache";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+
+  auto build = [&](cache::CacheStore* store,
+                   obs::MetricsRegistry* metrics) {
+    ExecContext context;
+    context.cache = store;
+    context.metrics = metrics;
+    auto drill =
+        BuildDrillDown(context, world.corpus, world.series, world.report,
+                       DrillAxis::kMedicine, world.options);
+    EXPECT_TRUE(drill.ok()) << drill.status();
+    return std::move(*drill);
+  };
+
+  obs::MetricsRegistry cold_metrics;
+  cache::CacheStore writer(dir.string(), cache::CacheMode::kWrite,
+                           &cold_metrics);
+  ASSERT_TRUE(writer.Open().ok());
+  const DrillDownReport cold = build(&writer, &cold_metrics);
+  // 3 internal nodes fitted fresh (leaves come from the flat report).
+  EXPECT_EQ(cold_metrics.counter_value("trend.rollup.cache_misses"), 3u);
+
+  obs::MetricsRegistry warm_metrics;
+  cache::CacheStore reader(dir.string(), cache::CacheMode::kRead,
+                           &warm_metrics);
+  ASSERT_TRUE(reader.Open().ok());
+  const DrillDownReport warm = build(&reader, &warm_metrics);
+  EXPECT_EQ(warm_metrics.counter_value("trend.rollup.cache_hits"), 3u);
+  EXPECT_EQ(warm_metrics.counter_value("trend.rollup.cache_misses"), 0u);
+
+  ASSERT_EQ(cold.nodes.size(), warm.nodes.size());
+  for (std::size_t i = 0; i < cold.nodes.size(); ++i) {
+    EXPECT_EQ(cold.nodes[i].name, warm.nodes[i].name);
+    EXPECT_EQ(cold.nodes[i].series, warm.nodes[i].series) << i;
+    EXPECT_EQ(cold.nodes[i].analysis.has_change,
+              warm.nodes[i].analysis.has_change)
+        << i;
+    EXPECT_EQ(cold.nodes[i].analysis.change_point,
+              warm.nodes[i].analysis.change_point)
+        << i;
+    EXPECT_EQ(cold.nodes[i].analysis.aic, warm.nodes[i].analysis.aic)
+        << i;
+    EXPECT_EQ(cold.nodes[i].analysis.lambda,
+              warm.nodes[i].analysis.lambda)
+        << i;
+  }
+}
+
+// The full pipeline integration: drill-down reports requested through
+// PipelineConfig must be bit-identical at 1 and 4 threads, across all
+// three axes.
+TEST(DrillDownTest, FourThreadsMatchSingleThreadBitwise) {
+  auto world = synth::World::Create(synth::MakeTinyWorldConfig(24, 5));
+  ASSERT_TRUE(world.ok());
+  synth::ClaimGenerator generator(&*world);
+  auto data = generator.Generate();
+  ASSERT_TRUE(data.ok());
+
+  auto run = [&](runtime::ThreadPool* pool) {
+    PipelineConfig options;
+    options.reproducer.filter_options.min_disease_count = 1;
+    options.reproducer.filter_options.min_medicine_count = 1;
+    options.reproducer.min_series_total = 10.0;
+    options.analyzer.detector.seasonal = false;
+    options.analyzer.detector.fit.optimizer.max_evaluations = 150;
+    options.drilldown_axes = {DrillAxis::kMedicine, DrillAxis::kDisease,
+                              DrillAxis::kHospital};
+    ExecContext context;
+    context.pool = pool;
+    auto result = RunPipeline(data->corpus, options, context);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  };
+  runtime::ThreadPool single(1);
+  runtime::ThreadPool four(4);
+  const PipelineResult baseline = run(&single);
+  const PipelineResult parallel = run(&four);
+
+  ASSERT_EQ(baseline.drilldowns.size(), 3u);
+  ASSERT_EQ(parallel.drilldowns.size(), 3u);
+  for (std::size_t a = 0; a < 3; ++a) {
+    const DrillDownReport& b = baseline.drilldowns[a];
+    const DrillDownReport& p = parallel.drilldowns[a];
+    EXPECT_EQ(b.axis, p.axis);
+    ASSERT_EQ(b.nodes.size(), p.nodes.size());
+    ASSERT_GT(b.nodes.size(), 1u);
+    for (std::size_t i = 0; i < b.nodes.size(); ++i) {
+      EXPECT_EQ(b.nodes[i].name, p.nodes[i].name) << i;
+      EXPECT_EQ(b.nodes[i].parent, p.nodes[i].parent) << i;
+      EXPECT_EQ(b.nodes[i].children, p.nodes[i].children) << i;
+      EXPECT_EQ(b.nodes[i].series, p.nodes[i].series) << i;  // bitwise
+      EXPECT_EQ(b.nodes[i].total, p.nodes[i].total) << i;
+      EXPECT_EQ(b.nodes[i].analysis.has_change,
+                p.nodes[i].analysis.has_change)
+          << i;
+      EXPECT_EQ(b.nodes[i].analysis.change_point,
+                p.nodes[i].analysis.change_point)
+          << i;
+      EXPECT_EQ(b.nodes[i].analysis.aic, p.nodes[i].analysis.aic) << i;
+      EXPECT_EQ(b.nodes[i].analysis.lambda, p.nodes[i].analysis.lambda)
+          << i;
+      EXPECT_EQ(b.nodes[i].analysis.fits_performed,
+                p.nodes[i].analysis.fits_performed)
+          << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mic::trend

@@ -30,6 +30,8 @@
 #include "mic/io.h"
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
+#include "serve/drill_json.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -37,6 +39,7 @@
 #include "store/claim_store.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
+#include "trend/drilldown.h"
 #include "trend/pipeline.h"
 #include "trend/report_io.h"
 
@@ -412,6 +415,126 @@ TEST(ServiceTest, ServedReportIsByteIdenticalToTheOfflinePipeline) {
   const std::string served = response.Find("data")->GetString("csv");
   EXPECT_FALSE(served.empty());
   EXPECT_EQ(served, world.OfflineReportCsv(8));
+}
+
+TEST(ServiceTest, RegistryRejectsUnknownAndMalformedParameters) {
+  ServeWorld world = ServeWorld::Create("serve_registry", 8, 8);
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), {});
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto reader = (*service)->hub().Register();
+  ASSERT_TRUE(reader.ok());
+
+  // An unknown member is rejected naming the offender (protocol v2
+  // behavior; a typo'd parameter is a client bug, not noise).
+  JsonValue typo = MakeRequest("series");
+  typo.Set("kind", JsonValue::String("disease"));
+  typo.Set("diseaze", JsonValue::String("flu"));
+  JsonValue rejected = (*service)->Handle(typo, *reader);
+  EXPECT_EQ(ErrorCode(rejected), "bad_request");
+  EXPECT_NE(rejected.Find("error")->GetString("message").find("diseaze"),
+            std::string::npos)
+      << rejected.Serialize();
+  EXPECT_NE(rejected.Find("error")->GetString("message").find("series"),
+            std::string::npos);
+
+  // A declared parameter with the wrong JSON shape is also a
+  // bad_request, before the handler ever runs.
+  JsonValue shape = MakeRequest("top_changes");
+  shape.Set("k", JsonValue::String("3"));
+  JsonValue wrong = (*service)->Handle(shape, *reader);
+  EXPECT_EQ(ErrorCode(wrong), "bad_request");
+  EXPECT_NE(wrong.Find("error")->GetString("message").find("integer"),
+            std::string::npos)
+      << wrong.Serialize();
+
+  // Missing required parameters fail schema validation uniformly.
+  EXPECT_EQ(ErrorCode((*service)->Handle(MakeRequest("drilldown"), *reader)),
+            "bad_request");
+  EXPECT_EQ(ErrorCode((*service)->Handle(MakeRequest("explain"), *reader)),
+            "bad_request");
+
+  // "protocol" is an envelope member, never an unknown parameter.
+  JsonValue versioned = MakeRequest("health");
+  versioned.Set("protocol", JsonValue::Int(kProtocolVersion));
+  EXPECT_TRUE((*service)->Handle(versioned, *reader).GetBool("ok", false));
+
+  // The registry table itself: every op resolves, and the generated
+  // usage text mentions each one (the docs cross-check relies on it).
+  EXPECT_EQ(EndpointTable().size(), kNumEndpoints);
+  const std::string usage = BuildOpsUsageText();
+  for (const EndpointSpec& endpoint : EndpointTable()) {
+    EXPECT_NE(FindEndpoint(endpoint.name), nullptr) << endpoint.name;
+    EXPECT_NE(usage.find(endpoint.name), std::string::npos) << endpoint.name;
+  }
+  EXPECT_EQ(FindEndpoint("nope"), nullptr);
+  // Usage prints CLI-style flags: wire "min_share" appears dashed.
+  EXPECT_NE(usage.find("--min-share"), std::string::npos);
+  EXPECT_EQ(usage.find("min_share"), std::string::npos);
+}
+
+TEST(ServiceTest, ServesDrilldownAndExplainFromTheSnapshot) {
+  ServeWorld world = ServeWorld::Create("serve_drill", 8, 8);
+  obs::MetricsRegistry metrics;
+  ExecContext context;
+  context.metrics = &metrics;
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), context);
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto reader = (*service)->hub().Register();
+  ASSERT_TRUE(reader.ok());
+
+  // Every axis is precomputed into the snapshot and served as-is.
+  for (const char* axis : {"medicine", "disease", "hospital"}) {
+    JsonValue request = MakeRequest("drilldown");
+    request.Set("axis", JsonValue::String(axis));
+    JsonValue response = (*service)->Handle(request, *reader);
+    ASSERT_TRUE(response.GetBool("ok", false)) << response.Serialize();
+    const JsonValue* data = response.Find("data");
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data->GetString("axis"), axis);
+    const JsonValue* nodes = data->Find("nodes");
+    ASSERT_NE(nodes, nullptr) << axis;
+    ASSERT_FALSE(nodes->items().empty()) << axis;
+    EXPECT_EQ(nodes->items()[0].GetString("name"), "all");
+    EXPECT_EQ(data->GetInt("months", -1), 8);
+  }
+  EXPECT_GT(metrics.counter_value("trend.rollup.nodes"), 0u);
+
+  // Unknown axis / node / changeless target surface as typed errors.
+  JsonValue bad_axis = MakeRequest("drilldown");
+  bad_axis.Set("axis", JsonValue::String("city"));
+  EXPECT_EQ(ErrorCode((*service)->Handle(bad_axis, *reader)), "bad_request");
+
+  JsonValue explain = MakeRequest("explain");
+  explain.Set("axis", JsonValue::String("medicine"));
+  explain.Set("node", JsonValue::String("no-such-node"));
+  EXPECT_EQ(ErrorCode((*service)->Handle(explain, *reader)), "not_found");
+}
+
+TEST(ServiceTest, ServedDrilldownIsByteIdenticalToTheOfflineBuild) {
+  ServeWorld world = ServeWorld::Create("serve_drill_identity", 8, 8);
+  auto service =
+      TrendService::Create(TestConfig(world.store_dir.string()), {});
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto reader = (*service)->hub().Register();
+  ASSERT_TRUE(reader.ok());
+
+  // The offline twin: `mictrend drilldown --json` over the same months.
+  const MicCorpus corpus = world.ParseCorpus(8);
+  trend::PipelineConfig config = TestConfig(world.store_dir.string());
+  config.drilldown_axes = {trend::DrillAxis::kMedicine};
+  auto offline = trend::RunPipeline(corpus, config);
+  ASSERT_TRUE(offline.ok()) << offline.status();
+  ASSERT_EQ(offline->drilldowns.size(), 1u);
+  const std::string offline_json =
+      DrillDownToJson(offline->drilldowns.front()).Serialize();
+
+  JsonValue request = MakeRequest("drilldown");
+  request.Set("axis", JsonValue::String("medicine"));
+  JsonValue response = (*service)->Handle(request, *reader);
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Serialize();
+  EXPECT_EQ(response.Find("data")->Serialize(), offline_json);
 }
 
 TEST(ServiceTest, IngestAppendsPublishesAndStaysByteIdentical) {

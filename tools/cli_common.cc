@@ -1,11 +1,13 @@
 #include "tools/cli_common.h"
 
 #include <cstdio>
+#include <deque>
 
 #include "common/logging.h"
 #include "mic/io.h"
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "serve/registry.h"
 #include "store/claim_store.h"
 
 namespace mic::tools {
@@ -33,6 +35,34 @@ std::vector<FlagSpec> WithStoreFlags(std::vector<FlagSpec> flags) {
   flags.push_back({"store", "auto|mmap|file"});
   flags.push_back({"store-dir", "dir"});
   return flags;
+}
+
+// `query` flags come from the serve endpoint registry (wire member
+// names with '_' turned into '-'). FlagSpec holds string_views, so the
+// generated strings are interned in a deque (stable addresses) that
+// lives as long as the command table does.
+std::string_view Intern(std::string text) {
+  static std::deque<std::string>* strings = new std::deque<std::string>();
+  for (const std::string& existing : *strings) {
+    if (existing == text) return existing;
+  }
+  strings->push_back(std::move(text));
+  return strings->back();
+}
+
+std::string_view InternedCliFlagName(std::string_view param) {
+  return Intern(CliFlagName(param));
+}
+
+// "health|metrics|...|shutdown": the --op value hint enumerates every
+// registered op so the usage screen stays in lockstep with the server.
+std::string_view OpValuePlaceholder() {
+  std::string ops;
+  for (const serve::EndpointSpec& endpoint : serve::EndpointTable()) {
+    if (!ops.empty()) ops += '|';
+    ops += endpoint.name;
+  }
+  return Intern(std::move(ops));
 }
 
 std::vector<FlagSpec> DetectorFlags(std::string_view margin,
@@ -115,26 +145,65 @@ std::vector<CommandSpec> BuildCommandTable() {
     }
     table.push_back({"serve", WithExecFlags(std::move(serve_flags))});
   }
-  table.push_back(
-      {"query",
-       WithObsFlags({{"port", "N", true},
-                     {"host", "127.0.0.1"},
-                     {"op", "health|metrics|stats|..."},
-                     {"kind", "disease|medicine|prescription|all"},
-                     {"disease", "name"},
-                     {"medicine", "name"},
-                     {"medicines", "a,b"},
-                     {"snapshot-months", "0,5,11"},
-                     {"k", "10"},
-                     {"top-k", "10"},
-                     {"corpus", "corpus.csv"},
-                     {"hospitals", "h.csv"},
-                     {"out", "resp.json"},
-                     {"timeout-ms", "30000"}})});
+  {
+    // Offline twin of the served `drilldown` / `explain` endpoints:
+    // same tree, same JSON renderer, so --json / --explain-out files
+    // byte-compare against `query --op drilldown/explain --out`.
+    std::vector<FlagSpec> drill_flags =
+        WithStoreFlags({{"corpus", "corpus.csv", true},
+                        {"axis", "medicine|disease|hospital", true},
+                        {"hospitals", "h.csv"},
+                        {"out", "drill.csv"},
+                        {"json", "drill.json"},
+                        {"explain", "node"},
+                        {"explain-out", "explain.json"},
+                        {"min-share", "0.6"},
+                        {"min-total", "10"},
+                        {"coupling", "0"},
+                        {"model", "proposed|cooccurrence"}});
+    for (FlagSpec& flag : DetectorFlags("4", "3", "approx|exact")) {
+      drill_flags.push_back(flag);
+    }
+    table.push_back({"drilldown", WithExecFlags(std::move(drill_flags))});
+  }
+  {
+    // The request-parameter flags are generated from the serve
+    // endpoint registry — the same table the server validates against —
+    // so the client cannot drift from the protocol.
+    std::vector<FlagSpec> query_flags = {{"port", "N", true},
+                                         {"host", "127.0.0.1"},
+                                         {"op", OpValuePlaceholder()},
+                                         {"out", "resp.json"},
+                                         {"timeout-ms", "30000"}};
+    for (const serve::EndpointSpec& endpoint : serve::EndpointTable()) {
+      for (const serve::ParamSpec& param : endpoint.params) {
+        const std::string_view flag = InternedCliFlagName(param.name);
+        bool seen = false;
+        for (const FlagSpec& existing : query_flags) {
+          if (existing.name == flag) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          query_flags.push_back({flag, serve::ParamTypeName(param.type)});
+        }
+      }
+    }
+    table.push_back({"query", WithObsFlags(std::move(query_flags))});
+  }
   return table;
 }
 
 }  // namespace
+
+std::string CliFlagName(std::string_view param) {
+  std::string flag(param);
+  for (char& c : flag) {
+    if (c == '_') c = '-';
+  }
+  return flag;
+}
 
 const std::vector<CommandSpec>& CommandTable() {
   static const std::vector<CommandSpec>* table =
@@ -200,14 +269,20 @@ std::string BuildUsageText() {
       "--store picks the segment backend. Store-ingested runs produce\n"
       "byte-identical reports to CSV runs; a failed store read warns\n"
       "and falls back to the --corpus CSV.\n"
+      "`drilldown` aggregates the analyzed series up one hierarchy\n"
+      "axis (--axis medicine|disease|hospital), writes the rollup tree\n"
+      "(--out CSV, --json JSON), and --explain <node> descends to the\n"
+      "smallest subgroup explaining that node's detected shift.\n"
       "`serve` holds a store's analyzed world hot behind an immutable\n"
       "snapshot and answers queries over a length-prefixed JSON TCP\n"
       "protocol (docs/serve_protocol.md); `query` is the matching\n"
-      "client (--op health|metrics|series|top_changes|geo_spread|\n"
-      "hospital_gap|report_csv|ingest|shutdown). An ingest appends new\n"
-      "months, warm-starts the pipeline via the cache, and swaps the\n"
-      "snapshot atomically; served reports stay byte-identical to\n"
-      "offline `pipeline --out` runs.\n";
+      "client. An ingest appends new months, warm-starts the pipeline\n"
+      "via the cache, and swaps the snapshot atomically; served\n"
+      "reports and drill-down documents stay byte-identical to their\n"
+      "offline `pipeline` / `drilldown` twins.\n"
+      "query ops (generated from the serve endpoint registry; a wire\n"
+      "parameter's '_' becomes '-' in its flag):\n" +
+      serve::BuildOpsUsageText();
   return usage;
 }
 

@@ -54,6 +54,12 @@ const CommandSpec* FindCommand(std::string_view name);
 /// Usage screen regenerated from CommandTable().
 std::string BuildUsageText();
 
+/// The CLI flag for a serve registry parameter: the wire name with
+/// every '_' turned into '-' (wire "snapshot_months" = flag
+/// --snapshot-months). `mictrend query` builds requests through this
+/// mapping, in both directions.
+std::string CliFlagName(std::string_view param);
+
 /// Rejects flags not declared in `spec` and reports missing required
 /// flags.
 Status ValidateFlags(const CommandSpec& spec, const Flags& flags);

@@ -14,9 +14,12 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "medmodel/series_io.h"
+#include "serve/drill_json.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/wire.h"
+#include "trend/drilldown.h"
 #include "medmodel/timeseries.h"
 #include "mic/io.h"
 #include "obs/metrics.h"
@@ -407,6 +410,103 @@ int RunPipeline(const Flags& flags) {
   return 0;
 }
 
+int RunDrilldown(const Flags& flags) {
+  auto run = CliRun::FromFlags(flags, /*with_pool=*/true);
+  if (!run.ok()) return Fail(run.status());
+  auto corpus = LoadCorpusFromFlags(flags, *run);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const std::string hospitals_path = flags.GetString("hospitals");
+  if (!hospitals_path.empty()) {
+    std::ifstream in(hospitals_path);
+    if (!in) {
+      return Fail(Status::IoError("cannot open " + hospitals_path));
+    }
+    if (Status status = ReadHospitalsCsv(in, corpus->catalog());
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  auto axis = trend::ParseDrillAxis(flags.GetString("axis"));
+  if (!axis.ok()) return Fail(axis.status());
+  auto min_share = flags.GetDouble("min-share", 0.6);
+  if (!min_share.ok()) return Fail(min_share.status());
+  if (!(*min_share > 0.0) || *min_share > 1.0) {
+    return Fail(Status::InvalidArgument("--min-share must be in (0, 1]"));
+  }
+  if (flags.Has("explain-out") && !flags.Has("explain")) {
+    return Fail(Status::InvalidArgument(
+        "--explain-out requires --explain <node>"));
+  }
+
+  const DetectorFlagDefaults defaults{4.0, 3, "approx"};
+  auto config = PipelineConfigFromFlags(flags, defaults);
+  if (!config.ok()) return Fail(config.status());
+  config->drilldown_axes = {*axis};
+
+  auto result = trend::RunPipeline(*corpus, *config, run->context());
+  if (!result.ok()) return Fail(result.status());
+  const trend::DrillDownReport& drill = result->drilldowns.front();
+
+  std::size_t leaves = 0;
+  std::size_t changed = 0;
+  for (const trend::DrillNode& node : drill.nodes) {
+    if (node.is_leaf) ++leaves;
+    if (node.analysis.has_change) ++changed;
+  }
+  std::printf("%s axis: %zu nodes (%zu leaves) over %d months, "
+              "%zu with a detected change\n",
+              std::string(trend::DrillAxisName(drill.axis)).c_str(),
+              drill.nodes.size(), leaves, drill.num_months, changed);
+
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    if (Status status = trend::WriteDrillDownCsvFile(drill, out_path);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote drill-down CSV to %s\n", out_path.c_str());
+  }
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    // Byte-identical to `query --op drilldown --out`: same renderer,
+    // same deterministic serialization (the drill-smoke gate relies on
+    // this).
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + json_path));
+    }
+    out << serve::DrillDownToJson(drill).Serialize() << "\n";
+    std::printf("wrote drill-down JSON to %s\n", json_path.c_str());
+  }
+  if (flags.Has("explain")) {
+    auto explain =
+        trend::ExplainShift(drill, flags.GetString("explain"), *min_share);
+    if (!explain.ok()) return Fail(explain.status());
+    std::printf("shift of '%s' at month %d (delta %+.3f):\n",
+                explain->target.c_str(), explain->change_month,
+                explain->delta);
+    for (const trend::ExplainStep& step : explain->path) {
+      std::printf("  %-40s delta %+10.3f  share %.3f\n",
+                  step.node.c_str(), step.delta, step.share);
+    }
+    std::printf("driver: %s (%.1f%% of the shift)\n",
+                explain->driver.c_str(), 100.0 * explain->driver_share);
+    const std::string explain_path = flags.GetString("explain-out");
+    if (!explain_path.empty()) {
+      std::ofstream out(explain_path, std::ios::binary);
+      if (!out) {
+        return Fail(Status::IoError("cannot open " + explain_path));
+      }
+      out << serve::ExplainToJson(drill, *explain).Serialize() << "\n";
+      std::printf("wrote explain JSON to %s\n", explain_path.c_str());
+    }
+  }
+  if (Status status = run->Finish(flags); !status.ok()) {
+    return Fail(status);
+  }
+  return 0;
+}
+
 int RunServe(const Flags& flags) {
   // force_metrics: the daemon's `metrics` endpoint and the cache.*
   // warm-start counters need a registry whether or not this run also
@@ -475,48 +575,99 @@ int RunServe(const Flags& flags) {
   return 0;
 }
 
+// Builds the request document for `op` from the flags, driven entirely
+// by the op's registry row: each declared parameter maps to the flag
+// CliFlagName(param) and is encoded per its declared type. Flags that
+// belong to a DIFFERENT op are rejected up front (mirror of the
+// server's unknown-parameter policy), as are missing required ones —
+// both fail client-side with the flag's name instead of a wire round
+// trip.
+Result<serve::JsonValue> BuildQueryRequest(const serve::EndpointSpec& spec,
+                                           const Flags& flags) {
+  for (const serve::EndpointSpec& other : serve::EndpointTable()) {
+    for (const serve::ParamSpec& param : other.params) {
+      if (spec.FindParam(param.name) != nullptr) continue;
+      const std::string flag = CliFlagName(param.name);
+      if (flags.Has(flag)) {
+        return Status::InvalidArgument(
+            "--" + flag + " does not apply to op '" +
+            std::string(spec.name) + "'");
+      }
+    }
+  }
+  serve::JsonValue request = serve::JsonValue::Object();
+  request.Set("op", serve::JsonValue::String(std::string(spec.name)));
+  for (const serve::ParamSpec& param : spec.params) {
+    const std::string flag = CliFlagName(param.name);
+    if (!flags.Has(flag)) {
+      if (param.required) {
+        return Status::InvalidArgument(
+            "query --op " + std::string(spec.name) + ": --" + flag +
+            " is required");
+      }
+      continue;
+    }
+    const std::string key(param.name);
+    switch (param.type) {
+      case serve::ParamType::kString:
+        request.Set(key, serve::JsonValue::String(flags.GetString(flag)));
+        break;
+      case serve::ParamType::kInt: {
+        MIC_ASSIGN_OR_RETURN(const std::int64_t value,
+                             flags.GetInt(flag, 0));
+        request.Set(key, serve::JsonValue::Int(value));
+        break;
+      }
+      case serve::ParamType::kDouble: {
+        MIC_ASSIGN_OR_RETURN(const double value,
+                             flags.GetDouble(flag, 0.0));
+        request.Set(key, serve::JsonValue::Number(value));
+        break;
+      }
+      case serve::ParamType::kBool: {
+        MIC_ASSIGN_OR_RETURN(const bool value, flags.GetBool(flag, false));
+        request.Set(key, serve::JsonValue::Bool(value));
+        break;
+      }
+      case serve::ParamType::kStringList: {
+        serve::JsonValue list = serve::JsonValue::Array();
+        for (const std::string& item : Split(flags.GetString(flag), ',')) {
+          list.Append(serve::JsonValue::String(item));
+        }
+        request.Set(key, std::move(list));
+        break;
+      }
+      case serve::ParamType::kIntList: {
+        serve::JsonValue list = serve::JsonValue::Array();
+        for (const std::string& item : Split(flags.GetString(flag), ',')) {
+          MIC_ASSIGN_OR_RETURN(const std::int64_t parsed,
+                               ParseInt64(item));
+          list.Append(serve::JsonValue::Int(parsed));
+        }
+        request.Set(key, std::move(list));
+        break;
+      }
+    }
+  }
+  return request;
+}
+
 int RunQuery(const Flags& flags) {
   auto run = CliRun::FromFlags(flags, /*with_pool=*/false);
   if (!run.ok()) return Fail(run.status());
   const std::string op = flags.GetString("op", "health");
-
-  serve::JsonValue request = serve::JsonValue::Object();
-  request.Set("op", serve::JsonValue::String(op));
-  for (const char* key : {"kind", "disease", "medicine", "corpus",
-                          "hospitals"}) {
-    const std::string value = flags.GetString(key);
-    if (!value.empty()) {
-      request.Set(key, serve::JsonValue::String(value));
+  const serve::EndpointSpec* spec = serve::FindEndpoint(op);
+  if (spec == nullptr) {
+    std::string ops;
+    for (const serve::EndpointSpec& endpoint : serve::EndpointTable()) {
+      if (!ops.empty()) ops += '|';
+      ops += endpoint.name;
     }
+    return Fail(Status::InvalidArgument("unknown --op: " + op +
+                                        " (expected " + ops + ")"));
   }
-  if (flags.Has("k")) {
-    auto k = flags.GetInt("k", 10);
-    if (!k.ok()) return Fail(k.status());
-    request.Set("k", serve::JsonValue::Int(*k));
-  }
-  if (flags.Has("top-k")) {
-    auto top_k = flags.GetInt("top-k", 10);
-    if (!top_k.ok()) return Fail(top_k.status());
-    request.Set("top_k", serve::JsonValue::Int(*top_k));
-  }
-  if (flags.Has("medicines")) {
-    serve::JsonValue medicines = serve::JsonValue::Array();
-    for (const std::string& name :
-         Split(flags.GetString("medicines"), ',')) {
-      medicines.Append(serve::JsonValue::String(name));
-    }
-    request.Set("medicines", std::move(medicines));
-  }
-  if (flags.Has("snapshot-months")) {
-    serve::JsonValue months = serve::JsonValue::Array();
-    for (const std::string& month :
-         Split(flags.GetString("snapshot-months"), ',')) {
-      auto parsed = ParseInt64(month);
-      if (!parsed.ok()) return Fail(parsed.status());
-      months.Append(serve::JsonValue::Int(*parsed));
-    }
-    request.Set("snapshot_months", std::move(months));
-  }
+  auto request = BuildQueryRequest(*spec, flags);
+  if (!request.ok()) return Fail(request.status());
 
   auto port = flags.GetInt("port", 0);
   if (!port.ok()) return Fail(port.status());
@@ -527,21 +678,33 @@ int RunQuery(const Flags& flags) {
   auto timeout = flags.GetInt("timeout-ms", 30000);
   if (!timeout.ok()) return Fail(timeout.status());
   limits.timeout_ms = static_cast<int>(*timeout);
-  auto response = serve::RoundTrip(*fd, request, limits);
+  auto response = serve::RoundTrip(*fd, *request, limits);
   ::close(*fd);
   if (!response.ok()) return Fail(response.status());
 
+  // --out treatment follows the registry's per-op ResponseMode:
+  // kRawMember writes data[raw_member]'s raw bytes (report_csv
+  // byte-compares against the offline `pipeline --out` artifact),
+  // kDataOnly writes data's deterministic serialization (drilldown /
+  // explain byte-compare against `mictrend drilldown` output), and
+  // kEnvelope writes the whole response.
   const bool ok = response->GetBool("ok", false);
   const std::string out_path = flags.GetString("out");
-  if (ok && op == "report_csv" && !out_path.empty()) {
-    // Raw CSV payload, so the file byte-compares against the offline
-    // `pipeline --out` artifact.
-    const serve::JsonValue* data = response->Find("data");
+  const serve::JsonValue* data = response->Find("data");
+  if (ok && !out_path.empty() && data != nullptr &&
+      spec->response == serve::ResponseMode::kRawMember) {
     std::ofstream out(out_path, std::ios::binary);
     if (!out) {
       return Fail(Status::IoError("cannot open " + out_path));
     }
-    out << (data != nullptr ? data->GetString("csv") : "");
+    out << data->GetString(std::string(spec->raw_member));
+  } else if (ok && !out_path.empty() && data != nullptr &&
+             spec->response == serve::ResponseMode::kDataOnly) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      return Fail(Status::IoError("cannot open " + out_path));
+    }
+    out << data->Serialize() << "\n";
   } else if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
@@ -578,6 +741,7 @@ int Main(int argc, char** argv) {
   if (command == "reproduce") return RunReproduce(*flags);
   if (command == "detect") return RunDetect(*flags);
   if (command == "pipeline") return RunPipeline(*flags);
+  if (command == "drilldown") return RunDrilldown(*flags);
   if (command == "serve") return RunServe(*flags);
   if (command == "query") return RunQuery(*flags);
   return Usage();
